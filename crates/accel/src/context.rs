@@ -1,0 +1,162 @@
+//! Context node sequences.
+
+use crate::{Doc, Pre};
+
+/// A context node sequence: duplicate-free pre ranks in document order.
+///
+/// XPath requires step results to be duplicate-free and document-ordered;
+/// because the staircase join *produces* exactly that shape, a `Context`
+/// can be fed into the next step without any post-processing — property
+/// (4) of the basic algorithm (§3.2).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Context {
+    pres: Vec<Pre>,
+}
+
+impl Context {
+    /// An empty context.
+    pub fn empty() -> Context {
+        Context { pres: Vec::new() }
+    }
+
+    /// The singleton context `(v)`.
+    pub fn singleton(v: Pre) -> Context {
+        Context { pres: vec![v] }
+    }
+
+    /// Builds a context from arbitrary pre ranks: sorts and deduplicates.
+    pub fn from_unsorted(mut pres: Vec<Pre>) -> Context {
+        pres.sort_unstable();
+        pres.dedup();
+        Context { pres }
+    }
+
+    /// Wraps a vector that is already sorted and duplicate-free.
+    ///
+    /// The invariant is checked in debug builds; production callers are the
+    /// join operators themselves, whose outputs carry the invariant by
+    /// construction.
+    pub fn from_sorted(pres: Vec<Pre>) -> Context {
+        debug_assert!(pres.windows(2).all(|w| w[0] < w[1]), "context not sorted/unique");
+        Context { pres }
+    }
+
+    /// The pre ranks as a slice (document order).
+    #[inline]
+    pub fn as_slice(&self) -> &[Pre] {
+        &self.pres
+    }
+
+    /// Number of context nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pres.len()
+    }
+
+    /// `true` for the empty context.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pres.is_empty()
+    }
+
+    /// Iterates the pre ranks in document order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = Pre> + '_ {
+        self.pres.iter().copied()
+    }
+
+    /// Consumes the context, yielding the underlying vector.
+    pub fn into_vec(self) -> Vec<Pre> {
+        self.pres
+    }
+
+    /// Keeps only nodes whose tag matches `tag` (the *name test*).
+    pub fn name_test(&self, doc: &Doc, tag: &str) -> Context {
+        match doc.tag_id(tag) {
+            Some(id) => Context {
+                pres: self
+                    .pres
+                    .iter()
+                    .copied()
+                    .filter(|&p| {
+                        doc.tag(p) == id && doc.kind(p) == crate::NodeKind::Element
+                    })
+                    .collect(),
+            },
+            None => Context::empty(),
+        }
+    }
+
+    /// `true` if `v` is a member (binary search).
+    pub fn contains(&self, v: Pre) -> bool {
+        self.pres.binary_search(&v).is_ok()
+    }
+}
+
+impl From<Vec<Pre>> for Context {
+    fn from(pres: Vec<Pre>) -> Context {
+        Context::from_unsorted(pres)
+    }
+}
+
+impl FromIterator<Pre> for Context {
+    fn from_iter<T: IntoIterator<Item = Pre>>(iter: T) -> Context {
+        Context::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Context {
+    type Item = Pre;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Pre>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.pres.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_unsorted_sorts_and_dedups() {
+        let c = Context::from_unsorted(vec![5, 1, 3, 1, 5]);
+        assert_eq!(c.as_slice(), &[1, 3, 5]);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn singleton_and_empty() {
+        assert_eq!(Context::singleton(7).as_slice(), &[7]);
+        assert!(Context::empty().is_empty());
+    }
+
+    #[test]
+    fn contains_uses_order() {
+        let c = Context::from_unsorted(vec![2, 4, 6]);
+        assert!(c.contains(4));
+        assert!(!c.contains(5));
+    }
+
+    #[test]
+    fn name_test_filters() {
+        let doc = Doc::from_xml("<a><b/><c/><b/></a>").unwrap();
+        let all: Context = doc.pres().collect();
+        let bs = all.name_test(&doc, "b");
+        assert_eq!(bs.as_slice(), &[1, 3]);
+        assert!(all.name_test(&doc, "zzz").is_empty());
+    }
+
+    #[test]
+    fn name_test_excludes_attributes_with_same_name() {
+        let doc = Doc::from_xml(r#"<a b="1"><b/></a>"#).unwrap();
+        let all: Context = doc.pres().collect();
+        // @b is pre 1, <b> is pre 2; only the element passes.
+        assert_eq!(all.name_test(&doc, "b").as_slice(), &[2]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let c: Context = [9u32, 3, 9, 1].into_iter().collect();
+        assert_eq!(c.as_slice(), &[1, 3, 9]);
+    }
+}

@@ -1,0 +1,956 @@
+//! The encoded document (`doc` table) and its streaming loader.
+
+use staircase_storage::Bat;
+use staircase_xml::{Document, Event, NodeId, PullParser};
+
+use crate::tags::{TagId, TagInterner, NO_TAG};
+use crate::{Level, Post, Pre};
+
+/// Parent pre-rank sentinel for the root node.
+pub const NO_PARENT: Pre = u32::MAX;
+
+/// The kind of an encoded node.
+///
+/// Attributes use "a special encoding … which allows them to be filtered
+/// out if needed" (paper §3): they are ordinary plane nodes distinguished
+/// only by this kind tag, placed in document order directly after their
+/// owning element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum NodeKind {
+    /// An element node.
+    Element = 0,
+    /// An attribute node (filtered from every axis except `attribute`).
+    Attribute = 1,
+    /// A text node.
+    Text = 2,
+    /// A comment node.
+    Comment = 3,
+    /// A processing instruction node.
+    Pi = 4,
+}
+
+impl NodeKind {
+    fn from_u8(v: u8) -> NodeKind {
+        match v {
+            0 => NodeKind::Element,
+            1 => NodeKind::Attribute,
+            2 => NodeKind::Text,
+            3 => NodeKind::Comment,
+            _ => NodeKind::Pi,
+        }
+    }
+}
+
+/// The XPath-accelerator encoding of one document: the paper's `doc` table.
+///
+/// Columns are dense and indexed positionally by preorder rank (`pre` is a
+/// *void* column, cf. §4.1): `post` (the only column the staircase join's
+/// inner loop reads), `level`, `kind`, `tag`, `parent`, and an optional
+/// content arena for value reconstruction.
+#[derive(Debug, Clone)]
+pub struct Doc {
+    post: Bat<Post>,
+    level: Vec<Level>,
+    kind: Vec<u8>,
+    tag: Vec<TagId>,
+    parent: Vec<Pre>,
+    /// Content index per node (`u32::MAX` = none); points into `arena`.
+    content: Vec<u32>,
+    arena: Vec<String>,
+    tags: TagInterner,
+    height: Level,
+}
+
+impl Doc {
+    /// Parses XML text and encodes it. Content (text/attribute values) is
+    /// retained so the document can be reconstructed.
+    pub fn from_xml(input: &str) -> Result<Doc, staircase_xml::Error> {
+        let mut b = EncodingBuilder::new();
+        let mut parser = PullParser::new(input);
+        // Consecutive text/CDATA events merge into one text node (the XPath
+        // data model has no adjacent text siblings).
+        let mut pending_text = String::new();
+        macro_rules! flush_text {
+            () => {
+                if !pending_text.is_empty() {
+                    b.text(&pending_text);
+                    pending_text.clear();
+                }
+            };
+        }
+        loop {
+            match parser.next_event()? {
+                Event::StartTag { name, attributes, self_closing } => {
+                    flush_text!();
+                    b.open_element(name);
+                    for a in &attributes {
+                        b.attribute(a.name, &a.value);
+                    }
+                    if self_closing {
+                        b.close_element();
+                    }
+                }
+                Event::EndTag { .. } => {
+                    flush_text!();
+                    b.close_element();
+                }
+                Event::Text(t) => pending_text.push_str(&t),
+                Event::CData(t) => pending_text.push_str(t),
+                Event::Comment(c) => {
+                    flush_text!();
+                    b.comment(c);
+                }
+                Event::ProcessingInstruction { target, data } => {
+                    flush_text!();
+                    b.pi(target, data);
+                }
+                Event::Eof => break,
+            }
+        }
+        Ok(b.finish())
+    }
+
+    /// Encodes an in-memory [`Document`] tree.
+    pub fn from_document(doc: &Document) -> Doc {
+        let mut b = EncodingBuilder::new();
+        fn walk(doc: &Document, id: NodeId, b: &mut EncodingBuilder) {
+            match doc.kind(id) {
+                staircase_xml::NodeKind::Document => {
+                    for c in doc.children(id) {
+                        walk(doc, c, b);
+                    }
+                }
+                staircase_xml::NodeKind::Element { name, attributes } => {
+                    b.open_element(name);
+                    for (k, v) in attributes {
+                        b.attribute(k, v);
+                    }
+                    for c in doc.children(id) {
+                        walk(doc, c, b);
+                    }
+                    b.close_element();
+                }
+                staircase_xml::NodeKind::Text(t) => {
+                    b.text(t);
+                }
+                staircase_xml::NodeKind::Comment(c) => {
+                    b.comment(c);
+                }
+                staircase_xml::NodeKind::Pi { target, data } => {
+                    b.pi(target, data);
+                }
+            }
+        }
+        walk(doc, doc.document_node(), &mut b);
+        b.finish()
+    }
+
+    /// Reconstructs a [`Document`] tree (requires retained content).
+    pub fn to_document(&self) -> Document {
+        let mut out = Document::new();
+        let mut stack: Vec<(Pre, NodeId)> = vec![];
+        let mut pre = 0 as Pre;
+        while (pre as usize) < self.len() {
+            // Pop completed elements: `pre` is past their subtree.
+            while let Some(&(open, _)) = stack.last() {
+                if !self.is_descendant_window(open, pre) {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            let parent_id = stack.last().map(|&(_, id)| id).unwrap_or(out.document_node());
+            match self.kind(pre) {
+                NodeKind::Element => {
+                    let name = self.tag_name(pre).unwrap_or("?").to_string();
+                    // Attribute nodes directly follow their element.
+                    let mut attrs = Vec::new();
+                    let mut next = pre + 1;
+                    while (next as usize) < self.len() && self.kind(next) == NodeKind::Attribute {
+                        attrs.push((
+                            self.tag_name(next).unwrap_or("?").to_string(),
+                            self.content(next).unwrap_or("").to_string(),
+                        ));
+                        next += 1;
+                    }
+                    let id = out.append_element(parent_id, &name, attrs);
+                    stack.push((pre, id));
+                    pre = next;
+                    continue;
+                }
+                NodeKind::Attribute => unreachable!("attributes are consumed by their element"),
+                NodeKind::Text => out.append_text(parent_id, self.content(pre).unwrap_or("")),
+                NodeKind::Comment => {
+                    out.append_child(
+                        parent_id,
+                        staircase_xml::NodeKind::Comment(self.content(pre).unwrap_or("").into()),
+                    );
+                }
+                NodeKind::Pi => {
+                    let target = self.tag_name(pre).unwrap_or("?").to_string();
+                    out.append_child(
+                        parent_id,
+                        staircase_xml::NodeKind::Pi {
+                            target,
+                            data: self.content(pre).unwrap_or("").into(),
+                        },
+                    );
+                }
+            }
+            pre += 1;
+        }
+        out
+    }
+
+    /// `true` if `v` lies in the (inclusive-of-self) descendant window of
+    /// `c`: `pre(v) >= pre(c) && post(v) <= post(c)`.
+    #[inline]
+    fn is_descendant_window(&self, c: Pre, v: Pre) -> bool {
+        v >= c && self.post(v) <= self.post(c)
+    }
+
+    /// Number of encoded nodes (all kinds, attributes included).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.level.len()
+    }
+
+    /// `true` for an empty document.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.level.is_empty()
+    }
+
+    /// The root node (pre rank 0). Panics on an empty document.
+    #[inline]
+    pub fn root(&self) -> Pre {
+        assert!(!self.is_empty(), "empty document has no root");
+        0
+    }
+
+    /// Postorder rank of `v`.
+    #[inline]
+    pub fn post(&self, v: Pre) -> Post {
+        self.post.tail()[v as usize]
+    }
+
+    /// The whole postorder column — what the staircase join scans.
+    #[inline]
+    pub fn post_column(&self) -> &[Post] {
+        self.post.tail()
+    }
+
+    /// Depth of `v` below the root (root = 0).
+    #[inline]
+    pub fn level(&self, v: Pre) -> Level {
+        self.level[v as usize]
+    }
+
+    /// Node kind of `v`.
+    #[inline]
+    pub fn kind(&self, v: Pre) -> NodeKind {
+        NodeKind::from_u8(self.kind[v as usize])
+    }
+
+    /// The kind column (raw `u8`s, one per node).
+    #[inline]
+    pub fn kind_column(&self) -> &[u8] {
+        &self.kind
+    }
+
+    /// Tag id of `v` ([`NO_TAG`] for text/comment nodes; attribute nodes
+    /// carry their attribute name, PI nodes their target).
+    #[inline]
+    pub fn tag(&self, v: Pre) -> TagId {
+        self.tag[v as usize]
+    }
+
+    /// The tag column.
+    #[inline]
+    pub fn tag_column(&self) -> &[TagId] {
+        &self.tag
+    }
+
+    /// Tag name of `v`, if it has one.
+    pub fn tag_name(&self, v: Pre) -> Option<&str> {
+        self.tags.name(self.tag(v))
+    }
+
+    /// Pre rank of `v`'s parent ([`NO_PARENT`] for the root).
+    #[inline]
+    pub fn parent(&self, v: Pre) -> Pre {
+        self.parent[v as usize]
+    }
+
+    /// Stored content of `v` (text body, attribute value, comment text,
+    /// PI data), if retained.
+    pub fn content(&self, v: Pre) -> Option<&str> {
+        let idx = self.content[v as usize];
+        (idx != u32::MAX).then(|| self.arena[idx as usize].as_str())
+    }
+
+    /// The tag-name interner.
+    pub fn tags(&self) -> &TagInterner {
+        &self.tags
+    }
+
+    /// Looks up the id of `name` if it occurs in the document.
+    pub fn tag_id(&self, name: &str) -> Option<TagId> {
+        self.tags.get(name)
+    }
+
+    /// Height `h` of the document: the maximum level, i.e. the length of
+    /// the longest root-to-leaf path counted in edges. The paper computes
+    /// `h` at document-loading time and uses it to bound `level(v)` in
+    /// Equation (1).
+    #[inline]
+    pub fn height(&self) -> Level {
+        self.height
+    }
+
+    /// **Equation (1)** — the exact number of nodes in the descendant
+    /// region of `v` (attributes included):
+    ///
+    /// ```text
+    /// |(v)/descendant| = post(v) − pre(v) + level(v)
+    /// ```
+    #[inline]
+    pub fn subtree_size(&self, v: Pre) -> u32 {
+        // post − pre may be transiently negative (leaves early in document
+        // order); the sum with level is always ≥ 0.
+        (self.post(v) as i64 - v as i64 + self.level(v) as i64) as u32
+    }
+
+    /// The guaranteed-descendant run length used by the copy phase of
+    /// estimation-based skipping (Algorithm 4): the first
+    /// `post(v) − pre(v)` nodes after `v` in preorder are descendants of
+    /// `v` (their count underestimates Eq. 1 by exactly `level(v) ≤ h`).
+    #[inline]
+    pub fn guaranteed_descendants(&self, v: Pre) -> u32 {
+        self.post(v).saturating_sub(v)
+    }
+
+    /// The height-bounded descendant window of `v` — the paper's line-7
+    /// predicate pair: descendants satisfy
+    /// `pre ∈ (pre(v), post(v) + h]` and `post ∈ [pre(v) − h, post(v))`.
+    ///
+    /// Returns `((pre_lo, pre_hi), (post_lo, post_hi))`, all inclusive.
+    pub fn descendant_window(&self, v: Pre) -> ((Pre, Pre), (Post, Post)) {
+        let h = self.height as u32;
+        let pre_hi = (self.post(v) + h).min(self.len().saturating_sub(1) as u32);
+        let post_lo = v.saturating_sub(h);
+        ((v + 1, pre_hi), (post_lo, self.post(v).saturating_sub(1)))
+    }
+
+    /// Iterates all pre ranks.
+    pub fn pres(&self) -> impl ExactSizeIterator<Item = Pre> {
+        0..self.len() as Pre
+    }
+
+    /// Iterates the children of `v` in document order (attributes
+    /// included; filter by [`Doc::kind`] if needed). Skips over whole
+    /// subtrees using Equation (1), so cost is `O(#children)`.
+    pub fn children(&self, v: Pre) -> Children<'_> {
+        Children { doc: self, next: v + 1, end: v + 1 + self.subtree_size(v) }
+    }
+
+    /// Iterates the descendants of `v` in document order (the contiguous
+    /// preorder run after `v`).
+    pub fn descendants(&self, v: Pre) -> impl ExactSizeIterator<Item = Pre> {
+        v + 1..v + 1 + self.subtree_size(v)
+    }
+
+    /// Iterates `v`'s ancestors bottom-up (parent first).
+    pub fn ancestors(&self, v: Pre) -> Ancestors<'_> {
+        Ancestors { doc: self, next: self.parent(v) }
+    }
+
+    /// Exhaustively checks the encoding invariants; returns a description
+    /// of the first violation, if any. Intended for validating documents
+    /// decoded from untrusted bytes (see `Doc::from_bytes`).
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.len();
+        if n == 0 {
+            return Ok(());
+        }
+        if n > u32::MAX as usize {
+            return Err("document exceeds 2^32 nodes".into());
+        }
+        // post must be a permutation of 0..n.
+        let mut seen = vec![false; n];
+        for v in self.pres() {
+            let q = self.post(v) as usize;
+            if q >= n {
+                return Err(format!("post({v}) = {q} out of range"));
+            }
+            if seen[q] {
+                return Err(format!("duplicate post rank {q}"));
+            }
+            seen[q] = true;
+        }
+        let mut max_level: Level = 0;
+        for v in self.pres() {
+            let p = self.parent(v);
+            if v == 0 {
+                if p != NO_PARENT {
+                    return Err("root has a parent".into());
+                }
+                if self.level(0) != 0 {
+                    return Err("root level is not 0".into());
+                }
+                continue;
+            }
+            if p == NO_PARENT {
+                return Err(format!("node {v} has no parent"));
+            }
+            if p >= v {
+                return Err(format!("parent({v}) = {p} is not earlier in preorder"));
+            }
+            if self.post(p) <= self.post(v) {
+                return Err(format!("parent({v}) = {p} does not enclose it"));
+            }
+            if self.level(p) + 1 != self.level(v) {
+                return Err(format!("level({v}) inconsistent with parent {p}"));
+            }
+            max_level = max_level.max(self.level(v));
+            let kind = self.kind(v);
+            if (kind == NodeKind::Element || kind == NodeKind::Attribute)
+                && self.tags.name(self.tag(v)).is_none()
+            {
+                return Err(format!("node {v} references unknown tag {}", self.tag(v)));
+            }
+        }
+        if max_level != self.height {
+            return Err(format!(
+                "stored height {} != computed {max_level}",
+                self.height
+            ));
+        }
+        Ok(())
+    }
+
+    /// The content arena and per-node content index (persistence support).
+    pub(crate) fn content_columns(&self) -> (&[String], &[u32]) {
+        (&self.arena, &self.content)
+    }
+
+    /// Reassembles a document from raw columns (persistence support).
+    /// Callers must supply mutually consistent columns; this is `pub`
+    /// within the crate only.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_raw_parts(
+        post: Vec<Post>,
+        level: Vec<Level>,
+        kind: Vec<u8>,
+        tag: Vec<TagId>,
+        parent: Vec<Pre>,
+        content: Vec<u32>,
+        arena: Vec<String>,
+        tags: TagInterner,
+        height: Level,
+    ) -> Doc {
+        Doc {
+            post: Bat::from_tail(0, post),
+            level,
+            kind,
+            tag,
+            parent,
+            content,
+            arena,
+            tags,
+            height,
+        }
+    }
+
+    /// Pre ranks of all *element* nodes with tag `tag`, in document order.
+    pub fn elements_with_tag(&self, tag: TagId) -> Vec<Pre> {
+        self.pres()
+            .filter(|&p| self.kind(p) == NodeKind::Element && self.tag(p) == tag)
+            .collect()
+    }
+
+    /// Per-kind node counts `(elements, attributes, texts, comments, pis)`.
+    pub fn kind_counts(&self) -> (usize, usize, usize, usize, usize) {
+        let mut c = [0usize; 5];
+        for &k in &self.kind {
+            c[k as usize] += 1;
+        }
+        (c[0], c[1], c[2], c[3], c[4])
+    }
+}
+
+/// Iterator over the children of a node (see [`Doc::children`]).
+pub struct Children<'d> {
+    doc: &'d Doc,
+    next: Pre,
+    end: Pre,
+}
+
+impl Iterator for Children<'_> {
+    type Item = Pre;
+
+    fn next(&mut self) -> Option<Pre> {
+        if self.next >= self.end {
+            return None;
+        }
+        let child = self.next;
+        // Jump over the child's entire subtree to its next sibling.
+        self.next = child + 1 + self.doc.subtree_size(child);
+        Some(child)
+    }
+}
+
+/// Iterator over a node's ancestors, bottom-up (see [`Doc::ancestors`]).
+pub struct Ancestors<'d> {
+    doc: &'d Doc,
+    next: Pre,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = Pre;
+
+    fn next(&mut self) -> Option<Pre> {
+        if self.next == NO_PARENT {
+            return None;
+        }
+        let a = self.next;
+        self.next = self.doc.parent(a);
+        Some(a)
+    }
+}
+
+/// Streaming builder for [`Doc`] — the "document loading" phase.
+///
+/// Drives the single counter pair the encoding needs: `pre` is assigned
+/// when a node is opened, `post` when it is closed; leaves open and close
+/// immediately. Attribute nodes are emitted directly after their element,
+/// before any content — XPath document order.
+#[derive(Debug)]
+pub struct EncodingBuilder {
+    post: Vec<Post>,
+    level: Vec<Level>,
+    kind: Vec<u8>,
+    tag: Vec<TagId>,
+    parent: Vec<Pre>,
+    content: Vec<u32>,
+    arena: Vec<String>,
+    tags: TagInterner,
+    /// Stack of open element pre ranks.
+    open: Vec<Pre>,
+    next_post: Post,
+    height: Level,
+    store_content: bool,
+}
+
+impl EncodingBuilder {
+    /// A builder that retains node content.
+    pub fn new() -> EncodingBuilder {
+        EncodingBuilder::with_content(true)
+    }
+
+    /// A builder that drops node content (used by the generator's direct
+    /// path, where multi-million-node documents would otherwise spend most
+    /// of their memory on filler strings).
+    pub fn without_content() -> EncodingBuilder {
+        EncodingBuilder::with_content(false)
+    }
+
+    fn with_content(store_content: bool) -> EncodingBuilder {
+        EncodingBuilder {
+            post: Vec::new(),
+            level: Vec::new(),
+            kind: Vec::new(),
+            tag: Vec::new(),
+            parent: Vec::new(),
+            content: Vec::new(),
+            arena: Vec::new(),
+            tags: TagInterner::new(),
+            open: Vec::new(),
+            next_post: 0,
+            height: 0,
+            store_content,
+        }
+    }
+
+    /// Pre-allocates columns for `n` expected nodes.
+    pub fn reserve(&mut self, n: usize) {
+        self.post.reserve(n);
+        self.level.reserve(n);
+        self.kind.reserve(n);
+        self.tag.reserve(n);
+        self.parent.reserve(n);
+        self.content.reserve(n);
+    }
+
+    /// Current depth (number of open elements).
+    pub fn depth(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Number of nodes emitted so far.
+    pub fn len(&self) -> usize {
+        self.level.len()
+    }
+
+    /// `true` before the first node.
+    pub fn is_empty(&self) -> bool {
+        self.level.is_empty()
+    }
+
+    fn push_node(&mut self, kind: NodeKind, tag: TagId, content: Option<&str>) -> Pre {
+        let pre = self.level.len() as Pre;
+        let level = self.open.len() as Level;
+        self.post.push(0); // patched on close for elements, below for leaves
+        self.level.push(level);
+        self.height = self.height.max(level);
+        self.kind.push(kind as u8);
+        self.tag.push(tag);
+        self.parent.push(self.open.last().copied().unwrap_or(NO_PARENT));
+        match content {
+            Some(c) if self.store_content => {
+                self.content.push(self.arena.len() as u32);
+                self.arena.push(c.to_string());
+            }
+            _ => self.content.push(u32::MAX),
+        }
+        pre
+    }
+
+    fn close_leaf(&mut self, pre: Pre) {
+        self.post[pre as usize] = self.next_post;
+        self.next_post += 1;
+    }
+
+    /// Opens an element named `tag`; returns its pre rank.
+    pub fn open_element(&mut self, tag: &str) -> Pre {
+        let id = self.tags.intern(tag);
+        let pre = self.push_node(NodeKind::Element, id, None);
+        self.open.push(pre);
+        pre
+    }
+
+    /// Opens an element by already-interned tag id (generator fast path).
+    pub fn open_element_id(&mut self, tag: TagId) -> Pre {
+        debug_assert!(self.tags.name(tag).is_some(), "unknown tag id");
+        let pre = self.push_node(NodeKind::Element, tag, None);
+        self.open.push(pre);
+        pre
+    }
+
+    /// Interns a tag name without emitting a node (generator setup).
+    pub fn intern(&mut self, tag: &str) -> TagId {
+        self.tags.intern(tag)
+    }
+
+    /// Closes the innermost open element. Panics if none is open.
+    pub fn close_element(&mut self) {
+        let pre = self.open.pop().expect("close_element without open element");
+        self.post[pre as usize] = self.next_post;
+        self.next_post += 1;
+    }
+
+    /// Emits an attribute node on the innermost open element.
+    pub fn attribute(&mut self, name: &str, value: &str) -> Pre {
+        assert!(!self.open.is_empty(), "attribute outside any element");
+        let id = self.tags.intern(name);
+        let pre = self.push_node(NodeKind::Attribute, id, Some(value));
+        self.close_leaf(pre);
+        pre
+    }
+
+    /// Emits an attribute node by interned name id (generator fast path).
+    pub fn attribute_id(&mut self, name: TagId) -> Pre {
+        assert!(!self.open.is_empty(), "attribute outside any element");
+        let pre = self.push_node(NodeKind::Attribute, name, None);
+        self.close_leaf(pre);
+        pre
+    }
+
+    /// Emits a text node.
+    pub fn text(&mut self, body: &str) -> Pre {
+        let pre = self.push_node(NodeKind::Text, NO_TAG, Some(body));
+        self.close_leaf(pre);
+        pre
+    }
+
+    /// Emits a text node without content (generator fast path).
+    pub fn text_marker(&mut self) -> Pre {
+        let pre = self.push_node(NodeKind::Text, NO_TAG, None);
+        self.close_leaf(pre);
+        pre
+    }
+
+    /// Emits a comment node.
+    pub fn comment(&mut self, body: &str) -> Pre {
+        let pre = self.push_node(NodeKind::Comment, NO_TAG, Some(body));
+        self.close_leaf(pre);
+        pre
+    }
+
+    /// Emits a processing-instruction node.
+    pub fn pi(&mut self, target: &str, data: &str) -> Pre {
+        let id = self.tags.intern(target);
+        let pre = self.push_node(NodeKind::Pi, id, Some(data));
+        self.close_leaf(pre);
+        pre
+    }
+
+    /// Finalises the encoding. Panics if elements are still open.
+    pub fn finish(self) -> Doc {
+        assert!(self.open.is_empty(), "finish with {} open element(s)", self.open.len());
+        debug_assert_eq!(self.next_post as usize, self.post.len());
+        Doc {
+            post: Bat::from_tail(0, self.post),
+            level: self.level,
+            kind: self.kind,
+            tag: self.tag,
+            parent: self.parent,
+            content: self.content,
+            arena: self.arena,
+            tags: self.tags,
+            height: self.height,
+        }
+    }
+}
+
+impl Default for EncodingBuilder {
+    fn default() -> Self {
+        EncodingBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1/2 document: a(b(c),d,e(f(g,h),i(j))).
+    pub(crate) fn figure1() -> Doc {
+        Doc::from_xml("<a><b><c/></b><d/><e><f><g/><h/></f><i><j/></i></e></a>").unwrap()
+    }
+
+    #[test]
+    fn figure2_pre_post_table() {
+        let doc = figure1();
+        // pre/post exactly as printed in Figure 2.
+        let expected: [(&str, Pre, Post); 10] = [
+            ("a", 0, 9),
+            ("b", 1, 1),
+            ("c", 2, 0),
+            ("d", 3, 2),
+            ("e", 4, 8),
+            ("f", 5, 5),
+            ("g", 6, 3),
+            ("h", 7, 4),
+            ("i", 8, 7),
+            ("j", 9, 6),
+        ];
+        assert_eq!(doc.len(), 10);
+        for (name, pre, post) in expected {
+            assert_eq!(doc.tag_name(pre), Some(name), "tag at pre {pre}");
+            assert_eq!(doc.post(pre), post, "post({name})");
+        }
+    }
+
+    #[test]
+    fn figure2_levels_and_height() {
+        let doc = figure1();
+        let levels: Vec<Level> = doc.pres().map(|p| doc.level(p)).collect();
+        assert_eq!(levels, [0, 1, 2, 1, 1, 2, 3, 3, 2, 3]);
+        assert_eq!(doc.height(), 3);
+    }
+
+    #[test]
+    fn equation_1_exact_on_figure1() {
+        let doc = figure1();
+        // Manually counted descendant set sizes.
+        let expected = [9u32, 1, 0, 0, 5, 2, 0, 0, 1, 0];
+        for p in doc.pres() {
+            assert_eq!(doc.subtree_size(p), expected[p as usize], "subtree of pre {p}");
+        }
+    }
+
+    #[test]
+    fn parents_follow_tree() {
+        let doc = figure1();
+        let parents: Vec<Pre> = doc.pres().map(|p| doc.parent(p)).collect();
+        assert_eq!(parents, [NO_PARENT, 0, 1, 0, 0, 4, 5, 5, 4, 8]);
+    }
+
+    #[test]
+    fn attributes_are_plane_nodes_after_element() {
+        let doc = Doc::from_xml(r#"<a x="1" y="2"><b/></a>"#).unwrap();
+        // pre order: a, @x, @y, b
+        assert_eq!(doc.len(), 4);
+        assert_eq!(doc.kind(0), NodeKind::Element);
+        assert_eq!(doc.kind(1), NodeKind::Attribute);
+        assert_eq!(doc.kind(2), NodeKind::Attribute);
+        assert_eq!(doc.kind(3), NodeKind::Element);
+        assert_eq!(doc.tag_name(1), Some("x"));
+        assert_eq!(doc.content(1), Some("1"));
+        // Attributes lie inside a's descendant region.
+        assert!(doc.post(1) < doc.post(0));
+        assert!(doc.post(2) < doc.post(3), "attributes close before following siblings");
+    }
+
+    #[test]
+    fn text_comment_pi_nodes_encoded() {
+        let doc = Doc::from_xml("<a>hi<!--c--><?t d?></a>").unwrap();
+        assert_eq!(doc.len(), 4);
+        assert_eq!(doc.kind(1), NodeKind::Text);
+        assert_eq!(doc.content(1), Some("hi"));
+        assert_eq!(doc.kind(2), NodeKind::Comment);
+        assert_eq!(doc.kind(3), NodeKind::Pi);
+        assert_eq!(doc.tag_name(3), Some("t"));
+    }
+
+    #[test]
+    fn post_is_permutation_of_pre() {
+        let doc = figure1();
+        let mut posts: Vec<Post> = doc.post_column().to_vec();
+        posts.sort_unstable();
+        let expected: Vec<Post> = (0..doc.len() as Post).collect();
+        assert_eq!(posts, expected);
+    }
+
+    #[test]
+    fn guaranteed_descendants_underestimates_by_at_most_level() {
+        let doc = figure1();
+        for p in doc.pres() {
+            let exact = doc.subtree_size(p);
+            let guess = doc.guaranteed_descendants(p);
+            assert!(guess <= exact);
+            // Without saturation the gap is exactly level(p); saturation
+            // (post < pre on early leaves) can only shrink it.
+            assert!(exact - guess <= doc.level(p) as u32);
+            if doc.post(p) >= p {
+                assert_eq!(exact - guess, doc.level(p) as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn descendant_window_contains_all_descendants() {
+        let doc = figure1();
+        for c in doc.pres() {
+            let ((pl, ph), (ql, qh)) = doc.descendant_window(c);
+            for v in doc.pres() {
+                let is_desc = v > c && doc.post(v) < doc.post(c);
+                if is_desc {
+                    assert!(v >= pl && v <= ph, "pre window misses {v} under {c}");
+                    assert!(doc.post(v) >= ql && doc.post(v) <= qh);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_document() {
+        let xml = r#"<site><people><person id="p0"><name>Jo</name></person></people><open_auctions/></site>"#;
+        let doc = Doc::from_xml(xml).unwrap();
+        let rebuilt = doc.to_document();
+        assert_eq!(rebuilt.to_xml(), xml);
+    }
+
+    #[test]
+    fn builder_direct_matches_from_xml() {
+        let via_xml = Doc::from_xml("<a><b>t</b><c/></a>").unwrap();
+        let mut b = EncodingBuilder::new();
+        b.open_element("a");
+        b.open_element("b");
+        b.text("t");
+        b.close_element();
+        b.open_element("c");
+        b.close_element();
+        b.close_element();
+        let direct = b.finish();
+        assert_eq!(via_xml.post_column(), direct.post_column());
+        assert_eq!(via_xml.len(), direct.len());
+    }
+
+    #[test]
+    fn without_content_drops_arena() {
+        let mut b = EncodingBuilder::without_content();
+        b.open_element("a");
+        b.text("payload");
+        b.close_element();
+        let doc = b.finish();
+        assert_eq!(doc.content(1), None);
+        assert_eq!(doc.kind(1), NodeKind::Text);
+    }
+
+    #[test]
+    #[should_panic(expected = "open element")]
+    fn close_without_open_panics() {
+        let mut b = EncodingBuilder::new();
+        b.close_element();
+    }
+
+    #[test]
+    #[should_panic(expected = "finish with")]
+    fn finish_with_open_panics() {
+        let mut b = EncodingBuilder::new();
+        b.open_element("a");
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn kind_counts_tally() {
+        let doc = Doc::from_xml(r#"<a x="1">t<!--c--><?p d?><b/></a>"#).unwrap();
+        assert_eq!(doc.kind_counts(), (2, 1, 1, 1, 1));
+    }
+
+    #[test]
+    fn elements_with_tag_in_document_order() {
+        let doc = Doc::from_xml("<a><b/><a><b/></a></a>").unwrap();
+        let b_id = doc.tag_id("b").unwrap();
+        assert_eq!(doc.elements_with_tag(b_id), vec![1, 3]);
+    }
+
+    #[test]
+    fn children_iterator_skips_subtrees() {
+        let doc = figure1();
+        // a's children: b (1), d (3), e (4) — skipping over c inside b.
+        assert_eq!(doc.children(0).collect::<Vec<_>>(), vec![1, 3, 4]);
+        assert_eq!(doc.children(4).collect::<Vec<_>>(), vec![5, 8]); // f, i
+        assert_eq!(doc.children(2).count(), 0); // leaf
+    }
+
+    #[test]
+    fn descendants_iterator_is_contiguous_run() {
+        let doc = figure1();
+        assert_eq!(doc.descendants(4).collect::<Vec<_>>(), vec![5, 6, 7, 8, 9]);
+        assert_eq!(doc.descendants(9).count(), 0);
+    }
+
+    #[test]
+    fn ancestors_iterator_bottom_up() {
+        let doc = figure1();
+        assert_eq!(doc.ancestors(6).collect::<Vec<_>>(), vec![5, 4, 0]); // f, e, a
+        assert_eq!(doc.ancestors(0).count(), 0);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_encodings() {
+        assert_eq!(figure1().validate(), Ok(()));
+        let doc = Doc::from_xml(r#"<a x="1">t<!--c--><b><c/></b></a>"#).unwrap();
+        assert_eq!(doc.validate(), Ok(()));
+        assert_eq!(EncodingBuilder::new().finish().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_detects_corruption() {
+        let doc = figure1();
+        // Corrupt via the persistence layer: flip bytes and re-decode.
+        let good = doc.to_bytes();
+        // post column starts at offset 16; make two entries collide.
+        let mut bad = good.to_vec();
+        bad[16] = bad[20];
+        bad[17] = bad[21];
+        bad[18] = bad[22];
+        bad[19] = bad[23];
+        if let Ok(decoded) = Doc::from_bytes(&bad) {
+            assert!(decoded.validate().is_err(), "corruption must be detected");
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Binary persistence for encoded documents.
+//!
+//! The paper assumes documents are encoded once ("at document loading
+//! time") and queried many times; this module makes the encoded form a
+//! first-class storable artifact so loading a multi-million-node plane is
+//! a bulk column read instead of an XML re-parse.
+//!
+//! Format (little-endian, versioned):
+//!
+//! ```text
+//! magic "SCJ1" | u32 version | u32 n | u32 height
+//! post[n]  : u32        level[n] : u16
+//! kind[n]  : u8         tag[n]   : u32
+//! parent[n]: u32
+//! tags     : u32 count, then (u32 len, bytes)*
+//! arena    : u32 count, then (u32 len, bytes)*
+//! content  : u32 flag (0 = no content column), then content[n] : u32
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::doc::Doc;
+use crate::tags::TagInterner;
+
+const MAGIC: &[u8; 4] = b"SCJ1";
+const VERSION: u32 = 1;
+
+/// Errors produced when decoding a persisted document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input does not start with the `SCJ1` magic.
+    BadMagic,
+    /// Format version not understood by this build.
+    UnsupportedVersion(u32),
+    /// Input ended prematurely or a length field is inconsistent.
+    Truncated,
+    /// A string section is not valid UTF-8.
+    BadString,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a staircase document (bad magic)"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            DecodeError::Truncated => write!(f, "input truncated"),
+            DecodeError::BadString => write!(f, "invalid UTF-8 in string section"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Doc {
+    /// Serializes the encoding into a byte buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        let n = self.len();
+        let mut buf = BytesMut::with_capacity(16 + n * 15);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(n as u32);
+        buf.put_u32_le(self.height() as u32);
+        for v in self.pres() {
+            buf.put_u32_le(self.post(v));
+        }
+        for v in self.pres() {
+            buf.put_u16_le(self.level(v));
+        }
+        buf.put_slice(self.kind_column());
+        for &t in self.tag_column() {
+            buf.put_u32_le(t);
+        }
+        for v in self.pres() {
+            buf.put_u32_le(self.parent(v));
+        }
+        put_strings(&mut buf, self.tags().iter().map(|(_, s)| s));
+        let (arena, content) = self.content_columns();
+        put_strings(&mut buf, arena.iter().map(String::as_str));
+        if arena.is_empty() {
+            // No retained content: the column is all-sentinel, skip it.
+            buf.put_u32_le(0);
+        } else {
+            buf.put_u32_le(1);
+            for &c in content {
+                buf.put_u32_le(c);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a document previously written by [`Doc::to_bytes`].
+    pub fn from_bytes(mut input: &[u8]) -> Result<Doc, DecodeError> {
+        if input.remaining() < 16 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut magic = [0u8; 4];
+        input.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let version = input.get_u32_le();
+        if version != VERSION {
+            return Err(DecodeError::UnsupportedVersion(version));
+        }
+        let n = input.get_u32_le() as usize;
+        let height = input.get_u32_le() as u16;
+
+        let post = read_u32s(&mut input, n)?;
+        let level = read_u16s(&mut input, n)?;
+        let kind = read_u8s(&mut input, n)?;
+        let tag = read_u32s(&mut input, n)?;
+        let parent = read_u32s(&mut input, n)?;
+        let tag_names = read_strings(&mut input)?;
+        let arena = read_strings(&mut input)?;
+        if input.remaining() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let content = if input.get_u32_le() == 1 {
+            read_u32s(&mut input, n)?
+        } else {
+            vec![u32::MAX; n]
+        };
+
+        let mut tags = TagInterner::new();
+        for name in &tag_names {
+            tags.intern(name);
+        }
+        Ok(Doc::from_raw_parts(post, level, kind, tag, parent, content, arena, tags, height))
+    }
+}
+
+fn put_strings<'a>(buf: &mut BytesMut, strings: impl Iterator<Item = &'a str>) {
+    let items: Vec<&str> = strings.collect();
+    buf.put_u32_le(items.len() as u32);
+    for s in items {
+        buf.put_u32_le(s.len() as u32);
+        buf.put_slice(s.as_bytes());
+    }
+}
+
+fn read_strings(input: &mut &[u8]) -> Result<Vec<String>, DecodeError> {
+    if input.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let count = input.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        if input.remaining() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let len = input.get_u32_le() as usize;
+        if input.remaining() < len {
+            return Err(DecodeError::Truncated);
+        }
+        let (head, rest) = input.split_at(len);
+        let s = std::str::from_utf8(head).map_err(|_| DecodeError::BadString)?;
+        out.push(s.to_string());
+        *input = rest;
+    }
+    Ok(out)
+}
+
+fn read_u32s(input: &mut &[u8], n: usize) -> Result<Vec<u32>, DecodeError> {
+    if input.remaining() < n * 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(input.get_u32_le());
+    }
+    Ok(out)
+}
+
+fn read_u16s(input: &mut &[u8], n: usize) -> Result<Vec<u16>, DecodeError> {
+    if input.remaining() < n * 2 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(input.get_u16_le());
+    }
+    Ok(out)
+}
+
+fn read_u8s(input: &mut &[u8], n: usize) -> Result<Vec<u8>, DecodeError> {
+    if input.remaining() < n {
+        return Err(DecodeError::Truncated);
+    }
+    let (head, rest) = input.split_at(n);
+    let out = head.to_vec();
+    *input = rest;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Doc {
+        Doc::from_xml(r#"<site><person id="p0"><name>Jo &amp; Co</name></person><x/></site>"#)
+            .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let doc = sample();
+        let bytes = doc.to_bytes();
+        let back = Doc::from_bytes(&bytes).unwrap();
+        assert_eq!(doc.len(), back.len());
+        assert_eq!(doc.post_column(), back.post_column());
+        assert_eq!(doc.kind_column(), back.kind_column());
+        assert_eq!(doc.tag_column(), back.tag_column());
+        assert_eq!(doc.height(), back.height());
+        for v in doc.pres() {
+            assert_eq!(doc.level(v), back.level(v));
+            assert_eq!(doc.parent(v), back.parent(v));
+            assert_eq!(doc.tag_name(v), back.tag_name(v));
+            assert_eq!(doc.content(v), back.content(v));
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_documents() {
+        let doc = sample();
+        let back = Doc::from_bytes(&doc.to_bytes()).unwrap();
+        assert_eq!(doc.to_document().to_xml(), back.to_document().to_xml());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(Doc::from_bytes(b"NOPE").unwrap_err(), DecodeError::Truncated);
+        assert_eq!(
+            Doc::from_bytes(b"NOPE0000000000000000").unwrap_err(),
+            DecodeError::BadMagic
+        );
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let doc = sample();
+        let mut bytes = doc.to_bytes().to_vec();
+        bytes[4] = 99;
+        assert_eq!(Doc::from_bytes(&bytes).unwrap_err(), DecodeError::UnsupportedVersion(99));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let doc = sample();
+        let bytes = doc.to_bytes();
+        // Chop at a sample of byte positions; every prefix must fail
+        // cleanly, never panic.
+        for cut in (0..bytes.len() - 1).step_by(7) {
+            let err = Doc::from_bytes(&bytes[..cut]);
+            assert!(err.is_err(), "prefix of {cut} bytes decoded successfully");
+        }
+    }
+
+    #[test]
+    fn empty_document_roundtrips() {
+        let doc = crate::EncodingBuilder::new().finish();
+        let back = Doc::from_bytes(&doc.to_bytes()).unwrap();
+        assert!(back.is_empty());
+    }
+}

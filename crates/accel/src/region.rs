@@ -1,0 +1,336 @@
+//! XPath axes as pre/post-plane predicates and regions.
+//!
+//! For any context node the four partitioning axes split the plane into
+//! rectangular quadrants (paper Figures 1 and 2); the remaining axes are
+//! super-/subsets of those quadrants or are recovered through the `parent`
+//! and `level` columns. The [`Axis::contains`] predicate here is the
+//! *reference semantics*: deliberately simple, obviously correct, and used
+//! by the naive baseline and by every property test that validates the
+//! staircase join.
+
+use crate::doc::{Doc, NodeKind};
+use crate::{Post, Pre};
+
+/// The XPath axes supported by the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// The context node itself.
+    SelfAxis,
+    /// Direct children.
+    Child,
+    /// The parent node.
+    Parent,
+    /// All nodes in the subtree below the context node.
+    Descendant,
+    /// `descendant` plus self.
+    DescendantOrSelf,
+    /// All nodes on the path from the context node to the root.
+    Ancestor,
+    /// `ancestor` plus self.
+    AncestorOrSelf,
+    /// Nodes after the context node in document order, minus descendants.
+    Following,
+    /// Nodes before the context node in document order, minus ancestors.
+    Preceding,
+    /// Following siblings (same parent, later in document order).
+    FollowingSibling,
+    /// Preceding siblings.
+    PrecedingSibling,
+    /// Attribute nodes of the context node.
+    Attribute,
+}
+
+impl Axis {
+    /// All twelve supported axes.
+    pub const ALL: [Axis; 12] = [
+        Axis::SelfAxis,
+        Axis::Child,
+        Axis::Parent,
+        Axis::Descendant,
+        Axis::DescendantOrSelf,
+        Axis::Ancestor,
+        Axis::AncestorOrSelf,
+        Axis::Following,
+        Axis::Preceding,
+        Axis::FollowingSibling,
+        Axis::PrecedingSibling,
+        Axis::Attribute,
+    ];
+
+    /// The four axes that partition the document (plus the context node).
+    pub const PARTITIONING: [Axis; 4] =
+        [Axis::Preceding, Axis::Descendant, Axis::Ancestor, Axis::Following];
+
+    /// The XPath name of the axis (`ancestor-or-self`, …).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Axis::SelfAxis => "self",
+            Axis::Child => "child",
+            Axis::Parent => "parent",
+            Axis::Descendant => "descendant",
+            Axis::DescendantOrSelf => "descendant-or-self",
+            Axis::Ancestor => "ancestor",
+            Axis::AncestorOrSelf => "ancestor-or-self",
+            Axis::Following => "following",
+            Axis::Preceding => "preceding",
+            Axis::FollowingSibling => "following-sibling",
+            Axis::PrecedingSibling => "preceding-sibling",
+            Axis::Attribute => "attribute",
+        }
+    }
+
+    /// Parses an XPath axis name.
+    pub fn parse(name: &str) -> Option<Axis> {
+        Axis::ALL.into_iter().find(|a| a.name() == name)
+    }
+
+    /// Reference semantics: is `v` reachable from context node `c` along
+    /// this axis?
+    ///
+    /// Every axis except `attribute` excludes attribute nodes from its
+    /// results (XPath semantics; paper §3, "no axis produces attribute
+    /// nodes").
+    pub fn contains(&self, doc: &Doc, c: Pre, v: Pre) -> bool {
+        let is_attr = doc.kind(v) == NodeKind::Attribute;
+        match self {
+            Axis::Attribute => is_attr && doc.parent(v) == c,
+            _ if is_attr => false,
+            Axis::SelfAxis => v == c,
+            Axis::Child => doc.parent(v) == c,
+            Axis::Parent => doc.parent(c) == v,
+            Axis::Descendant => v > c && doc.post(v) < doc.post(c),
+            Axis::DescendantOrSelf => v >= c && doc.post(v) <= doc.post(c),
+            Axis::Ancestor => v < c && doc.post(v) > doc.post(c),
+            Axis::AncestorOrSelf => v <= c && doc.post(v) >= doc.post(c),
+            Axis::Following => v > c && doc.post(v) > doc.post(c),
+            Axis::Preceding => v < c && doc.post(v) < doc.post(c),
+            Axis::FollowingSibling => doc.parent(v) == doc.parent(c) && v != c && v > c,
+            Axis::PrecedingSibling => doc.parent(v) == doc.parent(c) && v != c && v < c,
+        }
+    }
+
+    /// `true` for the axes whose result region is a plane rectangle.
+    pub fn is_partitioning(&self) -> bool {
+        matches!(self, Axis::Descendant | Axis::Ancestor | Axis::Following | Axis::Preceding)
+    }
+}
+
+impl std::fmt::Display for Axis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A rectangle in the pre/post plane: the document region one of the
+/// partitioning axes selects for a single context node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// Inclusive pre-rank bounds.
+    pub pre: (Pre, Pre),
+    /// Inclusive post-rank bounds.
+    pub post: (Post, Post),
+}
+
+impl Region {
+    /// The region of `axis` for context node `c`. Returns `None` for
+    /// non-partitioning axes (their result is not a rectangle).
+    pub fn of(doc: &Doc, axis: Axis, c: Pre) -> Option<Region> {
+        let max_pre = doc.len().saturating_sub(1) as Pre;
+        let max_post = max_pre; // post ranks cover the same range
+        // Inclusive bounds strictly below/above x; (1, 0) encodes "empty".
+        let below = |x: u32| if x == 0 { (1, 0) } else { (0, x - 1) };
+        let above = |x: u32, max: u32| if x >= max { (1, 0) } else { (x + 1, max) };
+        let (cp, cq) = (c, doc.post(c));
+        let r = match axis {
+            Axis::Descendant => Region { pre: above(cp, max_pre), post: below(cq) },
+            Axis::Ancestor => Region { pre: below(cp), post: above(cq, max_post) },
+            Axis::Following => Region { pre: above(cp, max_pre), post: above(cq, max_post) },
+            Axis::Preceding => Region { pre: below(cp), post: below(cq) },
+            _ => return None,
+        };
+        Some(r)
+    }
+
+    /// `true` if node `v` (with post rank `q`) lies in the rectangle.
+    #[inline]
+    pub fn contains(&self, v: Pre, q: Post) -> bool {
+        self.pre.0 <= v && v <= self.pre.1 && self.post.0 <= q && q <= self.post.1
+    }
+
+    /// `true` if the rectangle can contain no node at all.
+    pub fn is_empty(&self) -> bool {
+        self.pre.0 > self.pre.1 || self.post.0 > self.post.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1() -> Doc {
+        Doc::from_xml("<a><b><c/></b><d/><e><f><g/><h/></f><i><j/></i></e></a>").unwrap()
+    }
+
+    fn names(doc: &Doc, pres: impl IntoIterator<Item = Pre>) -> Vec<String> {
+        pres.into_iter().map(|p| doc.tag_name(p).unwrap().to_string()).collect()
+    }
+
+    fn axis_result(doc: &Doc, axis: Axis, c: Pre) -> Vec<Pre> {
+        doc.pres().filter(|&v| axis.contains(doc, c, v)).collect()
+    }
+
+    #[test]
+    fn figure1_regions_from_f() {
+        let doc = figure1();
+        let f = 5;
+        assert_eq!(names(&doc, axis_result(&doc, Axis::Preceding, f)), ["b", "c", "d"]);
+        assert_eq!(names(&doc, axis_result(&doc, Axis::Descendant, f)), ["g", "h"]);
+        assert_eq!(names(&doc, axis_result(&doc, Axis::Ancestor, f)), ["a", "e"]);
+        assert_eq!(names(&doc, axis_result(&doc, Axis::Following, f)), ["i", "j"]);
+    }
+
+    #[test]
+    fn figure2_ancestors_of_g() {
+        let doc = figure1();
+        let g = 6;
+        assert_eq!(names(&doc, axis_result(&doc, Axis::Ancestor, g)), ["a", "e", "f"]);
+    }
+
+    #[test]
+    fn four_axes_partition_document() {
+        let doc = figure1();
+        for c in doc.pres() {
+            let mut covered = vec![0u8; doc.len()];
+            covered[c as usize] += 1;
+            for axis in Axis::PARTITIONING {
+                for v in axis_result(&doc, axis, c) {
+                    covered[v as usize] += 1;
+                }
+            }
+            assert!(covered.iter().all(|&n| n == 1), "partition broken at context {c}");
+        }
+    }
+
+    #[test]
+    fn region_rectangles_match_predicates() {
+        let doc = figure1();
+        for c in doc.pres() {
+            for axis in Axis::PARTITIONING {
+                let region = Region::of(&doc, axis, c).unwrap();
+                for v in doc.pres() {
+                    // Region covers attributes too; Figure 1 has none.
+                    assert_eq!(
+                        region.contains(v, doc.post(v)),
+                        axis.contains(&doc, c, v),
+                        "{axis} c={c} v={v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sibling_axes() {
+        let doc = figure1();
+        // b(1), d(3), e(4) are the children of a.
+        assert_eq!(names(&doc, axis_result(&doc, Axis::FollowingSibling, 1)), ["d", "e"]);
+        assert_eq!(names(&doc, axis_result(&doc, Axis::PrecedingSibling, 4)), ["b", "d"]);
+    }
+
+    #[test]
+    fn child_parent_self() {
+        let doc = figure1();
+        assert_eq!(names(&doc, axis_result(&doc, Axis::Child, 4)), ["f", "i"]);
+        assert_eq!(names(&doc, axis_result(&doc, Axis::Parent, 5)), ["e"]);
+        assert_eq!(axis_result(&doc, Axis::SelfAxis, 7), vec![7]);
+        assert_eq!(axis_result(&doc, Axis::Parent, 0), Vec::<Pre>::new());
+    }
+
+    #[test]
+    fn or_self_variants() {
+        let doc = figure1();
+        assert_eq!(names(&doc, axis_result(&doc, Axis::AncestorOrSelf, 6)), ["a", "e", "f", "g"]);
+        assert_eq!(
+            names(&doc, axis_result(&doc, Axis::DescendantOrSelf, 5)),
+            ["f", "g", "h"]
+        );
+    }
+
+    #[test]
+    fn attributes_filtered_from_all_axes_but_attribute() {
+        let doc = Doc::from_xml(r#"<a x="1"><b y="2"/><c/></a>"#).unwrap();
+        // pre: a=0, @x=1, b=2, @y=3, c=4
+        for axis in Axis::ALL {
+            if axis == Axis::Attribute {
+                continue;
+            }
+            for c in doc.pres() {
+                assert!(
+                    !axis.contains(&doc, c, 1) && !axis.contains(&doc, c, 3),
+                    "axis {axis} leaked an attribute for context {c}"
+                );
+            }
+        }
+        assert_eq!(axis_result(&doc, Axis::Attribute, 0), vec![1]);
+        assert_eq!(axis_result(&doc, Axis::Attribute, 2), vec![3]);
+        assert_eq!(axis_result(&doc, Axis::Attribute, 4), Vec::<Pre>::new());
+    }
+
+    #[test]
+    fn axis_name_roundtrip() {
+        for axis in Axis::ALL {
+            assert_eq!(Axis::parse(axis.name()), Some(axis));
+        }
+        assert_eq!(Axis::parse("bogus"), None);
+    }
+
+    #[test]
+    fn empty_region_detection() {
+        let doc = figure1();
+        // Descendants of the last node (j, pre 9, a leaf).
+        let r = Region::of(&doc, Axis::Descendant, 9).unwrap();
+        assert!(doc.pres().all(|v| !r.contains(v, doc.post(v))));
+        // Ancestors of the root.
+        let r = Region::of(&doc, Axis::Ancestor, 0).unwrap();
+        assert!(doc.pres().all(|v| !r.contains(v, doc.post(v))));
+    }
+
+    /// Figure 7: the empty-region lemmas the skipping techniques rest on.
+    #[test]
+    fn figure7_empty_regions() {
+        let doc = figure1();
+        for a in doc.pres() {
+            for b in doc.pres() {
+                if b <= a {
+                    continue;
+                }
+                if Axis::Descendant.contains(&doc, a, b) {
+                    // (a) b descends from a: no node may follow a yet be an
+                    // ancestor of b (region S), nor precede a yet be an
+                    // ancestor of b... region U: ancestors of b that precede a.
+                    for v in doc.pres() {
+                        let anc_of_b = Axis::Ancestor.contains(&doc, b, v);
+                        assert!(
+                            !(anc_of_b && Axis::Following.contains(&doc, a, v)),
+                            "region S must be empty (a={a}, b={b}, v={v})"
+                        );
+                        assert!(
+                            !(anc_of_b && Axis::Preceding.contains(&doc, a, v)),
+                            "region U must be empty (a={a}, b={b}, v={v})"
+                        );
+                    }
+                } else if Axis::Following.contains(&doc, a, b) {
+                    // (b) a, b on preceding/following axis: no common
+                    // descendants (region Z).
+                    for v in doc.pres() {
+                        assert!(
+                            !(Axis::Descendant.contains(&doc, a, v)
+                                && Axis::Descendant.contains(&doc, b, v)),
+                            "region Z must be empty (a={a}, b={b}, v={v})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

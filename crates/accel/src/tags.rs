@@ -1,0 +1,106 @@
+//! Tag-name interning.
+//!
+//! Tag names are interned into dense `u32` ids so the `tag` column of the
+//! `doc` table is a fixed-width integer column — the shape the paper's DB2
+//! baseline indexes via concatenated `(pre, post, tag)` keys, and the shape
+//! the tag-name fragmentation strategy (§6) partitions on.
+
+use std::collections::HashMap;
+
+/// A dense identifier for an interned tag (or attribute) name.
+pub type TagId = u32;
+
+/// Sentinel tag id for nodes without a name (text, comments).
+pub const NO_TAG: TagId = u32::MAX;
+
+/// Bidirectional map between tag names and [`TagId`]s.
+#[derive(Debug, Clone, Default)]
+pub struct TagInterner {
+    by_name: HashMap<String, TagId>,
+    names: Vec<String>,
+}
+
+impl TagInterner {
+    /// An empty interner.
+    pub fn new() -> TagInterner {
+        TagInterner::default()
+    }
+
+    /// Interns `name`, returning its stable id.
+    pub fn intern(&mut self, name: &str) -> TagId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.names.len() as TagId;
+        assert!(id != NO_TAG, "tag space exhausted");
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<TagId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name behind `id` (`None` for [`NO_TAG`] or unknown ids).
+    pub fn name(&self, id: TagId) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TagId, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (i as TagId, n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = TagInterner::new();
+        let a = t.intern("person");
+        let b = t.intern("person");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut t = TagInterner::new();
+        assert_eq!(t.intern("a"), 0);
+        assert_eq!(t.intern("b"), 1);
+        assert_eq!(t.intern("c"), 2);
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        let mut t = TagInterner::new();
+        let id = t.intern("bidder");
+        assert_eq!(t.name(id), Some("bidder"));
+        assert_eq!(t.get("bidder"), Some(id));
+        assert_eq!(t.get("nope"), None);
+        assert_eq!(t.name(NO_TAG), None);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut t = TagInterner::new();
+        t.intern("x");
+        t.intern("y");
+        let all: Vec<_> = t.iter().collect();
+        assert_eq!(all, [(0, "x"), (1, "y")]);
+    }
+}

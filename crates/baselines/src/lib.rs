@@ -1,0 +1,28 @@
+//! # staircase-baselines
+//!
+//! The comparison systems the paper evaluates the staircase join against:
+//!
+//! * [`naive`] — the *naive* strategy of §3.1/Experiment 1: evaluate the
+//!   region query independently for every context node and eliminate the
+//!   resulting duplicates afterwards (the `unique` operator of Figure 3's
+//!   plan). Reports how many duplicate nodes were generated — the quantity
+//!   plotted in Figure 11(a).
+//! * [`sqlplan`] — a tree-unaware RDBMS emulation ("IBM DB2 SQL" in
+//!   Figure 11(e)/(f)): the literal query plan of Figure 3 — an index
+//!   range scan over a B-tree on concatenated `(pre, post)` keys per outer
+//!   tuple, a semijoin with early name test, `unique`, and optionally the
+//!   Equation-1 window predicate of the paper's line 7.
+//! * [`mpmgjn`] — the multi-predicate merge join of Zhang et al. (§5
+//!   related work): an interval-containment structural join over two
+//!   pre-sorted node lists, which exploits containment but lacks the
+//!   staircase join's pruning and skipping.
+
+#![warn(missing_docs)]
+
+pub mod mpmgjn;
+pub mod naive;
+pub mod sqlplan;
+
+pub use mpmgjn::{mpmgjn_join, MpmgjnStats};
+pub use naive::{naive_step, NaiveStats};
+pub use sqlplan::{SqlEngine, SqlPlanOptions, SqlStats};

@@ -1,0 +1,368 @@
+//! Tree-unaware RDBMS plan emulation ("IBM DB2 SQL", Figures 3 and 11).
+//!
+//! The paper's §2.1 analyses how a conventional RDBMS evaluates region
+//! queries: a B-tree over concatenated `(pre, post)` keys, scanned in pre
+//! order for the outer input; per outer tuple an inner *index range scan*
+//! whose `pre` predicates delimit the range and whose `post` predicates
+//! are evaluated during the scan; a `unique` operator on top (the join
+//! generates duplicates); and — if the optimizer is taught Equation (1) —
+//! the additional window predicate of line 7 that delimits the descendant
+//! scan by the subtree size.
+//!
+//! This module replays that plan over our own [`BPlusTree`]. It is
+//! deliberately *tree-unaware beyond SQL*: no pruning, no staircase
+//! skipping — only what the paper grants the RDBMS.
+
+use staircase_accel::{Axis, Context, Doc, NodeKind, Pre, TagId};
+use staircase_storage::BPlusTree;
+
+/// Packs `(pre, post)` into the concatenated B-tree key of Figure 3.
+#[inline]
+fn key(pre: Pre, post: u32) -> u64 {
+    (u64::from(pre) << 32) | u64::from(post)
+}
+
+/// Row payload stored under each index key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Row {
+    post: u32,
+    tag: TagId,
+    kind: u8,
+}
+
+/// Plan options — what the paper's §2.1 lets the optimizer know.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SqlPlanOptions {
+    /// Apply the Equation-1 window (line 7: `v2.pre ≤ v1.post + h AND
+    /// v2.post ≥ v1.pre − h`) to delimit descendant range scans.
+    pub eq1_window: bool,
+    /// Early name test: filter by tag during the index scan (DB2's
+    /// concatenated `(pre, post, tag name)` keys).
+    pub early_nametest: Option<TagId>,
+}
+
+/// Work accounting for the emulated plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SqlStats {
+    /// Index entries inspected across all inner range scans.
+    pub index_entries_scanned: u64,
+    /// B-tree nodes touched (descents + leaves).
+    pub index_nodes_touched: u64,
+    /// Join tuples produced before `unique`.
+    pub tuples_produced: u64,
+    /// Result size after `unique`.
+    pub result_size: usize,
+}
+
+impl SqlStats {
+    /// Duplicates eliminated by the `unique` operator.
+    pub fn duplicates(&self) -> u64 {
+        self.tuples_produced - self.result_size as u64
+    }
+}
+
+/// The emulated RDBMS: one B-tree on `(pre, post)` keys, built at document
+/// loading time, indexing both context and document (the doc table is its
+/// own index).
+#[derive(Debug)]
+pub struct SqlEngine {
+    index: BPlusTree<u64, Row>,
+    height: u32,
+    len: Pre,
+}
+
+impl SqlEngine {
+    /// Builds the index ("document loading").
+    pub fn build(doc: &Doc) -> SqlEngine {
+        let pairs: Vec<(u64, Row)> = doc
+            .pres()
+            .map(|v| {
+                (
+                    key(v, doc.post(v)),
+                    Row { post: doc.post(v), tag: doc.tag(v), kind: doc.kind(v) as u8 },
+                )
+            })
+            .collect();
+        SqlEngine {
+            index: BPlusTree::bulk_load(&pairs),
+            height: doc.height() as u32,
+            len: doc.len() as Pre,
+        }
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Evaluates one axis step with the Figure 3 plan: per context node an
+    /// index range scan, then `unique`.
+    ///
+    /// Supports the four partitioning axes (the ones the experiments
+    /// exercise).
+    pub fn axis_step(
+        &self,
+        context: &Context,
+        axis: Axis,
+        opts: SqlPlanOptions,
+    ) -> (Context, SqlStats) {
+        let mut stats = SqlStats::default();
+        let mut produced: Vec<Pre> = Vec::new();
+        self.index.reset_stats();
+
+        for (c, c_post) in context.iter().map(|c| (c, self.post_of(c))) {
+            // pre-range delimiters (lines 3–4 of the SQL query).
+            let (pre_lo, pre_hi) = match axis {
+                Axis::Descendant | Axis::Following => {
+                    let hi = if axis == Axis::Descendant && opts.eq1_window {
+                        // line 7: v2.pre ≤ v1.post + h
+                        (c_post + self.height).min(self.len.saturating_sub(1))
+                    } else {
+                        self.len.saturating_sub(1)
+                    };
+                    (c.saturating_add(1), hi)
+                }
+                Axis::Ancestor | Axis::Preceding => {
+                    if c == 0 {
+                        continue;
+                    }
+                    (0, c - 1)
+                }
+                other => panic!("SQL plan emulates partitioning axes only, got {other}"),
+            };
+            if pre_lo > pre_hi {
+                continue;
+            }
+            // Index range scan; post predicates evaluated per entry
+            // (lines 5–6), optional Eq-1 post bound (line 7), early name
+            // test as an additional scan predicate.
+            for (k, row) in self.index.range(key(pre_lo, 0), key(pre_hi, u32::MAX)) {
+                stats.index_entries_scanned += 1;
+                let v = (k >> 32) as Pre;
+                let hit = match axis {
+                    Axis::Descendant => {
+                        row.post < c_post
+                            && (!opts.eq1_window || row.post + self.height >= c)
+                    }
+                    Axis::Following => row.post > c_post,
+                    Axis::Ancestor => row.post > c_post,
+                    Axis::Preceding => row.post < c_post,
+                    _ => unreachable!(),
+                };
+                if !hit {
+                    continue;
+                }
+                if row.kind == NodeKind::Attribute as u8 {
+                    continue;
+                }
+                if let Some(tag) = opts.early_nametest {
+                    if row.tag != tag || row.kind != NodeKind::Element as u8 {
+                        continue;
+                    }
+                }
+                produced.push(v);
+            }
+        }
+
+        stats.tuples_produced = produced.len() as u64;
+        produced.sort_unstable();
+        produced.dedup();
+        stats.result_size = produced.len();
+        stats.index_nodes_touched = self.index.stats();
+        (Context::from_sorted(produced), stats)
+    }
+
+    /// The manual rewrite the paper applied for Q2 on DB2 (§4.4,
+    /// Experiment 3; Olteanu et al.'s *Symmetry in XPath*):
+    /// `cs/descendant::outer[descendant::inner]` — outer-tag descendants of
+    /// the context that contain at least one inner-tag descendant.
+    pub fn descendant_exists_rewrite(
+        &self,
+        context: &Context,
+        outer: TagId,
+        inner: TagId,
+    ) -> (Context, SqlStats) {
+        let (outers, mut stats) = self.axis_step(
+            context,
+            Axis::Descendant,
+            SqlPlanOptions { eq1_window: true, early_nametest: Some(outer) },
+        );
+        // EXISTS probe per outer row: a delimited descendant range scan
+        // that stops at the first inner-tag hit.
+        let mut result = Vec::new();
+        for o in outers.iter() {
+            let o_post = self.post_of(o);
+            let hi = (o_post + self.height).min(self.len.saturating_sub(1));
+            if o + 1 > hi {
+                continue;
+            }
+            let mut found = false;
+            for (_, row) in self.index.range(key(o + 1, 0), key(hi, u32::MAX)) {
+                stats.index_entries_scanned += 1;
+                if row.post < o_post && row.tag == inner && row.kind == NodeKind::Element as u8 {
+                    found = true;
+                    break;
+                }
+            }
+            if found {
+                result.push(o);
+            }
+        }
+        stats.result_size = result.len();
+        stats.index_nodes_touched = self.index.stats();
+        (Context::from_sorted(result), stats)
+    }
+
+    fn post_of(&self, v: Pre) -> u32 {
+        // Point lookup via the index itself (the doc table is the index).
+        self.index
+            .range(key(v, 0), key(v, u32::MAX))
+            .next()
+            .map(|(_, row)| row.post)
+            .expect("context node must be indexed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1() -> Doc {
+        Doc::from_xml("<a><b><c/></b><d/><e><f><g/><h/></f><i><j/></i></e></a>").unwrap()
+    }
+
+    fn reference(doc: &Doc, ctx: &Context, axis: Axis) -> Vec<Pre> {
+        doc.pres().filter(|&v| ctx.iter().any(|c| axis.contains(doc, c, v))).collect()
+    }
+
+    #[test]
+    fn figure3_query_following_then_descendant() {
+        // (c)/following/descendant = (f, g, h, i, j) per §2.1.
+        let doc = figure1();
+        let engine = SqlEngine::build(&doc);
+        let ctx = Context::singleton(2); // c
+        let (step1, _) = engine.axis_step(&ctx, Axis::Following, SqlPlanOptions::default());
+        let (step2, _) = engine.axis_step(&step1, Axis::Descendant, SqlPlanOptions::default());
+        assert_eq!(step2.as_slice(), &[5, 6, 7, 8, 9]); // f..j
+    }
+
+    #[test]
+    fn all_axes_match_reference() {
+        let doc = figure1();
+        let engine = SqlEngine::build(&doc);
+        let ctx = Context::from_unsorted(vec![3, 5, 7]);
+        for axis in Axis::PARTITIONING {
+            for eq1 in [false, true] {
+                let opts = SqlPlanOptions { eq1_window: eq1, ..Default::default() };
+                let (got, _) = engine.axis_step(&ctx, axis, opts);
+                assert_eq!(
+                    got.as_slice(),
+                    &reference(&doc, &ctx, axis)[..],
+                    "{axis} eq1={eq1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eq1_window_reduces_scanned_entries() {
+        // A small subtree early in a larger document: the window must cut
+        // the descendant scan short.
+        let doc = Doc::from_xml(
+            "<r><a><x/><x/></a><pad1/><pad2/><pad3/><pad4/><pad5/><pad6/><pad7/><pad8/></r>",
+        )
+        .unwrap();
+        let engine = SqlEngine::build(&doc);
+        let a: Context = Context::singleton(1);
+        let (r1, without) =
+            engine.axis_step(&a, Axis::Descendant, SqlPlanOptions::default());
+        let (r2, with) = engine.axis_step(
+            &a,
+            Axis::Descendant,
+            SqlPlanOptions { eq1_window: true, ..Default::default() },
+        );
+        assert_eq!(r1, r2);
+        assert!(
+            with.index_entries_scanned < without.index_entries_scanned,
+            "window did not delimit: {} vs {}",
+            with.index_entries_scanned,
+            without.index_entries_scanned
+        );
+    }
+
+    #[test]
+    fn duplicates_generated_and_removed() {
+        let doc = figure1();
+        let engine = SqlEngine::build(&doc);
+        // g and h share ancestors a, e, f.
+        let ctx = Context::from_unsorted(vec![6, 7]);
+        let (got, stats) = engine.axis_step(&ctx, Axis::Ancestor, SqlPlanOptions::default());
+        assert_eq!(got.len(), 3);
+        assert_eq!(stats.tuples_produced, 6);
+        assert_eq!(stats.duplicates(), 3);
+    }
+
+    #[test]
+    fn early_nametest_filters_during_scan() {
+        let doc = Doc::from_xml("<r><p><q/><p><q/></p></p><q/></r>").unwrap();
+        let engine = SqlEngine::build(&doc);
+        let q = doc.tag_id("q").unwrap();
+        let ctx = Context::singleton(0);
+        let (got, _) = engine.axis_step(
+            &ctx,
+            Axis::Descendant,
+            SqlPlanOptions { early_nametest: Some(q), ..Default::default() },
+        );
+        let want: Vec<Pre> =
+            doc.pres().filter(|&v| doc.tag_id("q") == Some(doc.tag(v))).collect();
+        assert_eq!(got.as_slice(), &want[..]);
+    }
+
+    #[test]
+    fn attributes_filtered() {
+        let doc = Doc::from_xml(r#"<a x="1"><b y="2"/></a>"#).unwrap();
+        let engine = SqlEngine::build(&doc);
+        let (got, _) =
+            engine.axis_step(&Context::singleton(0), Axis::Descendant, SqlPlanOptions::default());
+        assert_eq!(got.as_slice(), &[2]); // only <b>
+    }
+
+    #[test]
+    fn exists_rewrite_matches_predicate_semantics() {
+        let doc = Doc::from_xml(
+            "<r><bidder><increase/></bidder><bidder><other/></bidder><bidder><increase/></bidder></r>",
+        )
+        .unwrap();
+        let engine = SqlEngine::build(&doc);
+        let bidder = doc.tag_id("bidder").unwrap();
+        let increase = doc.tag_id("increase").unwrap();
+        let (got, _) =
+            engine.descendant_exists_rewrite(&Context::singleton(0), bidder, increase);
+        // bidders at pre 1 and 5 contain an increase; pre 3 does not.
+        assert_eq!(got.as_slice(), &[1, 5]);
+    }
+
+    #[test]
+    fn index_nodes_touched_grows_with_scans() {
+        let doc = figure1();
+        let engine = SqlEngine::build(&doc);
+        let (_, stats) =
+            engine.axis_step(&Context::singleton(0), Axis::Descendant, SqlPlanOptions::default());
+        assert!(stats.index_nodes_touched > 0);
+    }
+
+    #[test]
+    fn empty_context() {
+        let doc = figure1();
+        let engine = SqlEngine::build(&doc);
+        let (got, stats) =
+            engine.axis_step(&Context::empty(), Axis::Descendant, SqlPlanOptions::default());
+        assert!(got.is_empty());
+        assert_eq!(stats.index_entries_scanned, 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! §4.2/§4.3: copy-phase bandwidth of `(root)/descendant` and the raw
+//! copy kernels (plain vs 8-way unrolled — the paper's Duff's-device
+//! optimisation). Criterion reports bytes/second via `Throughput::Bytes`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use staircase_bench::Workload;
+use staircase_core::{descendant, Variant};
+use staircase_storage::scan::{append_run, append_run_unrolled};
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::generate(4.0);
+    let n = w.doc.len();
+    let root = w.root();
+
+    let mut g = c.benchmark_group("bandwidth_root_descendant");
+    g.sample_size(10);
+    // Paper formula: bytes read + bytes written = (|doc| + ctx + result)×4.
+    let (result, _) = descendant(&w.doc, &root, Variant::EstimationSkipping);
+    g.throughput(Throughput::Bytes(((n + 1 + result.len()) * 4) as u64));
+    g.bench_function("staircase_est_skipping", |b| {
+        b.iter(|| descendant(&w.doc, &root, Variant::EstimationSkipping))
+    });
+    g.bench_function("staircase_basic", |b| {
+        b.iter(|| descendant(&w.doc, &root, Variant::Basic))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("copy_kernels");
+    g.sample_size(10);
+    let src = w.doc.post_column();
+    g.throughput(Throughput::Bytes((2 * n * 4) as u64));
+    g.bench_function("plain", |b| {
+        b.iter(|| {
+            let mut dst: Vec<u32> = Vec::with_capacity(src.len());
+            append_run(&mut dst, src);
+            dst
+        })
+    });
+    g.bench_function("unrolled_duff", |b| {
+        b.iter(|| {
+            let mut dst: Vec<u32> = Vec::with_capacity(src.len());
+            append_run_unrolled(&mut dst, src);
+            dst
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 11(b): staircase join performance on Q2 across document sizes.
+//!
+//! The paper's claim is *linearity*: execution times grow linearly with
+//! document size because the join scans each table once. Criterion's
+//! throughput view (elements = nodes) makes that visible as a flat
+//! ns/node rate across the sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use staircase_bench::{Workload, QUERY_Q2};
+use staircase_core::Variant;
+use staircase_xpath::{Engine, Evaluator};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11b_q2_staircase");
+    g.sample_size(10);
+    for scale in [0.25, 1.0, 4.0] {
+        let w = Workload::generate(scale);
+        let eval = Evaluator::new(
+            &w.doc,
+            Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: false },
+        );
+        g.throughput(Throughput::Elements(w.doc.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(scale), &eval, |b, eval| {
+            b.iter(|| eval.evaluate(QUERY_Q2).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

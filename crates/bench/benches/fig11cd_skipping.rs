@@ -1,0 +1,34 @@
+//! Figures 11(c)/(d): effectiveness of skipping on Q1's second axis step.
+//!
+//! Three series — no skipping (Algorithm 2), skipping (Algorithm 3),
+//! estimation-based skipping (Algorithm 4) — at two document sizes.
+//! Figure 11(c)'s node-access counts are asserted by tests and printed by
+//! the `repro` binary; this bench reproduces the 11(d) timing view.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use staircase_bench::Workload;
+use staircase_core::{descendant, Variant};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11d_q1_second_step");
+    g.sample_size(10);
+    for scale in [1.0, 4.0] {
+        let w = Workload::generate(scale);
+        let profiles = w.profiles();
+        for (name, variant) in [
+            ("no_skipping", Variant::Basic),
+            ("skipping", Variant::Skipping),
+            ("skipping_estimated", Variant::EstimationSkipping),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(name, scale),
+                &(&w, &profiles),
+                |b, (w, profiles)| b.iter(|| descendant(&w.doc, profiles, variant)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

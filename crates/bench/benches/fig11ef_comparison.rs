@@ -1,0 +1,51 @@
+//! Figures 11(e)/(f): staircase join (late and early name test) versus the
+//! tree-unaware SQL plan, on Q1 and Q2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use staircase_bench::{Workload, QUERY_Q1, QUERY_Q2};
+use staircase_core::Variant;
+use staircase_xpath::{Engine, Evaluator};
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::generate(2.0);
+    let engines: [(&str, Engine); 3] = [
+        (
+            "staircase",
+            Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: false },
+        ),
+        (
+            "scj_early_nametest",
+            Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: true },
+        ),
+        ("sql_plan", Engine::Sql { eq1_window: true, early_nametest: true }),
+    ];
+
+    let mut g = c.benchmark_group("fig11e_q1");
+    g.sample_size(10);
+    for (name, engine) in engines {
+        let eval = Evaluator::new(&w.doc, engine);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &eval, |b, eval| {
+            b.iter(|| eval.evaluate(QUERY_Q1).unwrap())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig11f_q2");
+    g.sample_size(10);
+    for (name, engine) in engines {
+        let eval = Evaluator::new(&w.doc, engine);
+        // Like the paper, the SQL engine gets the manual rewrite for Q2.
+        let query = if name == "sql_plan" {
+            "/descendant::bidder[descendant::increase]"
+        } else {
+            QUERY_Q2
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(name), &eval, |b, eval| {
+            b.iter(|| eval.evaluate(query).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! §6 future-work experiments: tag-name fragmentation (Q1 over per-tag
+//! fragments vs the full plane) and the partitioned parallel join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use staircase_bench::{Workload, QUERY_Q1};
+use staircase_core::{ancestor_parallel, descendant_parallel, Variant};
+use staircase_xpath::{Engine, Evaluator};
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::generate(2.0);
+
+    let mut g = c.benchmark_group("fragmentation_q1");
+    g.sample_size(10);
+    let full = Evaluator::new(
+        &w.doc,
+        Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: false },
+    );
+    let frag = Evaluator::new(
+        &w.doc,
+        Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: true },
+    );
+    g.bench_function("full_plane", |b| b.iter(|| full.evaluate(QUERY_Q1).unwrap()));
+    g.bench_function("tag_fragments", |b| b.iter(|| frag.evaluate(QUERY_Q1).unwrap()));
+    g.finish();
+
+    let mut g = c.benchmark_group("parallel_partitions");
+    g.sample_size(10);
+    let profiles = w.profiles();
+    let increases = w.increases();
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("q1_descendant", threads), &threads, |b, &t| {
+            b.iter(|| descendant_parallel(&w.doc, &profiles, Variant::EstimationSkipping, t))
+        });
+        g.bench_with_input(BenchmarkId::new("q2_ancestor", threads), &threads, |b, &t| {
+            b.iter(|| ancestor_parallel(&w.doc, &increases, Variant::Skipping, t))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Plain-text result tables (with CSV export).
+
+use std::fmt;
+
+/// A printable experiment result table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table caption (e.g. `Figure 11(a): duplicates avoided`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells, stringified.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifies each cell).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// CSV rendering (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{c:>width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.headers)?;
+        for r in &self.rows {
+            print_row(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+/// Helper: `format!` each cell via `ToString`.
+#[macro_export]
+macro_rules! cells {
+    ($($x:expr),* $(,)?) => {
+        &[$($x.to_string()),*][..]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_prints() {
+        let mut t = Table::new("demo", &["size", "value"]);
+        t.row(cells!(1, "a"));
+        t.row(cells!(100, "bb"));
+        let s = t.to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("size"));
+        assert!(s.contains("100"));
+    }
+
+    #[test]
+    fn csv_export() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(cells!(1, 2));
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(cells!(1));
+    }
+}

@@ -1,0 +1,207 @@
+//! `ancestor`-axis staircase join (Algorithm 2 plus the §3.3 skip).
+
+use staircase_accel::{Context, Doc, NodeKind, Pre};
+
+use crate::prune::prune_ancestor;
+use crate::stats::StepStats;
+use crate::Variant;
+
+/// Evaluates `context/ancestor::node()` with the staircase join.
+///
+/// After pruning (only the deepest node of each ancestor chain remains),
+/// the plane is scanned left to right in partitions: the partition *ending*
+/// at step `cᵢ` contains the candidates for `cᵢ`'s ancestors; the staircase
+/// boundary is `post(cᵢ)` and a node passes with `post > post(cᵢ)`.
+///
+/// Skipping (§3.3): a node `v` inside `cᵢ`'s partition with
+/// `post(v) < post(cᵢ)` precedes `cᵢ`, and so does `v`'s entire subtree —
+/// Equation (1) licenses a jump of `post(v) − pre(v)` nodes ("slightly less
+/// effective" than the descendant skip because the jump is an
+/// underestimate, maximally off by the document height `h`).
+/// [`Variant::Skipping`] and [`Variant::EstimationSkipping`] are identical
+/// here; the estimate *is* the skip.
+pub fn ancestor(doc: &Doc, context: &Context, variant: Variant) -> (Context, StepStats) {
+    let mut stats = StepStats { context_in: context.len(), ..Default::default() };
+    let pruned = prune_ancestor(doc, context);
+    stats.context_out = pruned.len();
+    let mut result = Vec::new();
+    ancestor_partitions(doc, pruned.as_slice(), 0, variant, &mut result, &mut stats);
+    stats.result_size = result.len();
+    (Context::from_sorted(result), stats)
+}
+
+/// Evaluates the ancestor partitions induced by `steps` (pruned,
+/// staircase-shaped): partition `i` spans `[prev, stepᵢ)` where `prev` is
+/// the previous step + 1 (or `start` for the first). Factored out for the
+/// parallel join.
+pub(crate) fn ancestor_partitions(
+    doc: &Doc,
+    steps: &[Pre],
+    start: Pre,
+    variant: Variant,
+    result: &mut Vec<Pre>,
+    stats: &mut StepStats,
+) {
+    let post = doc.post_column();
+    let kind = doc.kind_column();
+    let attr = NodeKind::Attribute as u8;
+
+    let mut part_start = start;
+    for &c in steps {
+        stats.partitions += 1;
+        let bound = post[c as usize];
+        match variant {
+            Variant::Basic => {
+                for v in part_start..c {
+                    stats.nodes_scanned += 1;
+                    if post[v as usize] > bound && kind[v as usize] != attr {
+                        result.push(v);
+                    }
+                }
+            }
+            Variant::Skipping | Variant::EstimationSkipping => {
+                let mut v = part_start;
+                while v < c {
+                    stats.nodes_scanned += 1;
+                    if post[v as usize] > bound {
+                        if kind[v as usize] != attr {
+                            result.push(v);
+                        }
+                        v += 1;
+                    } else {
+                        // v (and its whole subtree) precedes c: skip the
+                        // guaranteed-descendant block.
+                        let jump = post[v as usize].saturating_sub(v).min(c - v - 1);
+                        stats.nodes_skipped += u64::from(jump);
+                        v += 1 + jump;
+                    }
+                }
+            }
+        }
+        part_start = c + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{figure1, random_context, random_doc, reference};
+    use staircase_accel::Axis;
+
+    const ALL: [Variant; 3] = [Variant::Basic, Variant::Skipping, Variant::EstimationSkipping];
+
+    #[test]
+    fn figure1_ancestors_of_g() {
+        let doc = figure1();
+        for variant in ALL {
+            let (got, _) = ancestor(&doc, &Context::singleton(6), variant);
+            assert_eq!(got.as_slice(), &[0, 4, 5], "{variant:?}"); // a, e, f
+        }
+    }
+
+    #[test]
+    fn figure4_context_produces_shared_ancestors_once() {
+        let doc = figure1();
+        // ancestor step for (d,e,f,h,i,j): expected a,d? No — ancestor only:
+        // ancestors of the context set = {a, e, f, i}.
+        let ctx = Context::from_unsorted(vec![3, 4, 5, 7, 8, 9]);
+        for variant in ALL {
+            let (got, _) = ancestor(&doc, &ctx, variant);
+            assert_eq!(got.as_slice(), &[0, 4, 5, 8], "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn variants_agree_with_reference_on_random_docs() {
+        for seed in 0..25 {
+            let doc = random_doc(seed, 400);
+            let ctx = random_context(&doc, seed ^ 0xCAFE, 30);
+            let want = reference(&doc, &ctx, Axis::Ancestor);
+            for variant in ALL {
+                let (got, stats) = ancestor(&doc, &ctx, variant);
+                assert_eq!(got.as_slice(), &want[..], "seed {seed}, {variant:?}");
+                assert_eq!(stats.result_size, want.len());
+            }
+        }
+    }
+
+    #[test]
+    fn results_in_document_order_without_duplicates() {
+        for seed in 0..10 {
+            let doc = random_doc(seed, 500);
+            let ctx = random_context(&doc, seed ^ 0x5150, 60);
+            let (got, _) = ancestor(&doc, &ctx, Variant::Skipping);
+            assert!(got.as_slice().windows(2).all(|w| w[0] < w[1]), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn root_has_no_ancestors() {
+        let doc = figure1();
+        for variant in ALL {
+            let (got, _) = ancestor(&doc, &Context::singleton(0), variant);
+            assert!(got.is_empty(), "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn skipping_touches_fewer_nodes_than_basic() {
+        let doc = random_doc(3, 2000);
+        // Deep contexts: the nodes with maximal level.
+        let max_level = doc.pres().map(|p| doc.level(p)).max().unwrap();
+        let ctx: Context =
+            doc.pres().filter(|&p| doc.level(p) == max_level).collect();
+        let (a, basic) = ancestor(&doc, &ctx, Variant::Basic);
+        let (b, skip) = ancestor(&doc, &ctx, Variant::Skipping);
+        assert_eq!(a, b);
+        assert!(skip.nodes_scanned < basic.nodes_scanned);
+        assert!(skip.nodes_skipped > 0);
+        assert_eq!(
+            skip.nodes_scanned + skip.nodes_skipped,
+            basic.nodes_scanned,
+            "every basic-scanned node is either scanned or skipped"
+        );
+    }
+
+    #[test]
+    fn empty_context_empty_result() {
+        let doc = figure1();
+        let (got, stats) = ancestor(&doc, &Context::empty(), Variant::Skipping);
+        assert!(got.is_empty());
+        assert_eq!(stats.nodes_touched(), 0);
+    }
+
+    #[test]
+    fn attributes_never_in_result() {
+        let doc = staircase_accel::Doc::from_xml(
+            r#"<a x="1"><b y="2"><c z="3"/></b></a>"#,
+        )
+        .unwrap();
+        // Context: the <c> element (pre 4).
+        for variant in ALL {
+            let (got, _) = ancestor(&doc, &Context::singleton(4), variant);
+            assert_eq!(got.len(), 2, "{variant:?}"); // a, b
+            assert!(got.iter().all(|v| doc.kind(v) == NodeKind::Element));
+        }
+    }
+
+    #[test]
+    fn duplicates_avoided_versus_naive_counts() {
+        // Experiment 1's premise: the naive approach produces one copy of a
+        // shared ancestor per context node; staircase join produces one
+        // total.
+        let doc = figure1();
+        let ctx = Context::from_unsorted(vec![6, 7]); // g, h share f, e, a
+        let naive_total: usize = ctx
+            .iter()
+            .map(|c| {
+                doc.pres()
+                    .filter(|&v| Axis::Ancestor.contains(&doc, c, v))
+                    .count()
+            })
+            .sum();
+        let (got, _) = ancestor(&doc, &ctx, Variant::Skipping);
+        assert_eq!(naive_total, 6);
+        assert_eq!(got.len(), 3);
+    }
+}

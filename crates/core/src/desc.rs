@@ -1,0 +1,353 @@
+//! `descendant`-axis staircase join (Algorithms 2, 3, and 4).
+
+use staircase_accel::{Context, Doc, NodeKind, Pre};
+
+use crate::prune::prune_descendant;
+use crate::stats::StepStats;
+use crate::Variant;
+
+/// Evaluates `context/descendant::node()` with the staircase join.
+///
+/// The context is pruned (covered subtrees removed), then the plane is
+/// scanned partition by partition: partition `i` spans the pre ranks
+/// `(cᵢ, cᵢ₊₁)`; the staircase boundary inside it is `post(cᵢ)`. The three
+/// [`Variant`]s differ only in how much of each partition they touch:
+///
+/// * [`Variant::Basic`] — scan to the partition's end (Algorithm 2),
+/// * [`Variant::Skipping`] — stop at the first node outside the boundary;
+///   the rest of the partition is a provably empty Z-region (Algorithm 3),
+/// * [`Variant::EstimationSkipping`] — first *copy* the `post(c) − pre(c)`
+///   guaranteed descendants without comparisons, then scan at most
+///   `h` more nodes (Algorithm 4, Equation 1).
+///
+/// Results arrive duplicate-free in document order; attribute nodes are
+/// filtered out (no axis except `attribute` yields them).
+pub fn descendant(doc: &Doc, context: &Context, variant: Variant) -> (Context, StepStats) {
+    let mut stats = StepStats { context_in: context.len(), ..Default::default() };
+    let pruned = prune_descendant(doc, context);
+    stats.context_out = pruned.len();
+    let mut result = Vec::new();
+    descendant_partitions(
+        doc,
+        pruned.as_slice(),
+        doc.len() as Pre,
+        variant,
+        &mut result,
+        &mut stats,
+    );
+    stats.result_size = result.len();
+    (Context::from_sorted(result), stats)
+}
+
+/// Like [`descendant`], but with pruning *fused* into the join instead of
+/// run as a separate pass over the context table (§3.2: "staircase join is
+/// easily adapted to do pruning on-the-fly, thus saving a separate scan
+/// over the context table").
+///
+/// Covered context nodes are recognised while walking the context: any
+/// node whose postorder rank does not exceed the current step's boundary
+/// lies inside that step's subtree and is skipped. Results and access
+/// statistics are identical to the prune-then-join pipeline (asserted by
+/// tests); only the extra context scan disappears.
+pub fn descendant_fused(doc: &Doc, context: &Context, variant: Variant) -> (Context, StepStats) {
+    let mut stats = StepStats { context_in: context.len(), ..Default::default() };
+    let slice = context.as_slice();
+    let post = doc.post_column();
+    let n = doc.len() as Pre;
+    let mut result = Vec::new();
+
+    let mut i = 0usize;
+    while i < slice.len() {
+        let c = slice[i];
+        let bound = post[c as usize];
+        stats.context_out += 1;
+        // On-the-fly pruning: context nodes inside c's subtree have
+        // pre > pre(c) and post ≤ post(c); their regions are covered.
+        let mut j = i + 1;
+        while j < slice.len() && post[slice[j] as usize] <= bound {
+            j += 1;
+        }
+        let part_end = slice.get(j).copied().unwrap_or(n);
+        descendant_partitions(doc, &[c], part_end, variant, &mut result, &mut stats);
+        i = j;
+    }
+    stats.result_size = result.len();
+    (Context::from_sorted(result), stats)
+}
+
+/// Evaluates the partitions induced by `steps` (a pruned, staircase-shaped
+/// context slice); the last partition ends at `end` (exclusive). Factored
+/// out so the parallel join can hand each worker a chunk of steps.
+pub(crate) fn descendant_partitions(
+    doc: &Doc,
+    steps: &[Pre],
+    end: Pre,
+    variant: Variant,
+    result: &mut Vec<Pre>,
+    stats: &mut StepStats,
+) {
+    let post = doc.post_column();
+    let kind = doc.kind_column();
+    let attr = NodeKind::Attribute as u8;
+
+    for (i, &c) in steps.iter().enumerate() {
+        let part_end = steps.get(i + 1).copied().unwrap_or(end);
+        debug_assert!(part_end > c);
+        stats.partitions += 1;
+        let bound = post[c as usize];
+
+        match variant {
+            Variant::Basic => {
+                // Algorithm 2: inspect the entire partition.
+                for v in c + 1..part_end {
+                    stats.nodes_scanned += 1;
+                    if post[v as usize] < bound && kind[v as usize] != attr {
+                        result.push(v);
+                    }
+                }
+            }
+            Variant::Skipping => {
+                // Algorithm 3: the first node v with post(v) ≥ post(c)
+                // follows c, so c and v share no descendants — the rest of
+                // the partition is empty (Z-region, Figure 7(b)).
+                let mut v = c + 1;
+                while v < part_end {
+                    stats.nodes_scanned += 1;
+                    if post[v as usize] < bound {
+                        if kind[v as usize] != attr {
+                            result.push(v);
+                        }
+                        v += 1;
+                    } else {
+                        stats.nodes_skipped += u64::from(part_end - v - 1);
+                        break;
+                    }
+                }
+            }
+            Variant::EstimationSkipping => {
+                // Algorithm 4. The first post(c) − pre(c) nodes after c are
+                // guaranteed descendants (Equation 1 minus the level term):
+                // copy them without postorder comparisons.
+                let estimate = bound.min(part_end.saturating_sub(1));
+                let mut v = c + 1;
+                while v <= estimate {
+                    stats.nodes_copied += 1;
+                    if kind[v as usize] != attr {
+                        result.push(v);
+                    }
+                    v += 1;
+                }
+                // Scan phase: at most level(c) ≤ h more descendants.
+                while v < part_end {
+                    stats.nodes_scanned += 1;
+                    if post[v as usize] < bound {
+                        if kind[v as usize] != attr {
+                            result.push(v);
+                        }
+                        v += 1;
+                    } else {
+                        stats.nodes_skipped += u64::from(part_end - v - 1);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{figure1, random_context, random_doc, reference};
+    use staircase_accel::Axis;
+
+    const ALL: [Variant; 3] = [Variant::Basic, Variant::Skipping, Variant::EstimationSkipping];
+
+    #[test]
+    fn figure1_descendants_of_f() {
+        let doc = figure1();
+        for variant in ALL {
+            let (got, stats) = descendant(&doc, &Context::singleton(5), variant);
+            assert_eq!(got.as_slice(), &[6, 7], "{variant:?}"); // g, h
+            assert_eq!(stats.result_size, 2);
+        }
+    }
+
+    #[test]
+    fn root_step_yields_everything_else() {
+        let doc = figure1();
+        for variant in ALL {
+            let (got, _) = descendant(&doc, &Context::singleton(0), variant);
+            assert_eq!(got.len(), doc.len() - 1, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn variants_agree_with_reference_on_random_docs() {
+        for seed in 0..25 {
+            let doc = random_doc(seed, 400);
+            let ctx = random_context(&doc, seed ^ 0xBEEF, 30);
+            let want = reference(&doc, &ctx, Axis::Descendant);
+            for variant in ALL {
+                let (got, stats) = descendant(&doc, &ctx, variant);
+                assert_eq!(got.as_slice(), &want[..], "seed {seed}, {variant:?}");
+                assert_eq!(stats.result_size, want.len());
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicates_and_document_order() {
+        for seed in 0..10 {
+            let doc = random_doc(seed, 500);
+            let ctx = random_context(&doc, seed, 50);
+            let (got, _) = descendant(&doc, &ctx, Variant::EstimationSkipping);
+            assert!(got.as_slice().windows(2).all(|w| w[0] < w[1]), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn skipping_touches_at_most_result_plus_context() {
+        // §3.3: for each context node we either hit a result node or a
+        // single node that triggers a skip.
+        for seed in 0..15 {
+            let doc = random_doc(seed, 600);
+            let ctx = random_context(&doc, seed ^ 0xF00D, 40);
+            let (got, stats) = descendant(&doc, &ctx, Variant::Skipping);
+            // Attribute nodes inside subtrees are scanned but filtered from
+            // the result, so compare against the unfiltered region size.
+            let region = doc
+                .pres()
+                .filter(|&v| {
+                    ctx.iter().any(|c| v > c && doc.post(v) < doc.post(c))
+                })
+                .count() as u64;
+            assert!(
+                stats.nodes_touched() <= region + stats.context_out as u64,
+                "seed {seed}: touched {} > region {} + context {} (result {})",
+                stats.nodes_touched(),
+                region,
+                stats.context_out,
+                got.len(),
+            );
+        }
+    }
+
+    #[test]
+    fn estimation_scan_phase_bounded_by_height() {
+        // nodes_scanned per partition ≤ h + 1 under estimation skipping.
+        for seed in 0..15 {
+            let doc = random_doc(seed, 600);
+            let ctx = random_context(&doc, seed ^ 0xAAAA, 40);
+            let (_, stats) = descendant(&doc, &ctx, Variant::EstimationSkipping);
+            let bound = (doc.height() as u64 + 1) * stats.partitions as u64;
+            assert!(
+                stats.nodes_scanned <= bound,
+                "seed {seed}: scanned {} > {} (h={}, partitions={})",
+                stats.nodes_scanned,
+                bound,
+                doc.height(),
+                stats.partitions
+            );
+        }
+    }
+
+    #[test]
+    fn basic_scans_rest_of_plane() {
+        let doc = figure1();
+        // Context (b): Algorithm 2 scans from b+1 to the end of the plane.
+        let (_, stats) = descendant(&doc, &Context::singleton(1), Variant::Basic);
+        assert_eq!(stats.nodes_scanned, (doc.len() - 2) as u64);
+        assert_eq!(stats.nodes_skipped, 0);
+    }
+
+    #[test]
+    fn skipping_skips_rest_of_plane_for_leaf_context() {
+        let doc = figure1();
+        // Context (c): a leaf early in the document; skipping bails on the
+        // first scanned node.
+        let (got, stats) = descendant(&doc, &Context::singleton(2), Variant::Skipping);
+        assert!(got.is_empty());
+        assert_eq!(stats.nodes_scanned, 1);
+        assert_eq!(stats.nodes_skipped, (doc.len() - 4) as u64);
+    }
+
+    #[test]
+    fn attributes_never_in_result() {
+        let doc = staircase_accel::Doc::from_xml(
+            r#"<a x="1"><b y="2"><c z="3"/></b></a>"#,
+        )
+        .unwrap();
+        for variant in ALL {
+            let (got, _) = descendant(&doc, &Context::singleton(0), variant);
+            assert!(got
+                .iter()
+                .all(|v| doc.kind(v) != NodeKind::Attribute), "{variant:?}");
+            assert_eq!(got.len(), 2); // b, c
+        }
+    }
+
+    #[test]
+    fn empty_context_empty_result() {
+        let doc = figure1();
+        for variant in ALL {
+            let (got, stats) = descendant(&doc, &Context::empty(), variant);
+            assert!(got.is_empty());
+            assert_eq!(stats.partitions, 0);
+            assert_eq!(stats.nodes_touched(), 0);
+        }
+    }
+
+    #[test]
+    fn unpruned_context_same_result_as_pruned() {
+        let doc = figure1();
+        let unpruned = Context::from_unsorted(vec![4, 5, 6, 8]); // e covers f,g,i
+        let pruned = Context::singleton(4);
+        for variant in ALL {
+            let (a, sa) = descendant(&doc, &unpruned, variant);
+            let (b, _) = descendant(&doc, &pruned, variant);
+            assert_eq!(a, b, "{variant:?}");
+            assert_eq!(sa.context_out, 1);
+            assert_eq!(sa.pruned(), 3);
+        }
+    }
+
+    #[test]
+    fn fused_pruning_equals_prune_then_join() {
+        for seed in 0..20 {
+            let doc = random_doc(seed, 500);
+            let ctx = random_context(&doc, seed ^ 0x0F0F, 60);
+            for variant in ALL {
+                let (a, sa) = descendant(&doc, &ctx, variant);
+                let (b, sb) = descendant_fused(&doc, &ctx, variant);
+                assert_eq!(a, b, "seed {seed}, {variant:?}");
+                assert_eq!(sa.context_out, sb.context_out, "seed {seed}");
+                assert_eq!(sa.nodes_scanned, sb.nodes_scanned, "seed {seed}");
+                assert_eq!(sa.nodes_copied, sb.nodes_copied, "seed {seed}");
+                assert_eq!(sa.partitions, sb.partitions, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_pruning_counts_pruned_context() {
+        let doc = figure1();
+        // e (4) covers f (5) and i (8); b (1) is disjoint.
+        let ctx = Context::from_unsorted(vec![1, 4, 5, 8]);
+        let (_, stats) = descendant_fused(&doc, &ctx, Variant::EstimationSkipping);
+        assert_eq!(stats.context_in, 4);
+        assert_eq!(stats.context_out, 2);
+        assert_eq!(stats.pruned(), 2);
+    }
+
+    #[test]
+    fn stats_copied_dominates_for_root_query() {
+        // (root)/descendant is almost pure copy phase (§4.3's bandwidth
+        // experiment relies on this).
+        let doc = random_doc(7, 2000);
+        let (got, stats) = descendant(&doc, &Context::singleton(0), Variant::EstimationSkipping);
+        assert_eq!(stats.nodes_copied, (doc.len() - 1) as u64);
+        assert_eq!(stats.nodes_scanned, 0);
+        assert!(got.len() < doc.len());
+    }
+}

@@ -1,0 +1,195 @@
+//! Existential (semijoin) variants of the staircase join.
+//!
+//! XPath predicates like `bidder[descendant::increase]` do not need the
+//! descendants themselves — only whether one exists. The pre/post plane
+//! answers that with a single probe: the subtree of `c` is the contiguous
+//! preorder run `(c, c + |subtree|]`, so the *first* fragment node after
+//! `c` decides the predicate ("the paper's Figure 7(b): once a node
+//! follows `c`, everything after it does too").
+//!
+//! These operators power `staircase-xpath`'s predicate evaluation and the
+//! Q2 rewrite experiment; they also double as the EXISTS probe the paper's
+//! DB2 rewrite relies on, but tree-aware: one comparison per context node
+//! instead of an index range scan.
+
+use staircase_accel::{Context, Doc, Pre};
+
+use crate::stats::StepStats;
+
+/// Keeps the context nodes that have at least one descendant in `list`
+/// (`list` = pre-sorted candidate nodes, e.g. a tag fragment).
+///
+/// Cost: one binary search plus one postorder comparison per context node
+/// — `O(|context| · log |list|)`, independent of subtree sizes.
+pub fn has_descendant_in(doc: &Doc, context: &Context, list: &[Pre]) -> (Context, StepStats) {
+    let mut stats = StepStats {
+        context_in: context.len(),
+        context_out: context.len(),
+        ..Default::default()
+    };
+    let post = doc.post_column();
+    let mut result = Vec::new();
+    for c in context.iter() {
+        // First list entry after c in document order. The subtree of c is
+        // contiguous, so either this entry is a descendant or none is.
+        let i = list.partition_point(|&p| p <= c);
+        if let Some(&p) = list.get(i) {
+            stats.nodes_scanned += 1;
+            if post[p as usize] < post[c as usize] {
+                result.push(c);
+            }
+        }
+    }
+    stats.result_size = result.len();
+    stats.partitions = context.len();
+    (Context::from_sorted(result), stats)
+}
+
+/// Keeps the context nodes that have at least one ancestor in `list`.
+///
+/// Walks the parent chain (at most `h` steps, the document height) with a
+/// binary-search membership probe per step.
+pub fn has_ancestor_in(doc: &Doc, context: &Context, list: &[Pre]) -> (Context, StepStats) {
+    let mut stats = StepStats {
+        context_in: context.len(),
+        context_out: context.len(),
+        ..Default::default()
+    };
+    let mut result = Vec::new();
+    for c in context.iter() {
+        let mut a = doc.parent(c);
+        while a != staircase_accel::NO_PARENT {
+            stats.nodes_scanned += 1;
+            if list.binary_search(&a).is_ok() {
+                result.push(c);
+                break;
+            }
+            a = doc.parent(a);
+        }
+    }
+    stats.result_size = result.len();
+    stats.partitions = context.len();
+    (Context::from_sorted(result), stats)
+}
+
+/// Keeps the context nodes that have at least one *child* in `list`.
+///
+/// Children of `c` lie inside `c`'s contiguous subtree run; the probe
+/// scans the list slice covering that run and tests the parent column.
+pub fn has_child_in(doc: &Doc, context: &Context, list: &[Pre]) -> (Context, StepStats) {
+    let mut stats = StepStats {
+        context_in: context.len(),
+        context_out: context.len(),
+        ..Default::default()
+    };
+    let mut result = Vec::new();
+    for c in context.iter() {
+        let subtree_end = c + 1 + doc.subtree_size(c);
+        let lo = list.partition_point(|&p| p <= c);
+        let hi = lo + list[lo..].partition_point(|&p| p < subtree_end);
+        for &p in &list[lo..hi] {
+            stats.nodes_scanned += 1;
+            if doc.parent(p) == c {
+                result.push(c);
+                break;
+            }
+        }
+    }
+    stats.result_size = result.len();
+    stats.partitions = context.len();
+    (Context::from_sorted(result), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{random_context, random_doc};
+    use crate::TagIndex;
+    use staircase_accel::Axis;
+
+    fn brute_exists(
+        doc: &Doc,
+        ctx: &Context,
+        list: &[Pre],
+        axis: Axis,
+    ) -> Vec<Pre> {
+        ctx.iter()
+            .filter(|&c| list.iter().any(|&p| axis.contains(doc, c, p)))
+            .collect()
+    }
+
+    #[test]
+    fn descendant_exists_on_figure1() {
+        let doc = Doc::from_xml("<a><b><c/></b><d/><e><f><g/><h/></f><i><j/></i></e></a>")
+            .unwrap();
+        let ctx: Context = doc.pres().collect();
+        // list = {g (6), j (9)}.
+        let (got, _) = has_descendant_in(&doc, &ctx, &[6, 9]);
+        // nodes with g or j below: a, e, f (for g), i (for j).
+        assert_eq!(got.as_slice(), &[0, 4, 5, 8]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_docs() {
+        for seed in 0..20 {
+            let doc = random_doc(seed, 400);
+            let ctx = random_context(&doc, seed ^ 0x1357, 40);
+            let idx = TagIndex::build(&doc);
+            for tag in ["p", "q"] {
+                let list = idx.fragment_by_name(&doc, tag);
+                let (d, _) = has_descendant_in(&doc, &ctx, list);
+                assert_eq!(
+                    d.as_slice(),
+                    &brute_exists(&doc, &ctx, list, Axis::Descendant)[..],
+                    "desc {tag} seed {seed}"
+                );
+                let (a, _) = has_ancestor_in(&doc, &ctx, list);
+                assert_eq!(
+                    a.as_slice(),
+                    &brute_exists(&doc, &ctx, list, Axis::Ancestor)[..],
+                    "anc {tag} seed {seed}"
+                );
+                let (c, _) = has_child_in(&doc, &ctx, list);
+                assert_eq!(
+                    c.as_slice(),
+                    &brute_exists(&doc, &ctx, list, Axis::Child)[..],
+                    "child {tag} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn descendant_probe_is_one_comparison_per_context_node() {
+        let doc = random_doc(5, 1000);
+        let ctx: Context = doc.pres().collect();
+        let idx = TagIndex::build(&doc);
+        let list = idx.fragment_by_name(&doc, "p");
+        let (_, stats) = has_descendant_in(&doc, &ctx, list);
+        assert!(stats.nodes_scanned <= ctx.len() as u64);
+    }
+
+    #[test]
+    fn ancestor_probe_bounded_by_height() {
+        let doc = random_doc(6, 1000);
+        let ctx: Context = doc.pres().collect();
+        let idx = TagIndex::build(&doc);
+        let list = idx.fragment_by_name(&doc, "q");
+        let (_, stats) = has_ancestor_in(&doc, &ctx, list);
+        assert!(stats.nodes_scanned <= ctx.len() as u64 * doc.height() as u64);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let doc = random_doc(1, 100);
+        let ctx: Context = doc.pres().collect();
+        let (r, _) = has_descendant_in(&doc, &ctx, &[]);
+        assert!(r.is_empty());
+        let (r, _) = has_ancestor_in(&doc, &Context::empty(), &[0]);
+        assert!(r.is_empty());
+        let (r, _) = has_child_in(&doc, &ctx, &[]);
+        assert!(r.is_empty());
+    }
+
+    use staircase_accel::Doc;
+}

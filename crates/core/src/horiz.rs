@@ -1,0 +1,201 @@
+//! `following`- and `preceding`-axis evaluation.
+//!
+//! §3.1's empty-region analysis collapses these axes: after pruning, the
+//! context is a single node and the staircase join "degenerates to a single
+//! region query". Both implementations exploit the plane's structure so
+//! they touch far fewer nodes than the region's size suggests:
+//!
+//! * `following(c)` is the contiguous pre range *after* `c`'s subtree —
+//!   Equation (1) gives the exact start, no comparisons at all.
+//! * `preceding(c)` scans the prefix `[0, c)`, but whenever it finds a
+//!   preceding node it copies that node's guaranteed subtree block without
+//!   comparisons; only `c`'s ancestors are inspected individually.
+
+use staircase_accel::{Context, Doc, NodeKind, Pre};
+
+use crate::prune::{prune_following, prune_preceding};
+use crate::stats::StepStats;
+
+/// Evaluates `context/following::node()`.
+pub fn following(doc: &Doc, context: &Context) -> (Context, StepStats) {
+    let mut stats = StepStats { context_in: context.len(), ..Default::default() };
+    let pruned = prune_following(doc, context);
+    stats.context_out = pruned.len();
+    let Some(&c) = pruned.as_slice().first() else {
+        return (Context::empty(), stats);
+    };
+    stats.partitions = 1;
+
+    // First node after c's subtree: exact via Equation (1).
+    let start = c + 1 + doc.subtree_size(c);
+    let n = doc.len() as Pre;
+    stats.nodes_skipped = u64::from(start.min(n).saturating_sub(c + 1));
+    let kind = doc.kind_column();
+    let attr = NodeKind::Attribute as u8;
+    let mut result = Vec::with_capacity(n.saturating_sub(start) as usize);
+    for v in start..n {
+        stats.nodes_copied += 1;
+        if kind[v as usize] != attr {
+            result.push(v);
+        }
+    }
+    stats.result_size = result.len();
+    (Context::from_sorted(result), stats)
+}
+
+/// Evaluates `context/preceding::node()`.
+pub fn preceding(doc: &Doc, context: &Context) -> (Context, StepStats) {
+    let mut stats = StepStats { context_in: context.len(), ..Default::default() };
+    let pruned = prune_preceding(doc, context);
+    stats.context_out = pruned.len();
+    let Some(&c) = pruned.as_slice().first() else {
+        return (Context::empty(), stats);
+    };
+    stats.partitions = 1;
+
+    let post = doc.post_column();
+    let kind = doc.kind_column();
+    let attr = NodeKind::Attribute as u8;
+    let bound = post[c as usize];
+    let mut result = Vec::new();
+    let mut v: Pre = 0;
+    while v < c {
+        stats.nodes_scanned += 1;
+        if post[v as usize] < bound {
+            // v precedes c — and so does v's entire subtree, which cannot
+            // contain c. Copy the guaranteed block without comparisons.
+            if kind[v as usize] != attr {
+                result.push(v);
+            }
+            let run = post[v as usize].saturating_sub(v).min(c - v - 1);
+            for w in v + 1..=v + run {
+                stats.nodes_copied += 1;
+                if kind[w as usize] != attr {
+                    result.push(w);
+                }
+            }
+            v += 1 + run;
+        } else {
+            // v is an ancestor of c: inspect it alone and move on.
+            v += 1;
+        }
+    }
+    stats.result_size = result.len();
+    (Context::from_sorted(result), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{figure1, random_context, random_doc, reference};
+    use staircase_accel::Axis;
+
+    #[test]
+    fn figure1_following_of_f() {
+        let doc = figure1();
+        let (got, stats) = following(&doc, &Context::singleton(5));
+        assert_eq!(got.as_slice(), &[8, 9]); // i, j
+        assert_eq!(stats.nodes_scanned, 0, "following needs no comparisons");
+    }
+
+    #[test]
+    fn figure1_preceding_of_f() {
+        let doc = figure1();
+        let (got, _) = preceding(&doc, &Context::singleton(5));
+        assert_eq!(got.as_slice(), &[1, 2, 3]); // b, c, d
+    }
+
+    #[test]
+    fn multi_context_matches_reference() {
+        for seed in 0..25 {
+            let doc = random_doc(seed, 400);
+            let ctx = random_context(&doc, seed ^ 0x7777, 25);
+            if ctx.is_empty() {
+                continue;
+            }
+            let (f, _) = following(&doc, &ctx);
+            assert_eq!(
+                f.as_slice(),
+                &reference(&doc, &ctx, Axis::Following)[..],
+                "following seed {seed}"
+            );
+            let (p, _) = preceding(&doc, &ctx);
+            assert_eq!(
+                p.as_slice(),
+                &reference(&doc, &ctx, Axis::Preceding)[..],
+                "preceding seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn following_of_root_is_empty() {
+        let doc = figure1();
+        let (got, _) = following(&doc, &Context::singleton(0));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn preceding_of_root_is_empty() {
+        let doc = figure1();
+        let (got, stats) = preceding(&doc, &Context::singleton(0));
+        assert!(got.is_empty());
+        assert_eq!(stats.nodes_touched(), 0);
+    }
+
+    #[test]
+    fn empty_context() {
+        let doc = figure1();
+        assert!(following(&doc, &Context::empty()).0.is_empty());
+        assert!(preceding(&doc, &Context::empty()).0.is_empty());
+    }
+
+    #[test]
+    fn preceding_touches_result_plus_ancestors() {
+        // The copy-run optimisation means only c's ancestors are scanned
+        // beyond the result itself.
+        for seed in 0..10 {
+            let doc = random_doc(seed, 800);
+            let deepest = doc
+                .pres()
+                .max_by_key(|&p| doc.level(p))
+                .unwrap();
+            let (_, stats) = preceding(&doc, &Context::singleton(deepest));
+            // Unfiltered region size (attributes included):
+            let region = doc
+                .pres()
+                .filter(|&v| v < deepest && doc.post(v) < doc.post(deepest))
+                .count() as u64;
+            let ancestors = u64::from(doc.level(deepest));
+            assert!(
+                stats.nodes_touched() <= region + ancestors + 1,
+                "seed {seed}: touched {} > {} + {}",
+                stats.nodes_touched(),
+                region,
+                ancestors
+            );
+        }
+    }
+
+    #[test]
+    fn attributes_excluded() {
+        let doc = staircase_accel::Doc::from_xml(
+            r#"<a x="1"><b y="2"/><c/><d/></a>"#,
+        )
+        .unwrap();
+        // pre: a=0 @x=1 b=2 @y=3 c=4 d=5; context c (pre 4).
+        let (f, _) = following(&doc, &Context::singleton(4));
+        assert_eq!(f.as_slice(), &[5]);
+        let (p, _) = preceding(&doc, &Context::singleton(4));
+        assert_eq!(p.as_slice(), &[2]);
+    }
+
+    #[test]
+    fn following_skips_subtree_exactly() {
+        let doc = figure1();
+        // e (pre 4) has subtree size 5; following must skip f..j.
+        let (got, stats) = following(&doc, &Context::singleton(4));
+        assert!(got.is_empty());
+        assert_eq!(stats.nodes_skipped, 5);
+    }
+}

@@ -1,0 +1,223 @@
+//! # staircase-core
+//!
+//! The **staircase join** (Grust, van Keulen, Teubner: *Staircase Join:
+//! Teach a Relational DBMS to Watch its (Axis) Steps*, VLDB 2003) — a
+//! tree-aware join operator that evaluates the four partitioning XPath axes
+//! over the pre/post-plane encoding of [`staircase_accel`].
+//!
+//! The operator encapsulates three pieces of "tree knowledge":
+//!
+//! 1. **Pruning** (§3.1, [`prune`]) — context nodes whose result region is
+//!    covered by another context node are removed; what remains traces a
+//!    *staircase* through the plane. For `following`/`preceding` the
+//!    context degenerates to a single node.
+//! 2. **Partitioned scanning** (§3.2, [`Variant::Basic`]) — one sequential
+//!    scan of the `doc` table per step, visiting each partition
+//!    `[cᵢ, cᵢ₊₁)` once. The result is produced duplicate-free and in
+//!    document order, so no `unique`/`sort` post-processing is needed.
+//! 3. **Skipping** (§3.3/§4.2, [`Variant::Skipping`] and
+//!    [`Variant::EstimationSkipping`]) — empty-region analysis ends each
+//!    partition scan at the first miss; Equation (1) turns the bulk of the
+//!    `descendant` scan into a comparison-free copy phase. The join then
+//!    touches at most `|result| + |context|` nodes.
+//!
+//! Every join returns [`StepStats`] alongside the result so experiments can
+//! report exact node-access counts (paper Figure 11(a)/(c)), not just
+//! wall-clock times.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use staircase_accel::{Context, Doc};
+//! use staircase_core::{descendant, Variant};
+//!
+//! let doc = Doc::from_xml("<a><b><c/></b><d/></a>").unwrap();
+//! let ctx = Context::singleton(doc.root());
+//! let (result, stats) = descendant(&doc, &ctx, Variant::EstimationSkipping);
+//! assert_eq!(result.len(), 3); // b, c, d
+//! assert_eq!(stats.result_size, 3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod anc;
+mod desc;
+mod exists;
+mod horiz;
+mod list;
+mod parallel;
+mod prune;
+mod stats;
+
+pub use anc::ancestor;
+pub use desc::{descendant, descendant_fused};
+pub use exists::{has_ancestor_in, has_child_in, has_descendant_in};
+pub use horiz::{following, preceding};
+pub use list::{ancestor_on_list, descendant_on_list, TagIndex};
+pub use parallel::{ancestor_parallel, descendant_parallel};
+pub use prune::{prune, prune_ancestor, prune_descendant, prune_following, prune_preceding};
+pub use stats::StepStats;
+
+use staircase_accel::{Axis, Context, Doc};
+
+/// Which staircase-join refinement to run.
+///
+/// `Basic` is Algorithm 2 (no skipping), `Skipping` adds the early-out of
+/// Algorithm 3, and `EstimationSkipping` adds the Equation (1) copy phase
+/// of Algorithm 4. All three compute identical results; they differ only
+/// in how many nodes they touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Variant {
+    /// Algorithm 2: scan every partition to its end.
+    Basic,
+    /// Algorithm 3: stop a partition scan at the first miss.
+    Skipping,
+    /// Algorithm 4: comparison-free copy phase, then a bounded scan.
+    #[default]
+    EstimationSkipping,
+}
+
+/// Evaluates one partitioning-axis step with the staircase join.
+///
+/// `axis` must be one of `descendant`, `ancestor`, `following`,
+/// `preceding` (use [`axis_is_supported`] to check); the or-self variants
+/// and the remaining axes are layered on top by `staircase-xpath`.
+///
+/// # Panics
+///
+/// Panics if `axis` is not a partitioning axis.
+pub fn axis_step(
+    doc: &Doc,
+    context: &Context,
+    axis: Axis,
+    variant: Variant,
+) -> (Context, StepStats) {
+    match axis {
+        Axis::Descendant => descendant(doc, context, variant),
+        Axis::Ancestor => ancestor(doc, context, variant),
+        Axis::Following => following(doc, context),
+        Axis::Preceding => preceding(doc, context),
+        other => panic!("staircase join evaluates partitioning axes only, got {other}"),
+    }
+}
+
+/// `true` if [`axis_step`] accepts `axis`.
+pub fn axis_is_supported(axis: Axis) -> bool {
+    axis.is_partitioning()
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use staircase_accel::{Axis, Context, Doc, Pre};
+
+    /// The paper's running example: a(b(c),d,e(f(g,h),i(j))).
+    pub fn figure1() -> Doc {
+        Doc::from_xml("<a><b><c/></b><d/><e><f><g/><h/></f><i><j/></i></e></a>").unwrap()
+    }
+
+    /// Brute-force reference step evaluation (duplicate-free, document
+    /// order) straight from the axis predicate.
+    pub fn reference(doc: &Doc, ctx: &Context, axis: Axis) -> Vec<Pre> {
+        doc.pres()
+            .filter(|&v| ctx.iter().any(|c| axis.contains(doc, c, v)))
+            .collect()
+    }
+
+    /// A small deterministic pseudo-random document for exhaustive checks.
+    pub fn random_doc(seed: u64, size_hint: usize) -> Doc {
+        use staircase_accel::EncodingBuilder;
+        let mut b = EncodingBuilder::new();
+        let tags = ["p", "q", "r", "s"];
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        b.open_element("root");
+        let mut depth = 1usize;
+        let mut last_was_text = false;
+        for _ in 0..size_hint {
+            match next() % 5 {
+                0 | 1 => {
+                    b.open_element(tags[(next() % 4) as usize]);
+                    depth += 1;
+                    last_was_text = false;
+                }
+                2 if depth > 1 => {
+                    b.close_element();
+                    depth -= 1;
+                    last_was_text = false;
+                }
+                3 => {
+                    if !last_was_text {
+                        b.text("x");
+                        last_was_text = true;
+                    }
+                }
+                _ => {
+                    if next() % 3 == 0 {
+                        b.open_element(tags[(next() % 4) as usize]);
+                        b.attribute("id", "a");
+                        b.close_element();
+                    } else {
+                        b.comment("c");
+                    }
+                    last_was_text = false;
+                }
+            }
+        }
+        while depth > 0 {
+            b.close_element();
+            depth -= 1;
+        }
+        b.finish()
+    }
+
+    /// Deterministic pseudo-random context over `doc`.
+    pub fn random_context(doc: &Doc, seed: u64, approx: usize) -> Context {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let n = doc.len() as u64;
+        let pres: Vec<Pre> =
+            (0..approx).map(|_| (next() % n) as Pre).collect();
+        Context::from_unsorted(pres)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn axis_step_dispatches_all_partitioning_axes() {
+        let doc = figure1();
+        let ctx = Context::singleton(5); // f
+        for axis in Axis::PARTITIONING {
+            let (got, _) = axis_step(&doc, &ctx, axis, Variant::default());
+            assert_eq!(got.as_slice(), &reference(&doc, &ctx, axis)[..], "{axis}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "partitioning axes")]
+    fn axis_step_rejects_child() {
+        let doc = figure1();
+        axis_step(&doc, &Context::singleton(0), Axis::Child, Variant::Basic);
+    }
+
+    #[test]
+    fn supported_axis_predicate() {
+        assert!(axis_is_supported(Axis::Descendant));
+        assert!(axis_is_supported(Axis::Preceding));
+        assert!(!axis_is_supported(Axis::Child));
+        assert!(!axis_is_supported(Axis::SelfAxis));
+    }
+}

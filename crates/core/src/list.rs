@@ -1,0 +1,272 @@
+//! Staircase join over *filtered node lists*: name-test pushdown and
+//! tag-name fragmentation.
+//!
+//! §4.4 Experiment 3 pushes the name test through the staircase join: the
+//! tree properties used by the join "are entirely based on preorder and
+//! postorder ranks. Those properties remain valid for a subset of nodes."
+//! §6 takes this further and proposes *fragmenting* the document by tag
+//! name (Q1 dropped from 345 ms to 39 ms in the paper's first experiments).
+//!
+//! Both ideas need the same machinery: a pre-sorted list of the pre ranks
+//! of all elements with a given tag ([`TagIndex`]), and join algorithms
+//! that walk such a list instead of the contiguous plane
+//! ([`descendant_on_list`], [`ancestor_on_list`]). Skipping carries over:
+//! within a partition, the first list node outside the boundary proves the
+//! rest of the partition empty, exactly as on the full plane.
+
+use staircase_accel::{Context, Doc, NodeKind, Pre, TagId};
+
+use crate::prune::{prune_ancestor, prune_descendant};
+use crate::stats::StepStats;
+
+/// Per-tag fragments of the document: for every tag id, the pre ranks of
+/// all elements carrying it, in document order.
+///
+/// Built once after loading ("fragmentation by tag name", §6); the same
+/// structure serves name-test pushdown, where the fragment *is*
+/// `nametest(doc, tag)`.
+#[derive(Debug, Clone)]
+pub struct TagIndex {
+    fragments: Vec<Vec<Pre>>,
+}
+
+impl TagIndex {
+    /// Builds the index with one pass over the document.
+    pub fn build(doc: &Doc) -> TagIndex {
+        let mut fragments = vec![Vec::new(); doc.tags().len()];
+        let kinds = doc.kind_column();
+        let tags = doc.tag_column();
+        for v in doc.pres() {
+            if kinds[v as usize] == NodeKind::Element as u8 {
+                fragments[tags[v as usize] as usize].push(v);
+            }
+        }
+        TagIndex { fragments }
+    }
+
+    /// The fragment for `tag` (empty slice for unknown tags).
+    pub fn fragment(&self, tag: TagId) -> &[Pre] {
+        self.fragments.get(tag as usize).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The fragment for a tag *name*.
+    pub fn fragment_by_name<'s>(&'s self, doc: &Doc, name: &str) -> &'s [Pre] {
+        doc.tag_id(name).map(|t| self.fragment(t)).unwrap_or(&[])
+    }
+
+    /// Number of distinct tags indexed.
+    pub fn len(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// `true` if the document had no elements at all.
+    pub fn is_empty(&self) -> bool {
+        self.fragments.iter().all(Vec::is_empty)
+    }
+
+    /// Total pre ranks stored (= number of element nodes).
+    pub fn total_nodes(&self) -> usize {
+        self.fragments.iter().map(Vec::len).sum()
+    }
+}
+
+/// `context/descendant::tag` evaluated directly on a tag fragment:
+/// equivalent to `nametest(staircase_join_desc(doc, context), tag)` but
+/// touches only `tag`-elements.
+pub fn descendant_on_list(
+    doc: &Doc,
+    list: &[Pre],
+    context: &Context,
+) -> (Context, StepStats) {
+    let mut stats = StepStats { context_in: context.len(), ..Default::default() };
+    let pruned = prune_descendant(doc, context);
+    stats.context_out = pruned.len();
+    let steps = pruned.as_slice();
+    let post = doc.post_column();
+    let n = doc.len() as Pre;
+    let mut result = Vec::new();
+
+    let mut j = 0usize; // cursor into `list`
+    for (i, &c) in steps.iter().enumerate() {
+        let part_end = steps.get(i + 1).copied().unwrap_or(n);
+        stats.partitions += 1;
+        let bound = post[c as usize];
+        // First list entry inside the partition (list and steps both
+        // ascend, so the cursor only moves forward).
+        j += list[j..].partition_point(|&p| p <= c);
+        while let Some(&p) = list.get(j) {
+            if p >= part_end {
+                break;
+            }
+            stats.nodes_scanned += 1;
+            if post[p as usize] < bound {
+                result.push(p);
+                j += 1;
+            } else {
+                // Z-region: no later list node in this partition can be a
+                // descendant of c.
+                let rest = list[j..].partition_point(|&p| p < part_end).saturating_sub(1);
+                stats.nodes_skipped += rest as u64;
+                break;
+            }
+        }
+    }
+    stats.result_size = result.len();
+    (Context::from_sorted(result), stats)
+}
+
+/// `context/ancestor::tag` evaluated directly on a tag fragment.
+///
+/// The §3.3 ancestor skip carries over: a list node below the boundary is
+/// preceding, so the cursor jumps past its guaranteed subtree block with a
+/// binary search instead of a linear walk.
+pub fn ancestor_on_list(doc: &Doc, list: &[Pre], context: &Context) -> (Context, StepStats) {
+    let mut stats = StepStats { context_in: context.len(), ..Default::default() };
+    let pruned = prune_ancestor(doc, context);
+    stats.context_out = pruned.len();
+    let post = doc.post_column();
+    let mut result = Vec::new();
+
+    let mut j = 0usize;
+    let mut part_start: Pre = 0;
+    for &c in pruned.as_slice() {
+        stats.partitions += 1;
+        let bound = post[c as usize];
+        j += list[j..].partition_point(|&p| p < part_start);
+        while let Some(&p) = list.get(j) {
+            if p >= c {
+                break;
+            }
+            stats.nodes_scanned += 1;
+            if post[p as usize] > bound {
+                result.push(p);
+                j += 1;
+            } else {
+                // p precedes c: every list entry inside p's subtree is
+                // preceding too — jump past the guaranteed block.
+                let subtree_end = p + 1 + post[p as usize].saturating_sub(p);
+                let skipped = list[j + 1..].partition_point(|&q| q < subtree_end);
+                stats.nodes_skipped += skipped as u64;
+                j += 1 + skipped;
+            }
+        }
+        part_start = c + 1;
+    }
+    stats.result_size = result.len();
+    (Context::from_sorted(result), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{random_context, random_doc, reference};
+    use crate::{ancestor, descendant, Variant};
+    use staircase_accel::Axis;
+
+    fn doc_with_tags() -> Doc {
+        Doc::from_xml(
+            "<site><open_auctions>\
+             <open_auction><bidder><increase/></bidder><bidder><increase/></bidder></open_auction>\
+             <open_auction><bidder><increase/></bidder></open_auction>\
+             </open_auctions></site>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tag_index_partitions_elements() {
+        let doc = doc_with_tags();
+        let idx = TagIndex::build(&doc);
+        assert_eq!(idx.total_nodes(), doc.kind_counts().0);
+        let bidders = idx.fragment_by_name(&doc, "bidder");
+        assert_eq!(bidders.len(), 3);
+        assert!(bidders.windows(2).all(|w| w[0] < w[1]));
+        assert!(idx.fragment_by_name(&doc, "nonexistent").is_empty());
+    }
+
+    #[test]
+    fn descendant_on_list_equals_nametest_after_join() {
+        let doc = doc_with_tags();
+        let idx = TagIndex::build(&doc);
+        let ctx = Context::singleton(doc.root());
+        let (full, _) = descendant(&doc, &ctx, Variant::EstimationSkipping);
+        let late = full.name_test(&doc, "increase");
+        let (pushed, _) =
+            descendant_on_list(&doc, idx.fragment_by_name(&doc, "increase"), &ctx);
+        assert_eq!(late, pushed);
+    }
+
+    #[test]
+    fn ancestor_on_list_equals_nametest_after_join() {
+        let doc = doc_with_tags();
+        let idx = TagIndex::build(&doc);
+        // Context: the increase elements.
+        let increases: Context =
+            idx.fragment_by_name(&doc, "increase").iter().copied().collect();
+        let (full, _) = ancestor(&doc, &increases, Variant::Skipping);
+        let late = full.name_test(&doc, "bidder");
+        let (pushed, _) =
+            ancestor_on_list(&doc, idx.fragment_by_name(&doc, "bidder"), &increases);
+        assert_eq!(late, pushed);
+        assert_eq!(pushed.len(), 3);
+    }
+
+    #[test]
+    fn pushdown_agrees_with_reference_on_random_docs() {
+        for seed in 0..20 {
+            let doc = random_doc(seed, 500);
+            let idx = TagIndex::build(&doc);
+            let ctx = random_context(&doc, seed ^ 0x9999, 20);
+            for tag in ["p", "q", "r"] {
+                let frag = idx.fragment_by_name(&doc, tag);
+                let want_desc: Vec<Pre> = reference(&doc, &ctx, Axis::Descendant)
+                    .into_iter()
+                    .filter(|&v| doc.tag_name(v) == Some(tag) && doc.kind(v) == NodeKind::Element)
+                    .collect();
+                let (got_desc, _) = descendant_on_list(&doc, frag, &ctx);
+                assert_eq!(got_desc.as_slice(), &want_desc[..], "desc {tag} seed {seed}");
+
+                let want_anc: Vec<Pre> = reference(&doc, &ctx, Axis::Ancestor)
+                    .into_iter()
+                    .filter(|&v| doc.tag_name(v) == Some(tag) && doc.kind(v) == NodeKind::Element)
+                    .collect();
+                let (got_anc, _) = ancestor_on_list(&doc, frag, &ctx);
+                assert_eq!(got_anc.as_slice(), &want_anc[..], "anc {tag} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn list_join_touches_only_fragment_nodes() {
+        for seed in 0..10 {
+            let doc = random_doc(seed, 800);
+            let idx = TagIndex::build(&doc);
+            let ctx = random_context(&doc, seed ^ 0xABAB, 10);
+            let frag = idx.fragment_by_name(&doc, "p");
+            let (_, stats) = descendant_on_list(&doc, frag, &ctx);
+            assert!(
+                stats.nodes_scanned <= frag.len() as u64,
+                "seed {seed}: scanned {} of a {}-node fragment",
+                stats.nodes_scanned,
+                frag.len()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_fragment_and_empty_context() {
+        let doc = doc_with_tags();
+        let (r, _) = descendant_on_list(&doc, &[], &Context::singleton(0));
+        assert!(r.is_empty());
+        let (r, _) = ancestor_on_list(&doc, &[], &Context::singleton(0));
+        assert!(r.is_empty());
+        let idx = TagIndex::build(&doc);
+        let frag = idx.fragment_by_name(&doc, "bidder");
+        let (r, _) = descendant_on_list(&doc, frag, &Context::empty());
+        assert!(r.is_empty());
+        let (r, _) = ancestor_on_list(&doc, frag, &Context::empty());
+        assert!(r.is_empty());
+    }
+
+    use staircase_accel::{Doc, NodeKind};
+}

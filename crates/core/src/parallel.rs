@@ -1,0 +1,219 @@
+//! Partitioned parallel staircase join.
+//!
+//! §3.2 observes that the pruned context "naturally leads to a parallel
+//! XPath execution strategy": each staircase step owns a disjoint pre-range
+//! partition of the plane (Figure 8), so partitions can be evaluated
+//! independently and concatenated — results stay duplicate-free and in
+//! document order with no merge step. §6 proposes the same idea as a
+//! fragmentation strategy for documents beyond 1 GB.
+
+use staircase_accel::{Context, Doc, Pre};
+
+use crate::anc::ancestor_partitions;
+use crate::desc::descendant_partitions;
+use crate::prune::{prune_ancestor, prune_descendant};
+use crate::stats::StepStats;
+use crate::Variant;
+
+/// Parallel `descendant` staircase join over `threads` workers.
+///
+/// Equivalent to [`crate::descendant`] (asserted by tests); the pruned
+/// staircase is split into contiguous chunks of steps, one worker per
+/// chunk. Workers write into private result buffers that are concatenated
+/// in step order.
+pub fn descendant_parallel(
+    doc: &Doc,
+    context: &Context,
+    variant: Variant,
+    threads: usize,
+) -> (Context, StepStats) {
+    let mut stats = StepStats { context_in: context.len(), ..Default::default() };
+    let pruned = prune_descendant(doc, context);
+    stats.context_out = pruned.len();
+    let steps = pruned.as_slice();
+    let n = doc.len() as Pre;
+
+    let chunks = chunk_bounds(steps.len(), threads);
+    let mut outputs: Vec<(Vec<Pre>, StepStats)> = Vec::with_capacity(chunks.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|&(lo, hi)| {
+                let steps = &steps[lo..hi];
+                // This chunk's final partition ends where the next chunk's
+                // first step begins (or at the end of the plane).
+                let end = steps_end(pruned.as_slice(), hi, n);
+                scope.spawn(move |_| {
+                    let mut out = Vec::new();
+                    let mut st = StepStats::default();
+                    descendant_partitions(doc, steps, end, variant, &mut out, &mut st);
+                    (out, st)
+                })
+            })
+            .collect();
+        for h in handles {
+            outputs.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    let mut result = Vec::with_capacity(outputs.iter().map(|(v, _)| v.len()).sum());
+    for (part, st) in &outputs {
+        result.extend_from_slice(part);
+        stats.merge(st);
+    }
+    stats.result_size = result.len();
+    (Context::from_sorted(result), stats)
+}
+
+/// Parallel `ancestor` staircase join over `threads` workers.
+pub fn ancestor_parallel(
+    doc: &Doc,
+    context: &Context,
+    variant: Variant,
+    threads: usize,
+) -> (Context, StepStats) {
+    let mut stats = StepStats { context_in: context.len(), ..Default::default() };
+    let pruned = prune_ancestor(doc, context);
+    stats.context_out = pruned.len();
+    let steps = pruned.as_slice();
+
+    let chunks = chunk_bounds(steps.len(), threads);
+    let mut outputs: Vec<(Vec<Pre>, StepStats)> = Vec::with_capacity(chunks.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|&(lo, hi)| {
+                let chunk = &steps[lo..hi];
+                // This chunk's first partition starts right after the
+                // previous chunk's last step (or at pre 0).
+                let start = if lo == 0 { 0 } else { steps[lo - 1] + 1 };
+                scope.spawn(move |_| {
+                    let mut out = Vec::new();
+                    let mut st = StepStats::default();
+                    ancestor_partitions(doc, chunk, start, variant, &mut out, &mut st);
+                    (out, st)
+                })
+            })
+            .collect();
+        for h in handles {
+            outputs.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    let mut result = Vec::with_capacity(outputs.iter().map(|(v, _)| v.len()).sum());
+    for (part, st) in &outputs {
+        result.extend_from_slice(part);
+        stats.merge(st);
+    }
+    stats.result_size = result.len();
+    (Context::from_sorted(result), stats)
+}
+
+/// Splits `len` steps into at most `threads` contiguous, non-empty chunks.
+fn chunk_bounds(len: usize, threads: usize) -> Vec<(usize, usize)> {
+    let workers = threads.max(1).min(len.max(1));
+    if len == 0 {
+        return Vec::new();
+    }
+    let base = len / workers;
+    let extra = len % workers;
+    let mut bounds = Vec::with_capacity(workers);
+    let mut lo = 0;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        bounds.push((lo, lo + size));
+        lo += size;
+    }
+    bounds
+}
+
+/// The pre rank where the partition after step index `hi - 1` ends.
+fn steps_end(steps: &[Pre], hi: usize, n: Pre) -> Pre {
+    steps.get(hi).copied().unwrap_or(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{random_context, random_doc};
+    use crate::{ancestor, descendant};
+
+    #[test]
+    fn chunk_bounds_cover_everything() {
+        for len in [0usize, 1, 2, 5, 16, 17, 100] {
+            for threads in [1usize, 2, 3, 8, 64] {
+                let chunks = chunk_bounds(len, threads);
+                if len == 0 {
+                    assert!(chunks.is_empty());
+                    continue;
+                }
+                assert_eq!(chunks.first().unwrap().0, 0);
+                assert_eq!(chunks.last().unwrap().1, len);
+                assert!(chunks.iter().all(|&(lo, hi)| lo < hi), "empty chunk: {len}/{threads}");
+                assert!(chunks.windows(2).all(|w| w[0].1 == w[1].0));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_descendant_equals_serial() {
+        for seed in 0..12 {
+            let doc = random_doc(seed, 700);
+            let ctx = random_context(&doc, seed ^ 0xD00D, 50);
+            let (serial, sstats) = descendant(&doc, &ctx, Variant::EstimationSkipping);
+            for threads in [1, 2, 3, 7] {
+                let (par, pstats) =
+                    descendant_parallel(&doc, &ctx, Variant::EstimationSkipping, threads);
+                assert_eq!(serial, par, "seed {seed}, threads {threads}");
+                assert_eq!(sstats.result_size, pstats.result_size);
+                assert_eq!(sstats.partitions, pstats.partitions);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_ancestor_equals_serial() {
+        for seed in 0..12 {
+            let doc = random_doc(seed, 700);
+            let ctx = random_context(&doc, seed ^ 0xE77E, 50);
+            let (serial, _) = ancestor(&doc, &ctx, Variant::Skipping);
+            for threads in [1, 2, 3, 7] {
+                let (par, _) = ancestor_parallel(&doc, &ctx, Variant::Skipping, threads);
+                assert_eq!(serial, par, "seed {seed}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_access_counts_match_serial() {
+        // Partitioning the staircase must not change which nodes the join
+        // touches — only who touches them.
+        let doc = random_doc(42, 1500);
+        let ctx = random_context(&doc, 0x1234, 80);
+        let (_, serial) = descendant(&doc, &ctx, Variant::Skipping);
+        let (_, par) = descendant_parallel(&doc, &ctx, Variant::Skipping, 4);
+        assert_eq!(serial.nodes_scanned, par.nodes_scanned);
+        assert_eq!(serial.nodes_skipped, par.nodes_skipped);
+        assert_eq!(serial.nodes_copied, par.nodes_copied);
+    }
+
+    #[test]
+    fn empty_context_parallel() {
+        let doc = random_doc(1, 100);
+        let (r, _) = descendant_parallel(&doc, &Context::empty(), Variant::Basic, 4);
+        assert!(r.is_empty());
+        let (r, _) = ancestor_parallel(&doc, &Context::empty(), Variant::Basic, 4);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_steps() {
+        let doc = random_doc(9, 300);
+        let ctx = Context::singleton(doc.root());
+        let (serial, _) = descendant(&doc, &ctx, Variant::EstimationSkipping);
+        let (par, _) = descendant_parallel(&doc, &ctx, Variant::EstimationSkipping, 16);
+        assert_eq!(serial, par);
+    }
+}

@@ -1,0 +1,120 @@
+//! Access-pattern statistics reported by every join.
+
+/// Exact node-access counts for one axis step.
+///
+/// The paper's Experiments 1 and 2 (Figure 11(a)/(c)) are plots of these
+/// counters, so they are first-class results rather than debug output.
+/// Invariants maintained by all join variants:
+///
+/// * `nodes_touched() = nodes_scanned + nodes_copied` — every touched node
+///   is either compared against the staircase boundary (scanned) or
+///   appended comparison-free by the copy phase (copied).
+/// * With skipping enabled, `nodes_touched() ≤ result_size + context_out +
+///   duplicates-free slack` (paper §3.3: at most `|result| + |context|`
+///   nodes are touched for `descendant`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepStats {
+    /// Context size before pruning.
+    pub context_in: usize,
+    /// Context size after pruning (the staircase's steps).
+    pub context_out: usize,
+    /// Nodes inspected with a postorder-rank comparison.
+    pub nodes_scanned: u64,
+    /// Nodes appended by the comparison-free copy phase (Algorithm 4).
+    pub nodes_copied: u64,
+    /// Nodes jumped over without being touched at all.
+    pub nodes_skipped: u64,
+    /// Number of result nodes.
+    pub result_size: usize,
+    /// Number of plane partitions visited (one per staircase step).
+    pub partitions: usize,
+}
+
+impl StepStats {
+    /// Total nodes the join touched (read from memory).
+    pub fn nodes_touched(&self) -> u64 {
+        self.nodes_scanned + self.nodes_copied
+    }
+
+    /// Context nodes removed by pruning.
+    pub fn pruned(&self) -> usize {
+        self.context_in - self.context_out
+    }
+
+    /// Merges per-partition statistics (used by the parallel join).
+    pub fn merge(&mut self, other: &StepStats) {
+        self.nodes_scanned += other.nodes_scanned;
+        self.nodes_copied += other.nodes_copied;
+        self.nodes_skipped += other.nodes_skipped;
+        self.result_size += other.result_size;
+        self.partitions += other.partitions;
+    }
+}
+
+impl std::fmt::Display for StepStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ctx {}→{}, scanned {}, copied {}, skipped {}, result {}, partitions {}",
+            self.context_in,
+            self.context_out,
+            self.nodes_scanned,
+            self.nodes_copied,
+            self.nodes_skipped,
+            self.result_size,
+            self.partitions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touched_is_scanned_plus_copied() {
+        let s = StepStats { nodes_scanned: 10, nodes_copied: 32, ..Default::default() };
+        assert_eq!(s.nodes_touched(), 42);
+    }
+
+    #[test]
+    fn pruned_counts_removed_context() {
+        let s = StepStats { context_in: 10, context_out: 4, ..Default::default() };
+        assert_eq!(s.pruned(), 6);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = StepStats {
+            context_in: 5,
+            context_out: 5,
+            nodes_scanned: 1,
+            nodes_copied: 2,
+            nodes_skipped: 3,
+            result_size: 4,
+            partitions: 1,
+        };
+        let b = StepStats {
+            nodes_scanned: 10,
+            nodes_copied: 20,
+            nodes_skipped: 30,
+            result_size: 40,
+            partitions: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.nodes_scanned, 11);
+        assert_eq!(a.nodes_copied, 22);
+        assert_eq!(a.nodes_skipped, 33);
+        assert_eq!(a.result_size, 44);
+        assert_eq!(a.partitions, 3);
+        assert_eq!(a.context_in, 5); // context fields not merged
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = StepStats { context_in: 2, context_out: 1, ..Default::default() };
+        let text = s.to_string();
+        assert!(text.contains("ctx 2→1"));
+    }
+}

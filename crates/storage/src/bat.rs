@@ -1,0 +1,159 @@
+//! Binary association tables (BATs) with a void head.
+
+use crate::column::VoidColumn;
+
+/// A binary association table whose head is a [`VoidColumn`] and whose tail
+/// is a dense, typed column.
+///
+/// This is the storage shape of every column of the paper's `doc` table:
+/// `pre` (head, virtual) against `post`/`level`/`kind`/`tag` (tail). All
+/// accesses by head value are positional; sequential scans over the tail
+/// read a contiguous `&[T]`, the access pattern §4.3 depends on for its
+/// bandwidth analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bat<T> {
+    head: VoidColumn,
+    tail: Vec<T>,
+}
+
+impl<T: Copy> Bat<T> {
+    /// Builds a BAT from a tail column; head values start at `seq`.
+    pub fn from_tail(seq: u32, tail: Vec<T>) -> Bat<T> {
+        assert!(tail.len() <= u32::MAX as usize, "BAT exceeds 2^32 rows");
+        Bat { head: VoidColumn::new(seq, tail.len() as u32), tail }
+    }
+
+    /// An empty BAT with head sequence starting at `seq`.
+    pub fn new(seq: u32) -> Bat<T> {
+        Bat::from_tail(seq, Vec::new())
+    }
+
+    /// Pre-allocates an empty BAT expecting `capacity` rows.
+    pub fn with_capacity(seq: u32, capacity: usize) -> Bat<T> {
+        Bat { head: VoidColumn::new(seq, 0), tail: Vec::with_capacity(capacity) }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// `true` when the BAT holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tail.is_empty()
+    }
+
+    /// The head column.
+    #[inline]
+    pub fn head(&self) -> VoidColumn {
+        self.head
+    }
+
+    /// The tail column as a contiguous slice.
+    #[inline]
+    pub fn tail(&self) -> &[T] {
+        &self.tail
+    }
+
+    /// Tail value at `position`.
+    #[inline]
+    pub fn tail_at(&self, position: usize) -> T {
+        self.tail[position]
+    }
+
+    /// Tail value for head value `head` (positional lookup), `None` if the
+    /// head value is outside the sequence.
+    #[inline]
+    pub fn lookup(&self, head: u32) -> Option<T> {
+        self.head.position_of(head).map(|p| self.tail[p])
+    }
+
+    /// Appends a row; the head value is implicit.
+    #[inline]
+    pub fn append(&mut self, value: T) {
+        self.tail.push(value);
+        self.head = VoidColumn::new(self.head.seq(), self.tail.len() as u32);
+    }
+
+    /// Iterates `(head, tail)` pairs in head order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, T)> + '_ {
+        self.head.iter().zip(self.tail.iter().copied())
+    }
+
+    /// A sub-slice of the tail for head range `[from, to)` (clamped).
+    pub fn slice(&self, from: u32, to: u32) -> &[T] {
+        let lo = self.head.position_of(from).unwrap_or_else(|| {
+            if from < self.head.seq() {
+                0
+            } else {
+                self.len()
+            }
+        });
+        let hi = if to <= from {
+            lo
+        } else {
+            self.head
+                .position_of(to.saturating_sub(1))
+                .map(|p| p + 1)
+                .unwrap_or_else(|| if to <= self.head.seq() { 0 } else { self.len() })
+        };
+        &self.tail[lo.min(self.len())..hi.min(self.len()).max(lo.min(self.len()))]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let bat = Bat::from_tail(0, vec![9u32, 1, 0, 2, 8]);
+        assert_eq!(bat.len(), 5);
+        assert_eq!(bat.lookup(0), Some(9));
+        assert_eq!(bat.lookup(4), Some(8));
+        assert_eq!(bat.lookup(5), None);
+    }
+
+    #[test]
+    fn nonzero_seq_lookup() {
+        let bat = Bat::from_tail(100, vec![7u32, 8]);
+        assert_eq!(bat.lookup(100), Some(7));
+        assert_eq!(bat.lookup(101), Some(8));
+        assert_eq!(bat.lookup(0), None);
+    }
+
+    #[test]
+    fn append_extends_head() {
+        let mut bat = Bat::<u32>::new(5);
+        bat.append(42);
+        bat.append(43);
+        assert_eq!(bat.len(), 2);
+        assert_eq!(bat.lookup(6), Some(43));
+        assert_eq!(bat.head().len(), 2);
+    }
+
+    #[test]
+    fn iter_pairs() {
+        let bat = Bat::from_tail(2, vec![10u32, 20]);
+        let pairs: Vec<_> = bat.iter().collect();
+        assert_eq!(pairs, [(2, 10), (3, 20)]);
+    }
+
+    #[test]
+    fn slice_clamps() {
+        let bat = Bat::from_tail(10, vec![0u32, 1, 2, 3, 4]);
+        assert_eq!(bat.slice(11, 14), &[1, 2, 3]);
+        assert_eq!(bat.slice(0, 12), &[0, 1]);
+        assert_eq!(bat.slice(13, 99), &[3, 4]);
+        assert_eq!(bat.slice(99, 100), &[] as &[u32]);
+        assert_eq!(bat.slice(12, 12), &[] as &[u32]);
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let bat = Bat::<u8>::with_capacity(0, 1024);
+        assert!(bat.is_empty());
+    }
+}

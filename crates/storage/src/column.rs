@@ -1,0 +1,99 @@
+//! The `void` (virtual oid) column type.
+
+/// A *virtual oid* column: the contiguous sequence `seq, seq+1, …,
+/// seq+count-1` of which only the offset and length are stored.
+///
+/// Monet uses this type for any dense, duplicate-free, ascending identifier
+/// column. In the staircase-join encoding the preorder ranks form exactly
+/// such a sequence, which (a) halves the storage footprint of the `doc`
+/// table and (b) turns every pre-rank lookup into a positional array access
+/// — both facts the paper's §4.1 relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VoidColumn {
+    seq: u32,
+    count: u32,
+}
+
+impl VoidColumn {
+    /// A void column `seq .. seq+count`.
+    pub fn new(seq: u32, count: u32) -> VoidColumn {
+        VoidColumn { seq, count }
+    }
+
+    /// First value of the sequence.
+    #[inline]
+    pub fn seq(&self) -> u32 {
+        self.seq
+    }
+
+    /// Number of values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// `true` when the column holds no values.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The value at `position` (`None` out of bounds).
+    #[inline]
+    pub fn get(&self, position: usize) -> Option<u32> {
+        (position < self.count as usize).then(|| self.seq + position as u32)
+    }
+
+    /// The position of `value` inside the sequence (`None` if absent).
+    ///
+    /// This is the *positional lookup* that makes pre-rank → record access
+    /// O(1) without any index structure.
+    #[inline]
+    pub fn position_of(&self, value: u32) -> Option<usize> {
+        (value >= self.seq && value < self.seq + self.count).then(|| (value - self.seq) as usize)
+    }
+
+    /// Iterates the sequence values.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = u32> {
+        self.seq..self.seq + self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_sequence() {
+        let v = VoidColumn::new(10, 4);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.get(0), Some(10));
+        assert_eq!(v.get(3), Some(13));
+        assert_eq!(v.get(4), None);
+    }
+
+    #[test]
+    fn positional_lookup() {
+        let v = VoidColumn::new(100, 50);
+        assert_eq!(v.position_of(100), Some(0));
+        assert_eq!(v.position_of(149), Some(49));
+        assert_eq!(v.position_of(150), None);
+        assert_eq!(v.position_of(99), None);
+    }
+
+    #[test]
+    fn empty_column() {
+        let v = VoidColumn::new(0, 0);
+        assert!(v.is_empty());
+        assert_eq!(v.get(0), None);
+        assert_eq!(v.iter().count(), 0);
+    }
+
+    #[test]
+    fn iter_matches_get() {
+        let v = VoidColumn::new(7, 5);
+        let via_iter: Vec<_> = v.iter().collect();
+        let via_get: Vec<_> = (0..v.len()).map(|i| v.get(i).unwrap()).collect();
+        assert_eq!(via_iter, via_get);
+    }
+}

@@ -1,0 +1,203 @@
+//! `xq` — query XML files with staircase-join-powered XPath.
+//!
+//! ```text
+//! xq <XPATH> [FILE]                 query FILE (or stdin)
+//! xq --encode <FILE> <OUT.scj>     encode an XML file to the binary plane
+//! xq <XPATH> --encoded <FILE.scj>  query a pre-encoded document
+//!
+//! options:
+//!   --engine staircase|pushdown|fragmented|parallel|naive|sql
+//!   --count          print only the number of matching nodes
+//!   --stats          print per-step statistics to stderr
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! xq '//open_auction[bidder/increase]/@id' auctions.xml
+//! xq --encode auctions.xml auctions.scj
+//! xq '/descendant::increase/ancestor::bidder' --encoded auctions.scj --stats
+//! ```
+
+use std::io::Read;
+use std::process::exit;
+
+use staircase_suite::prelude::*;
+
+struct Options {
+    query: Option<String>,
+    file: Option<String>,
+    encoded: Option<String>,
+    encode_to: Option<(String, String)>,
+    engine: Engine,
+    count_only: bool,
+    stats: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: xq <XPATH> [FILE] [--engine E] [--count] [--stats]\n\
+         \u{20}      xq --encode <FILE> <OUT.scj>\n\
+         \u{20}      xq <XPATH> --encoded <FILE.scj>\n\
+         engines: staircase (default) | pushdown | fragmented | parallel | naive | sql"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        query: None,
+        file: None,
+        encoded: None,
+        encode_to: None,
+        engine: Engine::default(),
+        count_only: false,
+        stats: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--encode" => {
+                let src = args.next().unwrap_or_else(|| usage());
+                let dst = args.next().unwrap_or_else(|| usage());
+                opts.encode_to = Some((src, dst));
+            }
+            "--encoded" => opts.encoded = Some(args.next().unwrap_or_else(|| usage())),
+            "--engine" => {
+                opts.engine = match args.next().as_deref() {
+                    Some("staircase") => {
+                        Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: false }
+                    }
+                    Some("pushdown") => {
+                        Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: true }
+                    }
+                    Some("fragmented") => {
+                        Engine::Fragmented { variant: Variant::EstimationSkipping }
+                    }
+                    Some("parallel") => Engine::StaircaseParallel {
+                        variant: Variant::EstimationSkipping,
+                        threads: 4,
+                    },
+                    Some("naive") => Engine::Naive,
+                    Some("sql") => Engine::Sql { eq1_window: true, early_nametest: true },
+                    _ => usage(),
+                };
+            }
+            "--count" => opts.count_only = true,
+            "--stats" => opts.stats = true,
+            "--help" | "-h" => usage(),
+            other if opts.query.is_none() => opts.query = Some(other.to_string()),
+            other if opts.file.is_none() => opts.file = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn render_node(doc: &Doc, v: Pre) -> String {
+    match doc.kind(v) {
+        NodeKind::Element => format!("<{}>", doc.tag_name(v).unwrap_or("?")),
+        NodeKind::Attribute => format!(
+            "@{}={:?}",
+            doc.tag_name(v).unwrap_or("?"),
+            doc.content(v).unwrap_or("")
+        ),
+        NodeKind::Text => format!("text {:?}", truncate(doc.content(v).unwrap_or(""))),
+        NodeKind::Comment => format!("comment {:?}", truncate(doc.content(v).unwrap_or(""))),
+        NodeKind::Pi => format!("pi <?{}?>", doc.tag_name(v).unwrap_or("?")),
+    }
+}
+
+fn truncate(s: &str) -> &str {
+    let end = s
+        .char_indices()
+        .map(|(i, _)| i)
+        .take_while(|&i| i <= 40)
+        .last()
+        .unwrap_or(0);
+    &s[..end]
+}
+
+fn main() {
+    let opts = parse_args();
+
+    // Encoding mode.
+    if let Some((src, dst)) = &opts.encode_to {
+        let xml = std::fs::read_to_string(src).unwrap_or_else(|e| {
+            eprintln!("xq: cannot read {src}: {e}");
+            exit(1);
+        });
+        let doc = Doc::from_xml(&xml).unwrap_or_else(|e| {
+            eprintln!("xq: parse error in {src}: {e}");
+            exit(1);
+        });
+        std::fs::write(dst, doc.to_bytes()).unwrap_or_else(|e| {
+            eprintln!("xq: cannot write {dst}: {e}");
+            exit(1);
+        });
+        eprintln!(
+            "encoded {} nodes (height {}) from {src} into {dst}",
+            doc.len(),
+            doc.height()
+        );
+        return;
+    }
+
+    let Some(query) = &opts.query else { usage() };
+
+    // Document acquisition: pre-encoded plane, file, or stdin.
+    let doc = if let Some(path) = &opts.encoded {
+        let bytes = std::fs::read(path).unwrap_or_else(|e| {
+            eprintln!("xq: cannot read {path}: {e}");
+            exit(1);
+        });
+        Doc::from_bytes(&bytes).unwrap_or_else(|e| {
+            eprintln!("xq: {path}: {e}");
+            exit(1);
+        })
+    } else {
+        let xml = match &opts.file {
+            Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("xq: cannot read {path}: {e}");
+                exit(1);
+            }),
+            None => {
+                let mut buf = String::new();
+                std::io::stdin().read_to_string(&mut buf).unwrap_or_else(|e| {
+                    eprintln!("xq: cannot read stdin: {e}");
+                    exit(1);
+                });
+                buf
+            }
+        };
+        Doc::from_xml(&xml).unwrap_or_else(|e| {
+            eprintln!("xq: XML parse error: {e}");
+            exit(1);
+        })
+    };
+
+    let evaluator = Evaluator::new(&doc, opts.engine);
+    let out = evaluator.evaluate(query).unwrap_or_else(|e| {
+        eprintln!("xq: {e}");
+        exit(2);
+    });
+
+    if opts.stats {
+        for s in &out.stats.steps {
+            eprintln!(
+                "step {:<40} result {:>8}  touched {:>10}  duplicates {:>8}",
+                s.step,
+                s.result_size,
+                s.nodes_touched,
+                s.tuples_produced.saturating_sub(s.result_size as u64)
+            );
+        }
+    }
+    if opts.count_only {
+        println!("{}", out.result.len());
+        return;
+    }
+    for v in out.result.iter() {
+        println!("pre {:>8}  {}", v, render_node(&doc, v));
+    }
+}

@@ -1,0 +1,42 @@
+//! # staircase-suite
+//!
+//! Umbrella crate hosting the repository-level integration tests
+//! (`/tests`) and runnable examples (`/examples`). It re-exports the full
+//! public surface of the reproduction as a convenience prelude, so
+//! examples read like downstream user code:
+//!
+//! ```
+//! use staircase_suite::prelude::*;
+//!
+//! let doc = Doc::from_xml("<a><b/></a>").unwrap();
+//! let out = evaluate(&doc, "/descendant::b", Engine::default()).unwrap();
+//! assert_eq!(out.result.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+/// One-stop imports for examples and integration tests.
+pub mod prelude {
+    pub use staircase_accel::{Axis, Context, Doc, EncodingBuilder, NodeKind, Pre, Region};
+    pub use staircase_baselines::{mpmgjn_join, naive_step, SqlEngine, SqlPlanOptions};
+    pub use staircase_core::{
+        ancestor, ancestor_on_list, ancestor_parallel, axis_step, descendant, descendant_fused,
+        descendant_on_list, descendant_parallel, following, has_ancestor_in, has_child_in,
+        has_descendant_in, preceding, prune, StepStats, TagIndex, Variant,
+    };
+    pub use staircase_xmlgen::{generate, generate_xml, DocProfile, XmarkConfig};
+    pub use staircase_xml::{Document, PullParser};
+    pub use staircase_xpath::{evaluate, parse, Engine, Evaluator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_is_usable() {
+        let doc = Doc::from_xml("<a><b/><c/></a>").unwrap();
+        let (r, _) = descendant(&doc, &Context::singleton(0), Variant::default());
+        assert_eq!(r.len(), 2);
+    }
+}

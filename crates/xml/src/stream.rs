@@ -1,0 +1,224 @@
+//! Streaming event writer: the output half of a DOM-free pipeline.
+//!
+//! [`EventWriter`] consumes [`Event`]s (typically straight from a
+//! [`PullParser`]) and produces XML text, checking well-formedness as it
+//! goes. Together with the pull parser this gives an identity transform
+//! over arbitrarily large documents in constant memory — the shape a
+//! database export path needs.
+
+use crate::escape::{escape_attribute, escape_text};
+use crate::reader::Event;
+
+/// Errors produced by [`EventWriter`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteError {
+    /// An `EndTag` without a matching open element.
+    UnbalancedEnd,
+    /// `finish` called with elements still open.
+    UnclosedElements(usize),
+    /// An `EndTag` whose name does not match the open element.
+    MismatchedEnd {
+        /// Name of the innermost open element.
+        expected: String,
+        /// Name in the end event.
+        found: String,
+    },
+}
+
+impl std::fmt::Display for WriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WriteError::UnbalancedEnd => write!(f, "end tag without open element"),
+            WriteError::UnclosedElements(n) => write!(f, "{n} element(s) left open"),
+            WriteError::MismatchedEnd { expected, found } => {
+                write!(f, "end tag </{found}> does not match <{expected}>")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WriteError {}
+
+/// Writes a stream of events as XML text.
+///
+/// ```
+/// use staircase_xml::{Event, EventWriter, PullParser};
+///
+/// let input = "<a x='1'><b>hi</b><!--c--></a>";
+/// let mut w = EventWriter::new();
+/// let mut p = PullParser::new(input);
+/// loop {
+///     match p.next_event().unwrap() {
+///         Event::Eof => break,
+///         ev => w.write(&ev).unwrap(),
+///     }
+/// }
+/// assert_eq!(w.finish().unwrap(), r#"<a x="1"><b>hi</b><!--c--></a>"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct EventWriter {
+    out: String,
+    stack: Vec<String>,
+}
+
+impl EventWriter {
+    /// A writer with an empty buffer.
+    pub fn new() -> EventWriter {
+        EventWriter::default()
+    }
+
+    /// Appends one event.
+    pub fn write(&mut self, event: &Event<'_>) -> Result<(), WriteError> {
+        match event {
+            Event::StartTag { name, attributes, self_closing } => {
+                self.out.push('<');
+                self.out.push_str(name);
+                for a in attributes {
+                    self.out.push(' ');
+                    self.out.push_str(a.name);
+                    self.out.push_str("=\"");
+                    self.out.push_str(&escape_attribute(&a.value));
+                    self.out.push('"');
+                }
+                if *self_closing {
+                    self.out.push_str("/>");
+                } else {
+                    self.out.push('>');
+                    self.stack.push(name.to_string());
+                }
+            }
+            Event::EndTag { name } => match self.stack.pop() {
+                None => return Err(WriteError::UnbalancedEnd),
+                Some(open) if open != *name => {
+                    return Err(WriteError::MismatchedEnd {
+                        expected: open,
+                        found: name.to_string(),
+                    })
+                }
+                Some(_) => {
+                    self.out.push_str("</");
+                    self.out.push_str(name);
+                    self.out.push('>');
+                }
+            },
+            Event::Text(t) => self.out.push_str(&escape_text(t)),
+            Event::CData(t) => {
+                self.out.push_str("<![CDATA[");
+                self.out.push_str(t);
+                self.out.push_str("]]>");
+            }
+            Event::Comment(c) => {
+                self.out.push_str("<!--");
+                self.out.push_str(c);
+                self.out.push_str("-->");
+            }
+            Event::ProcessingInstruction { target, data } => {
+                self.out.push_str("<?");
+                self.out.push_str(target);
+                if !data.is_empty() {
+                    self.out.push(' ');
+                    self.out.push_str(data);
+                }
+                self.out.push_str("?>");
+            }
+            Event::Eof => {}
+        }
+        Ok(())
+    }
+
+    /// Finalises the stream, returning the XML text.
+    pub fn finish(self) -> Result<String, WriteError> {
+        if !self.stack.is_empty() {
+            return Err(WriteError::UnclosedElements(self.stack.len()));
+        }
+        Ok(self.out)
+    }
+
+    /// The text produced so far (for incremental flushing).
+    pub fn buffer(&self) -> &str {
+        &self.out
+    }
+}
+
+/// Convenience: re-serializes `input` through the parse → write pipeline
+/// (an identity transform modulo attribute-quote and entity
+/// normalisation).
+pub fn canonicalize(input: &str) -> crate::error::Result<String> {
+    let mut parser = crate::reader::PullParser::new(input);
+    let mut writer = EventWriter::new();
+    loop {
+        match parser.next_event()? {
+            Event::Eof => break,
+            ev => writer.write(&ev).expect("parser emits balanced events"),
+        }
+    }
+    Ok(writer.finish().expect("parser emits balanced events"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::Attribute;
+
+    #[test]
+    fn canonicalize_is_stable() {
+        let once = canonicalize("<a x='1'>1 &lt; 2<b/><!--c--><?p d?></a>").unwrap();
+        let twice = canonicalize(&once).unwrap();
+        assert_eq!(once, twice);
+        assert_eq!(once, r#"<a x="1">1 &lt; 2<b/><!--c--><?p d?></a>"#);
+    }
+
+    #[test]
+    fn cdata_preserved_verbatim() {
+        let out = canonicalize("<a><![CDATA[<raw> & markup]]></a>").unwrap();
+        assert_eq!(out, "<a><![CDATA[<raw> & markup]]></a>");
+        // And it still parses back to the same text content.
+        let doc = crate::Document::parse(&out).unwrap();
+        assert_eq!(doc.text_content(doc.root_element().unwrap()), "<raw> & markup");
+    }
+
+    #[test]
+    fn unbalanced_end_rejected() {
+        let mut w = EventWriter::new();
+        assert_eq!(w.write(&Event::EndTag { name: "a" }), Err(WriteError::UnbalancedEnd));
+    }
+
+    #[test]
+    fn mismatched_end_rejected() {
+        let mut w = EventWriter::new();
+        w.write(&Event::StartTag { name: "a", attributes: vec![], self_closing: false })
+            .unwrap();
+        let err = w.write(&Event::EndTag { name: "b" }).unwrap_err();
+        assert!(matches!(err, WriteError::MismatchedEnd { .. }));
+    }
+
+    #[test]
+    fn unclosed_elements_rejected_at_finish() {
+        let mut w = EventWriter::new();
+        w.write(&Event::StartTag { name: "a", attributes: vec![], self_closing: false })
+            .unwrap();
+        assert_eq!(w.finish(), Err(WriteError::UnclosedElements(1)));
+    }
+
+    #[test]
+    fn attributes_escaped() {
+        let mut w = EventWriter::new();
+        w.write(&Event::StartTag {
+            name: "a",
+            attributes: vec![Attribute { name: "x", value: "a\"b".into() }],
+            self_closing: true,
+        })
+        .unwrap();
+        assert_eq!(w.finish().unwrap(), r#"<a x="a&quot;b"/>"#);
+    }
+
+    #[test]
+    fn buffer_allows_incremental_reads() {
+        let mut w = EventWriter::new();
+        w.write(&Event::StartTag { name: "a", attributes: vec![], self_closing: false })
+            .unwrap();
+        assert_eq!(w.buffer(), "<a>");
+        w.write(&Event::EndTag { name: "a" }).unwrap();
+        assert_eq!(w.buffer(), "<a></a>");
+    }
+}

@@ -1,0 +1,370 @@
+//! Arena-backed DOM-lite document tree.
+//!
+//! The tree mirrors the node taxonomy of the paper's Figure 1: inner nodes
+//! are non-empty elements; leaves are empty elements, attributes, text,
+//! comments, or processing instructions. Attributes are stored on their
+//! owning element (they participate in the XPath-accelerator encoding via a
+//! special node kind, handled by `staircase-accel`, not here).
+
+use std::fmt;
+
+use crate::error::Result;
+use crate::reader::{Event, PullParser};
+
+/// Index of a node inside a [`Document`] arena.
+///
+/// Node ids are assigned in *document order* (preorder), a property the
+/// encoding loader and several tests rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The payload of a tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The document node (virtual root; exactly one, id 0).
+    Document,
+    /// An element with a tag name and attributes in document order.
+    Element {
+        /// Tag name.
+        name: String,
+        /// `(name, value)` pairs in document order.
+        attributes: Vec<(String, String)>,
+    },
+    /// A text node (CDATA sections are folded into text).
+    Text(String),
+    /// A comment node.
+    Comment(String),
+    /// A processing instruction.
+    Pi {
+        /// The PI target.
+        target: String,
+        /// The PI data.
+        data: String,
+    },
+}
+
+struct NodeData {
+    kind: NodeKind,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+}
+
+/// An in-memory XML document.
+///
+/// Nodes live in an arena indexed by [`NodeId`]; id 0 is the document node.
+pub struct Document {
+    nodes: Vec<NodeData>,
+}
+
+impl Document {
+    /// Creates an empty document (document node only).
+    pub fn new() -> Document {
+        Document {
+            nodes: vec![NodeData { kind: NodeKind::Document, parent: None, children: Vec::new() }],
+        }
+    }
+
+    /// Parses `input` into a document tree.
+    ///
+    /// Consecutive text/CDATA events are merged into a single text node, so
+    /// the tree has no adjacent text siblings (the XPath data model property
+    /// the accelerator assumes).
+    pub fn parse(input: &str) -> Result<Document> {
+        let mut doc = Document::new();
+        let mut parser = PullParser::new(input);
+        let mut stack = vec![doc.document_node()];
+        loop {
+            match parser.next_event()? {
+                Event::StartTag { name, attributes, self_closing } => {
+                    let attrs = attributes
+                        .into_iter()
+                        .map(|a| (a.name.to_string(), a.value.into_owned()))
+                        .collect();
+                    let id = doc.append_element(*stack.last().unwrap(), name, attrs);
+                    if !self_closing {
+                        stack.push(id);
+                    }
+                }
+                Event::EndTag { .. } => {
+                    stack.pop();
+                }
+                Event::Text(t) => doc.append_text(*stack.last().unwrap(), &t),
+                Event::CData(t) => doc.append_text(*stack.last().unwrap(), t),
+                Event::Comment(c) => {
+                    doc.append_child(*stack.last().unwrap(), NodeKind::Comment(c.to_string()));
+                }
+                Event::ProcessingInstruction { target, data } => {
+                    doc.append_child(
+                        *stack.last().unwrap(),
+                        NodeKind::Pi { target: target.to_string(), data: data.to_string() },
+                    );
+                }
+                Event::Eof => break,
+            }
+        }
+        Ok(doc)
+    }
+
+    /// The document node (virtual root).
+    pub fn document_node(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// The root *element*, if any.
+    pub fn root_element(&self) -> Option<NodeId> {
+        self.children(self.document_node())
+            .find(|&c| matches!(self.kind(c), NodeKind::Element { .. }))
+    }
+
+    /// Total number of nodes (including the document node).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the document holds only the document node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// The kind of `id`.
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.nodes[id.idx()].kind
+    }
+
+    /// The element name of `id`, if it is an element.
+    pub fn name(&self, id: NodeId) -> Option<&str> {
+        match self.kind(id) {
+            NodeKind::Element { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// The attributes of `id` (empty for non-elements).
+    pub fn attributes(&self, id: NodeId) -> &[(String, String)] {
+        match self.kind(id) {
+            NodeKind::Element { attributes, .. } => attributes,
+            _ => &[],
+        }
+    }
+
+    /// Looks up one attribute value on `id`.
+    pub fn attribute(&self, id: NodeId, name: &str) -> Option<&str> {
+        self.attributes(id).iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The parent of `id` (`None` for the document node).
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.idx()].parent
+    }
+
+    /// The children of `id` in document order.
+    pub fn children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes[id.idx()].children.iter().copied()
+    }
+
+    /// All descendants of `id` in document order (excluding `id`).
+    pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        Descendants { doc: self, stack: self.nodes[id.idx()].children.iter().rev().copied().collect() }
+    }
+
+    /// The concatenated text content beneath `id`.
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        out
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        match self.kind(id) {
+            NodeKind::Text(t) => out.push_str(t),
+            _ => {
+                for c in self.children(id) {
+                    self.collect_text(c, out);
+                }
+            }
+        }
+    }
+
+    /// Appends a new element under `parent`; returns its id.
+    pub fn append_element(
+        &mut self,
+        parent: NodeId,
+        name: &str,
+        attributes: Vec<(String, String)>,
+    ) -> NodeId {
+        self.append_child(parent, NodeKind::Element { name: name.to_string(), attributes })
+    }
+
+    /// Appends text under `parent`, merging with a trailing text sibling.
+    pub fn append_text(&mut self, parent: NodeId, text: &str) {
+        if let Some(&last) = self.nodes[parent.idx()].children.last() {
+            if let NodeKind::Text(existing) = &mut self.nodes[last.idx()].kind {
+                existing.push_str(text);
+                return;
+            }
+        }
+        self.append_child(parent, NodeKind::Text(text.to_string()));
+    }
+
+    /// Adds an attribute to an existing element node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an element.
+    pub fn push_attribute(&mut self, id: NodeId, name: &str, value: &str) {
+        match &mut self.nodes[id.idx()].kind {
+            NodeKind::Element { attributes, .. } => {
+                attributes.push((name.to_string(), value.to_string()));
+            }
+            other => panic!("push_attribute on non-element node {other:?}"),
+        }
+    }
+
+    /// Appends an arbitrary node under `parent`; returns its id.
+    pub fn append_child(&mut self, parent: NodeId, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData { kind, parent: Some(parent), children: Vec::new() });
+        self.nodes[parent.idx()].children.push(id);
+        id
+    }
+
+    /// Serializes the document to a string (no pretty-printing).
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        crate::writer::write_document(self, &mut out, &crate::writer::WriteOptions::default());
+        out
+    }
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Document::new()
+    }
+}
+
+impl fmt::Debug for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Document({} nodes)", self.nodes.len())
+    }
+}
+
+/// Preorder iterator over the descendants of a node.
+pub struct Descendants<'d> {
+    doc: &'d Document,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        self.stack.extend(self.doc.nodes[id.idx()].children.iter().rev().copied());
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_builds_expected_shape() {
+        let doc = Document::parse("<a><b>x</b><c y='1'/></a>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.name(root), Some("a"));
+        let kids: Vec<_> = doc.children(root).collect();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(doc.name(kids[0]), Some("b"));
+        assert_eq!(doc.attribute(kids[1], "y"), Some("1"));
+        assert_eq!(doc.text_content(root), "x");
+    }
+
+    #[test]
+    fn node_ids_are_document_order() {
+        let doc = Document::parse("<a><b><c/></b><d/></a>").unwrap();
+        let names: Vec<_> = doc
+            .descendants(doc.document_node())
+            .filter_map(|n| doc.name(n).map(str::to_string))
+            .collect();
+        assert_eq!(names, ["a", "b", "c", "d"]);
+        // Preorder ids are strictly increasing along the iterator.
+        let ids: Vec<_> = doc.descendants(doc.document_node()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn adjacent_text_merged() {
+        let doc = Document::parse("<a>one<![CDATA[two]]>three</a>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.children(root).count(), 1);
+        assert_eq!(doc.text_content(root), "onetwothree");
+    }
+
+    #[test]
+    fn parent_links() {
+        let doc = Document::parse("<a><b><c/></b></a>").unwrap();
+        let root = doc.root_element().unwrap();
+        let b = doc.children(root).next().unwrap();
+        let c = doc.children(b).next().unwrap();
+        assert_eq!(doc.parent(c), Some(b));
+        assert_eq!(doc.parent(b), Some(root));
+        assert_eq!(doc.parent(root), Some(doc.document_node()));
+        assert_eq!(doc.parent(doc.document_node()), None);
+    }
+
+    #[test]
+    fn comments_and_pis_kept() {
+        let doc = Document::parse("<a><!--c--><?t d?></a>").unwrap();
+        let root = doc.root_element().unwrap();
+        let kids: Vec<_> = doc.children(root).collect();
+        assert!(matches!(doc.kind(kids[0]), NodeKind::Comment(c) if c == "c"));
+        assert!(matches!(doc.kind(kids[1]), NodeKind::Pi { target, .. } if target == "t"));
+    }
+
+    #[test]
+    fn figure_1_document_shape() {
+        // The 10-node instance of the paper's Figure 1: a is the root;
+        // f is the context node with children g (with h) and i (with j).
+        let doc = Document::parse(
+            "<a><b><c/><d/></b><e><f><g><h/></g><i><j/></i></f></e></a>",
+        )
+        .unwrap();
+        let all: Vec<_> = doc
+            .descendants(doc.document_node())
+            .filter_map(|n| doc.name(n).map(str::to_string))
+            .collect();
+        assert_eq!(all, ["a", "b", "c", "d", "e", "f", "g", "h", "i", "j"]);
+    }
+
+    #[test]
+    fn empty_document_helpers() {
+        let doc = Document::new();
+        assert!(doc.is_empty());
+        assert_eq!(doc.len(), 1);
+        assert!(doc.root_element().is_none());
+    }
+
+    #[test]
+    fn build_programmatically_and_serialize() {
+        let mut doc = Document::new();
+        let root = doc.append_element(doc.document_node(), "r", vec![]);
+        let child = doc.append_element(root, "c", vec![("k".into(), "v".into())]);
+        doc.append_text(child, "body");
+        assert_eq!(doc.to_xml(), r#"<r><c k="v">body</c></r>"#);
+    }
+}

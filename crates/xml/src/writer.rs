@@ -1,0 +1,205 @@
+//! Serialization of [`Document`] trees back to XML text.
+
+use crate::escape::{escape_attribute, escape_text};
+use crate::tree::{Document, NodeId, NodeKind};
+
+/// Options controlling serialization.
+#[derive(Debug, Clone)]
+pub struct WriteOptions {
+    /// Emit `<?xml version="1.0" encoding="UTF-8"?>` first.
+    pub declaration: bool,
+    /// Indent width for pretty-printing; `None` emits compact output.
+    ///
+    /// Pretty-printing inserts whitespace between markup and is therefore
+    /// only loss-free for documents without mixed content.
+    pub indent: Option<usize>,
+    /// Collapse childless elements to `<e/>`.
+    pub self_close_empty: bool,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions { declaration: false, indent: None, self_close_empty: true }
+    }
+}
+
+/// Serializes a whole document into `out`.
+pub fn write_document(doc: &Document, out: &mut String, opts: &WriteOptions) {
+    if opts.declaration {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if opts.indent.is_some() {
+            out.push('\n');
+        }
+    }
+    for child in doc.children(doc.document_node()) {
+        write_node_at(doc, child, out, opts, 0);
+    }
+    if opts.indent.is_some() && !out.ends_with('\n') {
+        out.push('\n');
+    }
+}
+
+/// Serializes the subtree rooted at `id` into `out`.
+pub fn write_node(doc: &Document, id: NodeId, out: &mut String, opts: &WriteOptions) {
+    write_node_at(doc, id, out, opts, 0);
+}
+
+fn write_node_at(doc: &Document, id: NodeId, out: &mut String, opts: &WriteOptions, depth: usize) {
+    let indent = |out: &mut String, depth: usize| {
+        if let Some(w) = opts.indent {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            for _ in 0..depth * w {
+                out.push(' ');
+            }
+        }
+    };
+    match doc.kind(id) {
+        NodeKind::Document => {
+            for c in doc.children(id) {
+                write_node_at(doc, c, out, opts, depth);
+            }
+        }
+        NodeKind::Element { name, attributes } => {
+            indent(out, depth);
+            out.push('<');
+            out.push_str(name);
+            for (k, v) in attributes {
+                out.push(' ');
+                out.push_str(k);
+                out.push_str("=\"");
+                out.push_str(&escape_attribute(v));
+                out.push('"');
+            }
+            let mut children = doc.children(id).peekable();
+            if children.peek().is_none() && opts.self_close_empty {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            let only_text = doc.children(id).all(|c| matches!(doc.kind(c), NodeKind::Text(_)));
+            for c in children {
+                if only_text {
+                    // Keep text inline even when pretty-printing.
+                    if let NodeKind::Text(t) = doc.kind(c) {
+                        out.push_str(&escape_text(t));
+                    }
+                } else {
+                    write_node_at(doc, c, out, opts, depth + 1);
+                }
+            }
+            if !only_text {
+                indent(out, depth);
+            }
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+        }
+        NodeKind::Text(t) => {
+            out.push_str(&escape_text(t));
+        }
+        NodeKind::Comment(c) => {
+            indent(out, depth);
+            out.push_str("<!--");
+            out.push_str(c);
+            out.push_str("-->");
+        }
+        NodeKind::Pi { target, data } => {
+            indent(out, depth);
+            out.push_str("<?");
+            out.push_str(target);
+            if !data.is_empty() {
+                out.push(' ');
+                out.push_str(data);
+            }
+            out.push_str("?>");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(input: &str) -> String {
+        Document::parse(input).unwrap().to_xml()
+    }
+
+    #[test]
+    fn compact_roundtrip() {
+        assert_eq!(roundtrip("<a><b>x</b><c/></a>"), "<a><b>x</b><c/></a>");
+    }
+
+    #[test]
+    fn attributes_escaped() {
+        let doc = Document::parse(r#"<a x="a&amp;b"/>"#).unwrap();
+        assert_eq!(doc.to_xml(), r#"<a x="a&amp;b"/>"#);
+    }
+
+    #[test]
+    fn text_escaped() {
+        assert_eq!(roundtrip("<a>1 &lt; 2</a>"), "<a>1 &lt; 2</a>");
+    }
+
+    #[test]
+    fn declaration_emitted() {
+        let doc = Document::parse("<a/>").unwrap();
+        let mut out = String::new();
+        write_document(
+            &doc,
+            &mut out,
+            &WriteOptions { declaration: true, ..WriteOptions::default() },
+        );
+        assert!(out.starts_with("<?xml version=\"1.0\""));
+    }
+
+    #[test]
+    fn pretty_print_indents() {
+        let doc = Document::parse("<a><b><c/></b></a>").unwrap();
+        let mut out = String::new();
+        write_document(
+            &doc,
+            &mut out,
+            &WriteOptions { indent: Some(2), ..WriteOptions::default() },
+        );
+        assert_eq!(out, "<a>\n  <b>\n    <c/>\n  </b>\n</a>\n");
+    }
+
+    #[test]
+    fn pretty_print_keeps_text_inline() {
+        let doc = Document::parse("<a><b>hello</b></a>").unwrap();
+        let mut out = String::new();
+        write_document(
+            &doc,
+            &mut out,
+            &WriteOptions { indent: Some(2), ..WriteOptions::default() },
+        );
+        assert_eq!(out, "<a>\n  <b>hello</b>\n</a>\n");
+    }
+
+    #[test]
+    fn no_self_close_option() {
+        let doc = Document::parse("<a/>").unwrap();
+        let mut out = String::new();
+        write_document(
+            &doc,
+            &mut out,
+            &WriteOptions { self_close_empty: false, ..WriteOptions::default() },
+        );
+        assert_eq!(out, "<a></a>");
+    }
+
+    #[test]
+    fn comments_and_pis_roundtrip() {
+        assert_eq!(roundtrip("<a><!--hey--><?pi data?></a>"), "<a><!--hey--><?pi data?></a>");
+    }
+
+    #[test]
+    fn parse_serialize_parse_is_stable() {
+        let input = r#"<site><people><person id="p0"><name>A &amp; B</name></person></people></site>"#;
+        let once = roundtrip(input);
+        let twice = roundtrip(&once);
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests: arbitrary generated trees survive a serialize → parse →
+//! serialize round-trip, and parsing never panics on arbitrary input.
+
+use proptest::prelude::*;
+use staircase_xml::{Document, NodeId, NodeKind};
+
+/// A recursive tree blueprint we can turn into a [`Document`].
+#[derive(Debug, Clone)]
+enum Blueprint {
+    Element { name: String, attrs: Vec<(String, String)>, children: Vec<Blueprint> },
+    Text(String),
+    Comment(String),
+}
+
+fn xml_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_.-]{0,8}".prop_map(|s| s)
+}
+
+fn text_value() -> impl Strategy<Value = String> {
+    // Avoid raw control characters (not representable in XML 1.0) and the
+    // "]]>" sequence; everything else must survive escaping.
+    "[ -~äöü€]{0,20}".prop_map(|s| s.replace("]]>", "]] >"))
+}
+
+fn blueprint() -> impl Strategy<Value = Blueprint> {
+    let leaf = prop_oneof![
+        (xml_name(), proptest::collection::vec((xml_name(), text_value()), 0..3))
+            .prop_map(|(name, attrs)| Blueprint::Element { name, attrs: dedup(attrs), children: vec![] }),
+        text_value().prop_filter("non-empty text", |t| !t.is_empty()).prop_map(Blueprint::Text),
+        "[ -~&&[^-]]{0,10}".prop_map(Blueprint::Comment),
+    ];
+    leaf.prop_recursive(4, 64, 6, |inner| {
+        (xml_name(), proptest::collection::vec((xml_name(), text_value()), 0..3), proptest::collection::vec(inner, 0..6))
+            .prop_map(|(name, attrs, children)| Blueprint::Element {
+                name,
+                attrs: dedup(attrs),
+                children: merge_adjacent_text(children),
+            })
+    })
+}
+
+fn dedup(attrs: Vec<(String, String)>) -> Vec<(String, String)> {
+    let mut seen = std::collections::HashSet::new();
+    attrs.into_iter().filter(|(n, _)| seen.insert(n.clone())).collect()
+}
+
+/// The tree builder merges adjacent text nodes, so the blueprint must not
+/// contain them either or the comparison would differ trivially.
+fn merge_adjacent_text(children: Vec<Blueprint>) -> Vec<Blueprint> {
+    let mut out: Vec<Blueprint> = Vec::new();
+    for c in children {
+        if let (Some(Blueprint::Text(prev)), Blueprint::Text(t)) = (out.last_mut(), &c) {
+            prev.push_str(t);
+            continue;
+        }
+        out.push(c);
+    }
+    out
+}
+
+fn build(doc: &mut Document, parent: NodeId, bp: &Blueprint) {
+    match bp {
+        Blueprint::Element { name, attrs, children } => {
+            let id = doc.append_element(parent, name, attrs.clone());
+            for c in children {
+                build(doc, id, c);
+            }
+        }
+        Blueprint::Text(t) => doc.append_text(parent, t),
+        Blueprint::Comment(c) => {
+            doc.append_child(parent, NodeKind::Comment(c.clone()));
+        }
+    }
+}
+
+fn count_nodes(doc: &Document) -> usize {
+    doc.descendants(doc.document_node()).count()
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_preserves_serialization(bp in blueprint()) {
+        // Force a root element (documents need exactly one).
+        let bp = match bp {
+            e @ Blueprint::Element { .. } => e,
+            other => Blueprint::Element { name: "root".into(), attrs: vec![], children: vec![other] },
+        };
+        let mut doc = Document::new();
+        let docnode = doc.document_node();
+        build(&mut doc, docnode, &bp);
+        let xml = doc.to_xml();
+        let reparsed = Document::parse(&xml).expect("serialized output must parse");
+        prop_assert_eq!(count_nodes(&doc), count_nodes(&reparsed));
+        prop_assert_eq!(xml, reparsed.to_xml());
+    }
+
+    #[test]
+    fn parser_never_panics(input in "[ -~<>&'\"]{0,64}") {
+        let _ = Document::parse(&input);
+    }
+
+    /// The streaming parse→write pipeline is a fixpoint on serializer
+    /// output: canonicalize(x) == x for any serialized document.
+    #[test]
+    fn canonicalize_fixpoint(bp in blueprint()) {
+        let bp = match bp {
+            e @ Blueprint::Element { .. } => e,
+            other => Blueprint::Element { name: "root".into(), attrs: vec![], children: vec![other] },
+        };
+        let mut doc = Document::new();
+        let docnode = doc.document_node();
+        build(&mut doc, docnode, &bp);
+        let xml = doc.to_xml();
+        let canon = staircase_xml::canonicalize(&xml).expect("serializer output parses");
+        prop_assert_eq!(&canon, &xml);
+        prop_assert_eq!(staircase_xml::canonicalize(&canon).unwrap(), canon);
+    }
+
+    #[test]
+    fn parser_never_panics_unicode(input in ".{0,48}") {
+        let _ = Document::parse(&input);
+    }
+}

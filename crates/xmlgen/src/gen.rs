@@ -1,0 +1,669 @@
+//! The XMark-like generator core.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use staircase_accel::{Doc, EncodingBuilder, NodeKind};
+use staircase_xml::Document;
+
+use crate::sink::{DocumentSink, EncodingSink, GenSink};
+use crate::words::{CITIES, COUNTRIES, EDUCATION, FIRST_NAMES, LAST_NAMES, WORDS};
+
+/// Entity counts per unit of scale (1 scale unit ≈ 1 MB ≈ 50 000 nodes).
+/// The ratios mirror what the paper's Table 1 implies for XMark documents:
+/// ≈ 127 k profiles, ≈ 108 k open auctions, and ≈ 598 k increase elements
+/// per 50.8 M nodes.
+const PERSONS_PER_SCALE: f64 = 127.0;
+const OPEN_AUCTIONS_PER_SCALE: f64 = 107.0;
+const CLOSED_AUCTIONS_PER_SCALE: f64 = 97.0;
+const ITEMS_PER_SCALE: f64 = 217.0;
+const CATEGORIES_PER_SCALE: f64 = 25.0;
+
+/// Mean bidders per open auction (Table 1: 597 777 / 108 414 ≈ 5.5).
+const MEAN_BIDDERS: f64 = 5.5;
+/// Mean interests per profile (tuned so a profile has ≈ 14.4 non-attribute
+/// descendants, the Q1 intermediary-result ratio).
+const MEAN_INTERESTS: f64 = 9.0;
+/// Probability that a profile has an `education` child (Table 1:
+/// 63 793 / 127 984 ≈ 0.5).
+const P_EDUCATION: f64 = 0.5;
+/// Mean mails per item mailbox (filler mass so a scale unit lands near
+/// 50 000 nodes).
+const MEAN_MAILS: f64 = 6.0;
+/// Mean inline elements per mixed-content text block.
+const MEAN_INLINE: f64 = 3.0;
+
+const CONTINENTS: [&str; 6] =
+    ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+
+/// Configuration for one generated document.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XmarkConfig {
+    /// Document size knob: 1.0 ≈ 50 000 nodes (≈ 1 MB of XML text), the
+    /// paper's smallest instance; 1000.0 approximates its 1 GB instance.
+    pub scale: f64,
+    /// RNG seed; equal configs generate identical documents.
+    pub seed: u64,
+}
+
+impl XmarkConfig {
+    /// A config with the default seed.
+    pub fn new(scale: f64) -> XmarkConfig {
+        XmarkConfig { scale, seed: 0xC0FFEE }
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> XmarkConfig {
+        self.seed = seed;
+        self
+    }
+
+    fn count(&self, per_scale: f64) -> usize {
+        ((per_scale * self.scale).round() as usize).max(1)
+    }
+}
+
+impl Default for XmarkConfig {
+    fn default() -> Self {
+        XmarkConfig::new(1.0)
+    }
+}
+
+/// Generates a document straight into the XPath-accelerator encoding.
+pub fn generate(config: XmarkConfig) -> Doc {
+    let mut sink = EncodingSink { builder: EncodingBuilder::new() };
+    sink.builder.reserve((config.scale * 50_000.0) as usize);
+    Generator::new(config).run(&mut sink);
+    sink.builder.finish()
+}
+
+/// Generates an in-memory XML document tree.
+pub fn generate_document(config: XmarkConfig) -> Document {
+    let mut sink = DocumentSink::new();
+    Generator::new(config).run(&mut sink);
+    sink.doc
+}
+
+/// Generates XML text.
+pub fn generate_xml(config: XmarkConfig) -> String {
+    generate_document(config).to_xml()
+}
+
+struct Generator {
+    config: XmarkConfig,
+    rng: SmallRng,
+}
+
+impl Generator {
+    fn new(config: XmarkConfig) -> Generator {
+        Generator { config, rng: SmallRng::seed_from_u64(config.seed) }
+    }
+
+    /// Geometric sample with the given mean (support 0, 1, 2, …).
+    fn geometric(&mut self, mean: f64) -> usize {
+        let p = 1.0 / (mean + 1.0);
+        let u: f64 = self.rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        (u.ln() / (1.0 - p).ln()).floor() as usize
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen::<f64>() < p
+    }
+
+    fn word(&mut self) -> &'static str {
+        WORDS[self.rng.gen_range(0..WORDS.len())]
+    }
+
+    fn pick<T: Copy>(&mut self, pool: &[T]) -> T {
+        pool[self.rng.gen_range(0..pool.len())]
+    }
+
+    fn sentence(&mut self, words: usize) -> String {
+        let mut s = String::new();
+        for i in 0..words.max(1) {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push_str(self.word());
+        }
+        s
+    }
+
+    fn run(&mut self, sink: &mut impl GenSink) {
+        let persons = self.config.count(PERSONS_PER_SCALE);
+        let open_auctions = self.config.count(OPEN_AUCTIONS_PER_SCALE);
+        let closed_auctions = self.config.count(CLOSED_AUCTIONS_PER_SCALE);
+        let items = self.config.count(ITEMS_PER_SCALE);
+        let categories = self.config.count(CATEGORIES_PER_SCALE);
+
+        sink.open("site");
+        self.regions(sink, items, categories);
+        self.categories(sink, categories);
+        self.catgraph(sink, categories);
+        self.people(sink, persons, open_auctions);
+        self.open_auctions(sink, open_auctions, persons, items, categories);
+        self.closed_auctions(sink, closed_auctions, persons, items);
+        sink.close();
+    }
+
+    // ----- regions / items --------------------------------------------
+
+    fn regions(&mut self, sink: &mut impl GenSink, items: usize, categories: usize) {
+        sink.open("regions");
+        let mut item_id = 0usize;
+        for (ci, continent) in CONTINENTS.iter().enumerate() {
+            sink.open(continent);
+            // Distribute items round-robin-ish across continents.
+            let share = items / CONTINENTS.len()
+                + usize::from(ci < items % CONTINENTS.len());
+            for _ in 0..share {
+                // The very first item carries the document's forced
+                // maximum-depth description so height is always 11.
+                self.item(sink, item_id, categories, item_id == 0);
+                item_id += 1;
+            }
+            sink.close();
+        }
+        sink.close();
+    }
+
+    fn item(&mut self, sink: &mut impl GenSink, id: usize, categories: usize, force_deep: bool) {
+        sink.open("item");
+        sink.attr("id", &format!("item{id}"));
+        if self.chance(0.1) {
+            sink.attr("featured", "yes");
+        }
+        let location = self.pick(COUNTRIES).to_string();
+        self.leaf(sink, "location", &location);
+        self.leaf(sink, "quantity", "1");
+        let name = self.sentence(2);
+        self.leaf(sink, "name", &name);
+        self.leaf(sink, "payment", "Creditcard");
+        self.description(sink, force_deep);
+        self.leaf(sink, "shipping", "Will ship internationally");
+        let incats = 1 + self.geometric(0.5);
+        for _ in 0..incats {
+            sink.open("incategory");
+            let c = self.rng.gen_range(0..categories.max(1));
+            sink.attr("category", &format!("category{c}"));
+            sink.close();
+        }
+        sink.open("mailbox");
+        let mails = self.geometric(MEAN_MAILS);
+        for _ in 0..mails {
+            self.mail(sink);
+        }
+        sink.close();
+        sink.close();
+    }
+
+    fn mail(&mut self, sink: &mut impl GenSink) {
+        sink.open("mail");
+        let from = format!("{} {}", self.pick(FIRST_NAMES), self.pick(LAST_NAMES));
+        self.leaf(sink, "from", &from);
+        let to = format!("{} {}", self.pick(FIRST_NAMES), self.pick(LAST_NAMES));
+        self.leaf(sink, "to", &to);
+        self.leaf(sink, "date", "06/09/2026");
+        self.text_block(sink);
+        sink.close();
+    }
+
+    /// `description`: mixed content, occasionally a `parlist`. When
+    /// `force_deep` is set, emits the full XMark-depth nesting
+    /// `description/parlist/listitem/parlist/listitem/text/emph/keyword`
+    /// whose `keyword` sits at level 11 — pinning the document height.
+    fn description(&mut self, sink: &mut impl GenSink, force_deep: bool) {
+        sink.open("description");
+        if force_deep {
+            sink.open("parlist");
+            sink.open("listitem");
+            sink.open("parlist");
+            sink.open("listitem");
+            sink.open("text");
+            sink.text(self.word());
+            sink.open("emph");
+            sink.open("keyword");
+            sink.close(); // keyword (level 11, deliberately empty)
+            sink.close(); // emph
+            sink.close(); // text
+            sink.close(); // listitem
+            sink.close(); // parlist
+            sink.close(); // listitem
+            sink.close(); // parlist
+        } else if self.chance(0.3) {
+            sink.open("parlist");
+            let lis = 1 + self.geometric(1.0);
+            for _ in 0..lis {
+                sink.open("listitem");
+                self.text_block(sink);
+                sink.close();
+            }
+            sink.close();
+        } else {
+            self.text_block(sink);
+        }
+        sink.close();
+    }
+
+    /// A mixed-content `text` element: running text interleaved with
+    /// `bold`/`keyword`/`emph` inline elements.
+    fn text_block(&mut self, sink: &mut impl GenSink) {
+        sink.open("text");
+        let s = self.sentence(4);
+        sink.text(&s);
+        let inlines = self.geometric(MEAN_INLINE);
+        for _ in 0..inlines {
+            let tag = ["bold", "keyword", "emph"][self.rng.gen_range(0..3)];
+            let w = self.word();
+            self.leaf(sink, tag, w);
+            let s = self.sentence(3);
+            sink.text(&s);
+        }
+        sink.close();
+    }
+
+    // ----- categories ---------------------------------------------------
+
+    fn categories(&mut self, sink: &mut impl GenSink, categories: usize) {
+        sink.open("categories");
+        for id in 0..categories {
+            sink.open("category");
+            sink.attr("id", &format!("category{id}"));
+            let name = self.sentence(1);
+            self.leaf(sink, "name", &name);
+            self.description(sink, false);
+            sink.close();
+        }
+        sink.close();
+    }
+
+    fn catgraph(&mut self, sink: &mut impl GenSink, categories: usize) {
+        sink.open("catgraph");
+        for _ in 0..categories {
+            sink.open("edge");
+            let from = self.rng.gen_range(0..categories.max(1));
+            let to = self.rng.gen_range(0..categories.max(1));
+            sink.attr("from", &format!("category{from}"));
+            sink.attr("to", &format!("category{to}"));
+            sink.close();
+        }
+        sink.close();
+    }
+
+    // ----- people -------------------------------------------------------
+
+    fn people(&mut self, sink: &mut impl GenSink, persons: usize, auctions: usize) {
+        sink.open("people");
+        for id in 0..persons {
+            self.person(sink, id, auctions);
+        }
+        sink.close();
+    }
+
+    fn person(&mut self, sink: &mut impl GenSink, id: usize, auctions: usize) {
+        sink.open("person");
+        sink.attr("id", &format!("person{id}"));
+        let name = format!("{} {}", self.pick(FIRST_NAMES), self.pick(LAST_NAMES));
+        self.leaf(sink, "name", &name);
+        let email = format!("mailto:{}@example.org", self.pick(LAST_NAMES).to_lowercase());
+        self.leaf(sink, "emailaddress", &email);
+        if self.chance(0.5) {
+            self.leaf(sink, "phone", "+49 7531 88 0");
+        }
+        if self.chance(0.4) {
+            sink.open("address");
+            self.leaf(sink, "street", "42 Main St");
+            let city = self.pick(CITIES).to_string();
+            self.leaf(sink, "city", &city);
+            let country = self.pick(COUNTRIES).to_string();
+            self.leaf(sink, "country", &country);
+            self.leaf(sink, "zipcode", "78457");
+            sink.close();
+        }
+        if self.chance(0.3) {
+            self.leaf(sink, "homepage", "http://example.org/~user");
+        }
+        if self.chance(0.25) {
+            self.leaf(sink, "creditcard", "1234 5678 9012 3456");
+        }
+        self.profile(sink);
+        sink.open("watches");
+        let watches = self.geometric(0.5);
+        for _ in 0..watches {
+            sink.open("watch");
+            let a = self.rng.gen_range(0..auctions.max(1));
+            sink.attr("open_auction", &format!("open_auction{a}"));
+            sink.close();
+        }
+        sink.close();
+        sink.close();
+    }
+
+    /// The Q1 target: every person has a `profile`; about half the
+    /// profiles have an `education` child.
+    fn profile(&mut self, sink: &mut impl GenSink) {
+        sink.open("profile");
+        sink.attr("income", "9876.54");
+        let interests = self.geometric(MEAN_INTERESTS);
+        for _ in 0..interests {
+            sink.open("interest");
+            let c = self.rng.gen_range(0..64);
+            sink.attr("category", &format!("category{c}"));
+            sink.close();
+        }
+        if self.chance(P_EDUCATION) {
+            let e = self.pick(EDUCATION).to_string();
+            self.leaf(sink, "education", &e);
+        }
+        if self.chance(0.6) {
+            let gender = if self.chance(0.5) { "male" } else { "female" };
+            self.leaf(sink, "gender", gender);
+        }
+        let business = if self.chance(0.5) { "Yes" } else { "No" };
+        self.leaf(sink, "business", business);
+        if self.chance(0.6) {
+            self.leaf(sink, "age", "42");
+        }
+        sink.close();
+    }
+
+    // ----- auctions -------------------------------------------------------
+
+    fn open_auctions(
+        &mut self,
+        sink: &mut impl GenSink,
+        auctions: usize,
+        persons: usize,
+        items: usize,
+        categories: usize,
+    ) {
+        sink.open("open_auctions");
+        for id in 0..auctions {
+            self.open_auction(sink, id, persons, items, categories);
+        }
+        sink.close();
+    }
+
+    /// The Q2 target: `increase` sits at level 4
+    /// (site/open_auctions/open_auction/bidder/increase), matching the
+    /// paper's observation `level(c) = 4` for every context node of Q2.
+    fn open_auction(
+        &mut self,
+        sink: &mut impl GenSink,
+        id: usize,
+        persons: usize,
+        items: usize,
+        _categories: usize,
+    ) {
+        sink.open("open_auction");
+        sink.attr("id", &format!("open_auction{id}"));
+        self.leaf(sink, "initial", "15.00");
+        if self.chance(0.4) {
+            self.leaf(sink, "reserve", "30.00");
+        }
+        let bidders = self.geometric(MEAN_BIDDERS);
+        for _ in 0..bidders {
+            self.bidder(sink, persons);
+        }
+        self.leaf(sink, "current", "45.00");
+        if self.chance(0.3) {
+            self.leaf(sink, "privacy", "Yes");
+        }
+        sink.open("itemref");
+        let it = self.rng.gen_range(0..items.max(1));
+        sink.attr("item", &format!("item{it}"));
+        sink.close();
+        sink.open("seller");
+        let p = self.rng.gen_range(0..persons.max(1));
+        sink.attr("person", &format!("person{p}"));
+        sink.close();
+        self.annotation(sink);
+        self.leaf(sink, "quantity", "1");
+        self.leaf(sink, "type", "Regular");
+        sink.open("interval");
+        self.leaf(sink, "start", "06/01/2026");
+        self.leaf(sink, "end", "07/01/2026");
+        sink.close();
+        sink.close();
+    }
+
+    fn bidder(&mut self, sink: &mut impl GenSink, persons: usize) {
+        sink.open("bidder");
+        self.leaf(sink, "date", "06/09/2026");
+        self.leaf(sink, "time", "12:00:00");
+        sink.open("personref");
+        let p = self.rng.gen_range(0..persons.max(1));
+        sink.attr("person", &format!("person{p}"));
+        sink.close();
+        self.leaf(sink, "increase", "1.50");
+        sink.close();
+    }
+
+    fn annotation(&mut self, sink: &mut impl GenSink) {
+        sink.open("annotation");
+        let author = format!("{} {}", self.pick(FIRST_NAMES), self.pick(LAST_NAMES));
+        self.leaf(sink, "author", &author);
+        self.description(sink, false);
+        self.leaf(sink, "happiness", "8");
+        sink.close();
+    }
+
+    fn closed_auctions(&mut self, sink: &mut impl GenSink, auctions: usize, persons: usize, items: usize) {
+        sink.open("closed_auctions");
+        for _ in 0..auctions {
+            sink.open("closed_auction");
+            sink.open("seller");
+            let p = self.rng.gen_range(0..persons.max(1));
+            sink.attr("person", &format!("person{p}"));
+            sink.close();
+            sink.open("buyer");
+            let p = self.rng.gen_range(0..persons.max(1));
+            sink.attr("person", &format!("person{p}"));
+            sink.close();
+            sink.open("itemref");
+            let it = self.rng.gen_range(0..items.max(1));
+            sink.attr("item", &format!("item{it}"));
+            sink.close();
+            self.leaf(sink, "price", "55.00");
+            self.leaf(sink, "date", "06/09/2026");
+            self.leaf(sink, "quantity", "1");
+            self.leaf(sink, "type", "Regular");
+            self.annotation(sink);
+            sink.close();
+        }
+        sink.close();
+    }
+
+    fn leaf(&mut self, sink: &mut impl GenSink, tag: &str, body: &str) {
+        sink.open(tag);
+        sink.text(body);
+        sink.close();
+    }
+}
+
+/// Structural measurements of a generated document — the quantities the
+/// paper's experiments assume about XMark instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DocProfile {
+    /// Total node count (all kinds).
+    pub nodes: usize,
+    /// Document height (max level).
+    pub height: u16,
+    /// Element node count.
+    pub elements: usize,
+    /// Attribute node count.
+    pub attributes: usize,
+    /// Text node count.
+    pub texts: usize,
+    /// `person` elements.
+    pub persons: usize,
+    /// `profile` elements.
+    pub profiles: usize,
+    /// `education` elements.
+    pub educations: usize,
+    /// `open_auction` elements.
+    pub open_auctions: usize,
+    /// `bidder` elements.
+    pub bidders: usize,
+    /// `increase` elements.
+    pub increases: usize,
+    /// `item` elements.
+    pub items: usize,
+}
+
+impl DocProfile {
+    /// Measures `doc` with one pass.
+    pub fn measure(doc: &Doc) -> DocProfile {
+        let count = |name: &str| {
+            doc.tag_id(name)
+                .map(|t| {
+                    doc.pres()
+                        .filter(|&v| doc.tag(v) == t && doc.kind(v) == NodeKind::Element)
+                        .count()
+                })
+                .unwrap_or(0)
+        };
+        let (elements, attributes, texts, _, _) = doc.kind_counts();
+        DocProfile {
+            nodes: doc.len(),
+            height: doc.height(),
+            elements,
+            attributes,
+            texts,
+            persons: count("person"),
+            profiles: count("profile"),
+            educations: count("education"),
+            open_auctions: count("open_auction"),
+            bidders: count("bidder"),
+            increases: count("increase"),
+            items: count("item"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed_same_doc() {
+        let a = generate(XmarkConfig::new(0.5));
+        let b = generate(XmarkConfig::new(0.5));
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.post_column(), b.post_column());
+        assert_eq!(a.kind_column(), b.kind_column());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(XmarkConfig::new(0.5));
+        let b = generate(XmarkConfig::new(0.5).with_seed(99));
+        assert_ne!(a.post_column(), b.post_column());
+    }
+
+    #[test]
+    fn height_is_eleven() {
+        for scale in [0.2, 1.0, 4.0] {
+            let doc = generate(XmarkConfig::new(scale));
+            assert_eq!(doc.height(), 11, "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn node_count_tracks_scale() {
+        let p1 = DocProfile::measure(&generate(XmarkConfig::new(1.0)));
+        let p4 = DocProfile::measure(&generate(XmarkConfig::new(4.0)));
+        let ratio = p4.nodes as f64 / p1.nodes as f64;
+        assert!((3.0..5.0).contains(&ratio), "scaling broken: {ratio}");
+        // ≈ 50k nodes per scale unit (±30%).
+        assert!(
+            (35_000..65_000).contains(&p1.nodes),
+            "nodes per scale unit: {}",
+            p1.nodes
+        );
+    }
+
+    #[test]
+    fn table1_ratios_hold() {
+        let doc = generate(XmarkConfig::new(4.0));
+        let p = DocProfile::measure(&doc);
+        // bidders per auction ≈ 5.5 (±20%).
+        let bpa = p.bidders as f64 / p.open_auctions as f64;
+        assert!((4.4..6.6).contains(&bpa), "bidders/auction {bpa}");
+        // one increase per bidder.
+        assert_eq!(p.increases, p.bidders);
+        // education on ≈ half the profiles (±20%).
+        let epp = p.educations as f64 / p.profiles as f64;
+        assert!((0.4..0.6).contains(&epp), "education/profile {epp}");
+        // every person has exactly one profile.
+        assert_eq!(p.persons, p.profiles);
+        // increase fraction of all nodes ≈ 1.2% (paper: 597k/50.8M ≈ 1.18%).
+        let inc_frac = p.increases as f64 / p.nodes as f64;
+        assert!((0.008..0.016).contains(&inc_frac), "increase fraction {inc_frac}");
+    }
+
+    #[test]
+    fn increase_sits_at_level_4() {
+        let doc = generate(XmarkConfig::new(0.5));
+        let t = doc.tag_id("increase").unwrap();
+        for v in doc.pres() {
+            if doc.tag(v) == t && doc.kind(v) == NodeKind::Element {
+                assert_eq!(doc.level(v), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn profile_descendant_ratio_close_to_paper() {
+        // Table 1: 1,849,360 / 127,984 ≈ 14.45 non-attribute descendants
+        // per profile.
+        let doc = generate(XmarkConfig::new(2.0));
+        let t = doc.tag_id("profile").unwrap();
+        let mut total = 0usize;
+        let mut profiles = 0usize;
+        for v in doc.pres() {
+            if doc.tag(v) == t && doc.kind(v) == NodeKind::Element {
+                profiles += 1;
+                total += doc
+                    .pres()
+                    .skip(v as usize + 1)
+                    .take_while(|&w| doc.post(w) < doc.post(v))
+                    .filter(|&w| doc.kind(w) != NodeKind::Attribute)
+                    .count();
+            }
+        }
+        let ratio = total as f64 / profiles as f64;
+        assert!((10.0..19.0).contains(&ratio), "profile descendants {ratio}");
+    }
+
+    #[test]
+    fn xml_output_roundtrips_to_same_encoding() {
+        let cfg = XmarkConfig::new(0.05).with_seed(7);
+        let direct = generate(cfg);
+        let xml = generate_xml(cfg);
+        let parsed = Doc::from_xml(&xml).expect("generated XML must parse");
+        assert_eq!(direct.len(), parsed.len());
+        assert_eq!(direct.post_column(), parsed.post_column());
+        assert_eq!(direct.kind_column(), parsed.kind_column());
+        for v in direct.pres() {
+            assert_eq!(direct.tag_name(v), parsed.tag_name(v), "tag at {v}");
+        }
+    }
+
+    #[test]
+    fn vocabulary_tags_present() {
+        let doc = generate(XmarkConfig::new(0.5));
+        for tag in [
+            "site", "regions", "people", "person", "profile", "open_auctions", "open_auction",
+            "bidder", "increase", "item", "education", "category",
+        ] {
+            assert!(doc.tag_id(tag).is_some(), "missing tag {tag}");
+        }
+    }
+
+    #[test]
+    fn tiny_scale_still_valid() {
+        let doc = generate(XmarkConfig::new(0.001));
+        assert!(doc.len() > 50);
+        assert_eq!(doc.tag_name(0), Some("site"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # staircase-xmlgen
+//!
+//! A deterministic XMark-like XML document generator — the reproduction's
+//! substitute for XMLgen, the XML benchmark generator of Schmidt et al.
+//! used in the paper's experiments (§4.4: "instances of controllable size
+//! … 1 MB up to 1 GB (50 000–50 000 000 document nodes). All documents
+//! were of height 11").
+//!
+//! The generator emits the XMark auction vocabulary (`site`, `people` /
+//! `person` / `profile` / `education`, `open_auctions` / `open_auction` /
+//! `bidder` / `increase`, `regions` / `item`, …) with fan-outs tuned so the
+//! structural ratios the paper's experiments depend on hold at every scale
+//! (see [`DocProfile`] and the crate tests):
+//!
+//! * ≈ 50 000 nodes per unit of [`XmarkConfig::scale`] (1 scale ≈ 1 MB),
+//! * document height exactly 11,
+//! * `level(increase) = 4` and ≈ 5.5 bidders per open auction (Q2's
+//!   duplicate ratio of ≈ 75 % follows from these two),
+//! * ≈ half of all `profile` elements carry an `education` child (Q1).
+//!
+//! Two output paths share one generator core:
+//!
+//! * [`generate`] — straight into the [`staircase_accel::EncodingBuilder`]
+//!   (no XML text, no DOM): multi-million-node planes in milliseconds.
+//! * [`generate_xml`] — real XML text via the `staircase-xml` writer, for
+//!   pipeline tests and the quickstart example.
+
+#![warn(missing_docs)]
+
+mod gen;
+mod sink;
+mod words;
+
+pub use gen::{generate, generate_document, generate_xml, DocProfile, XmarkConfig};

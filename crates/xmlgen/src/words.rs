@@ -1,0 +1,54 @@
+//! Filler vocabulary for generated text content.
+//!
+//! XMLgen filled text nodes with Shakespeare word soup; any fixed word pool
+//! works, since the experiments never look inside text nodes.
+
+/// Word pool for running text.
+pub(crate) const WORDS: &[&str] = &[
+    "against", "arms", "arrows", "be", "bear", "consummation", "die", "dream", "end", "flesh",
+    "fortune", "heart", "heartache", "heir", "mind", "nobler", "not", "opposing", "or",
+    "outrageous", "question", "sea", "shocks", "sleep", "slings", "suffer", "take", "that",
+    "the", "thousand", "to", "troubles", "whether", "wish", "natural",
+];
+
+/// First names for person elements.
+pub(crate) const FIRST_NAMES: &[&str] = &[
+    "Ada", "Alan", "Barbara", "Edsger", "Grace", "John", "Katherine", "Ken", "Leslie", "Niklaus",
+    "Robin", "Tony",
+];
+
+/// Last names for person elements.
+pub(crate) const LAST_NAMES: &[&str] = &[
+    "Backus", "Dijkstra", "Hamilton", "Hoare", "Hopper", "Johnson", "Kernighan", "Lamport",
+    "Liskov", "Lovelace", "Milner", "Wirth",
+];
+
+/// City names for addresses.
+pub(crate) const CITIES: &[&str] = &[
+    "Amsterdam", "Berlin", "Enschede", "Hong Kong", "Konstanz", "Madison", "Rome", "Twente",
+];
+
+/// Country names for addresses.
+pub(crate) const COUNTRIES: &[&str] =
+    &["China", "Germany", "Italy", "Netherlands", "United States"];
+
+/// Education levels (the Q1 target tag's content).
+pub(crate) const EDUCATION: &[&str] =
+    &["High School", "College", "Graduate School", "Other"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_non_empty() {
+        for pool in [WORDS, FIRST_NAMES, LAST_NAMES, CITIES, COUNTRIES, EDUCATION] {
+            assert!(!pool.is_empty());
+        }
+    }
+
+    #[test]
+    fn words_are_lowercase_tokens() {
+        assert!(WORDS.iter().all(|w| w.chars().all(|c| c.is_ascii_lowercase())));
+    }
+}

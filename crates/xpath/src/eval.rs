@@ -1,0 +1,694 @@
+//! Path evaluation over pluggable axis-step engines.
+
+use staircase_accel::{Axis, Context, Doc, NodeKind, Pre};
+use staircase_baselines::{naive_step, SqlEngine, SqlPlanOptions};
+use staircase_core::{
+    ancestor, ancestor_on_list, ancestor_parallel, descendant, descendant_on_list,
+    descendant_parallel, following, has_ancestor_in, has_child_in, has_descendant_in, preceding,
+    TagIndex, Variant,
+};
+
+use crate::ast::{NodeTest, Path, Predicate, Step, UnionExpr};
+use crate::parser::{parse_union, ParseError};
+#[cfg(test)]
+use crate::parser::parse;
+
+/// Which implementation evaluates the partitioning axis steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The staircase join (the paper's contribution).
+    Staircase {
+        /// Skipping refinement.
+        variant: Variant,
+        /// Push name tests through the join (§4.4 Experiment 3): the name
+        /// test runs first, *at query time*, as a selection scan over the
+        /// whole document; the join then walks only the selected nodes.
+        pushdown: bool,
+    },
+    /// §6 tag-name fragmentation: like pushdown, but per-tag fragments are
+    /// prebuilt at document-loading time, so a name-tested step touches
+    /// only fragment nodes.
+    Fragmented {
+        /// Skipping refinement.
+        variant: Variant,
+    },
+    /// Partitioned parallel staircase join (§3.2 / §6).
+    StaircaseParallel {
+        /// Skipping refinement.
+        variant: Variant,
+        /// Worker count.
+        threads: usize,
+    },
+    /// Per-context region queries + duplicate elimination (§3.1).
+    Naive,
+    /// Tree-unaware B-tree plan (Figure 3, "IBM DB2 SQL").
+    Sql {
+        /// Apply the Equation-1 window predicate (paper line 7).
+        eq1_window: bool,
+        /// Filter by tag during the index scan.
+        early_nametest: bool,
+    },
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: false }
+    }
+}
+
+/// Per-step trace of an evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepTrace {
+    /// Rendered step (`descendant::profile`).
+    pub step: String,
+    /// Result size after node test and predicates.
+    pub result_size: usize,
+    /// Nodes/index entries the engine touched for this step.
+    pub nodes_touched: u64,
+    /// Tuples produced before duplicate elimination (naive/SQL engines;
+    /// equals `result_size` for the staircase join, which never produces
+    /// duplicates).
+    pub tuples_produced: u64,
+}
+
+/// Evaluation statistics: one trace per step.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Traces in evaluation order (predicate evaluations excluded).
+    pub steps: Vec<StepTrace>,
+}
+
+impl EvalStats {
+    /// Total nodes touched across steps.
+    pub fn total_touched(&self) -> u64 {
+        self.steps.iter().map(|s| s.nodes_touched).sum()
+    }
+
+    /// Total duplicates generated (and removed) across steps.
+    pub fn total_duplicates(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| s.tuples_produced.saturating_sub(s.result_size as u64))
+            .sum()
+    }
+}
+
+/// The outcome of a path evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalOutput {
+    /// Result node sequence (document order, duplicate-free).
+    pub result: Context,
+    /// Per-step statistics.
+    pub stats: EvalStats,
+}
+
+/// A reusable evaluator holding the engine's auxiliary structures
+/// (tag index for pushdown, B-tree for the SQL engine).
+pub struct Evaluator<'d> {
+    doc: &'d Doc,
+    engine: Engine,
+    tag_index: Option<TagIndex>,
+    sql: Option<SqlEngine>,
+}
+
+impl<'d> Evaluator<'d> {
+    /// Builds an evaluator, constructing whatever the engine needs
+    /// ("document loading time" work).
+    pub fn new(doc: &'d Doc, engine: Engine) -> Evaluator<'d> {
+        let tag_index = match engine {
+            Engine::Fragmented { .. } => Some(TagIndex::build(doc)),
+            _ => None,
+        };
+        let sql = match engine {
+            Engine::Sql { .. } => Some(SqlEngine::build(doc)),
+            _ => None,
+        };
+        Evaluator { doc, engine, tag_index, sql }
+    }
+
+    /// Parses and evaluates `expr` (context = document root). Union
+    /// expressions (`a | b`) are supported.
+    pub fn evaluate(&self, expr: &str) -> Result<EvalOutput, ParseError> {
+        let union = parse_union(expr)?;
+        Ok(self.evaluate_union(&union, &Context::singleton(self.doc.root())))
+    }
+
+    /// Evaluates a union expression: each branch independently from
+    /// `context`, results merged into document order (duplicate-free).
+    pub fn evaluate_union(&self, expr: &UnionExpr, context: &Context) -> EvalOutput {
+        let mut outputs: Vec<EvalOutput> =
+            expr.branches.iter().map(|p| self.evaluate_path(p, context)).collect();
+        if outputs.len() == 1 {
+            return outputs.pop().expect("one branch");
+        }
+        let mut result = Context::empty();
+        let mut stats = EvalStats::default();
+        for out in outputs {
+            result = merge(&result, &out.result);
+            stats.steps.extend(out.stats.steps);
+        }
+        EvalOutput { result, stats }
+    }
+
+    /// Evaluates a parsed path from an explicit context.
+    pub fn evaluate_path(&self, path: &Path, context: &Context) -> EvalOutput {
+        let mut ctx = if path.absolute {
+            Context::singleton(self.doc.root())
+        } else {
+            context.clone()
+        };
+        let mut stats = EvalStats::default();
+        for step in &path.steps {
+            let (next, trace) = self.eval_step(&ctx, step);
+            stats.steps.push(trace);
+            ctx = next;
+        }
+        EvalOutput { result: ctx, stats }
+    }
+
+    fn eval_step(&self, ctx: &Context, step: &Step) -> (Context, StepTrace) {
+        let (mut out, touched, produced) = self.eval_axis_and_test(ctx, step);
+        for pred in &step.predicates {
+            let Predicate::Exists(path) = pred;
+            out = match self.try_semijoin_predicate(&out, path) {
+                Some(filtered) => filtered,
+                None => Context::from_sorted(
+                    out.iter()
+                        .filter(|&v| {
+                            !self.evaluate_path(path, &Context::singleton(v)).result.is_empty()
+                        })
+                        .collect::<Vec<Pre>>(),
+                ),
+            };
+        }
+        let trace = StepTrace {
+            step: step.to_string(),
+            result_size: out.len(),
+            nodes_touched: touched,
+            tuples_produced: produced.max(out.len() as u64),
+        };
+        (out, trace)
+    }
+
+    /// Fast path for simple existential predicates on staircase-family
+    /// engines: `[descendant::t]`, `[child::t]` (also the abbreviated
+    /// `[t]`) and `[ancestor::t]` become one semijoin probe per candidate
+    /// instead of a full path evaluation (§3.3's empty-region argument:
+    /// the first fragment node after `c` decides the predicate).
+    fn try_semijoin_predicate(&self, candidates: &Context, path: &Path) -> Option<Context> {
+        if !matches!(
+            self.engine,
+            Engine::Staircase { .. } | Engine::Fragmented { .. } | Engine::StaircaseParallel { .. }
+        ) {
+            return None;
+        }
+        if path.absolute || path.steps.len() != 1 {
+            return None;
+        }
+        let step = &path.steps[0];
+        if !step.predicates.is_empty() {
+            return None;
+        }
+        let NodeTest::Name(name) = &step.test else { return None };
+        let doc = self.doc;
+        let owned;
+        let list: &[Pre] = if let Some(idx) = self.tag_index.as_ref() {
+            idx.fragment_by_name(doc, name)
+        } else {
+            owned = doc.tag_id(name).map(|t| doc.elements_with_tag(t)).unwrap_or_default();
+            &owned
+        };
+        let (out, _) = match step.axis {
+            Axis::Descendant => has_descendant_in(doc, candidates, list),
+            Axis::Child => has_child_in(doc, candidates, list),
+            Axis::Ancestor => has_ancestor_in(doc, candidates, list),
+            _ => return None,
+        };
+        Some(out)
+    }
+
+    /// Evaluates axis + node test; returns (result, nodes touched, tuples
+    /// produced before dedup).
+    fn eval_axis_and_test(&self, ctx: &Context, step: &Step) -> (Context, u64, u64) {
+        let doc = self.doc;
+        match step.axis {
+            Axis::Descendant | Axis::Ancestor | Axis::Following | Axis::Preceding => {
+                self.partitioning_step(ctx, step.axis, &step.test)
+            }
+            Axis::DescendantOrSelf => {
+                let (base, touched, produced) =
+                    self.partitioning_step(ctx, Axis::Descendant, &step.test);
+                let selves = apply_test(doc, ctx, &step.test, Axis::SelfAxis);
+                (merge(&base, &selves), touched, produced)
+            }
+            Axis::AncestorOrSelf => {
+                let (base, touched, produced) =
+                    self.partitioning_step(ctx, Axis::Ancestor, &step.test);
+                let selves = apply_test(doc, ctx, &step.test, Axis::SelfAxis);
+                (merge(&base, &selves), touched, produced)
+            }
+            Axis::SelfAxis => {
+                let out = apply_test(doc, ctx, &step.test, Axis::SelfAxis);
+                (out, ctx.len() as u64, 0)
+            }
+            Axis::Parent => {
+                let mut parents: Vec<Pre> = ctx
+                    .iter()
+                    .map(|c| doc.parent(c))
+                    .filter(|&p| p != staircase_accel::NO_PARENT)
+                    .collect();
+                parents.sort_unstable();
+                parents.dedup();
+                let out =
+                    apply_test(doc, &Context::from_sorted(parents), &step.test, Axis::Parent);
+                (out, ctx.len() as u64, 0)
+            }
+            Axis::Child => {
+                // Per-context children via subtree jumps: O(Σ #children),
+                // not O(|doc|). Nested context nodes can interleave their
+                // child ranges, so sort afterwards (children sets are
+                // disjoint — every node has one parent — so no dedup).
+                let mut kids: Vec<Pre> = Vec::new();
+                let mut touched = 0u64;
+                for c in ctx.iter() {
+                    for child in doc.children(c) {
+                        touched += 1;
+                        if doc.kind(child) != NodeKind::Attribute {
+                            kids.push(child);
+                        }
+                    }
+                }
+                kids.sort_unstable();
+                let out = apply_test(doc, &Context::from_sorted(kids), &step.test, Axis::Child);
+                (out, touched, 0)
+            }
+            Axis::Attribute => {
+                let mut attrs = Vec::new();
+                let mut touched = 0u64;
+                for c in ctx.iter() {
+                    let mut v = c + 1;
+                    while (v as usize) < doc.len() && doc.kind(v) == NodeKind::Attribute {
+                        touched += 1;
+                        if doc.parent(v) == c {
+                            attrs.push(v);
+                        }
+                        v += 1;
+                    }
+                }
+                let out =
+                    apply_test(doc, &Context::from_sorted(attrs), &step.test, Axis::Attribute);
+                (out, touched, 0)
+            }
+            Axis::FollowingSibling | Axis::PrecedingSibling => {
+                // Per parent, the extremal context child bounds the sibling
+                // range.
+                use std::collections::HashMap;
+                let mut extremal: HashMap<Pre, Pre> = HashMap::new();
+                for c in ctx.iter() {
+                    let p = doc.parent(c);
+                    if p == staircase_accel::NO_PARENT {
+                        continue;
+                    }
+                    let e = extremal.entry(p).or_insert(c);
+                    if step.axis == Axis::FollowingSibling {
+                        *e = (*e).min(c);
+                    } else {
+                        *e = (*e).max(c);
+                    }
+                }
+                let mut sibs = Vec::new();
+                let mut touched = 0u64;
+                for v in doc.pres() {
+                    touched += 1;
+                    if doc.kind(v) == NodeKind::Attribute {
+                        continue;
+                    }
+                    let p = doc.parent(v);
+                    let Some(&e) = extremal.get(&p) else { continue };
+                    let hit = if step.axis == Axis::FollowingSibling { v > e } else { v < e };
+                    if hit {
+                        sibs.push(v);
+                    }
+                }
+                let out = apply_test(doc, &Context::from_sorted(sibs), &step.test, step.axis);
+                (out, touched, 0)
+            }
+        }
+    }
+
+    fn partitioning_step(
+        &self,
+        ctx: &Context,
+        axis: Axis,
+        test: &NodeTest,
+    ) -> (Context, u64, u64) {
+        let doc = self.doc;
+        match self.engine {
+            Engine::Fragmented { .. } | Engine::Staircase { pushdown: true, .. }
+                if matches!(test, NodeTest::Name(_))
+                    && matches!(axis, Axis::Descendant | Axis::Ancestor) =>
+            {
+                let NodeTest::Name(name) = test else { unreachable!() };
+                // Prebuilt fragment (§6) or query-time name-test scan
+                // (§4.4 early nametest) — the join itself is identical.
+                let (owned, scan_cost);
+                let frag: &[Pre] = if let Some(idx) = self.tag_index.as_ref() {
+                    scan_cost = 0u64;
+                    owned = Vec::new();
+                    let _ = &owned;
+                    idx.fragment_by_name(doc, name)
+                } else {
+                    scan_cost = doc.len() as u64; // nametest(doc, n) scan
+                    owned = match doc.tag_id(name) {
+                        Some(t) => doc.elements_with_tag(t),
+                        None => Vec::new(),
+                    };
+                    &owned
+                };
+                let (out, stats) = match axis {
+                    Axis::Descendant => descendant_on_list(doc, frag, ctx),
+                    Axis::Ancestor => ancestor_on_list(doc, frag, ctx),
+                    _ => unreachable!(),
+                };
+                (out, stats.nodes_touched() + scan_cost, 0)
+            }
+            Engine::Staircase { variant, .. } | Engine::Fragmented { variant } => {
+                let (base, stats) = match axis {
+                    Axis::Descendant => descendant(doc, ctx, variant),
+                    Axis::Ancestor => ancestor(doc, ctx, variant),
+                    Axis::Following => following(doc, ctx),
+                    Axis::Preceding => preceding(doc, ctx),
+                    _ => unreachable!(),
+                };
+                let out = apply_test(doc, &base, test, axis);
+                (out, stats.nodes_touched(), 0)
+            }
+            Engine::StaircaseParallel { variant, threads } => {
+                let (base, stats) = match axis {
+                    Axis::Descendant => descendant_parallel(doc, ctx, variant, threads),
+                    Axis::Ancestor => ancestor_parallel(doc, ctx, variant, threads),
+                    Axis::Following => following(doc, ctx),
+                    Axis::Preceding => preceding(doc, ctx),
+                    _ => unreachable!(),
+                };
+                let out = apply_test(doc, &base, test, axis);
+                (out, stats.nodes_touched(), 0)
+            }
+            Engine::Naive => {
+                let (base, stats) = naive_step(doc, ctx, axis);
+                let out = apply_test(doc, &base, test, axis);
+                (out, stats.nodes_scanned, stats.tuples_produced)
+            }
+            Engine::Sql { eq1_window, early_nametest } => {
+                let sql = self.sql.as_ref().expect("SQL engine built in new()");
+                let pushed_tag = match (early_nametest, test) {
+                    (true, NodeTest::Name(name)) => doc.tag_id(name),
+                    _ => None,
+                };
+                if early_nametest && matches!(test, NodeTest::Name(_)) && pushed_tag.is_none() {
+                    // Name never occurs in the document: empty result.
+                    return (Context::empty(), 0, 0);
+                }
+                let opts = SqlPlanOptions { eq1_window, early_nametest: pushed_tag };
+                let (base, stats) = sql.axis_step(ctx, axis, opts);
+                let out = if pushed_tag.is_some() {
+                    base
+                } else {
+                    apply_test(doc, &base, test, axis)
+                };
+                (out, stats.index_entries_scanned, stats.tuples_produced)
+            }
+        }
+    }
+}
+
+/// Applies a node test to a node sequence.
+fn apply_test(doc: &Doc, ctx: &Context, test: &NodeTest, axis: Axis) -> Context {
+    let keep = |v: Pre| -> bool {
+        let kind = doc.kind(v);
+        match test {
+            NodeTest::AnyNode => true,
+            NodeTest::AnyPrincipal => {
+                if axis == Axis::Attribute {
+                    kind == NodeKind::Attribute
+                } else {
+                    kind == NodeKind::Element
+                }
+            }
+            NodeTest::Name(name) => {
+                let want = if axis == Axis::Attribute {
+                    NodeKind::Attribute
+                } else {
+                    NodeKind::Element
+                };
+                kind == want && doc.tag_name(v) == Some(name.as_str())
+            }
+            NodeTest::Text => kind == NodeKind::Text,
+            NodeTest::Comment => kind == NodeKind::Comment,
+            NodeTest::Pi(target) => {
+                kind == NodeKind::Pi
+                    && target.as_ref().is_none_or(|t| doc.tag_name(v) == Some(t.as_str()))
+            }
+        }
+    };
+    Context::from_sorted(ctx.iter().filter(|&v| keep(v)).collect())
+}
+
+/// Merges two sorted, duplicate-free sequences.
+fn merge(a: &Context, b: &Context) -> Context {
+    let (a, b) = (a.as_slice(), b.as_slice());
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    Context::from_sorted(out)
+}
+
+/// One-shot convenience: parse and evaluate `expr` over `doc` from the
+/// document root.
+pub fn evaluate(doc: &Doc, expr: &str, engine: Engine) -> Result<EvalOutput, ParseError> {
+    Evaluator::new(doc, engine).evaluate(expr)
+}
+
+/// One-shot convenience for a pre-parsed path and explicit context.
+pub fn evaluate_path(doc: &Doc, path: &Path, context: &Context, engine: Engine) -> EvalOutput {
+    Evaluator::new(doc, engine).evaluate_path(path, context)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1() -> Doc {
+        Doc::from_xml("<a><b><c/></b><d/><e><f><g/><h/></f><i><j/></i></e></a>").unwrap()
+    }
+
+    fn auction_doc() -> Doc {
+        Doc::from_xml(
+            "<site><open_auctions>\
+             <open_auction id='a0'><bidder><increase>1</increase></bidder>\
+             <bidder><increase>2</increase></bidder></open_auction>\
+             <open_auction id='a1'><bidder><date/></bidder></open_auction>\
+             </open_auctions>\
+             <people><person id='p0'><profile><education>College</education></profile></person>\
+             <person id='p1'><profile/></person></people></site>",
+        )
+        .unwrap()
+    }
+
+    const ENGINES: [Engine; 7] = [
+        Engine::Staircase { variant: Variant::Basic, pushdown: false },
+        Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: false },
+        Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: true },
+        Engine::Fragmented { variant: Variant::EstimationSkipping },
+        Engine::StaircaseParallel { variant: Variant::EstimationSkipping, threads: 3 },
+        Engine::Naive,
+        Engine::Sql { eq1_window: true, early_nametest: true },
+    ];
+
+    fn names(doc: &Doc, ctx: &Context) -> Vec<String> {
+        ctx.iter().map(|v| doc.tag_name(v).unwrap_or("#text").to_string()).collect()
+    }
+
+    #[test]
+    fn q1_on_auction_doc_all_engines() {
+        let doc = auction_doc();
+        for engine in ENGINES {
+            let out =
+                evaluate(&doc, "/descendant::profile/descendant::education", engine).unwrap();
+            assert_eq!(names(&doc, &out.result), ["education"], "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn q2_on_auction_doc_all_engines() {
+        let doc = auction_doc();
+        for engine in ENGINES {
+            let out =
+                evaluate(&doc, "/descendant::increase/ancestor::bidder", engine).unwrap();
+            assert_eq!(out.result.len(), 2, "{engine:?}");
+            assert_eq!(names(&doc, &out.result), ["bidder", "bidder"], "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn q2_rewrite_equivalence() {
+        // §4.4: /descendant::increase/ancestor::bidder ≡
+        // /descendant::bidder[descendant::increase].
+        let doc = auction_doc();
+        for engine in ENGINES {
+            let direct =
+                evaluate(&doc, "/descendant::increase/ancestor::bidder", engine).unwrap();
+            let rewrite =
+                evaluate(&doc, "/descendant::bidder[descendant::increase]", engine).unwrap();
+            assert_eq!(direct.result, rewrite.result, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn figure3_following_descendant() {
+        let doc = figure1();
+        // (c)/following/descendant — but via evaluator the context is the
+        // root, so phrase it as a path from c.
+        let eval = Evaluator::new(&doc, Engine::default());
+        let path = parse("following::node()/descendant::node()").unwrap();
+        let out = eval.evaluate_path(&path, &Context::singleton(2));
+        assert_eq!(names(&doc, &out.result), ["f", "g", "h", "i", "j"]);
+    }
+
+    #[test]
+    fn child_and_parent_axes() {
+        let doc = figure1();
+        let eval = Evaluator::new(&doc, Engine::default());
+        let path = parse("child::node()").unwrap();
+        let out = eval.evaluate_path(&path, &Context::singleton(4));
+        assert_eq!(names(&doc, &out.result), ["f", "i"]);
+        let path = parse("..").unwrap();
+        let out = eval.evaluate_path(&path, &Context::singleton(5));
+        assert_eq!(names(&doc, &out.result), ["e"]);
+    }
+
+    #[test]
+    fn or_self_axes() {
+        let doc = figure1();
+        let eval = Evaluator::new(&doc, Engine::default());
+        let path = parse("ancestor-or-self::node()").unwrap();
+        let out = eval.evaluate_path(&path, &Context::singleton(6));
+        assert_eq!(names(&doc, &out.result), ["a", "e", "f", "g"]);
+        let path = parse("descendant-or-self::node()").unwrap();
+        let out = eval.evaluate_path(&path, &Context::singleton(5));
+        assert_eq!(names(&doc, &out.result), ["f", "g", "h"]);
+    }
+
+    #[test]
+    fn sibling_axes() {
+        let doc = figure1();
+        let eval = Evaluator::new(&doc, Engine::default());
+        let out = eval
+            .evaluate_path(&parse("following-sibling::node()").unwrap(), &Context::singleton(1));
+        assert_eq!(names(&doc, &out.result), ["d", "e"]);
+        let out = eval
+            .evaluate_path(&parse("preceding-sibling::node()").unwrap(), &Context::singleton(4));
+        assert_eq!(names(&doc, &out.result), ["b", "d"]);
+    }
+
+    #[test]
+    fn attribute_axis_and_abbreviation() {
+        let doc = auction_doc();
+        let out = evaluate(&doc, "/descendant::person/@id", Engine::default()).unwrap();
+        assert_eq!(out.result.len(), 2);
+        for v in out.result.iter() {
+            assert_eq!(doc.kind(v), NodeKind::Attribute);
+            assert_eq!(doc.tag_name(v), Some("id"));
+        }
+    }
+
+    #[test]
+    fn double_slash_everything() {
+        let doc = auction_doc();
+        for engine in ENGINES {
+            let out = evaluate(&doc, "//bidder", engine).unwrap();
+            assert_eq!(out.result.len(), 3, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn text_node_test() {
+        let doc = auction_doc();
+        let out = evaluate(&doc, "/descendant::increase/child::text()", Engine::default())
+            .unwrap();
+        assert_eq!(out.result.len(), 2);
+        assert_eq!(doc.content(out.result.as_slice()[0]), Some("1"));
+    }
+
+    #[test]
+    fn star_matches_elements_only() {
+        let doc = Doc::from_xml("<a x='1'>text<b/><!--c--></a>").unwrap();
+        let out = evaluate(&doc, "/descendant::*", Engine::default()).unwrap();
+        assert_eq!(out.result.len(), 1); // only <b>
+    }
+
+    #[test]
+    fn stats_track_steps() {
+        let doc = auction_doc();
+        let out =
+            evaluate(&doc, "/descendant::increase/ancestor::bidder", Engine::default()).unwrap();
+        assert_eq!(out.stats.steps.len(), 2);
+        assert_eq!(out.stats.steps[0].step, "descendant::increase");
+        assert!(out.stats.total_touched() > 0);
+        // Staircase join never generates duplicates.
+        assert_eq!(out.stats.total_duplicates(), 0);
+    }
+
+    #[test]
+    fn naive_engine_reports_duplicates() {
+        let doc = auction_doc();
+        let out = evaluate(&doc, "/descendant::increase/ancestor::node()", Engine::Naive)
+            .unwrap();
+        assert!(out.stats.total_duplicates() > 0);
+    }
+
+    #[test]
+    fn unknown_name_yields_empty() {
+        let doc = figure1();
+        for engine in ENGINES {
+            let out = evaluate(&doc, "/descendant::zzz", engine).unwrap();
+            assert!(out.result.is_empty(), "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let doc = figure1();
+        assert!(evaluate(&doc, "///", Engine::default()).is_err());
+    }
+
+    #[test]
+    fn engines_agree_on_composite_query() {
+        let doc = auction_doc();
+        let expr = "//open_auction[bidder/increase]/@id";
+        let reference = evaluate(&doc, expr, Engine::Naive).unwrap().result;
+        assert_eq!(reference.len(), 1);
+        for engine in ENGINES {
+            let out = evaluate(&doc, expr, engine).unwrap();
+            assert_eq!(out.result, reference, "{engine:?}");
+        }
+    }
+}

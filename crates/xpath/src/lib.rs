@@ -1,0 +1,48 @@
+//! # staircase-xpath
+//!
+//! An XPath subset — parser, AST and evaluator — over the XPath
+//! accelerator encoding, with pluggable axis-step engines:
+//!
+//! * [`Engine::Staircase`] — the paper's operator (any
+//!   [`staircase_core::Variant`]), optionally with name-test *pushdown*
+//!   through the join (§4.4 Experiment 3) backed by a
+//!   [`staircase_core::TagIndex`];
+//! * [`Engine::StaircaseParallel`] — the partitioned parallel join;
+//! * [`Engine::Naive`] — per-context region queries with duplicate
+//!   elimination (§3.1);
+//! * [`Engine::Sql`] — the tree-unaware B-tree plan of Figure 3.
+//!
+//! The supported grammar covers what the paper's experiments need and the
+//! usual abbreviations:
+//!
+//! ```text
+//! path      := '/'? step ('/' step)*             (also '//' abbreviation)
+//! step      := (axis '::')? nodetest pred*  |  '.'  |  '..'  |  '@' name
+//! nodetest  := name | '*' | 'node()' | 'text()' | 'comment()'
+//!            | 'processing-instruction()'
+//! pred      := '[' path ']'                      (existential semantics)
+//! ```
+//!
+//! ## Example
+//!
+//! ```
+//! use staircase_accel::Doc;
+//! use staircase_xpath::{evaluate, Engine};
+//!
+//! let doc = Doc::from_xml(
+//!     "<site><open_auctions><open_auction><bidder><increase/></bidder>\
+//!      </open_auction></open_auctions></site>").unwrap();
+//! let hits = evaluate(&doc, "/descendant::increase/ancestor::bidder", Engine::default())
+//!     .unwrap();
+//! assert_eq!(hits.result.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod ast;
+mod eval;
+mod parser;
+
+pub use ast::{NodeTest, Path, Predicate, Step, UnionExpr};
+pub use eval::{evaluate, evaluate_path, Engine, EvalOutput, EvalStats, Evaluator, StepTrace};
+pub use parser::{parse, parse_union, ParseError};

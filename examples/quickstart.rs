@@ -1,0 +1,50 @@
+//! Quickstart: parse XML, inspect the pre/post encoding, and run XPath
+//! axis steps with the staircase join.
+//!
+//! ```sh
+//! cargo run -p staircase-suite --example quickstart
+//! ```
+
+use staircase_suite::prelude::*;
+
+fn main() {
+    // The running example of the paper (Figure 1).
+    let xml = "<a><b><c/></b><d/><e><f><g/><h/></f><i><j/></i></e></a>";
+    let doc = Doc::from_xml(xml).expect("well-formed XML");
+
+    // --- Figure 2: the doc table -------------------------------------
+    println!("doc table for {xml}");
+    println!("{:>4} {:>4} {:>5} {:>5}  tag", "pre", "post", "level", "size");
+    for v in doc.pres() {
+        println!(
+            "{:>4} {:>4} {:>5} {:>5}  {}",
+            v,
+            doc.post(v),
+            doc.level(v),
+            doc.subtree_size(v),
+            doc.tag_name(v).unwrap_or("-"),
+        );
+    }
+    println!("document height h = {}\n", doc.height());
+
+    // --- Axis steps with the staircase join --------------------------
+    let f = doc.pres().find(|&v| doc.tag_name(v) == Some("f")).unwrap();
+    let ctx = Context::singleton(f);
+    for axis in Axis::PARTITIONING {
+        let (result, stats) = axis_step(&doc, &ctx, axis, Variant::EstimationSkipping);
+        let names: Vec<_> = result.iter().filter_map(|v| doc.tag_name(v)).collect();
+        println!("f/{axis:<12} = {names:?}   [{stats}]");
+    }
+    println!();
+
+    // --- Full XPath via the evaluator ---------------------------------
+    let out = evaluate(&doc, "/descendant::e/child::*", Engine::default()).unwrap();
+    let names: Vec<_> = out.result.iter().filter_map(|v| doc.tag_name(v)).collect();
+    println!("/descendant::e/child::* = {names:?}");
+
+    // The staircase join produces document-order, duplicate-free results,
+    // so steps chain without sorting — XPath semantics for free.
+    let out = evaluate(&doc, "//f/ancestor::node()", Engine::default()).unwrap();
+    let names: Vec<_> = out.result.iter().filter_map(|v| doc.tag_name(v)).collect();
+    println!("//f/ancestor::node()    = {names:?}");
+}

@@ -1,0 +1,88 @@
+//! End-to-end pipeline: XML text → pull parser → accelerator encoding →
+//! XPath evaluation → document reconstruction.
+
+use staircase_suite::prelude::*;
+
+#[test]
+fn xml_text_to_query_results() {
+    let xml = generate_xml(XmarkConfig::new(0.05).with_seed(11));
+    let doc = Doc::from_xml(&xml).expect("generated XML parses");
+    let out = evaluate(&doc, "/descendant::increase/ancestor::bidder", Engine::default())
+        .unwrap();
+    assert!(!out.result.is_empty());
+    for v in out.result.iter() {
+        assert_eq!(doc.tag_name(v), Some("bidder"));
+    }
+}
+
+#[test]
+fn direct_generation_equals_xml_roundtrip() {
+    let cfg = XmarkConfig::new(0.05).with_seed(23);
+    let direct = generate(cfg);
+    let via_xml = Doc::from_xml(&generate_xml(cfg)).unwrap();
+    assert_eq!(direct.len(), via_xml.len());
+    assert_eq!(direct.post_column(), via_xml.post_column());
+    assert_eq!(direct.kind_column(), via_xml.kind_column());
+    // Queries agree too.
+    for query in ["/descendant::education", "//bidder/increase", "//person/@id"] {
+        let a = evaluate(&direct, query, Engine::default()).unwrap().result;
+        let b = evaluate(&via_xml, query, Engine::default()).unwrap().result;
+        assert_eq!(a, b, "{query}");
+    }
+}
+
+#[test]
+fn reconstruction_preserves_query_results() {
+    // Encode → reconstruct DOM → serialize → re-encode: queries stable.
+    let xml = generate_xml(XmarkConfig::new(0.02).with_seed(5));
+    let doc = Doc::from_xml(&xml).unwrap();
+    let rebuilt = Doc::from_xml(&doc.to_document().to_xml()).unwrap();
+    assert_eq!(doc.len(), rebuilt.len());
+    let q = "/descendant::profile/descendant::education";
+    assert_eq!(
+        evaluate(&doc, q, Engine::default()).unwrap().result,
+        evaluate(&rebuilt, q, Engine::default()).unwrap().result
+    );
+}
+
+#[test]
+fn pull_parser_streams_without_dom() {
+    // The loader path used for huge documents: event count matches the
+    // encoded node count (attributes expand to extra nodes).
+    let xml = generate_xml(XmarkConfig::new(0.02).with_seed(9));
+    let doc = Doc::from_xml(&xml).unwrap();
+    let mut elements = 0usize;
+    let mut attrs = 0usize;
+    let mut texts = 0usize;
+    let mut parser = PullParser::new(&xml);
+    loop {
+        match parser.next_event().unwrap() {
+            staircase_xml::Event::StartTag { attributes, .. } => {
+                elements += 1;
+                attrs += attributes.len();
+            }
+            staircase_xml::Event::Text(_) => texts += 1,
+            staircase_xml::Event::Eof => break,
+            _ => {}
+        }
+    }
+    let (e, a, t, _, _) = doc.kind_counts();
+    assert_eq!(elements, e);
+    assert_eq!(attrs, a);
+    // Adjacent text events merge into one node, so texts ≥ text nodes.
+    assert!(texts >= t);
+}
+
+#[test]
+fn multi_step_paths_chain_contexts() {
+    let doc = generate(XmarkConfig::new(0.05));
+    // Four-step path mixing axes; compare staircase vs naive engine.
+    let q = "/descendant::open_auction/child::bidder/descendant::increase/ancestor::open_auction";
+    let a = evaluate(&doc, q, Engine::default()).unwrap().result;
+    let b = evaluate(&doc, q, Engine::Naive).unwrap().result;
+    assert_eq!(a, b);
+    assert!(!a.is_empty());
+    for v in a.iter() {
+        assert_eq!(doc.tag_name(v), Some("open_auction"));
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end test of the `xq` command-line tool: encode, query, engine
+//! selection, counting, and error handling, all through the real binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn xq() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xq"))
+}
+
+fn tempdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("xq-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const SAMPLE: &str = "<site><open_auctions><open_auction id='a0'><bidder><increase>1</increase>\
+    </bidder><bidder><increase>2</increase></bidder></open_auction>\
+    <open_auction id='a1'><bidder><date/></bidder></open_auction>\
+    </open_auctions></site>";
+
+#[test]
+fn query_from_stdin() {
+    let mut child = xq()
+        .args(["//bidder", "--count"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(SAMPLE.as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "3");
+}
+
+#[test]
+fn query_from_file_with_engines() {
+    let dir = tempdir();
+    let file = dir.join("sample.xml");
+    std::fs::write(&file, SAMPLE).unwrap();
+    for engine in ["staircase", "pushdown", "fragmented", "parallel", "naive", "sql"] {
+        let out = xq()
+            .args([
+                "/descendant::increase/ancestor::bidder",
+                file.to_str().unwrap(),
+                "--count",
+                "--engine",
+                engine,
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "engine {engine}");
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout).trim(),
+            "2",
+            "engine {engine}"
+        );
+    }
+}
+
+#[test]
+fn encode_then_query_encoded() {
+    let dir = tempdir();
+    let xml = dir.join("doc.xml");
+    let scj = dir.join("doc.scj");
+    std::fs::write(&xml, SAMPLE).unwrap();
+
+    let out = xq()
+        .args(["--encode", xml.to_str().unwrap(), scj.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(scj.exists());
+
+    let out = xq()
+        .args(["//open_auction[bidder/increase]/@id", "--encoded", scj.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("@id=\"a0\""), "got: {stdout}");
+    assert!(!stdout.contains("a1"));
+}
+
+#[test]
+fn stats_go_to_stderr() {
+    let mut child = xq()
+        .args(["//bidder", "--stats", "--count"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(SAMPLE.as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("step"), "stats missing: {stderr}");
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "3");
+}
+
+#[test]
+fn parse_errors_exit_nonzero() {
+    let mut child = xq()
+        .args(["///bad["])
+        .stdin(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(SAMPLE.as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn malformed_xml_exits_nonzero() {
+    let mut child = xq()
+        .args(["//a"])
+        .stdin(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(b"<a><b></a>").unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("parse error"));
+}
