@@ -37,7 +37,10 @@ impl Context {
     /// join operators themselves, whose outputs carry the invariant by
     /// construction.
     pub fn from_sorted(pres: Vec<Pre>) -> Context {
-        debug_assert!(pres.windows(2).all(|w| w[0] < w[1]), "context not sorted/unique");
+        debug_assert!(
+            pres.windows(2).all(|w| w[0] < w[1]),
+            "context not sorted/unique"
+        );
         Context { pres }
     }
 
@@ -77,9 +80,7 @@ impl Context {
                     .pres
                     .iter()
                     .copied()
-                    .filter(|&p| {
-                        doc.tag(p) == id && doc.kind(p) == crate::NodeKind::Element
-                    })
+                    .filter(|&p| doc.tag(p) == id && doc.kind(p) == crate::NodeKind::Element)
                     .collect(),
             },
             None => Context::empty(),

@@ -81,7 +81,11 @@ impl Doc {
         }
         loop {
             match parser.next_event()? {
-                Event::StartTag { name, attributes, self_closing } => {
+                Event::StartTag {
+                    name,
+                    attributes,
+                    self_closing,
+                } => {
                     flush_text!();
                     b.open_element(name);
                     for a in &attributes {
@@ -160,7 +164,10 @@ impl Doc {
                     break;
                 }
             }
-            let parent_id = stack.last().map(|&(_, id)| id).unwrap_or(out.document_node());
+            let parent_id = stack
+                .last()
+                .map(|&(_, id)| id)
+                .unwrap_or(out.document_node());
             match self.kind(pre) {
                 NodeKind::Element => {
                     let name = self.tag_name(pre).unwrap_or("?").to_string();
@@ -352,7 +359,11 @@ impl Doc {
     /// included; filter by [`Doc::kind`] if needed). Skips over whole
     /// subtrees using Equation (1), so cost is `O(#children)`.
     pub fn children(&self, v: Pre) -> Children<'_> {
-        Children { doc: self, next: v + 1, end: v + 1 + self.subtree_size(v) }
+        Children {
+            doc: self,
+            next: v + 1,
+            end: v + 1 + self.subtree_size(v),
+        }
     }
 
     /// Iterates the descendants of `v` in document order (the contiguous
@@ -363,7 +374,10 @@ impl Doc {
 
     /// Iterates `v`'s ancestors bottom-up (parent first).
     pub fn ancestors(&self, v: Pre) -> Ancestors<'_> {
-        Ancestors { doc: self, next: self.parent(v) }
+        Ancestors {
+            doc: self,
+            next: self.parent(v),
+        }
     }
 
     /// Exhaustively checks the encoding invariants; returns a description
@@ -606,7 +620,8 @@ impl EncodingBuilder {
         self.height = self.height.max(level);
         self.kind.push(kind as u8);
         self.tag.push(tag);
-        self.parent.push(self.open.last().copied().unwrap_or(NO_PARENT));
+        self.parent
+            .push(self.open.last().copied().unwrap_or(NO_PARENT));
         match content {
             Some(c) if self.store_content => {
                 self.content.push(self.arena.len() as u32);
@@ -698,7 +713,11 @@ impl EncodingBuilder {
 
     /// Finalises the encoding. Panics if elements are still open.
     pub fn finish(self) -> Doc {
-        assert!(self.open.is_empty(), "finish with {} open element(s)", self.open.len());
+        assert!(
+            self.open.is_empty(),
+            "finish with {} open element(s)",
+            self.open.len()
+        );
         debug_assert_eq!(self.next_post as usize, self.post.len());
         Doc {
             post: Bat::from_tail(0, self.post),
@@ -766,7 +785,11 @@ mod tests {
         // Manually counted descendant set sizes.
         let expected = [9u32, 1, 0, 0, 5, 2, 0, 0, 1, 0];
         for p in doc.pres() {
-            assert_eq!(doc.subtree_size(p), expected[p as usize], "subtree of pre {p}");
+            assert_eq!(
+                doc.subtree_size(p),
+                expected[p as usize],
+                "subtree of pre {p}"
+            );
         }
     }
 
@@ -790,7 +813,10 @@ mod tests {
         assert_eq!(doc.content(1), Some("1"));
         // Attributes lie inside a's descendant region.
         assert!(doc.post(1) < doc.post(0));
-        assert!(doc.post(2) < doc.post(3), "attributes close before following siblings");
+        assert!(
+            doc.post(2) < doc.post(3),
+            "attributes close before following siblings"
+        );
     }
 
     #[test]

@@ -125,7 +125,9 @@ impl Doc {
         for name in &tag_names {
             tags.intern(name);
         }
-        Ok(Doc::from_raw_parts(post, level, kind, tag, parent, content, arena, tags, height))
+        Ok(Doc::from_raw_parts(
+            post, level, kind, tag, parent, content, arena, tags, height,
+        ))
     }
 }
 
@@ -228,7 +230,10 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        assert_eq!(Doc::from_bytes(b"NOPE").unwrap_err(), DecodeError::Truncated);
+        assert_eq!(
+            Doc::from_bytes(b"NOPE").unwrap_err(),
+            DecodeError::Truncated
+        );
         assert_eq!(
             Doc::from_bytes(b"NOPE0000000000000000").unwrap_err(),
             DecodeError::BadMagic
@@ -240,7 +245,10 @@ mod tests {
         let doc = sample();
         let mut bytes = doc.to_bytes().to_vec();
         bytes[4] = 99;
-        assert_eq!(Doc::from_bytes(&bytes).unwrap_err(), DecodeError::UnsupportedVersion(99));
+        assert_eq!(
+            Doc::from_bytes(&bytes).unwrap_err(),
+            DecodeError::UnsupportedVersion(99)
+        );
     }
 
     #[test]

@@ -58,8 +58,12 @@ impl Axis {
     ];
 
     /// The four axes that partition the document (plus the context node).
-    pub const PARTITIONING: [Axis; 4] =
-        [Axis::Preceding, Axis::Descendant, Axis::Ancestor, Axis::Following];
+    pub const PARTITIONING: [Axis; 4] = [
+        Axis::Preceding,
+        Axis::Descendant,
+        Axis::Ancestor,
+        Axis::Following,
+    ];
 
     /// The XPath name of the axis (`ancestor-or-self`, …).
     pub fn name(&self) -> &'static str {
@@ -111,7 +115,10 @@ impl Axis {
 
     /// `true` for the axes whose result region is a plane rectangle.
     pub fn is_partitioning(&self) -> bool {
-        matches!(self, Axis::Descendant | Axis::Ancestor | Axis::Following | Axis::Preceding)
+        matches!(
+            self,
+            Axis::Descendant | Axis::Ancestor | Axis::Following | Axis::Preceding
+        )
     }
 }
 
@@ -137,15 +144,28 @@ impl Region {
     pub fn of(doc: &Doc, axis: Axis, c: Pre) -> Option<Region> {
         let max_pre = doc.len().saturating_sub(1) as Pre;
         let max_post = max_pre; // post ranks cover the same range
+
         // Inclusive bounds strictly below/above x; (1, 0) encodes "empty".
         let below = |x: u32| if x == 0 { (1, 0) } else { (0, x - 1) };
         let above = |x: u32, max: u32| if x >= max { (1, 0) } else { (x + 1, max) };
         let (cp, cq) = (c, doc.post(c));
         let r = match axis {
-            Axis::Descendant => Region { pre: above(cp, max_pre), post: below(cq) },
-            Axis::Ancestor => Region { pre: below(cp), post: above(cq, max_post) },
-            Axis::Following => Region { pre: above(cp, max_pre), post: above(cq, max_post) },
-            Axis::Preceding => Region { pre: below(cp), post: below(cq) },
+            Axis::Descendant => Region {
+                pre: above(cp, max_pre),
+                post: below(cq),
+            },
+            Axis::Ancestor => Region {
+                pre: below(cp),
+                post: above(cq, max_post),
+            },
+            Axis::Following => Region {
+                pre: above(cp, max_pre),
+                post: above(cq, max_post),
+            },
+            Axis::Preceding => Region {
+                pre: below(cp),
+                post: below(cq),
+            },
             _ => return None,
         };
         Some(r)
@@ -172,7 +192,9 @@ mod tests {
     }
 
     fn names(doc: &Doc, pres: impl IntoIterator<Item = Pre>) -> Vec<String> {
-        pres.into_iter().map(|p| doc.tag_name(p).unwrap().to_string()).collect()
+        pres.into_iter()
+            .map(|p| doc.tag_name(p).unwrap().to_string())
+            .collect()
     }
 
     fn axis_result(doc: &Doc, axis: Axis, c: Pre) -> Vec<Pre> {
@@ -183,17 +205,32 @@ mod tests {
     fn figure1_regions_from_f() {
         let doc = figure1();
         let f = 5;
-        assert_eq!(names(&doc, axis_result(&doc, Axis::Preceding, f)), ["b", "c", "d"]);
-        assert_eq!(names(&doc, axis_result(&doc, Axis::Descendant, f)), ["g", "h"]);
-        assert_eq!(names(&doc, axis_result(&doc, Axis::Ancestor, f)), ["a", "e"]);
-        assert_eq!(names(&doc, axis_result(&doc, Axis::Following, f)), ["i", "j"]);
+        assert_eq!(
+            names(&doc, axis_result(&doc, Axis::Preceding, f)),
+            ["b", "c", "d"]
+        );
+        assert_eq!(
+            names(&doc, axis_result(&doc, Axis::Descendant, f)),
+            ["g", "h"]
+        );
+        assert_eq!(
+            names(&doc, axis_result(&doc, Axis::Ancestor, f)),
+            ["a", "e"]
+        );
+        assert_eq!(
+            names(&doc, axis_result(&doc, Axis::Following, f)),
+            ["i", "j"]
+        );
     }
 
     #[test]
     fn figure2_ancestors_of_g() {
         let doc = figure1();
         let g = 6;
-        assert_eq!(names(&doc, axis_result(&doc, Axis::Ancestor, g)), ["a", "e", "f"]);
+        assert_eq!(
+            names(&doc, axis_result(&doc, Axis::Ancestor, g)),
+            ["a", "e", "f"]
+        );
     }
 
     #[test]
@@ -207,7 +244,10 @@ mod tests {
                     covered[v as usize] += 1;
                 }
             }
-            assert!(covered.iter().all(|&n| n == 1), "partition broken at context {c}");
+            assert!(
+                covered.iter().all(|&n| n == 1),
+                "partition broken at context {c}"
+            );
         }
     }
 
@@ -233,8 +273,14 @@ mod tests {
     fn sibling_axes() {
         let doc = figure1();
         // b(1), d(3), e(4) are the children of a.
-        assert_eq!(names(&doc, axis_result(&doc, Axis::FollowingSibling, 1)), ["d", "e"]);
-        assert_eq!(names(&doc, axis_result(&doc, Axis::PrecedingSibling, 4)), ["b", "d"]);
+        assert_eq!(
+            names(&doc, axis_result(&doc, Axis::FollowingSibling, 1)),
+            ["d", "e"]
+        );
+        assert_eq!(
+            names(&doc, axis_result(&doc, Axis::PrecedingSibling, 4)),
+            ["b", "d"]
+        );
     }
 
     #[test]
@@ -249,7 +295,10 @@ mod tests {
     #[test]
     fn or_self_variants() {
         let doc = figure1();
-        assert_eq!(names(&doc, axis_result(&doc, Axis::AncestorOrSelf, 6)), ["a", "e", "f", "g"]);
+        assert_eq!(
+            names(&doc, axis_result(&doc, Axis::AncestorOrSelf, 6)),
+            ["a", "e", "f", "g"]
+        );
         assert_eq!(
             names(&doc, axis_result(&doc, Axis::DescendantOrSelf, 5)),
             ["f", "g", "h"]

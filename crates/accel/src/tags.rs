@@ -60,7 +60,10 @@ impl TagInterner {
 
     /// Iterates `(id, name)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (TagId, &str)> {
-        self.names.iter().enumerate().map(|(i, n)| (i as TagId, n.as_str()))
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as TagId, n.as_str()))
     }
 }
 

@@ -57,7 +57,9 @@ fn arb_doc() -> impl Strategy<Value = Doc> {
 
 /// Brute-force descendant count straight from the region predicate.
 fn brute_descendants(doc: &Doc, c: u32) -> u32 {
-    doc.pres().filter(|&v| v > c && doc.post(v) < doc.post(c)).count() as u32
+    doc.pres()
+        .filter(|&v| v > c && doc.post(v) < doc.post(c))
+        .count() as u32
 }
 
 proptest! {

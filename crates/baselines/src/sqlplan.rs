@@ -79,7 +79,11 @@ impl SqlEngine {
             .map(|v| {
                 (
                     key(v, doc.post(v)),
-                    Row { post: doc.post(v), tag: doc.tag(v), kind: doc.kind(v) as u8 },
+                    Row {
+                        post: doc.post(v),
+                        tag: doc.tag(v),
+                        kind: doc.kind(v) as u8,
+                    },
                 )
             })
             .collect();
@@ -146,8 +150,7 @@ impl SqlEngine {
                 let v = (k >> 32) as Pre;
                 let hit = match axis {
                     Axis::Descendant => {
-                        row.post < c_post
-                            && (!opts.eq1_window || row.post + self.height >= c)
+                        row.post < c_post && (!opts.eq1_window || row.post + self.height >= c)
                     }
                     Axis::Following => row.post > c_post,
                     Axis::Ancestor => row.post > c_post,
@@ -190,7 +193,10 @@ impl SqlEngine {
         let (outers, mut stats) = self.axis_step(
             context,
             Axis::Descendant,
-            SqlPlanOptions { eq1_window: true, early_nametest: Some(outer) },
+            SqlPlanOptions {
+                eq1_window: true,
+                early_nametest: Some(outer),
+            },
         );
         // EXISTS probe per outer row: a delimited descendant range scan
         // that stops at the first inner-tag hit.
@@ -237,7 +243,9 @@ mod tests {
     }
 
     fn reference(doc: &Doc, ctx: &Context, axis: Axis) -> Vec<Pre> {
-        doc.pres().filter(|&v| ctx.iter().any(|c| axis.contains(doc, c, v))).collect()
+        doc.pres()
+            .filter(|&v| ctx.iter().any(|c| axis.contains(doc, c, v)))
+            .collect()
     }
 
     #[test]
@@ -258,7 +266,10 @@ mod tests {
         let ctx = Context::from_unsorted(vec![3, 5, 7]);
         for axis in Axis::PARTITIONING {
             for eq1 in [false, true] {
-                let opts = SqlPlanOptions { eq1_window: eq1, ..Default::default() };
+                let opts = SqlPlanOptions {
+                    eq1_window: eq1,
+                    ..Default::default()
+                };
                 let (got, _) = engine.axis_step(&ctx, axis, opts);
                 assert_eq!(
                     got.as_slice(),
@@ -279,12 +290,14 @@ mod tests {
         .unwrap();
         let engine = SqlEngine::build(&doc);
         let a: Context = Context::singleton(1);
-        let (r1, without) =
-            engine.axis_step(&a, Axis::Descendant, SqlPlanOptions::default());
+        let (r1, without) = engine.axis_step(&a, Axis::Descendant, SqlPlanOptions::default());
         let (r2, with) = engine.axis_step(
             &a,
             Axis::Descendant,
-            SqlPlanOptions { eq1_window: true, ..Default::default() },
+            SqlPlanOptions {
+                eq1_window: true,
+                ..Default::default()
+            },
         );
         assert_eq!(r1, r2);
         assert!(
@@ -316,10 +329,15 @@ mod tests {
         let (got, _) = engine.axis_step(
             &ctx,
             Axis::Descendant,
-            SqlPlanOptions { early_nametest: Some(q), ..Default::default() },
+            SqlPlanOptions {
+                early_nametest: Some(q),
+                ..Default::default()
+            },
         );
-        let want: Vec<Pre> =
-            doc.pres().filter(|&v| doc.tag_id("q") == Some(doc.tag(v))).collect();
+        let want: Vec<Pre> = doc
+            .pres()
+            .filter(|&v| doc.tag_id("q") == Some(doc.tag(v)))
+            .collect();
         assert_eq!(got.as_slice(), &want[..]);
     }
 
@@ -327,8 +345,11 @@ mod tests {
     fn attributes_filtered() {
         let doc = Doc::from_xml(r#"<a x="1"><b y="2"/></a>"#).unwrap();
         let engine = SqlEngine::build(&doc);
-        let (got, _) =
-            engine.axis_step(&Context::singleton(0), Axis::Descendant, SqlPlanOptions::default());
+        let (got, _) = engine.axis_step(
+            &Context::singleton(0),
+            Axis::Descendant,
+            SqlPlanOptions::default(),
+        );
         assert_eq!(got.as_slice(), &[2]); // only <b>
     }
 
@@ -341,8 +362,7 @@ mod tests {
         let engine = SqlEngine::build(&doc);
         let bidder = doc.tag_id("bidder").unwrap();
         let increase = doc.tag_id("increase").unwrap();
-        let (got, _) =
-            engine.descendant_exists_rewrite(&Context::singleton(0), bidder, increase);
+        let (got, _) = engine.descendant_exists_rewrite(&Context::singleton(0), bidder, increase);
         // bidders at pre 1 and 5 contain an increase; pre 3 does not.
         assert_eq!(got.as_slice(), &[1, 5]);
     }
@@ -351,8 +371,11 @@ mod tests {
     fn index_nodes_touched_grows_with_scans() {
         let doc = figure1();
         let engine = SqlEngine::build(&doc);
-        let (_, stats) =
-            engine.axis_step(&Context::singleton(0), Axis::Descendant, SqlPlanOptions::default());
+        let (_, stats) = engine.axis_step(
+            &Context::singleton(0),
+            Axis::Descendant,
+            SqlPlanOptions::default(),
+        );
         assert!(stats.index_nodes_touched > 0);
     }
 
@@ -360,8 +383,11 @@ mod tests {
     fn empty_context() {
         let doc = figure1();
         let engine = SqlEngine::build(&doc);
-        let (got, stats) =
-            engine.axis_step(&Context::empty(), Axis::Descendant, SqlPlanOptions::default());
+        let (got, stats) = engine.axis_step(
+            &Context::empty(),
+            Axis::Descendant,
+            SqlPlanOptions::default(),
+        );
         assert!(got.is_empty());
         assert_eq!(stats.index_entries_scanned, 0);
     }

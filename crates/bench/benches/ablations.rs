@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use staircase_accel::{Axis, Context};
-use staircase_baselines::{mpmgjn_join, naive_step, SqlEngine, SqlPlanOptions};
+use staircase_baselines::{mpmgjn_join, naive_step, SqlPlanOptions};
 use staircase_bench::Workload;
 use staircase_core::{ancestor, descendant, descendant_fused, prune_descendant, Variant};
 
@@ -20,13 +20,13 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_pruning");
     g.sample_size(10);
     g.bench_function("prune_descendant_pass", |b| {
-        b.iter(|| prune_descendant(&w.doc, &profiles))
+        b.iter(|| prune_descendant(w.doc(), &profiles))
     });
     g.bench_function("prune_then_join", |b| {
-        b.iter(|| descendant(&w.doc, &profiles, Variant::EstimationSkipping))
+        b.iter(|| descendant(w.doc(), &profiles, Variant::EstimationSkipping))
     });
     g.bench_function("fused_on_the_fly_pruning", |b| {
-        b.iter(|| descendant_fused(&w.doc, &profiles, Variant::EstimationSkipping))
+        b.iter(|| descendant_fused(w.doc(), &profiles, Variant::EstimationSkipping))
     });
     g.finish();
 
@@ -34,13 +34,15 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_q2_ancestor_step");
     g.sample_size(10);
     g.bench_function("staircase_skipping", |b| {
-        b.iter(|| ancestor(&w.doc, &increases, Variant::Skipping))
+        b.iter(|| ancestor(w.doc(), &increases, Variant::Skipping))
     });
     g.bench_function("staircase_basic", |b| {
-        b.iter(|| ancestor(&w.doc, &increases, Variant::Basic))
+        b.iter(|| ancestor(w.doc(), &increases, Variant::Basic))
     });
-    g.bench_function("naive", |b| b.iter(|| naive_step(&w.doc, &increases, Axis::Ancestor)));
-    let sql = SqlEngine::build(&w.doc);
+    g.bench_function("naive", |b| {
+        b.iter(|| naive_step(w.doc(), &increases, Axis::Ancestor))
+    });
+    let sql = w.session().sql_engine();
     g.bench_function("sql_plan", |b| {
         b.iter(|| sql.axis_step(&increases, Axis::Ancestor, SqlPlanOptions::default()))
     });
@@ -50,23 +52,25 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_q1_descendant_step");
     g.sample_size(10);
     let dlist: Vec<u32> = w
-        .doc
+        .doc()
         .pres()
-        .filter(|&v| w.doc.kind(v) != staircase_accel::NodeKind::Attribute)
+        .filter(|&v| w.doc().kind(v) != staircase_accel::NodeKind::Attribute)
         .collect();
     let alist: Vec<u32> = profiles.iter().collect();
     g.bench_function("staircase_est_skipping", |b| {
-        b.iter(|| descendant(&w.doc, &profiles, Variant::EstimationSkipping))
+        b.iter(|| descendant(w.doc(), &profiles, Variant::EstimationSkipping))
     });
-    g.bench_function("mpmgjn", |b| b.iter(|| mpmgjn_join(&w.doc, &alist, &dlist)));
+    g.bench_function("mpmgjn", |b| {
+        b.iter(|| mpmgjn_join(w.doc(), &alist, &dlist))
+    });
     g.finish();
 
     // --- index scan vs positional scan ---------------------------------
     let mut g = c.benchmark_group("ablation_scan_paths");
     g.sample_size(10);
-    let root = Context::singleton(w.doc.root());
+    let root = Context::singleton(w.doc().root());
     g.bench_function("plane_positional_scan", |b| {
-        b.iter(|| descendant(&w.doc, &root, Variant::Basic))
+        b.iter(|| descendant(w.doc(), &root, Variant::Basic))
     });
     g.bench_function("btree_range_scan", |b| {
         b.iter(|| sql.axis_step(&root, Axis::Descendant, SqlPlanOptions::default()))

@@ -9,25 +9,25 @@ use staircase_storage::scan::{append_run, append_run_unrolled};
 
 fn bench(c: &mut Criterion) {
     let w = Workload::generate(4.0);
-    let n = w.doc.len();
+    let n = w.doc().len();
     let root = w.root();
 
     let mut g = c.benchmark_group("bandwidth_root_descendant");
     g.sample_size(10);
     // Paper formula: bytes read + bytes written = (|doc| + ctx + result)×4.
-    let (result, _) = descendant(&w.doc, &root, Variant::EstimationSkipping);
+    let (result, _) = descendant(w.doc(), &root, Variant::EstimationSkipping);
     g.throughput(Throughput::Bytes(((n + 1 + result.len()) * 4) as u64));
     g.bench_function("staircase_est_skipping", |b| {
-        b.iter(|| descendant(&w.doc, &root, Variant::EstimationSkipping))
+        b.iter(|| descendant(w.doc(), &root, Variant::EstimationSkipping))
     });
     g.bench_function("staircase_basic", |b| {
-        b.iter(|| descendant(&w.doc, &root, Variant::Basic))
+        b.iter(|| descendant(w.doc(), &root, Variant::Basic))
     });
     g.finish();
 
     let mut g = c.benchmark_group("copy_kernels");
     g.sample_size(10);
-    let src = w.doc.post_column();
+    let src = w.doc().post_column();
     g.throughput(Throughput::Bytes((2 * n * 4) as u64));
     g.bench_function("plain", |b| {
         b.iter(|| {

@@ -7,21 +7,17 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use staircase_bench::{Workload, QUERY_Q2};
-use staircase_core::Variant;
-use staircase_xpath::{Engine, Evaluator};
+use staircase_xpath::Engine;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig11b_q2_staircase");
     g.sample_size(10);
     for scale in [0.25, 1.0, 4.0] {
         let w = Workload::generate(scale);
-        let eval = Evaluator::new(
-            &w.doc,
-            Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: false },
-        );
-        g.throughput(Throughput::Elements(w.doc.len() as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(scale), &eval, |b, eval| {
-            b.iter(|| eval.evaluate(QUERY_Q2).unwrap())
+        let query = w.session().prepare(QUERY_Q2).expect("Q2 parses");
+        g.throughput(Throughput::Elements(w.doc().len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(scale), &query, |b, query| {
+            b.iter(|| query.run(Engine::default()))
         });
     }
     g.finish();

@@ -23,7 +23,7 @@ fn bench(c: &mut Criterion) {
             g.bench_with_input(
                 BenchmarkId::new(name, scale),
                 &(&w, &profiles),
-                |b, (w, profiles)| b.iter(|| descendant(&w.doc, profiles, variant)),
+                |b, (w, profiles)| b.iter(|| descendant(w.doc(), profiles, variant)),
             );
         }
     }

@@ -4,23 +4,30 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use staircase_bench::{Workload, QUERY_Q1};
 use staircase_core::{ancestor_parallel, descendant_parallel, Variant};
-use staircase_xpath::{Engine, Evaluator};
+use staircase_xpath::Engine;
 
 fn bench(c: &mut Criterion) {
     let w = Workload::generate(2.0);
 
     let mut g = c.benchmark_group("fragmentation_q1");
     g.sample_size(10);
-    let full = Evaluator::new(
-        &w.doc,
-        Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: false },
-    );
-    let frag = Evaluator::new(
-        &w.doc,
-        Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: true },
-    );
-    g.bench_function("full_plane", |b| b.iter(|| full.evaluate(QUERY_Q1).unwrap()));
-    g.bench_function("tag_fragments", |b| b.iter(|| frag.evaluate(QUERY_Q1).unwrap()));
+    let query = w.session().prepare(QUERY_Q1).expect("Q1 parses");
+    // Fragments are "document loading time" work: build them before the
+    // measured region so the bench times the join, not TagIndex::build.
+    w.session().tag_index();
+    let pushdown = Engine::staircase()
+        .pushdown(true)
+        .build()
+        .expect("valid engine config");
+    let fragmented = Engine::staircase()
+        .fragmented(true)
+        .build()
+        .expect("valid engine config");
+    g.bench_function("full_plane", |b| b.iter(|| query.run(Engine::default())));
+    g.bench_function("query_time_pushdown", |b| b.iter(|| query.run(pushdown)));
+    g.bench_function("prebuilt_tag_fragments", |b| {
+        b.iter(|| query.run(fragmented))
+    });
     g.finish();
 
     let mut g = c.benchmark_group("parallel_partitions");
@@ -28,12 +35,18 @@ fn bench(c: &mut Criterion) {
     let profiles = w.profiles();
     let increases = w.increases();
     for threads in [1usize, 2, 4] {
-        g.bench_with_input(BenchmarkId::new("q1_descendant", threads), &threads, |b, &t| {
-            b.iter(|| descendant_parallel(&w.doc, &profiles, Variant::EstimationSkipping, t))
-        });
-        g.bench_with_input(BenchmarkId::new("q2_ancestor", threads), &threads, |b, &t| {
-            b.iter(|| ancestor_parallel(&w.doc, &increases, Variant::Skipping, t))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("q1_descendant", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| descendant_parallel(w.doc(), &profiles, Variant::EstimationSkipping, t))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("q2_ancestor", threads),
+            &threads,
+            |b, &t| b.iter(|| ancestor_parallel(w.doc(), &increases, Variant::Skipping, t)),
+        );
     }
     g.finish();
 }

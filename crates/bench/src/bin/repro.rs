@@ -24,7 +24,12 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { experiment: "all".into(), factor: 0.05, runs: 3, csv: None };
+    let mut args = Args {
+        experiment: "all".into(),
+        factor: 0.05,
+        runs: 3,
+        csv: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -46,8 +51,9 @@ fn parse_args() -> Result<Args, String> {
                 args.csv = Some(it.next().ok_or("--csv needs a directory")?);
             }
             "--help" | "-h" => {
-                return Err("usage: repro [EXPERIMENT] [--factor F] [--runs N] [--csv DIR]"
-                    .to_string());
+                return Err(
+                    "usage: repro [EXPERIMENT] [--factor F] [--runs N] [--csv DIR]".to_string(),
+                );
             }
             other if !other.starts_with('-') => args.experiment = other.to_string(),
             other => return Err(format!("unknown flag {other}")),
@@ -105,7 +111,12 @@ fn main() {
         .into_iter()
         .map(|s| {
             let w = Workload::generate(s);
-            eprintln!("  scale {:>8.3} → {:>9} nodes (height {})", s, w.doc.len(), w.doc.height());
+            eprintln!(
+                "  scale {:>8.3} → {:>9} nodes (height {})",
+                s,
+                w.doc().len(),
+                w.doc().height()
+            );
             w
         })
         .collect();
@@ -117,7 +128,7 @@ fn main() {
     if run("profile") && args.experiment == "profile" {
         // Structural profile only (document statistics).
         for w in &workloads {
-            let p = staircase_xmlgen::DocProfile::measure(&w.doc);
+            let p = staircase_xmlgen::DocProfile::measure(w.doc());
             println!("scale {:>8.3}: {p:#?}", w.scale);
         }
         return;
@@ -125,7 +136,10 @@ fn main() {
 
     if run("verify") || args.experiment == "all" {
         let ok = exp::verify_engines_agree(&workloads[0]);
-        eprintln!("engine cross-check on smallest workload: {}", if ok { "OK" } else { "MISMATCH" });
+        eprintln!(
+            "engine cross-check on smallest workload: {}",
+            if ok { "OK" } else { "MISMATCH" }
+        );
         assert!(ok, "engines disagree — results would be meaningless");
     }
 
@@ -161,7 +175,11 @@ fn main() {
     }
     if run("storage") {
         // Keep the XML text in memory affordable: cap the scale.
-        let scale = workloads.iter().map(|w| w.scale).fold(0.0, f64::max).min(20.0);
+        let scale = workloads
+            .iter()
+            .map(|w| w.scale)
+            .fold(0.0, f64::max)
+            .min(20.0);
         emit(&exp::storage(scale, args.runs), &args.csv);
     }
     if run("density") {

@@ -8,11 +8,34 @@
 
 use staircase_accel::{Axis, Context};
 use staircase_baselines::naive_step;
-use staircase_core::{
-    ancestor, ancestor_parallel, descendant, descendant_parallel, Variant,
-};
+use staircase_core::{ancestor, ancestor_parallel, descendant, descendant_parallel, Variant};
 use staircase_storage::scan::{append_run, append_run_unrolled};
-use staircase_xpath::{Engine, Evaluator};
+use staircase_xpath::Engine;
+
+/// Staircase join with §4.4 query-time name-test pushdown.
+fn pushdown_engine() -> Engine {
+    Engine::staircase()
+        .pushdown(true)
+        .build()
+        .expect("pushdown engine config is valid")
+}
+
+/// Staircase join over §6 prebuilt per-tag fragments.
+fn fragmented_engine() -> Engine {
+    Engine::staircase()
+        .fragmented(true)
+        .build()
+        .expect("fragmented engine config is valid")
+}
+
+/// The SQL baseline with the paper's line-7 window and early name test.
+fn sql_engine(eq1_window: bool) -> Engine {
+    Engine::sql()
+        .eq1_window(eq1_window)
+        .early_nametest(true)
+        .build()
+        .expect("sql engine config is valid")
+}
 
 use crate::cells;
 use crate::table::Table;
@@ -25,23 +48,45 @@ use crate::workload::{time_ms, Workload, QUERY_Q1, QUERY_Q2};
 /// Q2: 47 015 212, 597 777, 706 193, 597 777.
 pub fn table1(w: &Workload) -> Table {
     let mut t = Table::new(
-        format!("Table 1: intermediary result sizes (scale {}, {} nodes)", w.scale, w.doc.len()),
-        &["query", "step1 axis", "step1 nametest", "step2 axis", "step2 nametest"],
+        format!(
+            "Table 1: intermediary result sizes (scale {}, {} nodes)",
+            w.scale,
+            w.doc().len()
+        ),
+        &[
+            "query",
+            "step1 axis",
+            "step1 nametest",
+            "step2 axis",
+            "step2 nametest",
+        ],
     );
     let root = w.root();
 
     // Q1: /descendant::profile/descendant::education
-    let (d1, _) = descendant(&w.doc, &root, Variant::EstimationSkipping);
-    let profiles = d1.name_test(&w.doc, "profile");
-    let (d2, _) = descendant(&w.doc, &profiles, Variant::EstimationSkipping);
-    let educations = d2.name_test(&w.doc, "education");
-    t.row(cells!(QUERY_Q1, d1.len(), profiles.len(), d2.len(), educations.len()));
+    let (d1, _) = descendant(w.doc(), &root, Variant::EstimationSkipping);
+    let profiles = d1.name_test(w.doc(), "profile");
+    let (d2, _) = descendant(w.doc(), &profiles, Variant::EstimationSkipping);
+    let educations = d2.name_test(w.doc(), "education");
+    t.row(cells!(
+        QUERY_Q1,
+        d1.len(),
+        profiles.len(),
+        d2.len(),
+        educations.len()
+    ));
 
     // Q2: /descendant::increase/ancestor::bidder
-    let increases = d1.name_test(&w.doc, "increase");
-    let (a2, _) = ancestor(&w.doc, &increases, Variant::Skipping);
-    let bidders = a2.name_test(&w.doc, "bidder");
-    t.row(cells!(QUERY_Q2, d1.len(), increases.len(), a2.len(), bidders.len()));
+    let increases = d1.name_test(w.doc(), "increase");
+    let (a2, _) = ancestor(w.doc(), &increases, Variant::Skipping);
+    let bidders = a2.name_test(w.doc(), "bidder");
+    t.row(cells!(
+        QUERY_Q2,
+        d1.len(),
+        increases.len(),
+        a2.len(),
+        bidders.len()
+    ));
     t
 }
 
@@ -51,7 +96,14 @@ pub fn table1(w: &Workload) -> Table {
 pub fn fig11a(workloads: &[Workload]) -> Table {
     let mut t = Table::new(
         "Figure 11(a): avoiding duplicates (Q2 ancestor step)",
-        &["scale", "nodes", "naive produced", "staircase result", "duplicates avoided", "dup %"],
+        &[
+            "scale",
+            "nodes",
+            "naive produced",
+            "staircase result",
+            "duplicates avoided",
+            "dup %",
+        ],
     );
     for w in workloads {
         let ctx = w.increases();
@@ -60,13 +112,13 @@ pub fn fig11a(workloads: &[Workload]) -> Table {
         // count without paying the naive engine's quadratic scan cost at
         // large scales. (tests cross-check this against an actual
         // `naive_step` run on small documents.)
-        let naive_produced: u64 = ctx.iter().map(|c| w.doc.level(c) as u64).sum();
-        let (got, _) = ancestor(&w.doc, &ctx, Variant::Skipping);
+        let naive_produced: u64 = ctx.iter().map(|c| w.doc().level(c) as u64).sum();
+        let (got, _) = ancestor(w.doc(), &ctx, Variant::Skipping);
         let dup = naive_produced - got.len() as u64;
         let pct = 100.0 * dup as f64 / naive_produced.max(1) as f64;
         t.row(cells!(
             w.scale,
-            w.doc.len(),
+            w.doc().len(),
             naive_produced,
             got.len(),
             dup,
@@ -80,8 +132,8 @@ pub fn fig11a(workloads: &[Workload]) -> Table {
 /// [`fig11a`] equals what the executable naive engine actually produces.
 pub fn naive_count_crosscheck(w: &Workload) -> (u64, u64) {
     let ctx = w.increases();
-    let analytic: u64 = ctx.iter().map(|c| w.doc.level(c) as u64).sum();
-    let (_, naive) = naive_step(&w.doc, &ctx, Axis::Ancestor);
+    let analytic: u64 = ctx.iter().map(|c| w.doc().level(c) as u64).sum();
+    let (_, naive) = naive_step(w.doc(), &ctx, Axis::Ancestor);
     (analytic, naive.tuples_produced)
 }
 
@@ -93,13 +145,15 @@ pub fn fig11b(workloads: &[Workload], runs: usize) -> Table {
         &["scale", "nodes", "time ms", "ns/node"],
     );
     for w in workloads {
-        let eval = Evaluator::new(
-            &w.doc,
-            Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: false },
-        );
-        let ms = time_ms(runs, || eval.evaluate(QUERY_Q2).unwrap());
-        let ns_per_node = ms * 1e6 / w.doc.len() as f64;
-        t.row(cells!(w.scale, w.doc.len(), format!("{ms:.2}"), format!("{ns_per_node:.2}")));
+        let query = w.session().prepare(QUERY_Q2).expect("Q2 parses");
+        let ms = time_ms(runs, || query.run(Engine::default()));
+        let ns_per_node = ms * 1e6 / w.doc().len() as f64;
+        t.row(cells!(
+            w.scale,
+            w.doc().len(),
+            format!("{ms:.2}"),
+            format!("{ns_per_node:.2}")
+        ));
     }
     t
 }
@@ -110,16 +164,23 @@ pub fn fig11b(workloads: &[Workload], runs: usize) -> Table {
 pub fn fig11c(workloads: &[Workload]) -> Table {
     let mut t = Table::new(
         "Figure 11(c): skipping, nodes accessed (Q1 second step)",
-        &["scale", "nodes", "no skipping", "skipping", "skipping (estimated)", "result size"],
+        &[
+            "scale",
+            "nodes",
+            "no skipping",
+            "skipping",
+            "skipping (estimated)",
+            "result size",
+        ],
     );
     for w in workloads {
         let profiles = w.profiles();
-        let (r, basic) = descendant(&w.doc, &profiles, Variant::Basic);
-        let (_, skip) = descendant(&w.doc, &profiles, Variant::Skipping);
-        let (_, est) = descendant(&w.doc, &profiles, Variant::EstimationSkipping);
+        let (r, basic) = descendant(w.doc(), &profiles, Variant::Basic);
+        let (_, skip) = descendant(w.doc(), &profiles, Variant::Skipping);
+        let (_, est) = descendant(w.doc(), &profiles, Variant::EstimationSkipping);
         t.row(cells!(
             w.scale,
-            w.doc.len(),
+            w.doc().len(),
             basic.nodes_touched(),
             skip.nodes_touched(),
             est.nodes_touched(),
@@ -134,16 +195,24 @@ pub fn fig11c(workloads: &[Workload]) -> Table {
 pub fn fig11d(workloads: &[Workload], runs: usize) -> Table {
     let mut t = Table::new(
         "Figure 11(d): skipping, execution time (Q1 second step)",
-        &["scale", "nodes", "no skipping ms", "skipping ms", "skipping (estimated) ms"],
+        &[
+            "scale",
+            "nodes",
+            "no skipping ms",
+            "skipping ms",
+            "skipping (estimated) ms",
+        ],
     );
     for w in workloads {
         let profiles = w.profiles();
-        let basic = time_ms(runs, || descendant(&w.doc, &profiles, Variant::Basic));
-        let skip = time_ms(runs, || descendant(&w.doc, &profiles, Variant::Skipping));
-        let est = time_ms(runs, || descendant(&w.doc, &profiles, Variant::EstimationSkipping));
+        let basic = time_ms(runs, || descendant(w.doc(), &profiles, Variant::Basic));
+        let skip = time_ms(runs, || descendant(w.doc(), &profiles, Variant::Skipping));
+        let est = time_ms(runs, || {
+            descendant(w.doc(), &profiles, Variant::EstimationSkipping)
+        });
         t.row(cells!(
             w.scale,
-            w.doc.len(),
+            w.doc().len(),
             format!("{basic:.2}"),
             format!("{skip:.2}"),
             format!("{est:.2}")
@@ -159,7 +228,12 @@ pub fn fig11d(workloads: &[Workload], runs: usize) -> Table {
 /// while feasible — its cost is quadratic), and the same plan with the
 /// paper's line-7 Equation-1 window, the optimizer hint §2.1 proposes.
 pub fn fig11e(workloads: &[Workload], runs: usize) -> Table {
-    comparison_figure("Figure 11(e): performance comparison (Q1)", QUERY_Q1, workloads, runs)
+    comparison_figure(
+        "Figure 11(e): performance comparison (Q1)",
+        QUERY_Q1,
+        workloads,
+        runs,
+    )
 }
 
 /// **Figure 11(f)** — performance comparison on Q2. Like the paper, the
@@ -179,35 +253,27 @@ pub fn fig11f(workloads: &[Workload], runs: usize) -> Table {
         ],
     );
     for w in workloads {
-        let late = Evaluator::new(
-            &w.doc,
-            Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: false },
-        );
-        let early = Evaluator::new(
-            &w.doc,
-            Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: true },
-        );
-        let sql = staircase_baselines::SqlEngine::build(&w.doc);
-        let bidder = w.doc.tag_id("bidder").expect("bidder tag");
-        let increase = w.doc.tag_id("increase").expect("increase tag");
+        let query = w.session().prepare(QUERY_Q2).expect("Q2 parses");
+        let sql = w.session().sql_engine();
+        let bidder = w.doc().tag_id("bidder").expect("bidder tag");
+        let increase = w.doc().tag_id("increase").expect("increase tag");
         let root = w.root();
 
-        let t_late = time_ms(runs, || late.evaluate(QUERY_Q2).unwrap());
-        let t_early = time_ms(runs, || early.evaluate(QUERY_Q2).unwrap());
-        let t_sql =
-            time_ms(runs, || sql.descendant_exists_rewrite(&root, bidder, increase));
+        let t_late = time_ms(runs, || query.run(Engine::default()));
+        let t_early = time_ms(runs, || query.run(pushdown_engine()));
+        let t_sql = time_ms(runs, || {
+            sql.descendant_exists_rewrite(&root, bidder, increase)
+        });
         // The plan the paper could not get DB2 to run acceptably: a direct
         // ancestor step, whose per-context prefix scans are quadratic.
-        let t_direct = if w.doc.len() <= SQL_UNBOUNDED_LIMIT {
-            let sql_eval =
-                Evaluator::new(&w.doc, Engine::Sql { eq1_window: true, early_nametest: true });
-            format!("{:.2}", time_ms(runs, || sql_eval.evaluate(QUERY_Q2).unwrap()))
+        let t_direct = if w.doc().len() <= SQL_UNBOUNDED_LIMIT {
+            format!("{:.2}", time_ms(runs, || query.run(sql_engine(true))))
         } else {
             "- (prefix scans infeasible)".to_string()
         };
         t.row(cells!(
             w.scale,
-            w.doc.len(),
+            w.doc().len(),
             format!("{t_late:.2}"),
             format!("{t_early:.2}"),
             format!("{t_sql:.2}"),
@@ -233,29 +299,21 @@ fn comparison_figure(title: &str, query: &str, workloads: &[Workload], runs: usi
         ],
     );
     for w in workloads {
-        let late = Evaluator::new(
-            &w.doc,
-            Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: false },
-        );
-        let early = Evaluator::new(
-            &w.doc,
-            Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: true },
-        );
-        let sql_plain =
-            Evaluator::new(&w.doc, Engine::Sql { eq1_window: false, early_nametest: true });
-        let sql_window =
-            Evaluator::new(&w.doc, Engine::Sql { eq1_window: true, early_nametest: true });
-        let t_late = time_ms(runs, || late.evaluate(query).unwrap());
-        let t_early = time_ms(runs, || early.evaluate(query).unwrap());
-        let t_sql = if w.doc.len() <= SQL_UNBOUNDED_LIMIT {
-            format!("{:.2}", time_ms(runs, || sql_plain.evaluate(query).unwrap()))
+        let prepared = w.session().prepare(query).expect("paper query parses");
+        // "Document loading time" work stays out of the timed region: force
+        // the session's lazily built SQL B-tree before the clock starts.
+        w.session().sql_engine();
+        let t_late = time_ms(runs, || prepared.run(Engine::default()));
+        let t_early = time_ms(runs, || prepared.run(pushdown_engine()));
+        let t_sql = if w.doc().len() <= SQL_UNBOUNDED_LIMIT {
+            format!("{:.2}", time_ms(runs, || prepared.run(sql_engine(false))))
         } else {
             "- (unbounded scans infeasible)".to_string()
         };
-        let t_sqlw = time_ms(runs, || sql_window.evaluate(query).unwrap());
+        let t_sqlw = time_ms(runs, || prepared.run(sql_engine(true)));
         t.row(cells!(
             w.scale,
-            w.doc.len(),
+            w.doc().len(),
             format!("{t_late:.2}"),
             format!("{t_early:.2}"),
             t_sql,
@@ -271,15 +329,20 @@ fn comparison_figure(title: &str, query: &str, workloads: &[Workload], runs: usi
 /// `(nodes read + written) × 4 bytes / time`.
 pub fn bandwidth(w: &Workload, runs: usize) -> Table {
     let mut t = Table::new(
-        format!("§4.3 bandwidth: (root)/descendant copy phase ({} nodes)", w.doc.len()),
+        format!(
+            "§4.3 bandwidth: (root)/descendant copy phase ({} nodes)",
+            w.doc().len()
+        ),
         &["method", "time ms", "MB/s"],
     );
     let root = w.root();
-    let n = w.doc.len() as f64;
+    let n = w.doc().len() as f64;
 
     // Full staircase join (estimation skipping — almost pure copy phase).
-    let ms = time_ms(runs, || descendant(&w.doc, &root, Variant::EstimationSkipping));
-    let (result, _) = descendant(&w.doc, &root, Variant::EstimationSkipping);
+    let ms = time_ms(runs, || {
+        descendant(w.doc(), &root, Variant::EstimationSkipping)
+    });
+    let (result, _) = descendant(w.doc(), &root, Variant::EstimationSkipping);
     let bytes = (n + 1.0 + result.len() as f64) * 4.0;
     t.row(cells!(
         "staircase join (est. skipping)",
@@ -288,7 +351,7 @@ pub fn bandwidth(w: &Workload, runs: usize) -> Table {
     ));
 
     // Raw copy kernels over the postorder column (load + store streams).
-    let src = w.doc.post_column();
+    let src = w.doc().post_column();
     let plain = time_ms(runs, || {
         let mut dst: Vec<u32> = Vec::with_capacity(src.len());
         append_run(&mut dst, src);
@@ -319,20 +382,18 @@ pub fn fragmentation(w: &Workload, runs: usize) -> Table {
         format!("§6 tag-name fragmentation (Q1, scale {})", w.scale),
         &["strategy", "time ms"],
     );
-    let late = Evaluator::new(
-        &w.doc,
-        Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: false },
-    );
-    let early = Evaluator::new(
-        &w.doc,
-        Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: true },
-    );
-    let frag = Evaluator::new(&w.doc, Engine::Fragmented { variant: Variant::EstimationSkipping });
-    let t_full = time_ms(runs, || late.evaluate(QUERY_Q1).unwrap());
-    let t_early = time_ms(runs, || early.evaluate(QUERY_Q1).unwrap());
-    let t_frag = time_ms(runs, || frag.evaluate(QUERY_Q1).unwrap());
+    let query = w.session().prepare(QUERY_Q1).expect("Q1 parses");
+    // Fragments are "document loading time" work (§6): build them before
+    // the clock starts so t_frag times the join, not TagIndex::build.
+    w.session().tag_index();
+    let t_full = time_ms(runs, || query.run(Engine::default()));
+    let t_early = time_ms(runs, || query.run(pushdown_engine()));
+    let t_frag = time_ms(runs, || query.run(fragmented_engine()));
     t.row(cells!("full plane, late nametest", format!("{t_full:.2}")));
-    t.row(cells!("query-time nametest pushdown", format!("{t_early:.2}")));
+    t.row(cells!(
+        "query-time nametest pushdown",
+        format!("{t_early:.2}")
+    ));
     t.row(cells!("prebuilt per-tag fragments", format!("{t_frag:.2}")));
     t
 }
@@ -348,10 +409,10 @@ pub fn parallel(w: &Workload, threads: &[usize], runs: usize) -> Table {
     let increases = w.increases();
     for &workers in threads {
         let q1 = time_ms(runs, || {
-            descendant_parallel(&w.doc, &profiles, Variant::EstimationSkipping, workers)
+            descendant_parallel(w.doc(), &profiles, Variant::EstimationSkipping, workers)
         });
         let q2 = time_ms(runs, || {
-            ancestor_parallel(&w.doc, &increases, Variant::Skipping, workers)
+            ancestor_parallel(w.doc(), &increases, Variant::Skipping, workers)
         });
         t.row(cells!(workers, format!("{q1:.2}"), format!("{q2:.2}")));
     }
@@ -389,7 +450,10 @@ pub fn storage(scale: f64, runs: usize) -> Table {
     t.row(cells!("nodes", doc.len()));
 
     let parse_ms = time_ms(runs, || staircase_accel::Doc::from_xml(&xml).unwrap());
-    t.row(cells!("load: parse XML + encode", format!("{parse_ms:.2} ms")));
+    t.row(cells!(
+        "load: parse XML + encode",
+        format!("{parse_ms:.2} ms")
+    ));
     let gen_ms = time_ms(runs, || staircase_xmlgen::generate(XmarkConfig::new(scale)));
     t.row(cells!("load: direct generation", format!("{gen_ms:.2} ms")));
     let reload_ms = time_ms(runs, || staircase_accel::Doc::from_bytes(&encoded).unwrap());
@@ -405,7 +469,10 @@ pub fn storage(scale: f64, runs: usize) -> Table {
 /// `result + context`.
 pub fn context_density(w: &Workload) -> Table {
     let mut t = Table::new(
-        format!("ablation: context density vs nodes touched (scale {})", w.scale),
+        format!(
+            "ablation: context density vs nodes touched (scale {})",
+            w.scale
+        ),
         &[
             "context size",
             "staircase touched",
@@ -414,7 +481,7 @@ pub fn context_density(w: &Workload) -> Table {
             "result size",
         ],
     );
-    let sql = staircase_baselines::SqlEngine::build(&w.doc);
+    let sql = w.session().sql_engine();
     let profiles = w.profiles();
     let all = profiles.as_slice();
     for take in [1usize, 10, 100, 1_000, all.len()] {
@@ -422,8 +489,8 @@ pub fn context_density(w: &Workload) -> Table {
         // Spread the sample across the document, not a prefix.
         let step = (all.len() / take).max(1);
         let ctx: Context = all.iter().step_by(step).take(take).copied().collect();
-        let (r, sc) = descendant(&w.doc, &ctx, Variant::EstimationSkipping);
-        let sql_stats = if w.doc.len() <= SQL_UNBOUNDED_LIMIT || take <= 100 {
+        let (r, sc) = descendant(w.doc(), &ctx, Variant::EstimationSkipping);
+        let sql_stats = if w.doc().len() <= SQL_UNBOUNDED_LIMIT || take <= 100 {
             let (_, s) = sql.axis_step(
                 &ctx,
                 Axis::Descendant,
@@ -438,8 +505,10 @@ pub fn context_density(w: &Workload) -> Table {
         };
         // The naive strategy's scan volume is analytic: each context node
         // scans from its position to the end of the plane.
-        let naive_scanned: u64 =
-            ctx.iter().map(|c| (w.doc.len() as u64).saturating_sub(c as u64 + 1)).sum();
+        let naive_scanned: u64 = ctx
+            .iter()
+            .map(|c| (w.doc().len() as u64).saturating_sub(c as u64 + 1))
+            .sum();
         t.row(cells!(
             ctx.len(),
             sc.nodes_touched(),
@@ -455,18 +524,27 @@ pub fn context_density(w: &Workload) -> Table {
 /// both queries for the given workload.
 pub fn verify_engines_agree(w: &Workload) -> bool {
     let engines = [
-        Engine::Staircase { variant: Variant::Basic, pushdown: false },
-        Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: true },
-        Engine::Fragmented { variant: Variant::EstimationSkipping },
-        Engine::StaircaseParallel { variant: Variant::EstimationSkipping, threads: 4 },
-        Engine::Naive,
-        Engine::Sql { eq1_window: true, early_nametest: true },
+        Engine::staircase()
+            .variant(Variant::Basic)
+            .build()
+            .expect("valid engine config"),
+        pushdown_engine(),
+        fragmented_engine(),
+        Engine::staircase()
+            .parallel(4)
+            .build()
+            .expect("valid engine config"),
+        Engine::naive(),
+        sql_engine(true),
     ];
     for query in [QUERY_Q1, QUERY_Q2] {
-        let mut results: Vec<Context> = Vec::new();
-        for e in engines {
-            results.push(Evaluator::new(&w.doc, e).evaluate(query).unwrap().result);
-        }
+        let Ok(prepared) = w.session().prepare(query) else {
+            return false;
+        };
+        let results: Vec<Context> = engines
+            .iter()
+            .map(|&e| prepared.run(e).into_nodes())
+            .collect();
         if !results.windows(2).all(|p| p[0] == p[1]) {
             return false;
         }

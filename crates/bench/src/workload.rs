@@ -4,50 +4,78 @@
 use staircase_accel::{Context, Doc};
 use staircase_core::TagIndex;
 use staircase_xmlgen::{generate, XmarkConfig};
+use staircase_xpath::Session;
 
 /// Q1 of the paper: `/descendant::profile/descendant::education`.
 pub const QUERY_Q1: &str = "/descendant::profile/descendant::education";
 /// Q2 of the paper: `/descendant::increase/ancestor::bidder`.
 pub const QUERY_Q2: &str = "/descendant::increase/ancestor::bidder";
 
-/// A generated document with its commonly needed derived structures.
+/// A generated document wrapped in a [`Session`], so every experiment
+/// shares one set of lazily built auxiliary structures (tag fragments,
+/// SQL B-tree) instead of rebuilding them per engine.
 pub struct Workload {
     /// Scale factor used for generation (≈ MB of XML text).
     pub scale: f64,
-    /// The encoded document.
-    pub doc: Doc,
-    /// Tag fragments (for pushdown / fragmentation experiments).
-    pub tags: TagIndex,
+    session: Session,
 }
 
 impl Workload {
     /// Generates the workload for `scale` (deterministic).
     pub fn generate(scale: f64) -> Workload {
-        let doc = generate(XmarkConfig::new(scale));
-        let tags = TagIndex::build(&doc);
-        Workload { scale, doc, tags }
+        Workload {
+            scale,
+            session: Session::new(generate(XmarkConfig::new(scale))),
+        }
+    }
+
+    /// The session owning the document and its cached structures.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// The encoded document.
+    pub fn doc(&self) -> &Doc {
+        self.session.doc()
+    }
+
+    /// Tag fragments (for pushdown / fragmentation experiments), built on
+    /// first use and cached by the session.
+    pub fn tags(&self) -> &TagIndex {
+        self.session.tag_index()
     }
 
     /// The paper's sweep of document sizes (1.1 → 1111 MB), shrunk by
     /// `factor` so the three-decade *shape* survives at laptop runtimes:
     /// `factor = 1.0` reproduces the paper's sizes.
     pub fn paper_scales(factor: f64) -> Vec<f64> {
-        [1.1, 11.0, 111.0, 1111.0].iter().map(|s| s * factor).collect()
+        [1.1, 11.0, 111.0, 1111.0]
+            .iter()
+            .map(|s| s * factor)
+            .collect()
     }
 
     /// Root context `(r)` — every paper query starts at the root.
     pub fn root(&self) -> Context {
-        Context::singleton(self.doc.root())
+        Context::singleton(self.doc().root())
     }
 
     /// All `increase` elements (Q2's first intermediate after name test).
     pub fn increases(&self) -> Context {
-        self.tags.fragment_by_name(&self.doc, "increase").iter().copied().collect()
+        self.tags()
+            .fragment_by_name(self.doc(), "increase")
+            .iter()
+            .copied()
+            .collect()
     }
 
     /// All `profile` elements (Q1's first intermediate after name test).
     pub fn profiles(&self) -> Context {
-        self.tags.fragment_by_name(&self.doc, "profile").iter().copied().collect()
+        self.tags()
+            .fragment_by_name(self.doc(), "profile")
+            .iter()
+            .copied()
+            .collect()
     }
 }
 
@@ -90,5 +118,18 @@ mod tests {
     fn time_ms_returns_positive() {
         let t = time_ms(3, || (0..10_000u64).sum::<u64>());
         assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn workload_reuses_aux_structures() {
+        let w = Workload::generate(0.1);
+        let _ = w.profiles();
+        let _ = w.increases();
+        let _ = w.tags();
+        assert_eq!(
+            w.session().aux_builds().tag_index,
+            1,
+            "one TagIndex for all fragments"
+        );
     }
 }

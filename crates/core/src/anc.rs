@@ -21,7 +21,10 @@ use crate::Variant;
 /// [`Variant::Skipping`] and [`Variant::EstimationSkipping`] are identical
 /// here; the estimate *is* the skip.
 pub fn ancestor(doc: &Doc, context: &Context, variant: Variant) -> (Context, StepStats) {
-    let mut stats = StepStats { context_in: context.len(), ..Default::default() };
+    let mut stats = StepStats {
+        context_in: context.len(),
+        ..Default::default()
+    };
     let pruned = prune_ancestor(doc, context);
     stats.context_out = pruned.len();
     let mut result = Vec::new();
@@ -88,7 +91,11 @@ mod tests {
     use crate::testutil::{figure1, random_context, random_doc, reference};
     use staircase_accel::Axis;
 
-    const ALL: [Variant; 3] = [Variant::Basic, Variant::Skipping, Variant::EstimationSkipping];
+    const ALL: [Variant; 3] = [
+        Variant::Basic,
+        Variant::Skipping,
+        Variant::EstimationSkipping,
+    ];
 
     #[test]
     fn figure1_ancestors_of_g() {
@@ -131,7 +138,10 @@ mod tests {
             let doc = random_doc(seed, 500);
             let ctx = random_context(&doc, seed ^ 0x5150, 60);
             let (got, _) = ancestor(&doc, &ctx, Variant::Skipping);
-            assert!(got.as_slice().windows(2).all(|w| w[0] < w[1]), "seed {seed}");
+            assert!(
+                got.as_slice().windows(2).all(|w| w[0] < w[1]),
+                "seed {seed}"
+            );
         }
     }
 
@@ -149,8 +159,7 @@ mod tests {
         let doc = random_doc(3, 2000);
         // Deep contexts: the nodes with maximal level.
         let max_level = doc.pres().map(|p| doc.level(p)).max().unwrap();
-        let ctx: Context =
-            doc.pres().filter(|&p| doc.level(p) == max_level).collect();
+        let ctx: Context = doc.pres().filter(|&p| doc.level(p) == max_level).collect();
         let (a, basic) = ancestor(&doc, &ctx, Variant::Basic);
         let (b, skip) = ancestor(&doc, &ctx, Variant::Skipping);
         assert_eq!(a, b);
@@ -173,10 +182,8 @@ mod tests {
 
     #[test]
     fn attributes_never_in_result() {
-        let doc = staircase_accel::Doc::from_xml(
-            r#"<a x="1"><b y="2"><c z="3"/></b></a>"#,
-        )
-        .unwrap();
+        let doc =
+            staircase_accel::Doc::from_xml(r#"<a x="1"><b y="2"><c z="3"/></b></a>"#).unwrap();
         // Context: the <c> element (pre 4).
         for variant in ALL {
             let (got, _) = ancestor(&doc, &Context::singleton(4), variant);

@@ -23,7 +23,10 @@ use crate::Variant;
 /// Results arrive duplicate-free in document order; attribute nodes are
 /// filtered out (no axis except `attribute` yields them).
 pub fn descendant(doc: &Doc, context: &Context, variant: Variant) -> (Context, StepStats) {
-    let mut stats = StepStats { context_in: context.len(), ..Default::default() };
+    let mut stats = StepStats {
+        context_in: context.len(),
+        ..Default::default()
+    };
     let pruned = prune_descendant(doc, context);
     stats.context_out = pruned.len();
     let mut result = Vec::new();
@@ -50,7 +53,10 @@ pub fn descendant(doc: &Doc, context: &Context, variant: Variant) -> (Context, S
 /// statistics are identical to the prune-then-join pipeline (asserted by
 /// tests); only the extra context scan disappears.
 pub fn descendant_fused(doc: &Doc, context: &Context, variant: Variant) -> (Context, StepStats) {
-    let mut stats = StepStats { context_in: context.len(), ..Default::default() };
+    let mut stats = StepStats {
+        context_in: context.len(),
+        ..Default::default()
+    };
     let slice = context.as_slice();
     let post = doc.post_column();
     let n = doc.len() as Pre;
@@ -161,7 +167,11 @@ mod tests {
     use crate::testutil::{figure1, random_context, random_doc, reference};
     use staircase_accel::Axis;
 
-    const ALL: [Variant; 3] = [Variant::Basic, Variant::Skipping, Variant::EstimationSkipping];
+    const ALL: [Variant; 3] = [
+        Variant::Basic,
+        Variant::Skipping,
+        Variant::EstimationSkipping,
+    ];
 
     #[test]
     fn figure1_descendants_of_f() {
@@ -202,7 +212,10 @@ mod tests {
             let doc = random_doc(seed, 500);
             let ctx = random_context(&doc, seed, 50);
             let (got, _) = descendant(&doc, &ctx, Variant::EstimationSkipping);
-            assert!(got.as_slice().windows(2).all(|w| w[0] < w[1]), "seed {seed}");
+            assert!(
+                got.as_slice().windows(2).all(|w| w[0] < w[1]),
+                "seed {seed}"
+            );
         }
     }
 
@@ -218,9 +231,7 @@ mod tests {
             // the result, so compare against the unfiltered region size.
             let region = doc
                 .pres()
-                .filter(|&v| {
-                    ctx.iter().any(|c| v > c && doc.post(v) < doc.post(c))
-                })
+                .filter(|&v| ctx.iter().any(|c| v > c && doc.post(v) < doc.post(c)))
                 .count() as u64;
             assert!(
                 stats.nodes_touched() <= region + stats.context_out as u64,
@@ -274,15 +285,14 @@ mod tests {
 
     #[test]
     fn attributes_never_in_result() {
-        let doc = staircase_accel::Doc::from_xml(
-            r#"<a x="1"><b y="2"><c z="3"/></b></a>"#,
-        )
-        .unwrap();
+        let doc =
+            staircase_accel::Doc::from_xml(r#"<a x="1"><b y="2"><c z="3"/></b></a>"#).unwrap();
         for variant in ALL {
             let (got, _) = descendant(&doc, &Context::singleton(0), variant);
-            assert!(got
-                .iter()
-                .all(|v| doc.kind(v) != NodeKind::Attribute), "{variant:?}");
+            assert!(
+                got.iter().all(|v| doc.kind(v) != NodeKind::Attribute),
+                "{variant:?}"
+            );
             assert_eq!(got.len(), 2); // b, c
         }
     }

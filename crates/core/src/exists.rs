@@ -107,12 +107,7 @@ mod tests {
     use crate::TagIndex;
     use staircase_accel::Axis;
 
-    fn brute_exists(
-        doc: &Doc,
-        ctx: &Context,
-        list: &[Pre],
-        axis: Axis,
-    ) -> Vec<Pre> {
+    fn brute_exists(doc: &Doc, ctx: &Context, list: &[Pre], axis: Axis) -> Vec<Pre> {
         ctx.iter()
             .filter(|&c| list.iter().any(|&p| axis.contains(doc, c, p)))
             .collect()
@@ -120,8 +115,7 @@ mod tests {
 
     #[test]
     fn descendant_exists_on_figure1() {
-        let doc = Doc::from_xml("<a><b><c/></b><d/><e><f><g/><h/></f><i><j/></i></e></a>")
-            .unwrap();
+        let doc = Doc::from_xml("<a><b><c/></b><d/><e><f><g/><h/></f><i><j/></i></e></a>").unwrap();
         let ctx: Context = doc.pres().collect();
         // list = {g (6), j (9)}.
         let (got, _) = has_descendant_in(&doc, &ctx, &[6, 9]);

@@ -18,7 +18,10 @@ use crate::stats::StepStats;
 
 /// Evaluates `context/following::node()`.
 pub fn following(doc: &Doc, context: &Context) -> (Context, StepStats) {
-    let mut stats = StepStats { context_in: context.len(), ..Default::default() };
+    let mut stats = StepStats {
+        context_in: context.len(),
+        ..Default::default()
+    };
     let pruned = prune_following(doc, context);
     stats.context_out = pruned.len();
     let Some(&c) = pruned.as_slice().first() else {
@@ -45,7 +48,10 @@ pub fn following(doc: &Doc, context: &Context) -> (Context, StepStats) {
 
 /// Evaluates `context/preceding::node()`.
 pub fn preceding(doc: &Doc, context: &Context) -> (Context, StepStats) {
-    let mut stats = StepStats { context_in: context.len(), ..Default::default() };
+    let mut stats = StepStats {
+        context_in: context.len(),
+        ..Default::default()
+    };
     let pruned = prune_preceding(doc, context);
     stats.context_out = pruned.len();
     let Some(&c) = pruned.as_slice().first() else {
@@ -156,10 +162,7 @@ mod tests {
         // beyond the result itself.
         for seed in 0..10 {
             let doc = random_doc(seed, 800);
-            let deepest = doc
-                .pres()
-                .max_by_key(|&p| doc.level(p))
-                .unwrap();
+            let deepest = doc.pres().max_by_key(|&p| doc.level(p)).unwrap();
             let (_, stats) = preceding(&doc, &Context::singleton(deepest));
             // Unfiltered region size (attributes included):
             let region = doc
@@ -179,10 +182,7 @@ mod tests {
 
     #[test]
     fn attributes_excluded() {
-        let doc = staircase_accel::Doc::from_xml(
-            r#"<a x="1"><b y="2"/><c/><d/></a>"#,
-        )
-        .unwrap();
+        let doc = staircase_accel::Doc::from_xml(r#"<a x="1"><b y="2"/><c/><d/></a>"#).unwrap();
         // pre: a=0 @x=1 b=2 @y=3 c=4 d=5; context c (pre 4).
         let (f, _) = following(&doc, &Context::singleton(4));
         assert_eq!(f.as_slice(), &[5]);

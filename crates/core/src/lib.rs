@@ -27,16 +27,28 @@
 //!
 //! ## Quick example
 //!
+//! Axis-specific entry points ([`descendant`], [`ancestor`], …) or the
+//! generic, fallible [`try_axis_step`]:
+//!
 //! ```
-//! use staircase_accel::{Context, Doc};
-//! use staircase_core::{descendant, Variant};
+//! use staircase_accel::{Axis, Context, Doc};
+//! use staircase_core::{descendant, try_axis_step, Variant};
 //!
 //! let doc = Doc::from_xml("<a><b><c/></b><d/></a>").unwrap();
 //! let ctx = Context::singleton(doc.root());
 //! let (result, stats) = descendant(&doc, &ctx, Variant::EstimationSkipping);
 //! assert_eq!(result.len(), 3); // b, c, d
 //! assert_eq!(stats.result_size, 3);
+//!
+//! let (same, _) = try_axis_step(&doc, &ctx, Axis::Descendant, Variant::default())
+//!     .expect("descendant is a partitioning axis");
+//! assert_eq!(result, same);
+//! assert!(try_axis_step(&doc, &ctx, Axis::Child, Variant::default()).is_err());
 //! ```
+//!
+//! Full XPath evaluation — engine selection, prepared queries, cached
+//! auxiliary structures — lives in `staircase-xpath`'s `Session` type;
+//! this crate is the operator library underneath it.
 
 #![warn(missing_docs)]
 
@@ -77,27 +89,66 @@ pub enum Variant {
     EstimationSkipping,
 }
 
+/// The error of [`try_axis_step`]: the axis handed in is not one of the
+/// four partitioning axes the staircase join evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsupportedAxis(pub Axis);
+
+impl std::fmt::Display for UnsupportedAxis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "staircase join evaluates partitioning axes only, got {}",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedAxis {}
+
 /// Evaluates one partitioning-axis step with the staircase join.
 ///
 /// `axis` must be one of `descendant`, `ancestor`, `following`,
 /// `preceding` (use [`axis_is_supported`] to check); the or-self variants
 /// and the remaining axes are layered on top by `staircase-xpath`.
 ///
+/// # Errors
+///
+/// [`UnsupportedAxis`] if `axis` is not a partitioning axis.
+pub fn try_axis_step(
+    doc: &Doc,
+    context: &Context,
+    axis: Axis,
+    variant: Variant,
+) -> Result<(Context, StepStats), UnsupportedAxis> {
+    match axis {
+        Axis::Descendant => Ok(descendant(doc, context, variant)),
+        Axis::Ancestor => Ok(ancestor(doc, context, variant)),
+        Axis::Following => Ok(following(doc, context)),
+        Axis::Preceding => Ok(preceding(doc, context)),
+        other => Err(UnsupportedAxis(other)),
+    }
+}
+
+/// Panicking twin of [`try_axis_step`], kept for source compatibility.
+///
 /// # Panics
 ///
 /// Panics if `axis` is not a partitioning axis.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `try_axis_step`, which reports unsupported axes as a typed error \
+            instead of panicking"
+)]
 pub fn axis_step(
     doc: &Doc,
     context: &Context,
     axis: Axis,
     variant: Variant,
 ) -> (Context, StepStats) {
-    match axis {
-        Axis::Descendant => descendant(doc, context, variant),
-        Axis::Ancestor => ancestor(doc, context, variant),
-        Axis::Following => following(doc, context),
-        Axis::Preceding => preceding(doc, context),
-        other => panic!("staircase join evaluates partitioning axes only, got {other}"),
+    match try_axis_step(doc, context, axis, variant) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
     }
 }
 
@@ -185,8 +236,7 @@ pub(crate) mod testutil {
             state
         };
         let n = doc.len() as u64;
-        let pres: Vec<Pre> =
-            (0..approx).map(|_| (next() % n) as Pre).collect();
+        let pres: Vec<Pre> = (0..approx).map(|_| (next() % n) as Pre).collect();
         Context::from_unsorted(pres)
     }
 }
@@ -201,15 +251,23 @@ mod tests {
         let doc = figure1();
         let ctx = Context::singleton(5); // f
         for axis in Axis::PARTITIONING {
-            let (got, _) = axis_step(&doc, &ctx, axis, Variant::default());
+            let (got, _) = try_axis_step(&doc, &ctx, axis, Variant::default()).unwrap();
             assert_eq!(got.as_slice(), &reference(&doc, &ctx, axis)[..], "{axis}");
         }
     }
 
     #[test]
-    #[should_panic(expected = "partitioning axes")]
-    fn axis_step_rejects_child() {
+    fn try_axis_step_rejects_child() {
         let doc = figure1();
+        let err = try_axis_step(&doc, &Context::singleton(0), Axis::Child, Variant::Basic);
+        assert_eq!(err.unwrap_err(), UnsupportedAxis(Axis::Child));
+    }
+
+    #[test]
+    #[should_panic(expected = "partitioning axes")]
+    fn deprecated_axis_step_still_panics() {
+        let doc = figure1();
+        #[allow(deprecated)]
         axis_step(&doc, &Context::singleton(0), Axis::Child, Variant::Basic);
     }
 

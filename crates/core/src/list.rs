@@ -46,7 +46,10 @@ impl TagIndex {
 
     /// The fragment for `tag` (empty slice for unknown tags).
     pub fn fragment(&self, tag: TagId) -> &[Pre] {
-        self.fragments.get(tag as usize).map(Vec::as_slice).unwrap_or(&[])
+        self.fragments
+            .get(tag as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// The fragment for a tag *name*.
@@ -73,12 +76,11 @@ impl TagIndex {
 /// `context/descendant::tag` evaluated directly on a tag fragment:
 /// equivalent to `nametest(staircase_join_desc(doc, context), tag)` but
 /// touches only `tag`-elements.
-pub fn descendant_on_list(
-    doc: &Doc,
-    list: &[Pre],
-    context: &Context,
-) -> (Context, StepStats) {
-    let mut stats = StepStats { context_in: context.len(), ..Default::default() };
+pub fn descendant_on_list(doc: &Doc, list: &[Pre], context: &Context) -> (Context, StepStats) {
+    let mut stats = StepStats {
+        context_in: context.len(),
+        ..Default::default()
+    };
     let pruned = prune_descendant(doc, context);
     stats.context_out = pruned.len();
     let steps = pruned.as_slice();
@@ -105,7 +107,9 @@ pub fn descendant_on_list(
             } else {
                 // Z-region: no later list node in this partition can be a
                 // descendant of c.
-                let rest = list[j..].partition_point(|&p| p < part_end).saturating_sub(1);
+                let rest = list[j..]
+                    .partition_point(|&p| p < part_end)
+                    .saturating_sub(1);
                 stats.nodes_skipped += rest as u64;
                 break;
             }
@@ -121,7 +125,10 @@ pub fn descendant_on_list(
 /// preceding, so the cursor jumps past its guaranteed subtree block with a
 /// binary search instead of a linear walk.
 pub fn ancestor_on_list(doc: &Doc, list: &[Pre], context: &Context) -> (Context, StepStats) {
-    let mut stats = StepStats { context_in: context.len(), ..Default::default() };
+    let mut stats = StepStats {
+        context_in: context.len(),
+        ..Default::default()
+    };
     let pruned = prune_ancestor(doc, context);
     stats.context_out = pruned.len();
     let post = doc.post_column();
@@ -191,8 +198,7 @@ mod tests {
         let ctx = Context::singleton(doc.root());
         let (full, _) = descendant(&doc, &ctx, Variant::EstimationSkipping);
         let late = full.name_test(&doc, "increase");
-        let (pushed, _) =
-            descendant_on_list(&doc, idx.fragment_by_name(&doc, "increase"), &ctx);
+        let (pushed, _) = descendant_on_list(&doc, idx.fragment_by_name(&doc, "increase"), &ctx);
         assert_eq!(late, pushed);
     }
 
@@ -201,12 +207,14 @@ mod tests {
         let doc = doc_with_tags();
         let idx = TagIndex::build(&doc);
         // Context: the increase elements.
-        let increases: Context =
-            idx.fragment_by_name(&doc, "increase").iter().copied().collect();
+        let increases: Context = idx
+            .fragment_by_name(&doc, "increase")
+            .iter()
+            .copied()
+            .collect();
         let (full, _) = ancestor(&doc, &increases, Variant::Skipping);
         let late = full.name_test(&doc, "bidder");
-        let (pushed, _) =
-            ancestor_on_list(&doc, idx.fragment_by_name(&doc, "bidder"), &increases);
+        let (pushed, _) = ancestor_on_list(&doc, idx.fragment_by_name(&doc, "bidder"), &increases);
         assert_eq!(late, pushed);
         assert_eq!(pushed.len(), 3);
     }
@@ -224,7 +232,11 @@ mod tests {
                     .filter(|&v| doc.tag_name(v) == Some(tag) && doc.kind(v) == NodeKind::Element)
                     .collect();
                 let (got_desc, _) = descendant_on_list(&doc, frag, &ctx);
-                assert_eq!(got_desc.as_slice(), &want_desc[..], "desc {tag} seed {seed}");
+                assert_eq!(
+                    got_desc.as_slice(),
+                    &want_desc[..],
+                    "desc {tag} seed {seed}"
+                );
 
                 let want_anc: Vec<Pre> = reference(&doc, &ctx, Axis::Ancestor)
                     .into_iter()

@@ -27,15 +27,17 @@ pub fn descendant_parallel(
     variant: Variant,
     threads: usize,
 ) -> (Context, StepStats) {
-    let mut stats = StepStats { context_in: context.len(), ..Default::default() };
+    let mut stats = StepStats {
+        context_in: context.len(),
+        ..Default::default()
+    };
     let pruned = prune_descendant(doc, context);
     stats.context_out = pruned.len();
     let steps = pruned.as_slice();
     let n = doc.len() as Pre;
 
     let chunks = chunk_bounds(steps.len(), threads);
-    let mut outputs: Vec<(Vec<Pre>, StepStats)> = Vec::with_capacity(chunks.len());
-    crossbeam::thread::scope(|scope| {
+    let outputs: Vec<(Vec<Pre>, StepStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|&(lo, hi)| {
@@ -43,7 +45,7 @@ pub fn descendant_parallel(
                 // This chunk's final partition ends where the next chunk's
                 // first step begins (or at the end of the plane).
                 let end = steps_end(pruned.as_slice(), hi, n);
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut out = Vec::new();
                     let mut st = StepStats::default();
                     descendant_partitions(doc, steps, end, variant, &mut out, &mut st);
@@ -51,11 +53,11 @@ pub fn descendant_parallel(
                 })
             })
             .collect();
-        for h in handles {
-            outputs.push(h.join().expect("worker panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
 
     let mut result = Vec::with_capacity(outputs.iter().map(|(v, _)| v.len()).sum());
     for (part, st) in &outputs {
@@ -73,14 +75,16 @@ pub fn ancestor_parallel(
     variant: Variant,
     threads: usize,
 ) -> (Context, StepStats) {
-    let mut stats = StepStats { context_in: context.len(), ..Default::default() };
+    let mut stats = StepStats {
+        context_in: context.len(),
+        ..Default::default()
+    };
     let pruned = prune_ancestor(doc, context);
     stats.context_out = pruned.len();
     let steps = pruned.as_slice();
 
     let chunks = chunk_bounds(steps.len(), threads);
-    let mut outputs: Vec<(Vec<Pre>, StepStats)> = Vec::with_capacity(chunks.len());
-    crossbeam::thread::scope(|scope| {
+    let outputs: Vec<(Vec<Pre>, StepStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|&(lo, hi)| {
@@ -88,7 +92,7 @@ pub fn ancestor_parallel(
                 // This chunk's first partition starts right after the
                 // previous chunk's last step (or at pre 0).
                 let start = if lo == 0 { 0 } else { steps[lo - 1] + 1 };
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut out = Vec::new();
                     let mut st = StepStats::default();
                     ancestor_partitions(doc, chunk, start, variant, &mut out, &mut st);
@@ -96,11 +100,11 @@ pub fn ancestor_parallel(
                 })
             })
             .collect();
-        for h in handles {
-            outputs.push(h.join().expect("worker panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
 
     let mut result = Vec::with_capacity(outputs.iter().map(|(v, _)| v.len()).sum());
     for (part, st) in &outputs {
@@ -151,7 +155,10 @@ mod tests {
                 }
                 assert_eq!(chunks.first().unwrap().0, 0);
                 assert_eq!(chunks.last().unwrap().1, len);
-                assert!(chunks.iter().all(|&(lo, hi)| lo < hi), "empty chunk: {len}/{threads}");
+                assert!(
+                    chunks.iter().all(|&(lo, hi)| lo < hi),
+                    "empty chunk: {len}/{threads}"
+                );
                 assert!(chunks.windows(2).all(|w| w[0].1 == w[1].0));
             }
         }

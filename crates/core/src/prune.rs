@@ -231,10 +231,22 @@ mod tests {
     fn prune_dispatch_matches_specialised() {
         let doc = figure1();
         let ctx = Context::from_unsorted(vec![3, 4, 5, 7, 8, 9]);
-        assert_eq!(prune(&doc, &ctx, Axis::Ancestor), prune_ancestor(&doc, &ctx));
-        assert_eq!(prune(&doc, &ctx, Axis::Descendant), prune_descendant(&doc, &ctx));
-        assert_eq!(prune(&doc, &ctx, Axis::Following), prune_following(&doc, &ctx));
-        assert_eq!(prune(&doc, &ctx, Axis::Preceding), prune_preceding(&doc, &ctx));
+        assert_eq!(
+            prune(&doc, &ctx, Axis::Ancestor),
+            prune_ancestor(&doc, &ctx)
+        );
+        assert_eq!(
+            prune(&doc, &ctx, Axis::Descendant),
+            prune_descendant(&doc, &ctx)
+        );
+        assert_eq!(
+            prune(&doc, &ctx, Axis::Following),
+            prune_following(&doc, &ctx)
+        );
+        assert_eq!(
+            prune(&doc, &ctx, Axis::Preceding),
+            prune_preceding(&doc, &ctx)
+        );
         // Non-partitioning axes: unchanged.
         assert_eq!(prune(&doc, &ctx, Axis::Child), ctx);
     }

@@ -73,13 +73,21 @@ mod tests {
 
     #[test]
     fn touched_is_scanned_plus_copied() {
-        let s = StepStats { nodes_scanned: 10, nodes_copied: 32, ..Default::default() };
+        let s = StepStats {
+            nodes_scanned: 10,
+            nodes_copied: 32,
+            ..Default::default()
+        };
         assert_eq!(s.nodes_touched(), 42);
     }
 
     #[test]
     fn pruned_counts_removed_context() {
-        let s = StepStats { context_in: 10, context_out: 4, ..Default::default() };
+        let s = StepStats {
+            context_in: 10,
+            context_out: 4,
+            ..Default::default()
+        };
         assert_eq!(s.pruned(), 6);
     }
 
@@ -113,7 +121,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let s = StepStats { context_in: 2, context_out: 1, ..Default::default() };
+        let s = StepStats {
+            context_in: 2,
+            context_out: 1,
+            ..Default::default()
+        };
         let text = s.to_string();
         assert!(text.contains("ctx 2→1"));
     }

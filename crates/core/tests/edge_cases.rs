@@ -8,7 +8,11 @@ use staircase_core::{
     Variant,
 };
 
-const ALL: [Variant; 3] = [Variant::Basic, Variant::Skipping, Variant::EstimationSkipping];
+const ALL: [Variant; 3] = [
+    Variant::Basic,
+    Variant::Skipping,
+    Variant::EstimationSkipping,
+];
 
 /// A path graph: root → c1 → c2 → … → c(n-1).
 fn chain(n: usize) -> Doc {

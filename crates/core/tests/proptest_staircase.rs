@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use staircase_accel::{Axis, Context, Doc, EncodingBuilder, Pre};
 use staircase_core::{
-    ancestor, ancestor_parallel, descendant, descendant_parallel, descendant_on_list, following,
-    preceding, prune, TagIndex, Variant,
+    ancestor, ancestor_parallel, descendant, descendant_on_list, descendant_parallel, following,
+    preceding, prune, try_axis_step, TagIndex, Variant,
 };
 
 fn arb_doc() -> impl Strategy<Value = Doc> {
@@ -47,7 +47,9 @@ fn arb_doc_and_context() -> impl Strategy<Value = (Doc, Context)> {
 }
 
 fn reference(doc: &Doc, ctx: &Context, axis: Axis) -> Vec<Pre> {
-    doc.pres().filter(|&v| ctx.iter().any(|c| axis.contains(doc, c, v))).collect()
+    doc.pres()
+        .filter(|&v| ctx.iter().any(|c| axis.contains(doc, c, v)))
+        .collect()
 }
 
 proptest! {
@@ -58,7 +60,7 @@ proptest! {
         for axis in Axis::PARTITIONING {
             let want = reference(&doc, &ctx, axis);
             for variant in [Variant::Basic, Variant::Skipping, Variant::EstimationSkipping] {
-                let (got, stats) = staircase_core::axis_step(&doc, &ctx, axis, variant);
+                let (got, stats) = try_axis_step(&doc, &ctx, axis, variant).unwrap();
                 prop_assert_eq!(got.as_slice(), &want[..], "{}/{:?}", axis, variant);
                 prop_assert_eq!(stats.result_size, want.len());
             }
@@ -68,7 +70,7 @@ proptest! {
     #[test]
     fn results_sorted_and_unique((doc, ctx) in arb_doc_and_context()) {
         for axis in Axis::PARTITIONING {
-            let (got, _) = staircase_core::axis_step(&doc, &ctx, axis, Variant::default());
+            let (got, _) = try_axis_step(&doc, &ctx, axis, Variant::default()).unwrap();
             prop_assert!(got.as_slice().windows(2).all(|w| w[0] < w[1]), "{}", axis);
         }
     }

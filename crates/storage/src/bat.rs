@@ -20,7 +20,10 @@ impl<T: Copy> Bat<T> {
     /// Builds a BAT from a tail column; head values start at `seq`.
     pub fn from_tail(seq: u32, tail: Vec<T>) -> Bat<T> {
         assert!(tail.len() <= u32::MAX as usize, "BAT exceeds 2^32 rows");
-        Bat { head: VoidColumn::new(seq, tail.len() as u32), tail }
+        Bat {
+            head: VoidColumn::new(seq, tail.len() as u32),
+            tail,
+        }
     }
 
     /// An empty BAT with head sequence starting at `seq`.
@@ -30,7 +33,10 @@ impl<T: Copy> Bat<T> {
 
     /// Pre-allocates an empty BAT expecting `capacity` rows.
     pub fn with_capacity(seq: u32, capacity: usize) -> Bat<T> {
-        Bat { head: VoidColumn::new(seq, 0), tail: Vec::with_capacity(capacity) }
+        Bat {
+            head: VoidColumn::new(seq, 0),
+            tail: Vec::with_capacity(capacity),
+        }
     }
 
     /// Number of rows.

@@ -35,7 +35,10 @@ impl<K: Ord + Copy, V: Copy> BPlusTree<K, V> {
     /// Bulk-loads the tree from `pairs`, which must be sorted by key
     /// (duplicate keys are allowed and preserved in input order).
     pub fn bulk_load(pairs: &[(K, V)]) -> BPlusTree<K, V> {
-        debug_assert!(pairs.windows(2).all(|w| w[0].0 <= w[1].0), "input must be sorted");
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 <= w[1].0),
+            "input must be sorted"
+        );
         let keys: Vec<K> = pairs.iter().map(|p| p.0).collect();
         let values: Vec<V> = pairs.iter().map(|p| p.1).collect();
         let mut levels: Vec<Vec<K>> = Vec::new();
@@ -47,7 +50,12 @@ impl<K: Ord + Copy, V: Copy> BPlusTree<K, V> {
             node_count = current.len().div_ceil(NODE_CAPACITY);
             current = current.iter().step_by(NODE_CAPACITY).copied().collect();
         }
-        BPlusTree { keys, values, levels, nodes_touched: std::cell::Cell::new(0) }
+        BPlusTree {
+            keys,
+            values,
+            levels,
+            nodes_touched: std::cell::Cell::new(0),
+        }
     }
 
     /// Number of stored pairs.
@@ -120,7 +128,12 @@ impl<K: Ord + Copy, V: Copy> BPlusTree<K, V> {
     /// iterator touches one leaf per `NODE_CAPACITY` results.
     pub fn range(&self, lo: K, hi: K) -> RangeScan<'_, K, V> {
         let start = self.lower_bound(&lo);
-        RangeScan { tree: self, pos: start, hi, counted: start / NODE_CAPACITY }
+        RangeScan {
+            tree: self,
+            pos: start,
+            hi,
+            counted: start / NODE_CAPACITY,
+        }
     }
 
     /// Iterates all pairs in key order.
@@ -244,7 +257,10 @@ mod tests {
         assert!(descent as usize >= t.height(), "descent {descent} < height");
         t.reset_stats();
         let n = t.range(0, 40_000).count() as u64;
-        assert!(t.stats() < n, "range scan should touch far fewer nodes than results");
+        assert!(
+            t.stats() < n,
+            "range scan should touch far fewer nodes than results"
+        );
     }
 
     #[test]

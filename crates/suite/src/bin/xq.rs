@@ -7,9 +7,14 @@
 //!
 //! options:
 //!   --engine staircase|pushdown|fragmented|parallel|naive|sql
+//!   --variant basic|skipping|estimation   staircase skipping refinement
+//!   --threads N      worker threads (implies the parallel engine)
 //!   --count          print only the number of matching nodes
 //!   --stats          print per-step statistics to stderr
 //! ```
+//!
+//! Exit codes: `0` success, `2` usage or engine-configuration error,
+//! `3` XPath/XML/decode parse error, `4` I/O error.
 //!
 //! Examples:
 //!
@@ -17,6 +22,7 @@
 //! xq '//open_auction[bidder/increase]/@id' auctions.xml
 //! xq --encode auctions.xml auctions.scj
 //! xq '/descendant::increase/ancestor::bidder' --encoded auctions.scj --stats
+//! xq '//bidder' auctions.xml --engine parallel --threads 8 --variant skipping
 //! ```
 
 use std::io::Read;
@@ -24,24 +30,49 @@ use std::process::exit;
 
 use staircase_suite::prelude::*;
 
+const EXIT_USAGE: i32 = 2;
+const EXIT_PARSE: i32 = 3;
+const EXIT_IO: i32 = 4;
+
 struct Options {
     query: Option<String>,
     file: Option<String>,
     encoded: Option<String>,
     encode_to: Option<(String, String)>,
-    engine: Engine,
+    engine_name: String,
+    variant: Option<Variant>,
+    threads: Option<usize>,
     count_only: bool,
     stats: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: xq <XPATH> [FILE] [--engine E] [--count] [--stats]\n\
+        "usage: xq <XPATH> [FILE] [--engine E] [--variant V] [--threads N] [--count] [--stats]\n\
          \u{20}      xq --encode <FILE> <OUT.scj>\n\
          \u{20}      xq <XPATH> --encoded <FILE.scj>\n\
-         engines: staircase (default) | pushdown | fragmented | parallel | naive | sql"
+         engines:  staircase (default) | pushdown | fragmented | parallel | naive | sql\n\
+         variants: basic | skipping | estimation (default)"
     );
-    exit(2);
+    exit(EXIT_USAGE);
+}
+
+/// Exits with the code matching the error's nature: parse-shaped errors
+/// (`3`), I/O (`4`), engine configuration (`2`).
+fn fail(context: &str, err: Error) -> ! {
+    eprintln!(
+        "xq: {context}{}{err}",
+        if context.is_empty() { "" } else { ": " }
+    );
+    let code = match err {
+        Error::Parse(_) | Error::Xml(_) | Error::Decode(_) | Error::UnsupportedAxis(_) => {
+            EXIT_PARSE
+        }
+        Error::InvalidEngine(_) => EXIT_USAGE,
+        Error::Io(_) => EXIT_IO,
+        _ => EXIT_USAGE,
+    };
+    exit(code);
 }
 
 fn parse_args() -> Options {
@@ -50,7 +81,9 @@ fn parse_args() -> Options {
         file: None,
         encoded: None,
         encode_to: None,
-        engine: Engine::default(),
+        engine_name: "staircase".to_string(),
+        variant: None,
+        threads: None,
         count_only: false,
         stats: false,
     };
@@ -64,23 +97,27 @@ fn parse_args() -> Options {
             }
             "--encoded" => opts.encoded = Some(args.next().unwrap_or_else(|| usage())),
             "--engine" => {
-                opts.engine = match args.next().as_deref() {
-                    Some("staircase") => {
-                        Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: false }
+                let name = args.next().unwrap_or_else(|| usage());
+                match name.as_str() {
+                    "staircase" | "pushdown" | "fragmented" | "parallel" | "naive" | "sql" => {
+                        opts.engine_name = name;
                     }
-                    Some("pushdown") => {
-                        Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: true }
-                    }
-                    Some("fragmented") => {
-                        Engine::Fragmented { variant: Variant::EstimationSkipping }
-                    }
-                    Some("parallel") => Engine::StaircaseParallel {
-                        variant: Variant::EstimationSkipping,
-                        threads: 4,
-                    },
-                    Some("naive") => Engine::Naive,
-                    Some("sql") => Engine::Sql { eq1_window: true, early_nametest: true },
                     _ => usage(),
+                }
+            }
+            "--variant" => {
+                opts.variant = match args.next().as_deref() {
+                    Some("basic") => Some(Variant::Basic),
+                    Some("skipping") => Some(Variant::Skipping),
+                    Some("estimation") => Some(Variant::EstimationSkipping),
+                    _ => usage(),
+                };
+            }
+            "--threads" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                opts.threads = match n.parse::<usize>() {
+                    Ok(n) => Some(n),
+                    Err(_) => usage(),
                 };
             }
             "--count" => opts.count_only = true,
@@ -92,6 +129,40 @@ fn parse_args() -> Options {
         }
     }
     opts
+}
+
+/// Routes the CLI's engine/variant/thread flags through the builders;
+/// inconsistent combinations surface as [`Error::InvalidEngine`].
+fn build_engine(opts: &Options) -> Result<Engine, Error> {
+    // --variant and --threads only make sense for the staircase family;
+    // reject them elsewhere instead of silently dropping them.
+    if let (Some(_), "naive" | "sql") = (opts.variant, opts.engine_name.as_str()) {
+        return Err(Error::InvalidEngine(format!(
+            "--variant does not apply to the {} engine",
+            opts.engine_name
+        )));
+    }
+    let variant = opts.variant.unwrap_or(Variant::EstimationSkipping);
+    let staircase = || Engine::staircase().variant(variant);
+    match (opts.engine_name.as_str(), opts.threads) {
+        // --threads implies the parallel engine for the plain staircase.
+        ("staircase", Some(n)) | ("parallel", Some(n)) => staircase().parallel(n).build(),
+        ("staircase", None) => staircase().build(),
+        ("parallel", None) => staircase().parallel(4).build(),
+        ("pushdown", None) => staircase().pushdown(true).build(),
+        ("fragmented", None) => staircase().fragmented(true).build(),
+        ("naive", None) => Ok(Engine::naive()),
+        ("sql", None) => Engine::sql().eq1_window(true).early_nametest(true).build(),
+        // --threads with an engine that cannot parallelize: route through
+        // the builder so the error message is the library's.
+        ("pushdown", Some(n)) => staircase().pushdown(true).parallel(n).build(),
+        ("fragmented", Some(n)) => staircase().fragmented(true).parallel(n).build(),
+        (_, Some(_)) => Err(Error::InvalidEngine(format!(
+            "--threads does not apply to the {} engine",
+            opts.engine_name
+        ))),
+        _ => usage(),
+    }
 }
 
 fn render_node(doc: &Doc, v: Pre) -> String {
@@ -123,18 +194,11 @@ fn main() {
 
     // Encoding mode.
     if let Some((src, dst)) = &opts.encode_to {
-        let xml = std::fs::read_to_string(src).unwrap_or_else(|e| {
-            eprintln!("xq: cannot read {src}: {e}");
-            exit(1);
-        });
-        let doc = Doc::from_xml(&xml).unwrap_or_else(|e| {
-            eprintln!("xq: parse error in {src}: {e}");
-            exit(1);
-        });
-        std::fs::write(dst, doc.to_bytes()).unwrap_or_else(|e| {
-            eprintln!("xq: cannot write {dst}: {e}");
-            exit(1);
-        });
+        let session = Session::open_xml(src).unwrap_or_else(|e| fail(src, e));
+        let doc = session.doc();
+        if let Err(e) = std::fs::write(dst, doc.to_bytes()) {
+            fail(dst, e.into());
+        }
         eprintln!(
             "encoded {} nodes (height {}) from {src} into {dst}",
             doc.len(),
@@ -143,47 +207,29 @@ fn main() {
         return;
     }
 
-    let Some(query) = &opts.query else { usage() };
+    let Some(query_text) = &opts.query else {
+        usage()
+    };
+    let engine = build_engine(&opts).unwrap_or_else(|e| fail("", e));
 
     // Document acquisition: pre-encoded plane, file, or stdin.
-    let doc = if let Some(path) = &opts.encoded {
-        let bytes = std::fs::read(path).unwrap_or_else(|e| {
-            eprintln!("xq: cannot read {path}: {e}");
-            exit(1);
-        });
-        Doc::from_bytes(&bytes).unwrap_or_else(|e| {
-            eprintln!("xq: {path}: {e}");
-            exit(1);
-        })
+    let session = if let Some(path) = &opts.encoded {
+        Session::open_encoded(path).unwrap_or_else(|e| fail(path, e))
+    } else if let Some(path) = &opts.file {
+        Session::open_xml(path).unwrap_or_else(|e| fail(path, e))
     } else {
-        let xml = match &opts.file {
-            Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
-                eprintln!("xq: cannot read {path}: {e}");
-                exit(1);
-            }),
-            None => {
-                let mut buf = String::new();
-                std::io::stdin().read_to_string(&mut buf).unwrap_or_else(|e| {
-                    eprintln!("xq: cannot read stdin: {e}");
-                    exit(1);
-                });
-                buf
-            }
-        };
-        Doc::from_xml(&xml).unwrap_or_else(|e| {
-            eprintln!("xq: XML parse error: {e}");
-            exit(1);
-        })
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            fail("stdin", e.into());
+        }
+        Session::parse_xml(&buf).unwrap_or_else(|e| fail("stdin", e))
     };
 
-    let evaluator = Evaluator::new(&doc, opts.engine);
-    let out = evaluator.evaluate(query).unwrap_or_else(|e| {
-        eprintln!("xq: {e}");
-        exit(2);
-    });
+    let query = session.prepare(query_text).unwrap_or_else(|e| fail("", e));
+    let out = query.run(engine);
 
     if opts.stats {
-        for s in &out.stats.steps {
+        for s in &out.stats().steps {
             eprintln!(
                 "step {:<40} result {:>8}  touched {:>10}  duplicates {:>8}",
                 s.step,
@@ -194,10 +240,10 @@ fn main() {
         }
     }
     if opts.count_only {
-        println!("{}", out.result.len());
+        println!("{}", out.len());
         return;
     }
-    for v in out.result.iter() {
-        println!("pre {:>8}  {}", v, render_node(&doc, v));
+    for v in &out {
+        println!("pre {:>8}  {}", v, render_node(session.doc(), v));
     }
 }

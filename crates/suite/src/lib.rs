@@ -1,17 +1,44 @@
 //! # staircase-suite
 //!
 //! Umbrella crate hosting the repository-level integration tests
-//! (`/tests`) and runnable examples (`/examples`). It re-exports the full
-//! public surface of the reproduction as a convenience prelude, so
-//! examples read like downstream user code:
+//! (`/tests`), runnable examples (`/examples`), and the `xq` CLI. It
+//! re-exports the full public surface of the reproduction as a
+//! convenience prelude, so examples read like downstream user code.
+//!
+//! ## Quickstart
+//!
+//! Load a document into a [`Session`](staircase_xpath::Session), prepare
+//! a query once, and run it on any engine:
 //!
 //! ```
 //! use staircase_suite::prelude::*;
 //!
-//! let doc = Doc::from_xml("<a><b/></a>").unwrap();
-//! let out = evaluate(&doc, "/descendant::b", Engine::default()).unwrap();
-//! assert_eq!(out.result.len(), 1);
+//! # fn main() -> Result<(), Error> {
+//! let session = Session::parse_xml("<a><b><c/></b><b/></a>")?;
+//!
+//! // Prepared once, runnable many times on any engine.
+//! let query = session.prepare("/descendant::b")?;
+//! let out = query.run(Engine::default());
+//! assert_eq!(out.len(), 2);
+//!
+//! // Engines come from builders and are validated up front.
+//! let skipping = Engine::staircase().variant(Variant::Skipping).build()?;
+//! let sql = Engine::sql().eq1_window(true).build()?;
+//! assert_eq!(query.run(skipping).nodes(), query.run(sql).nodes());
+//!
+//! // Results iterate without cloning.
+//! for pre in &out {
+//!     assert_eq!(session.doc().tag_name(pre), Some("b"));
+//! }
+//! # Ok(())
+//! # }
 //! ```
+//!
+//! Auxiliary structures (the per-tag
+//! [`TagIndex`](staircase_core::TagIndex) fragments, the SQL baseline's
+//! B-tree) are built lazily by the session on first use and cached for
+//! every later query, whatever the engine — `Session::aux_builds()`
+//! reports the construction counts if you want to see the reuse.
 
 #![warn(missing_docs)]
 
@@ -20,13 +47,23 @@ pub mod prelude {
     pub use staircase_accel::{Axis, Context, Doc, EncodingBuilder, NodeKind, Pre, Region};
     pub use staircase_baselines::{mpmgjn_join, naive_step, SqlEngine, SqlPlanOptions};
     pub use staircase_core::{
-        ancestor, ancestor_on_list, ancestor_parallel, axis_step, descendant, descendant_fused,
+        ancestor, ancestor_on_list, ancestor_parallel, descendant, descendant_fused,
         descendant_on_list, descendant_parallel, following, has_ancestor_in, has_child_in,
-        has_descendant_in, preceding, prune, StepStats, TagIndex, Variant,
+        has_descendant_in, preceding, prune, try_axis_step, StepStats, TagIndex, UnsupportedAxis,
+        Variant,
     };
-    pub use staircase_xmlgen::{generate, generate_xml, DocProfile, XmarkConfig};
     pub use staircase_xml::{Document, PullParser};
-    pub use staircase_xpath::{evaluate, parse, Engine, Evaluator};
+    pub use staircase_xmlgen::{generate, generate_xml, DocProfile, XmarkConfig};
+    pub use staircase_xpath::{
+        parse, AuxBuilds, Engine, Error, Query, QueryOutput, Session, SqlBuilder, StaircaseBuilder,
+    };
+
+    // Deprecated pre-`Session` entry points, re-exported so downstream
+    // code migrates on its own schedule.
+    #[allow(deprecated)]
+    pub use staircase_core::axis_step;
+    #[allow(deprecated)]
+    pub use staircase_xpath::{evaluate, Evaluator};
 }
 
 #[cfg(test)]
@@ -35,8 +72,12 @@ mod tests {
 
     #[test]
     fn prelude_is_usable() {
-        let doc = Doc::from_xml("<a><b/><c/></a>").unwrap();
-        let (r, _) = descendant(&doc, &Context::singleton(0), Variant::default());
+        let session = Session::parse_xml("<a><b/><c/></a>").expect("well-formed");
+        let (r, _) = descendant(session.doc(), &Context::singleton(0), Variant::default());
         assert_eq!(r.len(), 2);
+        let out = session
+            .run("/descendant::*", Engine::default())
+            .expect("query parses");
+        assert_eq!(out.len(), 2);
     }
 }

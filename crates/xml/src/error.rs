@@ -23,7 +23,10 @@ impl TextPos {
                 line_start = i + 1;
             }
         }
-        TextPos { line, col: (offset - line_start) as u32 + 1 }
+        TextPos {
+            line,
+            col: (offset - line_start) as u32 + 1,
+        }
     }
 }
 
@@ -87,7 +90,11 @@ impl fmt::Display for Error {
                 write!(f, "expected {expected} at {pos}")
             }
             Error::InvalidName(p) => write!(f, "invalid XML name at {p}"),
-            Error::MismatchedTag { expected, found, pos } => write!(
+            Error::MismatchedTag {
+                expected,
+                found,
+                pos,
+            } => write!(
                 f,
                 "closing tag </{found}> at {pos} does not match open element <{expected}>"
             ),

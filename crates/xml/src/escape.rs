@@ -137,12 +137,18 @@ mod tests {
 
     #[test]
     fn unescape_borrows_when_clean() {
-        assert!(matches!(unescape("hello", "hello", 0).unwrap(), Cow::Borrowed(_)));
+        assert!(matches!(
+            unescape("hello", "hello", 0).unwrap(),
+            Cow::Borrowed(_)
+        ));
     }
 
     #[test]
     fn unescape_predefined() {
-        assert_eq!(unescape("&lt;&gt;&amp;&quot;&apos;", "", 0).unwrap(), "<>&\"'");
+        assert_eq!(
+            unescape("&lt;&gt;&amp;&quot;&apos;", "", 0).unwrap(),
+            "<>&\"'"
+        );
     }
 
     #[test]

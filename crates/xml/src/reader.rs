@@ -80,7 +80,13 @@ impl<'a> PullParser<'a> {
     /// Creates a parser over `input`. An XML declaration and a `DOCTYPE`
     /// are consumed silently if present.
     pub fn new(input: &'a str) -> PullParser<'a> {
-        PullParser { input, pos: 0, stack: Vec::new(), seen_root: false, done: false }
+        PullParser {
+            input,
+            pos: 0,
+            stack: Vec::new(),
+            seen_root: false,
+            done: false,
+        }
     }
 
     /// Current byte offset into the input (useful for error reporting).
@@ -121,7 +127,10 @@ impl<'a> PullParser<'a> {
             self.pos += s.len();
             Ok(())
         } else {
-            Err(Error::UnexpectedToken { expected: s, pos: self.err_pos(self.pos) })
+            Err(Error::UnexpectedToken {
+                expected: s,
+                pos: self.err_pos(self.pos),
+            })
         }
     }
 
@@ -239,7 +248,11 @@ impl<'a> PullParser<'a> {
                         self.seen_root = true;
                     }
                     self.stack.push((name_start, name_end));
-                    return Ok(Event::StartTag { name, attributes, self_closing: false });
+                    return Ok(Event::StartTag {
+                        name,
+                        attributes,
+                        self_closing: false,
+                    });
                 }
                 Some(b'/') => {
                     self.pos += 1;
@@ -250,7 +263,11 @@ impl<'a> PullParser<'a> {
                         }
                         self.seen_root = true;
                     }
-                    return Ok(Event::StartTag { name, attributes, self_closing: true });
+                    return Ok(Event::StartTag {
+                        name,
+                        attributes,
+                        self_closing: true,
+                    });
                 }
                 Some(_) => {
                     if self.pos == before {
@@ -260,7 +277,10 @@ impl<'a> PullParser<'a> {
                         });
                     }
                     let attr = self.parse_attribute()?;
-                    if attributes.iter().any(|a: &Attribute<'_>| a.name == attr.name) {
+                    if attributes
+                        .iter()
+                        .any(|a: &Attribute<'_>| a.name == attr.name)
+                    {
                         return Err(Error::DuplicateAttribute {
                             name: attr.name.to_string(),
                             pos: self.err_pos(before),
@@ -470,7 +490,14 @@ mod tests {
     fn minimal_document() {
         let ev = events("<a/>");
         assert_eq!(ev.len(), 1);
-        assert!(matches!(&ev[0], Event::StartTag { name: "a", self_closing: true, .. }));
+        assert!(matches!(
+            &ev[0],
+            Event::StartTag {
+                name: "a",
+                self_closing: true,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -483,7 +510,9 @@ mod tests {
     #[test]
     fn attributes_parsed_in_order() {
         let ev = events(r#"<a x="1" y='2'/>"#);
-        let Event::StartTag { attributes, .. } = &ev[0] else { panic!() };
+        let Event::StartTag { attributes, .. } = &ev[0] else {
+            panic!()
+        };
         assert_eq!(attributes.len(), 2);
         assert_eq!(attributes[0].name, "x");
         assert_eq!(attributes[0].value, "1");
@@ -494,7 +523,9 @@ mod tests {
     #[test]
     fn attribute_entities_expanded() {
         let ev = events(r#"<a x="a&amp;b&#33;"/>"#);
-        let Event::StartTag { attributes, .. } = &ev[0] else { panic!() };
+        let Event::StartTag { attributes, .. } = &ev[0] else {
+            panic!()
+        };
         assert_eq!(attributes[0].value, "a&b!");
     }
 
@@ -534,7 +565,10 @@ mod tests {
 
     #[test]
     fn mismatched_tag_reported() {
-        assert!(matches!(parse_err("<a><b></a></b>"), Error::MismatchedTag { .. }));
+        assert!(matches!(
+            parse_err("<a><b></a></b>"),
+            Error::MismatchedTag { .. }
+        ));
     }
 
     #[test]
@@ -544,7 +578,10 @@ mod tests {
 
     #[test]
     fn stray_end_tag_reported() {
-        assert!(matches!(parse_err("<a/></a>"), Error::UnexpectedClosingTag(_) | Error::ExtraRootContent(_)));
+        assert!(matches!(
+            parse_err("<a/></a>"),
+            Error::UnexpectedClosingTag(_) | Error::ExtraRootContent(_)
+        ));
     }
 
     #[test]
@@ -570,28 +607,46 @@ mod tests {
 
     #[test]
     fn duplicate_attribute_rejected() {
-        assert!(matches!(parse_err("<a x='1' x='2'/>"), Error::DuplicateAttribute { .. }));
+        assert!(matches!(
+            parse_err("<a x='1' x='2'/>"),
+            Error::DuplicateAttribute { .. }
+        ));
     }
 
     #[test]
     fn bad_entity_rejected() {
-        assert!(matches!(parse_err("<a>&unknown;</a>"), Error::InvalidReference(_)));
+        assert!(matches!(
+            parse_err("<a>&unknown;</a>"),
+            Error::InvalidReference(_)
+        ));
     }
 
     #[test]
     fn double_dash_in_comment_rejected() {
-        assert!(matches!(parse_err("<a><!-- x -- y --></a>"), Error::MalformedComment(_)));
+        assert!(matches!(
+            parse_err("<a><!-- x -- y --></a>"),
+            Error::MalformedComment(_)
+        ));
     }
 
     #[test]
     fn cdata_close_in_text_rejected() {
-        assert!(matches!(parse_err("<a>oops ]]> here</a>"), Error::CdataCloseInText(_)));
+        assert!(matches!(
+            parse_err("<a>oops ]]> here</a>"),
+            Error::CdataCloseInText(_)
+        ));
     }
 
     #[test]
     fn unicode_names_accepted() {
         let ev = events("<données étiquette='ü'/>");
-        assert!(matches!(&ev[0], Event::StartTag { name: "données", .. }));
+        assert!(matches!(
+            &ev[0],
+            Event::StartTag {
+                name: "données",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -607,7 +662,10 @@ mod tests {
 
     #[test]
     fn attribute_value_with_angle_rejected() {
-        assert!(matches!(parse_err("<a x='<'/>"), Error::UnexpectedToken { .. }));
+        assert!(matches!(
+            parse_err("<a x='<'/>"),
+            Error::UnexpectedToken { .. }
+        ));
     }
 
     #[test]

@@ -70,7 +70,11 @@ impl EventWriter {
     /// Appends one event.
     pub fn write(&mut self, event: &Event<'_>) -> Result<(), WriteError> {
         match event {
-            Event::StartTag { name, attributes, self_closing } => {
+            Event::StartTag {
+                name,
+                attributes,
+                self_closing,
+            } => {
                 self.out.push('<');
                 self.out.push_str(name);
                 for a in attributes {
@@ -174,20 +178,30 @@ mod tests {
         assert_eq!(out, "<a><![CDATA[<raw> & markup]]></a>");
         // And it still parses back to the same text content.
         let doc = crate::Document::parse(&out).unwrap();
-        assert_eq!(doc.text_content(doc.root_element().unwrap()), "<raw> & markup");
+        assert_eq!(
+            doc.text_content(doc.root_element().unwrap()),
+            "<raw> & markup"
+        );
     }
 
     #[test]
     fn unbalanced_end_rejected() {
         let mut w = EventWriter::new();
-        assert_eq!(w.write(&Event::EndTag { name: "a" }), Err(WriteError::UnbalancedEnd));
+        assert_eq!(
+            w.write(&Event::EndTag { name: "a" }),
+            Err(WriteError::UnbalancedEnd)
+        );
     }
 
     #[test]
     fn mismatched_end_rejected() {
         let mut w = EventWriter::new();
-        w.write(&Event::StartTag { name: "a", attributes: vec![], self_closing: false })
-            .unwrap();
+        w.write(&Event::StartTag {
+            name: "a",
+            attributes: vec![],
+            self_closing: false,
+        })
+        .unwrap();
         let err = w.write(&Event::EndTag { name: "b" }).unwrap_err();
         assert!(matches!(err, WriteError::MismatchedEnd { .. }));
     }
@@ -195,8 +209,12 @@ mod tests {
     #[test]
     fn unclosed_elements_rejected_at_finish() {
         let mut w = EventWriter::new();
-        w.write(&Event::StartTag { name: "a", attributes: vec![], self_closing: false })
-            .unwrap();
+        w.write(&Event::StartTag {
+            name: "a",
+            attributes: vec![],
+            self_closing: false,
+        })
+        .unwrap();
         assert_eq!(w.finish(), Err(WriteError::UnclosedElements(1)));
     }
 
@@ -205,7 +223,10 @@ mod tests {
         let mut w = EventWriter::new();
         w.write(&Event::StartTag {
             name: "a",
-            attributes: vec![Attribute { name: "x", value: "a\"b".into() }],
+            attributes: vec![Attribute {
+                name: "x",
+                value: "a\"b".into(),
+            }],
             self_closing: true,
         })
         .unwrap();
@@ -215,8 +236,12 @@ mod tests {
     #[test]
     fn buffer_allows_incremental_reads() {
         let mut w = EventWriter::new();
-        w.write(&Event::StartTag { name: "a", attributes: vec![], self_closing: false })
-            .unwrap();
+        w.write(&Event::StartTag {
+            name: "a",
+            attributes: vec![],
+            self_closing: false,
+        })
+        .unwrap();
         assert_eq!(w.buffer(), "<a>");
         w.write(&Event::EndTag { name: "a" }).unwrap();
         assert_eq!(w.buffer(), "<a></a>");

@@ -72,7 +72,11 @@ impl Document {
     /// Creates an empty document (document node only).
     pub fn new() -> Document {
         Document {
-            nodes: vec![NodeData { kind: NodeKind::Document, parent: None, children: Vec::new() }],
+            nodes: vec![NodeData {
+                kind: NodeKind::Document,
+                parent: None,
+                children: Vec::new(),
+            }],
         }
     }
 
@@ -87,7 +91,11 @@ impl Document {
         let mut stack = vec![doc.document_node()];
         loop {
             match parser.next_event()? {
-                Event::StartTag { name, attributes, self_closing } => {
+                Event::StartTag {
+                    name,
+                    attributes,
+                    self_closing,
+                } => {
                     let attrs = attributes
                         .into_iter()
                         .map(|a| (a.name.to_string(), a.value.into_owned()))
@@ -108,7 +116,10 @@ impl Document {
                 Event::ProcessingInstruction { target, data } => {
                     doc.append_child(
                         *stack.last().unwrap(),
-                        NodeKind::Pi { target: target.to_string(), data: data.to_string() },
+                        NodeKind::Pi {
+                            target: target.to_string(),
+                            data: data.to_string(),
+                        },
                     );
                 }
                 Event::Eof => break,
@@ -161,7 +172,10 @@ impl Document {
 
     /// Looks up one attribute value on `id`.
     pub fn attribute(&self, id: NodeId, name: &str) -> Option<&str> {
-        self.attributes(id).iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.attributes(id)
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// The parent of `id` (`None` for the document node).
@@ -176,7 +190,15 @@ impl Document {
 
     /// All descendants of `id` in document order (excluding `id`).
     pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
-        Descendants { doc: self, stack: self.nodes[id.idx()].children.iter().rev().copied().collect() }
+        Descendants {
+            doc: self,
+            stack: self.nodes[id.idx()]
+                .children
+                .iter()
+                .rev()
+                .copied()
+                .collect(),
+        }
     }
 
     /// The concatenated text content beneath `id`.
@@ -204,7 +226,13 @@ impl Document {
         name: &str,
         attributes: Vec<(String, String)>,
     ) -> NodeId {
-        self.append_child(parent, NodeKind::Element { name: name.to_string(), attributes })
+        self.append_child(
+            parent,
+            NodeKind::Element {
+                name: name.to_string(),
+                attributes,
+            },
+        )
     }
 
     /// Appends text under `parent`, merging with a trailing text sibling.
@@ -235,7 +263,11 @@ impl Document {
     /// Appends an arbitrary node under `parent`; returns its id.
     pub fn append_child(&mut self, parent: NodeId, kind: NodeKind) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(NodeData { kind, parent: Some(parent), children: Vec::new() });
+        self.nodes.push(NodeData {
+            kind,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
         self.nodes[parent.idx()].children.push(id);
         id
     }
@@ -271,7 +303,8 @@ impl Iterator for Descendants<'_> {
 
     fn next(&mut self) -> Option<NodeId> {
         let id = self.stack.pop()?;
-        self.stack.extend(self.doc.nodes[id.idx()].children.iter().rev().copied());
+        self.stack
+            .extend(self.doc.nodes[id.idx()].children.iter().rev().copied());
         Some(id)
     }
 }
@@ -340,10 +373,8 @@ mod tests {
     fn figure_1_document_shape() {
         // The 10-node instance of the paper's Figure 1: a is the root;
         // f is the context node with children g (with h) and i (with j).
-        let doc = Document::parse(
-            "<a><b><c/><d/></b><e><f><g><h/></g><i><j/></i></f></e></a>",
-        )
-        .unwrap();
+        let doc =
+            Document::parse("<a><b><c/><d/></b><e><f><g><h/></g><i><j/></i></f></e></a>").unwrap();
         let all: Vec<_> = doc
             .descendants(doc.document_node())
             .filter_map(|n| doc.name(n).map(str::to_string))

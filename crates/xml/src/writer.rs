@@ -19,7 +19,11 @@ pub struct WriteOptions {
 
 impl Default for WriteOptions {
     fn default() -> Self {
-        WriteOptions { declaration: false, indent: None, self_close_empty: true }
+        WriteOptions {
+            declaration: false,
+            indent: None,
+            self_close_empty: true,
+        }
     }
 }
 
@@ -78,7 +82,9 @@ fn write_node_at(doc: &Document, id: NodeId, out: &mut String, opts: &WriteOptio
                 return;
             }
             out.push('>');
-            let only_text = doc.children(id).all(|c| matches!(doc.kind(c), NodeKind::Text(_)));
+            let only_text = doc
+                .children(id)
+                .all(|c| matches!(doc.kind(c), NodeKind::Text(_)));
             for c in children {
                 if only_text {
                     // Keep text inline even when pretty-printing.
@@ -149,7 +155,10 @@ mod tests {
         write_document(
             &doc,
             &mut out,
-            &WriteOptions { declaration: true, ..WriteOptions::default() },
+            &WriteOptions {
+                declaration: true,
+                ..WriteOptions::default()
+            },
         );
         assert!(out.starts_with("<?xml version=\"1.0\""));
     }
@@ -161,7 +170,10 @@ mod tests {
         write_document(
             &doc,
             &mut out,
-            &WriteOptions { indent: Some(2), ..WriteOptions::default() },
+            &WriteOptions {
+                indent: Some(2),
+                ..WriteOptions::default()
+            },
         );
         assert_eq!(out, "<a>\n  <b>\n    <c/>\n  </b>\n</a>\n");
     }
@@ -173,7 +185,10 @@ mod tests {
         write_document(
             &doc,
             &mut out,
-            &WriteOptions { indent: Some(2), ..WriteOptions::default() },
+            &WriteOptions {
+                indent: Some(2),
+                ..WriteOptions::default()
+            },
         );
         assert_eq!(out, "<a>\n  <b>hello</b>\n</a>\n");
     }
@@ -185,19 +200,26 @@ mod tests {
         write_document(
             &doc,
             &mut out,
-            &WriteOptions { self_close_empty: false, ..WriteOptions::default() },
+            &WriteOptions {
+                self_close_empty: false,
+                ..WriteOptions::default()
+            },
         );
         assert_eq!(out, "<a></a>");
     }
 
     #[test]
     fn comments_and_pis_roundtrip() {
-        assert_eq!(roundtrip("<a><!--hey--><?pi data?></a>"), "<a><!--hey--><?pi data?></a>");
+        assert_eq!(
+            roundtrip("<a><!--hey--><?pi data?></a>"),
+            "<a><!--hey--><?pi data?></a>"
+        );
     }
 
     #[test]
     fn parse_serialize_parse_is_stable() {
-        let input = r#"<site><people><person id="p0"><name>A &amp; B</name></person></people></site>"#;
+        let input =
+            r#"<site><people><person id="p0"><name>A &amp; B</name></person></people></site>"#;
         let once = roundtrip(input);
         let twice = roundtrip(&once);
         assert_eq!(once, twice);

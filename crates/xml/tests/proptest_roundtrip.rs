@@ -7,7 +7,11 @@ use staircase_xml::{Document, NodeId, NodeKind};
 /// A recursive tree blueprint we can turn into a [`Document`].
 #[derive(Debug, Clone)]
 enum Blueprint {
-    Element { name: String, attrs: Vec<(String, String)>, children: Vec<Blueprint> },
+    Element {
+        name: String,
+        attrs: Vec<(String, String)>,
+        children: Vec<Blueprint>,
+    },
     Text(String),
     Comment(String),
 }
@@ -24,13 +28,26 @@ fn text_value() -> impl Strategy<Value = String> {
 
 fn blueprint() -> impl Strategy<Value = Blueprint> {
     let leaf = prop_oneof![
-        (xml_name(), proptest::collection::vec((xml_name(), text_value()), 0..3))
-            .prop_map(|(name, attrs)| Blueprint::Element { name, attrs: dedup(attrs), children: vec![] }),
-        text_value().prop_filter("non-empty text", |t| !t.is_empty()).prop_map(Blueprint::Text),
+        (
+            xml_name(),
+            proptest::collection::vec((xml_name(), text_value()), 0..3)
+        )
+            .prop_map(|(name, attrs)| Blueprint::Element {
+                name,
+                attrs: dedup(attrs),
+                children: vec![]
+            }),
+        text_value()
+            .prop_filter("non-empty text", |t| !t.is_empty())
+            .prop_map(Blueprint::Text),
         "[ -~&&[^-]]{0,10}".prop_map(Blueprint::Comment),
     ];
     leaf.prop_recursive(4, 64, 6, |inner| {
-        (xml_name(), proptest::collection::vec((xml_name(), text_value()), 0..3), proptest::collection::vec(inner, 0..6))
+        (
+            xml_name(),
+            proptest::collection::vec((xml_name(), text_value()), 0..3),
+            proptest::collection::vec(inner, 0..6),
+        )
             .prop_map(|(name, attrs, children)| Blueprint::Element {
                 name,
                 attrs: dedup(attrs),
@@ -41,7 +58,10 @@ fn blueprint() -> impl Strategy<Value = Blueprint> {
 
 fn dedup(attrs: Vec<(String, String)>) -> Vec<(String, String)> {
     let mut seen = std::collections::HashSet::new();
-    attrs.into_iter().filter(|(n, _)| seen.insert(n.clone())).collect()
+    attrs
+        .into_iter()
+        .filter(|(n, _)| seen.insert(n.clone()))
+        .collect()
 }
 
 /// The tree builder merges adjacent text nodes, so the blueprint must not
@@ -60,7 +80,11 @@ fn merge_adjacent_text(children: Vec<Blueprint>) -> Vec<Blueprint> {
 
 fn build(doc: &mut Document, parent: NodeId, bp: &Blueprint) {
     match bp {
-        Blueprint::Element { name, attrs, children } => {
+        Blueprint::Element {
+            name,
+            attrs,
+            children,
+        } => {
             let id = doc.append_element(parent, name, attrs.clone());
             for c in children {
                 build(doc, id, c);

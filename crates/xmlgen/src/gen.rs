@@ -32,8 +32,14 @@ const MEAN_MAILS: f64 = 6.0;
 /// Mean inline elements per mixed-content text block.
 const MEAN_INLINE: f64 = 3.0;
 
-const CONTINENTS: [&str; 6] =
-    ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+const CONTINENTS: [&str; 6] = [
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
 
 /// Configuration for one generated document.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,7 +54,10 @@ pub struct XmarkConfig {
 impl XmarkConfig {
     /// A config with the default seed.
     pub fn new(scale: f64) -> XmarkConfig {
-        XmarkConfig { scale, seed: 0xC0FFEE }
+        XmarkConfig {
+            scale,
+            seed: 0xC0FFEE,
+        }
     }
 
     /// Replaces the seed.
@@ -70,7 +79,9 @@ impl Default for XmarkConfig {
 
 /// Generates a document straight into the XPath-accelerator encoding.
 pub fn generate(config: XmarkConfig) -> Doc {
-    let mut sink = EncodingSink { builder: EncodingBuilder::new() };
+    let mut sink = EncodingSink {
+        builder: EncodingBuilder::new(),
+    };
     sink.builder.reserve((config.scale * 50_000.0) as usize);
     Generator::new(config).run(&mut sink);
     sink.builder.finish()
@@ -95,7 +106,10 @@ struct Generator {
 
 impl Generator {
     fn new(config: XmarkConfig) -> Generator {
-        Generator { config, rng: SmallRng::seed_from_u64(config.seed) }
+        Generator {
+            config,
+            rng: SmallRng::seed_from_u64(config.seed),
+        }
     }
 
     /// Geometric sample with the given mean (support 0, 1, 2, …).
@@ -153,8 +167,7 @@ impl Generator {
         for (ci, continent) in CONTINENTS.iter().enumerate() {
             sink.open(continent);
             // Distribute items round-robin-ish across continents.
-            let share = items / CONTINENTS.len()
-                + usize::from(ci < items % CONTINENTS.len());
+            let share = items / CONTINENTS.len() + usize::from(ci < items % CONTINENTS.len());
             for _ in 0..share {
                 // The very first item carries the document's forced
                 // maximum-depth description so height is always 11.
@@ -304,7 +317,10 @@ impl Generator {
         sink.attr("id", &format!("person{id}"));
         let name = format!("{} {}", self.pick(FIRST_NAMES), self.pick(LAST_NAMES));
         self.leaf(sink, "name", &name);
-        let email = format!("mailto:{}@example.org", self.pick(LAST_NAMES).to_lowercase());
+        let email = format!(
+            "mailto:{}@example.org",
+            self.pick(LAST_NAMES).to_lowercase()
+        );
         self.leaf(sink, "emailaddress", &email);
         if self.chance(0.5) {
             self.leaf(sink, "phone", "+49 7531 88 0");
@@ -447,7 +463,13 @@ impl Generator {
         sink.close();
     }
 
-    fn closed_auctions(&mut self, sink: &mut impl GenSink, auctions: usize, persons: usize, items: usize) {
+    fn closed_auctions(
+        &mut self,
+        sink: &mut impl GenSink,
+        auctions: usize,
+        persons: usize,
+        items: usize,
+    ) {
         sink.open("closed_auctions");
         for _ in 0..auctions {
             sink.open("closed_auction");
@@ -598,7 +620,10 @@ mod tests {
         assert_eq!(p.persons, p.profiles);
         // increase fraction of all nodes ≈ 1.2% (paper: 597k/50.8M ≈ 1.18%).
         let inc_frac = p.increases as f64 / p.nodes as f64;
-        assert!((0.008..0.016).contains(&inc_frac), "increase fraction {inc_frac}");
+        assert!(
+            (0.008..0.016).contains(&inc_frac),
+            "increase fraction {inc_frac}"
+        );
     }
 
     #[test]
@@ -653,8 +678,18 @@ mod tests {
     fn vocabulary_tags_present() {
         let doc = generate(XmarkConfig::new(0.5));
         for tag in [
-            "site", "regions", "people", "person", "profile", "open_auctions", "open_auction",
-            "bidder", "increase", "item", "education", "category",
+            "site",
+            "regions",
+            "people",
+            "person",
+            "profile",
+            "open_auctions",
+            "open_auction",
+            "bidder",
+            "increase",
+            "item",
+            "education",
+            "category",
         ] {
             assert!(doc.tag_id(tag).is_some(), "missing tag {tag}");
         }

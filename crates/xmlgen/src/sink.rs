@@ -54,7 +54,10 @@ impl DocumentSink {
     pub fn new() -> DocumentSink {
         let doc = Document::new();
         let root = doc.document_node();
-        DocumentSink { doc, stack: vec![root] }
+        DocumentSink {
+            doc,
+            stack: vec![root],
+        }
     }
 }
 
@@ -96,7 +99,9 @@ mod tests {
 
     #[test]
     fn encoding_sink_builds_plane() {
-        let mut sink = EncodingSink { builder: EncodingBuilder::new() };
+        let mut sink = EncodingSink {
+            builder: EncodingBuilder::new(),
+        };
         drive(&mut sink);
         let doc = sink.builder.finish();
         // site, @version, people, text
@@ -115,7 +120,9 @@ mod tests {
 
     #[test]
     fn sinks_agree_via_encoding() {
-        let mut es = EncodingSink { builder: EncodingBuilder::new() };
+        let mut es = EncodingSink {
+            builder: EncodingBuilder::new(),
+        };
         drive(&mut es);
         let direct = es.builder.finish();
         let mut ds = DocumentSink::new();

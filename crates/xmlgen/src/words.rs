@@ -5,27 +5,85 @@
 
 /// Word pool for running text.
 pub(crate) const WORDS: &[&str] = &[
-    "against", "arms", "arrows", "be", "bear", "consummation", "die", "dream", "end", "flesh",
-    "fortune", "heart", "heartache", "heir", "mind", "nobler", "not", "opposing", "or",
-    "outrageous", "question", "sea", "shocks", "sleep", "slings", "suffer", "take", "that",
-    "the", "thousand", "to", "troubles", "whether", "wish", "natural",
+    "against",
+    "arms",
+    "arrows",
+    "be",
+    "bear",
+    "consummation",
+    "die",
+    "dream",
+    "end",
+    "flesh",
+    "fortune",
+    "heart",
+    "heartache",
+    "heir",
+    "mind",
+    "nobler",
+    "not",
+    "opposing",
+    "or",
+    "outrageous",
+    "question",
+    "sea",
+    "shocks",
+    "sleep",
+    "slings",
+    "suffer",
+    "take",
+    "that",
+    "the",
+    "thousand",
+    "to",
+    "troubles",
+    "whether",
+    "wish",
+    "natural",
 ];
 
 /// First names for person elements.
 pub(crate) const FIRST_NAMES: &[&str] = &[
-    "Ada", "Alan", "Barbara", "Edsger", "Grace", "John", "Katherine", "Ken", "Leslie", "Niklaus",
-    "Robin", "Tony",
+    "Ada",
+    "Alan",
+    "Barbara",
+    "Edsger",
+    "Grace",
+    "John",
+    "Katherine",
+    "Ken",
+    "Leslie",
+    "Niklaus",
+    "Robin",
+    "Tony",
 ];
 
 /// Last names for person elements.
 pub(crate) const LAST_NAMES: &[&str] = &[
-    "Backus", "Dijkstra", "Hamilton", "Hoare", "Hopper", "Johnson", "Kernighan", "Lamport",
-    "Liskov", "Lovelace", "Milner", "Wirth",
+    "Backus",
+    "Dijkstra",
+    "Hamilton",
+    "Hoare",
+    "Hopper",
+    "Johnson",
+    "Kernighan",
+    "Lamport",
+    "Liskov",
+    "Lovelace",
+    "Milner",
+    "Wirth",
 ];
 
 /// City names for addresses.
 pub(crate) const CITIES: &[&str] = &[
-    "Amsterdam", "Berlin", "Enschede", "Hong Kong", "Konstanz", "Madison", "Rome", "Twente",
+    "Amsterdam",
+    "Berlin",
+    "Enschede",
+    "Hong Kong",
+    "Konstanz",
+    "Madison",
+    "Rome",
+    "Twente",
 ];
 
 /// Country names for addresses.
@@ -33,8 +91,7 @@ pub(crate) const COUNTRIES: &[&str] =
     &["China", "Germany", "Italy", "Netherlands", "United States"];
 
 /// Education levels (the Q1 target tag's content).
-pub(crate) const EDUCATION: &[&str] =
-    &["High School", "College", "Graduate School", "Other"];
+pub(crate) const EDUCATION: &[&str] = &["High School", "College", "Graduate School", "Other"];
 
 #[cfg(test)]
 mod tests {
@@ -49,6 +106,8 @@ mod tests {
 
     #[test]
     fn words_are_lowercase_tokens() {
-        assert!(WORDS.iter().all(|w| w.chars().all(|c| c.is_ascii_lowercase())));
+        assert!(WORDS
+            .iter()
+            .all(|w| w.chars().all(|c| c.is_ascii_lowercase())));
     }
 }

@@ -22,12 +22,18 @@ pub struct Path {
 impl Path {
     /// A relative path from steps.
     pub fn relative(steps: Vec<Step>) -> Path {
-        Path { absolute: false, steps }
+        Path {
+            absolute: false,
+            steps,
+        }
     }
 
     /// An absolute path from steps.
     pub fn absolute(steps: Vec<Step>) -> Path {
-        Path { absolute: true, steps }
+        Path {
+            absolute: true,
+            steps,
+        }
     }
 }
 
@@ -45,7 +51,11 @@ pub struct Step {
 impl Step {
     /// A step without predicates.
     pub fn new(axis: Axis, test: NodeTest) -> Step {
-        Step { axis, test, predicates: Vec::new() }
+        Step {
+            axis,
+            test,
+            predicates: Vec::new(),
+        }
     }
 }
 
@@ -142,6 +152,9 @@ mod tests {
         assert_eq!(NodeTest::AnyNode.to_string(), "node()");
         assert_eq!(NodeTest::AnyPrincipal.to_string(), "*");
         assert_eq!(NodeTest::Text.to_string(), "text()");
-        assert_eq!(NodeTest::Pi(Some("php".into())).to_string(), "processing-instruction(php)");
+        assert_eq!(
+            NodeTest::Pi(Some("php".into())).to_string(),
+            "processing-instruction(php)"
+        );
     }
 }

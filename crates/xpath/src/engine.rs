@@ -1,0 +1,318 @@
+//! Engine selection: which implementation evaluates partitioning axis
+//! steps, configured through builders instead of hand-assembled enums.
+//!
+//! ```
+//! use staircase_core::Variant;
+//! use staircase_xpath::Engine;
+//!
+//! let skipping = Engine::staircase().variant(Variant::Skipping).build()?;
+//! let pushdown = Engine::staircase().pushdown(true).build()?;
+//! let parallel = Engine::staircase().parallel(4).build()?;
+//! let sql = Engine::sql().eq1_window(true).early_nametest(true).build()?;
+//! let naive = Engine::naive();
+//! # let _ = (skipping, pushdown, parallel, sql, naive);
+//! # Ok::<(), staircase_xpath::Error>(())
+//! ```
+//!
+//! Inconsistent combinations (zero worker threads, pushdown on the
+//! parallel engine, …) are rejected with [`Error::InvalidEngine`] at
+//! build time, so an [`Engine`] value that exists is always runnable.
+
+use std::fmt;
+
+use staircase_core::Variant;
+
+use crate::error::Error;
+
+/// Which implementation evaluates the partitioning axis steps.
+///
+/// Construct via [`Engine::staircase`], [`Engine::sql`], or
+/// [`Engine::naive`]; the default is the staircase join with
+/// estimation-based skipping and no pushdown.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Engine {
+    pub(crate) kind: EngineKind,
+}
+
+/// The validated engine configuration (internal representation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum EngineKind {
+    /// The staircase join (the paper's contribution), optionally with
+    /// query-time name-test pushdown (§4.4 Experiment 3).
+    Staircase { variant: Variant, pushdown: bool },
+    /// §6 tag-name fragmentation: per-tag fragments prebuilt at document
+    /// loading time.
+    Fragmented { variant: Variant },
+    /// Partitioned parallel staircase join (§3.2 / §6).
+    Parallel { variant: Variant, threads: usize },
+    /// Per-context region queries + duplicate elimination (§3.1).
+    Naive,
+    /// Tree-unaware B-tree plan (Figure 3, "IBM DB2 SQL").
+    Sql {
+        eq1_window: bool,
+        early_nametest: bool,
+    },
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine {
+            kind: EngineKind::Staircase {
+                variant: Variant::EstimationSkipping,
+                pushdown: false,
+            },
+        }
+    }
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            EngineKind::Staircase {
+                variant,
+                pushdown: false,
+            } => {
+                write!(f, "staircase({variant:?})")
+            }
+            EngineKind::Staircase {
+                variant,
+                pushdown: true,
+            } => {
+                write!(f, "staircase({variant:?}, pushdown)")
+            }
+            EngineKind::Fragmented { variant } => write!(f, "fragmented({variant:?})"),
+            EngineKind::Parallel { variant, threads } => {
+                write!(f, "parallel({variant:?}, {threads} threads)")
+            }
+            EngineKind::Naive => write!(f, "naive"),
+            EngineKind::Sql {
+                eq1_window,
+                early_nametest,
+            } => {
+                write!(
+                    f,
+                    "sql(eq1_window: {eq1_window}, early_nametest: {early_nametest})"
+                )
+            }
+        }
+    }
+}
+
+impl Engine {
+    /// Starts configuring a staircase-join engine (serial by default,
+    /// estimation-based skipping, no pushdown).
+    pub fn staircase() -> StaircaseBuilder {
+        StaircaseBuilder {
+            variant: Variant::EstimationSkipping,
+            pushdown: false,
+            fragmented: false,
+            threads: None,
+        }
+    }
+
+    /// Starts configuring the tree-unaware SQL baseline (plain Figure 3
+    /// plan; opt into the Equation-1 window and the early name test).
+    pub fn sql() -> SqlBuilder {
+        SqlBuilder {
+            eq1_window: false,
+            early_nametest: false,
+        }
+    }
+
+    /// The naive per-context strategy of §3.1 (no configuration).
+    pub fn naive() -> Engine {
+        Engine {
+            kind: EngineKind::Naive,
+        }
+    }
+
+    /// `true` for the staircase family (serial, fragmented, parallel).
+    pub fn is_staircase(&self) -> bool {
+        matches!(
+            self.kind,
+            EngineKind::Staircase { .. }
+                | EngineKind::Fragmented { .. }
+                | EngineKind::Parallel { .. }
+        )
+    }
+}
+
+/// Builder for staircase-family engines; see [`Engine::staircase`].
+#[derive(Debug, Clone, Copy)]
+#[must_use = "builders do nothing until .build() is called"]
+pub struct StaircaseBuilder {
+    variant: Variant,
+    pushdown: bool,
+    fragmented: bool,
+    threads: Option<usize>,
+}
+
+impl StaircaseBuilder {
+    /// Selects the skipping refinement (Algorithms 2–4).
+    pub fn variant(mut self, variant: Variant) -> StaircaseBuilder {
+        self.variant = variant;
+        self
+    }
+
+    /// Pushes name tests through the join at query time: the name test
+    /// runs first as a selection scan over the whole document, and the
+    /// join walks only the selected nodes (§4.4 Experiment 3).
+    pub fn pushdown(mut self, on: bool) -> StaircaseBuilder {
+        self.pushdown = on;
+        self
+    }
+
+    /// Uses per-tag fragments prebuilt at document loading time (§6):
+    /// like pushdown, but without the query-time selection scan.
+    pub fn fragmented(mut self, on: bool) -> StaircaseBuilder {
+        self.fragmented = on;
+        self
+    }
+
+    /// Runs the join's disjoint staircase partitions on `threads` worker
+    /// threads (§3.2 / Figure 8).
+    pub fn parallel(mut self, threads: usize) -> StaircaseBuilder {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidEngine`] when options conflict: zero worker
+    /// threads, pushdown or fragmentation combined with the parallel
+    /// engine, or pushdown combined with fragmentation (fragments *are*
+    /// the pushed-down name test).
+    pub fn build(self) -> Result<Engine, Error> {
+        let StaircaseBuilder {
+            variant,
+            pushdown,
+            fragmented,
+            threads,
+        } = self;
+        let kind = match (threads, fragmented, pushdown) {
+            (Some(0), _, _) => {
+                return Err(Error::InvalidEngine(
+                    "parallel staircase join needs at least one worker thread".into(),
+                ))
+            }
+            (Some(_), true, _) => {
+                return Err(Error::InvalidEngine(
+                    "tag fragmentation is not available on the parallel engine".into(),
+                ))
+            }
+            (Some(_), _, true) => {
+                return Err(Error::InvalidEngine(
+                    "name-test pushdown is not available on the parallel engine".into(),
+                ))
+            }
+            (None, true, true) => {
+                return Err(Error::InvalidEngine(
+                    "fragments already are the pushed-down name test; \
+                     use .fragmented(true) alone"
+                        .into(),
+                ))
+            }
+            (Some(threads), false, false) => EngineKind::Parallel { variant, threads },
+            (None, true, false) => EngineKind::Fragmented { variant },
+            (None, false, pushdown) => EngineKind::Staircase { variant, pushdown },
+        };
+        Ok(Engine { kind })
+    }
+}
+
+/// Builder for the SQL baseline; see [`Engine::sql`].
+#[derive(Debug, Clone, Copy)]
+#[must_use = "builders do nothing until .build() is called"]
+pub struct SqlBuilder {
+    eq1_window: bool,
+    early_nametest: bool,
+}
+
+impl SqlBuilder {
+    /// Applies the Equation-1 window predicate (the paper's line 7 — the
+    /// optimizer hint §2.1 proposes).
+    pub fn eq1_window(mut self, on: bool) -> SqlBuilder {
+        self.eq1_window = on;
+        self
+    }
+
+    /// Filters by tag during the index scan instead of afterwards.
+    pub fn early_nametest(mut self, on: bool) -> SqlBuilder {
+        self.early_nametest = on;
+        self
+    }
+
+    /// Validates the configuration (currently always succeeds; `Result`
+    /// keeps the builders uniform and leaves room for future knobs).
+    pub fn build(self) -> Result<Engine, Error> {
+        Ok(Engine {
+            kind: EngineKind::Sql {
+                eq1_window: self.eq1_window,
+                early_nametest: self.early_nametest,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_estimation_skipping_staircase() {
+        assert_eq!(
+            Engine::default(),
+            Engine::staircase()
+                .build()
+                .expect("default staircase config is valid")
+        );
+        assert!(Engine::default().is_staircase());
+        assert!(!Engine::naive().is_staircase());
+    }
+
+    #[test]
+    fn builders_cover_every_kind() {
+        let engines = [
+            Engine::staircase().variant(Variant::Basic).build().unwrap(),
+            Engine::staircase().pushdown(true).build().unwrap(),
+            Engine::staircase().fragmented(true).build().unwrap(),
+            Engine::staircase().parallel(4).build().unwrap(),
+            Engine::naive(),
+            Engine::sql()
+                .eq1_window(true)
+                .early_nametest(true)
+                .build()
+                .unwrap(),
+        ];
+        // All distinct configurations.
+        for (i, a) in engines.iter().enumerate() {
+            for b in &engines[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_combinations_are_rejected() {
+        for builder in [
+            Engine::staircase().parallel(0),
+            Engine::staircase().parallel(2).pushdown(true),
+            Engine::staircase().parallel(2).fragmented(true),
+            Engine::staircase().fragmented(true).pushdown(true),
+        ] {
+            let err = builder.build();
+            assert!(
+                matches!(err, Err(Error::InvalidEngine(_))),
+                "{builder:?} should be rejected, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn debug_rendering_is_compact() {
+        let e = Engine::staircase().pushdown(true).build().unwrap();
+        assert_eq!(format!("{e:?}"), "staircase(EstimationSkipping, pushdown)");
+    }
+}

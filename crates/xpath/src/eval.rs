@@ -1,4 +1,12 @@
 //! Path evaluation over pluggable axis-step engines.
+//!
+//! The evaluation core is [`EvalCx`], an internal context pairing a
+//! document with a *resolved* engine — an engine whose auxiliary
+//! structures (per-tag fragments, the SQL B-tree) have already been
+//! built. [`crate::Session`] resolves engines against its lazily built,
+//! cached structures; the deprecated [`Evaluator`] and free functions
+//! build them eagerly per construction. Everything below the resolution
+//! step is total: no panics, no `unwrap`.
 
 use staircase_accel::{Axis, Context, Doc, NodeKind, Pre};
 use staircase_baselines::{naive_step, SqlEngine, SqlPlanOptions};
@@ -9,52 +17,8 @@ use staircase_core::{
 };
 
 use crate::ast::{NodeTest, Path, Predicate, Step, UnionExpr};
+use crate::engine::{Engine, EngineKind};
 use crate::parser::{parse_union, ParseError};
-#[cfg(test)]
-use crate::parser::parse;
-
-/// Which implementation evaluates the partitioning axis steps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Engine {
-    /// The staircase join (the paper's contribution).
-    Staircase {
-        /// Skipping refinement.
-        variant: Variant,
-        /// Push name tests through the join (§4.4 Experiment 3): the name
-        /// test runs first, *at query time*, as a selection scan over the
-        /// whole document; the join then walks only the selected nodes.
-        pushdown: bool,
-    },
-    /// §6 tag-name fragmentation: like pushdown, but per-tag fragments are
-    /// prebuilt at document-loading time, so a name-tested step touches
-    /// only fragment nodes.
-    Fragmented {
-        /// Skipping refinement.
-        variant: Variant,
-    },
-    /// Partitioned parallel staircase join (§3.2 / §6).
-    StaircaseParallel {
-        /// Skipping refinement.
-        variant: Variant,
-        /// Worker count.
-        threads: usize,
-    },
-    /// Per-context region queries + duplicate elimination (§3.1).
-    Naive,
-    /// Tree-unaware B-tree plan (Figure 3, "IBM DB2 SQL").
-    Sql {
-        /// Apply the Equation-1 window predicate (paper line 7).
-        eq1_window: bool,
-        /// Filter by tag during the index scan.
-        early_nametest: bool,
-    },
-}
-
-impl Default for Engine {
-    fn default() -> Engine {
-        Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: false }
-    }
-}
 
 /// Per-step trace of an evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,56 +66,96 @@ pub struct EvalOutput {
     pub stats: EvalStats,
 }
 
-/// A reusable evaluator holding the engine's auxiliary structures
-/// (tag index for pushdown, B-tree for the SQL engine).
-pub struct Evaluator<'d> {
-    doc: &'d Doc,
-    engine: Engine,
-    tag_index: Option<TagIndex>,
-    sql: Option<SqlEngine>,
+/// An engine whose auxiliary structures are in hand; produced by
+/// [`crate::Session`] (cached) or [`Evaluator`] (eager).
+pub(crate) enum ResolvedEngine<'a> {
+    /// Staircase join, optionally with query-time name-test pushdown.
+    Staircase {
+        /// Skipping refinement.
+        variant: Variant,
+        /// §4.4 Experiment 3 query-time pushdown.
+        pushdown: bool,
+    },
+    /// Staircase join over prebuilt per-tag fragments (§6).
+    Fragmented {
+        /// Skipping refinement.
+        variant: Variant,
+        /// The fragments, built at document loading time.
+        tags: &'a TagIndex,
+    },
+    /// Partitioned parallel staircase join; `threads >= 1` is guaranteed
+    /// by the engine builder.
+    Parallel {
+        /// Skipping refinement.
+        variant: Variant,
+        /// Worker count.
+        threads: usize,
+    },
+    /// Per-context region queries + duplicate elimination (§3.1).
+    Naive,
+    /// Tree-unaware B-tree plan (Figure 3).
+    Sql {
+        /// Paper line-7 window predicate.
+        eq1_window: bool,
+        /// Filter by tag during the index scan.
+        early_nametest: bool,
+        /// The prebuilt concatenated-key B-tree.
+        sql: &'a SqlEngine,
+    },
 }
 
-impl<'d> Evaluator<'d> {
-    /// Builds an evaluator, constructing whatever the engine needs
-    /// ("document loading time" work).
-    pub fn new(doc: &'d Doc, engine: Engine) -> Evaluator<'d> {
-        let tag_index = match engine {
-            Engine::Fragmented { .. } => Some(TagIndex::build(doc)),
-            _ => None,
-        };
-        let sql = match engine {
-            Engine::Sql { .. } => Some(SqlEngine::build(doc)),
-            _ => None,
-        };
-        Evaluator { doc, engine, tag_index, sql }
-    }
+/// The four partitioning axes, as a closed enum so axis dispatch below
+/// needs no unreachable arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PartAxis {
+    Descendant,
+    Ancestor,
+    Following,
+    Preceding,
+}
 
+/// The two axes with a fragment (on-list) join form.
+#[derive(Debug, Clone, Copy)]
+enum VertAxis {
+    Descendant,
+    Ancestor,
+}
+
+/// The internal evaluation context: document + resolved engine.
+pub(crate) struct EvalCx<'a> {
+    pub(crate) doc: &'a Doc,
+    pub(crate) engine: ResolvedEngine<'a>,
+}
+
+impl<'a> EvalCx<'a> {
     /// Parses and evaluates `expr` (context = document root). Union
     /// expressions (`a | b`) are supported.
-    pub fn evaluate(&self, expr: &str) -> Result<EvalOutput, ParseError> {
+    pub(crate) fn evaluate(&self, expr: &str) -> Result<EvalOutput, ParseError> {
         let union = parse_union(expr)?;
         Ok(self.evaluate_union(&union, &Context::singleton(self.doc.root())))
     }
 
     /// Evaluates a union expression: each branch independently from
     /// `context`, results merged into document order (duplicate-free).
-    pub fn evaluate_union(&self, expr: &UnionExpr, context: &Context) -> EvalOutput {
-        let mut outputs: Vec<EvalOutput> =
-            expr.branches.iter().map(|p| self.evaluate_path(p, context)).collect();
-        if outputs.len() == 1 {
-            return outputs.pop().expect("one branch");
+    pub(crate) fn evaluate_union(&self, expr: &UnionExpr, context: &Context) -> EvalOutput {
+        let mut branches = expr.branches.iter().map(|p| self.evaluate_path(p, context));
+        let Some(mut acc) = branches.next() else {
+            // The parser guarantees at least one branch; an empty union is
+            // harmlessly empty rather than a panic.
+            return EvalOutput {
+                result: Context::empty(),
+                stats: EvalStats::default(),
+            };
+        };
+        for out in branches {
+            acc.result = merge(&acc.result, &out.result);
+            acc.stats.steps.extend(out.stats.steps);
         }
-        let mut result = Context::empty();
-        let mut stats = EvalStats::default();
-        for out in outputs {
-            result = merge(&result, &out.result);
-            stats.steps.extend(out.stats.steps);
-        }
-        EvalOutput { result, stats }
+        acc
     }
 
     /// Evaluates a parsed path from an explicit context.
-    pub fn evaluate_path(&self, path: &Path, context: &Context) -> EvalOutput {
+    pub(crate) fn evaluate_path(&self, path: &Path, context: &Context) -> EvalOutput {
         let mut ctx = if path.absolute {
             Context::singleton(self.doc.root())
         } else {
@@ -175,7 +179,10 @@ impl<'d> Evaluator<'d> {
                 None => Context::from_sorted(
                     out.iter()
                         .filter(|&v| {
-                            !self.evaluate_path(path, &Context::singleton(v)).result.is_empty()
+                            !self
+                                .evaluate_path(path, &Context::singleton(v))
+                                .result
+                                .is_empty()
                         })
                         .collect::<Vec<Pre>>(),
                 ),
@@ -190,6 +197,14 @@ impl<'d> Evaluator<'d> {
         (out, trace)
     }
 
+    /// The tag fragments, when the engine prebuilt them.
+    fn fragments(&self) -> Option<&'a TagIndex> {
+        match self.engine {
+            ResolvedEngine::Fragmented { tags, .. } => Some(tags),
+            _ => None,
+        }
+    }
+
     /// Fast path for simple existential predicates on staircase-family
     /// engines: `[descendant::t]`, `[child::t]` (also the abbreviated
     /// `[t]`) and `[ancestor::t]` become one semijoin probe per candidate
@@ -198,7 +213,9 @@ impl<'d> Evaluator<'d> {
     fn try_semijoin_predicate(&self, candidates: &Context, path: &Path) -> Option<Context> {
         if !matches!(
             self.engine,
-            Engine::Staircase { .. } | Engine::Fragmented { .. } | Engine::StaircaseParallel { .. }
+            ResolvedEngine::Staircase { .. }
+                | ResolvedEngine::Fragmented { .. }
+                | ResolvedEngine::Parallel { .. }
         ) {
             return None;
         }
@@ -209,13 +226,18 @@ impl<'d> Evaluator<'d> {
         if !step.predicates.is_empty() {
             return None;
         }
-        let NodeTest::Name(name) = &step.test else { return None };
+        let NodeTest::Name(name) = &step.test else {
+            return None;
+        };
         let doc = self.doc;
         let owned;
-        let list: &[Pre] = if let Some(idx) = self.tag_index.as_ref() {
+        let list: &[Pre] = if let Some(idx) = self.fragments() {
             idx.fragment_by_name(doc, name)
         } else {
-            owned = doc.tag_id(name).map(|t| doc.elements_with_tag(t)).unwrap_or_default();
+            owned = doc
+                .tag_id(name)
+                .map(|t| doc.elements_with_tag(t))
+                .unwrap_or_default();
             &owned
         };
         let (out, _) = match step.axis {
@@ -232,18 +254,19 @@ impl<'d> Evaluator<'d> {
     fn eval_axis_and_test(&self, ctx: &Context, step: &Step) -> (Context, u64, u64) {
         let doc = self.doc;
         match step.axis {
-            Axis::Descendant | Axis::Ancestor | Axis::Following | Axis::Preceding => {
-                self.partitioning_step(ctx, step.axis, &step.test)
-            }
+            Axis::Descendant => self.partitioning_step(ctx, PartAxis::Descendant, &step.test),
+            Axis::Ancestor => self.partitioning_step(ctx, PartAxis::Ancestor, &step.test),
+            Axis::Following => self.partitioning_step(ctx, PartAxis::Following, &step.test),
+            Axis::Preceding => self.partitioning_step(ctx, PartAxis::Preceding, &step.test),
             Axis::DescendantOrSelf => {
                 let (base, touched, produced) =
-                    self.partitioning_step(ctx, Axis::Descendant, &step.test);
+                    self.partitioning_step(ctx, PartAxis::Descendant, &step.test);
                 let selves = apply_test(doc, ctx, &step.test, Axis::SelfAxis);
                 (merge(&base, &selves), touched, produced)
             }
             Axis::AncestorOrSelf => {
                 let (base, touched, produced) =
-                    self.partitioning_step(ctx, Axis::Ancestor, &step.test);
+                    self.partitioning_step(ctx, PartAxis::Ancestor, &step.test);
                 let selves = apply_test(doc, ctx, &step.test, Axis::SelfAxis);
                 (merge(&base, &selves), touched, produced)
             }
@@ -259,8 +282,12 @@ impl<'d> Evaluator<'d> {
                     .collect();
                 parents.sort_unstable();
                 parents.dedup();
-                let out =
-                    apply_test(doc, &Context::from_sorted(parents), &step.test, Axis::Parent);
+                let out = apply_test(
+                    doc,
+                    &Context::from_sorted(parents),
+                    &step.test,
+                    Axis::Parent,
+                );
                 (out, ctx.len() as u64, 0)
             }
             Axis::Child => {
@@ -295,8 +322,12 @@ impl<'d> Evaluator<'d> {
                         v += 1;
                     }
                 }
-                let out =
-                    apply_test(doc, &Context::from_sorted(attrs), &step.test, Axis::Attribute);
+                let out = apply_test(
+                    doc,
+                    &Context::from_sorted(attrs),
+                    &step.test,
+                    Axis::Attribute,
+                );
                 (out, touched, 0)
             }
             Axis::FollowingSibling | Axis::PrecedingSibling => {
@@ -325,7 +356,11 @@ impl<'d> Evaluator<'d> {
                     }
                     let p = doc.parent(v);
                     let Some(&e) = extremal.get(&p) else { continue };
-                    let hit = if step.axis == Axis::FollowingSibling { v > e } else { v < e };
+                    let hit = if step.axis == Axis::FollowingSibling {
+                        v > e
+                    } else {
+                        v < e
+                    };
                     if hit {
                         sibs.push(v);
                     }
@@ -336,71 +371,89 @@ impl<'d> Evaluator<'d> {
         }
     }
 
+    /// A name-tested descendant/ancestor step as an on-list (fragment)
+    /// join, when the engine supports it: prebuilt fragments (§6) or a
+    /// query-time name-test scan (§4.4 early nametest) — the join itself
+    /// is identical.
+    fn fragment_step(
+        &self,
+        ctx: &Context,
+        vert: VertAxis,
+        name: &str,
+    ) -> Option<(Context, u64, u64)> {
+        let doc = self.doc;
+        match self.engine {
+            ResolvedEngine::Fragmented { tags, .. } => Some(on_list_join(
+                doc,
+                vert,
+                tags.fragment_by_name(doc, name),
+                ctx,
+                0,
+            )),
+            ResolvedEngine::Staircase { pushdown: true, .. } => {
+                // nametest(doc, n) selection scan at query time.
+                let list = doc
+                    .tag_id(name)
+                    .map(|t| doc.elements_with_tag(t))
+                    .unwrap_or_default();
+                Some(on_list_join(doc, vert, &list, ctx, doc.len() as u64))
+            }
+            _ => None,
+        }
+    }
+
     fn partitioning_step(
         &self,
         ctx: &Context,
-        axis: Axis,
+        paxis: PartAxis,
         test: &NodeTest,
     ) -> (Context, u64, u64) {
         let doc = self.doc;
+        // Fragment fast path: name tests on the two vertical axes.
+        if let NodeTest::Name(name) = test {
+            let vert = match paxis {
+                PartAxis::Descendant => Some(VertAxis::Descendant),
+                PartAxis::Ancestor => Some(VertAxis::Ancestor),
+                _ => None,
+            };
+            if let Some(vert) = vert {
+                if let Some(out) = self.fragment_step(ctx, vert, name) {
+                    return out;
+                }
+            }
+        }
         match self.engine {
-            Engine::Fragmented { .. } | Engine::Staircase { pushdown: true, .. }
-                if matches!(test, NodeTest::Name(_))
-                    && matches!(axis, Axis::Descendant | Axis::Ancestor) =>
-            {
-                let NodeTest::Name(name) = test else { unreachable!() };
-                // Prebuilt fragment (§6) or query-time name-test scan
-                // (§4.4 early nametest) — the join itself is identical.
-                let (owned, scan_cost);
-                let frag: &[Pre] = if let Some(idx) = self.tag_index.as_ref() {
-                    scan_cost = 0u64;
-                    owned = Vec::new();
-                    let _ = &owned;
-                    idx.fragment_by_name(doc, name)
-                } else {
-                    scan_cost = doc.len() as u64; // nametest(doc, n) scan
-                    owned = match doc.tag_id(name) {
-                        Some(t) => doc.elements_with_tag(t),
-                        None => Vec::new(),
-                    };
-                    &owned
+            ResolvedEngine::Staircase { variant, .. }
+            | ResolvedEngine::Fragmented { variant, .. } => {
+                let (base, stats) = match paxis {
+                    PartAxis::Descendant => descendant(doc, ctx, variant),
+                    PartAxis::Ancestor => ancestor(doc, ctx, variant),
+                    PartAxis::Following => following(doc, ctx),
+                    PartAxis::Preceding => preceding(doc, ctx),
                 };
-                let (out, stats) = match axis {
-                    Axis::Descendant => descendant_on_list(doc, frag, ctx),
-                    Axis::Ancestor => ancestor_on_list(doc, frag, ctx),
-                    _ => unreachable!(),
-                };
-                (out, stats.nodes_touched() + scan_cost, 0)
-            }
-            Engine::Staircase { variant, .. } | Engine::Fragmented { variant } => {
-                let (base, stats) = match axis {
-                    Axis::Descendant => descendant(doc, ctx, variant),
-                    Axis::Ancestor => ancestor(doc, ctx, variant),
-                    Axis::Following => following(doc, ctx),
-                    Axis::Preceding => preceding(doc, ctx),
-                    _ => unreachable!(),
-                };
-                let out = apply_test(doc, &base, test, axis);
+                let out = apply_test(doc, &base, test, axis_of(paxis));
                 (out, stats.nodes_touched(), 0)
             }
-            Engine::StaircaseParallel { variant, threads } => {
-                let (base, stats) = match axis {
-                    Axis::Descendant => descendant_parallel(doc, ctx, variant, threads),
-                    Axis::Ancestor => ancestor_parallel(doc, ctx, variant, threads),
-                    Axis::Following => following(doc, ctx),
-                    Axis::Preceding => preceding(doc, ctx),
-                    _ => unreachable!(),
+            ResolvedEngine::Parallel { variant, threads } => {
+                let (base, stats) = match paxis {
+                    PartAxis::Descendant => descendant_parallel(doc, ctx, variant, threads),
+                    PartAxis::Ancestor => ancestor_parallel(doc, ctx, variant, threads),
+                    PartAxis::Following => following(doc, ctx),
+                    PartAxis::Preceding => preceding(doc, ctx),
                 };
-                let out = apply_test(doc, &base, test, axis);
+                let out = apply_test(doc, &base, test, axis_of(paxis));
                 (out, stats.nodes_touched(), 0)
             }
-            Engine::Naive => {
-                let (base, stats) = naive_step(doc, ctx, axis);
-                let out = apply_test(doc, &base, test, axis);
+            ResolvedEngine::Naive => {
+                let (base, stats) = naive_step(doc, ctx, axis_of(paxis));
+                let out = apply_test(doc, &base, test, axis_of(paxis));
                 (out, stats.nodes_scanned, stats.tuples_produced)
             }
-            Engine::Sql { eq1_window, early_nametest } => {
-                let sql = self.sql.as_ref().expect("SQL engine built in new()");
+            ResolvedEngine::Sql {
+                eq1_window,
+                early_nametest,
+                sql,
+            } => {
                 let pushed_tag = match (early_nametest, test) {
                     (true, NodeTest::Name(name)) => doc.tag_id(name),
                     _ => None,
@@ -409,16 +462,43 @@ impl<'d> Evaluator<'d> {
                     // Name never occurs in the document: empty result.
                     return (Context::empty(), 0, 0);
                 }
-                let opts = SqlPlanOptions { eq1_window, early_nametest: pushed_tag };
-                let (base, stats) = sql.axis_step(ctx, axis, opts);
+                let opts = SqlPlanOptions {
+                    eq1_window,
+                    early_nametest: pushed_tag,
+                };
+                let (base, stats) = sql.axis_step(ctx, axis_of(paxis), opts);
                 let out = if pushed_tag.is_some() {
                     base
                 } else {
-                    apply_test(doc, &base, test, axis)
+                    apply_test(doc, &base, test, axis_of(paxis))
                 };
                 (out, stats.index_entries_scanned, stats.tuples_produced)
             }
         }
+    }
+}
+
+/// The on-list (fragment) join with its name-test scan cost folded in.
+fn on_list_join(
+    doc: &Doc,
+    vert: VertAxis,
+    list: &[Pre],
+    ctx: &Context,
+    scan_cost: u64,
+) -> (Context, u64, u64) {
+    let (out, stats) = match vert {
+        VertAxis::Descendant => descendant_on_list(doc, list, ctx),
+        VertAxis::Ancestor => ancestor_on_list(doc, list, ctx),
+    };
+    (out, stats.nodes_touched() + scan_cost, 0)
+}
+
+fn axis_of(paxis: PartAxis) -> Axis {
+    match paxis {
+        PartAxis::Descendant => Axis::Descendant,
+        PartAxis::Ancestor => Axis::Ancestor,
+        PartAxis::Following => Axis::Following,
+        PartAxis::Preceding => Axis::Preceding,
     }
 }
 
@@ -447,7 +527,9 @@ fn apply_test(doc: &Doc, ctx: &Context, test: &NodeTest, axis: Axis) -> Context 
             NodeTest::Comment => kind == NodeKind::Comment,
             NodeTest::Pi(target) => {
                 kind == NodeKind::Pi
-                    && target.as_ref().is_none_or(|t| doc.tag_name(v) == Some(t.as_str()))
+                    && target
+                        .as_ref()
+                        .is_none_or(|t| doc.tag_name(v) == Some(t.as_str()))
             }
         }
     };
@@ -455,7 +537,7 @@ fn apply_test(doc: &Doc, ctx: &Context, test: &NodeTest, axis: Axis) -> Context 
 }
 
 /// Merges two sorted, duplicate-free sequences.
-fn merge(a: &Context, b: &Context) -> Context {
+pub(crate) fn merge(a: &Context, b: &Context) -> Context {
     let (a, b) = (a.as_slice(), b.as_slice());
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
@@ -481,13 +563,138 @@ fn merge(a: &Context, b: &Context) -> Context {
     Context::from_sorted(out)
 }
 
+/// An engine paired with the auxiliary structure it owns — built as one
+/// value so an engine/aux mismatch is unrepresentable.
+enum PreparedEngine {
+    Staircase {
+        variant: Variant,
+        pushdown: bool,
+    },
+    Fragmented {
+        variant: Variant,
+        tags: TagIndex,
+    },
+    Parallel {
+        variant: Variant,
+        threads: usize,
+    },
+    Naive,
+    Sql {
+        eq1_window: bool,
+        early_nametest: bool,
+        sql: SqlEngine,
+    },
+}
+
+/// A reusable evaluator holding the engine's auxiliary structures
+/// (tag fragments, B-tree for the SQL engine), built eagerly for one
+/// fixed engine.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Session`, which caches auxiliary structures across queries and engines"
+)]
+pub struct Evaluator<'d> {
+    doc: &'d Doc,
+    engine: PreparedEngine,
+}
+
+#[allow(deprecated)]
+impl<'d> Evaluator<'d> {
+    /// Builds an evaluator, constructing whatever the engine needs
+    /// ("document loading time" work).
+    pub fn new(doc: &'d Doc, engine: Engine) -> Evaluator<'d> {
+        let engine = match engine.kind {
+            EngineKind::Staircase { variant, pushdown } => {
+                PreparedEngine::Staircase { variant, pushdown }
+            }
+            EngineKind::Fragmented { variant } => PreparedEngine::Fragmented {
+                variant,
+                tags: TagIndex::build(doc),
+            },
+            EngineKind::Parallel { variant, threads } => {
+                PreparedEngine::Parallel { variant, threads }
+            }
+            EngineKind::Naive => PreparedEngine::Naive,
+            EngineKind::Sql {
+                eq1_window,
+                early_nametest,
+            } => PreparedEngine::Sql {
+                eq1_window,
+                early_nametest,
+                sql: SqlEngine::build(doc),
+            },
+        };
+        Evaluator { doc, engine }
+    }
+
+    fn cx(&self) -> EvalCx<'_> {
+        let engine = match &self.engine {
+            PreparedEngine::Staircase { variant, pushdown } => ResolvedEngine::Staircase {
+                variant: *variant,
+                pushdown: *pushdown,
+            },
+            PreparedEngine::Fragmented { variant, tags } => ResolvedEngine::Fragmented {
+                variant: *variant,
+                tags,
+            },
+            PreparedEngine::Parallel { variant, threads } => ResolvedEngine::Parallel {
+                variant: *variant,
+                threads: *threads,
+            },
+            PreparedEngine::Naive => ResolvedEngine::Naive,
+            PreparedEngine::Sql {
+                eq1_window,
+                early_nametest,
+                sql,
+            } => ResolvedEngine::Sql {
+                eq1_window: *eq1_window,
+                early_nametest: *early_nametest,
+                sql,
+            },
+        };
+        EvalCx {
+            doc: self.doc,
+            engine,
+        }
+    }
+
+    /// Parses and evaluates `expr` (context = document root). Union
+    /// expressions (`a | b`) are supported.
+    pub fn evaluate(&self, expr: &str) -> Result<EvalOutput, ParseError> {
+        self.cx().evaluate(expr)
+    }
+
+    /// Evaluates a union expression: each branch independently from
+    /// `context`, results merged into document order (duplicate-free).
+    pub fn evaluate_union(&self, expr: &UnionExpr, context: &Context) -> EvalOutput {
+        self.cx().evaluate_union(expr, context)
+    }
+
+    /// Evaluates a parsed path from an explicit context.
+    pub fn evaluate_path(&self, path: &Path, context: &Context) -> EvalOutput {
+        self.cx().evaluate_path(path, context)
+    }
+}
+
 /// One-shot convenience: parse and evaluate `expr` over `doc` from the
 /// document root.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Session::prepare`/`Session::run`, which reuse parsed queries and cached \
+            auxiliary structures"
+)]
+#[allow(deprecated)]
 pub fn evaluate(doc: &Doc, expr: &str, engine: Engine) -> Result<EvalOutput, ParseError> {
     Evaluator::new(doc, engine).evaluate(expr)
 }
 
 /// One-shot convenience for a pre-parsed path and explicit context.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Session::prepare` and `Query::run_from` to reuse parsed queries and cached \
+            auxiliary structures"
+)]
+#[allow(deprecated)]
 pub fn evaluate_path(doc: &Doc, path: &Path, context: &Context, engine: Engine) -> EvalOutput {
     Evaluator::new(doc, engine).evaluate_path(path, context)
 }
@@ -495,6 +702,7 @@ pub fn evaluate_path(doc: &Doc, path: &Path, context: &Context, engine: Engine) 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::Session;
 
     fn figure1() -> Doc {
         Doc::from_xml("<a><b><c/></b><d/><e><f><g/><h/></f><i><j/></i></e></a>").unwrap()
@@ -513,38 +721,59 @@ mod tests {
         .unwrap()
     }
 
-    const ENGINES: [Engine; 7] = [
-        Engine::Staircase { variant: Variant::Basic, pushdown: false },
-        Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: false },
-        Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: true },
-        Engine::Fragmented { variant: Variant::EstimationSkipping },
-        Engine::StaircaseParallel { variant: Variant::EstimationSkipping, threads: 3 },
-        Engine::Naive,
-        Engine::Sql { eq1_window: true, early_nametest: true },
-    ];
+    fn engines() -> [Engine; 7] {
+        [
+            Engine::staircase().variant(Variant::Basic).build().unwrap(),
+            Engine::staircase()
+                .variant(Variant::EstimationSkipping)
+                .build()
+                .unwrap(),
+            Engine::staircase().pushdown(true).build().unwrap(),
+            Engine::staircase().fragmented(true).build().unwrap(),
+            Engine::staircase().parallel(3).build().unwrap(),
+            Engine::naive(),
+            Engine::sql()
+                .eq1_window(true)
+                .early_nametest(true)
+                .build()
+                .unwrap(),
+        ]
+    }
 
     fn names(doc: &Doc, ctx: &Context) -> Vec<String> {
-        ctx.iter().map(|v| doc.tag_name(v).unwrap_or("#text").to_string()).collect()
+        ctx.iter()
+            .map(|v| doc.tag_name(v).unwrap_or("#text").to_string())
+            .collect()
     }
 
     #[test]
     fn q1_on_auction_doc_all_engines() {
-        let doc = auction_doc();
-        for engine in ENGINES {
-            let out =
-                evaluate(&doc, "/descendant::profile/descendant::education", engine).unwrap();
-            assert_eq!(names(&doc, &out.result), ["education"], "{engine:?}");
+        let session = Session::new(auction_doc());
+        for engine in engines() {
+            let out = session
+                .run("/descendant::profile/descendant::education", engine)
+                .unwrap();
+            assert_eq!(
+                names(session.doc(), out.nodes()),
+                ["education"],
+                "{engine:?}"
+            );
         }
     }
 
     #[test]
     fn q2_on_auction_doc_all_engines() {
-        let doc = auction_doc();
-        for engine in ENGINES {
-            let out =
-                evaluate(&doc, "/descendant::increase/ancestor::bidder", engine).unwrap();
-            assert_eq!(out.result.len(), 2, "{engine:?}");
-            assert_eq!(names(&doc, &out.result), ["bidder", "bidder"], "{engine:?}");
+        let session = Session::new(auction_doc());
+        for engine in engines() {
+            let out = session
+                .run("/descendant::increase/ancestor::bidder", engine)
+                .unwrap();
+            assert_eq!(out.len(), 2, "{engine:?}");
+            assert_eq!(
+                names(session.doc(), out.nodes()),
+                ["bidder", "bidder"],
+                "{engine:?}"
+            );
         }
     }
 
@@ -552,143 +781,191 @@ mod tests {
     fn q2_rewrite_equivalence() {
         // §4.4: /descendant::increase/ancestor::bidder ≡
         // /descendant::bidder[descendant::increase].
-        let doc = auction_doc();
-        for engine in ENGINES {
-            let direct =
-                evaluate(&doc, "/descendant::increase/ancestor::bidder", engine).unwrap();
-            let rewrite =
-                evaluate(&doc, "/descendant::bidder[descendant::increase]", engine).unwrap();
-            assert_eq!(direct.result, rewrite.result, "{engine:?}");
+        let session = Session::new(auction_doc());
+        let direct = session
+            .prepare("/descendant::increase/ancestor::bidder")
+            .unwrap();
+        let rewrite = session
+            .prepare("/descendant::bidder[descendant::increase]")
+            .unwrap();
+        for engine in engines() {
+            assert_eq!(
+                direct.run(engine).nodes(),
+                rewrite.run(engine).nodes(),
+                "{engine:?}"
+            );
         }
     }
 
     #[test]
     fn figure3_following_descendant() {
-        let doc = figure1();
-        // (c)/following/descendant — but via evaluator the context is the
-        // root, so phrase it as a path from c.
-        let eval = Evaluator::new(&doc, Engine::default());
-        let path = parse("following::node()/descendant::node()").unwrap();
-        let out = eval.evaluate_path(&path, &Context::singleton(2));
-        assert_eq!(names(&doc, &out.result), ["f", "g", "h", "i", "j"]);
+        let session = Session::new(figure1());
+        // (c)/following/descendant — but the session's default context is
+        // the root, so phrase it as a path from c.
+        let query = session
+            .prepare("following::node()/descendant::node()")
+            .unwrap();
+        let out = query
+            .run_from(&Context::singleton(2), Engine::default())
+            .unwrap();
+        assert_eq!(names(session.doc(), out.nodes()), ["f", "g", "h", "i", "j"]);
     }
 
     #[test]
     fn child_and_parent_axes() {
-        let doc = figure1();
-        let eval = Evaluator::new(&doc, Engine::default());
-        let path = parse("child::node()").unwrap();
-        let out = eval.evaluate_path(&path, &Context::singleton(4));
-        assert_eq!(names(&doc, &out.result), ["f", "i"]);
-        let path = parse("..").unwrap();
-        let out = eval.evaluate_path(&path, &Context::singleton(5));
-        assert_eq!(names(&doc, &out.result), ["e"]);
+        let session = Session::new(figure1());
+        let out = session
+            .prepare("child::node()")
+            .unwrap()
+            .run_from(&Context::singleton(4), Engine::default())
+            .unwrap();
+        assert_eq!(names(session.doc(), out.nodes()), ["f", "i"]);
+        let out = session
+            .prepare("..")
+            .unwrap()
+            .run_from(&Context::singleton(5), Engine::default())
+            .unwrap();
+        assert_eq!(names(session.doc(), out.nodes()), ["e"]);
     }
 
     #[test]
     fn or_self_axes() {
-        let doc = figure1();
-        let eval = Evaluator::new(&doc, Engine::default());
-        let path = parse("ancestor-or-self::node()").unwrap();
-        let out = eval.evaluate_path(&path, &Context::singleton(6));
-        assert_eq!(names(&doc, &out.result), ["a", "e", "f", "g"]);
-        let path = parse("descendant-or-self::node()").unwrap();
-        let out = eval.evaluate_path(&path, &Context::singleton(5));
-        assert_eq!(names(&doc, &out.result), ["f", "g", "h"]);
+        let session = Session::new(figure1());
+        let out = session
+            .prepare("ancestor-or-self::node()")
+            .unwrap()
+            .run_from(&Context::singleton(6), Engine::default())
+            .unwrap();
+        assert_eq!(names(session.doc(), out.nodes()), ["a", "e", "f", "g"]);
+        let out = session
+            .prepare("descendant-or-self::node()")
+            .unwrap()
+            .run_from(&Context::singleton(5), Engine::default())
+            .unwrap();
+        assert_eq!(names(session.doc(), out.nodes()), ["f", "g", "h"]);
     }
 
     #[test]
     fn sibling_axes() {
-        let doc = figure1();
-        let eval = Evaluator::new(&doc, Engine::default());
-        let out = eval
-            .evaluate_path(&parse("following-sibling::node()").unwrap(), &Context::singleton(1));
-        assert_eq!(names(&doc, &out.result), ["d", "e"]);
-        let out = eval
-            .evaluate_path(&parse("preceding-sibling::node()").unwrap(), &Context::singleton(4));
-        assert_eq!(names(&doc, &out.result), ["b", "d"]);
+        let session = Session::new(figure1());
+        let out = session
+            .prepare("following-sibling::node()")
+            .unwrap()
+            .run_from(&Context::singleton(1), Engine::default())
+            .unwrap();
+        assert_eq!(names(session.doc(), out.nodes()), ["d", "e"]);
+        let out = session
+            .prepare("preceding-sibling::node()")
+            .unwrap()
+            .run_from(&Context::singleton(4), Engine::default())
+            .unwrap();
+        assert_eq!(names(session.doc(), out.nodes()), ["b", "d"]);
     }
 
     #[test]
     fn attribute_axis_and_abbreviation() {
-        let doc = auction_doc();
-        let out = evaluate(&doc, "/descendant::person/@id", Engine::default()).unwrap();
-        assert_eq!(out.result.len(), 2);
-        for v in out.result.iter() {
-            assert_eq!(doc.kind(v), NodeKind::Attribute);
-            assert_eq!(doc.tag_name(v), Some("id"));
+        let session = Session::new(auction_doc());
+        let out = session
+            .run("/descendant::person/@id", Engine::default())
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        for v in &out {
+            assert_eq!(session.doc().kind(v), NodeKind::Attribute);
+            assert_eq!(session.doc().tag_name(v), Some("id"));
         }
     }
 
     #[test]
     fn double_slash_everything() {
-        let doc = auction_doc();
-        for engine in ENGINES {
-            let out = evaluate(&doc, "//bidder", engine).unwrap();
-            assert_eq!(out.result.len(), 3, "{engine:?}");
+        let session = Session::new(auction_doc());
+        for engine in engines() {
+            let out = session.run("//bidder", engine).unwrap();
+            assert_eq!(out.len(), 3, "{engine:?}");
         }
     }
 
     #[test]
     fn text_node_test() {
-        let doc = auction_doc();
-        let out = evaluate(&doc, "/descendant::increase/child::text()", Engine::default())
+        let session = Session::new(auction_doc());
+        let out = session
+            .run("/descendant::increase/child::text()", Engine::default())
             .unwrap();
-        assert_eq!(out.result.len(), 2);
-        assert_eq!(doc.content(out.result.as_slice()[0]), Some("1"));
+        assert_eq!(out.len(), 2);
+        assert_eq!(session.doc().content(out.nodes().as_slice()[0]), Some("1"));
     }
 
     #[test]
     fn star_matches_elements_only() {
-        let doc = Doc::from_xml("<a x='1'>text<b/><!--c--></a>").unwrap();
-        let out = evaluate(&doc, "/descendant::*", Engine::default()).unwrap();
-        assert_eq!(out.result.len(), 1); // only <b>
+        let session = Session::parse_xml("<a x='1'>text<b/><!--c--></a>").unwrap();
+        let out = session.run("/descendant::*", Engine::default()).unwrap();
+        assert_eq!(out.len(), 1); // only <b>
     }
 
     #[test]
     fn stats_track_steps() {
-        let doc = auction_doc();
-        let out =
-            evaluate(&doc, "/descendant::increase/ancestor::bidder", Engine::default()).unwrap();
-        assert_eq!(out.stats.steps.len(), 2);
-        assert_eq!(out.stats.steps[0].step, "descendant::increase");
-        assert!(out.stats.total_touched() > 0);
+        let session = Session::new(auction_doc());
+        let out = session
+            .run("/descendant::increase/ancestor::bidder", Engine::default())
+            .unwrap();
+        assert_eq!(out.stats().steps.len(), 2);
+        assert_eq!(out.stats().steps[0].step, "descendant::increase");
+        assert!(out.stats().total_touched() > 0);
         // Staircase join never generates duplicates.
-        assert_eq!(out.stats.total_duplicates(), 0);
+        assert_eq!(out.stats().total_duplicates(), 0);
     }
 
     #[test]
     fn naive_engine_reports_duplicates() {
-        let doc = auction_doc();
-        let out = evaluate(&doc, "/descendant::increase/ancestor::node()", Engine::Naive)
+        let session = Session::new(auction_doc());
+        let out = session
+            .run("/descendant::increase/ancestor::node()", Engine::naive())
             .unwrap();
-        assert!(out.stats.total_duplicates() > 0);
+        assert!(out.stats().total_duplicates() > 0);
     }
 
     #[test]
     fn unknown_name_yields_empty() {
-        let doc = figure1();
-        for engine in ENGINES {
-            let out = evaluate(&doc, "/descendant::zzz", engine).unwrap();
-            assert!(out.result.is_empty(), "{engine:?}");
+        let session = Session::new(figure1());
+        for engine in engines() {
+            let out = session.run("/descendant::zzz", engine).unwrap();
+            assert!(out.is_empty(), "{engine:?}");
         }
     }
 
     #[test]
     fn parse_errors_propagate() {
-        let doc = figure1();
-        assert!(evaluate(&doc, "///", Engine::default()).is_err());
+        let session = Session::new(figure1());
+        assert!(session.run("///", Engine::default()).is_err());
+        assert!(session.prepare("//[").is_err());
     }
 
     #[test]
     fn engines_agree_on_composite_query() {
-        let doc = auction_doc();
-        let expr = "//open_auction[bidder/increase]/@id";
-        let reference = evaluate(&doc, expr, Engine::Naive).unwrap().result;
+        let session = Session::new(auction_doc());
+        let query = session
+            .prepare("//open_auction[bidder/increase]/@id")
+            .unwrap();
+        let reference = query.run(Engine::naive());
         assert_eq!(reference.len(), 1);
-        for engine in ENGINES {
-            let out = evaluate(&doc, expr, engine).unwrap();
-            assert_eq!(out.result, reference, "{engine:?}");
+        for engine in engines() {
+            let out = query.run(engine);
+            assert_eq!(out.nodes(), reference.nodes(), "{engine:?}");
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_agree_with_session() {
+        let doc = auction_doc();
+        let expr = "/descendant::increase/ancestor::bidder";
+        let via_shim = evaluate(&doc, expr, Engine::default()).unwrap();
+        let via_eval = Evaluator::new(&doc, Engine::default())
+            .evaluate(expr)
+            .unwrap();
+        let session = Session::new(auction_doc());
+        let via_session = session.run(expr, Engine::default()).unwrap();
+        assert_eq!(via_shim.result, via_eval.result);
+        assert_eq!(&via_shim.result, via_session.nodes());
+        assert_eq!(via_shim.stats, *via_session.stats());
     }
 }

@@ -1,16 +1,24 @@
 //! # staircase-xpath
 //!
 //! An XPath subset — parser, AST and evaluator — over the XPath
-//! accelerator encoding, with pluggable axis-step engines:
+//! accelerator encoding, fronted by a session API:
 //!
-//! * [`Engine::Staircase`] — the paper's operator (any
-//!   [`staircase_core::Variant`]), optionally with name-test *pushdown*
-//!   through the join (§4.4 Experiment 3) backed by a
-//!   [`staircase_core::TagIndex`];
-//! * [`Engine::StaircaseParallel`] — the partitioned parallel join;
-//! * [`Engine::Naive`] — per-context region queries with duplicate
-//!   elimination (§3.1);
-//! * [`Engine::Sql`] — the tree-unaware B-tree plan of Figure 3.
+//! * [`Session`] owns a loaded document plus lazily built, cached
+//!   auxiliary structures (per-tag fragments, the SQL baseline's
+//!   B-tree), shared across queries and engines;
+//! * [`Query`] ([`Session::prepare`]) is parsed once and run many times,
+//!   against any engine, yielding a [`QueryOutput`];
+//! * [`Engine`] configurations come from builders —
+//!   `Engine::staircase().variant(..).pushdown(..)`, `.parallel(n)`,
+//!   `Engine::sql().eq1_window(..)`, [`Engine::naive`] — validated at
+//!   build time;
+//! * every failure is a typed [`Error`]; nothing on the query path
+//!   panics.
+//!
+//! The engines: the paper's staircase join (any
+//! [`staircase_core::Variant`], optionally with §4.4 name-test pushdown
+//! or §6 prebuilt per-tag fragments), the partitioned parallel join, the
+//! §3.1 naive strategy, and the tree-unaware B-tree plan of Figure 3.
 //!
 //! The supported grammar covers what the paper's experiments need and the
 //! usual abbreviations:
@@ -26,23 +34,32 @@
 //! ## Example
 //!
 //! ```
-//! use staircase_accel::Doc;
-//! use staircase_xpath::{evaluate, Engine};
+//! use staircase_xpath::{Engine, Error, Session};
 //!
-//! let doc = Doc::from_xml(
+//! let session = Session::parse_xml(
 //!     "<site><open_auctions><open_auction><bidder><increase/></bidder>\
-//!      </open_auction></open_auctions></site>").unwrap();
-//! let hits = evaluate(&doc, "/descendant::increase/ancestor::bidder", Engine::default())
-//!     .unwrap();
-//! assert_eq!(hits.result.len(), 1);
+//!      </open_auction></open_auctions></site>")?;
+//! let query = session.prepare("/descendant::increase/ancestor::bidder")?;
+//! let hits = query.run(Engine::default());
+//! assert_eq!(hits.len(), 1);
+//! # Ok::<(), Error>(())
 //! ```
 
 #![warn(missing_docs)]
 
 mod ast;
+mod engine;
+mod error;
 mod eval;
 mod parser;
+mod session;
 
 pub use ast::{NodeTest, Path, Predicate, Step, UnionExpr};
-pub use eval::{evaluate, evaluate_path, Engine, EvalOutput, EvalStats, Evaluator, StepTrace};
+pub use engine::{Engine, SqlBuilder, StaircaseBuilder};
+pub use error::Error;
+pub use eval::{EvalOutput, EvalStats, StepTrace};
 pub use parser::{parse, parse_union, ParseError};
+pub use session::{AuxBuilds, Query, QueryOutput, Session};
+
+#[allow(deprecated)]
+pub use eval::{evaluate, evaluate_path, Evaluator};

@@ -15,7 +15,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "XPath parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XPath parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -64,7 +68,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { offset: self.pos, message: message.into() }
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
     }
 
     fn rest(&self) -> &'a str {
@@ -158,7 +165,9 @@ impl<'a> Parser<'a> {
             let test = if self.eat("*") {
                 NodeTest::AnyPrincipal
             } else {
-                let n = self.name().ok_or_else(|| self.err("attribute name expected"))?;
+                let n = self
+                    .name()
+                    .ok_or_else(|| self.err("attribute name expected"))?;
                 NodeTest::Name(n.to_string())
             };
             let mut step = Step::new(Axis::Attribute, test);

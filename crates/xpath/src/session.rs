@@ -1,0 +1,477 @@
+//! The session façade: one typed entry point for every engine.
+//!
+//! A [`Session`] owns a loaded [`Doc`] plus lazily built, *cached*
+//! auxiliary structures — the per-tag [`TagIndex`] fragments and the SQL
+//! baseline's [`SqlEngine`] B-tree — shared across queries and engines.
+//! A [`Query`] is parsed once ([`Session::prepare`]) and run many times,
+//! against any [`Engine`]; results come back as a [`QueryOutput`] whose
+//! node sequence iterates without cloning.
+//!
+//! ```
+//! use staircase_xpath::{Engine, Error, Session};
+//!
+//! let session = Session::parse_xml(
+//!     "<site><open_auctions><open_auction><bidder><increase/></bidder>\
+//!      </open_auction></open_auctions></site>")?;
+//! let query = session.prepare("/descendant::increase/ancestor::bidder")?;
+//! let hits = query.run(Engine::default());
+//! assert_eq!(hits.len(), 1);
+//! // Same parsed query, different engine — auxiliary structures are
+//! // built at most once and reused.
+//! let via_sql = query.run(Engine::sql().eq1_window(true).build()?);
+//! assert_eq!(hits.nodes(), via_sql.nodes());
+//! # Ok::<(), Error>(())
+//! ```
+//!
+//! Nothing on this path panics: document loading, expression parsing,
+//! engine configuration, and evaluation all report through
+//! [`Error`].
+
+use std::path::Path as FsPath;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use staircase_accel::{Context, Doc, Pre};
+use staircase_baselines::SqlEngine;
+use staircase_core::TagIndex;
+
+use crate::ast::UnionExpr;
+use crate::engine::{Engine, EngineKind};
+use crate::error::Error;
+use crate::eval::{EvalCx, EvalOutput, EvalStats, ResolvedEngine};
+use crate::parser::parse_union;
+
+/// A loaded document plus cached auxiliary structures, ready to answer
+/// queries on any engine. See the [module docs](self) for an example.
+pub struct Session {
+    doc: Doc,
+    tags: OnceLock<TagIndex>,
+    sql: OnceLock<SqlEngine>,
+    tag_builds: AtomicUsize,
+    sql_builds: AtomicUsize,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("nodes", &self.doc.len())
+            .field("tag_index_built", &self.tags.get().is_some())
+            .field("sql_engine_built", &self.sql.get().is_some())
+            .finish()
+    }
+}
+
+/// How many times each lazily built auxiliary structure was actually
+/// constructed; see [`Session::aux_builds`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AuxBuilds {
+    /// Constructions of the per-tag fragment index.
+    pub tag_index: usize,
+    /// Constructions of the SQL engine's B-tree.
+    pub sql_engine: usize,
+}
+
+impl Session {
+    /// Wraps an already encoded document.
+    pub fn new(doc: Doc) -> Session {
+        Session {
+            doc,
+            tags: OnceLock::new(),
+            sql: OnceLock::new(),
+            tag_builds: AtomicUsize::new(0),
+            sql_builds: AtomicUsize::new(0),
+        }
+    }
+
+    /// Parses XML text and encodes it.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Xml`] when the text is not well-formed.
+    pub fn parse_xml(xml: &str) -> Result<Session, Error> {
+        Ok(Session::new(Doc::from_xml(xml)?))
+    }
+
+    /// Reads and parses an XML file.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the file cannot be read, [`Error::Xml`] when it
+    /// is not well-formed.
+    pub fn open_xml(path: impl AsRef<FsPath>) -> Result<Session, Error> {
+        Session::parse_xml(&std::fs::read_to_string(path)?)
+    }
+
+    /// Decodes a document persisted with [`Doc::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Decode`] when the bytes are not a valid encoded plane.
+    pub fn from_encoded_bytes(bytes: &[u8]) -> Result<Session, Error> {
+        Ok(Session::new(Doc::from_bytes(bytes)?))
+    }
+
+    /// Reads a persisted (`.scj`) document.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the file cannot be read, [`Error::Decode`] when
+    /// it does not decode.
+    pub fn open_encoded(path: impl AsRef<FsPath>) -> Result<Session, Error> {
+        Session::from_encoded_bytes(&std::fs::read(path)?)
+    }
+
+    /// The encoded document.
+    pub fn doc(&self) -> &Doc {
+        &self.doc
+    }
+
+    /// Releases the session, handing the document back.
+    pub fn into_doc(self) -> Doc {
+        self.doc
+    }
+
+    /// Parses `expr` into a reusable [`Query`] bound to this session.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Parse`] when the expression does not parse.
+    pub fn prepare(&self, expr: &str) -> Result<Query<'_>, Error> {
+        let parsed = parse_union(expr)?;
+        Ok(Query {
+            session: self,
+            parsed,
+            text: expr.to_string(),
+        })
+    }
+
+    /// One-shot convenience: [`Session::prepare`] + [`Query::run`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Parse`] when the expression does not parse.
+    pub fn run(&self, expr: &str, engine: Engine) -> Result<QueryOutput, Error> {
+        Ok(self.prepare(expr)?.run(engine))
+    }
+
+    /// The per-tag fragment index, built on first use and cached for the
+    /// session's lifetime.
+    pub fn tag_index(&self) -> &TagIndex {
+        self.tags.get_or_init(|| {
+            self.tag_builds.fetch_add(1, Ordering::Relaxed);
+            TagIndex::build(&self.doc)
+        })
+    }
+
+    /// The SQL baseline's B-tree engine, built on first use and cached
+    /// for the session's lifetime.
+    pub fn sql_engine(&self) -> &SqlEngine {
+        self.sql.get_or_init(|| {
+            self.sql_builds.fetch_add(1, Ordering::Relaxed);
+            SqlEngine::build(&self.doc)
+        })
+    }
+
+    /// How many times each auxiliary structure has been constructed so
+    /// far — at most once each, however many queries and engines the
+    /// session served. Exposed so tests and benchmarks can assert the
+    /// reuse this type exists to provide.
+    pub fn aux_builds(&self) -> AuxBuilds {
+        AuxBuilds {
+            tag_index: self.tag_builds.load(Ordering::Relaxed),
+            sql_engine: self.sql_builds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Pairs `engine` with its (cached) auxiliary structures.
+    fn resolve(&self, engine: Engine) -> ResolvedEngine<'_> {
+        match engine.kind {
+            EngineKind::Staircase { variant, pushdown } => {
+                ResolvedEngine::Staircase { variant, pushdown }
+            }
+            EngineKind::Fragmented { variant } => ResolvedEngine::Fragmented {
+                variant,
+                tags: self.tag_index(),
+            },
+            EngineKind::Parallel { variant, threads } => {
+                ResolvedEngine::Parallel { variant, threads }
+            }
+            EngineKind::Naive => ResolvedEngine::Naive,
+            EngineKind::Sql {
+                eq1_window,
+                early_nametest,
+            } => ResolvedEngine::Sql {
+                eq1_window,
+                early_nametest,
+                sql: self.sql_engine(),
+            },
+        }
+    }
+
+    fn cx(&self, engine: Engine) -> EvalCx<'_> {
+        EvalCx {
+            doc: &self.doc,
+            engine: self.resolve(engine),
+        }
+    }
+}
+
+/// An expression parsed once by [`Session::prepare`], runnable many
+/// times against any engine.
+#[derive(Clone)]
+pub struct Query<'s> {
+    session: &'s Session,
+    parsed: UnionExpr,
+    text: String,
+}
+
+impl std::fmt::Debug for Query<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Query").field("text", &self.text).finish()
+    }
+}
+
+impl<'s> Query<'s> {
+    /// The expression text this query was prepared from.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The session this query is bound to.
+    pub fn session(&self) -> &'s Session {
+        self.session
+    }
+
+    /// Evaluates from the document root on `engine`.
+    pub fn run(&self, engine: Engine) -> QueryOutput {
+        if self.session.doc.is_empty() {
+            // No root to start from: every path is empty.
+            return QueryOutput {
+                result: Context::empty(),
+                stats: EvalStats::default(),
+            };
+        }
+        self.run_unchecked(&Context::singleton(self.session.doc.root()), engine)
+    }
+
+    /// Evaluates from an explicit context sequence on `engine`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ContextOutOfRange`] when `context` names a node outside
+    /// this session's document (e.g. a pre rank taken from a different
+    /// or stale document) — rejected up front rather than panicking
+    /// mid-evaluation.
+    pub fn run_from(&self, context: &Context, engine: Engine) -> Result<QueryOutput, Error> {
+        let len = self.session.doc.len();
+        if let Some(pre) = context.iter().find(|&v| v as usize >= len) {
+            return Err(Error::ContextOutOfRange { pre, len });
+        }
+        Ok(self.run_unchecked(context, engine))
+    }
+
+    /// Evaluation core; `context` must already be in bounds.
+    fn run_unchecked(&self, context: &Context, engine: Engine) -> QueryOutput {
+        let EvalOutput { result, stats } = self
+            .session
+            .cx(engine)
+            .evaluate_union(&self.parsed, context);
+        QueryOutput { result, stats }
+    }
+}
+
+/// A query result: the node sequence (document order, duplicate-free)
+/// plus per-step statistics. Iterates without cloning:
+///
+/// ```
+/// # use staircase_xpath::{Engine, Error, Session};
+/// # let session = Session::parse_xml("<a><b/><b/></a>")?;
+/// let out = session.run("//b", Engine::default())?;
+/// for pre in &out {
+///     println!("hit node {pre}");
+/// }
+/// assert_eq!(out.iter().count(), out.len());
+/// # Ok::<(), Error>(())
+/// ```
+///
+/// Deliberately **not** `PartialEq`: per-step statistics differ between
+/// engines even when results agree, so whole-output equality would be a
+/// trap. Compare [`QueryOutput::nodes`] instead.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    result: Context,
+    stats: EvalStats,
+}
+
+impl QueryOutput {
+    /// The result node sequence.
+    pub fn nodes(&self) -> &Context {
+        &self.result
+    }
+
+    /// Iterates over the result's pre ranks, in document order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = Pre> + '_ {
+        self.result.iter()
+    }
+
+    /// Number of result nodes.
+    pub fn len(&self) -> usize {
+        self.result.len()
+    }
+
+    /// `true` when nothing matched.
+    pub fn is_empty(&self) -> bool {
+        self.result.is_empty()
+    }
+
+    /// Per-step evaluation statistics.
+    pub fn stats(&self) -> &EvalStats {
+        &self.stats
+    }
+
+    /// Releases the output, handing the node sequence back.
+    pub fn into_nodes(self) -> Context {
+        self.result
+    }
+}
+
+impl<'a> IntoIterator for &'a QueryOutput {
+    type Item = Pre;
+    type IntoIter = <&'a Context as IntoIterator>::IntoIter;
+    fn into_iter(self) -> Self::IntoIter {
+        self.result.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staircase_core::Variant;
+
+    fn session() -> Session {
+        Session::parse_xml(
+            "<site><open_auctions>\
+             <open_auction id='a0'><bidder><increase>1</increase></bidder>\
+             <bidder><increase>2</increase></bidder></open_auction>\
+             </open_auctions></site>",
+        )
+        .expect("fixture parses")
+    }
+
+    #[test]
+    fn aux_structures_build_at_most_once() {
+        let s = session();
+        assert_eq!(
+            s.aux_builds(),
+            AuxBuilds {
+                tag_index: 0,
+                sql_engine: 0
+            }
+        );
+
+        let fragmented = Engine::staircase().fragmented(true).build().unwrap();
+        let sql = Engine::sql().eq1_window(true).build().unwrap();
+        let q1 = s.prepare("/descendant::increase/ancestor::bidder").unwrap();
+        let q2 = s.prepare("//bidder").unwrap();
+        for _ in 0..5 {
+            for q in [&q1, &q2] {
+                q.run(fragmented);
+                q.run(sql);
+                q.run(Engine::default());
+            }
+        }
+        // 30 runs later: one TagIndex, one SqlEngine.
+        assert_eq!(
+            s.aux_builds(),
+            AuxBuilds {
+                tag_index: 1,
+                sql_engine: 1
+            }
+        );
+    }
+
+    #[test]
+    fn plain_staircase_builds_nothing() {
+        let s = session();
+        s.run("//bidder", Engine::default()).unwrap();
+        s.run("//bidder", Engine::staircase().parallel(2).build().unwrap())
+            .unwrap();
+        s.run("//bidder", Engine::naive()).unwrap();
+        assert_eq!(s.aux_builds(), AuxBuilds::default());
+    }
+
+    #[test]
+    fn prepared_query_reruns_without_reparsing() {
+        let s = session();
+        let q = s.prepare("/descendant::increase/ancestor::bidder").unwrap();
+        assert_eq!(q.text(), "/descendant::increase/ancestor::bidder");
+        let a = q.run(Engine::default());
+        let b = q.run(Engine::staircase().variant(Variant::Basic).build().unwrap());
+        assert_eq!(a.nodes(), b.nodes());
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn output_iterates_without_cloning() {
+        let s = session();
+        let out = s.run("//bidder", Engine::default()).unwrap();
+        let via_ref: Vec<Pre> = (&out).into_iter().collect();
+        let via_iter: Vec<Pre> = out.iter().collect();
+        assert_eq!(via_ref, via_iter);
+        assert_eq!(via_ref.len(), out.len());
+        assert_eq!(out.into_nodes().into_vec(), via_iter);
+    }
+
+    #[test]
+    fn load_errors_are_typed() {
+        assert!(matches!(
+            Session::parse_xml("<a><b></a>"),
+            Err(Error::Xml(_))
+        ));
+        assert!(matches!(
+            Session::from_encoded_bytes(b"junk"),
+            Err(Error::Decode(_))
+        ));
+        assert!(matches!(
+            Session::open_xml("/nonexistent/path.xml"),
+            Err(Error::Io(_))
+        ));
+        assert!(matches!(
+            Session::open_encoded("/nonexistent/path.scj"),
+            Err(Error::Io(_))
+        ));
+        let s = session();
+        assert!(matches!(s.prepare("///"), Err(Error::Parse(_))));
+    }
+
+    #[test]
+    fn out_of_range_context_is_a_typed_error() {
+        let s = session();
+        let q = s.prepare("descendant::bidder").unwrap();
+        let err = q.run_from(&Context::singleton(9999), Engine::default());
+        assert!(
+            matches!(err, Err(Error::ContextOutOfRange { pre: 9999, .. })),
+            "got {err:?}"
+        );
+        // In-bounds contexts still work.
+        let ok = q
+            .run_from(&Context::singleton(0), Engine::default())
+            .unwrap();
+        assert_eq!(ok.len(), 2);
+    }
+
+    #[test]
+    fn empty_documents_yield_empty_results() {
+        let s = Session::new(staircase_accel::EncodingBuilder::new().finish());
+        let out = s.run("//anything", Engine::default()).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn session_round_trips_the_doc() {
+        let s = session();
+        let n = s.doc().len();
+        let doc = s.into_doc();
+        assert_eq!(doc.len(), n);
+    }
+}

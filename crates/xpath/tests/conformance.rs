@@ -5,7 +5,7 @@
 
 use staircase_accel::{Context, Doc};
 use staircase_core::Variant;
-use staircase_xpath::{evaluate, Engine, Evaluator};
+use staircase_xpath::{Engine, Session};
 
 /// The fixture, with pre ranks:
 /// ```text
@@ -39,14 +39,23 @@ fn fixture() -> Doc {
     .unwrap()
 }
 
-const ENGINES: [Engine; 6] = [
-    Engine::Staircase { variant: Variant::Basic, pushdown: false },
-    Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: false },
-    Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: true },
-    Engine::Fragmented { variant: Variant::EstimationSkipping },
-    Engine::Naive,
-    Engine::Sql { eq1_window: true, early_nametest: true },
-];
+fn engines() -> [Engine; 6] {
+    [
+        Engine::staircase().variant(Variant::Basic).build().unwrap(),
+        Engine::staircase()
+            .variant(Variant::EstimationSkipping)
+            .build()
+            .unwrap(),
+        Engine::staircase().pushdown(true).build().unwrap(),
+        Engine::staircase().fragmented(true).build().unwrap(),
+        Engine::naive(),
+        Engine::sql()
+            .eq1_window(true)
+            .early_nametest(true)
+            .build()
+            .unwrap(),
+    ]
+}
 
 const CASES: &[(&str, &[u32])] = &[
     // Descendant axis with name tests.
@@ -87,7 +96,10 @@ const CASES: &[(&str, &[u32])] = &[
     ("//shelf/child::processing-instruction()", &[22]),
     ("//shelf/child::processing-instruction(catalog)", &[22]),
     ("//title/child::text()", &[7, 13, 21, 27]),
-    ("/descendant::*", &[2, 4, 6, 8, 10, 12, 14, 17, 19, 20, 23, 24, 25, 26]),
+    (
+        "/descendant::*",
+        &[2, 4, 6, 8, 10, 12, 14, 17, 19, 20, 23, 24, 25, 26],
+    ),
     // Predicates (existential).
     ("//book[author]", &[4, 10]),
     ("//book[descendant::author]", &[4, 10]),
@@ -110,7 +122,8 @@ const CASES: &[(&str, &[u32])] = &[
 
 #[test]
 fn conformance_cases_on_all_engines() {
-    let doc = fixture();
+    let session = Session::new(fixture());
+    let doc = session.doc();
     // Spot-check the fixture numbering before relying on it.
     assert_eq!(doc.len(), 28);
     assert_eq!(doc.tag_name(0), Some("library"));
@@ -118,15 +131,13 @@ fn conformance_cases_on_all_engines() {
     assert_eq!(doc.tag_name(23), Some("basement"));
     assert_eq!(doc.content(27), Some("Molloy"));
 
-    for engine in ENGINES {
-        for (expr, expected) in CASES {
-            let out = evaluate(&doc, expr, engine)
-                .unwrap_or_else(|e| panic!("{expr}: {e}"));
-            assert_eq!(
-                out.result.as_slice(),
-                *expected,
-                "{expr} via {engine:?}"
-            );
+    for (expr, expected) in CASES {
+        let query = session
+            .prepare(expr)
+            .unwrap_or_else(|e| panic!("{expr}: {e}"));
+        for engine in engines() {
+            let out = query.run(engine);
+            assert_eq!(out.nodes().as_slice(), *expected, "{expr} via {engine:?}");
         }
     }
 }
@@ -135,31 +146,36 @@ fn conformance_cases_on_all_engines() {
 /// through node() tests but excluded by element tests.
 #[test]
 fn comment_reachability() {
-    let doc = fixture();
-    let out = evaluate(&doc, "//comment()", Engine::default()).unwrap();
-    assert_eq!(out.result.as_slice(), &[16]);
+    let session = Session::new(fixture());
+    let out = session.run("//comment()", Engine::default()).unwrap();
+    assert_eq!(out.nodes().as_slice(), &[16]);
 }
 
 /// Relative paths evaluate from a supplied context.
 #[test]
 fn relative_evaluation_from_context() {
-    let doc = fixture();
-    let eval = Evaluator::new(&doc, Engine::default());
-    let path = staircase_xpath::parse("book/title").unwrap();
-    let out = eval.evaluate_path(&path, &Context::singleton(17)); // shelf s2
-    assert_eq!(out.result.as_slice(), &[20]);
+    let session = Session::new(fixture());
+    let query = session.prepare("book/title").unwrap();
+    let out = query
+        .run_from(&Context::singleton(17), Engine::default())
+        .unwrap(); // shelf s2
+    assert_eq!(out.nodes().as_slice(), &[20]);
 }
 
 /// Queries compose: the result context of one evaluation feeds the next.
 #[test]
 fn staged_evaluation() {
-    let doc = fixture();
-    let eval = Evaluator::new(&doc, Engine::default());
-    let books = eval
-        .evaluate_path(&staircase_xpath::parse("//book").unwrap(), &Context::singleton(0))
-        .result;
-    let titles = eval
-        .evaluate_path(&staircase_xpath::parse("title/text()").unwrap(), &books)
-        .result;
+    let session = Session::new(fixture());
+    let books = session
+        .prepare("//book")
+        .unwrap()
+        .run(Engine::default())
+        .into_nodes();
+    let titles = session
+        .prepare("title/text()")
+        .unwrap()
+        .run_from(&books, Engine::default())
+        .unwrap()
+        .into_nodes();
     assert_eq!(titles.as_slice(), &[7, 13, 21, 27]);
 }

@@ -19,13 +19,26 @@ fn median_ms<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
     xs[xs.len() / 2]
 }
 
-fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10.0);
+fn main() -> Result<(), Error> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10.0);
     eprintln!("generating scale-{scale} document …");
-    let doc = generate(XmarkConfig::new(scale));
-    let tags = TagIndex::build(&doc);
-    let profiles: Context = tags.fragment_by_name(&doc, "profile").iter().copied().collect();
-    let increases: Context = tags.fragment_by_name(&doc, "increase").iter().copied().collect();
+    let session = Session::new(generate(XmarkConfig::new(scale)));
+    let doc = session.doc();
+    // The session's tag fragments are built once and shared.
+    let tags = session.tag_index();
+    let profiles: Context = tags
+        .fragment_by_name(doc, "profile")
+        .iter()
+        .copied()
+        .collect();
+    let increases: Context = tags
+        .fragment_by_name(doc, "increase")
+        .iter()
+        .copied()
+        .collect();
     println!(
         "{} nodes; {} profile steps (Q1 desc), {} increase steps (Q2 anc)\n",
         doc.len(),
@@ -33,24 +46,33 @@ fn main() {
         increases.len()
     );
 
-    // Verify once that the parallel join is result-identical.
-    let (serial, _) = descendant(&doc, &profiles, Variant::EstimationSkipping);
-    let (par, _) = descendant_parallel(&doc, &profiles, Variant::EstimationSkipping, 4);
-    assert_eq!(serial, par, "parallel join must be exact");
+    // Verify once that the parallel engine is result-identical, through
+    // the session API.
+    let query = session.prepare("/descendant::profile/descendant::education")?;
+    let serial = query.run(Engine::default());
+    let parallel = query.run(Engine::staircase().parallel(4).build()?);
+    assert_eq!(
+        serial.nodes(),
+        parallel.nodes(),
+        "parallel join must be exact"
+    );
 
     println!("{:>8} {:>16} {:>16}", "threads", "Q1 desc ms", "Q2 anc ms");
-    let baseline_q1 =
-        median_ms(3, || descendant(&doc, &profiles, Variant::EstimationSkipping));
-    let baseline_q2 = median_ms(3, || ancestor(&doc, &increases, Variant::Skipping));
+    let baseline_q1 = median_ms(3, || {
+        descendant(doc, &profiles, Variant::EstimationSkipping)
+    });
+    let baseline_q2 = median_ms(3, || ancestor(doc, &increases, Variant::Skipping));
     println!("{:>8} {baseline_q1:>16.2} {baseline_q2:>16.2}", "serial");
     for threads in [1usize, 2, 4, 8] {
         let q1 = median_ms(3, || {
-            descendant_parallel(&doc, &profiles, Variant::EstimationSkipping, threads)
+            descendant_parallel(doc, &profiles, Variant::EstimationSkipping, threads)
         });
-        let q2 =
-            median_ms(3, || ancestor_parallel(&doc, &increases, Variant::Skipping, threads));
+        let q2 = median_ms(3, || {
+            ancestor_parallel(doc, &increases, Variant::Skipping, threads)
+        });
         println!("{threads:>8} {q1:>16.2} {q2:>16.2}");
     }
     println!("\n(partitions are disjoint pre-ranges of the plane — Figure 8 — so no");
     println!("merge or sort is needed after the workers finish)");
+    Ok(())
 }

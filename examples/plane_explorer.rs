@@ -15,7 +15,11 @@ fn plot(doc: &Doc, title: &str, mark: impl Fn(Pre) -> char) {
     for post in (0..n).rev() {
         let mut row = String::new();
         for pre in 0..n {
-            let c = if doc.post(pre) == post { mark(pre) } else { '·' };
+            let c = if doc.post(pre) == post {
+                mark(pre)
+            } else {
+                '·'
+            };
             row.push(c);
             row.push(' ');
         }
@@ -29,19 +33,25 @@ fn plot(doc: &Doc, title: &str, mark: impl Fn(Pre) -> char) {
     println!();
 }
 
-fn main() {
+fn main() -> Result<(), Error> {
     let xml = "<a><b><c/></b><d/><e><f><g/><h/></f><i><j/></i></e></a>";
-    let doc = Doc::from_xml(xml).unwrap();
-    let name =
-        |v: Pre| doc.tag_name(v).and_then(|n| n.chars().next()).unwrap_or('?');
+    let session = Session::parse_xml(xml)?;
+    let doc = session.doc();
+    let name = |v: Pre| {
+        doc.tag_name(v)
+            .and_then(|n| n.chars().next())
+            .unwrap_or('?')
+    };
 
-    plot(&doc, "the pre/post plane of Figure 2:", name);
+    plot(doc, "the pre/post plane of Figure 2:", name);
 
     // Regions of context node f (pre 5), Figure 2's dashed lines.
     let f: Pre = 5;
     for axis in Axis::PARTITIONING {
-        let region = Region::of(&doc, axis, f).unwrap();
-        plot(&doc, &format!("f/{axis} region (■ = inside):"), |v| {
+        let Some(region) = Region::of(doc, axis, f) else {
+            continue;
+        };
+        plot(doc, &format!("f/{axis} region (■ = inside):"), |v| {
             if v == f {
                 '◦'
             } else if region.contains(v, doc.post(v)) {
@@ -54,7 +64,7 @@ fn main() {
 
     // A context sequence and its descendant staircase (Figure 6).
     let ctx: Context = [1u32, 4, 5, 8].into_iter().collect(); // b, e, f, i
-    let pruned = prune(&doc, &ctx, Axis::Descendant);
+    let pruned = prune(doc, &ctx, Axis::Descendant);
     println!(
         "context {{b,e,f,i}} prunes to {:?} for descendant (f, i are inside e's subtree):",
         pruned
@@ -62,7 +72,7 @@ fn main() {
             .filter_map(|v| doc.tag_name(v))
             .collect::<Vec<_>>()
     );
-    plot(&doc, "the staircase (◦ = pruned context steps):", |v| {
+    plot(doc, "the staircase (◦ = pruned context steps):", |v| {
         if pruned.contains(v) {
             '◦'
         } else {
@@ -70,10 +80,20 @@ fn main() {
         }
     });
 
-    let (result, stats) = descendant(&doc, &pruned, Variant::EstimationSkipping);
+    let (result, stats) = descendant(doc, &pruned, Variant::EstimationSkipping);
     println!(
         "descendant result: {:?}",
-        result.iter().filter_map(|v| doc.tag_name(v)).collect::<Vec<_>>()
+        result
+            .iter()
+            .filter_map(|v| doc.tag_name(v))
+            .collect::<Vec<_>>()
     );
     println!("stats: {stats}");
+
+    // The same step through the session API, for comparison.
+    let query = session.prepare("descendant::node()")?;
+    let out = query.run_from(&pruned, Engine::default())?;
+    assert_eq!(out.nodes(), &result);
+    println!("(session API agrees: {} nodes)", out.len());
+    Ok(())
 }

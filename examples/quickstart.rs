@@ -1,5 +1,6 @@
-//! Quickstart: parse XML, inspect the pre/post encoding, and run XPath
-//! axis steps with the staircase join.
+//! Quickstart: parse XML into a session, inspect the pre/post encoding,
+//! run axis steps with the staircase join, and query through the
+//! prepared-query API.
 //!
 //! ```sh
 //! cargo run -p staircase-suite --example quickstart
@@ -7,14 +8,18 @@
 
 use staircase_suite::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Error> {
     // The running example of the paper (Figure 1).
     let xml = "<a><b><c/></b><d/><e><f><g/><h/></f><i><j/></i></e></a>";
-    let doc = Doc::from_xml(xml).expect("well-formed XML");
+    let session = Session::parse_xml(xml)?;
+    let doc = session.doc();
 
     // --- Figure 2: the doc table -------------------------------------
     println!("doc table for {xml}");
-    println!("{:>4} {:>4} {:>5} {:>5}  tag", "pre", "post", "level", "size");
+    println!(
+        "{:>4} {:>4} {:>5} {:>5}  tag",
+        "pre", "post", "level", "size"
+    );
     for v in doc.pres() {
         println!(
             "{:>4} {:>4} {:>5} {:>5}  {}",
@@ -28,23 +33,34 @@ fn main() {
     println!("document height h = {}\n", doc.height());
 
     // --- Axis steps with the staircase join --------------------------
-    let f = doc.pres().find(|&v| doc.tag_name(v) == Some("f")).unwrap();
+    let f = doc
+        .pres()
+        .find(|&v| doc.tag_name(v) == Some("f"))
+        .expect("fixture contains <f>");
     let ctx = Context::singleton(f);
     for axis in Axis::PARTITIONING {
-        let (result, stats) = axis_step(&doc, &ctx, axis, Variant::EstimationSkipping);
+        let (result, stats) = try_axis_step(doc, &ctx, axis, Variant::EstimationSkipping)?;
         let names: Vec<_> = result.iter().filter_map(|v| doc.tag_name(v)).collect();
         println!("f/{axis:<12} = {names:?}   [{stats}]");
     }
     println!();
 
-    // --- Full XPath via the evaluator ---------------------------------
-    let out = evaluate(&doc, "/descendant::e/child::*", Engine::default()).unwrap();
-    let names: Vec<_> = out.result.iter().filter_map(|v| doc.tag_name(v)).collect();
+    // --- Full XPath via the session ----------------------------------
+    let out = session.run("/descendant::e/child::*", Engine::default())?;
+    let names: Vec<_> = out.iter().filter_map(|v| doc.tag_name(v)).collect();
     println!("/descendant::e/child::* = {names:?}");
 
     // The staircase join produces document-order, duplicate-free results,
-    // so steps chain without sorting — XPath semantics for free.
-    let out = evaluate(&doc, "//f/ancestor::node()", Engine::default()).unwrap();
-    let names: Vec<_> = out.result.iter().filter_map(|v| doc.tag_name(v)).collect();
+    // so steps chain without sorting — XPath semantics for free. A
+    // prepared query parses once and runs on any engine.
+    let query = session.prepare("//f/ancestor::node()")?;
+    let names: Vec<_> = query
+        .run(Engine::default())
+        .iter()
+        .filter_map(|v| doc.tag_name(v))
+        .collect();
     println!("//f/ancestor::node()    = {names:?}");
+    let skipping = Engine::staircase().variant(Variant::Skipping).build()?;
+    assert_eq!(query.run(skipping).len(), names.len());
+    Ok(())
 }

@@ -9,11 +9,14 @@
 
 use staircase_suite::prelude::*;
 
-fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2.0);
+fn main() -> Result<(), Error> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0);
     eprintln!("generating XMark-like document at scale {scale} …");
-    let doc = generate(XmarkConfig::new(scale));
-    let profile = DocProfile::measure(&doc);
+    let session = Session::new(generate(XmarkConfig::new(scale)));
+    let profile = DocProfile::measure(session.doc());
     println!(
         "document: {} nodes ({} elements, {} attributes, {} texts), height {}",
         profile.nodes, profile.elements, profile.attributes, profile.texts, profile.height
@@ -32,25 +35,36 @@ fn main() {
         ("Q2", "/descendant::increase/ancestor::bidder"),
     ];
     let engines: [(&str, Engine); 4] = [
-        ("staircase", Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: false }),
-        ("staircase+pushdown", Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: true }),
-        ("naive", Engine::Naive),
-        ("sql-plan", Engine::Sql { eq1_window: true, early_nametest: true }),
+        ("staircase", Engine::default()),
+        (
+            "staircase+pushdown",
+            Engine::staircase().pushdown(true).build()?,
+        ),
+        ("naive", Engine::naive()),
+        (
+            "sql-plan",
+            Engine::sql()
+                .eq1_window(true)
+                .early_nametest(true)
+                .build()?,
+        ),
     ];
 
-    for (qname, query) in queries {
-        println!("{qname}: {query}");
+    for (qname, query_text) in queries {
+        println!("{qname}: {query_text}");
+        // Parsed once; run on every engine. The session's cached
+        // auxiliary structures are shared across all of them.
+        let query = session.prepare(query_text)?;
         for (ename, engine) in engines {
-            let eval = Evaluator::new(&doc, engine);
             let t0 = std::time::Instant::now();
-            let out = eval.evaluate(query).expect("query parses");
+            let out = query.run(engine);
             let dt = t0.elapsed();
             println!(
                 "  {ename:<20} {:>8} results  {:>10.2?}  touched {:>10}  duplicates {:>8}",
-                out.result.len(),
+                out.len(),
                 dt,
-                out.stats.total_touched(),
-                out.stats.total_duplicates(),
+                out.stats().total_touched(),
+                out.stats().total_duplicates(),
             );
         }
         println!();
@@ -58,4 +72,5 @@ fn main() {
 
     println!("note: 'duplicates' is the row count the unique operator had to remove;");
     println!("the staircase join never generates any (paper §3.2, property 3).");
+    Ok(())
 }

@@ -8,19 +8,27 @@ fn workload() -> Doc {
     generate(XmarkConfig::new(0.1).with_seed(42))
 }
 
+fn engine(builder: StaircaseBuilder) -> Engine {
+    builder.build().expect("valid engine config")
+}
+
 #[test]
 fn all_engines_agree_on_paper_queries() {
-    let doc = workload();
+    let session = Session::new(workload());
     let engines = [
-        Engine::Staircase { variant: Variant::Basic, pushdown: false },
-        Engine::Staircase { variant: Variant::Skipping, pushdown: false },
-        Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: false },
-        Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: true },
-        Engine::Fragmented { variant: Variant::EstimationSkipping },
-        Engine::StaircaseParallel { variant: Variant::EstimationSkipping, threads: 4 },
-        Engine::Naive,
-        Engine::Sql { eq1_window: false, early_nametest: false },
-        Engine::Sql { eq1_window: true, early_nametest: true },
+        engine(Engine::staircase().variant(Variant::Basic)),
+        engine(Engine::staircase().variant(Variant::Skipping)),
+        engine(Engine::staircase().variant(Variant::EstimationSkipping)),
+        engine(Engine::staircase().pushdown(true)),
+        engine(Engine::staircase().fragmented(true)),
+        engine(Engine::staircase().parallel(4)),
+        Engine::naive(),
+        Engine::sql().build().expect("valid engine config"),
+        Engine::sql()
+            .eq1_window(true)
+            .early_nametest(true)
+            .build()
+            .expect("valid config"),
     ];
     for query in [
         "/descendant::profile/descendant::education",
@@ -29,13 +37,23 @@ fn all_engines_agree_on_paper_queries() {
         "/descendant::person/following::bidder",
         "/descendant::education/preceding::interest",
     ] {
-        let reference = evaluate(&doc, query, engines[0]).unwrap().result;
+        let prepared = session.prepare(query).unwrap();
+        let reference = prepared.run(engines[0]);
         for e in &engines[1..] {
-            let got = evaluate(&doc, query, *e).unwrap().result;
-            assert_eq!(got, reference, "{query} via {e:?}");
+            let got = prepared.run(*e);
+            assert_eq!(got.nodes(), reference.nodes(), "{query} via {e:?}");
         }
         assert!(!reference.is_empty(), "{query} should match something");
     }
+    // Nine engines, thirty-odd runs: the session built each auxiliary
+    // structure exactly once.
+    assert_eq!(
+        session.aux_builds(),
+        AuxBuilds {
+            tag_index: 1,
+            sql_engine: 1
+        }
+    );
 }
 
 #[test]
@@ -84,10 +102,16 @@ fn sql_plan_generates_duplicates_staircase_does_not() {
     let doc = workload();
     let engine = SqlEngine::build(&doc);
     let tags = TagIndex::build(&doc);
-    let increases: Context =
-        tags.fragment_by_name(&doc, "increase").iter().copied().collect();
+    let increases: Context = tags
+        .fragment_by_name(&doc, "increase")
+        .iter()
+        .copied()
+        .collect();
     let (_, sql_stats) = engine.axis_step(&increases, Axis::Ancestor, SqlPlanOptions::default());
-    assert!(sql_stats.duplicates() > 0, "ancestor step must duplicate shared paths");
+    assert!(
+        sql_stats.duplicates() > 0,
+        "ancestor step must duplicate shared paths"
+    );
     let (_, sc_stats) = ancestor(&doc, &increases, Variant::Skipping);
     assert_eq!(sc_stats.result_size, sql_stats.result_size);
 }
@@ -97,13 +121,19 @@ fn eq1_window_preserves_results_while_cutting_scans() {
     let doc = workload();
     let engine = SqlEngine::build(&doc);
     let tags = TagIndex::build(&doc);
-    let profiles: Context =
-        tags.fragment_by_name(&doc, "profile").iter().copied().collect();
+    let profiles: Context = tags
+        .fragment_by_name(&doc, "profile")
+        .iter()
+        .copied()
+        .collect();
     let (r1, s1) = engine.axis_step(&profiles, Axis::Descendant, SqlPlanOptions::default());
     let (r2, s2) = engine.axis_step(
         &profiles,
         Axis::Descendant,
-        SqlPlanOptions { eq1_window: true, early_nametest: None },
+        SqlPlanOptions {
+            eq1_window: true,
+            early_nametest: None,
+        },
     );
     assert_eq!(r1, r2);
     // The paper saw up to three orders of magnitude here; at minimum the
@@ -144,19 +174,19 @@ fn random_documents_cross_check() {
             b.close_element();
             depth -= 1;
         }
-        let doc = b.finish();
+        let session = Session::new(b.finish());
+        let sql = Engine::sql()
+            .eq1_window(true)
+            .early_nametest(true)
+            .build()
+            .unwrap();
         for query in ["//x/ancestor::y", "//y/descendant::z", "//z/preceding::x"] {
-            let a = evaluate(&doc, query, Engine::default()).unwrap().result;
-            let b2 = evaluate(&doc, query, Engine::Naive).unwrap().result;
-            let c = evaluate(
-                &doc,
-                query,
-                Engine::Sql { eq1_window: true, early_nametest: true },
-            )
-            .unwrap()
-            .result;
-            assert_eq!(a, b2, "round {round}: {query}");
-            assert_eq!(a, c, "round {round}: {query}");
+            let prepared = session.prepare(query).unwrap();
+            let a = prepared.run(Engine::default());
+            let b2 = prepared.run(Engine::naive());
+            let c = prepared.run(sql);
+            assert_eq!(a.nodes(), b2.nodes(), "round {round}: {query}");
+            assert_eq!(a.nodes(), c.nodes(), "round {round}: {query}");
         }
     }
 }

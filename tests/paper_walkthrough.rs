@@ -14,7 +14,9 @@ fn by_name(doc: &Doc, name: &str) -> Pre {
 }
 
 fn names(doc: &Doc, ctx: &Context) -> Vec<String> {
-    ctx.iter().map(|v| doc.tag_name(v).unwrap().to_string()).collect()
+    ctx.iter()
+        .map(|v| doc.tag_name(v).unwrap().to_string())
+        .collect()
 }
 
 /// Figure 2: the pre/post table.
@@ -96,19 +98,22 @@ fn figure4_pruning_and_duplicates() {
         .map(|n| by_name(&doc, n))
         .collect();
 
-    // ancestor-or-self via evaluator.
-    let eval = Evaluator::new(&doc, Engine::default());
-    let path = parse("ancestor-or-self::node()").unwrap();
-    let out = eval.evaluate_path(&path, &ctx);
-    assert_eq!(names(&doc, &out.result), ["a", "d", "e", "f", "h", "i", "j"]);
+    // ancestor-or-self via a prepared session query.
+    let session = Session::new(figure1());
+    let query = session.prepare("ancestor-or-self::node()").unwrap();
+    let out = query.run_from(&ctx, Engine::default()).unwrap();
+    assert_eq!(
+        names(&doc, out.nodes()),
+        ["a", "d", "e", "f", "h", "i", "j"]
+    );
 
     // Pruning keeps (d, h, j).
     let pruned = prune(&doc, &ctx, Axis::Ancestor);
     assert_eq!(names(&doc, &pruned), ["d", "h", "j"]);
 
     // Same result from the pruned context.
-    let out2 = eval.evaluate_path(&path, &pruned);
-    assert_eq!(out.result, out2.result);
+    let out2 = query.run_from(&pruned, Engine::default()).unwrap();
+    assert_eq!(out.nodes(), out2.nodes());
 
     // Figure 4 caption: the pruned context "produces less duplicates
     // (3 rather than 11)". Count via the naive engine: ancestor-or-self

@@ -6,28 +6,33 @@ use staircase_suite::prelude::*;
 #[test]
 fn xml_text_to_query_results() {
     let xml = generate_xml(XmarkConfig::new(0.05).with_seed(11));
-    let doc = Doc::from_xml(&xml).expect("generated XML parses");
-    let out = evaluate(&doc, "/descendant::increase/ancestor::bidder", Engine::default())
+    let session = Session::parse_xml(&xml).expect("generated XML parses");
+    let out = session
+        .run("/descendant::increase/ancestor::bidder", Engine::default())
         .unwrap();
-    assert!(!out.result.is_empty());
-    for v in out.result.iter() {
-        assert_eq!(doc.tag_name(v), Some("bidder"));
+    assert!(!out.is_empty());
+    for v in &out {
+        assert_eq!(session.doc().tag_name(v), Some("bidder"));
     }
 }
 
 #[test]
 fn direct_generation_equals_xml_roundtrip() {
     let cfg = XmarkConfig::new(0.05).with_seed(23);
-    let direct = generate(cfg);
-    let via_xml = Doc::from_xml(&generate_xml(cfg)).unwrap();
-    assert_eq!(direct.len(), via_xml.len());
-    assert_eq!(direct.post_column(), via_xml.post_column());
-    assert_eq!(direct.kind_column(), via_xml.kind_column());
+    let direct = Session::new(generate(cfg));
+    let via_xml = Session::parse_xml(&generate_xml(cfg)).unwrap();
+    assert_eq!(direct.doc().len(), via_xml.doc().len());
+    assert_eq!(direct.doc().post_column(), via_xml.doc().post_column());
+    assert_eq!(direct.doc().kind_column(), via_xml.doc().kind_column());
     // Queries agree too.
-    for query in ["/descendant::education", "//bidder/increase", "//person/@id"] {
-        let a = evaluate(&direct, query, Engine::default()).unwrap().result;
-        let b = evaluate(&via_xml, query, Engine::default()).unwrap().result;
-        assert_eq!(a, b, "{query}");
+    for query in [
+        "/descendant::education",
+        "//bidder/increase",
+        "//person/@id",
+    ] {
+        let a = direct.run(query, Engine::default()).unwrap();
+        let b = via_xml.run(query, Engine::default()).unwrap();
+        assert_eq!(a.nodes(), b.nodes(), "{query}");
     }
 }
 
@@ -35,13 +40,13 @@ fn direct_generation_equals_xml_roundtrip() {
 fn reconstruction_preserves_query_results() {
     // Encode → reconstruct DOM → serialize → re-encode: queries stable.
     let xml = generate_xml(XmarkConfig::new(0.02).with_seed(5));
-    let doc = Doc::from_xml(&xml).unwrap();
-    let rebuilt = Doc::from_xml(&doc.to_document().to_xml()).unwrap();
-    assert_eq!(doc.len(), rebuilt.len());
+    let session = Session::parse_xml(&xml).unwrap();
+    let rebuilt = Session::parse_xml(&session.doc().to_document().to_xml()).unwrap();
+    assert_eq!(session.doc().len(), rebuilt.doc().len());
     let q = "/descendant::profile/descendant::education";
     assert_eq!(
-        evaluate(&doc, q, Engine::default()).unwrap().result,
-        evaluate(&rebuilt, q, Engine::default()).unwrap().result
+        session.run(q, Engine::default()).unwrap().nodes(),
+        rebuilt.run(q, Engine::default()).unwrap().nodes()
     );
 }
 
@@ -75,14 +80,19 @@ fn pull_parser_streams_without_dom() {
 
 #[test]
 fn multi_step_paths_chain_contexts() {
-    let doc = generate(XmarkConfig::new(0.05));
+    let session = Session::new(generate(XmarkConfig::new(0.05)));
     // Four-step path mixing axes; compare staircase vs naive engine.
-    let q = "/descendant::open_auction/child::bidder/descendant::increase/ancestor::open_auction";
-    let a = evaluate(&doc, q, Engine::default()).unwrap().result;
-    let b = evaluate(&doc, q, Engine::Naive).unwrap().result;
-    assert_eq!(a, b);
+    let q = session
+        .prepare(
+            "/descendant::open_auction/child::bidder/descendant::increase\
+             /ancestor::open_auction",
+        )
+        .unwrap();
+    let a = q.run(Engine::default());
+    let b = q.run(Engine::naive());
+    assert_eq!(a.nodes(), b.nodes());
     assert!(!a.is_empty());
-    for v in a.iter() {
-        assert_eq!(doc.tag_name(v), Some("open_auction"));
+    for v in &a {
+        assert_eq!(session.doc().tag_name(v), Some("open_auction"));
     }
 }

@@ -11,80 +11,72 @@ fn doc() -> Doc {
 fn q2_equals_manual_rewrite() {
     // /descendant::increase/ancestor::bidder ≡
     // /descendant::bidder[descendant::increase]    (Olteanu et al.)
-    let doc = doc();
+    let session = Session::new(doc());
+    let direct = session
+        .prepare("/descendant::increase/ancestor::bidder")
+        .unwrap();
+    let rewrite = session
+        .prepare("/descendant::bidder[descendant::increase]")
+        .unwrap();
     for engine in [
         Engine::default(),
-        Engine::Naive,
-        Engine::Sql { eq1_window: true, early_nametest: true },
+        Engine::naive(),
+        Engine::sql()
+            .eq1_window(true)
+            .early_nametest(true)
+            .build()
+            .unwrap(),
     ] {
-        let direct = evaluate(&doc, "/descendant::increase/ancestor::bidder", engine)
-            .unwrap()
-            .result;
-        let rewrite = evaluate(&doc, "/descendant::bidder[descendant::increase]", engine)
-            .unwrap()
-            .result;
-        assert_eq!(direct, rewrite, "{engine:?}");
-        assert!(!direct.is_empty());
+        let a = direct.run(engine);
+        let b = rewrite.run(engine);
+        assert_eq!(a.nodes(), b.nodes(), "{engine:?}");
+        assert!(!a.is_empty());
     }
 }
 
 #[test]
 fn sql_exists_rewrite_matches_xpath_semantics() {
-    let doc = doc();
-    let engine = SqlEngine::build(&doc);
+    let session = Session::new(doc());
+    let doc = session.doc();
+    let engine = session.sql_engine();
     let bidder = doc.tag_id("bidder").unwrap();
     let increase = doc.tag_id("increase").unwrap();
     let (via_sql, _) =
         engine.descendant_exists_rewrite(&Context::singleton(doc.root()), bidder, increase);
-    let via_xpath = evaluate(
-        &doc,
-        "/descendant::bidder[descendant::increase]",
-        Engine::default(),
-    )
-    .unwrap()
-    .result;
-    assert_eq!(via_sql, via_xpath);
+    let via_xpath = session
+        .run(
+            "/descendant::bidder[descendant::increase]",
+            Engine::default(),
+        )
+        .unwrap();
+    assert_eq!(&via_sql, via_xpath.nodes());
 }
 
 #[test]
 fn nametest_pushdown_is_transparent() {
     // nametest(scj(doc, cs), n) ≡ scj(nametest(doc, n), cs) — the paper's
     // §4.4: pre/post properties remain valid on a subset of the plane.
-    let doc = doc();
+    let session = Session::new(doc());
     for query in [
         "/descendant::profile/descendant::education",
         "/descendant::increase/ancestor::bidder",
         "//person/descendant::interest",
     ] {
-        let late = evaluate(
-            &doc,
-            query,
-            Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: false },
-        )
-        .unwrap();
-        let early = evaluate(
-            &doc,
-            query,
-            Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: true },
-        )
-        .unwrap();
-        assert_eq!(late.result, early.result, "{query}");
-        let fragmented = evaluate(
-            &doc,
-            query,
-            Engine::Fragmented { variant: Variant::EstimationSkipping },
-        )
-        .unwrap();
-        assert_eq!(late.result, fragmented.result, "{query}");
+        let prepared = session.prepare(query).unwrap();
+        let late = prepared.run(Engine::default());
+        let early = prepared.run(Engine::staircase().pushdown(true).build().unwrap());
+        assert_eq!(late.nodes(), early.nodes(), "{query}");
+        let fragmented = prepared.run(Engine::staircase().fragmented(true).build().unwrap());
+        assert_eq!(late.nodes(), fragmented.nodes(), "{query}");
         // With prebuilt fragments (§6) the join touches only fragment
         // nodes — far fewer than the full-plane join. (Query-time
         // pushdown pays an O(n) name-test scan instead; its win is wall
         // time, not touch count.)
         assert!(
-            fragmented.stats.total_touched() < late.stats.total_touched(),
+            fragmented.stats().total_touched() < late.stats().total_touched(),
             "{query}: fragments touched {} vs {}",
-            fragmented.stats.total_touched(),
-            late.stats.total_touched()
+            fragmented.stats().total_touched(),
+            late.stats().total_touched()
         );
     }
 }
@@ -93,29 +85,17 @@ fn nametest_pushdown_is_transparent() {
 fn pushdown_on_nonselective_test_still_correct() {
     // A tag that covers most elements (the "obviously makes sense for
     // selective name tests only" caveat): correctness must hold anyway.
-    let doc = Doc::from_xml("<p><p><p><q/></p></p><p/></p>").unwrap();
-    let late = evaluate(
-        &doc,
-        "//p/descendant::p",
-        Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: false },
-    )
-    .unwrap();
-    let early = evaluate(
-        &doc,
-        "//p/descendant::p",
-        Engine::Staircase { variant: Variant::EstimationSkipping, pushdown: true },
-    )
-    .unwrap();
-    assert_eq!(late.result, early.result);
+    let session = Session::parse_xml("<p><p><p><q/></p></p><p/></p>").unwrap();
+    let query = session.prepare("//p/descendant::p").unwrap();
+    let late = query.run(Engine::default());
+    let early = query.run(Engine::staircase().pushdown(true).build().unwrap());
+    assert_eq!(late.nodes(), early.nodes());
 }
 
 #[test]
 fn predicate_evaluation_is_existential() {
-    let doc = Doc::from_xml(
-        "<r><a><b/><b/><b/></a><a><c/></a><a><b/></a></r>",
-    )
-    .unwrap();
+    let session = Session::parse_xml("<r><a><b/><b/><b/></a><a><c/></a><a><b/></a></r>").unwrap();
     // Predicates do not multiply results: one hit per qualifying node.
-    let out = evaluate(&doc, "//a[b]", Engine::default()).unwrap();
-    assert_eq!(out.result.len(), 2);
+    let out = session.run("//a[b]", Engine::default()).unwrap();
+    assert_eq!(out.len(), 2);
 }

@@ -1,0 +1,242 @@
+//! The session façade, exercised end to end: every engine configuration
+//! must produce identical results for arbitrary documents and queries
+//! run through [`Session`]/[`Query`], and the session must build its
+//! auxiliary structures at most once however many queries it serves.
+
+use proptest::prelude::*;
+use staircase_suite::prelude::*;
+
+/// Every buildable engine configuration.
+fn all_engines() -> Vec<Engine> {
+    vec![
+        Engine::staircase()
+            .variant(Variant::Basic)
+            .build()
+            .expect("valid engine config"),
+        Engine::staircase()
+            .variant(Variant::Skipping)
+            .build()
+            .expect("valid engine config"),
+        Engine::staircase()
+            .variant(Variant::EstimationSkipping)
+            .build()
+            .expect("valid engine config"),
+        Engine::staircase()
+            .pushdown(true)
+            .build()
+            .expect("valid engine config"),
+        Engine::staircase()
+            .fragmented(true)
+            .build()
+            .expect("valid engine config"),
+        Engine::staircase()
+            .parallel(3)
+            .build()
+            .expect("valid engine config"),
+        Engine::naive(),
+        Engine::sql().build().expect("valid engine config"),
+        Engine::sql()
+            .eq1_window(true)
+            .early_nametest(true)
+            .build()
+            .expect("valid config"),
+    ]
+}
+
+/// An arbitrary small document built through the encoding builder.
+fn arb_doc() -> impl Strategy<Value = Doc> {
+    proptest::collection::vec(0u8..5, 1..250).prop_map(|ops| {
+        let tags = ["p", "q", "r"];
+        let mut b = EncodingBuilder::new();
+        b.open_element("root");
+        let mut depth = 1;
+        let mut just_text = false;
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                0 | 3 => {
+                    b.open_element(tags[i % tags.len()]);
+                    depth += 1;
+                    just_text = false;
+                }
+                1 if depth > 1 => {
+                    b.close_element();
+                    depth -= 1;
+                    just_text = false;
+                }
+                2 if !just_text => {
+                    b.text("t");
+                    just_text = true;
+                }
+                _ => {
+                    b.comment("c");
+                    just_text = false;
+                }
+            }
+        }
+        while depth > 0 {
+            b.close_element();
+            depth -= 1;
+        }
+        b.finish()
+    })
+}
+
+/// An arbitrary absolute query over the `p`/`q`/`r` vocabulary: one to
+/// three steps of partitioning/child axes with name, wildcard, or node
+/// tests, optionally carrying an existential predicate (which exercises
+/// the staircase engines' semijoin fast path).
+fn arb_query() -> impl Strategy<Value = String> {
+    let axis = prop_oneof![
+        Just("descendant"),
+        Just("ancestor"),
+        Just("following"),
+        Just("preceding"),
+        Just("child"),
+        Just("descendant-or-self"),
+        Just("ancestor-or-self"),
+    ];
+    let test = prop_oneof![Just("p"), Just("q"), Just("r"), Just("*"), Just("node()")];
+    let pred = prop_oneof![
+        Just(""),
+        Just("[p]"),
+        Just("[descendant::q]"),
+        Just("[zzz]")
+    ];
+    proptest::collection::vec((axis, test, pred), 1..4).prop_map(|steps| {
+        let mut out = String::new();
+        for (axis, test, pred) in steps {
+            out.push('/');
+            out.push_str(axis);
+            out.push_str("::");
+            out.push_str(test);
+            out.push_str(pred);
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The acceptance property of the whole engine zoo: any engine, same
+    /// answer, for random documents and random prepared queries.
+    #[test]
+    fn every_engine_agrees_via_session((doc, query) in (arb_doc(), arb_query())) {
+        let session = Session::new(doc);
+        let prepared = session.prepare(&query)
+            .unwrap_or_else(|e| panic!("generated query {query:?} must parse: {e}"));
+        let reference = prepared.run(Engine::naive());
+        for engine in all_engines() {
+            let got = prepared.run(engine);
+            prop_assert_eq!(
+                got.nodes(),
+                reference.nodes(),
+                "{} via {:?}",
+                query,
+                engine
+            );
+        }
+        // However many engines ran, the session built each auxiliary
+        // structure at most once.
+        let builds = session.aux_builds();
+        prop_assert!(builds.tag_index <= 1);
+        prop_assert!(builds.sql_engine <= 1);
+    }
+
+    /// Sessions over a persisted plane answer exactly like sessions over
+    /// the original document.
+    #[test]
+    fn persisted_sessions_answer_identically(doc in arb_doc()) {
+        let original = Session::new(doc);
+        let reloaded = Session::from_encoded_bytes(&original.doc().to_bytes())
+            .expect("self-produced bytes decode");
+        for query in ["/descendant::p", "//q/ancestor::node()", "//r[p]"] {
+            let a = original.run(query, Engine::default()).unwrap();
+            let b = reloaded.run(query, Engine::default()).unwrap();
+            prop_assert_eq!(a.nodes(), b.nodes(), "{}", query);
+        }
+    }
+}
+
+#[test]
+fn auxiliary_structures_build_at_most_once() {
+    let session = Session::new(generate(XmarkConfig::new(0.05)));
+    assert_eq!(
+        session.aux_builds(),
+        AuxBuilds::default(),
+        "nothing built up front"
+    );
+
+    let fragmented = Engine::staircase().fragmented(true).build().unwrap();
+    let sql = Engine::sql()
+        .eq1_window(true)
+        .early_nametest(true)
+        .build()
+        .unwrap();
+    let queries: Vec<Query> = [
+        "/descendant::profile/descendant::education",
+        "/descendant::increase/ancestor::bidder",
+        "//open_auction[bidder]",
+    ]
+    .iter()
+    .map(|q| session.prepare(q).unwrap())
+    .collect();
+
+    for _ in 0..4 {
+        for query in &queries {
+            query.run(Engine::default());
+            query.run(fragmented);
+            query.run(sql);
+        }
+    }
+    // 36 runs across three engines and three prepared queries: exactly
+    // one TagIndex and one SqlEngine were ever constructed.
+    assert_eq!(
+        session.aux_builds(),
+        AuxBuilds {
+            tag_index: 1,
+            sql_engine: 1
+        }
+    );
+}
+
+#[test]
+fn prepared_queries_outlive_engine_choice() {
+    let session = Session::new(generate(XmarkConfig::new(0.05)));
+    let query = session
+        .prepare("/descendant::increase/ancestor::bidder")
+        .unwrap();
+    let mut previous: Option<QueryOutput> = None;
+    for engine in all_engines() {
+        let out = query.run(engine);
+        assert!(!out.is_empty(), "{engine:?}");
+        if let Some(prev) = &previous {
+            assert_eq!(prev.nodes(), out.nodes(), "{engine:?}");
+        }
+        previous = Some(out);
+    }
+}
+
+#[test]
+fn invalid_engine_configs_never_reach_evaluation() {
+    assert!(matches!(
+        Engine::staircase().parallel(0).build(),
+        Err(Error::InvalidEngine(_))
+    ));
+    assert!(matches!(
+        Engine::staircase().pushdown(true).parallel(2).build(),
+        Err(Error::InvalidEngine(_))
+    ));
+}
+
+#[test]
+fn query_output_supports_borrowed_iteration() {
+    let session = Session::parse_xml("<a><b/><b/><b/></a>").unwrap();
+    let out = session.run("//b", Engine::default()).unwrap();
+    // By-reference iteration, twice, with no clone in between.
+    let first: Vec<Pre> = (&out).into_iter().collect();
+    let second: Vec<Pre> = out.iter().collect();
+    assert_eq!(first, second);
+    assert_eq!(first.len(), 3);
+    assert_eq!(out.nodes().as_slice(), &first[..]);
+}

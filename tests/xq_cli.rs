@@ -27,7 +27,12 @@ fn query_from_stdin() {
         .stdout(Stdio::piped())
         .spawn()
         .unwrap();
-    child.stdin.as_mut().unwrap().write_all(SAMPLE.as_bytes()).unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(SAMPLE.as_bytes())
+        .unwrap();
     let out = child.wait_with_output().unwrap();
     assert!(out.status.success());
     assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "3");
@@ -38,7 +43,14 @@ fn query_from_file_with_engines() {
     let dir = tempdir();
     let file = dir.join("sample.xml");
     std::fs::write(&file, SAMPLE).unwrap();
-    for engine in ["staircase", "pushdown", "fragmented", "parallel", "naive", "sql"] {
+    for engine in [
+        "staircase",
+        "pushdown",
+        "fragmented",
+        "parallel",
+        "naive",
+        "sql",
+    ] {
         let out = xq()
             .args([
                 "/descendant::increase/ancestor::bidder",
@@ -69,11 +81,19 @@ fn encode_then_query_encoded() {
         .args(["--encode", xml.to_str().unwrap(), scj.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(scj.exists());
 
     let out = xq()
-        .args(["//open_auction[bidder/increase]/@id", "--encoded", scj.to_str().unwrap()])
+        .args([
+            "//open_auction[bidder/increase]/@id",
+            "--encoded",
+            scj.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -91,7 +111,12 @@ fn stats_go_to_stderr() {
         .stderr(Stdio::piped())
         .spawn()
         .unwrap();
-    child.stdin.as_mut().unwrap().write_all(SAMPLE.as_bytes()).unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(SAMPLE.as_bytes())
+        .unwrap();
     let out = child.wait_with_output().unwrap();
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("step"), "stats missing: {stderr}");
@@ -99,28 +124,130 @@ fn stats_go_to_stderr() {
 }
 
 #[test]
-fn parse_errors_exit_nonzero() {
+fn parse_errors_exit_with_parse_code() {
     let mut child = xq()
         .args(["///bad["])
         .stdin(Stdio::piped())
         .stderr(Stdio::piped())
         .spawn()
         .unwrap();
-    child.stdin.as_mut().unwrap().write_all(SAMPLE.as_bytes()).unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(SAMPLE.as_bytes())
+        .unwrap();
     let out = child.wait_with_output().unwrap();
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(3), "XPath parse errors exit 3");
 }
 
 #[test]
-fn malformed_xml_exits_nonzero() {
+fn malformed_xml_exits_with_parse_code() {
     let mut child = xq()
         .args(["//a"])
         .stdin(Stdio::piped())
         .stderr(Stdio::piped())
         .spawn()
         .unwrap();
-    child.stdin.as_mut().unwrap().write_all(b"<a><b></a>").unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"<a><b></a>")
+        .unwrap();
     let out = child.wait_with_output().unwrap();
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(3), "XML parse errors exit 3");
     assert!(String::from_utf8_lossy(&out.stderr).contains("parse error"));
+}
+
+#[test]
+fn missing_file_exits_with_io_code() {
+    let out = xq()
+        .args(["//a", "/definitely/not/here.xml"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "I/O errors exit 4");
+}
+
+#[test]
+fn usage_errors_exit_with_usage_code() {
+    let out = xq()
+        .args(["//a", "--engine", "warp-drive"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "unknown engines exit 2");
+    let out = xq().output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "missing query exits 2");
+}
+
+#[test]
+fn threads_and_variant_flags() {
+    let dir = tempdir();
+    let file = dir.join("flags.xml");
+    std::fs::write(&file, SAMPLE).unwrap();
+    for variant in ["basic", "skipping", "estimation"] {
+        let out = xq()
+            .args([
+                "/descendant::increase/ancestor::bidder",
+                file.to_str().unwrap(),
+                "--count",
+                "--variant",
+                variant,
+                "--threads",
+                "2",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "variant {variant}");
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout).trim(),
+            "2",
+            "variant {variant}"
+        );
+    }
+}
+
+#[test]
+fn variant_on_non_staircase_engine_exits_with_usage_code() {
+    let dir = tempdir();
+    let file = dir.join("variant-sql.xml");
+    std::fs::write(&file, SAMPLE).unwrap();
+    let out = xq()
+        .args([
+            "//bidder",
+            file.to_str().unwrap(),
+            "--engine",
+            "sql",
+            "--variant",
+            "basic",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "--variant on the sql engine is rejected, not silently dropped"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--variant does not apply"));
+}
+
+#[test]
+fn conflicting_engine_flags_exit_with_usage_code() {
+    let dir = tempdir();
+    let file = dir.join("conflict.xml");
+    std::fs::write(&file, SAMPLE).unwrap();
+    // Pushdown cannot parallelize: the builder rejects the combination.
+    let out = xq()
+        .args([
+            "//bidder",
+            file.to_str().unwrap(),
+            "--engine",
+            "pushdown",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "invalid engine configs exit 2");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid engine configuration"));
 }

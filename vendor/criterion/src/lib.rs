@@ -1,0 +1,266 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! The build environment for this repository has no registry access, so
+//! this vendor crate implements the benchmarking API subset the `bench`
+//! crate uses: [`Criterion::benchmark_group`], `bench_function` /
+//! `bench_with_input`, [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Methodology is intentionally simple — warm up once, take
+//! `sample_size` timed samples of an adaptively chosen iteration batch,
+//! report the median — which is plenty to compare the engines this
+//! repository benches against each other on one machine. It is *not* a
+//! replacement for criterion's statistics when publishing numbers.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(id.to_string());
+        group.bench_function("run", &mut f);
+        group.finish();
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares how much work one iteration performs, enabling
+    /// rate reporting alongside raw times.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        let mut samples = bencher.samples.clone();
+        if samples.is_empty() {
+            println!("{}/{id:<32} (no samples)", self.name);
+            return;
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) => {
+                format!("  {:>10.1} MB/s", b as f64 / median / 1e6)
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.2} Melem/s", n as f64 / median / 1e6)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{id:<32} median {:>12}{rate}   ({} samples)",
+            self.name,
+            format_seconds(median),
+            samples.len()
+        );
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `f`, recording `sample_size` samples.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up + batch sizing: aim for ≥ ~1 ms per timed sample so
+        // short closures aren't dominated by timer resolution.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().as_secs_f64();
+        let batch = if once > 0.0 {
+            (1e-3 / once).ceil().clamp(1.0, 1e4) as u32
+        } else {
+            10_000
+        };
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id that is just a parameter rendering.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Work performed by one iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        let mut ran = 0u32;
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran += 1;
+        });
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 2.5).to_string(), "f/2.5");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

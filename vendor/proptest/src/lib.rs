@@ -1,0 +1,129 @@
+//! Offline stand-in for the crates.io `proptest` crate.
+//!
+//! The build environment for this repository has no registry access, so
+//! this vendor crate implements the API subset the workspace's property
+//! tests use:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//!   `prop_flat_map`, `prop_filter`, `prop_recursive`, and `boxed`;
+//! * strategies for integer/float ranges, tuples, [`Just`](strategy::Just),
+//!   unions (`prop_oneof!`), [`collection::vec`], and string generation
+//!   from a character-class regex subset (`"[a-z][a-z0-9_.-]{0,8}"`);
+//! * the [`proptest!`] test macro with `#![proptest_config(..)]`, plus
+//!   [`prop_assert!`]/[`prop_assert_eq!`].
+//!
+//! What it deliberately does *not* implement: shrinking (failures report
+//! the failing case seed instead of a minimal counterexample) and
+//! persistence of failing cases. Every run is deterministic: case `i` of
+//! every test samples from a fixed seed derived from `i`, so failures
+//! reproduce exactly.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The usual one-stop import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Asserts a boolean condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// # fn main() {} // `#[test]` fns only exist under the test harness
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident
+         ( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            // The `#[test]` attribute is part of the user-written metas
+            // (upstream proptest requires it too) — emitting another one
+            // here would register every property twice.
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut runner_rng =
+                        $crate::test_runner::TestRng::for_case(case as u64);
+                    $(
+                        let $pat = $crate::strategy::Strategy::sample(
+                            &($strategy),
+                            &mut runner_rng,
+                        );
+                    )+
+                    // Report which deterministic case failed (cases are
+                    // seeded by index, so this is enough to reproduce),
+                    // then let the original panic continue.
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "proptest: property `{}` failed at case {} of {} \
+                             (TestRng::for_case({case}) reproduces it)",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,387 @@
+//! String generation from a character-class regex subset.
+//!
+//! Upstream proptest interprets `&str` strategies as full regexes. This
+//! stand-in supports the subset the workspace's tests use: sequences of
+//! character classes with quantifiers —
+//!
+//! ```text
+//! pattern := item+
+//! item    := atom quant?
+//! atom    := '[' class ']' | '.' | '\' char | char
+//! class   := operand ('&&' operand)*          (operand intersection)
+//! operand := '^'? (char | char '-' char | '[' class ']')+
+//! quant   := '{' n (',' m)? '}' | '*' | '+' | '?'
+//! ```
+//!
+//! e.g. `"[a-z][a-z0-9_.-]{0,8}"`, `"[ -~&&[^-]]{0,10}"`, `".{0,48}"`.
+
+use crate::test_runner::TestRng;
+
+/// A set of scalar values, stored as sorted disjoint inclusive ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ClassSet {
+    ranges: Vec<(u32, u32)>,
+}
+
+/// Everything `char` can hold (surrogates excluded).
+fn universe() -> ClassSet {
+    ClassSet {
+        ranges: vec![(0x0000, 0xD7FF), (0xE000, 0x10FFFF)],
+    }
+}
+
+impl ClassSet {
+    fn normalize(mut raw: Vec<(u32, u32)>) -> ClassSet {
+        raw.retain(|&(lo, hi)| lo <= hi);
+        raw.sort_unstable();
+        let mut ranges: Vec<(u32, u32)> = Vec::with_capacity(raw.len());
+        for (lo, hi) in raw {
+            match ranges.last_mut() {
+                Some(last) if lo <= last.1.saturating_add(1) => last.1 = last.1.max(hi),
+                _ => ranges.push((lo, hi)),
+            }
+        }
+        ClassSet { ranges }
+    }
+
+    fn single(c: char) -> ClassSet {
+        ClassSet {
+            ranges: vec![(c as u32, c as u32)],
+        }
+    }
+
+    fn intersect(&self, other: &ClassSet) -> ClassSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ranges.len() && j < other.ranges.len() {
+            let (alo, ahi) = self.ranges[i];
+            let (blo, bhi) = other.ranges[j];
+            let lo = alo.max(blo);
+            let hi = ahi.min(bhi);
+            if lo <= hi {
+                out.push((lo, hi));
+            }
+            if ahi < bhi {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        ClassSet { ranges: out }
+    }
+
+    fn negate(&self) -> ClassSet {
+        universe().subtract(self)
+    }
+
+    fn subtract(&self, other: &ClassSet) -> ClassSet {
+        let mut out = Vec::new();
+        for &(mut lo, hi) in &self.ranges {
+            for &(blo, bhi) in &other.ranges {
+                if bhi < lo || blo > hi {
+                    continue;
+                }
+                if blo > lo {
+                    out.push((lo, blo - 1));
+                }
+                lo = bhi.saturating_add(1);
+                if lo > hi {
+                    break;
+                }
+            }
+            if lo <= hi {
+                out.push((lo, hi));
+            }
+        }
+        ClassSet::normalize(out)
+    }
+
+    fn len(&self) -> u64 {
+        self.ranges
+            .iter()
+            .map(|&(lo, hi)| (hi - lo + 1) as u64)
+            .sum()
+    }
+
+    fn sample(&self, rng: &mut TestRng) -> char {
+        let total = self.len();
+        assert!(total > 0, "cannot sample from an empty character class");
+        let mut k = rng.below(total);
+        for &(lo, hi) in &self.ranges {
+            let span = (hi - lo + 1) as u64;
+            if k < span {
+                // Ranges never cross the surrogate gap (the universe is
+                // split around it), so this is always a valid char.
+                return char::from_u32(lo + k as u32).expect("class sets hold scalar values");
+            }
+            k -= span;
+        }
+        unreachable!("sample index within total length")
+    }
+}
+
+/// One pattern item: a class repeated between `min` and `max` times
+/// (inclusive).
+#[derive(Debug, Clone)]
+struct Item {
+    class: ClassSet,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics if `pattern` uses regex features outside the supported subset;
+/// the message says which construct was not understood.
+pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let items = parse(pattern)
+        .unwrap_or_else(|e| panic!("unsupported string strategy pattern {pattern:?}: {e}"));
+    let mut out = String::new();
+    for item in &items {
+        let n = item.min + rng.below((item.max - item.min + 1) as u64) as usize;
+        for _ in 0..n {
+            out.push(item.class.sample(rng));
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Result<Vec<Item>, String> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut items = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let class = match chars[i] {
+            '[' => {
+                let (set, ni) = parse_class(&chars, i + 1)?;
+                i = ni;
+                set
+            }
+            '.' => {
+                i += 1;
+                universe().subtract(&ClassSet::single('\n'))
+            }
+            '\\' => {
+                let c = *chars.get(i + 1).ok_or("dangling escape")?;
+                i += 2;
+                ClassSet::single(unescape(c))
+            }
+            '(' | ')' | '|' | '*' | '+' | '?' | '{' | '}' | '^' | '$' => {
+                return Err(format!(
+                    "unsupported construct {:?} at offset {}",
+                    chars[i], i
+                ));
+            }
+            c => {
+                i += 1;
+                ClassSet::single(c)
+            }
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i)?;
+        items.push(Item { class, min, max });
+    }
+    Ok(items)
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        other => other,
+    }
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize) -> Result<(usize, usize), String> {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or("unclosed quantifier")?
+                + *i;
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            let (lo, hi) = match body.split_once(',') {
+                None => {
+                    let n = body.trim().parse::<usize>().map_err(|e| e.to_string())?;
+                    (n, n)
+                }
+                Some((lo, "")) => {
+                    let lo = lo.trim().parse::<usize>().map_err(|e| e.to_string())?;
+                    (lo, lo + 8)
+                }
+                Some((lo, hi)) => (
+                    lo.trim().parse::<usize>().map_err(|e| e.to_string())?,
+                    hi.trim().parse::<usize>().map_err(|e| e.to_string())?,
+                ),
+            };
+            if lo > hi {
+                return Err(format!("quantifier {{{body}}} has min > max"));
+            }
+            Ok((lo, hi))
+        }
+        Some('*') => {
+            *i += 1;
+            Ok((0, 8))
+        }
+        Some('+') => {
+            *i += 1;
+            Ok((1, 8))
+        }
+        Some('?') => {
+            *i += 1;
+            Ok((0, 1))
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+/// Parses a class body starting just past `[`; returns the set and the
+/// index just past the closing `]`.
+fn parse_class(chars: &[char], mut i: usize) -> Result<(ClassSet, usize), String> {
+    let mut acc: Option<ClassSet> = None;
+    loop {
+        let (operand, ni) = parse_operand(chars, i)?;
+        i = ni;
+        acc = Some(match acc {
+            None => operand,
+            Some(a) => a.intersect(&operand),
+        });
+        match chars.get(i) {
+            Some(']') => {
+                return Ok((
+                    acc.unwrap_or_else(|| ClassSet::normalize(Vec::new())),
+                    i + 1,
+                ))
+            }
+            Some('&') if chars.get(i + 1) == Some(&'&') => i += 2,
+            other => return Err(format!("unexpected {other:?} in character class")),
+        }
+    }
+}
+
+/// Parses one intersection operand; stops at `]` or `&&`.
+fn parse_operand(chars: &[char], mut i: usize) -> Result<(ClassSet, usize), String> {
+    if chars.get(i) == Some(&'[') {
+        return parse_class(chars, i + 1);
+    }
+    let mut negated = false;
+    if chars.get(i) == Some(&'^') {
+        negated = true;
+        i += 1;
+    }
+    let mut ranges: Vec<(u32, u32)> = Vec::new();
+    loop {
+        match chars.get(i) {
+            None => return Err("unclosed character class".into()),
+            Some(']') => break,
+            Some('&') if chars.get(i + 1) == Some(&'&') => break,
+            Some('\\') => {
+                let c = *chars.get(i + 1).ok_or("dangling escape in class")?;
+                ranges.push((unescape(c) as u32, unescape(c) as u32));
+                i += 2;
+            }
+            Some(&c) => {
+                // `c-d` range, unless `-` is the last char before `]`/`&&`
+                // (then it is a literal).
+                let dash = chars.get(i + 1) == Some(&'-');
+                let range_end = chars.get(i + 2).copied();
+                let is_range = c != '-'
+                    && dash
+                    && range_end
+                        .is_some_and(|e| e != ']' && !(e == '&' && chars.get(i + 3) == Some(&'&')));
+                if is_range {
+                    let hi = range_end.expect("checked above");
+                    if (c as u32) > (hi as u32) {
+                        return Err(format!("inverted range {c}-{hi}"));
+                    }
+                    ranges.push((c as u32, hi as u32));
+                    i += 3;
+                } else {
+                    ranges.push((c as u32, c as u32));
+                    i += 1;
+                }
+            }
+        }
+    }
+    let mut set = ClassSet::normalize(ranges).intersect(&universe());
+    if negated {
+        set = set.negate();
+    }
+    Ok((set, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case(11)
+    }
+
+    fn matches_all(pattern: &str, check: impl Fn(&str) -> bool) {
+        let mut r = rng();
+        for _ in 0..300 {
+            let s = sample_pattern(pattern, &mut r);
+            assert!(check(&s), "pattern {pattern:?} produced {s:?}");
+        }
+    }
+
+    #[test]
+    fn name_pattern() {
+        matches_all("[a-z][a-z0-9_.-]{0,8}", |s| {
+            let mut cs = s.chars();
+            let first = cs.next().unwrap();
+            first.is_ascii_lowercase()
+                && s.len() <= 9
+                && cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "_.-".contains(c))
+        });
+    }
+
+    #[test]
+    fn printable_with_unicode_extras() {
+        matches_all("[ -~äöü€]{0,20}", |s| {
+            s.chars().count() <= 20
+                && s.chars()
+                    .all(|c| (' '..='~').contains(&c) || "äöü€".contains(c))
+        });
+    }
+
+    #[test]
+    fn intersection_with_negation() {
+        matches_all("[ -~&&[^-]]{0,10}", |s| {
+            s.chars().all(|c| (' '..='~').contains(&c) && c != '-')
+        });
+    }
+
+    #[test]
+    fn dot_excludes_newline() {
+        matches_all(".{0,48}", |s| !s.contains('\n') && s.chars().count() <= 48);
+    }
+
+    #[test]
+    fn literal_and_quantifiers() {
+        matches_all("ab?c*", |s| s.starts_with('a'));
+        matches_all("x{3}", |s| s == "xxx");
+    }
+
+    #[test]
+    fn class_with_quotes_and_amp() {
+        matches_all("[ -~<>&'\"]{0,64}", |s| {
+            s.chars()
+                .all(|c| (' '..='~').contains(&c) || "<>&'\"".contains(c))
+        });
+    }
+
+    #[test]
+    fn unsupported_pattern_panics() {
+        let err = std::panic::catch_unwind(|| {
+            let mut r = rng();
+            sample_pattern("(group)", &mut r)
+        });
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Deterministic per-case random source and run configuration.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// How many cases each property runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream defaults to 256; 64 keeps the whole-workspace test run
+        // fast while still exercising plenty of shapes. Tests that need
+        // more override via `with_cases`.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// The deterministic generator for case number `case` (every run of
+    /// every test uses the same stream for the same case index, so a
+    /// reported failing case reproduces exactly).
+    pub fn for_case(case: u64) -> TestRng {
+        TestRng {
+            inner: SmallRng::seed_from_u64(0xC0FF_EE00 ^ case.wrapping_mul(0x9E37_79B9)),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

@@ -1,0 +1,22 @@
+//! The failure path of the `proptest!` macro: a failing property still
+//! panics (so the harness reports it), after printing which
+//! deterministic case failed.
+
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failing_property_still_panics(x in 0u32..100) {
+        // Some early cases pass; a later one panics. The macro prints
+        // the failing case index to stderr and re-raises the panic.
+        if x > 2 {
+            panic!("boom at {x}");
+        }
+    }
+
+    #[test]
+    fn passing_property_is_untouched(x in 0u32..100) {
+        prop_assert!(x < 100);
+    }
+}
