@@ -1,0 +1,101 @@
+//! Batched vs. sequential multi-query execution.
+//!
+//! The batch layer's reason to exist: a server answering N queries over
+//! one document should not pay N full plane passes. This bench runs the
+//! same mixed batch of descendant/ancestor queries (the paper's Q1/Q2
+//! plus six probes of the XMark vocabulary) two ways on a ~10k-node
+//! xmlgen document:
+//!
+//! * `sequential`: `queries.iter().map(|q| q.run(engine))` — one plane
+//!   pass per query per step, the pre-batching behaviour;
+//! * `run_many`:   `session.run_many(&queries, engine)` — aligned steps
+//!   share one pass via the multi-context staircase join.
+//!
+//! Besides the timings, the bench prints the measured speedup and the
+//! touched-node totals, making the "one pass per shared step" claim
+//! visible (the acceptance target is ≥ 1.3× on this workload).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use staircase_bench::{Workload, QUERY_Q1, QUERY_Q2};
+use staircase_core::Variant;
+use staircase_xpath::{Engine, Query};
+
+/// Eight descendant/ancestor queries sharing plenty of plane regions —
+/// every first step starts at the root.
+const BATCH: [&str; 8] = [
+    QUERY_Q1,
+    QUERY_Q2,
+    "/descendant::bidder",
+    "/descendant::date/ancestor::open_auction",
+    "/descendant::person",
+    "/descendant::increase",
+    "/descendant::open_auction/descendant::date",
+    "/descendant::education/ancestor::person",
+];
+
+fn bench(c: &mut Criterion) {
+    // Scale 0.2 ≈ 10k nodes (printed below for the record).
+    let w = Workload::generate(0.2);
+    let session = w.session();
+    println!(
+        "document: scale {}, {} nodes, height {}",
+        w.scale,
+        w.doc().len(),
+        w.doc().height()
+    );
+    let queries: Vec<Query> = BATCH
+        .iter()
+        .map(|q| session.prepare(q).expect("batch query parses"))
+        .collect();
+    let refs: Vec<&Query> = queries.iter().collect();
+
+    for variant in [Variant::Skipping, Variant::EstimationSkipping] {
+        let engine = Engine::staircase().variant(variant).build().unwrap();
+        let mut g = c.benchmark_group(format!("batch_throughput_{variant:?}"));
+        g.sample_size(30);
+        g.throughput(Throughput::Elements((queries.len() * w.doc().len()) as u64));
+        g.bench_function("sequential", |b| {
+            b.iter(|| queries.iter().map(|q| q.run(engine)).collect::<Vec<_>>())
+        });
+        g.bench_function("run_many", |b| b.iter(|| session.run_many(&refs, engine)));
+        g.finish();
+
+        // Direct speedup measurement: interleaved best-of-N, robust
+        // against CPU frequency drift between the two loops, plus the
+        // shared-pass accounting behind the speedup.
+        let reps = 200;
+        let (mut seq, mut many) = (f64::MAX, f64::MAX);
+        for _ in 0..reps {
+            let t = Instant::now();
+            std::hint::black_box(queries.iter().map(|q| q.run(engine)).collect::<Vec<_>>());
+            seq = seq.min(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            std::hint::black_box(session.run_many(&refs, engine));
+            many = many.min(t.elapsed().as_secs_f64());
+        }
+        let seq_touched: u64 = queries
+            .iter()
+            .map(|q| q.run(engine).stats().total_touched())
+            .sum();
+        let batch_touched: u64 = session
+            .run_many(&refs, engine)
+            .iter()
+            .map(|o| o.stats().total_touched())
+            .sum();
+        println!(
+            "{variant:?}: run_many speedup {:.2}x  (sequential {:.3} ms, batched {:.3} ms); \
+             nodes touched {} -> {} ({:.1}% of sequential)",
+            seq / many,
+            seq * 1e3,
+            many * 1e3,
+            seq_touched,
+            batch_touched,
+            100.0 * batch_touched as f64 / seq_touched as f64,
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

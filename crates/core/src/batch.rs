@@ -1,0 +1,707 @@
+//! Batched multi-context staircase joins: K queries, one plane pass.
+//!
+//! A server answering many queries over one document repeats the same
+//! sequential scan of the pre/post plane once per query. But a pruned
+//! context is just a sorted list of partition boundaries (§3.1), and
+//! sorted boundary lists *merge*: exactly the observation that lets
+//! Leapfrog Triejoin drive many sorted cursors through one coordinated
+//! pass (Veldhuizen, ICDT 2013). [`descendant_many`] and
+//! [`ancestor_many`] take K contexts, interleave their staircase
+//! boundaries into one event list, and produce all K result vectors from
+//! a **single left-to-right scan** of the `post`/`kind` columns. Per
+//! query, the visited positions, pushes, and skip decisions are exactly
+//! those of the sequential join ([`crate::descendant`] /
+//! [`crate::ancestor`]) — results are bit-identical — but a plane
+//! position shared by several partitions is *read once*.
+//!
+//! Consequently the returned [`StepStats`] count **incremental** cost:
+//! each position touched by the scan is attributed to the first query
+//! that needed it, so the per-query `nodes_touched()` values sum to the
+//! number of physical reads. For overlapping contexts (the common case —
+//! e.g. every query starting at the document root) that sum is strictly
+//! below the sum of K sequential runs. Queries whose context is
+//! *identical* to an earlier query's are recognised up front and share
+//! the earlier result outright (one `memcpy`, zero touches).
+//!
+//! [`Scratch`] is the companion buffer pool: repeated batches reuse
+//! result and context allocations instead of paying `Vec::new()` plus
+//! regrowth per step.
+
+use staircase_accel::{Context, Doc, NodeKind, Pre};
+
+use crate::anc::ancestor_partitions;
+use crate::desc::descendant_partitions;
+use crate::prune::{prune_ancestor_into, prune_descendant_into};
+use crate::stats::StepStats;
+use crate::Variant;
+
+/// A pool of `Vec<Pre>` buffers recycled across batch joins and steps.
+///
+/// Every result vector and pruned-context list a batch join needs is
+/// [taken](Scratch::take) from the pool and — once its contents are no
+/// longer needed — [put back](Scratch::put). A long-lived evaluator
+/// reaches a steady state where no step allocates.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    pool: Vec<Vec<Pre>>,
+}
+
+/// Upper bound on pooled buffers; beyond this, returned buffers are
+/// dropped so a one-off huge batch cannot pin memory forever.
+const MAX_POOLED: usize = 64;
+
+impl Scratch {
+    /// An empty pool.
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
+
+    /// Hands out a cleared buffer, reusing a pooled allocation when one
+    /// is available.
+    pub fn take(&mut self) -> Vec<Pre> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool (its contents are discarded).
+    pub fn put(&mut self, mut buf: Vec<Pre>) {
+        buf.clear();
+        if self.pool.len() < MAX_POOLED && buf.capacity() > 0 {
+            self.pool.push(buf);
+        }
+    }
+
+    /// Recycles a no-longer-needed node sequence's allocation.
+    pub fn recycle(&mut self, ctx: Context) {
+        self.put(ctx.into_vec());
+    }
+
+    /// How many buffers are currently pooled (for tests and metrics).
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+/// Evaluates `contexts[k]/descendant::node()` for every `k` with **one**
+/// scan of the plane.
+///
+/// Equivalent, query by query, to K calls of [`crate::descendant`]
+/// (asserted by tests); see the [module docs](self) for the shared-cost
+/// statistics contract.
+pub fn descendant_many(
+    doc: &Doc,
+    contexts: &[&Context],
+    variant: Variant,
+    scratch: &mut Scratch,
+) -> Vec<(Context, StepStats)> {
+    shared_pass(
+        doc,
+        contexts,
+        scratch,
+        prune_descendant_into,
+        |doc, lanes| match lanes {
+            // One unique context (e.g. every query starts at the root):
+            // the sequential join's tight loops are strictly faster than
+            // the merged scan, and the single pass serves everyone.
+            [lane] => descendant_partitions(
+                doc,
+                &lane.steps,
+                doc.len() as Pre,
+                variant,
+                &mut lane.result,
+                &mut lane.stats,
+            ),
+            _ => descendant_scan(doc, lanes, variant),
+        },
+    )
+}
+
+/// Evaluates `contexts[k]/ancestor::node()` for every `k` with **one**
+/// scan of the plane; the multi-query twin of [`crate::ancestor`].
+pub fn ancestor_many(
+    doc: &Doc,
+    contexts: &[&Context],
+    variant: Variant,
+    scratch: &mut Scratch,
+) -> Vec<(Context, StepStats)> {
+    shared_pass(
+        doc,
+        contexts,
+        scratch,
+        prune_ancestor_into,
+        |doc, lanes| match lanes {
+            [lane] => ancestor_partitions(
+                doc,
+                &lane.steps,
+                0,
+                variant,
+                &mut lane.result,
+                &mut lane.stats,
+            ),
+            _ => ancestor_scan(doc, lanes, variant),
+        },
+    )
+}
+
+/// One query's slice of the shared scan.
+struct Lane {
+    /// Pruned staircase steps (partition boundaries), from the pool.
+    steps: Vec<Pre>,
+    /// Index of the next boundary not yet passed.
+    next: usize,
+    /// Pre rank of the currently open step (descendant scan).
+    cur: Pre,
+    /// Staircase boundary of the current partition (a postorder rank).
+    bound: u32,
+    /// Last position of the current copy phase, inclusive (descendant
+    /// estimation skipping); positions `≤ cur` mean "no copy phase".
+    copy_end: Pre,
+    /// Descendant scan: `false` once skipping proved the rest of the
+    /// partition empty. Ancestor scan: positions below `wake` are inside
+    /// a jumped-over subtree block.
+    awake: bool,
+    /// First position the ancestor scan may inspect again after a jump.
+    wake: Pre,
+    /// `true` while a partition is open (descendant scan).
+    open: bool,
+    /// This lane's result, from the pool.
+    result: Vec<Pre>,
+    /// This lane's (incremental) statistics.
+    stats: StepStats,
+}
+
+/// Dedups identical contexts, prunes each unique one, runs `scan` over
+/// the unique lanes, and maps results back to the callers' order.
+fn shared_pass(
+    doc: &Doc,
+    contexts: &[&Context],
+    scratch: &mut Scratch,
+    prune: impl Fn(&Doc, &Context, &mut Vec<Pre>),
+    scan: impl FnOnce(&Doc, &mut [Lane]),
+) -> Vec<(Context, StepStats)> {
+    let k = contexts.len();
+    // rep[i] = first index whose context is identical to contexts[i].
+    let mut rep: Vec<usize> = (0..k).collect();
+    for i in 0..k {
+        for j in 0..i {
+            if rep[j] == j && contexts[j].as_slice() == contexts[i].as_slice() {
+                rep[i] = j;
+                break;
+            }
+        }
+    }
+
+    // One lane per unique context; lane_of[i] = its lane index (unique
+    // queries only).
+    let mut lane_of = vec![usize::MAX; k];
+    let mut lanes: Vec<Lane> = Vec::new();
+    for i in 0..k {
+        if rep[i] != i {
+            continue;
+        }
+        lane_of[i] = lanes.len();
+        let mut steps = scratch.take();
+        prune(doc, contexts[i], &mut steps);
+        lanes.push(Lane {
+            next: 0,
+            cur: Pre::MAX,
+            bound: 0,
+            copy_end: 0,
+            awake: false,
+            wake: 0,
+            open: false,
+            result: scratch.take(),
+            stats: StepStats {
+                context_in: contexts[i].len(),
+                context_out: steps.len(),
+                ..Default::default()
+            },
+            steps,
+        });
+    }
+
+    scan(doc, &mut lanes);
+
+    // Hand pruned-step buffers back; results leave the pool as Contexts
+    // (their allocations come back via `Scratch::recycle` once the
+    // caller is done with them).
+    let mut finished: Vec<Option<(Context, StepStats)>> = lanes
+        .into_iter()
+        .map(|mut lane| {
+            lane.stats.result_size = lane.result.len();
+            scratch.put(std::mem::take(&mut lane.steps));
+            Some((Context::from_sorted(lane.result), lane.stats))
+        })
+        .collect();
+
+    // Duplicates clone from their (still pooled) representative first;
+    // representatives are then moved out without copying.
+    let mut out: Vec<Option<(Context, StepStats)>> = (0..k).map(|_| None).collect();
+    for i in 0..k {
+        if rep[i] == i {
+            continue;
+        }
+        // Shared with an earlier identical context: copy the result,
+        // report zero incremental touches.
+        let (ctx, st) = finished[lane_of[rep[i]]]
+            .as_ref()
+            .expect("representatives are moved out after duplicates resolve");
+        let shared = StepStats {
+            context_in: st.context_in,
+            context_out: st.context_out,
+            result_size: st.result_size,
+            partitions: st.partitions,
+            ..Default::default()
+        };
+        out[i] = Some((ctx.clone(), shared));
+    }
+    for i in 0..k {
+        if rep[i] == i {
+            out[i] = finished[lane_of[i]].take();
+        }
+    }
+    out.into_iter()
+        .map(|o| o.expect("every query resolved to a lane or a duplicate"))
+        .collect()
+}
+
+/// Merges every lane's pruned steps into one interleaved boundary list:
+/// `(pre, lane)` pairs in plane order.
+fn merged_boundaries(lanes: &[Lane]) -> Vec<(Pre, u32)> {
+    let total: usize = lanes.iter().map(|l| l.steps.len()).sum();
+    let mut events = Vec::with_capacity(total);
+    for (i, lane) in lanes.iter().enumerate() {
+        events.extend(lane.steps.iter().map(|&c| (c, i as u32)));
+    }
+    events.sort_unstable();
+    events
+}
+
+/// The merged descendant scan: left to right over the plane, opening
+/// each lane's partitions at its own boundaries, copying/scanning/
+/// sleeping per lane exactly as the sequential join would. An active
+/// list keeps per-position work proportional to the lanes that actually
+/// need the position; regions nobody needs are leapfrogged.
+fn descendant_scan(doc: &Doc, lanes: &mut [Lane], variant: Variant) {
+    let post = doc.post_column();
+    let kind = doc.kind_column();
+    let attr = NodeKind::Attribute as u8;
+    let n = doc.len() as Pre;
+
+    // Pre-size results from the Equation-1 guaranteed-descendant counts.
+    for lane in lanes.iter_mut() {
+        lane.result.reserve(crate::desc::guaranteed_result_estimate(
+            post,
+            &lane.steps,
+            n,
+        ));
+    }
+
+    let events = merged_boundaries(lanes);
+    let mut ei = 0usize;
+    let mut active: Vec<u32> = Vec::with_capacity(lanes.len());
+    let Some(&(mut v, _)) = events.first() else {
+        return; // every context pruned to nothing
+    };
+    while v < n {
+        // Phase 1: boundaries at v open a fresh partition for their lane.
+        while ei < events.len() && events[ei].0 == v {
+            let li = events[ei].1;
+            ei += 1;
+            let lane = &mut lanes[li as usize];
+            lane.stats.partitions += 1;
+            lane.cur = v;
+            lane.bound = post[v as usize];
+            lane.next += 1;
+            let part_end = lane.steps.get(lane.next).copied().unwrap_or(n);
+            lane.copy_end = match variant {
+                Variant::EstimationSkipping => lane.bound.min(part_end.saturating_sub(1)),
+                _ => v,
+            };
+            if !(lane.open && lane.awake) {
+                lane.open = true;
+                lane.awake = true;
+                active.push(li);
+            }
+        }
+        if active.is_empty() {
+            // Nobody needs the region ahead: leapfrog to the next
+            // boundary event (every sleeping lane wakes at its own).
+            match events.get(ei) {
+                Some(&(next_v, _)) => {
+                    debug_assert!(next_v > v);
+                    v = next_v;
+                    continue;
+                }
+                None => break,
+            }
+        }
+        // Phase 2: every active lane whose partition was open before v
+        // inspects position v. The position is physically read at most
+        // once; the read is attributed to the first lane that needed it.
+        let mut touch: Option<(u32, bool)> = None;
+        let mut ai = 0usize;
+        while ai < active.len() {
+            let li = active[ai];
+            let lane = &mut lanes[li as usize];
+            if lane.cur == v {
+                ai += 1; // opened at v; its scan starts at v + 1
+                continue;
+            }
+            if v <= lane.copy_end {
+                // Copy phase: a guaranteed descendant, no comparison.
+                if touch.is_none() {
+                    touch = Some((li, true));
+                }
+                if kind[v as usize] != attr {
+                    lane.result.push(v);
+                }
+                ai += 1;
+            } else {
+                if touch.is_none() {
+                    touch = Some((li, false));
+                }
+                if post[v as usize] < lane.bound {
+                    if kind[v as usize] != attr {
+                        lane.result.push(v);
+                    }
+                    ai += 1;
+                } else if variant != Variant::Basic {
+                    // First miss: the rest of this lane's partition is a
+                    // provably empty Z-region. Sleep until the lane's own
+                    // next boundary (where phase 1 reopens it).
+                    let part_end = lane.steps.get(lane.next).copied().unwrap_or(n);
+                    lane.stats.nodes_skipped += u64::from(part_end - v - 1);
+                    lane.awake = false;
+                    active.swap_remove(ai);
+                } else {
+                    ai += 1;
+                }
+            }
+        }
+        match touch {
+            Some((li, true)) => lanes[li as usize].stats.nodes_copied += 1,
+            Some((li, false)) => lanes[li as usize].stats.nodes_scanned += 1,
+            None => {}
+        }
+        v += 1;
+    }
+}
+
+/// The merged ancestor scan: partitions *end* at each lane's boundaries;
+/// subtree jumps (§3.3 / Equation 1) move a lane from the active to the
+/// sleeping list until its wake position.
+fn ancestor_scan(doc: &Doc, lanes: &mut [Lane], variant: Variant) {
+    let post = doc.post_column();
+    let kind = doc.kind_column();
+    let attr = NodeKind::Attribute as u8;
+
+    let events = merged_boundaries(lanes);
+    let mut ei = 0usize;
+    let mut active: Vec<u32> = Vec::with_capacity(lanes.len());
+    let mut sleeping: Vec<u32> = Vec::new();
+    for (i, lane) in lanes.iter_mut().enumerate() {
+        if !lane.steps.is_empty() {
+            lane.stats.partitions = lane.steps.len();
+            lane.bound = post[lane.steps[0] as usize];
+            active.push(i as u32);
+        }
+    }
+
+    let mut v: Pre = 0;
+    // Earliest wake position among sleepers: the sleeping list is only
+    // scanned when someone can actually rejoin.
+    let mut min_wake: Pre = Pre::MAX;
+    loop {
+        // Sleepers whose jumped-over block ends here rejoin the scan
+        // (jumps never overshoot the lane's own boundary, so a sleeping
+        // lane is always back before its partition closes).
+        if min_wake <= v {
+            min_wake = Pre::MAX;
+            let mut si = 0usize;
+            while si < sleeping.len() {
+                let li = sleeping[si];
+                let wake = lanes[li as usize].wake;
+                if wake <= v {
+                    active.push(li);
+                    sleeping.swap_remove(si);
+                } else {
+                    min_wake = min_wake.min(wake);
+                    si += 1;
+                }
+            }
+        }
+        // Boundaries at v close their lane's partition; v itself is a
+        // context node (never a candidate — pruning left no step that is
+        // an ancestor of another).
+        while ei < events.len() && events[ei].0 == v {
+            let li = events[ei].1;
+            ei += 1;
+            let lane = &mut lanes[li as usize];
+            lane.next += 1;
+            lane.cur = v; // do not scan the boundary position itself
+            match lane.steps.get(lane.next) {
+                Some(&c2) => lane.bound = post[c2 as usize],
+                None => {
+                    // Last partition closed: the lane is done.
+                    if let Some(pos) = active.iter().position(|&a| a == li) {
+                        active.swap_remove(pos);
+                    }
+                }
+            }
+        }
+        if active.is_empty() {
+            if sleeping.is_empty() {
+                break; // every lane finished
+            }
+            // Leapfrog to the earliest wake position (always ahead, and
+            // always at or before that lane's next boundary event).
+            debug_assert!(min_wake > v);
+            v = min_wake;
+            continue;
+        }
+        // Scan position v for every active lane; one physical read,
+        // attributed to the first lane that needed it.
+        let post_v = post[v as usize];
+        let is_attr = kind[v as usize] == attr;
+        let mut touch: Option<u32> = None;
+        let mut ai = 0usize;
+        while ai < active.len() {
+            let li = active[ai];
+            let lane = &mut lanes[li as usize];
+            if lane.cur == v {
+                ai += 1; // this lane's boundary: next partition starts at v + 1
+                continue;
+            }
+            if touch.is_none() {
+                touch = Some(li);
+            }
+            if post_v > lane.bound {
+                if !is_attr {
+                    lane.result.push(v);
+                }
+                ai += 1;
+            } else if variant != Variant::Basic {
+                // v (and its whole subtree) precedes c: jump the
+                // guaranteed block, underestimating by ≤ h (§3.3).
+                let c = lane.steps[lane.next];
+                let jump = post_v.saturating_sub(v).min(c - v - 1);
+                lane.stats.nodes_skipped += u64::from(jump);
+                if jump > 0 {
+                    lane.wake = v + 1 + jump;
+                    min_wake = min_wake.min(lane.wake);
+                    sleeping.push(li);
+                    active.swap_remove(ai);
+                } else {
+                    ai += 1;
+                }
+            } else {
+                ai += 1;
+            }
+        }
+        if let Some(li) = touch {
+            lanes[li as usize].stats.nodes_scanned += 1;
+        }
+        v += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{figure1, random_context, random_doc};
+    use crate::{ancestor, descendant};
+
+    const ALL: [Variant; 3] = [
+        Variant::Basic,
+        Variant::Skipping,
+        Variant::EstimationSkipping,
+    ];
+
+    fn contexts_for(doc: &Doc, seed: u64, k: usize) -> Vec<Context> {
+        (0..k)
+            .map(|i| random_context(doc, seed ^ (i as u64).wrapping_mul(0x9E37), 20))
+            .collect()
+    }
+
+    #[test]
+    fn descendant_many_matches_sequential_per_query() {
+        for seed in 0..15 {
+            let doc = random_doc(seed, 400);
+            let ctxs = contexts_for(&doc, seed ^ 0xBA7C4, 6);
+            let refs: Vec<&Context> = ctxs.iter().collect();
+            for variant in ALL {
+                let mut scratch = Scratch::new();
+                let batch = descendant_many(&doc, &refs, variant, &mut scratch);
+                for (i, (got, stats)) in batch.iter().enumerate() {
+                    let (want, wstats) = descendant(&doc, &ctxs[i], variant);
+                    assert_eq!(got, &want, "seed {seed}, query {i}, {variant:?}");
+                    assert_eq!(stats.result_size, wstats.result_size);
+                    assert_eq!(stats.context_in, wstats.context_in);
+                    assert_eq!(stats.context_out, wstats.context_out);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_many_matches_sequential_per_query() {
+        for seed in 0..15 {
+            let doc = random_doc(seed, 400);
+            let ctxs = contexts_for(&doc, seed ^ 0xA2C57, 6);
+            let refs: Vec<&Context> = ctxs.iter().collect();
+            for variant in ALL {
+                let mut scratch = Scratch::new();
+                let batch = ancestor_many(&doc, &refs, variant, &mut scratch);
+                for (i, (got, stats)) in batch.iter().enumerate() {
+                    let (want, wstats) = ancestor(&doc, &ctxs[i], variant);
+                    assert_eq!(got, &want, "seed {seed}, query {i}, {variant:?}");
+                    assert_eq!(stats.result_size, wstats.result_size);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_never_touches_more_than_sequential() {
+        for seed in 0..10 {
+            let doc = random_doc(seed, 600);
+            let ctxs = contexts_for(&doc, seed ^ 0x70C4ED, 8);
+            let refs: Vec<&Context> = ctxs.iter().collect();
+            for variant in ALL {
+                let mut scratch = Scratch::new();
+                let batch: u64 = descendant_many(&doc, &refs, variant, &mut scratch)
+                    .iter()
+                    .map(|(_, s)| s.nodes_touched())
+                    .sum();
+                let sequential: u64 = ctxs
+                    .iter()
+                    .map(|c| descendant(&doc, c, variant).1.nodes_touched())
+                    .sum();
+                assert!(
+                    batch <= sequential,
+                    "seed {seed}, {variant:?}: batch {batch} > sequential {sequential}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_contexts_share_one_pass() {
+        let doc = random_doc(7, 2000);
+        let root = Context::singleton(doc.root());
+        let refs: Vec<&Context> = (0..8).map(|_| &root).collect();
+        let mut scratch = Scratch::new();
+        let batch = descendant_many(&doc, &refs, Variant::EstimationSkipping, &mut scratch);
+        let (expected, seq_stats) = descendant(&doc, &root, Variant::EstimationSkipping);
+        let total: u64 = batch.iter().map(|(_, s)| s.nodes_touched()).sum();
+        // One physical pass serves all eight queries.
+        assert_eq!(total, seq_stats.nodes_touched());
+        assert!(total < 8 * seq_stats.nodes_touched());
+        for (got, stats) in &batch {
+            assert_eq!(got, &expected);
+            assert_eq!(stats.result_size, expected.len());
+        }
+        // Exactly one lane did the work.
+        assert_eq!(
+            batch.iter().filter(|(_, s)| s.nodes_touched() > 0).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn overlapping_contexts_touch_strictly_less() {
+        // Distinct contexts sharing most of their regions: nested chains.
+        let doc = figure1();
+        let a = Context::from_unsorted(vec![0]); // root: covers everything
+        let b = Context::from_unsorted(vec![0, 4]); // prunes to root too? no: 4 inside 0 → pruned to [0]
+        let c = Context::from_unsorted(vec![1, 4]); // b, e — disjoint from each other, inside root's region
+        let refs: Vec<&Context> = vec![&a, &b, &c];
+        let mut scratch = Scratch::new();
+        for variant in ALL {
+            let batch = descendant_many(&doc, &refs, variant, &mut scratch);
+            let batch_total: u64 = batch.iter().map(|(_, s)| s.nodes_touched()).sum();
+            let seq_total: u64 = [&a, &b, &c]
+                .iter()
+                .map(|ctx| descendant(&doc, ctx, variant).1.nodes_touched())
+                .sum();
+            assert!(
+                batch_total < seq_total,
+                "{variant:?}: {batch_total} !< {seq_total}"
+            );
+            for (i, ctx) in refs.iter().enumerate() {
+                assert_eq!(batch[i].0, descendant(&doc, ctx, variant).0, "{variant:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_many_shares_deep_chains() {
+        // Deep contexts in the same subtree share long ancestor prefixes.
+        let doc = random_doc(3, 2000);
+        let max_level = doc.pres().map(|p| doc.level(p)).max().unwrap();
+        let deep: Vec<Pre> = doc.pres().filter(|&p| doc.level(p) == max_level).collect();
+        let ctxs: Vec<Context> = deep.iter().map(|&p| Context::singleton(p)).collect();
+        let refs: Vec<&Context> = ctxs.iter().collect();
+        let mut scratch = Scratch::new();
+        let batch = ancestor_many(&doc, &refs, Variant::Skipping, &mut scratch);
+        let mut seq_total = 0u64;
+        for (i, ctx) in ctxs.iter().enumerate() {
+            let (want, st) = ancestor(&doc, ctx, Variant::Skipping);
+            assert_eq!(batch[i].0, want, "query {i}");
+            seq_total += st.nodes_touched();
+        }
+        let batch_total: u64 = batch.iter().map(|(_, s)| s.nodes_touched()).sum();
+        if ctxs.len() > 1 {
+            assert!(
+                batch_total < seq_total,
+                "batch {batch_total} !< sequential {seq_total}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_mixed_contexts() {
+        let doc = figure1();
+        let empty = Context::empty();
+        let leaf = Context::singleton(2); // c: a leaf
+        let refs: Vec<&Context> = vec![&empty, &leaf, &empty];
+        let mut scratch = Scratch::new();
+        for variant in ALL {
+            let d = descendant_many(&doc, &refs, variant, &mut scratch);
+            assert!(d[0].0.is_empty());
+            assert_eq!(d[1].0, descendant(&doc, &leaf, variant).0);
+            assert!(d[2].0.is_empty());
+            let a = ancestor_many(&doc, &refs, variant, &mut scratch);
+            assert!(a[0].0.is_empty());
+            assert_eq!(a[1].0, ancestor(&doc, &leaf, variant).0);
+        }
+        let none: Vec<&Context> = Vec::new();
+        assert!(descendant_many(&doc, &none, Variant::Basic, &mut scratch).is_empty());
+    }
+
+    #[test]
+    fn scratch_reuses_buffers() {
+        let mut scratch = Scratch::new();
+        let mut buf = scratch.take();
+        buf.extend([1, 2, 3]);
+        let cap = buf.capacity();
+        scratch.put(buf);
+        assert_eq!(scratch.pooled(), 1);
+        let again = scratch.take();
+        assert!(again.is_empty());
+        assert_eq!(again.capacity(), cap, "allocation reused");
+        scratch.recycle(Context::from_sorted(vec![4, 5]));
+        assert_eq!(scratch.pooled(), 1);
+
+        // Joins drain and refill the pool rather than allocating afresh.
+        let doc = random_doc(11, 300);
+        let ctx = random_context(&doc, 0x5C2A7C4, 10);
+        let refs: Vec<&Context> = vec![&ctx];
+        let out = descendant_many(&doc, &refs, Variant::EstimationSkipping, &mut scratch);
+        assert!(scratch.pooled() >= 1, "pruned-step buffer returned");
+        for (c, _) in out {
+            scratch.recycle(c);
+        }
+        assert!(scratch.pooled() >= 2, "result buffer recycled");
+    }
+}

@@ -81,6 +81,23 @@ pub fn descendant_fused(doc: &Doc, context: &Context, variant: Variant) -> (Cont
     (Context::from_sorted(result), stats)
 }
 
+/// Equation-1 pre-sizing: the first `post(c) − pre(c)` nodes after each
+/// step are guaranteed descendants, so their sum over a pruned step
+/// slice (whose last partition ends at `end`, exclusive) is a tight
+/// lower bound on the join's result size — exact up to attribute
+/// filtering and the ≤ h scan-phase nodes per partition. Shared by the
+/// sequential and the batched descendant joins.
+pub(crate) fn guaranteed_result_estimate(post: &[u32], steps: &[Pre], end: Pre) -> usize {
+    steps
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            let part_end = steps.get(i + 1).copied().unwrap_or(end);
+            post[c as usize].saturating_sub(c).min(part_end - c - 1) as usize
+        })
+        .sum()
+}
+
 /// Evaluates the partitions induced by `steps` (a pruned, staircase-shaped
 /// context slice); the last partition ends at `end` (exclusive). Factored
 /// out so the parallel join can hand each worker a chunk of steps.
@@ -95,6 +112,8 @@ pub(crate) fn descendant_partitions(
     let post = doc.post_column();
     let kind = doc.kind_column();
     let attr = NodeKind::Attribute as u8;
+
+    result.reserve(guaranteed_result_estimate(post, steps, end));
 
     for (i, &c) in steps.iter().enumerate() {
         let part_end = steps.get(i + 1).copied().unwrap_or(end);

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod anc;
+mod batch;
 mod desc;
 mod exists;
 mod horiz;
@@ -62,12 +63,16 @@ mod prune;
 mod stats;
 
 pub use anc::ancestor;
+pub use batch::{ancestor_many, descendant_many, Scratch};
 pub use desc::{descendant, descendant_fused};
 pub use exists::{has_ancestor_in, has_child_in, has_descendant_in};
 pub use horiz::{following, preceding};
 pub use list::{ancestor_on_list, descendant_on_list, TagIndex};
 pub use parallel::{ancestor_parallel, descendant_parallel};
-pub use prune::{prune, prune_ancestor, prune_descendant, prune_following, prune_preceding};
+pub use prune::{
+    prune, prune_ancestor, prune_ancestor_into, prune_descendant, prune_descendant_into,
+    prune_following, prune_preceding,
+};
 pub use stats::StepStats;
 
 use staircase_accel::{Axis, Context, Doc};
@@ -130,29 +135,7 @@ pub fn try_axis_step(
     }
 }
 
-/// Panicking twin of [`try_axis_step`], kept for source compatibility.
-///
-/// # Panics
-///
-/// Panics if `axis` is not a partitioning axis.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `try_axis_step`, which reports unsupported axes as a typed error \
-            instead of panicking"
-)]
-pub fn axis_step(
-    doc: &Doc,
-    context: &Context,
-    axis: Axis,
-    variant: Variant,
-) -> (Context, StepStats) {
-    match try_axis_step(doc, context, axis, variant) {
-        Ok(out) => out,
-        Err(e) => panic!("{e}"),
-    }
-}
-
-/// `true` if [`axis_step`] accepts `axis`.
+/// `true` if [`try_axis_step`] accepts `axis`.
 pub fn axis_is_supported(axis: Axis) -> bool {
     axis.is_partitioning()
 }
@@ -261,14 +244,6 @@ mod tests {
         let doc = figure1();
         let err = try_axis_step(&doc, &Context::singleton(0), Axis::Child, Variant::Basic);
         assert_eq!(err.unwrap_err(), UnsupportedAxis(Axis::Child));
-    }
-
-    #[test]
-    #[should_panic(expected = "partitioning axes")]
-    fn deprecated_axis_step_still_panics() {
-        let doc = figure1();
-        #[allow(deprecated)]
-        axis_step(&doc, &Context::singleton(0), Axis::Child, Variant::Basic);
     }
 
     #[test]

@@ -39,15 +39,22 @@ pub fn prune(doc: &Doc, context: &Context, axis: Axis) -> Context {
 /// kept node's subtree, so their descendant regions are covered.
 pub fn prune_descendant(doc: &Doc, context: &Context) -> Context {
     let mut result: Vec<Pre> = Vec::with_capacity(context.len());
+    prune_descendant_into(doc, context, &mut result);
+    Context::from_sorted(result)
+}
+
+/// [`prune_descendant`] into a caller-provided buffer (cleared first), so
+/// batch evaluation can reuse allocations across steps.
+pub fn prune_descendant_into(doc: &Doc, context: &Context, out: &mut Vec<Pre>) {
+    out.clear();
     let mut prev: Option<u32> = None;
     for c in context.iter() {
         let post = doc.post(c);
         if prev.is_none_or(|p| post > p) {
-            result.push(c);
+            out.push(c);
             prev = Some(post);
         }
     }
-    Context::from_sorted(result)
 }
 
 /// `ancestor` pruning: keeps the deepest node of every ancestor chain in
@@ -55,21 +62,28 @@ pub fn prune_descendant(doc: &Doc, context: &Context) -> Context {
 /// context node lies in its subtree; one look-ahead suffices because the
 /// context is pre-sorted.
 pub fn prune_ancestor(doc: &Doc, context: &Context) -> Context {
+    let mut result: Vec<Pre> = Vec::with_capacity(context.len());
+    prune_ancestor_into(doc, context, &mut result);
+    Context::from_sorted(result)
+}
+
+/// [`prune_ancestor`] into a caller-provided buffer (cleared first), so
+/// batch evaluation can reuse allocations across steps.
+pub fn prune_ancestor_into(doc: &Doc, context: &Context, out: &mut Vec<Pre>) {
+    out.clear();
     let slice = context.as_slice();
-    let mut result: Vec<Pre> = Vec::with_capacity(slice.len());
     for (i, &c) in slice.iter().enumerate() {
         match slice.get(i + 1) {
             // post(next) < post(c) together with pre(next) > pre(c) means
             // `next` descends from `c`: c's ancestors ⊂ next's ancestors.
             Some(&next) => {
                 if doc.post(next) > doc.post(c) {
-                    result.push(c);
+                    out.push(c);
                 }
             }
-            None => result.push(c),
+            None => out.push(c),
         }
     }
-    Context::from_sorted(result)
 }
 
 /// `following` pruning: the whole context collapses to the node with the

@@ -17,7 +17,7 @@
 const NODE_CAPACITY: usize = 64;
 
 /// A read-only B+-tree mapping `K` to `V`.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct BPlusTree<K, V> {
     /// Leaf storage: keys and values, concatenated leaf by leaf.
     keys: Vec<K>,
@@ -26,9 +26,22 @@ pub struct BPlusTree<K, V> {
     /// stores the *first key* of every node of the level below.
     levels: Vec<Vec<K>>,
     /// Counts how many leaf/inner nodes were inspected by queries; reported
-    /// by the baseline experiments as "index pages touched".
+    /// by the baseline experiments as "index pages touched". Atomic so a
+    /// read-only tree can be shared across threads (sessions are `Sync`).
     #[doc(hidden)]
-    pub nodes_touched: std::cell::Cell<u64>,
+    pub nodes_touched: std::sync::atomic::AtomicU64,
+}
+
+impl<K: Clone, V: Clone> Clone for BPlusTree<K, V> {
+    /// Clones the index data; the touched-node counter starts fresh.
+    fn clone(&self) -> Self {
+        BPlusTree {
+            keys: self.keys.clone(),
+            values: self.values.clone(),
+            levels: self.levels.clone(),
+            nodes_touched: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
 }
 
 impl<K: Ord + Copy, V: Copy> BPlusTree<K, V> {
@@ -54,7 +67,7 @@ impl<K: Ord + Copy, V: Copy> BPlusTree<K, V> {
             keys,
             values,
             levels,
-            nodes_touched: std::cell::Cell::new(0),
+            nodes_touched: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -78,17 +91,20 @@ impl<K: Ord + Copy, V: Copy> BPlusTree<K, V> {
     }
 
     fn touch(&self, n: u64) {
-        self.nodes_touched.set(self.nodes_touched.get() + n);
+        self.nodes_touched
+            .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Resets the touched-node statistic.
     pub fn reset_stats(&self) {
-        self.nodes_touched.set(0);
+        self.nodes_touched
+            .store(0, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Nodes inspected since the last [`reset_stats`](Self::reset_stats).
     pub fn stats(&self) -> u64 {
-        self.nodes_touched.get()
+        self.nodes_touched
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Index of the first pair with key `>= key`, via root-to-leaf descent.

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! xq <XPATH> [FILE]                 query FILE (or stdin)
+//! xq --query-file <QF> [FILE]      run a whole batch (one XPath per
+//!                                  line) in one shared pass
 //! xq --encode <FILE> <OUT.scj>     encode an XML file to the binary plane
 //! xq <XPATH> --encoded <FILE.scj>  query a pre-encoded document
 //!
@@ -9,6 +11,7 @@
 //!   --engine staircase|pushdown|fragmented|parallel|naive|sql
 //!   --variant basic|skipping|estimation   staircase skipping refinement
 //!   --threads N      worker threads (implies the parallel engine)
+//!   --warm           build all auxiliary structures eagerly, in parallel
 //!   --count          print only the number of matching nodes
 //!   --stats          print per-step statistics to stderr
 //! ```
@@ -23,7 +26,14 @@
 //! xq --encode auctions.xml auctions.scj
 //! xq '/descendant::increase/ancestor::bidder' --encoded auctions.scj --stats
 //! xq '//bidder' auctions.xml --engine parallel --threads 8 --variant skipping
+//! xq --query-file queries.txt auctions.xml --warm --count
 //! ```
+//!
+//! A query file holds one expression per line; blank lines and lines
+//! starting with `#` are ignored. The batch is answered through
+//! `Session::run_many`, so queries whose `descendant`/`ancestor` steps
+//! line up share single scans of the plane instead of rescanning per
+//! query.
 
 use std::io::Read;
 use std::process::exit;
@@ -36,19 +46,23 @@ const EXIT_IO: i32 = 4;
 
 struct Options {
     query: Option<String>,
+    query_file: Option<String>,
     file: Option<String>,
     encoded: Option<String>,
     encode_to: Option<(String, String)>,
     engine_name: String,
     variant: Option<Variant>,
     threads: Option<usize>,
+    warm: bool,
     count_only: bool,
     stats: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: xq <XPATH> [FILE] [--engine E] [--variant V] [--threads N] [--count] [--stats]\n\
+        "usage: xq <XPATH> [FILE] [--engine E] [--variant V] [--threads N] [--warm] [--count] \
+         [--stats]\n\
+         \u{20}      xq --query-file <QF> [FILE]   (one XPath per line, batched)\n\
          \u{20}      xq --encode <FILE> <OUT.scj>\n\
          \u{20}      xq <XPATH> --encoded <FILE.scj>\n\
          engines:  staircase (default) | pushdown | fragmented | parallel | naive | sql\n\
@@ -78,12 +92,14 @@ fn fail(context: &str, err: Error) -> ! {
 fn parse_args() -> Options {
     let mut opts = Options {
         query: None,
+        query_file: None,
         file: None,
         encoded: None,
         encode_to: None,
         engine_name: "staircase".to_string(),
         variant: None,
         threads: None,
+        warm: false,
         count_only: false,
         stats: false,
     };
@@ -96,6 +112,8 @@ fn parse_args() -> Options {
                 opts.encode_to = Some((src, dst));
             }
             "--encoded" => opts.encoded = Some(args.next().unwrap_or_else(|| usage())),
+            "--query-file" => opts.query_file = Some(args.next().unwrap_or_else(|| usage())),
+            "--warm" => opts.warm = true,
             "--engine" => {
                 let name = args.next().unwrap_or_else(|| usage());
                 match name.as_str() {
@@ -123,10 +141,22 @@ fn parse_args() -> Options {
             "--count" => opts.count_only = true,
             "--stats" => opts.stats = true,
             "--help" | "-h" => usage(),
-            other if opts.query.is_none() => opts.query = Some(other.to_string()),
+            other if opts.query.is_none() && opts.query_file.is_none() => {
+                opts.query = Some(other.to_string())
+            }
             other if opts.file.is_none() => opts.file = Some(other.to_string()),
             _ => usage(),
         }
+    }
+    // `xq sample.xml --query-file qf.txt`: the positional argument seen
+    // before --query-file is the document, not a query.
+    if opts.query_file.is_some() && opts.file.is_none() {
+        opts.file = opts.query.take();
+    }
+    // An inline query *and* a query file is ambiguous — reject instead
+    // of silently dropping one.
+    if opts.query_file.is_some() && opts.query.is_some() {
+        usage();
     }
     opts
 }
@@ -207,9 +237,9 @@ fn main() {
         return;
     }
 
-    let Some(query_text) = &opts.query else {
-        usage()
-    };
+    if opts.query.is_none() && opts.query_file.is_none() {
+        usage();
+    }
     let engine = build_engine(&opts).unwrap_or_else(|e| fail("", e));
 
     // Document acquisition: pre-encoded plane, file, or stdin.
@@ -225,19 +255,46 @@ fn main() {
         Session::parse_xml(&buf).unwrap_or_else(|e| fail("stdin", e))
     };
 
+    if opts.warm {
+        session.warm();
+    }
+
+    // Batch mode: every expression in the query file, one shared pass.
+    if let Some(path) = &opts.query_file {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(path, e.into()));
+        let exprs: Vec<&str> = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .collect();
+        let queries: Vec<_> = exprs
+            .iter()
+            .map(|e| session.prepare(e).unwrap_or_else(|err| fail(e, err)))
+            .collect();
+        let refs: Vec<&_> = queries.iter().collect();
+        let outputs = session.run_many(&refs, engine);
+        for (query, out) in queries.iter().zip(&outputs) {
+            if opts.stats {
+                print_stats(out);
+            }
+            if opts.count_only {
+                println!("{:>8}  {}", out.len(), query.text());
+            } else {
+                println!("# {}", query.text());
+                for v in out {
+                    println!("pre {:>8}  {}", v, render_node(session.doc(), v));
+                }
+            }
+        }
+        return;
+    }
+
+    let query_text = opts.query.as_deref().unwrap_or_else(|| usage());
     let query = session.prepare(query_text).unwrap_or_else(|e| fail("", e));
     let out = query.run(engine);
 
     if opts.stats {
-        for s in &out.stats().steps {
-            eprintln!(
-                "step {:<40} result {:>8}  touched {:>10}  duplicates {:>8}",
-                s.step,
-                s.result_size,
-                s.nodes_touched,
-                s.tuples_produced.saturating_sub(s.result_size as u64)
-            );
-        }
+        print_stats(&out);
     }
     if opts.count_only {
         println!("{}", out.len());
@@ -245,5 +302,17 @@ fn main() {
     }
     for v in &out {
         println!("pre {:>8}  {}", v, render_node(session.doc(), v));
+    }
+}
+
+fn print_stats(out: &QueryOutput) {
+    for s in &out.stats().steps {
+        eprintln!(
+            "step {:<40} result {:>8}  touched {:>10}  duplicates {:>8}",
+            s.step,
+            s.result_size,
+            s.nodes_touched,
+            s.tuples_produced.saturating_sub(s.result_size as u64)
+        );
     }
 }

@@ -38,7 +38,12 @@
 //! [`TagIndex`](staircase_core::TagIndex) fragments, the SQL baseline's
 //! B-tree) are built lazily by the session on first use and cached for
 //! every later query, whatever the engine — `Session::aux_builds()`
-//! reports the construction counts if you want to see the reuse.
+//! reports the construction counts if you want to see the reuse, and
+//! `Session::warm()` builds both eagerly (concurrently) ahead of
+//! traffic. Whole query batches go through `Session::run_many`, which
+//! merges the queries' staircase boundaries so aligned
+//! `descendant`/`ancestor` steps share one pass over the plane (the
+//! `xq --query-file` flag exposes this on the command line).
 
 #![warn(missing_docs)]
 
@@ -47,23 +52,16 @@ pub mod prelude {
     pub use staircase_accel::{Axis, Context, Doc, EncodingBuilder, NodeKind, Pre, Region};
     pub use staircase_baselines::{mpmgjn_join, naive_step, SqlEngine, SqlPlanOptions};
     pub use staircase_core::{
-        ancestor, ancestor_on_list, ancestor_parallel, descendant, descendant_fused,
-        descendant_on_list, descendant_parallel, following, has_ancestor_in, has_child_in,
-        has_descendant_in, preceding, prune, try_axis_step, StepStats, TagIndex, UnsupportedAxis,
-        Variant,
+        ancestor, ancestor_many, ancestor_on_list, ancestor_parallel, descendant, descendant_fused,
+        descendant_many, descendant_on_list, descendant_parallel, following, has_ancestor_in,
+        has_child_in, has_descendant_in, preceding, prune, try_axis_step, Scratch, StepStats,
+        TagIndex, UnsupportedAxis, Variant,
     };
     pub use staircase_xml::{Document, PullParser};
     pub use staircase_xmlgen::{generate, generate_xml, DocProfile, XmarkConfig};
     pub use staircase_xpath::{
         parse, AuxBuilds, Engine, Error, Query, QueryOutput, Session, SqlBuilder, StaircaseBuilder,
     };
-
-    // Deprecated pre-`Session` entry points, re-exported so downstream
-    // code migrates on its own schedule.
-    #[allow(deprecated)]
-    pub use staircase_core::axis_step;
-    #[allow(deprecated)]
-    pub use staircase_xpath::{evaluate, Evaluator};
 }
 
 #[cfg(test)]

@@ -4,9 +4,9 @@
 //! document with a *resolved* engine — an engine whose auxiliary
 //! structures (per-tag fragments, the SQL B-tree) have already been
 //! built. [`crate::Session`] resolves engines against its lazily built,
-//! cached structures; the deprecated [`Evaluator`] and free functions
-//! build them eagerly per construction. Everything below the resolution
-//! step is total: no panics, no `unwrap`.
+//! cached structures. Everything below the resolution step is total: no
+//! panics, no `unwrap`. Multi-query (batched) evaluation builds on the
+//! same primitives in [`crate::batch`].
 
 use staircase_accel::{Axis, Context, Doc, NodeKind, Pre};
 use staircase_baselines::{naive_step, SqlEngine, SqlPlanOptions};
@@ -17,8 +17,6 @@ use staircase_core::{
 };
 
 use crate::ast::{NodeTest, Path, Predicate, Step, UnionExpr};
-use crate::engine::{Engine, EngineKind};
-use crate::parser::{parse_union, ParseError};
 
 /// Per-step trace of an evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,7 +65,7 @@ pub struct EvalOutput {
 }
 
 /// An engine whose auxiliary structures are in hand; produced by
-/// [`crate::Session`] (cached) or [`Evaluator`] (eager).
+/// [`crate::Session`] against its cached structures.
 pub(crate) enum ResolvedEngine<'a> {
     /// Staircase join, optionally with query-time name-test pushdown.
     Staircase {
@@ -128,13 +126,6 @@ pub(crate) struct EvalCx<'a> {
 }
 
 impl<'a> EvalCx<'a> {
-    /// Parses and evaluates `expr` (context = document root). Union
-    /// expressions (`a | b`) are supported.
-    pub(crate) fn evaluate(&self, expr: &str) -> Result<EvalOutput, ParseError> {
-        let union = parse_union(expr)?;
-        Ok(self.evaluate_union(&union, &Context::singleton(self.doc.root())))
-    }
-
     /// Evaluates a union expression: each branch independently from
     /// `context`, results merged into document order (duplicate-free).
     pub(crate) fn evaluate_union(&self, expr: &UnionExpr, context: &Context) -> EvalOutput {
@@ -170,7 +161,9 @@ impl<'a> EvalCx<'a> {
         EvalOutput { result: ctx, stats }
     }
 
-    fn eval_step(&self, ctx: &Context, step: &Step) -> (Context, StepTrace) {
+    /// Evaluates one step (axis, node test, predicates) from `ctx`; also
+    /// the per-query fallback of the batch evaluator.
+    pub(crate) fn eval_step(&self, ctx: &Context, step: &Step) -> (Context, StepTrace) {
         let (mut out, touched, produced) = self.eval_axis_and_test(ctx, step);
         for pred in &step.predicates {
             let Predicate::Exists(path) = pred;
@@ -503,25 +496,34 @@ fn axis_of(paxis: PartAxis) -> Axis {
 }
 
 /// Applies a node test to a node sequence.
-fn apply_test(doc: &Doc, ctx: &Context, test: &NodeTest, axis: Axis) -> Context {
+pub(crate) fn apply_test(doc: &Doc, ctx: &Context, test: &NodeTest, axis: Axis) -> Context {
+    // Name tests compare interned tag ids, not strings: one dictionary
+    // lookup per step instead of one string comparison per node.
+    if let NodeTest::Name(name) = test {
+        let want = if axis == Axis::Attribute {
+            NodeKind::Attribute
+        } else {
+            NodeKind::Element
+        };
+        let Some(tid) = doc.tag_id(name) else {
+            return Context::empty(); // name absent from the document
+        };
+        return Context::from_sorted(
+            ctx.iter()
+                .filter(|&v| doc.kind(v) == want && doc.tag(v) == tid)
+                .collect(),
+        );
+    }
     let keep = |v: Pre| -> bool {
         let kind = doc.kind(v);
         match test {
             NodeTest::AnyNode => true,
-            NodeTest::AnyPrincipal => {
+            NodeTest::AnyPrincipal | NodeTest::Name(_) => {
                 if axis == Axis::Attribute {
                     kind == NodeKind::Attribute
                 } else {
                     kind == NodeKind::Element
                 }
-            }
-            NodeTest::Name(name) => {
-                let want = if axis == Axis::Attribute {
-                    NodeKind::Attribute
-                } else {
-                    NodeKind::Element
-                };
-                kind == want && doc.tag_name(v) == Some(name.as_str())
             }
             NodeTest::Text => kind == NodeKind::Text,
             NodeTest::Comment => kind == NodeKind::Comment,
@@ -563,145 +565,10 @@ pub(crate) fn merge(a: &Context, b: &Context) -> Context {
     Context::from_sorted(out)
 }
 
-/// An engine paired with the auxiliary structure it owns — built as one
-/// value so an engine/aux mismatch is unrepresentable.
-enum PreparedEngine {
-    Staircase {
-        variant: Variant,
-        pushdown: bool,
-    },
-    Fragmented {
-        variant: Variant,
-        tags: TagIndex,
-    },
-    Parallel {
-        variant: Variant,
-        threads: usize,
-    },
-    Naive,
-    Sql {
-        eq1_window: bool,
-        early_nametest: bool,
-        sql: SqlEngine,
-    },
-}
-
-/// A reusable evaluator holding the engine's auxiliary structures
-/// (tag fragments, B-tree for the SQL engine), built eagerly for one
-/// fixed engine.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Session`, which caches auxiliary structures across queries and engines"
-)]
-pub struct Evaluator<'d> {
-    doc: &'d Doc,
-    engine: PreparedEngine,
-}
-
-#[allow(deprecated)]
-impl<'d> Evaluator<'d> {
-    /// Builds an evaluator, constructing whatever the engine needs
-    /// ("document loading time" work).
-    pub fn new(doc: &'d Doc, engine: Engine) -> Evaluator<'d> {
-        let engine = match engine.kind {
-            EngineKind::Staircase { variant, pushdown } => {
-                PreparedEngine::Staircase { variant, pushdown }
-            }
-            EngineKind::Fragmented { variant } => PreparedEngine::Fragmented {
-                variant,
-                tags: TagIndex::build(doc),
-            },
-            EngineKind::Parallel { variant, threads } => {
-                PreparedEngine::Parallel { variant, threads }
-            }
-            EngineKind::Naive => PreparedEngine::Naive,
-            EngineKind::Sql {
-                eq1_window,
-                early_nametest,
-            } => PreparedEngine::Sql {
-                eq1_window,
-                early_nametest,
-                sql: SqlEngine::build(doc),
-            },
-        };
-        Evaluator { doc, engine }
-    }
-
-    fn cx(&self) -> EvalCx<'_> {
-        let engine = match &self.engine {
-            PreparedEngine::Staircase { variant, pushdown } => ResolvedEngine::Staircase {
-                variant: *variant,
-                pushdown: *pushdown,
-            },
-            PreparedEngine::Fragmented { variant, tags } => ResolvedEngine::Fragmented {
-                variant: *variant,
-                tags,
-            },
-            PreparedEngine::Parallel { variant, threads } => ResolvedEngine::Parallel {
-                variant: *variant,
-                threads: *threads,
-            },
-            PreparedEngine::Naive => ResolvedEngine::Naive,
-            PreparedEngine::Sql {
-                eq1_window,
-                early_nametest,
-                sql,
-            } => ResolvedEngine::Sql {
-                eq1_window: *eq1_window,
-                early_nametest: *early_nametest,
-                sql,
-            },
-        };
-        EvalCx {
-            doc: self.doc,
-            engine,
-        }
-    }
-
-    /// Parses and evaluates `expr` (context = document root). Union
-    /// expressions (`a | b`) are supported.
-    pub fn evaluate(&self, expr: &str) -> Result<EvalOutput, ParseError> {
-        self.cx().evaluate(expr)
-    }
-
-    /// Evaluates a union expression: each branch independently from
-    /// `context`, results merged into document order (duplicate-free).
-    pub fn evaluate_union(&self, expr: &UnionExpr, context: &Context) -> EvalOutput {
-        self.cx().evaluate_union(expr, context)
-    }
-
-    /// Evaluates a parsed path from an explicit context.
-    pub fn evaluate_path(&self, path: &Path, context: &Context) -> EvalOutput {
-        self.cx().evaluate_path(path, context)
-    }
-}
-
-/// One-shot convenience: parse and evaluate `expr` over `doc` from the
-/// document root.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Session::prepare`/`Session::run`, which reuse parsed queries and cached \
-            auxiliary structures"
-)]
-#[allow(deprecated)]
-pub fn evaluate(doc: &Doc, expr: &str, engine: Engine) -> Result<EvalOutput, ParseError> {
-    Evaluator::new(doc, engine).evaluate(expr)
-}
-
-/// One-shot convenience for a pre-parsed path and explicit context.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Session::prepare` and `Query::run_from` to reuse parsed queries and cached \
-            auxiliary structures"
-)]
-#[allow(deprecated)]
-pub fn evaluate_path(doc: &Doc, path: &Path, context: &Context, engine: Engine) -> EvalOutput {
-    Evaluator::new(doc, engine).evaluate_path(path, context)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Engine;
     use crate::session::Session;
 
     fn figure1() -> Doc {
@@ -951,21 +818,5 @@ mod tests {
             let out = query.run(engine);
             assert_eq!(out.nodes(), reference.nodes(), "{engine:?}");
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_agree_with_session() {
-        let doc = auction_doc();
-        let expr = "/descendant::increase/ancestor::bidder";
-        let via_shim = evaluate(&doc, expr, Engine::default()).unwrap();
-        let via_eval = Evaluator::new(&doc, Engine::default())
-            .evaluate(expr)
-            .unwrap();
-        let session = Session::new(auction_doc());
-        let via_session = session.run(expr, Engine::default()).unwrap();
-        assert_eq!(via_shim.result, via_eval.result);
-        assert_eq!(&via_shim.result, via_session.nodes());
-        assert_eq!(via_shim.stats, *via_session.stats());
     }
 }

@@ -5,9 +5,14 @@
 //!
 //! * [`Session`] owns a loaded document plus lazily built, cached
 //!   auxiliary structures (per-tag fragments, the SQL baseline's
-//!   B-tree), shared across queries and engines;
+//!   B-tree), shared across queries and engines; [`Session::warm`]
+//!   builds both eagerly (and concurrently) ahead of traffic;
 //! * [`Query`] ([`Session::prepare`]) is parsed once and run many times,
 //!   against any engine, yielding a [`QueryOutput`];
+//! * [`Session::run_many`] evaluates a whole *batch* of prepared
+//!   queries, merging their staircase boundaries so aligned
+//!   `descendant`/`ancestor` steps share **one pass over the plane**
+//!   instead of rescanning per query;
 //! * [`Engine`] configurations come from builders —
 //!   `Engine::staircase().variant(..).pushdown(..)`, `.parallel(n)`,
 //!   `Engine::sql().eq1_window(..)`, [`Engine::naive`] — validated at
@@ -33,21 +38,37 @@
 //!
 //! ## Example
 //!
+//! A server-shaped workload: warm the session once, prepare the query
+//! mix, answer the whole batch with shared plane scans.
+//!
 //! ```
 //! use staircase_xpath::{Engine, Error, Session};
 //!
 //! let session = Session::parse_xml(
 //!     "<site><open_auctions><open_auction><bidder><increase/></bidder>\
-//!      </open_auction></open_auctions></site>")?;
-//! let query = session.prepare("/descendant::increase/ancestor::bidder")?;
-//! let hits = query.run(Engine::default());
-//! assert_eq!(hits.len(), 1);
+//!      <bidder><increase/></bidder></open_auction></open_auctions></site>")?;
+//! session.warm(); // aux structures built eagerly, in parallel
+//!
+//! let batch = [
+//!     session.prepare("/descendant::increase/ancestor::bidder")?,
+//!     session.prepare("//bidder")?,
+//!     session.prepare("//increase")?,
+//! ];
+//! let queries: Vec<&_> = batch.iter().collect();
+//! let outputs = session.run_many(&queries, Engine::default());
+//! assert_eq!(outputs.len(), 3);
+//! assert_eq!(outputs[1].len(), 2);
+//! // Identical to running each query alone — only the scans are shared.
+//! for (query, out) in batch.iter().zip(&outputs) {
+//!     assert_eq!(out.nodes(), query.run(Engine::default()).nodes());
+//! }
 //! # Ok::<(), Error>(())
 //! ```
 
 #![warn(missing_docs)]
 
 mod ast;
+mod batch;
 mod engine;
 mod error;
 mod eval;
@@ -60,6 +81,3 @@ pub use error::Error;
 pub use eval::{EvalOutput, EvalStats, StepTrace};
 pub use parser::{parse, parse_union, ParseError};
 pub use session::{AuxBuilds, Query, QueryOutput, Session};
-
-#[allow(deprecated)]
-pub use eval::{evaluate, evaluate_path, Evaluator};

@@ -154,6 +154,67 @@ impl Session {
         Ok(self.prepare(expr)?.run(engine))
     }
 
+    /// Evaluates a whole batch of prepared queries from the document
+    /// root, **sharing one pass over the plane** wherever the queries'
+    /// current steps line up.
+    ///
+    /// Steps are grouped by vertical axis each round: predicate-free
+    /// `descendant`/`ancestor`(-or-self) steps that the engine would
+    /// evaluate with the plain staircase join are dispatched through the
+    /// multi-context joins ([`staircase_core::descendant_many`] /
+    /// [`staircase_core::ancestor_many`]) — one interleaved boundary
+    /// list, one sequential scan of the `post`/`kind` columns, K result
+    /// vectors. Steps that cannot batch (predicates, fragment joins,
+    /// horizontal/structural axes, the naive/SQL/parallel engines) fall
+    /// back to per-query evaluation, so for every query
+    /// `run_many(&[q])[0].nodes() == q.run(engine).nodes()` holds
+    /// engine-independently (property-tested).
+    ///
+    /// Outputs arrive in input order with per-query [`EvalStats`]. In a
+    /// batch, statistics count *incremental* cost: a plane position
+    /// serving several queries is attributed to the first one that
+    /// needed it, so touched-node totals over the batch equal the
+    /// physical reads — strictly below the sequential sum whenever
+    /// result regions overlap.
+    ///
+    /// Queries are evaluated against **this** session's document; a
+    /// query prepared on a different session contributes its parsed
+    /// expression only.
+    pub fn run_many(&self, queries: &[&Query<'_>], engine: Engine) -> Vec<QueryOutput> {
+        if self.doc.is_empty() {
+            return queries
+                .iter()
+                .map(|_| QueryOutput {
+                    result: Context::empty(),
+                    stats: EvalStats::default(),
+                })
+                .collect();
+        }
+        let cx = self.cx(engine);
+        let parsed: Vec<&UnionExpr> = queries.iter().map(|q| &q.parsed).collect();
+        let root = Context::singleton(self.doc.root());
+        crate::batch::evaluate_union_many(&cx, &parsed, &root)
+            .into_iter()
+            .map(|EvalOutput { result, stats }| QueryOutput { result, stats })
+            .collect()
+    }
+
+    /// Eagerly builds **both** cached auxiliary structures — the per-tag
+    /// [`TagIndex`] and the SQL engine's B-tree — concurrently, so the
+    /// first query of every engine family finds them ready.
+    ///
+    /// Idempotent and cheap to repeat: each structure is still built at
+    /// most once per session ([`Session::aux_builds`] reports exactly
+    /// one construction however often `warm` and queries race).
+    pub fn warm(&self) {
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                self.tag_index();
+            });
+            self.sql_engine();
+        });
+    }
+
     /// The per-tag fragment index, built on first use and cached for the
     /// session's lifetime.
     pub fn tag_index(&self) -> &TagIndex {

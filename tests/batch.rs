@@ -1,0 +1,275 @@
+//! The batch execution layer, exercised end to end: `Session::run_many`
+//! must answer exactly like a loop of `Query::run` calls — node for
+//! node, step for step — on every engine and variant, while sharing
+//! plane scans between the batched queries (touched-node totals at or
+//! below, and on overlapping workloads strictly below, the sequential
+//! sum).
+
+use proptest::prelude::*;
+use staircase_suite::prelude::*;
+
+/// Every buildable engine configuration (batching engines and the
+/// fallback-only ones alike).
+fn all_engines() -> Vec<Engine> {
+    let mut engines = vec![
+        Engine::naive(),
+        Engine::sql().eq1_window(true).build().unwrap(),
+    ];
+    for variant in [
+        Variant::Basic,
+        Variant::Skipping,
+        Variant::EstimationSkipping,
+    ] {
+        engines.push(Engine::staircase().variant(variant).build().unwrap());
+        engines.push(
+            Engine::staircase()
+                .variant(variant)
+                .pushdown(true)
+                .build()
+                .unwrap(),
+        );
+        engines.push(
+            Engine::staircase()
+                .variant(variant)
+                .fragmented(true)
+                .build()
+                .unwrap(),
+        );
+        engines.push(
+            Engine::staircase()
+                .variant(variant)
+                .parallel(2)
+                .build()
+                .unwrap(),
+        );
+    }
+    engines
+}
+
+/// An arbitrary small document over the `p`/`q`/`r` vocabulary.
+fn arb_doc() -> impl Strategy<Value = Doc> {
+    proptest::collection::vec(0u8..5, 1..220).prop_map(|ops| {
+        let tags = ["p", "q", "r"];
+        let mut b = EncodingBuilder::new();
+        b.open_element("root");
+        let mut depth = 1;
+        let mut just_text = false;
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                0 | 3 => {
+                    b.open_element(tags[i % tags.len()]);
+                    depth += 1;
+                    just_text = false;
+                }
+                1 if depth > 1 => {
+                    b.close_element();
+                    depth -= 1;
+                    just_text = false;
+                }
+                2 if !just_text => {
+                    b.text("t");
+                    just_text = true;
+                }
+                _ => {
+                    b.comment("c");
+                    just_text = false;
+                }
+            }
+        }
+        while depth > 0 {
+            b.close_element();
+            depth -= 1;
+        }
+        b.finish()
+    })
+}
+
+/// An arbitrary multi-step query mixing batchable steps (vertical axes)
+/// with fallback ones (children, horizontal axes, predicates).
+fn arb_query() -> impl Strategy<Value = String> {
+    let axis = prop_oneof![
+        Just("descendant"),
+        Just("descendant"),
+        Just("ancestor"),
+        Just("ancestor"),
+        Just("descendant-or-self"),
+        Just("ancestor-or-self"),
+        Just("child"),
+        Just("following"),
+        Just("preceding"),
+    ];
+    let test = prop_oneof![Just("p"), Just("q"), Just("r"), Just("*"), Just("node()")];
+    let pred = prop_oneof![
+        Just(""),
+        Just(""),
+        Just(""),
+        Just("[p]"),
+        Just("[descendant::q]")
+    ];
+    proptest::collection::vec((axis, test, pred), 1..4).prop_map(|steps| {
+        let mut out = String::new();
+        for (axis, test, pred) in steps {
+            out.push('/');
+            out.push_str(axis);
+            out.push_str("::");
+            out.push_str(test);
+            out.push_str(pred);
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The batch layer's acceptance property: `run_many` equals a
+    /// sequential `run` loop node-for-node — and step-for-step on result
+    /// sizes — on every engine, while never touching more nodes in total
+    /// than the sequential runs did.
+    #[test]
+    fn run_many_equals_sequential_runs(
+        (doc, exprs) in (arb_doc(), proptest::collection::vec(arb_query(), 1..7))
+    ) {
+        let session = Session::new(doc);
+        let queries: Vec<Query> = exprs
+            .iter()
+            .map(|e| session.prepare(e).unwrap_or_else(|err| panic!("{e:?} must parse: {err}")))
+            .collect();
+        let refs: Vec<&Query> = queries.iter().collect();
+        for engine in all_engines() {
+            let batch = session.run_many(&refs, engine);
+            prop_assert_eq!(batch.len(), queries.len());
+            let sequential: Vec<QueryOutput> =
+                queries.iter().map(|q| q.run(engine)).collect();
+            let mut batch_touched = 0u64;
+            let mut seq_touched = 0u64;
+            for ((q, b), s) in exprs.iter().zip(&batch).zip(&sequential) {
+                prop_assert_eq!(b.nodes(), s.nodes(), "{} via {:?}", q, engine);
+                // Per-query traces line up step for step; only the
+                // touched-node attribution may differ (shared scans).
+                prop_assert_eq!(b.stats().steps.len(), s.stats().steps.len());
+                for (bt, st) in b.stats().steps.iter().zip(&s.stats().steps) {
+                    prop_assert_eq!(&bt.step, &st.step, "{} via {:?}", q, engine);
+                    prop_assert_eq!(bt.result_size, st.result_size, "{} via {:?}", q, engine);
+                }
+                batch_touched += b.stats().total_touched();
+                seq_touched += s.stats().total_touched();
+            }
+            prop_assert!(
+                batch_touched <= seq_touched,
+                "batch touched {} > sequential {} via {:?}",
+                batch_touched,
+                seq_touched,
+                engine
+            );
+        }
+    }
+}
+
+/// The acceptance criterion of the batch layer: a batch of ≥ 8
+/// descendant/ancestor queries performs **one** plane pass per shared
+/// step — the per-query `nodes_touched` totals sum to strictly less than
+/// what the same queries touch when run one by one.
+#[test]
+fn batch_of_eight_shares_plane_passes() {
+    let session = Session::new(generate(XmarkConfig::new(0.05)));
+    let exprs = [
+        "/descendant::increase/ancestor::bidder",
+        "/descendant::profile/descendant::education",
+        "/descendant::bidder",
+        "/descendant::date/ancestor::open_auction",
+        "/descendant::person",
+        "/descendant::increase",
+        "/descendant::open_auction/descendant::date",
+        "/descendant::education/ancestor::person",
+    ];
+    let queries: Vec<Query> = exprs.iter().map(|e| session.prepare(e).unwrap()).collect();
+    let refs: Vec<&Query> = queries.iter().collect();
+
+    for variant in [
+        Variant::Basic,
+        Variant::Skipping,
+        Variant::EstimationSkipping,
+    ] {
+        let engine = Engine::staircase().variant(variant).build().unwrap();
+        let batch = session.run_many(&refs, engine);
+        let sequential: Vec<QueryOutput> = queries.iter().map(|q| q.run(engine)).collect();
+
+        let batch_total: u64 = batch.iter().map(|o| o.stats().total_touched()).sum();
+        let seq_total: u64 = sequential.iter().map(|o| o.stats().total_touched()).sum();
+        assert!(
+            batch_total < seq_total,
+            "{variant:?}: batch touched {batch_total}, sequential {seq_total}"
+        );
+        // All eight queries' first steps share the root context: their
+        // first shared pass is paid once, not eight times.
+        let first_step_total: u64 = batch.iter().map(|o| o.stats().steps[0].nodes_touched).sum();
+        let first_step_single = sequential[0].stats().steps[0].nodes_touched;
+        assert_eq!(
+            first_step_total, first_step_single,
+            "{variant:?}: shared first step must cost one pass"
+        );
+        for (b, s) in batch.iter().zip(&sequential) {
+            assert_eq!(b.nodes(), s.nodes(), "{variant:?}");
+        }
+    }
+}
+
+/// Batched ancestor steps with *distinct* contexts still merge their
+/// boundary lists into one pass.
+#[test]
+fn distinct_contexts_still_share() {
+    let session = Session::new(generate(XmarkConfig::new(0.05)));
+    // Different first steps → different second-step contexts; the second
+    // (ancestor) round batches eight distinct boundary lists.
+    let exprs = [
+        "/descendant::increase/ancestor::node()",
+        "/descendant::date/ancestor::node()",
+        "/descendant::education/ancestor::node()",
+        "/descendant::bidder/ancestor::node()",
+        "/descendant::profile/ancestor::node()",
+        "/descendant::person/ancestor::node()",
+        "/descendant::open_auction/ancestor::node()",
+        "/descendant::seller/ancestor::node()",
+    ];
+    let queries: Vec<Query> = exprs.iter().map(|e| session.prepare(e).unwrap()).collect();
+    let refs: Vec<&Query> = queries.iter().collect();
+    let engine = Engine::default();
+    let batch = session.run_many(&refs, engine);
+    let mut batch_anc = 0u64;
+    let mut seq_anc = 0u64;
+    for (q, b) in queries.iter().zip(&batch) {
+        let s = q.run(engine);
+        assert_eq!(b.nodes(), s.nodes());
+        batch_anc += b.stats().steps[1].nodes_touched;
+        seq_anc += s.stats().steps[1].nodes_touched;
+    }
+    assert!(
+        batch_anc < seq_anc,
+        "ancestor round: batch touched {batch_anc}, sequential {seq_anc}"
+    );
+}
+
+/// Degenerate batches behave.
+#[test]
+fn trivial_batches() {
+    let session = Session::parse_xml("<a><b><c/></b><b/></a>").unwrap();
+    // Empty batch.
+    assert!(session.run_many(&[], Engine::default()).is_empty());
+    // Single query batch equals the plain run.
+    let q = session.prepare("//b").unwrap();
+    let batch = session.run_many(&[&q], Engine::default());
+    assert_eq!(batch[0].nodes(), q.run(Engine::default()).nodes());
+    // Union queries merge branches in order, as sequential does.
+    let u = session.prepare("//b | //c").unwrap();
+    let batch = session.run_many(&[&u, &q], Engine::default());
+    let direct = u.run(Engine::default());
+    assert_eq!(batch[0].nodes(), direct.nodes());
+    assert_eq!(batch[0].stats().steps.len(), direct.stats().steps.len());
+    // Empty documents yield empty outputs, one per query.
+    let empty = Session::new(EncodingBuilder::new().finish());
+    let eq = empty.prepare("//b").unwrap();
+    let outs = empty.run_many(&[&eq, &eq], Engine::default());
+    assert_eq!(outs.len(), 2);
+    assert!(outs.iter().all(|o| o.is_empty()));
+}

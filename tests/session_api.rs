@@ -201,6 +201,61 @@ fn auxiliary_structures_build_at_most_once() {
 }
 
 #[test]
+fn warm_builds_everything_exactly_once() {
+    let session = Session::new(generate(XmarkConfig::new(0.05)));
+    assert_eq!(session.aux_builds(), AuxBuilds::default());
+
+    // Warm builds both structures (concurrently) …
+    session.warm();
+    assert_eq!(
+        session.aux_builds(),
+        AuxBuilds {
+            tag_index: 1,
+            sql_engine: 1
+        }
+    );
+
+    // … and neither warming again nor querying on any engine rebuilds.
+    session.warm();
+    let queries = [
+        "/descendant::increase/ancestor::bidder",
+        "//open_auction[bidder]",
+    ];
+    for engine in all_engines() {
+        for query in queries {
+            session.run(query, engine).unwrap();
+        }
+    }
+    assert_eq!(
+        session.aux_builds(),
+        AuxBuilds {
+            tag_index: 1,
+            sql_engine: 1
+        }
+    );
+}
+
+#[test]
+fn warm_races_with_queries_safely() {
+    // Queries racing the warm-up must see each structure built exactly
+    // once (OnceLock serialises initialisers).
+    let session = Session::new(generate(XmarkConfig::new(0.02)));
+    let query = session.prepare("//increase/ancestor::bidder").unwrap();
+    std::thread::scope(|scope| {
+        scope.spawn(|| session.warm());
+        scope.spawn(|| query.run(Engine::staircase().fragmented(true).build().unwrap()));
+        scope.spawn(|| query.run(Engine::sql().build().unwrap()));
+    });
+    assert_eq!(
+        session.aux_builds(),
+        AuxBuilds {
+            tag_index: 1,
+            sql_engine: 1
+        }
+    );
+}
+
+#[test]
 fn prepared_queries_outlive_engine_choice() {
     let session = Session::new(generate(XmarkConfig::new(0.05)));
     let query = session

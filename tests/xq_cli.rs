@@ -251,3 +251,111 @@ fn conflicting_engine_flags_exit_with_usage_code() {
     assert_eq!(out.status.code(), Some(2), "invalid engine configs exit 2");
     assert!(String::from_utf8_lossy(&out.stderr).contains("invalid engine configuration"));
 }
+
+#[test]
+fn query_file_batches_queries() {
+    let dir = tempdir();
+    let doc = dir.join("batch.xml");
+    let qf = dir.join("batch-queries.txt");
+    std::fs::write(&doc, SAMPLE).unwrap();
+    std::fs::write(
+        &qf,
+        "# the paper's Q2, then two simpler probes\n\
+         /descendant::increase/ancestor::bidder\n\
+         \n\
+         //bidder\n\
+         //date\n",
+    )
+    .unwrap();
+
+    let out = xq()
+        .args([
+            "--query-file",
+            qf.to_str().unwrap(),
+            doc.to_str().unwrap(),
+            "--count",
+            "--warm",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "comment and blank lines skipped: {stdout}");
+    assert!(lines[0].trim().starts_with("2"), "{stdout}");
+    assert!(lines[0].contains("/descendant::increase/ancestor::bidder"));
+    assert!(lines[1].trim().starts_with("3"), "{stdout}");
+    assert!(lines[2].trim().starts_with("1"), "{stdout}");
+
+    // Without --count: one header per query, then its nodes.
+    let out = xq()
+        .args(["--query-file", qf.to_str().unwrap(), doc.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let headers = stdout.lines().filter(|l| l.starts_with("# ")).count();
+    assert_eq!(headers, 3, "{stdout}");
+    assert!(stdout.contains("<bidder>"));
+}
+
+#[test]
+fn query_file_parse_errors_exit_with_parse_code() {
+    let dir = tempdir();
+    let doc = dir.join("badbatch.xml");
+    let qf = dir.join("bad-queries.txt");
+    std::fs::write(&doc, SAMPLE).unwrap();
+    std::fs::write(&qf, "//bidder\n///bad[\n").unwrap();
+    let out = xq()
+        .args(["--query-file", qf.to_str().unwrap(), doc.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "batch parse errors exit 3");
+
+    let out = xq()
+        .args([
+            "--query-file",
+            "/definitely/not/here.txt",
+            doc.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "missing query file exits 4");
+}
+
+#[test]
+fn inline_query_plus_query_file_is_a_usage_error() {
+    let dir = tempdir();
+    let doc = dir.join("both.xml");
+    let qf = dir.join("both-queries.txt");
+    std::fs::write(&doc, SAMPLE).unwrap();
+    std::fs::write(&qf, "//bidder\n").unwrap();
+    // Ambiguous: neither source of queries should silently win.
+    let out = xq()
+        .args([
+            "//increase",
+            "--query-file",
+            qf.to_str().unwrap(),
+            doc.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "ambiguous query sources exit 2");
+}
+
+#[test]
+fn warm_flag_with_single_query() {
+    let dir = tempdir();
+    let doc = dir.join("warm.xml");
+    std::fs::write(&doc, SAMPLE).unwrap();
+    let out = xq()
+        .args(["//bidder", doc.to_str().unwrap(), "--warm", "--count"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "3");
+}

@@ -44,12 +44,44 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let span = (self.size.hi - self.size.lo) as u64;
         let len = self.size.lo + rng.below(span) as usize;
         (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out: Vec<Vec<S::Value>> = Vec::new();
+        let len = value.len();
+        // 1. Halve the length (keep either half), respecting the minimum.
+        let half = (len / 2).max(self.size.lo);
+        if half < len {
+            out.push(value[..half].to_vec());
+            out.push(value[len - half..].to_vec());
+        }
+        // 2. Drop one element at a time (bounded, front-biased: front
+        //    elements usually drive generated structure).
+        if len > self.size.lo {
+            for i in 0..len.min(16) {
+                let mut shorter = Vec::with_capacity(len - 1);
+                shorter.extend_from_slice(&value[..i]);
+                shorter.extend_from_slice(&value[i + 1..]);
+                out.push(shorter);
+            }
+        }
+        // 3. Shrink individual elements in place (bounded).
+        for i in 0..len.min(8) {
+            for candidate in self.element.shrink(&value[i]).into_iter().take(3) {
+                let mut next = value.clone();
+                next[i] = candidate;
+                out.push(next);
+            }
+        }
+        out
     }
 }
 

@@ -12,11 +12,15 @@
 //! * the [`proptest!`] test macro with `#![proptest_config(..)]`, plus
 //!   [`prop_assert!`]/[`prop_assert_eq!`].
 //!
-//! What it deliberately does *not* implement: shrinking (failures report
-//! the failing case seed instead of a minimal counterexample) and
-//! persistence of failing cases. Every run is deterministic: case `i` of
-//! every test samples from a fixed seed derived from `i`, so failures
-//! reproduce exactly.
+//! Failing cases **shrink**: a simple halving scheme
+//! ([`strategy::Strategy::shrink`]) greedily minimises the failing input
+//! — vectors lose halves, then single elements; integers halve toward
+//! their range start; tuples shrink one component at a time — and the
+//! test re-runs the minimal counterexample so its assertion message
+//! describes the simplest failing input. What it deliberately does *not*
+//! implement: persistence of failing cases. Every run is deterministic:
+//! case `i` of every test samples from a fixed seed derived from `i`, so
+//! failures reproduce exactly.
 
 #![warn(missing_docs)]
 
@@ -97,30 +101,54 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $cfg;
+                // All bindings sample from one tuple strategy so failing
+                // inputs can shrink jointly.
+                let strategies = ( $($strategy,)+ );
+                let run = $crate::test_runner::typed_property(&strategies, |value| {
+                    let ( $($pat,)+ ) = value;
+                    ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body; }),
+                    )
+                });
                 for case in 0..config.cases {
                     let mut runner_rng =
                         $crate::test_runner::TestRng::for_case(case as u64);
-                    $(
-                        let $pat = $crate::strategy::Strategy::sample(
-                            &($strategy),
-                            &mut runner_rng,
-                        );
-                    )+
-                    // Report which deterministic case failed (cases are
-                    // seeded by index, so this is enough to reproduce),
-                    // then let the original panic continue.
-                    let outcome = ::std::panic::catch_unwind(
-                        ::std::panic::AssertUnwindSafe(|| $body),
+                    let value = $crate::strategy::Strategy::sample(
+                        &strategies,
+                        &mut runner_rng,
                     );
-                    if let Err(payload) = outcome {
+                    if let Err(payload) = run(::std::clone::Clone::clone(&value)) {
+                        // Shrink to a minimal counterexample (silencing
+                        // this thread's per-candidate panic chatter),
+                        // then re-run it un-caught so the test fails
+                        // with the minimal input's own assertion
+                        // message.
+                        let (minimal, steps) = $crate::test_runner::with_quiet_panics(|| {
+                            $crate::test_runner::shrink_to_minimal(
+                                &strategies,
+                                value,
+                                |v| run(v).is_err(),
+                            )
+                        });
                         eprintln!(
                             "proptest: property `{}` failed at case {} of {} \
-                             (TestRng::for_case({case}) reproduces it)",
+                             (TestRng::for_case({case}) reproduces it); \
+                             shrank the input {} time(s), re-running the minimal \
+                             counterexample:",
                             stringify!($name),
                             case + 1,
                             config.cases,
+                            steps,
                         );
-                        ::std::panic::resume_unwind(payload);
+                        match run(minimal) {
+                            Err(minimal_payload) => {
+                                ::std::panic::resume_unwind(minimal_payload)
+                            }
+                            // Flaky property (fails only sometimes for
+                            // the same input): fall back to the original
+                            // failure.
+                            Ok(()) => ::std::panic::resume_unwind(payload),
+                        }
                     }
                 }
             }

@@ -7,14 +7,28 @@ use crate::test_runner::TestRng;
 
 /// A recipe for generating values of one type.
 ///
-/// Unlike upstream proptest there is no shrinking: a strategy is just a
-/// deterministic sampler over a [`TestRng`].
+/// A strategy is a deterministic sampler over a [`TestRng`] plus an
+/// optional *shrinker*: [`Strategy::shrink`] proposes strictly simpler
+/// candidates for a failing value, which the [`crate::proptest!`] runner
+/// uses (via [`crate::test_runner::shrink_to_minimal`]) to report a
+/// minimal counterexample. Unlike upstream proptest the shrinker is a
+/// simple halving scheme with no persistence.
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes simpler candidates for `value`, most aggressive first
+    /// (e.g. "halve it" before "decrement it"). Returning an empty list —
+    /// the default — means the value is not shrinkable; implementations
+    /// must guarantee every candidate is strictly simpler than `value`,
+    /// so repeated shrinking terminates.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Applies `f` to every generated value.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -100,6 +114,9 @@ impl<T> Strategy for BoxedStrategy<T> {
     fn sample(&self, rng: &mut TestRng) -> T {
         self.0.sample(rng)
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.0.shrink(value)
+    }
 }
 
 /// Always generates a clone of one value.
@@ -176,6 +193,15 @@ where
             self.reason
         );
     }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        // Shrink through the inner strategy, keeping only candidates the
+        // filter would have produced.
+        self.inner
+            .shrink(value)
+            .into_iter()
+            .filter(|v| (self.pred)(v))
+            .collect()
+    }
 }
 
 /// Uniform choice between type-erased strategies (`prop_oneof!`).
@@ -210,6 +236,26 @@ macro_rules! impl_int_range_strategy {
                 assert!(self.start < self.end, "empty range strategy");
                 let span = (self.end as i128 - self.start as i128) as u64;
                 self.start + rng.below(span) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // Halve toward the range start; every candidate is
+                // strictly closer to it than `value`. Widen to i128 for
+                // the distance (like `sample`) so signed ranges wider
+                // than the type's positive span cannot overflow.
+                let mut out = Vec::new();
+                if *value > self.start {
+                    out.push(self.start);
+                    let half = (*value as i128 - self.start as i128) / 2;
+                    let mid = (self.start as i128 + half) as $t;
+                    if mid != self.start && mid != *value {
+                        out.push(mid);
+                    }
+                    let dec = *value - 1; // > start >= MIN, cannot wrap
+                    if dec != self.start && out.last() != Some(&dec) {
+                        out.push(dec);
+                    }
+                }
+                out
             }
         }
     )*};
@@ -249,23 +295,36 @@ impl Strategy for &'static str {
 }
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($name:ident, $idx:tt)),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
-            #[allow(non_snake_case)]
             fn sample(&self, rng: &mut TestRng) -> Self::Value {
-                let ($($name,)+) = self;
-                ($($name.sample(rng),)+)
+                ($(self.$idx.sample(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Shrink one component at a time, cloning the rest.
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     };
 }
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!((A, 0));
+impl_tuple_strategy!((A, 0), (B, 1));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
 
 #[cfg(test)]
 mod tests {
@@ -313,6 +372,70 @@ mod tests {
             seen[s.sample(&mut r) as usize] = true;
         }
         assert!(seen[1] && seen[2]);
+    }
+
+    #[test]
+    fn range_shrink_halves_toward_start() {
+        let s = 5u32..100;
+        let candidates = s.shrink(&80);
+        assert!(!candidates.is_empty());
+        assert!(candidates.iter().all(|&c| (5..80).contains(&c)));
+        assert_eq!(candidates[0], 5, "most aggressive candidate first");
+        assert!(s.shrink(&5).is_empty(), "range start is minimal");
+    }
+
+    #[test]
+    fn range_shrink_survives_full_signed_span() {
+        // The distance start→value exceeds i32::MAX; shrinking must not
+        // overflow (widened to i128, as sampling is).
+        let s = i32::MIN..i32::MAX;
+        for candidate in s.shrink(&5) {
+            assert!((i32::MIN..5).contains(&candidate));
+        }
+        let (minimal, _) =
+            crate::test_runner::shrink_to_minimal(&(i64::MIN..i64::MAX), 7, |v| v >= -3);
+        assert_eq!(minimal, -3);
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component() {
+        let s = (0u32..10, 0u32..10);
+        let candidates = s.shrink(&(4, 7));
+        assert!(!candidates.is_empty());
+        for (a, b) in &candidates {
+            let changed = usize::from(*a != 4) + usize::from(*b != 7);
+            assert_eq!(changed, 1, "({a}, {b}) changes exactly one slot");
+        }
+    }
+
+    #[test]
+    fn filter_shrink_respects_predicate() {
+        let s = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        for c in s.shrink(&64) {
+            assert_eq!(c % 2, 0);
+            assert!(c < 64);
+        }
+    }
+
+    #[test]
+    fn shrink_to_minimal_finds_smallest_failure() {
+        // Property "v < 17" fails for all v ≥ 17; the minimal failing
+        // value in 0..1000 is exactly 17.
+        let s = 0u32..1000;
+        let (minimal, steps) = crate::test_runner::shrink_to_minimal(&s, 900, |v| v >= 17);
+        assert_eq!(minimal, 17);
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn shrink_to_minimal_over_vecs() {
+        // Failure: the vec contains an element ≥ 50. Minimal
+        // counterexample: exactly one element, itself minimal (50).
+        let s = crate::collection::vec(0u32..100, 0..20);
+        let failing = vec![3, 72, 9, 55, 61, 2];
+        let (minimal, _) =
+            crate::test_runner::shrink_to_minimal(&s, failing, |v| v.iter().any(|&x| x >= 50));
+        assert_eq!(minimal, vec![50]);
     }
 
     #[test]

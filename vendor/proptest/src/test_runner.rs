@@ -1,7 +1,93 @@
-//! Deterministic per-case random source and run configuration.
+//! Deterministic per-case random source, run configuration, and the
+//! shrinking driver.
 
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
+
+use crate::strategy::Strategy;
+
+/// Upper bound on candidate evaluations during shrinking, so a slow
+/// property cannot stall a failing test indefinitely.
+const SHRINK_BUDGET: usize = 256;
+
+/// Identity helper for the [`crate::proptest!`] macro: pins the
+/// property closure's argument type to `S::Value` so pattern bindings
+/// inside the body don't have to drive type inference.
+pub fn typed_property<S, F>(_strategy: &S, property: F) -> F
+where
+    S: Strategy,
+    F: Fn(S::Value) -> ::std::thread::Result<()>,
+{
+    property
+}
+
+thread_local! {
+    /// `true` while the *current thread* is shrinking: its expected
+    /// panics stay quiet without affecting other test threads.
+    static QUIET: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Runs `f` with this thread's panic output suppressed (shrinking
+/// re-runs the failing property many times; each run's panic is
+/// expected noise). A delegating panic hook is installed process-wide
+/// exactly once and never removed, so concurrent tests neither race on
+/// the hook nor lose their own panic messages.
+pub fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(|q| q.get()) {
+                previous(info);
+            }
+        }));
+    });
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            QUIET.with(|q| q.set(false));
+        }
+    }
+    let _reset = Reset;
+    QUIET.with(|q| q.set(true));
+    f()
+}
+
+/// Greedily minimises a failing input: repeatedly replaces it with the
+/// first [`Strategy::shrink`] candidate that still fails, until no
+/// candidate does (or the budget runs out). Returns the minimal failing
+/// value and how many shrink steps were applied.
+///
+/// `is_failing` is called with owned candidates (clone-and-run), so the
+/// property body may consume its input.
+pub fn shrink_to_minimal<S, F>(
+    strategy: &S,
+    mut failing: S::Value,
+    mut is_failing: F,
+) -> (S::Value, usize)
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: FnMut(S::Value) -> bool,
+{
+    let mut steps = 0;
+    let mut budget = SHRINK_BUDGET;
+    'outer: loop {
+        for candidate in strategy.shrink(&failing) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if is_failing(candidate.clone()) {
+                failing = candidate;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (failing, steps)
+}
 
 /// How many cases each property runs.
 #[derive(Debug, Clone)]
