@@ -464,6 +464,17 @@ impl Doc {
         tags: TagInterner,
         height: Level,
     ) -> Doc {
+        // Decoded interners carry no occurrence counts; recount the
+        // per-tag fragment sizes from the raw columns so planners see the
+        // same statistics whether the document was built or decoded.
+        let mut tags = tags;
+        tags.clear_element_counts();
+        let element = NodeKind::Element as u8;
+        for (k, &t) in kind.iter().zip(&tag) {
+            if *k == element {
+                tags.record_element(t);
+            }
+        }
         Doc {
             post: Bat::from_tail(0, post),
             level,
@@ -613,6 +624,9 @@ impl EncodingBuilder {
     }
 
     fn push_node(&mut self, kind: NodeKind, tag: TagId, content: Option<&str>) -> Pre {
+        if kind == NodeKind::Element {
+            self.tags.record_element(tag);
+        }
         let pre = self.level.len() as Pre;
         let level = self.open.len() as Level;
         self.post.push(0); // patched on close for elements, below for leaves
@@ -777,6 +791,33 @@ mod tests {
         let levels: Vec<Level> = doc.pres().map(|p| doc.level(p)).collect();
         assert_eq!(levels, [0, 1, 2, 1, 1, 2, 3, 3, 2, 3]);
         assert_eq!(doc.height(), 3);
+    }
+
+    #[test]
+    fn fragment_sizes_match_columns_and_survive_persistence() {
+        let doc = Doc::from_xml("<a x='1'><b/><b/><c>t</c><b y='2'/></a>").expect("fixture parses");
+        let count = |d: &Doc, name: &str| {
+            d.tag_id(name)
+                .map(|t| d.tags().element_count(t))
+                .unwrap_or(0)
+        };
+        assert_eq!(count(&doc, "b"), 3);
+        assert_eq!(count(&doc, "c"), 1);
+        assert_eq!(count(&doc, "a"), 1);
+        // Attribute names intern but contribute no element occurrences.
+        assert_eq!(count(&doc, "x"), 0);
+        for (t, _) in doc.tags().iter() {
+            assert_eq!(doc.tags().element_count(t), doc.elements_with_tag(t).len());
+        }
+        // The decode path recounts from the raw columns.
+        let reloaded = Doc::from_bytes(&doc.to_bytes()).expect("roundtrip decodes");
+        for (t, name) in doc.tags().iter() {
+            assert_eq!(
+                reloaded.tags().element_count(t),
+                doc.tags().element_count(t),
+                "{name}"
+            );
+        }
     }
 
     #[test]

@@ -14,10 +14,17 @@ pub type TagId = u32;
 pub const NO_TAG: TagId = u32::MAX;
 
 /// Bidirectional map between tag names and [`TagId`]s.
+///
+/// Besides the name↔id mapping, the interner tracks how many *element*
+/// nodes carry each tag — the per-tag fragment sizes the §6 tag-name
+/// fragmentation strategy partitions on. Keeping the counts here makes
+/// them an O(1) lookup at query-planning time, with no need to build the
+/// fragment index itself first.
 #[derive(Debug, Clone, Default)]
 pub struct TagInterner {
     by_name: HashMap<String, TagId>,
     names: Vec<String>,
+    element_counts: Vec<u32>,
 }
 
 impl TagInterner {
@@ -35,6 +42,7 @@ impl TagInterner {
         assert!(id != NO_TAG, "tag space exhausted");
         self.names.push(name.to_string());
         self.by_name.insert(name.to_string(), id);
+        self.element_counts.push(0);
         id
     }
 
@@ -64,6 +72,32 @@ impl TagInterner {
             .iter()
             .enumerate()
             .map(|(i, n)| (i as TagId, n.as_str()))
+    }
+
+    /// How many element nodes carry `id` — the size of `id`'s §6 tag
+    /// fragment (0 for [`NO_TAG`], unknown ids, and attribute-only names).
+    pub fn element_count(&self, id: TagId) -> usize {
+        self.element_counts
+            .get(id as usize)
+            .map(|&c| c as usize)
+            .unwrap_or(0)
+    }
+
+    /// Sum of all fragment sizes (= number of element nodes).
+    pub fn total_elements(&self) -> usize {
+        self.element_counts.iter().map(|&c| c as usize).sum()
+    }
+
+    /// Records one element occurrence of `id` (no-op for [`NO_TAG`]).
+    pub(crate) fn record_element(&mut self, id: TagId) {
+        if let Some(c) = self.element_counts.get_mut(id as usize) {
+            *c += 1;
+        }
+    }
+
+    /// Zeroes all element counts (before a recount from raw columns).
+    pub(crate) fn clear_element_counts(&mut self) {
+        self.element_counts.iter_mut().for_each(|c| *c = 0);
     }
 }
 
@@ -105,5 +139,25 @@ mod tests {
         t.intern("y");
         let all: Vec<_> = t.iter().collect();
         assert_eq!(all, [(0, "x"), (1, "y")]);
+    }
+
+    #[test]
+    fn element_counts_track_recorded_occurrences() {
+        let mut t = TagInterner::new();
+        let x = t.intern("x");
+        let y = t.intern("y");
+        t.record_element(x);
+        t.record_element(x);
+        t.record_element(y);
+        assert_eq!(t.element_count(x), 2);
+        assert_eq!(t.element_count(y), 1);
+        assert_eq!(t.total_elements(), 3);
+        // Unknown ids and the sentinel count as zero, silently.
+        assert_eq!(t.element_count(99), 0);
+        assert_eq!(t.element_count(NO_TAG), 0);
+        t.record_element(NO_TAG);
+        assert_eq!(t.total_elements(), 3);
+        t.clear_element_counts();
+        assert_eq!(t.total_elements(), 0);
     }
 }

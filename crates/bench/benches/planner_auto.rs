@@ -1,0 +1,181 @@
+//! Cost-based per-step operator picking (`Engine::auto`) vs every fixed
+//! engine.
+//!
+//! The paper's experiments show no single evaluator winning everywhere:
+//! tag fragmentation (§6) dominates highly selective name tests, the
+//! estimation-skipping staircase join dominates unselective steps, and
+//! the tree-unaware plans lose badly once contexts overlap. A fixed
+//! engine therefore leaves time on the table whenever a workload mixes
+//! shapes — which real workloads do. This bench runs three workloads
+//! over a ~10k-node xmlgen document:
+//!
+//! * `skewed`  — selective name tests (rare tags, the fragmentation
+//!   sweet spot);
+//! * `uniform` — `node()`/`*` steps (the staircase sweet spot);
+//! * `mixed`   — both interleaved, the planner's reason to exist.
+//!
+//! For each workload every fixed engine runs the whole batch, then
+//! `Engine::auto` plans per step. The acceptance claim (printed at the
+//! end): on the mixed workload auto is within 10% of the best fixed
+//! engine and at least 1.3× faster than the worst. The session is
+//! warmed first so auxiliary-structure construction (shared by
+//! fragmented/sql/auto) is not attributed to any engine.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use staircase_bench::Workload;
+use staircase_xpath::{Engine, Query, Session};
+
+const SKEWED: [&str; 5] = [
+    "/descendant::privacy",
+    "/descendant::education/ancestor::person",
+    "/descendant::increase/ancestor::open_auction",
+    "/descendant::emph",
+    "/descendant::bidder/descendant::date",
+];
+
+const UNIFORM: [&str; 4] = [
+    "/descendant::node()",
+    "/descendant::*",
+    "/descendant::person/descendant::node()",
+    "/descendant::date/ancestor::node()",
+];
+
+fn engines() -> Vec<(&'static str, Engine)> {
+    vec![
+        ("staircase", Engine::default()),
+        (
+            "basic",
+            Engine::staircase()
+                .variant(staircase_core::Variant::Basic)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "pushdown",
+            Engine::staircase().pushdown(true).build().unwrap(),
+        ),
+        (
+            "fragmented",
+            Engine::staircase().fragmented(true).build().unwrap(),
+        ),
+        ("naive", Engine::naive()),
+        (
+            "sql",
+            Engine::sql()
+                .eq1_window(true)
+                .early_nametest(true)
+                .build()
+                .unwrap(),
+        ),
+        ("auto", Engine::auto()),
+    ]
+}
+
+fn prepare<'s>(session: &'s Session, exprs: &[&str]) -> Vec<Query<'s>> {
+    exprs
+        .iter()
+        .map(|e| session.prepare(e).expect("bench query parses"))
+        .collect()
+}
+
+/// Best-of-N wall time for running the whole workload sequentially.
+fn best_of(reps: usize, queries: &[Query<'_>], engine: Engine) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        for q in queries {
+            std::hint::black_box(q.run(engine));
+        }
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench(c: &mut Criterion) {
+    // Scale 0.2 ≈ 10k nodes.
+    let w = Workload::generate(0.2);
+    let session = w.session();
+    session.warm();
+    println!(
+        "document: scale {}, {} nodes, height {}",
+        w.scale,
+        w.doc().len(),
+        w.doc().height()
+    );
+
+    let mixed_exprs: Vec<&str> = SKEWED.iter().chain(UNIFORM.iter()).copied().collect();
+    let workloads: Vec<(&str, Vec<Query<'_>>)> = vec![
+        ("skewed", prepare(session, &SKEWED)),
+        ("uniform", prepare(session, &UNIFORM)),
+        ("mixed", prepare(session, &mixed_exprs)),
+    ];
+
+    for (wname, queries) in &workloads {
+        let mut g = c.benchmark_group(format!("planner_auto_{wname}"));
+        g.sample_size(10);
+        for (ename, engine) in engines() {
+            g.bench_function(ename, |b| {
+                b.iter(|| {
+                    for q in queries {
+                        std::hint::black_box(q.run(engine));
+                    }
+                })
+            });
+        }
+        g.finish();
+    }
+
+    // Direct acceptance measurement on the mixed workload: interleaved
+    // best-of-N per engine, robust against frequency drift.
+    let mixed = &workloads[2].1;
+    let reps = 30;
+    let mut times: Vec<(&str, f64)> = engines()
+        .iter()
+        .map(|(name, engine)| (*name, best_of(reps, mixed, *engine)))
+        .collect();
+    let auto_time = times
+        .iter()
+        .find(|(n, _)| *n == "auto")
+        .map(|(_, t)| *t)
+        .expect("auto measured");
+    times.sort_by(|a, b| a.1.total_cmp(&b.1));
+    println!("\nmixed workload, best of {reps} (total batch wall time):");
+    for (name, t) in &times {
+        println!(
+            "  {name:<12} {:>9.3} ms  ({:.2}x auto)",
+            t * 1e3,
+            t / auto_time
+        );
+    }
+    let best_fixed = times
+        .iter()
+        .filter(|(n, _)| *n != "auto")
+        .map(|(_, t)| *t)
+        .fold(f64::MAX, f64::min);
+    let worst_fixed = times
+        .iter()
+        .filter(|(n, _)| *n != "auto")
+        .map(|(_, t)| *t)
+        .fold(0.0, f64::max);
+    println!(
+        "auto vs best fixed: {:.2}x (acceptance: ≤ 1.10x); vs worst fixed: {:.2}x faster \
+         (acceptance: ≥ 1.3x)",
+        auto_time / best_fixed,
+        worst_fixed / auto_time
+    );
+
+    // The access-pattern story behind the wall times: touched totals.
+    println!("\ntouched nodes (mixed workload):");
+    for (name, engine) in engines() {
+        let touched: u64 = mixed
+            .iter()
+            .map(|q| q.run(engine).stats().total_touched())
+            .sum();
+        println!("  {name:<12} {touched:>12}");
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

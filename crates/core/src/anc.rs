@@ -49,6 +49,15 @@ pub(crate) fn ancestor_partitions(
     let kind = doc.kind_column();
     let attr = NodeKind::Attribute as u8;
 
+    // Pre-size from the pruned-context height bound (the ancestor-side
+    // counterpart of the descendant join's Equation-1 pre-sizing): each
+    // step contributes at most `h` ancestors, and every ancestor lies
+    // strictly left of the last step.
+    if let Some(&last) = steps.last() {
+        let bound = (steps.len() * (doc.height() as usize + 1)).min(last as usize);
+        result.reserve(bound);
+    }
+
     let mut part_start = start;
     for &c in steps {
         stats.partitions += 1;

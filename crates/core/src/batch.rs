@@ -85,7 +85,7 @@ impl Scratch {
 /// scan of the plane.
 ///
 /// Equivalent, query by query, to K calls of [`crate::descendant`]
-/// (asserted by tests); see the [module docs](self) for the shared-cost
+/// (asserted by tests); see the module docs above for the shared-cost
 /// statistics contract.
 pub fn descendant_many(
     doc: &Doc,

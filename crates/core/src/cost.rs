@@ -1,0 +1,368 @@
+//! Cost model: pricing candidate physical operators from document
+//! statistics.
+//!
+//! The paper's central observation is that no single evaluator wins
+//! everywhere — the staircase join dominates the partitioning axes
+//! (§3–§4), tag-name fragmentation wins highly selective name tests
+//! (§6), and even the tree-unaware SQL plan of Figure 3 is competitive
+//! on tiny contexts. A planner choosing between them per step needs
+//! *estimates* of what each candidate would touch, before any of them
+//! runs. [`DocStats`] is that estimator: a cheap (one pass at most,
+//! cached by the session layer) snapshot of the statistics every
+//! estimate derives from —
+//!
+//! * node / element counts and the document height `h`,
+//! * the average node depth (which by a standard identity equals the
+//!   average subtree size minus one:
+//!   `Σ_v |subtree(v)| = Σ_v (depth(v) + 1)`), giving the Equation-1
+//!   context-window estimate for a context of known cardinality but
+//!   unknown identity,
+//! * per-tag fragment sizes, read in O(1) from the tag interner's
+//!   element counts (maintained at document-loading time), so planning
+//!   never forces the fragment index to be built.
+//!
+//! Costs are expressed in the unit the paper plots in Figure 11(a)/(c):
+//! **nodes (or index entries) touched**. That makes an estimate directly
+//! comparable to the [`StepStats::nodes_touched`](crate::StepStats)
+//! (via [`StepStats::observed_cost`](crate::StepStats::observed_cost))
+//! the join reports after the fact.
+//!
+//! The model is deliberately simple — every formula is a first-order
+//! account of the corresponding algorithm's access pattern, not a fitted
+//! curve. It only has to *rank* candidates correctly, and the candidates
+//! differ by orders of magnitude exactly when the choice matters.
+
+use staircase_accel::{Axis, Doc, NodeKind, TagId};
+
+use crate::Variant;
+
+/// Document statistics snapshot used to price candidate operators.
+///
+/// Build once per document with [`DocStats::from_doc`] (one pass over the
+/// `level`/`kind` columns) and reuse for every plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocStats {
+    nodes: usize,
+    elements: usize,
+    attributes: usize,
+    height: f64,
+    avg_depth: f64,
+}
+
+impl DocStats {
+    /// Gathers the statistics with one pass over the document's columns.
+    pub fn from_doc(doc: &Doc) -> DocStats {
+        let n = doc.len();
+        let mut attributes = 0usize;
+        let mut depth_sum = 0u64;
+        let kinds = doc.kind_column();
+        let attr = NodeKind::Attribute as u8;
+        for v in doc.pres() {
+            if kinds[v as usize] == attr {
+                attributes += 1;
+            }
+            depth_sum += u64::from(doc.level(v));
+        }
+        DocStats {
+            nodes: n,
+            elements: doc.tags().total_elements(),
+            attributes,
+            height: f64::from(doc.height()),
+            avg_depth: if n == 0 {
+                0.0
+            } else {
+                depth_sum as f64 / n as f64
+            },
+        }
+    }
+
+    /// Total node count of the document.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Element node count.
+    pub fn elements(&self) -> usize {
+        self.elements
+    }
+
+    /// Document height `h` (longest root-to-leaf path, in edges).
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Average node depth `d̄`; the expected subtree size of a uniformly
+    /// random node is `d̄ + 1` (sum both sides of `Σ_v |subtree(v)| =
+    /// Σ_v (depth(v) + 1)` and divide by `n`).
+    pub fn avg_depth(&self) -> f64 {
+        self.avg_depth
+    }
+
+    /// Expected subtree size of one context node.
+    pub fn avg_subtree(&self) -> f64 {
+        self.avg_depth + 1.0
+    }
+
+    /// The §6 fragment size of `tag`: how many element nodes carry it
+    /// (`None` — a name absent from the document — has an empty
+    /// fragment).
+    pub fn fragment_size(&self, doc: &Doc, tag: Option<TagId>) -> usize {
+        tag.map(|t| doc.tags().element_count(t)).unwrap_or(0)
+    }
+
+    /// Fraction of window nodes surviving a node test that keeps
+    /// `keep_count` of the document's nodes.
+    pub fn selectivity(&self, keep_count: usize) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            keep_count as f64 / self.nodes as f64
+        }
+    }
+
+    // ── Context-window estimates ────────────────────────────────────────
+
+    /// Equation-1 context-window estimate for a `descendant` step: the
+    /// expected total size of the context's descendant regions, *after*
+    /// pruning (covered subtrees counted once). `from_root` marks the
+    /// one case where the window is known exactly — an absolute path's
+    /// first step, whose region is the whole document minus the root.
+    pub fn descendant_window(&self, card: f64, from_root: bool) -> f64 {
+        if from_root {
+            return (self.nodes.saturating_sub(1)) as f64;
+        }
+        (card * self.avg_subtree()).min(self.nodes as f64)
+    }
+
+    /// Context-window estimate for an `ancestor` step: at most `d̄`
+    /// ancestors per pruned context node, and never more than the
+    /// document.
+    pub fn ancestor_window(&self, card: f64) -> f64 {
+        (card * self.avg_depth.max(1.0)).min(self.nodes as f64)
+    }
+
+    /// The *unpruned* window — what tree-unaware strategies (naive
+    /// region queries, the Figure-3 SQL plan) pay, because without
+    /// pruning every context node's region is visited even when covered
+    /// by another's.
+    pub fn unpruned_window(&self, card: f64, descendant: bool, from_root: bool) -> f64 {
+        if descendant {
+            if from_root {
+                (self.nodes.saturating_sub(1)) as f64
+            } else {
+                card * self.avg_subtree()
+            }
+        } else {
+            card * self.avg_depth.max(1.0)
+        }
+    }
+
+    // ── Operator pricing (nodes / index entries touched) ────────────────
+
+    /// The plain staircase join over the whole plane.
+    ///
+    /// * [`Variant::Basic`] (Algorithm 2) scans every partition to its
+    ///   end — essentially the rest of the plane.
+    /// * [`Variant::Skipping`] / [`Variant::EstimationSkipping`]
+    ///   (Algorithms 3/4) touch at most `|window| + |context|` nodes plus
+    ///   a height-bounded scan phase per partition (§3.3 / Equation 1).
+    pub fn staircase_cost(&self, variant: Variant, card: f64, window: f64) -> f64 {
+        let basic = (self.nodes as f64).max(window);
+        match variant {
+            Variant::Basic => basic,
+            // Skipping never touches more than the basic scan does.
+            Variant::Skipping | Variant::EstimationSkipping => {
+                (window + card * (1.0 + self.height)).min(basic)
+            }
+        }
+    }
+
+    /// The on-list (fragment) staircase join: touches only fragment
+    /// nodes — the in-window share of the fragment plus one binary
+    /// search per partition — and, with `prescan` (§4.4 query-time
+    /// pushdown), a full selection scan to *produce* the list first.
+    pub fn fragment_cost(&self, fragment: usize, card: f64, window: f64, prescan: bool) -> f64 {
+        let f = fragment as f64;
+        let n = (self.nodes as f64).max(1.0);
+        let in_window = f * (window / n).min(1.0);
+        let probes = card * (f + 2.0).log2();
+        let join = (in_window + probes).min(f + probes);
+        if prescan {
+            self.nodes as f64 + join
+        } else {
+            join
+        }
+    }
+
+    /// The partitioned parallel staircase join: the serial work divided
+    /// across workers, plus a per-worker spawn/merge overhead that makes
+    /// parallelism lose on small documents.
+    pub fn parallel_cost(&self, variant: Variant, card: f64, window: f64, threads: usize) -> f64 {
+        let t = threads.max(1) as f64;
+        self.staircase_cost(variant, card, window) / t + t * 256.0
+    }
+
+    /// The §3.1 naive strategy: one unpruned region scan per context
+    /// node, plus sort/unique over everything produced.
+    pub fn naive_cost(&self, unpruned_window: f64) -> f64 {
+        unpruned_window * (1.0 + (unpruned_window + 2.0).log2() / 4.0)
+    }
+
+    /// The Figure-3 B-tree plan: with the Equation-1 window predicate it
+    /// scans the (unpruned) window entries after one index probe per
+    /// context node, then pays the plan's `sort distinct`; without the
+    /// window hint the index scan degenerates to a full scan per context
+    /// node.
+    pub fn sql_cost(&self, card: f64, unpruned_window: f64, eq1_window: bool) -> f64 {
+        let n = (self.nodes as f64).max(2.0);
+        if !eq1_window {
+            return card.max(1.0) * n;
+        }
+        let probes = card * n.log2();
+        unpruned_window + probes + unpruned_window * (unpruned_window + 2.0).log2() / 4.0
+    }
+
+    /// The horizontal staircase scan (`following`/`preceding`): pruning
+    /// collapses the context to one node (§3.1) and the region is a
+    /// contiguous half-plane — on average half the document.
+    pub fn horiz_cost(&self) -> f64 {
+        self.nodes as f64 / 2.0
+    }
+
+    /// The engine-independent structural axes, priced from their actual
+    /// access patterns in the evaluator.
+    pub fn structural_cost(&self, axis: Axis, card: f64) -> f64 {
+        let n = self.nodes as f64;
+        let fanout = if self.elements == 0 {
+            0.0
+        } else {
+            (self.nodes.saturating_sub(1)) as f64 / self.elements as f64
+        };
+        match axis {
+            Axis::Child => card * fanout,
+            Axis::Attribute => {
+                let per_elem = if self.elements == 0 {
+                    0.0
+                } else {
+                    self.attributes as f64 / self.elements as f64
+                };
+                card * (per_elem + 1.0)
+            }
+            // Sibling axes scan the whole plane once, whatever the context.
+            Axis::FollowingSibling | Axis::PrecedingSibling => n,
+            // self/parent touch the context only.
+            _ => card,
+        }
+    }
+
+    /// Cost of applying a node test as a separate filter pass over a
+    /// join's base result of the given size.
+    pub fn apply_test_cost(&self, base_rows: f64) -> f64 {
+        base_rows
+    }
+
+    /// Cost of a semijoin predicate probe (§3.3's empty-region argument:
+    /// one fragment lookup per candidate) against a fragment of
+    /// `fragment` nodes; `prescan` adds the query-time selection scan
+    /// that produces the list when no prebuilt index is used.
+    pub fn semijoin_cost(&self, candidates: f64, fragment: usize, prescan: bool) -> f64 {
+        let probe = candidates * ((fragment as f64) + 2.0).log2();
+        if prescan {
+            self.nodes as f64 + probe
+        } else {
+            probe
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{figure1, random_doc};
+
+    #[test]
+    fn stats_reflect_the_document() {
+        let doc = figure1();
+        let s = DocStats::from_doc(&doc);
+        assert_eq!(s.nodes(), 10);
+        assert_eq!(s.elements(), 10);
+        assert_eq!(s.height(), 3.0);
+        // Levels are [0,1,2,1,1,2,3,3,2,3] → mean 1.8.
+        assert!((s.avg_depth() - 1.8).abs() < 1e-9);
+        assert!((s.avg_subtree() - 2.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fragment_sizes_come_from_the_interner() {
+        let doc = random_doc(3, 300);
+        let s = DocStats::from_doc(&doc);
+        for tag in ["p", "q", "r", "zzz"] {
+            let id = doc.tag_id(tag);
+            assert_eq!(
+                s.fragment_size(&doc, id),
+                id.map(|t| doc.elements_with_tag(t).len()).unwrap_or(0),
+                "{tag}"
+            );
+        }
+    }
+
+    #[test]
+    fn root_window_is_exact() {
+        let doc = random_doc(1, 500);
+        let s = DocStats::from_doc(&doc);
+        assert_eq!(s.descendant_window(1.0, true), (doc.len() - 1) as f64);
+        assert!(s.descendant_window(10.0, false) <= doc.len() as f64);
+    }
+
+    #[test]
+    fn skipping_beats_basic_beats_nothing() {
+        let doc = random_doc(2, 800);
+        let s = DocStats::from_doc(&doc);
+        let w = s.descendant_window(5.0, false);
+        let est = s.staircase_cost(Variant::EstimationSkipping, 5.0, w);
+        let basic = s.staircase_cost(Variant::Basic, 5.0, w);
+        assert!(est <= basic, "estimation {est} > basic {basic}");
+        assert!(est > 0.0);
+    }
+
+    #[test]
+    fn small_fragments_undercut_the_full_scan() {
+        // The §6 claim the planner banks on: a selective name test via a
+        // prebuilt fragment is priced far below the plain join plus a
+        // post-filter.
+        let doc = random_doc(7, 2000);
+        let s = DocStats::from_doc(&doc);
+        let w = s.descendant_window(1.0, true);
+        let staircase =
+            s.staircase_cost(Variant::EstimationSkipping, 1.0, w) + s.apply_test_cost(w);
+        let fragment = s.fragment_cost(25, 1.0, w, false);
+        assert!(
+            fragment * 4.0 < staircase,
+            "fragment {fragment} not ≪ staircase {staircase}"
+        );
+        // …but the query-time prescan variant pays the selection scan.
+        assert!(s.fragment_cost(25, 1.0, w, true) > s.nodes() as f64);
+    }
+
+    #[test]
+    fn tree_unaware_plans_price_their_duplicates() {
+        let doc = random_doc(9, 1500);
+        let s = DocStats::from_doc(&doc);
+        let card = 40.0;
+        let pruned = s.descendant_window(card, false);
+        let unpruned = s.unpruned_window(card, true, false);
+        let staircase = s.staircase_cost(Variant::EstimationSkipping, card, pruned);
+        assert!(s.naive_cost(unpruned) > staircase);
+        assert!(s.sql_cost(card, unpruned, true) > staircase);
+        assert!(s.sql_cost(card, unpruned, false) > s.sql_cost(card, unpruned, true));
+    }
+
+    #[test]
+    fn empty_documents_price_to_zero_ish() {
+        let s = DocStats::from_doc(&staircase_accel::EncodingBuilder::new().finish());
+        assert_eq!(s.nodes(), 0);
+        assert_eq!(s.descendant_window(1.0, true), 0.0);
+        assert_eq!(s.selectivity(0), 0.0);
+        assert!(s.structural_cost(Axis::Child, 1.0).is_finite());
+    }
+}

@@ -86,8 +86,10 @@ pub fn descendant_fused(doc: &Doc, context: &Context, variant: Variant) -> (Cont
 /// slice (whose last partition ends at `end`, exclusive) is a tight
 /// lower bound on the join's result size — exact up to attribute
 /// filtering and the ≤ h scan-phase nodes per partition. Shared by the
-/// sequential and the batched descendant joins.
-pub(crate) fn guaranteed_result_estimate(post: &[u32], steps: &[Pre], end: Pre) -> usize {
+/// sequential and the batched descendant joins, and exposed so planners
+/// (see [`crate::cost`]) can turn a context *in hand* into an exact
+/// window where the statistical estimate would have to guess.
+pub fn guaranteed_result_estimate(post: &[u32], steps: &[Pre], end: Pre) -> usize {
     steps
         .iter()
         .enumerate()

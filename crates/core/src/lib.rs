@@ -54,6 +54,7 @@
 
 mod anc;
 mod batch;
+pub mod cost;
 mod desc;
 mod exists;
 mod horiz;
@@ -64,7 +65,8 @@ mod stats;
 
 pub use anc::ancestor;
 pub use batch::{ancestor_many, descendant_many, Scratch};
-pub use desc::{descendant, descendant_fused};
+pub use cost::DocStats;
+pub use desc::{descendant, descendant_fused, guaranteed_result_estimate};
 pub use exists::{has_ancestor_in, has_child_in, has_descendant_in};
 pub use horiz::{following, preceding};
 pub use list::{ancestor_on_list, descendant_on_list, TagIndex};

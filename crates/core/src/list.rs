@@ -57,6 +57,12 @@ impl TagIndex {
         doc.tag_id(name).map(|t| self.fragment(t)).unwrap_or(&[])
     }
 
+    /// Size of the fragment for `tag` — the per-tag cardinality a
+    /// selectivity-driven planner prices fragment joins from.
+    pub fn fragment_len(&self, tag: TagId) -> usize {
+        self.fragment(tag).len()
+    }
+
     /// Number of distinct tags indexed.
     pub fn len(&self) -> usize {
         self.fragments.len()

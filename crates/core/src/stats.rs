@@ -41,6 +41,14 @@ impl StepStats {
         self.context_in - self.context_out
     }
 
+    /// The step's *observed* cost in the cost model's unit (nodes
+    /// touched), directly comparable to the pre-execution estimates of
+    /// [`crate::cost::DocStats`] — `EXPLAIN` output next to what
+    /// actually happened.
+    pub fn observed_cost(&self) -> f64 {
+        self.nodes_touched() as f64
+    }
+
     /// Merges per-partition statistics (used by the parallel join).
     pub fn merge(&mut self, other: &StepStats) {
         self.nodes_scanned += other.nodes_scanned;

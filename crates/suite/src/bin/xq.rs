@@ -8,12 +8,14 @@
 //! xq <XPATH> --encoded <FILE.scj>  query a pre-encoded document
 //!
 //! options:
-//!   --engine staircase|pushdown|fragmented|parallel|naive|sql
+//!   --engine staircase|pushdown|fragmented|parallel|naive|sql|auto
 //!   --variant basic|skipping|estimation   staircase skipping refinement
 //!   --threads N      worker threads (implies the parallel engine)
 //!   --warm           build all auxiliary structures eagerly, in parallel
 //!   --count          print only the number of matching nodes
 //!   --stats          print per-step statistics to stderr
+//!   --explain        print the physical plan (one line per step: chosen
+//!                    operator + cost estimate) instead of running
 //! ```
 //!
 //! Exit codes: `0` success, `2` usage or engine-configuration error,
@@ -27,7 +29,14 @@
 //! xq '/descendant::increase/ancestor::bidder' --encoded auctions.scj --stats
 //! xq '//bidder' auctions.xml --engine parallel --threads 8 --variant skipping
 //! xq --query-file queries.txt auctions.xml --warm --count
+//! xq '//bidder/ancestor::open_auction' auctions.xml --engine auto --explain
 //! ```
+//!
+//! The `auto` engine plans per step: each `descendant`/`ancestor` step
+//! is priced against document statistics (per-tag fragment sizes,
+//! Equation-1 window estimates) and the cheapest operator — plain
+//! staircase join, prebuilt tag fragment, or the SQL B-tree plan — is
+//! chosen. `--explain` shows the decisions for any engine.
 //!
 //! A query file holds one expression per line; blank lines and lines
 //! starting with `#` are ignored. The batch is answered through
@@ -56,17 +65,21 @@ struct Options {
     warm: bool,
     count_only: bool,
     stats: bool,
+    explain: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: xq <XPATH> [FILE] [--engine E] [--variant V] [--threads N] [--warm] [--count] \
-         [--stats]\n\
+         [--stats] [--explain]\n\
          \u{20}      xq --query-file <QF> [FILE]   (one XPath per line, batched)\n\
          \u{20}      xq --encode <FILE> <OUT.scj>\n\
          \u{20}      xq <XPATH> --encoded <FILE.scj>\n\
          engines:  staircase (default) | pushdown | fragmented | parallel | naive | sql\n\
-         variants: basic | skipping | estimation (default)"
+         \u{20}         | auto (cost-based per-step operator picking)\n\
+         variants: basic | skipping | estimation (default)\n\
+         --explain prints the physical plan (one line per step: operator +\n\
+         cost estimate) instead of evaluating"
     );
     exit(EXIT_USAGE);
 }
@@ -102,6 +115,7 @@ fn parse_args() -> Options {
         warm: false,
         count_only: false,
         stats: false,
+        explain: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -117,7 +131,8 @@ fn parse_args() -> Options {
             "--engine" => {
                 let name = args.next().unwrap_or_else(|| usage());
                 match name.as_str() {
-                    "staircase" | "pushdown" | "fragmented" | "parallel" | "naive" | "sql" => {
+                    "staircase" | "pushdown" | "fragmented" | "parallel" | "naive" | "sql"
+                    | "auto" => {
                         opts.engine_name = name;
                     }
                     _ => usage(),
@@ -140,6 +155,7 @@ fn parse_args() -> Options {
             }
             "--count" => opts.count_only = true,
             "--stats" => opts.stats = true,
+            "--explain" => opts.explain = true,
             "--help" | "-h" => usage(),
             other if opts.query.is_none() && opts.query_file.is_none() => {
                 opts.query = Some(other.to_string())
@@ -166,7 +182,7 @@ fn parse_args() -> Options {
 fn build_engine(opts: &Options) -> Result<Engine, Error> {
     // --variant and --threads only make sense for the staircase family;
     // reject them elsewhere instead of silently dropping them.
-    if let (Some(_), "naive" | "sql") = (opts.variant, opts.engine_name.as_str()) {
+    if let (Some(_), "naive" | "sql" | "auto") = (opts.variant, opts.engine_name.as_str()) {
         return Err(Error::InvalidEngine(format!(
             "--variant does not apply to the {} engine",
             opts.engine_name
@@ -183,6 +199,7 @@ fn build_engine(opts: &Options) -> Result<Engine, Error> {
         ("fragmented", None) => staircase().fragmented(true).build(),
         ("naive", None) => Ok(Engine::naive()),
         ("sql", None) => Engine::sql().eq1_window(true).early_nametest(true).build(),
+        ("auto", None) => Ok(Engine::auto()),
         // --threads with an engine that cannot parallelize: route through
         // the builder so the error message is the library's.
         ("pushdown", Some(n)) => staircase().pushdown(true).parallel(n).build(),
@@ -271,6 +288,13 @@ fn main() {
             .iter()
             .map(|e| session.prepare(e).unwrap_or_else(|err| fail(e, err)))
             .collect();
+        if opts.explain {
+            for query in &queries {
+                println!("# {}", query.text());
+                print!("{}", query.explain(engine));
+            }
+            return;
+        }
         let refs: Vec<&_> = queries.iter().collect();
         let outputs = session.run_many(&refs, engine);
         for (query, out) in queries.iter().zip(&outputs) {
@@ -291,6 +315,10 @@ fn main() {
 
     let query_text = opts.query.as_deref().unwrap_or_else(|| usage());
     let query = session.prepare(query_text).unwrap_or_else(|e| fail("", e));
+    if opts.explain {
+        print!("{}", query.explain(engine));
+        return;
+    }
     let out = query.run(engine);
 
     if opts.stats {

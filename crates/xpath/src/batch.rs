@@ -1,19 +1,23 @@
 //! Batched multi-query evaluation: the engine room of
 //! [`Session::run_many`](crate::Session::run_many).
 //!
-//! Every query in a batch is split into *lanes* (one per union branch).
-//! Evaluation proceeds in rounds: each round, every unfinished lane
-//! advances by exactly one step. Lanes whose current step is batchable —
-//! a predicate-free `descendant`/`ancestor`(-or-self) step that the
-//! resolved engine would evaluate with the plain staircase join — are
-//! grouped by vertical axis and dispatched through the multi-context
-//! joins ([`descendant_many`]/[`ancestor_many`]), which serve the whole
-//! group from **one** scan of the plane. Everything else (predicates,
-//! fragment joins, horizontal and structural axes, the naive/SQL/parallel
-//! engines) falls back to the ordinary per-query step evaluator, so batch
-//! results are identical to sequential results by construction on those
-//! paths and by the multi-context join's per-lane equivalence on the
-//! batched ones.
+//! Every query in a batch arrives as a [`PhysicalPlan`] and is split
+//! into *lanes* (one per union branch). Evaluation proceeds in rounds:
+//! each round, every unfinished lane advances by exactly one step.
+//! Since the plan/execute split, batchability is read straight off the
+//! **planned operator** — a lane batches when its current step was
+//! planned as a predicate-free plain staircase join
+//! ([`StepOp::Staircase`]) on a vertical axis, whatever engine produced
+//! the plan (so [`crate::Engine::auto`]'s staircase-planned steps batch
+//! exactly like the fixed staircase engine's). Batchable lanes are
+//! grouped by vertical axis and variant and dispatched through the
+//! multi-context joins ([`descendant_many`]/[`ancestor_many`]), which
+//! serve the whole group from **one** scan of the plane. Everything
+//! else — fragment joins, SQL/naive/parallel operators, horizontal and
+//! structural axes, steps with predicates — falls back to the ordinary
+//! per-lane plan interpreter, so batch results are identical to
+//! sequential results by construction on those paths and by the
+//! multi-context join's per-lane equivalence on the batched ones.
 //!
 //! A [`Scratch`] pool lives for the duration of the batch: step results
 //! and intermediate contexts recycle their allocations instead of
@@ -22,21 +26,14 @@
 use staircase_accel::{Axis, Context, NodeKind, TagId};
 use staircase_core::{ancestor_many, descendant_many, Scratch, Variant};
 
-use crate::ast::{NodeTest, Path, Step, UnionExpr};
-use crate::eval::{apply_test, merge, EvalCx, EvalOutput, EvalStats, ResolvedEngine, StepTrace};
-
-/// The two axes with a multi-context join.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Vert {
-    Descendant,
-    Ancestor,
-}
+use crate::eval::{apply_test, merge, EvalOutput, EvalStats, Executor, StepTrace};
+use crate::plan::{vert_axis_of, PathPlan, PhysicalPlan, PlannedStep, StepOp, VertAxis};
 
 /// One union branch of one query, advancing step by step.
 struct Lane<'p> {
     /// Index of the owning query in the batch.
     query: usize,
-    path: &'p Path,
+    path: &'p PathPlan,
     /// Context after `step` steps.
     ctx: Context,
     /// Number of steps already evaluated.
@@ -44,61 +41,41 @@ struct Lane<'p> {
     stats: EvalStats,
 }
 
-impl Lane<'_> {
-    fn pending(&self) -> Option<&Step> {
-        self.path.steps.get(self.step)
+impl<'p> Lane<'p> {
+    fn pending(&self) -> Option<&'p PlannedStep> {
+        self.path.steps().get(self.step)
     }
 }
 
-/// Is this step evaluable by the multi-context join under `engine`, and
-/// on which axis? `None` means "fall back to per-query evaluation".
-fn batchable(engine: &ResolvedEngine<'_>, step: &Step) -> Option<(Vert, Variant)> {
-    if !step.predicates.is_empty() {
+/// Is this planned step evaluable by the multi-context join, and on
+/// which axis? `None` means "fall back to per-lane interpretation".
+fn batchable(step: &PlannedStep) -> Option<(VertAxis, Variant)> {
+    if !step.predicate_operators().is_empty() {
         // Predicates recurse into full path evaluation; keep them on the
         // sequential path.
         return None;
     }
-    let vert = match step.axis {
-        Axis::Descendant | Axis::DescendantOrSelf => Vert::Descendant,
-        Axis::Ancestor | Axis::AncestorOrSelf => Vert::Ancestor,
-        _ => return None,
-    };
-    match engine {
-        ResolvedEngine::Staircase { variant, pushdown } => {
-            // Name tests under pushdown take the on-list fragment join.
-            if *pushdown && matches!(step.test, NodeTest::Name(_)) {
-                None
-            } else {
-                Some((vert, *variant))
-            }
-        }
-        ResolvedEngine::Fragmented { variant, .. } => {
-            // Name tests use the prebuilt fragments; the rest is the
-            // plain staircase join.
-            if matches!(step.test, NodeTest::Name(_)) {
-                None
-            } else {
-                Some((vert, *variant))
-            }
-        }
-        // Parallel, naive, and SQL engines evaluate per query.
+    let vert = vert_axis_of(step.axis())?;
+    match step.operator() {
+        StepOp::Staircase { variant } => Some((vert, *variant)),
+        // Fragment/parallel/naive/SQL operators evaluate per lane.
         _ => None,
     }
 }
 
-/// Evaluates many union expressions from one shared starting context,
-/// sharing plane scans between queries wherever steps line up.
-pub(crate) fn evaluate_union_many(
-    cx: &EvalCx<'_>,
-    queries: &[&UnionExpr],
+/// Evaluates many physical plans from one shared starting context,
+/// sharing plane scans between queries wherever planned steps line up.
+pub(crate) fn run_many_plans(
+    ex: &Executor<'_>,
+    plans: &[&PhysicalPlan],
     context: &Context,
 ) -> Vec<EvalOutput> {
     let mut scratch = Scratch::new();
     let mut lanes: Vec<Lane<'_>> = Vec::new();
-    for (query, expr) in queries.iter().enumerate() {
-        for path in &expr.branches {
+    for (query, plan) in plans.iter().enumerate() {
+        for path in plan.branches() {
             let ctx = if path.absolute {
-                Context::singleton(cx.doc.root())
+                Context::singleton(ex.doc.root())
             } else {
                 context.clone()
             };
@@ -113,43 +90,37 @@ pub(crate) fn evaluate_union_many(
     }
 
     // Rounds: every unfinished lane advances one step per round; lanes
-    // whose current steps share a batchable axis advance together.
+    // whose current steps share a batchable (axis, variant) group
+    // advance together.
     loop {
-        let mut desc_group: Vec<usize> = Vec::new();
-        let mut anc_group: Vec<usize> = Vec::new();
+        // Per (vertical axis, variant) groups; one engine per batch call
+        // keeps the variant set tiny, but auto plans are free to mix.
+        let mut groups: Vec<((VertAxis, Variant), Vec<usize>)> = Vec::new();
         let mut fallback: Vec<usize> = Vec::new();
-        let mut variant = Variant::default();
         for (i, lane) in lanes.iter().enumerate() {
             let Some(step) = lane.pending() else { continue };
-            match batchable(&cx.engine, step) {
-                Some((Vert::Descendant, v)) => {
-                    variant = v;
-                    desc_group.push(i);
-                }
-                Some((Vert::Ancestor, v)) => {
-                    variant = v;
-                    anc_group.push(i);
-                }
+            match batchable(step) {
+                Some(key) => match groups.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, members)) => members.push(i),
+                    None => groups.push((key, vec![i])),
+                },
                 None => fallback.push(i),
             }
         }
-        if desc_group.is_empty() && anc_group.is_empty() && fallback.is_empty() {
+        if groups.is_empty() && fallback.is_empty() {
             break;
         }
 
         for i in fallback {
             let lane = &mut lanes[i];
-            let step = &lane.path.steps[lane.step];
-            let (next, trace) = cx.eval_step(&lane.ctx, step);
+            let step = &lane.path.steps()[lane.step];
+            let (next, trace) = ex.exec_step(&lane.ctx, step);
             lane.stats.steps.push(trace);
             scratch.recycle(std::mem::replace(&mut lane.ctx, next));
             lane.step += 1;
         }
 
-        for (group, vert) in [(desc_group, Vert::Descendant), (anc_group, Vert::Ancestor)] {
-            if group.is_empty() {
-                continue;
-            }
+        for ((vert, variant), group) in groups {
             // Dedup identical current contexts up front: the join runs
             // once per unique context and duplicates borrow the shared
             // base result instead of cloning it. The shared pass's cost
@@ -171,13 +142,15 @@ pub(crate) fn evaluate_union_many(
             let joined = {
                 let contexts: Vec<&Context> = uniq.iter().map(|&i| &lanes[i].ctx).collect();
                 match vert {
-                    Vert::Descendant => descendant_many(cx.doc, &contexts, variant, &mut scratch),
-                    Vert::Ancestor => ancestor_many(cx.doc, &contexts, variant, &mut scratch),
+                    VertAxis::Descendant => {
+                        descendant_many(ex.doc, &contexts, variant, &mut scratch)
+                    }
+                    VertAxis::Ancestor => ancestor_many(ex.doc, &contexts, variant, &mut scratch),
                 }
             };
             let axis = match vert {
-                Vert::Descendant => Axis::Descendant,
-                Vert::Ancestor => Axis::Ancestor,
+                VertAxis::Descendant => Axis::Descendant,
+                VertAxis::Ancestor => Axis::Ancestor,
             };
             // Fuse name tests over each shared base: one pass reading
             // `kind`/`tag` serves every lane filtering the same base by
@@ -189,15 +162,15 @@ pub(crate) fn evaluate_union_many(
                     .enumerate()
                     .filter(|&(gi, _)| slot_of[gi] == slot)
                     .filter_map(|(gi, &i)| {
-                        let step = &lanes[i].path.steps[lanes[i].step];
-                        if matches!(step.axis, Axis::DescendantOrSelf | Axis::AncestorOrSelf) {
+                        let step = &lanes[i].path.steps()[lanes[i].step];
+                        if matches!(step.axis(), Axis::DescendantOrSelf | Axis::AncestorOrSelf) {
                             return None; // or-self lanes merge selves later
                         }
-                        let NodeTest::Name(name) = &step.test else {
+                        let crate::ast::NodeTest::Name(name) = &step.test else {
                             return None;
                         };
                         // An absent name means an empty result.
-                        let tid = cx.doc.tag_id(name).unwrap_or(staircase_accel::NO_TAG);
+                        let tid = ex.doc.tag_id(name).unwrap_or(staircase_accel::NO_TAG);
                         Some((gi, tid))
                     })
                     .collect();
@@ -207,10 +180,10 @@ pub(crate) fn evaluate_union_many(
                 let mut bufs: Vec<Vec<_>> = named.iter().map(|_| scratch.take()).collect();
                 let element = NodeKind::Element;
                 for v in base.iter() {
-                    if cx.doc.kind(v) != element {
+                    if ex.doc.kind(v) != element {
                         continue;
                     }
-                    let t = cx.doc.tag(v);
+                    let t = ex.doc.tag(v);
                     for (bi, &(_, tid)) in named.iter().enumerate() {
                         if tid == t {
                             bufs[bi].push(v);
@@ -225,13 +198,13 @@ pub(crate) fn evaluate_union_many(
             for (gi, &i) in group.iter().enumerate() {
                 let (base, jstats) = &joined[slot_of[gi]];
                 let lane = &mut lanes[i];
-                let step = &lane.path.steps[lane.step];
+                let step = &lane.path.steps()[lane.step];
                 let mut out = match fused[gi].take() {
                     Some(filtered) => filtered,
-                    None => apply_test(cx.doc, base, &step.test, axis),
+                    None => apply_test(ex.doc, base, &step.test, axis),
                 };
-                if matches!(step.axis, Axis::DescendantOrSelf | Axis::AncestorOrSelf) {
-                    let selves = apply_test(cx.doc, &lane.ctx, &step.test, Axis::SelfAxis);
+                if matches!(step.axis(), Axis::DescendantOrSelf | Axis::AncestorOrSelf) {
+                    let selves = apply_test(ex.doc, &lane.ctx, &step.test, Axis::SelfAxis);
                     out = merge(&out, &selves);
                     scratch.recycle(selves);
                 }
@@ -241,7 +214,7 @@ pub(crate) fn evaluate_union_many(
                     0
                 };
                 lane.stats.steps.push(StepTrace {
-                    step: step.to_string(),
+                    step: step.source().to_string(),
                     result_size: out.len(),
                     nodes_touched: touched,
                     tuples_produced: out.len() as u64,
@@ -256,9 +229,9 @@ pub(crate) fn evaluate_union_many(
     }
 
     // Reassemble per-query outputs: branches merge in declaration order,
-    // step traces concatenate in the same order as sequential
-    // `evaluate_union`.
-    let mut outputs: Vec<Option<EvalOutput>> = queries.iter().map(|_| None).collect();
+    // step traces concatenate in the same order as the sequential
+    // interpreter.
+    let mut outputs: Vec<Option<EvalOutput>> = plans.iter().map(|_| None).collect();
     for lane in lanes {
         let branch = EvalOutput {
             result: lane.ctx,

@@ -10,7 +10,8 @@
 //! let parallel = Engine::staircase().parallel(4).build()?;
 //! let sql = Engine::sql().eq1_window(true).early_nametest(true).build()?;
 //! let naive = Engine::naive();
-//! # let _ = (skipping, pushdown, parallel, sql, naive);
+//! let auto = Engine::auto(); // cost-based per-step operator picking
+//! # let _ = (skipping, pushdown, parallel, sql, naive, auto);
 //! # Ok::<(), staircase_xpath::Error>(())
 //! ```
 //!
@@ -52,6 +53,10 @@ pub(crate) enum EngineKind {
         eq1_window: bool,
         early_nametest: bool,
     },
+    /// Cost-based per-step operator picking: the planner prices the
+    /// candidate operators for every step from document statistics and
+    /// keeps the cheapest.
+    Auto,
 }
 
 impl Default for Engine {
@@ -94,6 +99,7 @@ impl fmt::Debug for Engine {
                     "sql(eq1_window: {eq1_window}, early_nametest: {early_nametest})"
                 )
             }
+            EngineKind::Auto => write!(f, "auto"),
         }
     }
 }
@@ -124,6 +130,24 @@ impl Engine {
         Engine {
             kind: EngineKind::Naive,
         }
+    }
+
+    /// The cost-based planner: instead of fixing one evaluator for the
+    /// whole query, every step's operator is chosen by pricing the
+    /// candidates — plain staircase join, prebuilt §6 tag fragment, the
+    /// Figure-3 SQL plan — against document statistics (node counts,
+    /// per-tag fragment sizes, Equation-1 context-window estimates).
+    /// Results are node-identical to every fixed engine
+    /// (property-tested); only the access pattern changes.
+    pub fn auto() -> Engine {
+        Engine {
+            kind: EngineKind::Auto,
+        }
+    }
+
+    /// `true` for the cost-based planner ([`Engine::auto`]).
+    pub fn is_auto(&self) -> bool {
+        self.kind == EngineKind::Auto
     }
 
     /// `true` for the staircase family (serial, fragmented, parallel).
@@ -273,6 +297,14 @@ mod tests {
     }
 
     #[test]
+    fn auto_is_its_own_kind() {
+        assert!(Engine::auto().is_auto());
+        assert!(!Engine::auto().is_staircase());
+        assert!(!Engine::default().is_auto());
+        assert_eq!(format!("{:?}", Engine::auto()), "auto");
+    }
+
+    #[test]
     fn builders_cover_every_kind() {
         let engines = [
             Engine::staircase().variant(Variant::Basic).build().unwrap(),
@@ -285,6 +317,7 @@ mod tests {
                 .early_nametest(true)
                 .build()
                 .unwrap(),
+            Engine::auto(),
         ];
         // All distinct configurations.
         for (i, a) in engines.iter().enumerate() {

@@ -1,22 +1,28 @@
-//! Path evaluation over pluggable axis-step engines.
+//! The plan interpreter: executes a [`PhysicalPlan`] over a document.
 //!
-//! The evaluation core is [`EvalCx`], an internal context pairing a
-//! document with a *resolved* engine — an engine whose auxiliary
-//! structures (per-tag fragments, the SQL B-tree) have already been
-//! built. [`crate::Session`] resolves engines against its lazily built,
-//! cached structures. Everything below the resolution step is total: no
-//! panics, no `unwrap`. Multi-query (batched) evaluation builds on the
-//! same primitives in [`crate::batch`].
+//! Since the plan/execute split, this module makes **no engine
+//! decisions**: every step arrives as a [`PlannedStep`] whose operator
+//! was chosen by [`crate::plan`] (trivially, for fixed engines;
+//! cost-based, for [`crate::Engine::auto`]), and [`Executor`] merely
+//! dispatches on it. The executor pairs the document with whichever
+//! auxiliary structures the plan requires — the per-tag fragments and
+//! the SQL B-tree, resolved by [`crate::Session`] against its caches.
+//! Everything below that resolution step is total: no panics, no
+//! `unwrap`. Multi-query (batched) evaluation interprets the same IR in
+//! [`crate::batch`].
 
 use staircase_accel::{Axis, Context, Doc, NodeKind, Pre};
 use staircase_baselines::{naive_step, SqlEngine, SqlPlanOptions};
 use staircase_core::{
     ancestor, ancestor_on_list, ancestor_parallel, descendant, descendant_on_list,
     descendant_parallel, following, has_ancestor_in, has_child_in, has_descendant_in, preceding,
-    TagIndex, Variant,
+    TagIndex,
 };
 
-use crate::ast::{NodeTest, Path, Predicate, Step, UnionExpr};
+use crate::ast::NodeTest;
+use crate::plan::{
+    axis_of, PartAxis, PathPlan, PhysicalPlan, PlannedStep, PredOp, SemijoinAxis, StepOp, VertAxis,
+};
 
 /// Per-step trace of an evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,72 +70,24 @@ pub struct EvalOutput {
     pub stats: EvalStats,
 }
 
-/// An engine whose auxiliary structures are in hand; produced by
-/// [`crate::Session`] against its cached structures.
-pub(crate) enum ResolvedEngine<'a> {
-    /// Staircase join, optionally with query-time name-test pushdown.
-    Staircase {
-        /// Skipping refinement.
-        variant: Variant,
-        /// §4.4 Experiment 3 query-time pushdown.
-        pushdown: bool,
-    },
-    /// Staircase join over prebuilt per-tag fragments (§6).
-    Fragmented {
-        /// Skipping refinement.
-        variant: Variant,
-        /// The fragments, built at document loading time.
-        tags: &'a TagIndex,
-    },
-    /// Partitioned parallel staircase join; `threads >= 1` is guaranteed
-    /// by the engine builder.
-    Parallel {
-        /// Skipping refinement.
-        variant: Variant,
-        /// Worker count.
-        threads: usize,
-    },
-    /// Per-context region queries + duplicate elimination (§3.1).
-    Naive,
-    /// Tree-unaware B-tree plan (Figure 3).
-    Sql {
-        /// Paper line-7 window predicate.
-        eq1_window: bool,
-        /// Filter by tag during the index scan.
-        early_nametest: bool,
-        /// The prebuilt concatenated-key B-tree.
-        sql: &'a SqlEngine,
-    },
-}
-
-/// The four partitioning axes, as a closed enum so axis dispatch below
-/// needs no unreachable arms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PartAxis {
-    Descendant,
-    Ancestor,
-    Following,
-    Preceding,
-}
-
-/// The two axes with a fragment (on-list) join form.
-#[derive(Debug, Clone, Copy)]
-enum VertAxis {
-    Descendant,
-    Ancestor,
-}
-
-/// The internal evaluation context: document + resolved engine.
-pub(crate) struct EvalCx<'a> {
+/// The plan interpreter: a document plus exactly the auxiliary
+/// structures the plan at hand requires (resolved by
+/// [`crate::Session`]).
+pub(crate) struct Executor<'a> {
     pub(crate) doc: &'a Doc,
-    pub(crate) engine: ResolvedEngine<'a>,
+    /// Prebuilt per-tag fragments; `Some` whenever the plan contains a
+    /// prebuilt fragment join or semijoin.
+    pub(crate) tags: Option<&'a TagIndex>,
+    /// The SQL baseline's B-tree; `Some` whenever the plan contains an
+    /// SQL step.
+    pub(crate) sql: Option<&'a SqlEngine>,
 }
 
-impl<'a> EvalCx<'a> {
-    /// Evaluates a union expression: each branch independently from
+impl<'a> Executor<'a> {
+    /// Interprets a whole plan: each branch independently from
     /// `context`, results merged into document order (duplicate-free).
-    pub(crate) fn evaluate_union(&self, expr: &UnionExpr, context: &Context) -> EvalOutput {
-        let mut branches = expr.branches.iter().map(|p| self.evaluate_path(p, context));
+    pub(crate) fn run_plan(&self, plan: &PhysicalPlan, context: &Context) -> EvalOutput {
+        let mut branches = plan.branches.iter().map(|b| self.run_branch(b, context));
         let Some(mut acc) = branches.next() else {
             // The parser guarantees at least one branch; an empty union is
             // harmlessly empty rather than a panic.
@@ -145,44 +103,31 @@ impl<'a> EvalCx<'a> {
         acc
     }
 
-    /// Evaluates a parsed path from an explicit context.
-    pub(crate) fn evaluate_path(&self, path: &Path, context: &Context) -> EvalOutput {
-        let mut ctx = if path.absolute {
+    /// Interprets one branch plan from an explicit context.
+    pub(crate) fn run_branch(&self, branch: &PathPlan, context: &Context) -> EvalOutput {
+        let mut ctx = if branch.absolute {
             Context::singleton(self.doc.root())
         } else {
             context.clone()
         };
         let mut stats = EvalStats::default();
-        for step in &path.steps {
-            let (next, trace) = self.eval_step(&ctx, step);
+        for step in &branch.steps {
+            let (next, trace) = self.exec_step(&ctx, step);
             stats.steps.push(trace);
             ctx = next;
         }
         EvalOutput { result: ctx, stats }
     }
 
-    /// Evaluates one step (axis, node test, predicates) from `ctx`; also
-    /// the per-query fallback of the batch evaluator.
-    pub(crate) fn eval_step(&self, ctx: &Context, step: &Step) -> (Context, StepTrace) {
-        let (mut out, touched, produced) = self.eval_axis_and_test(ctx, step);
+    /// Interprets one planned step (join, node test, predicates); also
+    /// the per-lane fallback of the batch evaluator.
+    pub(crate) fn exec_step(&self, ctx: &Context, step: &PlannedStep) -> (Context, StepTrace) {
+        let (mut out, touched, produced) = self.exec_join_and_test(ctx, step);
         for pred in &step.predicates {
-            let Predicate::Exists(path) = pred;
-            out = match self.try_semijoin_predicate(&out, path) {
-                Some(filtered) => filtered,
-                None => Context::from_sorted(
-                    out.iter()
-                        .filter(|&v| {
-                            !self
-                                .evaluate_path(path, &Context::singleton(v))
-                                .result
-                                .is_empty()
-                        })
-                        .collect::<Vec<Pre>>(),
-                ),
-            };
+            out = self.exec_predicate(&out, pred);
         }
         let trace = StepTrace {
-            step: step.to_string(),
+            step: step.rendered.clone(),
             result_size: out.len(),
             nodes_touched: touched,
             tuples_produced: produced.max(out.len() as u64),
@@ -190,76 +135,75 @@ impl<'a> EvalCx<'a> {
         (out, trace)
     }
 
-    /// The tag fragments, when the engine prebuilt them.
-    fn fragments(&self) -> Option<&'a TagIndex> {
-        match self.engine {
-            ResolvedEngine::Fragmented { tags, .. } => Some(tags),
-            _ => None,
+    /// The prebuilt fragment index (resolved by the session whenever the
+    /// plan calls for it; the scan fallback keeps this total even if a
+    /// hand-built plan slips through without one).
+    fn fragment_list(&self, name: &str) -> std::borrow::Cow<'a, [Pre]> {
+        match self.tags {
+            Some(idx) => std::borrow::Cow::Borrowed(idx.fragment_by_name(self.doc, name)),
+            None => std::borrow::Cow::Owned(self.scan_list(name)),
         }
     }
 
-    /// Fast path for simple existential predicates on staircase-family
-    /// engines: `[descendant::t]`, `[child::t]` (also the abbreviated
-    /// `[t]`) and `[ancestor::t]` become one semijoin probe per candidate
-    /// instead of a full path evaluation (§3.3's empty-region argument:
-    /// the first fragment node after `c` decides the predicate).
-    fn try_semijoin_predicate(&self, candidates: &Context, path: &Path) -> Option<Context> {
-        if !matches!(
-            self.engine,
-            ResolvedEngine::Staircase { .. }
-                | ResolvedEngine::Fragmented { .. }
-                | ResolvedEngine::Parallel { .. }
-        ) {
-            return None;
-        }
-        if path.absolute || path.steps.len() != 1 {
-            return None;
-        }
-        let step = &path.steps[0];
-        if !step.predicates.is_empty() {
-            return None;
-        }
-        let NodeTest::Name(name) = &step.test else {
-            return None;
-        };
-        let doc = self.doc;
-        let owned;
-        let list: &[Pre] = if let Some(idx) = self.fragments() {
-            idx.fragment_by_name(doc, name)
-        } else {
-            owned = doc
-                .tag_id(name)
-                .map(|t| doc.elements_with_tag(t))
-                .unwrap_or_default();
-            &owned
-        };
-        let (out, _) = match step.axis {
-            Axis::Descendant => has_descendant_in(doc, candidates, list),
-            Axis::Child => has_child_in(doc, candidates, list),
-            Axis::Ancestor => has_ancestor_in(doc, candidates, list),
-            _ => return None,
-        };
-        Some(out)
+    /// `nametest(doc, name)` as a query-time selection scan.
+    fn scan_list(&self, name: &str) -> Vec<Pre> {
+        self.doc
+            .tag_id(name)
+            .map(|t| self.doc.elements_with_tag(t))
+            .unwrap_or_default()
     }
 
-    /// Evaluates axis + node test; returns (result, nodes touched, tuples
-    /// produced before dedup).
-    fn eval_axis_and_test(&self, ctx: &Context, step: &Step) -> (Context, u64, u64) {
+    /// Executes one lowered predicate against the candidate set.
+    fn exec_predicate(&self, candidates: &Context, pred: &PredOp) -> Context {
+        match pred {
+            PredOp::Semijoin {
+                axis,
+                name,
+                prebuilt,
+            } => {
+                let owned = if *prebuilt {
+                    self.fragment_list(name)
+                } else {
+                    std::borrow::Cow::Owned(self.scan_list(name))
+                };
+                let list: &[Pre] = &owned;
+                let (out, _) = match axis {
+                    SemijoinAxis::Descendant => has_descendant_in(self.doc, candidates, list),
+                    SemijoinAxis::Child => has_child_in(self.doc, candidates, list),
+                    SemijoinAxis::Ancestor => has_ancestor_in(self.doc, candidates, list),
+                };
+                out
+            }
+            PredOp::Filter(sub) => Context::from_sorted(
+                candidates
+                    .iter()
+                    .filter(|&v| {
+                        !self
+                            .run_branch(sub, &Context::singleton(v))
+                            .result
+                            .is_empty()
+                    })
+                    .collect::<Vec<Pre>>(),
+            ),
+        }
+    }
+
+    /// Executes the step's join operator and node test; returns
+    /// (result, nodes touched, tuples produced before dedup).
+    fn exec_join_and_test(&self, ctx: &Context, step: &PlannedStep) -> (Context, u64, u64) {
         let doc = self.doc;
         match step.axis {
-            Axis::Descendant => self.partitioning_step(ctx, PartAxis::Descendant, &step.test),
-            Axis::Ancestor => self.partitioning_step(ctx, PartAxis::Ancestor, &step.test),
-            Axis::Following => self.partitioning_step(ctx, PartAxis::Following, &step.test),
-            Axis::Preceding => self.partitioning_step(ctx, PartAxis::Preceding, &step.test),
+            Axis::Descendant => self.partitioning(ctx, PartAxis::Descendant, step),
+            Axis::Ancestor => self.partitioning(ctx, PartAxis::Ancestor, step),
+            Axis::Following => self.partitioning(ctx, PartAxis::Following, step),
+            Axis::Preceding => self.partitioning(ctx, PartAxis::Preceding, step),
             Axis::DescendantOrSelf => {
-                let (base, touched, produced) =
-                    self.partitioning_step(ctx, PartAxis::Descendant, &step.test);
+                let (base, touched, produced) = self.partitioning(ctx, PartAxis::Descendant, step);
                 let selves = apply_test(doc, ctx, &step.test, Axis::SelfAxis);
                 (merge(&base, &selves), touched, produced)
             }
             Axis::AncestorOrSelf => {
-                let (base, touched, produced) =
-                    self.partitioning_step(ctx, PartAxis::Ancestor, &step.test);
+                let (base, touched, produced) = self.partitioning(ctx, PartAxis::Ancestor, step);
                 let selves = apply_test(doc, ctx, &step.test, Axis::SelfAxis);
                 (merge(&base, &selves), touched, produced)
             }
@@ -364,97 +308,91 @@ impl<'a> EvalCx<'a> {
         }
     }
 
-    /// A name-tested descendant/ancestor step as an on-list (fragment)
-    /// join, when the engine supports it: prebuilt fragments (§6) or a
-    /// query-time name-test scan (§4.4 early nametest) — the join itself
-    /// is identical.
-    fn fragment_step(
-        &self,
-        ctx: &Context,
-        vert: VertAxis,
-        name: &str,
-    ) -> Option<(Context, u64, u64)> {
-        let doc = self.doc;
-        match self.engine {
-            ResolvedEngine::Fragmented { tags, .. } => Some(on_list_join(
-                doc,
-                vert,
-                tags.fragment_by_name(doc, name),
-                ctx,
-                0,
-            )),
-            ResolvedEngine::Staircase { pushdown: true, .. } => {
-                // nametest(doc, n) selection scan at query time.
-                let list = doc
-                    .tag_id(name)
-                    .map(|t| doc.elements_with_tag(t))
-                    .unwrap_or_default();
-                Some(on_list_join(doc, vert, &list, ctx, doc.len() as u64))
-            }
-            _ => None,
-        }
-    }
-
-    fn partitioning_step(
+    /// Executes a partitioning-axis step with the planned operator.
+    fn partitioning(
         &self,
         ctx: &Context,
         paxis: PartAxis,
-        test: &NodeTest,
+        step: &PlannedStep,
     ) -> (Context, u64, u64) {
         let doc = self.doc;
-        // Fragment fast path: name tests on the two vertical axes.
-        if let NodeTest::Name(name) = test {
-            let vert = match paxis {
-                PartAxis::Descendant => Some(VertAxis::Descendant),
-                PartAxis::Ancestor => Some(VertAxis::Ancestor),
-                _ => None,
-            };
-            if let Some(vert) = vert {
-                if let Some(out) = self.fragment_step(ctx, vert, name) {
-                    return out;
+        match step.op {
+            StepOp::Fragment { prescan } => {
+                // The planner only emits fragment joins for name-tested
+                // vertical steps; anything else falls through to the
+                // plain join so a hand-built plan stays total.
+                let (vert, name) = match (paxis, &step.test) {
+                    (PartAxis::Descendant, NodeTest::Name(name)) => (VertAxis::Descendant, name),
+                    (PartAxis::Ancestor, NodeTest::Name(name)) => (VertAxis::Ancestor, name),
+                    _ => {
+                        return self.plain_staircase(
+                            ctx,
+                            paxis,
+                            step,
+                            staircase_core::Variant::default(),
+                        )
+                    }
+                };
+                if prescan {
+                    // nametest(doc, n) selection scan at query time; its
+                    // cost is the whole plane (§4.4) — except for names
+                    // absent from the dictionary, where no scan runs.
+                    let scan_cost = if doc.tag_id(name).is_some() {
+                        doc.len() as u64
+                    } else {
+                        0
+                    };
+                    let list = self.scan_list(name);
+                    on_list_join(doc, vert, &list, ctx, scan_cost)
+                } else {
+                    let list = self.fragment_list(name);
+                    on_list_join(doc, vert, &list, ctx, 0)
                 }
             }
-        }
-        match self.engine {
-            ResolvedEngine::Staircase { variant, .. }
-            | ResolvedEngine::Fragmented { variant, .. } => {
-                let (base, stats) = match paxis {
-                    PartAxis::Descendant => descendant(doc, ctx, variant),
-                    PartAxis::Ancestor => ancestor(doc, ctx, variant),
-                    PartAxis::Following => following(doc, ctx),
-                    PartAxis::Preceding => preceding(doc, ctx),
-                };
-                let out = apply_test(doc, &base, test, axis_of(paxis));
-                (out, stats.nodes_touched(), 0)
+            StepOp::Staircase { variant } => self.plain_staircase(ctx, paxis, step, variant),
+            // The horizontal scan ignores the variant: pruning collapses
+            // the context to one node and the region is contiguous.
+            StepOp::Horiz => {
+                self.plain_staircase(ctx, paxis, step, staircase_core::Variant::default())
             }
-            ResolvedEngine::Parallel { variant, threads } => {
+            StepOp::Parallel { variant, threads } => {
                 let (base, stats) = match paxis {
                     PartAxis::Descendant => descendant_parallel(doc, ctx, variant, threads),
                     PartAxis::Ancestor => ancestor_parallel(doc, ctx, variant, threads),
                     PartAxis::Following => following(doc, ctx),
                     PartAxis::Preceding => preceding(doc, ctx),
                 };
-                let out = apply_test(doc, &base, test, axis_of(paxis));
+                let out = apply_test(doc, &base, &step.test, axis_of(paxis));
                 (out, stats.nodes_touched(), 0)
             }
-            ResolvedEngine::Naive => {
+            StepOp::Naive | StepOp::Structural => {
+                // Structural never reaches a partitioning axis from the
+                // planner; route it through the naive region scan so a
+                // hand-built plan still evaluates correctly.
                 let (base, stats) = naive_step(doc, ctx, axis_of(paxis));
-                let out = apply_test(doc, &base, test, axis_of(paxis));
+                let out = apply_test(doc, &base, &step.test, axis_of(paxis));
                 (out, stats.nodes_scanned, stats.tuples_produced)
             }
-            ResolvedEngine::Sql {
+            StepOp::Sql {
                 eq1_window,
                 early_nametest,
-                sql,
             } => {
-                let pushed_tag = match (early_nametest, test) {
+                let pushed_tag = match (early_nametest, &step.test) {
                     (true, NodeTest::Name(name)) => doc.tag_id(name),
                     _ => None,
                 };
-                if early_nametest && matches!(test, NodeTest::Name(_)) && pushed_tag.is_none() {
+                if early_nametest && matches!(step.test, NodeTest::Name(_)) && pushed_tag.is_none()
+                {
                     // Name never occurs in the document: empty result.
                     return (Context::empty(), 0, 0);
                 }
+                let Some(sql) = self.sql else {
+                    // Resolution always provides the B-tree for SQL plans;
+                    // stay total for hand-built plans.
+                    let (base, stats) = naive_step(doc, ctx, axis_of(paxis));
+                    let out = apply_test(doc, &base, &step.test, axis_of(paxis));
+                    return (out, stats.nodes_scanned, stats.tuples_produced);
+                };
                 let opts = SqlPlanOptions {
                     eq1_window,
                     early_nametest: pushed_tag,
@@ -463,15 +401,35 @@ impl<'a> EvalCx<'a> {
                 let out = if pushed_tag.is_some() {
                     base
                 } else {
-                    apply_test(doc, &base, test, axis_of(paxis))
+                    apply_test(doc, &base, &step.test, axis_of(paxis))
                 };
                 (out, stats.index_entries_scanned, stats.tuples_produced)
             }
         }
     }
+
+    /// The serial staircase join over the whole plane, plus node test.
+    fn plain_staircase(
+        &self,
+        ctx: &Context,
+        paxis: PartAxis,
+        step: &PlannedStep,
+        variant: staircase_core::Variant,
+    ) -> (Context, u64, u64) {
+        let doc = self.doc;
+        let (base, stats) = match paxis {
+            PartAxis::Descendant => descendant(doc, ctx, variant),
+            PartAxis::Ancestor => ancestor(doc, ctx, variant),
+            PartAxis::Following => following(doc, ctx),
+            PartAxis::Preceding => preceding(doc, ctx),
+        };
+        let out = apply_test(doc, &base, &step.test, axis_of(paxis));
+        (out, stats.nodes_touched(), 0)
+    }
 }
 
-/// The on-list (fragment) join with its name-test scan cost folded in.
+/// The two vertical axes' on-list (fragment) join with its name-test
+/// scan cost folded in.
 fn on_list_join(
     doc: &Doc,
     vert: VertAxis,
@@ -484,15 +442,6 @@ fn on_list_join(
         VertAxis::Ancestor => ancestor_on_list(doc, list, ctx),
     };
     (out, stats.nodes_touched() + scan_cost, 0)
-}
-
-fn axis_of(paxis: PartAxis) -> Axis {
-    match paxis {
-        PartAxis::Descendant => Axis::Descendant,
-        PartAxis::Ancestor => Axis::Ancestor,
-        PartAxis::Following => Axis::Following,
-        PartAxis::Preceding => Axis::Preceding,
-    }
 }
 
 /// Applies a node test to a node sequence.
@@ -570,6 +519,8 @@ mod tests {
     use super::*;
     use crate::engine::Engine;
     use crate::session::Session;
+    use staircase_accel::NodeKind;
+    use staircase_core::Variant;
 
     fn figure1() -> Doc {
         Doc::from_xml("<a><b><c/></b><d/><e><f><g/><h/></f><i><j/></i></e></a>").unwrap()
@@ -588,7 +539,7 @@ mod tests {
         .unwrap()
     }
 
-    fn engines() -> [Engine; 7] {
+    fn engines() -> [Engine; 8] {
         [
             Engine::staircase().variant(Variant::Basic).build().unwrap(),
             Engine::staircase()
@@ -604,6 +555,7 @@ mod tests {
                 .early_nametest(true)
                 .build()
                 .unwrap(),
+            Engine::auto(),
         ]
     }
 
@@ -817,6 +769,22 @@ mod tests {
         for engine in engines() {
             let out = query.run(engine);
             assert_eq!(out.nodes(), reference.nodes(), "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn auto_matches_default_on_every_fixture_query() {
+        let session = Session::new(auction_doc());
+        for query in [
+            "/descendant::profile/descendant::education",
+            "/descendant::increase/ancestor::bidder",
+            "//open_auction[bidder/increase]/@id",
+            "//bidder/following::node()",
+            "/descendant::node()/preceding::increase",
+        ] {
+            let auto = session.run(query, Engine::auto()).unwrap();
+            let fixed = session.run(query, Engine::default()).unwrap();
+            assert_eq!(auto.nodes(), fixed.nodes(), "{query}");
         }
     }
 }

@@ -1,29 +1,54 @@
 //! # staircase-xpath
 //!
-//! An XPath subset — parser, AST and evaluator — over the XPath
-//! accelerator encoding, fronted by a session API:
+//! An XPath subset — parser, AST, **planner**, and plan interpreter —
+//! over the XPath accelerator encoding, fronted by a session API.
+//!
+//! ## The plan/execute split
+//!
+//! Query evaluation is two phases. *Planning* lowers a parsed
+//! expression into a [`PhysicalPlan`]: per step, a typed operator
+//! ([`StepOp`] — plain staircase join, §6 tag-fragment join, parallel
+//! join, §3.1 naive region scan, Figure-3 SQL plan, horizontal scan,
+//! structural axis), a node-test operator ([`TestOp`]), lowered
+//! predicate operators ([`PredOp`], including the §3.3 semijoin fast
+//! path), and a cost estimate. *Execution* interprets the plan; it makes
+//! no engine decisions of its own.
+//!
+//! An [`Engine`] is therefore a **planning policy**:
+//!
+//! * the fixed engines — `Engine::staircase().variant(..).pushdown(..)`,
+//!   `.fragmented(true)`, `.parallel(n)`, `Engine::sql().eq1_window(..)`,
+//!   [`Engine::naive`] — lower every step to the operator that engine
+//!   always uses (builders validate configurations up front);
+//! * [`Engine::auto`] prices the candidate operators per step from
+//!   document statistics (node counts, per-tag fragment sizes,
+//!   Equation-1 context-window estimates; see
+//!   [`staircase_core::cost`]) and keeps the cheapest — fragment joins
+//!   for selective name tests, the estimation-skipping staircase join
+//!   for unselective steps. Results are node-identical to every fixed
+//!   engine (property-tested); only the access pattern changes.
+//!
+//! [`Session::explain`] / [`Query::explain`] return the plan with
+//! per-step cost estimates (`xq --explain` on the command line).
+//!
+//! ## The session API
 //!
 //! * [`Session`] owns a loaded document plus lazily built, cached
 //!   auxiliary structures (per-tag fragments, the SQL baseline's
-//!   B-tree), shared across queries and engines; [`Session::warm`]
-//!   builds both eagerly (and concurrently) ahead of traffic;
+//!   B-tree, document statistics), shared across queries and engines;
+//!   executing a plan builds exactly what that plan needs.
+//!   [`Session::warm`] builds everything eagerly (and concurrently)
+//!   ahead of traffic;
 //! * [`Query`] ([`Session::prepare`]) is parsed once and run many times,
-//!   against any engine, yielding a [`QueryOutput`];
+//!   against any engine, yielding a [`QueryOutput`]; physical plans are
+//!   cached per engine, so repeated runs skip re-planning;
 //! * [`Session::run_many`] evaluates a whole *batch* of prepared
-//!   queries, merging their staircase boundaries so aligned
-//!   `descendant`/`ancestor` steps share **one pass over the plane**
-//!   instead of rescanning per query;
-//! * [`Engine`] configurations come from builders —
-//!   `Engine::staircase().variant(..).pushdown(..)`, `.parallel(n)`,
-//!   `Engine::sql().eq1_window(..)`, [`Engine::naive`] — validated at
-//!   build time;
+//!   queries, grouping each round's lanes **by planned operator**:
+//!   steps planned as plain staircase joins share one pass over the
+//!   plane via the multi-context joins, everything else falls back to
+//!   the per-lane interpreter;
 //! * every failure is a typed [`Error`]; nothing on the query path
 //!   panics.
-//!
-//! The engines: the paper's staircase join (any
-//! [`staircase_core::Variant`], optionally with §4.4 name-test pushdown
-//! or §6 prebuilt per-tag fragments), the partitioned parallel join, the
-//! §3.1 naive strategy, and the tree-unaware B-tree plan of Figure 3.
 //!
 //! The supported grammar covers what the paper's experiments need and the
 //! usual abbreviations:
@@ -38,30 +63,34 @@
 //!
 //! ## Example
 //!
-//! A server-shaped workload: warm the session once, prepare the query
-//! mix, answer the whole batch with shared plane scans.
+//! Cost-based planning end to end: inspect the plan, then run it.
 //!
 //! ```
-//! use staircase_xpath::{Engine, Error, Session};
+//! use staircase_xpath::{Engine, Error, Session, StepOp};
 //!
 //! let session = Session::parse_xml(
 //!     "<site><open_auctions><open_auction><bidder><increase/></bidder>\
 //!      <bidder><increase/></bidder></open_auction></open_auctions></site>")?;
-//! session.warm(); // aux structures built eagerly, in parallel
 //!
+//! // A selective name test plans as a prebuilt fragment join under auto…
+//! let plan = session.explain("/descendant::increase/ancestor::bidder",
+//!                            Engine::auto())?;
+//! assert!(matches!(plan.branches()[0].steps()[0].operator(),
+//!                  StepOp::Fragment { prescan: false }));
+//!
+//! // …and runs identically to every fixed engine.
+//! let query = session.prepare("/descendant::increase/ancestor::bidder")?;
+//! assert_eq!(query.run(Engine::auto()).nodes(),
+//!            query.run(Engine::default()).nodes());
+//!
+//! // Batches still share plane passes wherever planned steps line up.
 //! let batch = [
 //!     session.prepare("/descendant::increase/ancestor::bidder")?,
 //!     session.prepare("//bidder")?,
-//!     session.prepare("//increase")?,
 //! ];
 //! let queries: Vec<&_> = batch.iter().collect();
-//! let outputs = session.run_many(&queries, Engine::default());
-//! assert_eq!(outputs.len(), 3);
+//! let outputs = session.run_many(&queries, Engine::auto());
 //! assert_eq!(outputs[1].len(), 2);
-//! // Identical to running each query alone — only the scans are shared.
-//! for (query, out) in batch.iter().zip(&outputs) {
-//!     assert_eq!(out.nodes(), query.run(Engine::default()).nodes());
-//! }
 //! # Ok::<(), Error>(())
 //! ```
 
@@ -73,6 +102,7 @@ mod engine;
 mod error;
 mod eval;
 mod parser;
+mod plan;
 mod session;
 
 pub use ast::{NodeTest, Path, Predicate, Step, UnionExpr};
@@ -80,4 +110,7 @@ pub use engine::{Engine, SqlBuilder, StaircaseBuilder};
 pub use error::Error;
 pub use eval::{EvalOutput, EvalStats, StepTrace};
 pub use parser::{parse, parse_union, ParseError};
+pub use plan::{
+    PathPlan, PhysicalPlan, PlannedStep, PredOp, SemijoinAxis, StepEstimate, StepOp, TestOp,
+};
 pub use session::{AuxBuilds, Query, QueryOutput, Session};

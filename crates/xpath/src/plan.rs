@@ -1,0 +1,891 @@
+//! Physical plans: the typed IR between parsing and execution.
+//!
+//! [`plan_union`] lowers a parsed [`UnionExpr`] into a [`PhysicalPlan`]:
+//! per union branch, a pipeline of [`PlannedStep`]s, each carrying the
+//! chosen join operator ([`StepOp`]), the node-test operator
+//! ([`TestOp`]), the lowered predicate operators ([`PredOp`]), and the
+//! cost model's estimates ([`StepEstimate`]). The evaluator
+//! ([`crate::eval`]) is a pure interpreter of this IR; the batch layer
+//! ([`crate::batch`]) groups lanes by the *planned operator*, so neither
+//! re-derives engine decisions at run time.
+//!
+//! Fixed engines are trivial planning policies — every step lowers to
+//! the operator that engine always uses, exactly reproducing the
+//! pre-split dispatch (asserted by the cross-engine equivalence tests).
+//! [`Engine::auto`] is the interesting policy: for every partitioning
+//! step it prices the candidate operators with
+//! [`staircase_core::cost::DocStats`] — plain staircase join, prebuilt
+//! tag fragment (§6), and the Figure-3 SQL plan — and keeps the
+//! cheapest, the way worst-case-optimal join systems pick per-variable
+//! strategies from cardinality bounds.
+
+use std::fmt;
+
+use staircase_accel::{Axis, Doc};
+use staircase_core::cost::DocStats;
+use staircase_core::Variant;
+
+use crate::ast::{NodeTest, Path, Predicate, Step, UnionExpr};
+use crate::engine::{Engine, EngineKind};
+
+// ── Shared axis classification (used by eval and batch too) ─────────────
+
+/// The four partitioning axes, as a closed enum so axis dispatch needs no
+/// unreachable arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PartAxis {
+    Descendant,
+    Ancestor,
+    Following,
+    Preceding,
+}
+
+/// The two axes with a fragment (on-list) join and a multi-context
+/// (batched) join form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VertAxis {
+    Descendant,
+    Ancestor,
+}
+
+/// The partitioning axis evaluated by `axis` (or-self variants map to
+/// their base axis; the self-merge is layered on top by the evaluator).
+pub(crate) fn part_axis_of(axis: Axis) -> Option<PartAxis> {
+    match axis {
+        Axis::Descendant | Axis::DescendantOrSelf => Some(PartAxis::Descendant),
+        Axis::Ancestor | Axis::AncestorOrSelf => Some(PartAxis::Ancestor),
+        Axis::Following => Some(PartAxis::Following),
+        Axis::Preceding => Some(PartAxis::Preceding),
+        _ => None,
+    }
+}
+
+/// The vertical axis evaluated by `axis`, if any.
+pub(crate) fn vert_axis_of(axis: Axis) -> Option<VertAxis> {
+    match part_axis_of(axis)? {
+        PartAxis::Descendant => Some(VertAxis::Descendant),
+        PartAxis::Ancestor => Some(VertAxis::Ancestor),
+        _ => None,
+    }
+}
+
+pub(crate) fn axis_of(paxis: PartAxis) -> Axis {
+    match paxis {
+        PartAxis::Descendant => Axis::Descendant,
+        PartAxis::Ancestor => Axis::Ancestor,
+        PartAxis::Following => Axis::Following,
+        PartAxis::Preceding => Axis::Preceding,
+    }
+}
+
+// ── The IR ──────────────────────────────────────────────────────────────
+
+/// A fully lowered union expression: one [`PathPlan`] per branch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicalPlan {
+    pub(crate) branches: Vec<PathPlan>,
+}
+
+/// A lowered location path: a pipeline of planned steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathPlan {
+    pub(crate) absolute: bool,
+    pub(crate) steps: Vec<PlannedStep>,
+}
+
+/// One lowered step: the chosen join operator, the node-test operator,
+/// the predicate operators, and the cost model's estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedStep {
+    pub(crate) axis: Axis,
+    pub(crate) test: NodeTest,
+    pub(crate) op: StepOp,
+    pub(crate) test_op: TestOp,
+    pub(crate) predicates: Vec<PredOp>,
+    pub(crate) estimate: StepEstimate,
+    /// Rendered source step (axis, test, predicates) for traces.
+    pub(crate) rendered: String,
+}
+
+/// The join operator chosen for one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOp {
+    /// Staircase join over the whole plane (vertical axes).
+    Staircase {
+        /// Skipping refinement.
+        variant: Variant,
+    },
+    /// On-list staircase join over a per-tag node list. `prescan` means
+    /// the list is produced by a query-time selection scan (§4.4
+    /// name-test pushdown) instead of the prebuilt [`staircase_core::TagIndex`].
+    Fragment {
+        /// Query-time selection scan instead of the prebuilt index.
+        prescan: bool,
+    },
+    /// Partitioned parallel staircase join (vertical axes).
+    Parallel {
+        /// Skipping refinement.
+        variant: Variant,
+        /// Worker count.
+        threads: usize,
+    },
+    /// Horizontal staircase scan: pruning collapses the context to one
+    /// node and `following`/`preceding` become one region copy.
+    Horiz,
+    /// Per-context region queries + duplicate elimination (§3.1).
+    Naive,
+    /// Tree-unaware B-tree plan (Figure 3).
+    Sql {
+        /// Paper line-7 window predicate.
+        eq1_window: bool,
+        /// Filter by tag during the index scan.
+        early_nametest: bool,
+    },
+    /// Engine-independent structural axis (`self`, `child`, `parent`,
+    /// `attribute`, the sibling axes).
+    Structural,
+}
+
+/// How the step's node test is evaluated.
+///
+/// Fusion is a property of the join operator — fragment joins and SQL's
+/// early name test produce exactly the tested nodes, everything else
+/// needs a filter pass — so this field is *derived* from [`StepOp`] by
+/// the planner (the only constructor of plans) and recorded here for
+/// `EXPLAIN` output and plan inspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestOp {
+    /// The join already yields exactly the tested nodes (fragment joins,
+    /// SQL's early name test): no separate pass.
+    Fused,
+    /// A filter pass over the join's base result.
+    ApplyTest,
+}
+
+/// The axes a semijoin predicate probe supports (§3.3's empty-region
+/// argument: the first list node in the candidate's region decides the
+/// predicate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemijoinAxis {
+    /// `[descendant::t]`.
+    Descendant,
+    /// `[child::t]` (also the abbreviated `[t]`).
+    Child,
+    /// `[ancestor::t]`.
+    Ancestor,
+}
+
+/// A lowered step predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredOp {
+    /// One semijoin probe per candidate against a per-tag node list;
+    /// `prebuilt` selects the cached fragment index over a query-time
+    /// selection scan.
+    Semijoin {
+        /// Probe direction.
+        axis: SemijoinAxis,
+        /// The predicate's tag name.
+        name: String,
+        /// Probe the prebuilt [`staircase_core::TagIndex`] fragment.
+        prebuilt: bool,
+    },
+    /// Nested-loop fallback: evaluate the lowered predicate path from
+    /// each candidate and keep candidates with non-empty results.
+    Filter(PathPlan),
+}
+
+/// Cost-model estimates for one planned step, in the cost model's unit
+/// (expected nodes / index entries touched) plus expected output
+/// cardinality. Estimates assume evaluation from the document root —
+/// the session's default — and are heuristics, not bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepEstimate {
+    /// Expected nodes / index entries touched by this step.
+    pub cost: f64,
+    /// Expected result cardinality after tests and predicates.
+    pub rows: f64,
+}
+
+impl PhysicalPlan {
+    /// The per-branch plans (one per `|` branch of the union).
+    pub fn branches(&self) -> &[PathPlan] {
+        &self.branches
+    }
+
+    /// Total planned steps across all branches.
+    pub fn step_count(&self) -> usize {
+        self.branches.iter().map(|b| b.steps.len()).sum()
+    }
+
+    /// Sum of the per-step cost estimates.
+    pub fn estimated_cost(&self) -> f64 {
+        self.branches
+            .iter()
+            .flat_map(|b| &b.steps)
+            .map(|s| s.estimate.cost)
+            .sum()
+    }
+
+    /// Does executing this plan require the prebuilt tag-fragment index?
+    pub(crate) fn needs_tag_index(&self) -> bool {
+        self.branches.iter().any(path_needs_tags)
+    }
+
+    /// Does executing this plan require the SQL engine's B-tree?
+    pub(crate) fn needs_sql_engine(&self) -> bool {
+        self.branches.iter().any(path_needs_sql)
+    }
+}
+
+fn path_needs_tags(path: &PathPlan) -> bool {
+    path.steps.iter().any(|s| {
+        matches!(s.op, StepOp::Fragment { prescan: false })
+            || s.predicates.iter().any(|p| match p {
+                PredOp::Semijoin { prebuilt, .. } => *prebuilt,
+                PredOp::Filter(sub) => path_needs_tags(sub),
+            })
+    })
+}
+
+fn path_needs_sql(path: &PathPlan) -> bool {
+    path.steps.iter().any(|s| {
+        matches!(s.op, StepOp::Sql { .. })
+            || s.predicates.iter().any(|p| match p {
+                PredOp::Filter(sub) => path_needs_sql(sub),
+                PredOp::Semijoin { .. } => false,
+            })
+    })
+}
+
+impl PathPlan {
+    /// The planned steps, in evaluation order.
+    pub fn steps(&self) -> &[PlannedStep] {
+        &self.steps
+    }
+}
+
+impl PlannedStep {
+    /// The chosen join operator.
+    pub fn operator(&self) -> &StepOp {
+        &self.op
+    }
+
+    /// How the node test is applied.
+    pub fn test_operator(&self) -> TestOp {
+        self.test_op
+    }
+
+    /// The lowered predicate operators.
+    pub fn predicate_operators(&self) -> &[PredOp] {
+        &self.predicates
+    }
+
+    /// The cost model's estimates for this step.
+    pub fn estimate(&self) -> StepEstimate {
+        self.estimate
+    }
+
+    /// The axis this step traverses.
+    pub fn axis(&self) -> Axis {
+        self.axis
+    }
+
+    /// The source step as written (`descendant::bidder[increase]`).
+    pub fn source(&self) -> &str {
+        &self.rendered
+    }
+}
+
+// ── Rendering (one line per step; `xq --explain`) ───────────────────────
+
+impl fmt::Display for StepOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepOp::Staircase { variant } => write!(f, "staircase({variant:?})"),
+            StepOp::Fragment { prescan: false } => write!(f, "fragment"),
+            StepOp::Fragment { prescan: true } => write!(f, "fragment(prescan)"),
+            StepOp::Parallel { variant, threads } => {
+                write!(f, "parallel({variant:?}, {threads} threads)")
+            }
+            StepOp::Horiz => write!(f, "horiz-scan"),
+            StepOp::Naive => write!(f, "naive"),
+            StepOp::Sql {
+                eq1_window,
+                early_nametest,
+            } => {
+                write!(f, "sql(")?;
+                match (eq1_window, early_nametest) {
+                    (false, false) => write!(f, "plain")?,
+                    (true, false) => write!(f, "eq1-window")?,
+                    (false, true) => write!(f, "early-nametest")?,
+                    (true, true) => write!(f, "eq1-window, early-nametest")?,
+                }
+                write!(f, ")")
+            }
+            StepOp::Structural => write!(f, "structural"),
+        }
+    }
+}
+
+impl fmt::Display for PlannedStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut ops = self.op.to_string();
+        if self.test_op == TestOp::ApplyTest && !matches!(self.test, NodeTest::AnyNode) {
+            ops.push_str(" + apply-test");
+        }
+        for pred in &self.predicates {
+            match pred {
+                PredOp::Semijoin { name, .. } => {
+                    ops.push_str(" + semijoin[");
+                    ops.push_str(name);
+                    ops.push(']');
+                }
+                PredOp::Filter(_) => ops.push_str(" + filter-pred"),
+            }
+        }
+        write!(
+            f,
+            "step {:<36} op {:<44} est cost {:>12.0}  est rows {:>9.0}",
+            self.rendered, ops, self.estimate.cost, self.estimate.rows
+        )
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let many = self.branches.len() > 1;
+        for (i, branch) in self.branches.iter().enumerate() {
+            if many {
+                writeln!(f, "branch {}:", i + 1)?;
+            }
+            for step in &branch.steps {
+                writeln!(f, "{step}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ── The planner ─────────────────────────────────────────────────────────
+
+/// The planning policy behind an [`Engine`].
+#[derive(Debug, Clone, Copy)]
+enum Policy {
+    Fixed(EngineKind),
+    Auto,
+}
+
+/// Lowers a parsed union expression into a physical plan for `engine`.
+pub(crate) fn plan_union(
+    expr: &UnionExpr,
+    doc: &Doc,
+    stats: &DocStats,
+    engine: Engine,
+) -> PhysicalPlan {
+    let policy = match engine.kind {
+        EngineKind::Auto => Policy::Auto,
+        kind => Policy::Fixed(kind),
+    };
+    PhysicalPlan {
+        branches: expr
+            .branches
+            .iter()
+            .map(|p| plan_path(p, doc, stats, policy, 1.0, true))
+            .collect(),
+    }
+}
+
+/// Lowers one location path. `in_rows`/`at_root` seed the cardinality
+/// propagation: the session evaluates from the document root, so both
+/// absolute and relative paths start with one context node.
+fn plan_path(
+    path: &Path,
+    doc: &Doc,
+    stats: &DocStats,
+    policy: Policy,
+    in_rows: f64,
+    at_root: bool,
+) -> PathPlan {
+    let mut rows = in_rows;
+    let mut root = at_root;
+    let steps = path
+        .steps
+        .iter()
+        .map(|step| {
+            let (planned, out_rows) = plan_step(step, doc, stats, policy, rows, root);
+            rows = out_rows;
+            root = false;
+            planned
+        })
+        .collect();
+    PathPlan {
+        absolute: path.absolute,
+        steps,
+    }
+}
+
+/// Fraction of window nodes surviving `test` (rough: name tests use the
+/// per-tag fragment size, `*` the element fraction, the rare non-element
+/// kind tests an arbitrary sliver).
+fn test_selectivity(test: &NodeTest, doc: &Doc, stats: &DocStats) -> f64 {
+    match test {
+        NodeTest::AnyNode => 1.0,
+        NodeTest::AnyPrincipal => stats.selectivity(stats.elements()),
+        NodeTest::Name(name) => stats.selectivity(stats.fragment_size(doc, doc.tag_id(name))),
+        NodeTest::Text | NodeTest::Comment | NodeTest::Pi(_) => {
+            let rest = stats.nodes().saturating_sub(stats.elements());
+            stats.selectivity(rest) / 2.0
+        }
+    }
+}
+
+/// Lowers one step under `policy`; returns the planned step and the
+/// estimated output cardinality feeding the next step.
+fn plan_step(
+    step: &Step,
+    doc: &Doc,
+    stats: &DocStats,
+    policy: Policy,
+    in_rows: f64,
+    at_root: bool,
+) -> (PlannedStep, f64) {
+    let sel = test_selectivity(&step.test, doc, stats);
+    let fragment = match &step.test {
+        NodeTest::Name(name) => stats.fragment_size(doc, doc.tag_id(name)),
+        _ => 0,
+    };
+
+    let (op, test_op, mut cost, mut rows) = match part_axis_of(step.axis) {
+        Some(paxis) => {
+            plan_partitioning(step, paxis, policy, stats, sel, fragment, in_rows, at_root)
+        }
+        None => {
+            // Structural axes are engine-independent.
+            let cost = stats.structural_cost(step.axis, in_rows);
+            (StepOp::Structural, TestOp::ApplyTest, cost, cost * sel)
+        }
+    };
+
+    // Or-self merges the surviving context nodes back in.
+    if matches!(step.axis, Axis::DescendantOrSelf | Axis::AncestorOrSelf) {
+        rows += in_rows * sel;
+    }
+
+    let mut predicates = Vec::with_capacity(step.predicates.len());
+    for pred in &step.predicates {
+        let Predicate::Exists(path) = pred;
+        let lowered = plan_predicate(path, doc, stats, policy);
+        match &lowered {
+            PredOp::Semijoin { name, prebuilt, .. } => {
+                let f = stats.fragment_size(doc, doc.tag_id(name));
+                cost += stats.semijoin_cost(rows, f, !prebuilt);
+            }
+            PredOp::Filter(sub) => {
+                let per_candidate: f64 = sub.steps.iter().map(|s| s.estimate.cost).sum();
+                cost += rows * per_candidate.max(1.0);
+            }
+        }
+        // The classic existential-predicate guess: half the candidates
+        // survive.
+        rows /= 2.0;
+        predicates.push(lowered);
+    }
+
+    let planned = PlannedStep {
+        axis: step.axis,
+        test: step.test.clone(),
+        op,
+        test_op,
+        predicates,
+        estimate: StepEstimate { cost, rows },
+        rendered: step.to_string(),
+    };
+    (planned, rows)
+}
+
+/// Lowers a partitioning-axis step: the policy picks the join operator,
+/// the cost model prices it (and, for [`Engine::auto`], the candidates).
+#[allow(clippy::too_many_arguments)]
+fn plan_partitioning(
+    step: &Step,
+    paxis: PartAxis,
+    policy: Policy,
+    stats: &DocStats,
+    sel: f64,
+    fragment: usize,
+    in_rows: f64,
+    at_root: bool,
+) -> (StepOp, TestOp, f64, f64) {
+    let is_name = matches!(step.test, NodeTest::Name(_));
+    let vert = vert_axis_of(step.axis);
+    let desc = matches!(paxis, PartAxis::Descendant);
+    let horiz = vert.is_none();
+
+    // Window estimates the candidates are priced from.
+    let window = match paxis {
+        PartAxis::Descendant => stats.descendant_window(in_rows, at_root),
+        PartAxis::Ancestor => stats.ancestor_window(in_rows),
+        PartAxis::Following | PartAxis::Preceding => stats.nodes() as f64 / 2.0,
+    };
+    let unpruned = if horiz {
+        window
+    } else {
+        stats.unpruned_window(in_rows, desc, at_root)
+    };
+    let base_rows = window * sel;
+
+    let price = |op: &StepOp| -> f64 {
+        match *op {
+            StepOp::Staircase { variant } => {
+                stats.staircase_cost(variant, in_rows, window) + stats.apply_test_cost(window)
+            }
+            // An empty fragment makes the step provably empty: the
+            // prescan variant skips the selection scan entirely when the
+            // name is absent, so only the per-partition probes remain.
+            StepOp::Fragment { prescan: true } if fragment == 0 => in_rows,
+            StepOp::Fragment { prescan } => stats.fragment_cost(fragment, in_rows, window, prescan),
+            StepOp::Parallel { variant, threads } => {
+                stats.parallel_cost(variant, in_rows, window, threads)
+                    + stats.apply_test_cost(window)
+            }
+            StepOp::Horiz => stats.horiz_cost() + stats.apply_test_cost(window),
+            StepOp::Naive => stats.naive_cost(unpruned) + stats.apply_test_cost(unpruned),
+            StepOp::Sql {
+                eq1_window,
+                early_nametest,
+            } => {
+                let scan = stats.sql_cost(in_rows, unpruned, eq1_window);
+                if early_nametest && is_name {
+                    scan
+                } else {
+                    scan + stats.apply_test_cost(unpruned)
+                }
+            }
+            StepOp::Structural => f64::INFINITY,
+        }
+    };
+
+    let op = match policy {
+        Policy::Fixed(kind) => fixed_op(kind, is_name, vert.is_some(), horiz),
+        Policy::Auto => {
+            if horiz {
+                StepOp::Horiz
+            } else if is_name && fragment == 0 {
+                // No element carries this name: the result is provably
+                // empty. The prescan fragment join gets there without
+                // forcing the prebuilt index to be built (the empty-name
+                // selection scan is free).
+                StepOp::Fragment { prescan: true }
+            } else {
+                // Candidate set for vertical axes: plain staircase join,
+                // prebuilt fragment (name tests only), and the SQL plan.
+                // First-cheapest wins; ties keep the earlier (more
+                // robust) candidate.
+                let mut candidates = vec![StepOp::Staircase {
+                    variant: Variant::EstimationSkipping,
+                }];
+                if is_name {
+                    candidates.push(StepOp::Fragment { prescan: false });
+                }
+                candidates.push(StepOp::Sql {
+                    eq1_window: true,
+                    early_nametest: true,
+                });
+                let mut best = candidates[0];
+                let mut best_cost = price(&candidates[0]);
+                for cand in &candidates[1..] {
+                    let c = price(cand);
+                    if c < best_cost {
+                        best = *cand;
+                        best_cost = c;
+                    }
+                }
+                best
+            }
+        }
+    };
+
+    let test_op = match op {
+        StepOp::Fragment { .. } => TestOp::Fused,
+        StepOp::Sql { early_nametest, .. } if early_nametest && is_name => TestOp::Fused,
+        _ => TestOp::ApplyTest,
+    };
+    (op, test_op, price(&op), base_rows)
+}
+
+/// The operator a fixed engine always uses for a partitioning step —
+/// exactly the pre-split dispatch of the monolithic evaluator.
+fn fixed_op(kind: EngineKind, is_name: bool, vertical: bool, horiz: bool) -> StepOp {
+    match kind {
+        EngineKind::Staircase { variant, pushdown } => {
+            if pushdown && is_name && vertical {
+                StepOp::Fragment { prescan: true }
+            } else if horiz {
+                StepOp::Horiz
+            } else {
+                StepOp::Staircase { variant }
+            }
+        }
+        EngineKind::Fragmented { variant } => {
+            if is_name && vertical {
+                StepOp::Fragment { prescan: false }
+            } else if horiz {
+                StepOp::Horiz
+            } else {
+                StepOp::Staircase { variant }
+            }
+        }
+        EngineKind::Parallel { variant, threads } => {
+            if horiz {
+                // The horizontal scan is single-pass; the parallel engine
+                // runs it serially (as before the split).
+                StepOp::Horiz
+            } else {
+                StepOp::Parallel { variant, threads }
+            }
+        }
+        EngineKind::Naive => StepOp::Naive,
+        EngineKind::Sql {
+            eq1_window,
+            early_nametest,
+        } => StepOp::Sql {
+            eq1_window,
+            early_nametest,
+        },
+        EngineKind::Auto => unreachable!("auto resolves to Policy::Auto"),
+    }
+}
+
+/// Lowers a predicate path: the semijoin fast path when the shape allows
+/// and the policy's engine family supports it, the nested-loop filter
+/// otherwise.
+fn plan_predicate(path: &Path, doc: &Doc, stats: &DocStats, policy: Policy) -> PredOp {
+    let semijoin_family = match policy {
+        Policy::Auto => true,
+        Policy::Fixed(
+            EngineKind::Staircase { .. }
+            | EngineKind::Fragmented { .. }
+            | EngineKind::Parallel { .. },
+        ) => true,
+        Policy::Fixed(_) => false,
+    };
+    if semijoin_family {
+        if let Some((axis, name)) = semijoin_shape(path) {
+            let prebuilt = matches!(
+                policy,
+                Policy::Auto | Policy::Fixed(EngineKind::Fragmented { .. })
+            );
+            return PredOp::Semijoin {
+                axis,
+                name: name.to_string(),
+                prebuilt,
+            };
+        }
+    }
+    PredOp::Filter(plan_path(path, doc, stats, policy, 1.0, false))
+}
+
+/// The §3.3 semijoin fast path applies to single-step, predicate-free,
+/// relative name tests on the descendant/child/ancestor axes.
+fn semijoin_shape(path: &Path) -> Option<(SemijoinAxis, &str)> {
+    if path.absolute || path.steps.len() != 1 {
+        return None;
+    }
+    let step = &path.steps[0];
+    if !step.predicates.is_empty() {
+        return None;
+    }
+    let NodeTest::Name(name) = &step.test else {
+        return None;
+    };
+    let axis = match step.axis {
+        Axis::Descendant => SemijoinAxis::Descendant,
+        Axis::Child => SemijoinAxis::Child,
+        Axis::Ancestor => SemijoinAxis::Ancestor,
+        _ => return None,
+    };
+    Some((axis, name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_union;
+
+    fn fixture() -> (Doc, DocStats) {
+        let doc = Doc::from_xml(
+            "<site><a><b/><b/><c/></a><a><b/><rare/></a>\
+             <a><b/><b/><b/><c/><c/></a></site>",
+        )
+        .unwrap();
+        let stats = DocStats::from_doc(&doc);
+        (doc, stats)
+    }
+
+    fn plan_for(expr: &str, engine: Engine) -> PhysicalPlan {
+        let (doc, stats) = fixture();
+        plan_union(&parse_union(expr).unwrap(), &doc, &stats, engine)
+    }
+
+    fn ops(plan: &PhysicalPlan) -> Vec<StepOp> {
+        plan.branches()
+            .iter()
+            .flat_map(|b| b.steps())
+            .map(|s| *s.operator())
+            .collect()
+    }
+
+    #[test]
+    fn fixed_engines_are_trivial_policies() {
+        let q = "/descendant::b/ancestor::node()/following::c";
+        assert_eq!(
+            ops(&plan_for(q, Engine::default())),
+            [
+                StepOp::Staircase {
+                    variant: Variant::EstimationSkipping
+                },
+                StepOp::Staircase {
+                    variant: Variant::EstimationSkipping
+                },
+                StepOp::Horiz,
+            ]
+        );
+        assert_eq!(
+            ops(&plan_for(q, Engine::naive())),
+            [StepOp::Naive, StepOp::Naive, StepOp::Naive]
+        );
+        let sql = Engine::sql().eq1_window(true).build().unwrap();
+        assert!(ops(&plan_for(q, sql)).iter().all(|op| matches!(
+            op,
+            StepOp::Sql {
+                eq1_window: true,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn fragment_policies_follow_the_name_test() {
+        let fragmented = Engine::staircase().fragmented(true).build().unwrap();
+        let pushdown = Engine::staircase().pushdown(true).build().unwrap();
+        // Name tests on vertical axes take the on-list join…
+        assert_eq!(
+            ops(&plan_for("/descendant::b", fragmented)),
+            [StepOp::Fragment { prescan: false }]
+        );
+        assert_eq!(
+            ops(&plan_for("/descendant::b", pushdown)),
+            [StepOp::Fragment { prescan: true }]
+        );
+        // …while node() steps stay on the plain staircase join.
+        assert_eq!(
+            ops(&plan_for("/descendant::node()", fragmented)),
+            [StepOp::Staircase {
+                variant: Variant::EstimationSkipping
+            }]
+        );
+    }
+
+    #[test]
+    fn auto_picks_fragments_for_selective_name_tests() {
+        let plan = plan_for("/descendant::rare/ancestor::a", Engine::auto());
+        assert_eq!(
+            ops(&plan),
+            [
+                StepOp::Fragment { prescan: false },
+                StepOp::Fragment { prescan: false }
+            ]
+        );
+        // Fused name test: no separate filter pass.
+        assert_eq!(plan.branches()[0].steps()[0].test_operator(), TestOp::Fused);
+        assert!(plan.needs_tag_index());
+        assert!(!plan.needs_sql_engine());
+    }
+
+    #[test]
+    fn auto_keeps_the_staircase_join_for_unselective_steps() {
+        let plan = plan_for("/descendant::node()/following::node()", Engine::auto());
+        assert_eq!(
+            ops(&plan),
+            [
+                StepOp::Staircase {
+                    variant: Variant::EstimationSkipping
+                },
+                StepOp::Horiz,
+            ]
+        );
+        assert!(!plan.needs_tag_index());
+        assert!(!plan.needs_sql_engine());
+    }
+
+    #[test]
+    fn semijoin_predicates_lower_by_family() {
+        let q = "/descendant::a[b]";
+        let auto = plan_for(q, Engine::auto());
+        let steps = &auto.branches()[0].steps()[0];
+        assert!(matches!(
+            steps.predicate_operators()[0],
+            PredOp::Semijoin {
+                axis: SemijoinAxis::Child,
+                prebuilt: true,
+                ..
+            }
+        ));
+        // The plain staircase engine probes a query-time scan list…
+        let plain = plan_for(q, Engine::default());
+        assert!(matches!(
+            plain.branches()[0].steps()[0].predicate_operators()[0],
+            PredOp::Semijoin {
+                prebuilt: false,
+                ..
+            }
+        ));
+        assert!(!plain.needs_tag_index());
+        // …and the SQL engine has no semijoin fast path at all.
+        let sql = plan_for(q, Engine::sql().build().unwrap());
+        assert!(matches!(
+            sql.branches()[0].steps()[0].predicate_operators()[0],
+            PredOp::Filter(_)
+        ));
+    }
+
+    #[test]
+    fn estimates_are_positive_and_ordered() {
+        let (doc, stats) = fixture();
+        let parsed = parse_union("/descendant::b").unwrap();
+        let frag = plan_union(&parsed, &doc, &stats, Engine::auto());
+        let naive = plan_union(&parsed, &doc, &stats, Engine::naive());
+        assert!(frag.estimated_cost() > 0.0);
+        assert!(
+            frag.estimated_cost() < naive.estimated_cost(),
+            "fragment {} !< naive {}",
+            frag.estimated_cost(),
+            naive.estimated_cost()
+        );
+    }
+
+    #[test]
+    fn display_prints_one_line_per_step() {
+        let plan = plan_for("/descendant::b/ancestor::a", Engine::auto());
+        let text = plan.to_string();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(line.contains("op "), "{line}");
+            assert!(line.contains("est cost"), "{line}");
+        }
+        // Union plans label their branches.
+        let union = plan_for("//b | //c", Engine::auto());
+        assert!(union.to_string().contains("branch 2:"));
+    }
+
+    #[test]
+    fn structural_axes_are_engine_independent() {
+        for engine in [Engine::default(), Engine::naive(), Engine::auto()] {
+            assert_eq!(
+                ops(&plan_for("child::b/..", engine)),
+                [StepOp::Structural, StepOp::Structural],
+                "{engine:?}"
+            );
+        }
+    }
+}

@@ -29,24 +29,27 @@
 
 use std::path::Path as FsPath;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use staircase_accel::{Context, Doc, Pre};
 use staircase_baselines::SqlEngine;
+use staircase_core::cost::DocStats;
 use staircase_core::TagIndex;
 
 use crate::ast::UnionExpr;
-use crate::engine::{Engine, EngineKind};
+use crate::engine::Engine;
 use crate::error::Error;
-use crate::eval::{EvalCx, EvalOutput, EvalStats, ResolvedEngine};
+use crate::eval::{EvalOutput, EvalStats, Executor};
 use crate::parser::parse_union;
+use crate::plan::{plan_union, PhysicalPlan};
 
 /// A loaded document plus cached auxiliary structures, ready to answer
-/// queries on any engine. See the [module docs](self) for an example.
+/// queries on any engine. See the [crate docs](crate) for an example.
 pub struct Session {
     doc: Doc,
     tags: OnceLock<TagIndex>,
     sql: OnceLock<SqlEngine>,
+    stats: OnceLock<DocStats>,
     tag_builds: AtomicUsize,
     sql_builds: AtomicUsize,
 }
@@ -78,6 +81,7 @@ impl Session {
             doc,
             tags: OnceLock::new(),
             sql: OnceLock::new(),
+            stats: OnceLock::new(),
             tag_builds: AtomicUsize::new(0),
             sql_builds: AtomicUsize::new(0),
         }
@@ -142,6 +146,7 @@ impl Session {
             session: self,
             parsed,
             text: expr.to_string(),
+            plans: Mutex::new(Vec::new()),
         })
     }
 
@@ -190,13 +195,49 @@ impl Session {
                 })
                 .collect();
         }
-        let cx = self.cx(engine);
-        let parsed: Vec<&UnionExpr> = queries.iter().map(|q| &q.parsed).collect();
+        // Queries prepared on this session reuse their cached plans; a
+        // query prepared on a different session contributes its parsed
+        // expression only (and is re-planned against this document).
+        let plans: Vec<Arc<PhysicalPlan>> = queries
+            .iter()
+            .map(|q| {
+                if std::ptr::eq(q.session, self) {
+                    q.plan_for(engine)
+                } else {
+                    Arc::new(self.plan(&q.parsed, engine))
+                }
+            })
+            .collect();
+        let plan_refs: Vec<&PhysicalPlan> = plans.iter().map(Arc::as_ref).collect();
+        let ex = self.executor(
+            plan_refs.iter().any(|p| p.needs_tag_index()),
+            plan_refs.iter().any(|p| p.needs_sql_engine()),
+        );
         let root = Context::singleton(self.doc.root());
-        crate::batch::evaluate_union_many(&cx, &parsed, &root)
+        crate::batch::run_many_plans(&ex, &plan_refs, &root)
             .into_iter()
             .map(|EvalOutput { result, stats }| QueryOutput { result, stats })
             .collect()
+    }
+
+    /// Lowers `expr` into the physical plan `engine` would execute,
+    /// with per-step cost estimates — `EXPLAIN` for the staircase
+    /// engine zoo. For fixed engines the plan simply spells out that
+    /// engine's fixed policy; for [`Engine::auto`] it shows what the
+    /// cost-based picker chose and why (the estimates). Planning builds
+    /// no auxiliary structures.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Parse`] when the expression does not parse.
+    pub fn explain(&self, expr: &str, engine: Engine) -> Result<PhysicalPlan, Error> {
+        Ok(self.plan(&parse_union(expr)?, engine))
+    }
+
+    /// Document statistics (node/element counts, height, average depth,
+    /// per-tag fragment sizes), gathered on first use and cached.
+    pub fn doc_stats(&self) -> &DocStats {
+        self.stats.get_or_init(|| DocStats::from_doc(&self.doc))
     }
 
     /// Eagerly builds **both** cached auxiliary structures — the per-tag
@@ -244,46 +285,50 @@ impl Session {
         }
     }
 
-    /// Pairs `engine` with its (cached) auxiliary structures.
-    fn resolve(&self, engine: Engine) -> ResolvedEngine<'_> {
-        match engine.kind {
-            EngineKind::Staircase { variant, pushdown } => {
-                ResolvedEngine::Staircase { variant, pushdown }
-            }
-            EngineKind::Fragmented { variant } => ResolvedEngine::Fragmented {
-                variant,
-                tags: self.tag_index(),
-            },
-            EngineKind::Parallel { variant, threads } => {
-                ResolvedEngine::Parallel { variant, threads }
-            }
-            EngineKind::Naive => ResolvedEngine::Naive,
-            EngineKind::Sql {
-                eq1_window,
-                early_nametest,
-            } => ResolvedEngine::Sql {
-                eq1_window,
-                early_nametest,
-                sql: self.sql_engine(),
-            },
+    /// Lowers a parsed expression into the plan `engine` executes.
+    pub(crate) fn plan(&self, parsed: &UnionExpr, engine: Engine) -> PhysicalPlan {
+        plan_union(parsed, &self.doc, self.doc_stats(), engine)
+    }
+
+    /// Pairs the document with exactly the (cached) auxiliary structures
+    /// the plans at hand require; nothing else is built.
+    fn executor(&self, needs_tags: bool, needs_sql: bool) -> Executor<'_> {
+        Executor {
+            doc: &self.doc,
+            tags: needs_tags.then(|| self.tag_index()),
+            sql: needs_sql.then(|| self.sql_engine()),
         }
     }
 
-    fn cx(&self, engine: Engine) -> EvalCx<'_> {
-        EvalCx {
-            doc: &self.doc,
-            engine: self.resolve(engine),
-        }
+    /// The executor for one plan.
+    pub(crate) fn executor_for(&self, plan: &PhysicalPlan) -> Executor<'_> {
+        self.executor(plan.needs_tag_index(), plan.needs_sql_engine())
     }
 }
 
 /// An expression parsed once by [`Session::prepare`], runnable many
-/// times against any engine.
-#[derive(Clone)]
+/// times against any engine. Physical plans are cached per engine, so
+/// repeated runs (and batches) skip re-planning — the shape the async
+/// query server will cache and batch by.
 pub struct Query<'s> {
     session: &'s Session,
     parsed: UnionExpr,
     text: String,
+    /// Per-engine plan cache (an engine's plan over a fixed document is
+    /// deterministic). A `Vec` beats a map here: real query mixes touch
+    /// a handful of engines at most.
+    plans: Mutex<Vec<(Engine, Arc<PhysicalPlan>)>>,
+}
+
+impl Clone for Query<'_> {
+    fn clone(&self) -> Self {
+        Query {
+            session: self.session,
+            parsed: self.parsed.clone(),
+            text: self.text.clone(),
+            plans: Mutex::new(self.plans.lock().unwrap_or_else(|e| e.into_inner()).clone()),
+        }
+    }
 }
 
 impl std::fmt::Debug for Query<'_> {
@@ -331,12 +376,28 @@ impl<'s> Query<'s> {
         Ok(self.run_unchecked(context, engine))
     }
 
+    /// Lowers this query into the physical plan `engine` would execute
+    /// (see [`Session::explain`]).
+    pub fn explain(&self, engine: Engine) -> PhysicalPlan {
+        (*self.plan_for(engine)).clone()
+    }
+
+    /// The cached plan for `engine`, planning on first use.
+    fn plan_for(&self, engine: Engine) -> Arc<PhysicalPlan> {
+        let mut cache = self.plans.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, plan)) = cache.iter().find(|(e, _)| *e == engine) {
+            return Arc::clone(plan);
+        }
+        let plan = Arc::new(self.session.plan(&self.parsed, engine));
+        cache.push((engine, Arc::clone(&plan)));
+        plan
+    }
+
     /// Evaluation core; `context` must already be in bounds.
     fn run_unchecked(&self, context: &Context, engine: Engine) -> QueryOutput {
-        let EvalOutput { result, stats } = self
-            .session
-            .cx(engine)
-            .evaluate_union(&self.parsed, context);
+        let plan = self.plan_for(engine);
+        let EvalOutput { result, stats } =
+            self.session.executor_for(&plan).run_plan(&plan, context);
         QueryOutput { result, stats }
     }
 }

@@ -14,6 +14,7 @@ fn all_engines() -> Vec<Engine> {
     let mut engines = vec![
         Engine::naive(),
         Engine::sql().eq1_window(true).build().unwrap(),
+        Engine::auto(),
     ];
     for variant in [
         Variant::Basic,
@@ -272,4 +273,81 @@ fn trivial_batches() {
     let outs = empty.run_many(&[&eq, &eq], Engine::default());
     assert_eq!(outs.len(), 2);
     assert!(outs.iter().all(|o| o.is_empty()));
+}
+
+/// Horizontal axes (`following`/`preceding`) are served by
+/// `run_many`'s per-query fallback — they must line up with sequential
+/// runs node for node and trace for trace, on batching and
+/// fallback-only engines alike, including mixed batches where vertical
+/// steps batch around them.
+#[test]
+fn horizontal_axes_fall_back_per_query() {
+    let session = Session::new(generate(XmarkConfig::new(0.05)));
+    let exprs = [
+        "/descendant::bidder/following::node()",
+        "/descendant::person/preceding::node()",
+        "/descendant::increase/following::date",
+        "/descendant::education/preceding::bidder",
+        // Mixed: a batchable vertical step on either side of a
+        // horizontal one.
+        "/descendant::open_auction/following::node()/descendant::increase",
+        "/descendant::profile/preceding::node()/ancestor::open_auction",
+    ];
+    let queries: Vec<Query> = exprs.iter().map(|e| session.prepare(e).unwrap()).collect();
+    let refs: Vec<&Query> = queries.iter().collect();
+
+    for engine in [
+        Engine::default(),
+        Engine::staircase().fragmented(true).build().unwrap(),
+        Engine::auto(),
+        Engine::naive(),
+    ] {
+        let batch = session.run_many(&refs, engine);
+        assert_eq!(batch.len(), queries.len());
+        let mut some_result = false;
+        for ((expr, q), b) in exprs.iter().zip(&queries).zip(&batch) {
+            let s = q.run(engine);
+            assert_eq!(b.nodes(), s.nodes(), "{expr} via {engine:?}");
+            assert_eq!(
+                b.stats().steps.len(),
+                s.stats().steps.len(),
+                "{expr} via {engine:?}"
+            );
+            for (bt, st) in b.stats().steps.iter().zip(&s.stats().steps) {
+                assert_eq!(bt.step, st.step, "{expr} via {engine:?}");
+                assert_eq!(bt.result_size, st.result_size, "{expr} via {engine:?}");
+            }
+            some_result |= !b.is_empty();
+        }
+        assert!(some_result, "workload must exercise non-empty results");
+    }
+}
+
+/// `Engine::auto` batches the steps it planned as plain staircase joins
+/// exactly like the fixed staircase engine: shared first steps cost one
+/// pass, and results stay identical to sequential runs.
+#[test]
+fn auto_planned_staircase_steps_share_passes() {
+    let session = Session::new(generate(XmarkConfig::new(0.05)));
+    // node() tests keep auto on the plain staircase join (no fragment
+    // to exploit), so all four first steps share the root context pass.
+    let exprs = [
+        "/descendant::node()",
+        "/descendant::node()/ancestor::node()",
+        "/descendant::node()/descendant::node()",
+        "/descendant::node()/following::node()",
+    ];
+    let queries: Vec<Query> = exprs.iter().map(|e| session.prepare(e).unwrap()).collect();
+    let refs: Vec<&Query> = queries.iter().collect();
+    let batch = session.run_many(&refs, Engine::auto());
+    let sequential: Vec<QueryOutput> = queries.iter().map(|q| q.run(Engine::auto())).collect();
+    for (b, s) in batch.iter().zip(&sequential) {
+        assert_eq!(b.nodes(), s.nodes());
+    }
+    let first_step_total: u64 = batch.iter().map(|o| o.stats().steps[0].nodes_touched).sum();
+    let first_step_single = sequential[0].stats().steps[0].nodes_touched;
+    assert_eq!(
+        first_step_total, first_step_single,
+        "shared first step must cost one pass under auto"
+    );
 }

@@ -40,6 +40,7 @@ fn all_engines() -> Vec<Engine> {
             .early_nametest(true)
             .build()
             .expect("valid config"),
+        Engine::auto(),
     ]
 }
 
@@ -118,8 +119,9 @@ fn arb_query() -> impl Strategy<Value = String> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// The acceptance property of the whole engine zoo: any engine, same
-    /// answer, for random documents and random prepared queries.
+    /// The acceptance property of the whole engine zoo: any engine —
+    /// including the cost-based planner — same answer, for random
+    /// documents and random prepared queries.
     #[test]
     fn every_engine_agrees_via_session((doc, query) in (arb_doc(), arb_query())) {
         let session = Session::new(doc);
@@ -136,6 +138,14 @@ proptest! {
                 engine
             );
         }
+        // The satellite claim, spelled out: Engine::auto() is
+        // node-identical to Engine::default() on every generated query.
+        prop_assert_eq!(
+            prepared.run(Engine::auto()).nodes(),
+            prepared.run(Engine::default()).nodes(),
+            "auto vs default on {}",
+            query
+        );
         // However many engines ran, the session built each auxiliary
         // structure at most once.
         let builds = session.aux_builds();
@@ -294,4 +304,111 @@ fn query_output_supports_borrowed_iteration() {
     assert_eq!(first, second);
     assert_eq!(first.len(), 3);
     assert_eq!(out.nodes().as_slice(), &first[..]);
+}
+
+#[test]
+fn explain_reports_operators_and_costs() {
+    let session = Session::new(generate(XmarkConfig::new(0.05)));
+
+    // The cost-based planner: a selective name test on a vertical axis
+    // plans as a prebuilt fragment join; planning alone builds nothing.
+    let plan = session
+        .explain(
+            "/descendant::increase/ancestor::open_auction",
+            Engine::auto(),
+        )
+        .unwrap();
+    assert_eq!(session.aux_builds(), AuxBuilds::default());
+    assert_eq!(plan.branches().len(), 1);
+    let steps = plan.branches()[0].steps();
+    assert_eq!(steps.len(), 2);
+    for step in steps {
+        assert!(
+            matches!(step.operator(), StepOp::Fragment { prescan: false }),
+            "{:?}",
+            step.operator()
+        );
+        assert!(step.estimate().cost > 0.0);
+        assert!(step.estimate().rows >= 0.0);
+    }
+
+    // An unselective step keeps the estimation-skipping staircase join.
+    let plan = session
+        .explain("/descendant::node()", Engine::auto())
+        .unwrap();
+    assert!(matches!(
+        plan.branches()[0].steps()[0].operator(),
+        StepOp::Staircase {
+            variant: Variant::EstimationSkipping
+        }
+    ));
+
+    // Fixed engines explain their fixed policies.
+    let plan = session
+        .explain("/descendant::increase", Engine::naive())
+        .unwrap();
+    assert!(matches!(
+        plan.branches()[0].steps()[0].operator(),
+        StepOp::Naive
+    ));
+
+    // One rendered line per step, each carrying operator and estimate.
+    let plan = session
+        .explain("//profile/education | //bidder", Engine::auto())
+        .unwrap();
+    let text = plan.to_string();
+    assert!(text.contains("branch 2:"));
+    let step_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("step ")).collect();
+    assert_eq!(step_lines.len(), plan.step_count());
+    for line in step_lines {
+        assert!(line.contains("op "), "{line}");
+        assert!(line.contains("est cost"), "{line}");
+    }
+
+    // Parse errors propagate as usual.
+    assert!(session.explain("///", Engine::auto()).is_err());
+}
+
+#[test]
+fn auto_estimates_track_observed_cost_direction() {
+    // The model only has to *rank* candidates; sanity-check that the
+    // auto plan's total estimate is in the same order of magnitude
+    // bucket as what execution actually touched for a selective query
+    // (both far below the document size), while a tree-unaware plan's
+    // estimate is far above.
+    let session = Session::new(generate(XmarkConfig::new(0.1)));
+    session.warm();
+    let expr = "/descendant::privacy";
+    let auto_plan = session.explain(expr, Engine::auto()).unwrap();
+    let naive_plan = session.explain(expr, Engine::naive()).unwrap();
+    let n = session.doc().len() as f64;
+    assert!(auto_plan.estimated_cost() < n / 4.0);
+    assert!(naive_plan.estimated_cost() > n / 4.0);
+    let out = session.run(expr, Engine::auto()).unwrap();
+    assert!((out.stats().total_touched() as f64) < n / 4.0);
+}
+
+#[test]
+fn auto_plans_absent_names_without_building_the_fragment_index() {
+    let session = Session::new(generate(XmarkConfig::new(0.05)));
+    // A name absent from the document is provably empty; auto must not
+    // force the prebuilt fragment index into existence to discover that.
+    let plan = session
+        .explain("/descendant::nosuchtag/ancestor::person", Engine::auto())
+        .unwrap();
+    assert!(matches!(
+        plan.branches()[0].steps()[0].operator(),
+        StepOp::Fragment { prescan: true }
+    ));
+    let out = session
+        .run("/descendant::nosuchtag/ancestor::person", Engine::auto())
+        .unwrap();
+    assert!(out.is_empty());
+    assert_eq!(
+        session.aux_builds(),
+        AuxBuilds::default(),
+        "absent-name queries must build nothing"
+    );
+    // And the absent-name step costs nothing: no scan ever ran.
+    assert_eq!(out.stats().steps[0].nodes_touched, 0);
 }

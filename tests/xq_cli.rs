@@ -50,6 +50,7 @@ fn query_from_file_with_engines() {
         "parallel",
         "naive",
         "sql",
+        "auto",
     ] {
         let out = xq()
             .args([
@@ -358,4 +359,70 @@ fn warm_flag_with_single_query() {
         .unwrap();
     assert!(out.status.success());
     assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "3");
+}
+
+#[test]
+fn explain_prints_one_line_per_step() {
+    let mut child = xq()
+        .args([
+            "/descendant::increase/ancestor::bidder",
+            "--engine",
+            "auto",
+            "--explain",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(SAMPLE.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    let lines: Vec<&str> = text.lines().collect();
+    // One line per step: the chosen operator and its cost estimate.
+    assert_eq!(lines.len(), 2, "{text}");
+    for line in &lines {
+        assert!(line.starts_with("step "), "{line}");
+        assert!(line.contains("op "), "{line}");
+        assert!(line.contains("est cost"), "{line}");
+    }
+    // Selective name tests on this document plan as fragment joins.
+    assert!(lines[0].contains("fragment"), "{text}");
+}
+
+#[test]
+fn explain_covers_fixed_engines_and_query_files() {
+    let dir = tempdir();
+    let file = dir.join("explain.xml");
+    let qf = dir.join("explain-queries.txt");
+    std::fs::write(&file, SAMPLE).unwrap();
+    std::fs::write(
+        &qf,
+        "//bidder\n# comment\n//increase/ancestor::open_auction\n",
+    )
+    .unwrap();
+
+    let out = xq()
+        .args([
+            "--query-file",
+            qf.to_str().unwrap(),
+            file.to_str().unwrap(),
+            "--engine",
+            "naive",
+            "--explain",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("# //bidder"), "{text}");
+    assert!(text.contains("naive"), "{text}");
+    // Five steps across the two queries (`//` desugars to
+    // `descendant-or-self::node()/child::…`), plus one header line each.
+    assert_eq!(text.lines().filter(|l| l.starts_with("step ")).count(), 5);
 }
