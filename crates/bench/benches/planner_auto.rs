@@ -130,7 +130,7 @@ fn bench(c: &mut Criterion) {
     // Direct acceptance measurement on the mixed workload: interleaved
     // best-of-N per engine, robust against frequency drift.
     let mixed = &workloads[2].1;
-    let reps = 30;
+    let reps = if criterion::is_test_mode() { 1 } else { 30 };
     let mut times: Vec<(&str, f64)> = engines()
         .iter()
         .map(|(name, engine)| (*name, best_of(reps, mixed, *engine)))

@@ -1,36 +1,54 @@
-//! Batched multi-context staircase joins: K queries, one plane pass.
+//! Multi-context ("lane") staircase joins: K queries, one pass.
 //!
 //! A server answering many queries over one document repeats the same
-//! sequential scan of the pre/post plane once per query. But a pruned
-//! context is just a sorted list of partition boundaries (§3.1), and
-//! sorted boundary lists *merge*: exactly the observation that lets
-//! Leapfrog Triejoin drive many sorted cursors through one coordinated
-//! pass (Veldhuizen, ICDT 2013). [`descendant_many`] and
-//! [`ancestor_many`] take K contexts, interleave their staircase
-//! boundaries into one event list, and produce all K result vectors from
-//! a **single left-to-right scan** of the `post`/`kind` columns. Per
-//! query, the visited positions, pushes, and skip decisions are exactly
-//! those of the sequential join ([`crate::descendant`] /
-//! [`crate::ancestor`]) — results are bit-identical — but a plane
-//! position shared by several partitions is *read once*.
+//! sequential scan once per query. But a pruned context is just a
+//! sorted list of partition boundaries (§3.1), and sorted boundary
+//! lists *merge*: exactly the observation that lets Leapfrog Triejoin
+//! drive many sorted cursors through one coordinated pass (Veldhuizen,
+//! ICDT 2013). Since the lane-native refactor every remaining scan
+//! shape has a multi-context form, so multi-query execution is the
+//! *native* form upstairs (`staircase-xpath` evaluates a single query
+//! as the K = 1 batch):
 //!
-//! Consequently the returned [`StepStats`] count **incremental** cost:
-//! each position touched by the scan is attributed to the first query
-//! that needed it, so the per-query `nodes_touched()` values sum to the
-//! number of physical reads. For overlapping contexts (the common case —
-//! e.g. every query starting at the document root) that sum is strictly
-//! below the sum of K sequential runs. Queries whose context is
-//! *identical* to an earlier query's are recognised up front and share
-//! the earlier result outright (one `memcpy`, zero touches).
+//! * [`descendant_many`] / [`ancestor_many`] interleave K contexts'
+//!   staircase boundaries into one event list and produce all K result
+//!   vectors from a **single left-to-right scan** of the `post`/`kind`
+//!   columns;
+//! * [`descendant_on_list_many`] / [`ancestor_on_list_many`] (this
+//!   module) run the same merged-boundary discipline with **one forward
+//!   cursor over a shared tag fragment** — the on-list join of
+//!   [`crate::list`] has the same sorted structure as the plane scan,
+//!   so it admits the same multi-cursor merge;
+//! * [`crate::following_many`] / [`crate::preceding_many`] serve the
+//!   horizontal axes' nested suffix/prefix regions from one filtered
+//!   scan;
+//! * [`crate::has_descendant_in_many`] and friends batch the semijoin
+//!   predicate probes over one shared node list.
 //!
-//! [`Scratch`] is the companion buffer pool: repeated batches reuse
-//! result and context allocations instead of paying `Vec::new()` plus
-//! regrowth per step.
+//! Per query, the visited positions, pushes, and skip decisions are
+//! exactly those of the sequential operator — results are bit-identical
+//! — but a position shared by several lanes is *read once*. The
+//! returned [`StepStats`] therefore count **incremental** cost: each
+//! read is attributed to the first lane that needed it, so the
+//! per-query `nodes_touched()` values sum to the physical reads. For
+//! overlapping contexts (the common case — e.g. every query starting at
+//! the document root) that sum is strictly below the sum of K
+//! sequential runs. Queries whose context is *identical* to an earlier
+//! query's are recognised up front and share the earlier result
+//! outright (one `memcpy`, zero touches).
+//!
+//! [`Scratch`] is the companion buffer pool: it is threaded through
+//! every multi-context operator and lives as long as its owner (the
+//! session, upstairs), so repeated batches and rounds reuse result and
+//! context allocations instead of paying `Vec::new()` plus regrowth per
+//! step — a steady-state executor stops allocating (asserted by the
+//! pool-reuse tests below).
 
 use staircase_accel::{Context, Doc, NodeKind, Pre};
 
 use crate::anc::ancestor_partitions;
 use crate::desc::descendant_partitions;
+use crate::list::{ancestor_list_partitions, descendant_list_partitions};
 use crate::prune::{prune_ancestor_into, prune_descendant_into};
 use crate::stats::StepStats;
 use crate::Variant;
@@ -41,14 +59,29 @@ use crate::Variant;
 /// [taken](Scratch::take) from the pool and — once its contents are no
 /// longer needed — [put back](Scratch::put). A long-lived evaluator
 /// reaches a steady state where no step allocates.
+///
+/// The pool is bounded two ways so a long-lived owner (the session
+/// keeps one for its whole lifetime) cannot pin worst-case-query memory
+/// forever: at most `MAX_POOLED` (64) buffers, and at most
+/// `POOLED_ENTRY_BUDGET` (2²⁰) entries of total retained capacity —
+/// returning a buffer that would bust the budget drops its allocation
+/// instead.
 #[derive(Debug, Default)]
 pub struct Scratch {
     pool: Vec<Vec<Pre>>,
+    /// Sum of the pooled buffers' capacities, in entries.
+    pooled_capacity: usize,
 }
 
-/// Upper bound on pooled buffers; beyond this, returned buffers are
-/// dropped so a one-off huge batch cannot pin memory forever.
+/// Upper bound on pooled buffers.
 const MAX_POOLED: usize = 64;
+
+/// Upper bound on the pool's total retained capacity, in entries
+/// (4 MiB of `Pre`s): generous enough to recycle every buffer of a
+/// typical batch between rounds, small enough that one
+/// document-spanning query does not fix a long-lived session's resident
+/// memory at its high-water mark.
+const POOLED_ENTRY_BUDGET: usize = 1 << 20;
 
 impl Scratch {
     /// An empty pool.
@@ -59,13 +92,24 @@ impl Scratch {
     /// Hands out a cleared buffer, reusing a pooled allocation when one
     /// is available.
     pub fn take(&mut self) -> Vec<Pre> {
-        self.pool.pop().unwrap_or_default()
+        match self.pool.pop() {
+            Some(buf) => {
+                self.pooled_capacity -= buf.capacity();
+                buf
+            }
+            None => Vec::new(),
+        }
     }
 
-    /// Returns a buffer to the pool (its contents are discarded).
+    /// Returns a buffer to the pool (its contents are discarded); kept
+    /// only while the pool stays under its size and capacity bounds.
     pub fn put(&mut self, mut buf: Vec<Pre>) {
         buf.clear();
-        if self.pool.len() < MAX_POOLED && buf.capacity() > 0 {
+        if self.pool.len() < MAX_POOLED
+            && buf.capacity() > 0
+            && self.pooled_capacity + buf.capacity() <= POOLED_ENTRY_BUDGET
+        {
+            self.pooled_capacity += buf.capacity();
             self.pool.push(buf);
         }
     }
@@ -79,6 +123,68 @@ impl Scratch {
     pub fn pooled(&self) -> usize {
         self.pool.len()
     }
+}
+
+/// `rep[i]` = first index whose context is identical to `contexts[i]` —
+/// the dedup criterion shared by [`dedup_pass`] and [`shared_pass`].
+fn representatives(contexts: &[&Context]) -> Vec<usize> {
+    let k = contexts.len();
+    let mut rep: Vec<usize> = (0..k).collect();
+    for i in 0..k {
+        for j in 0..i {
+            if rep[j] == j && contexts[j].as_slice() == contexts[i].as_slice() {
+                rep[i] = j;
+                break;
+            }
+        }
+    }
+    rep
+}
+
+/// Dedups identical contexts, runs `eval` over the unique ones, and maps
+/// the results back to the callers' order: duplicates clone their
+/// representative's result and report **zero incremental touches** (the
+/// shared pass is attributed to the first caller that needed it).
+///
+/// The dedup backbone for multi-context operators whose probes are
+/// already O(1)-per-candidate — today the semijoin probes
+/// ([`crate::has_descendant_in_many`] and friends). The operators with
+/// bespoke merged scans ([`shared_pass`] for the plane and fragment
+/// joins, the suffix/prefix sharing of [`crate::following_many`] /
+/// [`crate::preceding_many`]) handle duplicates inside those scans and
+/// only share the [`representatives`] criterion.
+pub(crate) fn dedup_pass(
+    contexts: &[&Context],
+    eval: impl Fn(&Context) -> (Context, StepStats),
+) -> Vec<(Context, StepStats)> {
+    let k = contexts.len();
+    let rep = representatives(contexts);
+    let mut out: Vec<Option<(Context, StepStats)>> = (0..k).map(|_| None).collect();
+    for i in 0..k {
+        if rep[i] == i {
+            out[i] = Some(eval(contexts[i]));
+        }
+    }
+    for i in 0..k {
+        if rep[i] != i {
+            // Shared with an earlier identical context: copy the result,
+            // report zero incremental touches.
+            let (ctx, st) = out[rep[i]]
+                .as_ref()
+                .expect("representatives evaluated before duplicates resolve");
+            let shared = StepStats {
+                context_in: st.context_in,
+                context_out: st.context_out,
+                result_size: st.result_size,
+                partitions: st.partitions,
+                ..Default::default()
+            };
+            out[i] = Some((ctx.clone(), shared));
+        }
+    }
+    out.into_iter()
+        .map(|o| o.expect("every context resolved to an evaluation or a duplicate"))
+        .collect()
 }
 
 /// Evaluates `contexts[k]/descendant::node()` for every `k` with **one**
@@ -142,6 +248,63 @@ pub fn ancestor_many(
     )
 }
 
+/// Evaluates `contexts[k]/descendant::tag` for every `k` directly on one
+/// shared tag fragment (`list`, pre-sorted): the multi-context form of
+/// [`crate::descendant_on_list`].
+///
+/// The on-list join has the same sorted boundary structure as the full
+/// plane scan, so the same trick applies: every lane's pruned staircase
+/// boundaries merge into one event list, and a **single forward cursor**
+/// over the fragment serves all K lanes — each fragment entry is
+/// physically read at most once, attributed to the first lane that
+/// needed it, while per lane the inspected entries and Z-region skips
+/// are exactly those of the sequential join.
+pub fn descendant_on_list_many(
+    doc: &Doc,
+    list: &[Pre],
+    contexts: &[&Context],
+    scratch: &mut Scratch,
+) -> Vec<(Context, StepStats)> {
+    shared_pass(
+        doc,
+        contexts,
+        scratch,
+        prune_descendant_into,
+        |doc, lanes| match lanes {
+            [lane] => descendant_list_partitions(
+                doc,
+                list,
+                &lane.steps,
+                &mut lane.result,
+                &mut lane.stats,
+            ),
+            _ => descendant_list_scan(doc, list, lanes),
+        },
+    )
+}
+
+/// Evaluates `contexts[k]/ancestor::tag` for every `k` on one shared tag
+/// fragment; the multi-context form of [`crate::ancestor_on_list`].
+pub fn ancestor_on_list_many(
+    doc: &Doc,
+    list: &[Pre],
+    contexts: &[&Context],
+    scratch: &mut Scratch,
+) -> Vec<(Context, StepStats)> {
+    shared_pass(
+        doc,
+        contexts,
+        scratch,
+        prune_ancestor_into,
+        |doc, lanes| match lanes {
+            [lane] => {
+                ancestor_list_partitions(doc, list, &lane.steps, &mut lane.result, &mut lane.stats)
+            }
+            _ => ancestor_list_scan(doc, list, lanes),
+        },
+    )
+}
+
 /// One query's slice of the shared scan.
 struct Lane {
     /// Pruned staircase steps (partition boundaries), from the pool.
@@ -179,16 +342,7 @@ fn shared_pass(
     scan: impl FnOnce(&Doc, &mut [Lane]),
 ) -> Vec<(Context, StepStats)> {
     let k = contexts.len();
-    // rep[i] = first index whose context is identical to contexts[i].
-    let mut rep: Vec<usize> = (0..k).collect();
-    for i in 0..k {
-        for j in 0..i {
-            if rep[j] == j && contexts[j].as_slice() == contexts[i].as_slice() {
-                rep[i] = j;
-                break;
-            }
-        }
-    }
+    let rep = representatives(contexts);
 
     // One lane per unique context; lane_of[i] = its lane index (unique
     // queries only).
@@ -505,6 +659,186 @@ fn ancestor_scan(doc: &Doc, lanes: &mut [Lane], variant: Variant) {
     }
 }
 
+/// The merged descendant fragment scan: one forward cursor over the
+/// shared list, opening each lane's partitions at its own (merged)
+/// boundaries; per entry, every awake lane whose open partition contains
+/// it tests the staircase bound, and the first miss puts the lane to
+/// sleep until its next boundary — exactly the sequential on-list join,
+/// lane by lane, with each entry read once.
+fn descendant_list_scan(doc: &Doc, list: &[Pre], lanes: &mut [Lane]) {
+    let post = doc.post_column();
+    let n = doc.len() as Pre;
+    let events = merged_boundaries(lanes);
+    let mut ei = 0usize;
+    let mut active: Vec<u32> = Vec::with_capacity(lanes.len());
+    for lane in lanes.iter_mut() {
+        // Every partition is priced exactly like the sequential join's
+        // partition loop, even the ones the cursor never reaches.
+        lane.stats.partitions = lane.steps.len();
+    }
+    let mut j = 0usize;
+    while j < list.len() {
+        let p = list[j];
+        // Boundaries at or before p open (or re-open) their lane's
+        // partition; the boundary position itself is never a candidate.
+        while ei < events.len() && events[ei].0 <= p {
+            let (c, li) = events[ei];
+            ei += 1;
+            let lane = &mut lanes[li as usize];
+            lane.cur = c;
+            lane.bound = post[c as usize];
+            lane.next += 1;
+            if !(lane.open && lane.awake) {
+                lane.open = true;
+                lane.awake = true;
+                active.push(li);
+            }
+        }
+        if active.is_empty() {
+            // Nobody is interested in the entries before the next
+            // boundary: leapfrog the cursor there.
+            match events.get(ei) {
+                Some(&(next_c, _)) => {
+                    j += list[j..].partition_point(|&q| q <= next_c);
+                    continue;
+                }
+                None => break,
+            }
+        }
+        // One physical read of the entry, attributed to the first lane
+        // that inspects it.
+        let mut touched = false;
+        let mut ai = 0usize;
+        while ai < active.len() {
+            let li = active[ai];
+            let lane = &mut lanes[li as usize];
+            if p <= lane.cur {
+                ai += 1; // the lane's own boundary: its scan starts after it
+                continue;
+            }
+            if !touched {
+                touched = true;
+                lane.stats.nodes_scanned += 1;
+            }
+            if post[p as usize] < lane.bound {
+                lane.result.push(p);
+                ai += 1;
+            } else {
+                // Z-region: no later entry in this lane's partition can be
+                // a descendant; sleep until the lane's next boundary.
+                let part_end = lane.steps.get(lane.next).copied().unwrap_or(n);
+                let rest = list[j..]
+                    .partition_point(|&q| q < part_end)
+                    .saturating_sub(1);
+                lane.stats.nodes_skipped += rest as u64;
+                lane.awake = false;
+                active.swap_remove(ai);
+            }
+        }
+        j += 1;
+    }
+}
+
+/// The merged ancestor fragment scan: partitions *end* at each lane's
+/// boundaries; an entry below a lane's bound is preceding, so that lane
+/// jumps the entry's guaranteed subtree block (sleeping until its wake
+/// position) exactly as the sequential on-list join does.
+fn ancestor_list_scan(doc: &Doc, list: &[Pre], lanes: &mut [Lane]) {
+    let post = doc.post_column();
+    let mut active: Vec<u32> = Vec::with_capacity(lanes.len());
+    let mut sleeping: Vec<u32> = Vec::new();
+    for (i, lane) in lanes.iter_mut().enumerate() {
+        lane.stats.partitions = lane.steps.len();
+        if !lane.steps.is_empty() {
+            lane.bound = post[lane.steps[0] as usize];
+            lane.cur = Pre::MAX;
+            active.push(i as u32);
+        }
+    }
+    let mut j = 0usize;
+    let mut min_wake: Pre = Pre::MAX;
+    while j < list.len() {
+        let p = list[j];
+        // Sleepers whose jumped-over block ends at or before p rejoin.
+        if min_wake <= p {
+            min_wake = Pre::MAX;
+            let mut si = 0usize;
+            while si < sleeping.len() {
+                let li = sleeping[si];
+                let wake = lanes[li as usize].wake;
+                if wake <= p {
+                    active.push(li);
+                    sleeping.swap_remove(si);
+                } else {
+                    min_wake = min_wake.min(wake);
+                    si += 1;
+                }
+            }
+        }
+        if active.is_empty() {
+            if sleeping.is_empty() {
+                break; // every lane passed its last boundary
+            }
+            // Everyone is inside a jumped-over block: leapfrog to the
+            // earliest wake position.
+            j += list[j..].partition_point(|&q| q < min_wake);
+            continue;
+        }
+        let post_p = post[p as usize];
+        let mut touched = false;
+        let mut ai = 0usize;
+        while ai < active.len() {
+            let li = active[ai];
+            let lane = &mut lanes[li as usize];
+            // Advance past boundaries at or before p; the last partition
+            // ends at the final boundary.
+            let mut finished = false;
+            while let Some(&c) = lane.steps.get(lane.next) {
+                if c > p {
+                    break;
+                }
+                lane.cur = c;
+                lane.next += 1;
+                match lane.steps.get(lane.next) {
+                    Some(&c2) => lane.bound = post[c2 as usize],
+                    None => finished = true,
+                }
+            }
+            if finished {
+                active.swap_remove(ai);
+                continue;
+            }
+            if lane.cur == p {
+                ai += 1; // the boundary node itself is never a candidate
+                continue;
+            }
+            if !touched {
+                touched = true;
+                lane.stats.nodes_scanned += 1;
+            }
+            if post_p > lane.bound {
+                lane.result.push(p);
+                ai += 1;
+            } else {
+                // p precedes this lane's context node: every entry inside
+                // p's subtree is preceding too — jump the block.
+                let subtree_end = p + 1 + post_p.saturating_sub(p);
+                let skipped = list[j + 1..].partition_point(|&q| q < subtree_end);
+                lane.stats.nodes_skipped += skipped as u64;
+                if skipped > 0 {
+                    lane.wake = subtree_end;
+                    min_wake = min_wake.min(lane.wake);
+                    sleeping.push(li);
+                    active.swap_remove(ai);
+                } else {
+                    ai += 1;
+                }
+            }
+        }
+        j += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -677,6 +1011,229 @@ mod tests {
         }
         let none: Vec<&Context> = Vec::new();
         assert!(descendant_many(&doc, &none, Variant::Basic, &mut scratch).is_empty());
+    }
+
+    #[test]
+    fn pool_drops_buffers_beyond_the_capacity_budget() {
+        let mut scratch = Scratch::new();
+        // One over-budget buffer: dropped, not retained for the owner's
+        // lifetime.
+        scratch.put(Vec::with_capacity(POOLED_ENTRY_BUDGET + 1));
+        assert_eq!(scratch.pooled(), 0, "over-budget buffer dropped");
+        // Ordinary buffers still pool, and take() releases their share
+        // of the budget again.
+        scratch.put(Vec::with_capacity(1024));
+        assert_eq!(scratch.pooled(), 1);
+        let buf = scratch.take();
+        assert_eq!(buf.capacity(), 1024);
+        scratch.put(buf);
+        assert_eq!(scratch.pooled(), 1);
+    }
+
+    #[test]
+    fn fragment_many_matches_sequential_per_query() {
+        use crate::{ancestor_on_list, descendant_on_list, TagIndex};
+        for seed in 0..15 {
+            let doc = random_doc(seed, 400);
+            let idx = TagIndex::build(&doc);
+            let ctxs = contexts_for(&doc, seed ^ 0x11F7, 6);
+            let refs: Vec<&Context> = ctxs.iter().collect();
+            for tag in ["p", "q", "r"] {
+                let list = idx.fragment_by_name(&doc, tag);
+                let mut scratch = Scratch::new();
+                let batch = descendant_on_list_many(&doc, list, &refs, &mut scratch);
+                for (i, (got, stats)) in batch.iter().enumerate() {
+                    let (want, wstats) = descendant_on_list(&doc, list, &ctxs[i]);
+                    assert_eq!(got, &want, "desc {tag} seed {seed} query {i}");
+                    assert_eq!(stats.result_size, wstats.result_size);
+                    assert_eq!(stats.context_in, wstats.context_in);
+                    assert_eq!(stats.context_out, wstats.context_out);
+                }
+                let batch = ancestor_on_list_many(&doc, list, &refs, &mut scratch);
+                for (i, (got, stats)) in batch.iter().enumerate() {
+                    let (want, wstats) = ancestor_on_list(&doc, list, &ctxs[i]);
+                    assert_eq!(got, &want, "anc {tag} seed {seed} query {i}");
+                    assert_eq!(stats.result_size, wstats.result_size);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fragment_many_never_touches_more_than_sequential() {
+        use crate::{ancestor_on_list, descendant_on_list, TagIndex};
+        for seed in 0..10 {
+            let doc = random_doc(seed, 600);
+            let idx = TagIndex::build(&doc);
+            let list = idx.fragment_by_name(&doc, "p");
+            let ctxs = contexts_for(&doc, seed ^ 0x5EED, 8);
+            let refs: Vec<&Context> = ctxs.iter().collect();
+            let mut scratch = Scratch::new();
+            let d_batch: u64 = descendant_on_list_many(&doc, list, &refs, &mut scratch)
+                .iter()
+                .map(|(_, s)| s.nodes_touched())
+                .sum();
+            let d_seq: u64 = ctxs
+                .iter()
+                .map(|c| descendant_on_list(&doc, list, c).1.nodes_touched())
+                .sum();
+            assert!(d_batch <= d_seq, "seed {seed}: desc {d_batch} > {d_seq}");
+            let a_batch: u64 = ancestor_on_list_many(&doc, list, &refs, &mut scratch)
+                .iter()
+                .map(|(_, s)| s.nodes_touched())
+                .sum();
+            let a_seq: u64 = ctxs
+                .iter()
+                .map(|c| ancestor_on_list(&doc, list, c).1.nodes_touched())
+                .sum();
+            assert!(a_batch <= a_seq, "seed {seed}: anc {a_batch} > {a_seq}");
+        }
+    }
+
+    #[test]
+    fn fragment_many_identical_contexts_share_one_cursor() {
+        use crate::{descendant_on_list, TagIndex};
+        let doc = random_doc(9, 1500);
+        let idx = TagIndex::build(&doc);
+        let list = idx.fragment_by_name(&doc, "q");
+        let root = Context::singleton(doc.root());
+        let refs: Vec<&Context> = (0..6).map(|_| &root).collect();
+        let mut scratch = Scratch::new();
+        let batch = descendant_on_list_many(&doc, list, &refs, &mut scratch);
+        let (want, wstats) = descendant_on_list(&doc, list, &root);
+        let total: u64 = batch.iter().map(|(_, s)| s.nodes_touched()).sum();
+        assert_eq!(total, wstats.nodes_touched());
+        for (got, _) in &batch {
+            assert_eq!(got, &want);
+        }
+    }
+
+    #[test]
+    fn horiz_many_matches_sequential_per_query() {
+        use crate::{following, following_many, preceding, preceding_many};
+        for seed in 0..15 {
+            let doc = random_doc(seed, 400);
+            let ctxs = contexts_for(&doc, seed ^ 0xF011, 6);
+            let refs: Vec<&Context> = ctxs.iter().collect();
+            let mut scratch = Scratch::new();
+            let f_batch = following_many(&doc, &refs, &mut scratch);
+            let p_batch = preceding_many(&doc, &refs, &mut scratch);
+            let mut f_total = 0u64;
+            let mut p_total = 0u64;
+            let mut f_seq = 0u64;
+            let mut p_seq = 0u64;
+            for (i, ctx) in ctxs.iter().enumerate() {
+                let (f_want, fs) = following(&doc, ctx);
+                let (p_want, ps) = preceding(&doc, ctx);
+                assert_eq!(f_batch[i].0, f_want, "following seed {seed} query {i}");
+                assert_eq!(p_batch[i].0, p_want, "preceding seed {seed} query {i}");
+                assert_eq!(f_batch[i].1.result_size, fs.result_size);
+                assert_eq!(p_batch[i].1.result_size, ps.result_size);
+                f_total += f_batch[i].1.nodes_touched();
+                p_total += p_batch[i].1.nodes_touched();
+                f_seq += fs.nodes_touched();
+                p_seq += ps.nodes_touched();
+            }
+            // One physical pass each: batched totals never exceed the
+            // sequential sums.
+            assert!(
+                f_total <= f_seq,
+                "seed {seed}: following {f_total} > {f_seq}"
+            );
+            assert!(
+                p_total <= p_seq,
+                "seed {seed}: preceding {p_total} > {p_seq}"
+            );
+        }
+    }
+
+    #[test]
+    fn horiz_many_single_lane_matches_sequential_stats() {
+        use crate::{following, following_many, preceding, preceding_many};
+        let doc = random_doc(4, 800);
+        let deepest = doc.pres().max_by_key(|&p| doc.level(p)).unwrap();
+        let ctx = Context::singleton(deepest);
+        let mut scratch = Scratch::new();
+        let f = following_many(&doc, &[&ctx], &mut scratch);
+        let (fw, fs) = following(&doc, &ctx);
+        assert_eq!(f[0].0, fw);
+        assert_eq!(f[0].1, fs);
+        let p = preceding_many(&doc, &[&ctx], &mut scratch);
+        let (pw, ps) = preceding(&doc, &ctx);
+        assert_eq!(p[0].0, pw);
+        assert_eq!(p[0].1.nodes_touched(), ps.nodes_touched());
+        assert_eq!(p[0].1.result_size, ps.result_size);
+    }
+
+    #[test]
+    fn exists_many_matches_sequential_and_dedups() {
+        use crate::{
+            has_ancestor_in, has_ancestor_in_many, has_child_in, has_child_in_many,
+            has_descendant_in, has_descendant_in_many, TagIndex,
+        };
+        let doc = random_doc(12, 500);
+        let idx = TagIndex::build(&doc);
+        let list = idx.fragment_by_name(&doc, "p");
+        let a = random_context(&doc, 0xA11CE, 30);
+        let b = random_context(&doc, 0xB0B, 30);
+        let refs: Vec<&Context> = vec![&a, &b, &a, &a];
+        let d = has_descendant_in_many(&doc, &refs, list);
+        let an = has_ancestor_in_many(&doc, &refs, list);
+        let ch = has_child_in_many(&doc, &refs, list);
+        for (i, ctx) in [&a, &b, &a, &a].into_iter().enumerate() {
+            assert_eq!(d[i].0, has_descendant_in(&doc, ctx, list).0, "query {i}");
+            assert_eq!(an[i].0, has_ancestor_in(&doc, ctx, list).0, "query {i}");
+            assert_eq!(ch[i].0, has_child_in(&doc, ctx, list).0, "query {i}");
+        }
+        // Duplicate candidate sets are probed once: incremental touches
+        // land on the first occurrence only.
+        assert_eq!(d[2].1.nodes_touched(), 0);
+        assert_eq!(d[3].1.nodes_touched(), 0);
+        assert_eq!(
+            d[0].1.nodes_touched(),
+            has_descendant_in(&doc, &a, list).1.nodes_touched()
+        );
+    }
+
+    #[test]
+    fn many_forms_reuse_the_scratch_pool() {
+        use crate::{following_many, preceding_many, TagIndex};
+        let doc = random_doc(21, 600);
+        let idx = TagIndex::build(&doc);
+        let list = idx.fragment_by_name(&doc, "r");
+        let ctxs = contexts_for(&doc, 0xCAFE, 4);
+        let refs: Vec<&Context> = ctxs.iter().collect();
+
+        let mut scratch = Scratch::new();
+        // Warm the pool once: every result the caller recycles and every
+        // internal buffer comes back to the pool.
+        for _ in 0..2 {
+            for (c, _) in descendant_on_list_many(&doc, list, &refs, &mut scratch) {
+                scratch.recycle(c);
+            }
+            for (c, _) in following_many(&doc, &refs, &mut scratch) {
+                scratch.recycle(c);
+            }
+            for (c, _) in preceding_many(&doc, &refs, &mut scratch) {
+                scratch.recycle(c);
+            }
+        }
+        let steady = scratch.pooled();
+        assert!(steady > 0, "pool must hold recycled buffers");
+        // Steady state: another round allocates nothing new — the pool
+        // level is unchanged after take/put cycles.
+        for _ in 0..3 {
+            for (c, _) in descendant_on_list_many(&doc, list, &refs, &mut scratch) {
+                scratch.recycle(c);
+            }
+            for (c, _) in following_many(&doc, &refs, &mut scratch) {
+                scratch.recycle(c);
+            }
+            for (c, _) in preceding_many(&doc, &refs, &mut scratch) {
+                scratch.recycle(c);
+            }
+            assert_eq!(scratch.pooled(), steady, "steady-state pool level");
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use staircase_accel::{Context, Doc, Pre};
 
+use crate::batch::dedup_pass;
 use crate::stats::StepStats;
 
 /// Keeps the context nodes that have at least one descendant in `list`
@@ -98,6 +99,43 @@ pub fn has_child_in(doc: &Doc, context: &Context, list: &[Pre]) -> (Context, Ste
     stats.result_size = result.len();
     stats.partitions = context.len();
     (Context::from_sorted(result), stats)
+}
+
+/// Probes K candidate sets against one shared `list`: the multi-context
+/// form of [`has_descendant_in`].
+///
+/// The probes themselves are already O(1) reads per candidate, so the
+/// batch form's leverage is *sharing*: identical candidate sets (the
+/// common case when several queries in a batch carry the same predicate
+/// over the same step result) are probed once, duplicates reporting zero
+/// incremental touches — and the caller resolves the fragment list once
+/// for the whole group instead of once per lane.
+pub fn has_descendant_in_many(
+    doc: &Doc,
+    contexts: &[&Context],
+    list: &[Pre],
+) -> Vec<(Context, StepStats)> {
+    dedup_pass(contexts, |ctx| has_descendant_in(doc, ctx, list))
+}
+
+/// The multi-context form of [`has_ancestor_in`]; see
+/// [`has_descendant_in_many`] for the sharing contract.
+pub fn has_ancestor_in_many(
+    doc: &Doc,
+    contexts: &[&Context],
+    list: &[Pre],
+) -> Vec<(Context, StepStats)> {
+    dedup_pass(contexts, |ctx| has_ancestor_in(doc, ctx, list))
+}
+
+/// The multi-context form of [`has_child_in`]; see
+/// [`has_descendant_in_many`] for the sharing contract.
+pub fn has_child_in_many(
+    doc: &Doc,
+    contexts: &[&Context],
+    list: &[Pre],
+) -> Vec<(Context, StepStats)> {
+    dedup_pass(contexts, |ctx| has_child_in(doc, ctx, list))
 }
 
 #[cfg(test)]

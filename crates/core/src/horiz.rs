@@ -13,6 +13,7 @@
 
 use staircase_accel::{Context, Doc, NodeKind, Pre};
 
+use crate::batch::Scratch;
 use crate::prune::{prune_following, prune_preceding};
 use crate::stats::StepStats;
 
@@ -88,6 +89,191 @@ pub fn preceding(doc: &Doc, context: &Context) -> (Context, StepStats) {
     }
     stats.result_size = result.len();
     (Context::from_sorted(result), stats)
+}
+
+/// Evaluates `contexts[k]/following::node()` for every `k` with **one**
+/// suffix scan: the multi-context form of [`following`].
+///
+/// Pruning collapses every context to a single node, whose following
+/// region is the contiguous pre range after its subtree — so the K
+/// regions are *nested suffixes* of the plane. One filtered scan from
+/// the earliest start serves everyone: each lane's result is a suffix
+/// slice of the widest lane's, and the single physical pass is
+/// attributed to the lane that needed all of it.
+pub fn following_many(
+    doc: &Doc,
+    contexts: &[&Context],
+    scratch: &mut Scratch,
+) -> Vec<(Context, StepStats)> {
+    let n = doc.len() as Pre;
+    let kind = doc.kind_column();
+    let attr = NodeKind::Attribute as u8;
+
+    // Per lane: the pruned context node and its region start.
+    let starts: Vec<Option<(Pre, Pre)>> = contexts
+        .iter()
+        .map(|ctx| {
+            prune_following(doc, ctx)
+                .as_slice()
+                .first()
+                .map(|&c| (c, (c + 1 + doc.subtree_size(c)).min(n)))
+        })
+        .collect();
+    let widest = starts.iter().flatten().map(|&(_, s)| s).min();
+
+    // The one shared scan, from the earliest region start.
+    let mut base = scratch.take();
+    if let Some(start) = widest {
+        base.extend((start..n).filter(|&v| kind[v as usize] != attr));
+    }
+
+    // The scan's physical reads go to the first lane with the widest
+    // region; every other lane shares.
+    let payer = starts
+        .iter()
+        .position(|s| matches!((s, widest), (Some((_, a)), Some(b)) if *a == b));
+    let out = contexts
+        .iter()
+        .enumerate()
+        .map(|(i, ctx)| {
+            let mut stats = StepStats {
+                context_in: ctx.len(),
+                ..Default::default()
+            };
+            let Some((c, start)) = starts[i] else {
+                return (Context::empty(), stats);
+            };
+            stats.context_out = 1;
+            stats.partitions = 1;
+            stats.nodes_skipped = u64::from(start.saturating_sub(c + 1));
+            if payer == Some(i) {
+                stats.nodes_copied = u64::from(n.saturating_sub(start));
+            }
+            let from = base.partition_point(|&v| v < start);
+            let mut result = scratch.take();
+            result.extend_from_slice(&base[from..]);
+            stats.result_size = result.len();
+            (Context::from_sorted(result), stats)
+        })
+        .collect();
+    scratch.put(base);
+    out
+}
+
+/// Evaluates `contexts[k]/preceding::node()` for every `k` with **one**
+/// left-to-right scan: the multi-context form of [`preceding`].
+///
+/// Pruning collapses every context to its last node `cₖ`; the scan walks
+/// `[0, max cₖ)` once, lanes dropping out as the cursor passes their
+/// boundary. A position preceding the *earliest* active boundary
+/// precedes every later one too (its subtree cannot contain any of
+/// them), so the sequential join's comparison-free copy of guaranteed
+/// subtree blocks serves all active lanes at once; only ancestors of the
+/// earliest boundary are probed per lane. Physical reads are attributed
+/// to the widest lane (which needs every position); other lanes report
+/// zero incremental touches.
+pub fn preceding_many(
+    doc: &Doc,
+    contexts: &[&Context],
+    scratch: &mut Scratch,
+) -> Vec<(Context, StepStats)> {
+    let post = doc.post_column();
+    let kind = doc.kind_column();
+    let attr = NodeKind::Attribute as u8;
+
+    // Pruned boundary per lane; unique boundaries ascending share one
+    // result buffer each.
+    let bounds: Vec<Option<Pre>> = contexts
+        .iter()
+        .map(|ctx| prune_preceding(doc, ctx).as_slice().first().copied())
+        .collect();
+    let mut uniq: Vec<Pre> = bounds.iter().flatten().copied().collect();
+    uniq.sort_unstable();
+    uniq.dedup();
+    let mut results: Vec<Vec<Pre>> = uniq.iter().map(|_| scratch.take()).collect();
+
+    let mut scanned = 0u64;
+    let mut copied = 0u64;
+    if let Some(&c_max) = uniq.last() {
+        let mut lo = 0usize; // first boundary still ahead of the cursor
+        let mut v: Pre = 0;
+        while v < c_max {
+            while uniq[lo] <= v {
+                lo += 1; // this boundary's region is complete
+            }
+            let first = uniq[lo];
+            scanned += 1;
+            if post[v as usize] < post[first as usize] {
+                // v precedes the earliest active boundary — and therefore
+                // every later one. Copy v and its guaranteed subtree
+                // block to all active lanes without further comparisons.
+                let run = post[v as usize].saturating_sub(v).min(first - v - 1);
+                for w in v..=v + run {
+                    if kind[w as usize] != attr {
+                        for r in &mut results[lo..] {
+                            r.push(w);
+                        }
+                    }
+                }
+                copied += u64::from(run);
+                v += 1 + run;
+            } else {
+                // v is an ancestor of the earliest boundary; it may still
+                // precede later ones — probe each individually.
+                for (u, r) in uniq.iter().zip(&mut results).skip(lo + 1) {
+                    if post[v as usize] < post[*u as usize] && kind[v as usize] != attr {
+                        r.push(v);
+                    }
+                }
+                v += 1;
+            }
+        }
+    }
+
+    // Distribute: the widest boundary's first lane pays for the scan;
+    // duplicates clone, the last user of each buffer takes it.
+    let payer = uniq
+        .last()
+        .and_then(|&m| bounds.iter().position(|b| *b == Some(m)));
+    let mut users: Vec<usize> = uniq
+        .iter()
+        .map(|u| bounds.iter().filter(|b| **b == Some(*u)).count())
+        .collect();
+    let mut finished: Vec<Option<Context>> = results
+        .into_iter()
+        .map(|r| Some(Context::from_sorted(r)))
+        .collect();
+    bounds
+        .iter()
+        .enumerate()
+        .map(|(i, bound)| {
+            let mut stats = StepStats {
+                context_in: contexts[i].len(),
+                ..Default::default()
+            };
+            let Some(c) = bound else {
+                return (Context::empty(), stats);
+            };
+            stats.context_out = 1;
+            stats.partitions = 1;
+            let u = uniq.binary_search(c).expect("every boundary is indexed");
+            users[u] -= 1;
+            let slot = &mut finished[u];
+            let ctx = if users[u] == 0 {
+                slot.take().expect("buffer taken only by its last user")
+            } else {
+                slot.as_ref()
+                    .expect("buffer live until its last user")
+                    .clone()
+            };
+            if payer == Some(i) {
+                stats.nodes_scanned = scanned;
+                stats.nodes_copied = copied;
+            }
+            stats.result_size = ctx.len();
+            (ctx, stats)
+        })
+        .collect()
 }
 
 #[cfg(test)]

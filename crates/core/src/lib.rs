@@ -64,11 +64,16 @@ mod prune;
 mod stats;
 
 pub use anc::ancestor;
-pub use batch::{ancestor_many, descendant_many, Scratch};
+pub use batch::{
+    ancestor_many, ancestor_on_list_many, descendant_many, descendant_on_list_many, Scratch,
+};
 pub use cost::DocStats;
 pub use desc::{descendant, descendant_fused, guaranteed_result_estimate};
-pub use exists::{has_ancestor_in, has_child_in, has_descendant_in};
-pub use horiz::{following, preceding};
+pub use exists::{
+    has_ancestor_in, has_ancestor_in_many, has_child_in, has_child_in_many, has_descendant_in,
+    has_descendant_in_many,
+};
+pub use horiz::{following, following_many, preceding, preceding_many};
 pub use list::{ancestor_on_list, descendant_on_list, TagIndex};
 pub use parallel::{ancestor_parallel, descendant_parallel};
 pub use prune::{

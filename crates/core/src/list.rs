@@ -89,11 +89,25 @@ pub fn descendant_on_list(doc: &Doc, list: &[Pre], context: &Context) -> (Contex
     };
     let pruned = prune_descendant(doc, context);
     stats.context_out = pruned.len();
-    let steps = pruned.as_slice();
+    let mut result = Vec::new();
+    descendant_list_partitions(doc, list, pruned.as_slice(), &mut result, &mut stats);
+    stats.result_size = result.len();
+    (Context::from_sorted(result), stats)
+}
+
+/// Walks the partitions induced by a pruned step slice over `list`.
+/// Factored out so the multi-context fragment join
+/// ([`crate::descendant_on_list_many`]) can serve a single-lane batch
+/// with exactly the sequential join's access pattern.
+pub(crate) fn descendant_list_partitions(
+    doc: &Doc,
+    list: &[Pre],
+    steps: &[Pre],
+    result: &mut Vec<Pre>,
+    stats: &mut StepStats,
+) {
     let post = doc.post_column();
     let n = doc.len() as Pre;
-    let mut result = Vec::new();
-
     let mut j = 0usize; // cursor into `list`
     for (i, &c) in steps.iter().enumerate() {
         let part_end = steps.get(i + 1).copied().unwrap_or(n);
@@ -121,8 +135,6 @@ pub fn descendant_on_list(doc: &Doc, list: &[Pre], context: &Context) -> (Contex
             }
         }
     }
-    stats.result_size = result.len();
-    (Context::from_sorted(result), stats)
 }
 
 /// `context/ancestor::tag` evaluated directly on a tag fragment.
@@ -137,12 +149,24 @@ pub fn ancestor_on_list(doc: &Doc, list: &[Pre], context: &Context) -> (Context,
     };
     let pruned = prune_ancestor(doc, context);
     stats.context_out = pruned.len();
-    let post = doc.post_column();
     let mut result = Vec::new();
+    ancestor_list_partitions(doc, list, pruned.as_slice(), &mut result, &mut stats);
+    stats.result_size = result.len();
+    (Context::from_sorted(result), stats)
+}
 
+/// The ancestor twin of [`descendant_list_partitions`].
+pub(crate) fn ancestor_list_partitions(
+    doc: &Doc,
+    list: &[Pre],
+    steps: &[Pre],
+    result: &mut Vec<Pre>,
+    stats: &mut StepStats,
+) {
+    let post = doc.post_column();
     let mut j = 0usize;
     let mut part_start: Pre = 0;
-    for &c in pruned.as_slice() {
+    for &c in steps {
         stats.partitions += 1;
         let bound = post[c as usize];
         j += list[j..].partition_point(|&p| p < part_start);
@@ -165,8 +189,6 @@ pub fn ancestor_on_list(doc: &Doc, list: &[Pre], context: &Context) -> (Context,
         }
         part_start = c + 1;
     }
-    stats.result_size = result.len();
-    (Context::from_sorted(result), stats)
 }
 
 #[cfg(test)]

@@ -19,7 +19,9 @@
 //! ```
 //!
 //! Exit codes: `0` success, `2` usage or engine-configuration error,
-//! `3` XPath/XML/decode parse error, `4` I/O error.
+//! `3` XPath/XML/decode parse error, `4` I/O error, `5` partial batch
+//! (one or more `--query-file` lines failed to parse; each failure is
+//! reported with its line number and the remaining queries still run).
 //!
 //! Examples:
 //!
@@ -40,9 +42,13 @@
 //!
 //! A query file holds one expression per line; blank lines and lines
 //! starting with `#` are ignored. The batch is answered through
-//! `Session::run_many`, so queries whose `descendant`/`ancestor` steps
-//! line up share single scans of the plane instead of rescanning per
-//! query.
+//! `Session::run_many`, so queries whose planned steps line up —
+//! staircase joins, fragment (on-list) joins, horizontal axes, semijoin
+//! predicates — share single passes over the plane instead of
+//! rescanning per query. A line that fails to parse is reported with
+//! its line number and skipped; the rest of the batch still runs, and
+//! `xq` exits `5` instead of `0` so scripts can tell a partial batch
+//! from a clean one.
 
 use std::io::Read;
 use std::process::exit;
@@ -52,6 +58,8 @@ use staircase_suite::prelude::*;
 const EXIT_USAGE: i32 = 2;
 const EXIT_PARSE: i32 = 3;
 const EXIT_IO: i32 = 4;
+/// Some `--query-file` lines failed to parse; the rest ran.
+const EXIT_BATCH_PARTIAL: i32 = 5;
 
 struct Options {
     query: Option<String>,
@@ -277,38 +285,50 @@ fn main() {
     }
 
     // Batch mode: every expression in the query file, one shared pass.
+    // A line that fails to parse is reported (with its line number) and
+    // skipped rather than aborting the whole batch; the exit code then
+    // distinguishes the partial batch from a clean run.
     if let Some(path) = &opts.query_file {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(path, e.into()));
-        let exprs: Vec<&str> = text
-            .lines()
-            .map(str::trim)
-            .filter(|l| !l.is_empty() && !l.starts_with('#'))
-            .collect();
-        let queries: Vec<_> = exprs
-            .iter()
-            .map(|e| session.prepare(e).unwrap_or_else(|err| fail(e, err)))
-            .collect();
+        let mut parse_failures = 0usize;
+        let mut queries = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let expr = line.trim();
+            if expr.is_empty() || expr.starts_with('#') {
+                continue;
+            }
+            match session.prepare(expr) {
+                Ok(query) => queries.push(query),
+                Err(err) => {
+                    eprintln!("xq: {path}:{}: {expr}: {err}", lineno + 1);
+                    parse_failures += 1;
+                }
+            }
+        }
         if opts.explain {
             for query in &queries {
                 println!("# {}", query.text());
                 print!("{}", query.explain(engine));
             }
-            return;
-        }
-        let refs: Vec<&_> = queries.iter().collect();
-        let outputs = session.run_many(&refs, engine);
-        for (query, out) in queries.iter().zip(&outputs) {
-            if opts.stats {
-                print_stats(out);
-            }
-            if opts.count_only {
-                println!("{:>8}  {}", out.len(), query.text());
-            } else {
-                println!("# {}", query.text());
-                for v in out {
-                    println!("pre {:>8}  {}", v, render_node(session.doc(), v));
+        } else {
+            let refs: Vec<&_> = queries.iter().collect();
+            let outputs = session.run_many(&refs, engine);
+            for (query, out) in queries.iter().zip(&outputs) {
+                if opts.stats {
+                    print_stats(out);
+                }
+                if opts.count_only {
+                    println!("{:>8}  {}", out.len(), query.text());
+                } else {
+                    println!("# {}", query.text());
+                    for v in out {
+                        println!("pre {:>8}  {}", v, render_node(session.doc(), v));
+                    }
                 }
             }
+        }
+        if parse_failures > 0 {
+            exit(EXIT_BATCH_PARTIAL);
         }
         return;
     }

@@ -1,33 +1,51 @@
-//! Batched multi-query evaluation: the engine room of
-//! [`Session::run_many`](crate::Session::run_many).
+//! The lane executor: multi-context execution as the **native form**.
 //!
-//! Every query in a batch arrives as a [`PhysicalPlan`] and is split
-//! into *lanes* (one per union branch). Evaluation proceeds in rounds:
-//! each round, every unfinished lane advances by exactly one step.
-//! Since the plan/execute split, batchability is read straight off the
-//! **planned operator** — a lane batches when its current step was
-//! planned as a predicate-free plain staircase join
-//! ([`StepOp::Staircase`]) on a vertical axis, whatever engine produced
-//! the plan (so [`crate::Engine::auto`]'s staircase-planned steps batch
-//! exactly like the fixed staircase engine's). Batchable lanes are
-//! grouped by vertical axis and variant and dispatched through the
-//! multi-context joins ([`descendant_many`]/[`ancestor_many`]), which
-//! serve the whole group from **one** scan of the plane. Everything
-//! else — fragment joins, SQL/naive/parallel operators, horizontal and
-//! structural axes, steps with predicates — falls back to the ordinary
-//! per-lane plan interpreter, so batch results are identical to
-//! sequential results by construction on those paths and by the
-//! multi-context join's per-lane equivalence on the batched ones.
+//! Every evaluation — [`Session::run`](crate::Session::run) included —
+//! arrives here as a batch of [`PhysicalPlan`]s and is split into
+//! *lanes* (one per union branch); single-query `run` is simply the
+//! K = 1 batch. Evaluation proceeds in rounds: each round, every
+//! unfinished lane advances by exactly one step, and lanes whose current
+//! steps **declare the same lane form** ([`LaneForm`], a property of the
+//! planned operator) advance together through the multi-context
+//! operators of `staircase_core`:
 //!
-//! A [`Scratch`] pool lives for the duration of the batch: step results
-//! and intermediate contexts recycle their allocations instead of
-//! allocating per step.
+//! * [`LaneForm::Staircase`] → [`descendant_many`] / [`ancestor_many`]:
+//!   one merged-boundary scan of the plane serves the whole group;
+//! * [`LaneForm::Fragment`] → [`descendant_on_list_many`] /
+//!   [`ancestor_on_list_many`]: lanes naming the same tag share the
+//!   list resolution (prebuilt fragment or one query-time selection
+//!   scan) and a single forward cursor over it;
+//! * [`LaneForm::Horiz`] → [`following_many`] / [`preceding_many`]: the
+//!   group's nested suffix/prefix regions come out of one filtered scan;
+//! * semijoin predicates on any of the above are probed group-wise
+//!   through [`has_descendant_in_many`] and friends, resolving each
+//!   predicate's node list once per group.
+//!
+//! Only the genuinely unbatchable residue — nested-loop (filter)
+//! predicates, structural axes, and the naive/SQL/parallel operators —
+//! falls back to the sequential plan interpreter, one lane at a time
+//! ([`Executor::exec_step`]).
+//!
+//! Because the grouping key is read straight off the plan, no engine
+//! decision is re-derived at run time, and [`crate::Engine::auto`]'s
+//! steps batch exactly like the fixed engines'. Statistics count
+//! **incremental** cost: a position serving several lanes is attributed
+//! to the first lane that needed it, so touched-node totals across a
+//! batch equal the physical reads. A [`Scratch`] pool — owned by the
+//! session, so it persists across batches — recycles result and context
+//! allocations instead of paying for them per round.
 
-use staircase_accel::{Axis, Context, NodeKind, TagId};
-use staircase_core::{ancestor_many, descendant_many, Scratch, Variant};
+use staircase_accel::{Axis, Context, NodeKind, Pre, TagId};
+use staircase_core::{
+    ancestor_many, ancestor_on_list_many, descendant_many, descendant_on_list_many, following_many,
+    has_ancestor_in_many, has_child_in_many, has_descendant_in_many, preceding_many, Scratch,
+};
 
+use crate::ast::NodeTest;
 use crate::eval::{apply_test, merge, EvalOutput, EvalStats, Executor, StepTrace};
-use crate::plan::{vert_axis_of, PathPlan, PhysicalPlan, PlannedStep, StepOp, VertAxis};
+use crate::plan::{
+    HorizAxis, LaneForm, PathPlan, PhysicalPlan, PlannedStep, PredOp, SemijoinAxis, VertAxis,
+};
 
 /// One union branch of one query, advancing step by step.
 struct Lane<'p> {
@@ -47,213 +65,400 @@ impl<'p> Lane<'p> {
     }
 }
 
-/// Is this planned step evaluable by the multi-context join, and on
-/// which axis? `None` means "fall back to per-lane interpretation".
-fn batchable(step: &PlannedStep) -> Option<(VertAxis, Variant)> {
-    if !step.predicate_operators().is_empty() {
-        // Predicates recurse into full path evaluation; keep them on the
-        // sequential path.
-        return None;
+impl Executor<'_> {
+    /// Evaluates many physical plans from one shared starting context —
+    /// the single entry point for *all* plan evaluation (`run` is the
+    /// K = 1 batch), sharing passes wherever planned steps agree on a
+    /// lane form.
+    pub(crate) fn run_plans(
+        &self,
+        plans: &[&PhysicalPlan],
+        context: &Context,
+        scratch: &mut Scratch,
+    ) -> Vec<EvalOutput> {
+        let mut lanes: Vec<Lane<'_>> = Vec::new();
+        for (query, plan) in plans.iter().enumerate() {
+            for path in plan.branches() {
+                let ctx = if path.absolute {
+                    Context::singleton(self.doc.root())
+                } else {
+                    context.clone()
+                };
+                lanes.push(Lane {
+                    query,
+                    path,
+                    ctx,
+                    step: 0,
+                    stats: EvalStats::default(),
+                });
+            }
+        }
+
+        // Rounds: every unfinished lane advances one step per round;
+        // lanes whose current steps declare the same lane form advance
+        // together through one multi-context pass.
+        loop {
+            let mut groups: Vec<(LaneForm, Vec<usize>)> = Vec::new();
+            let mut fallback: Vec<usize> = Vec::new();
+            for (i, lane) in lanes.iter().enumerate() {
+                let Some(step) = lane.pending() else { continue };
+                match step.lane_form() {
+                    LaneForm::PerLane => fallback.push(i),
+                    key => match groups.iter_mut().find(|(k, _)| *k == key) {
+                        Some((_, members)) => members.push(i),
+                        None => groups.push((key, vec![i])),
+                    },
+                }
+            }
+            if groups.is_empty() && fallback.is_empty() {
+                break;
+            }
+
+            // The residue: one lane at a time through the sequential
+            // plan interpreter.
+            for i in fallback {
+                let lane = &mut lanes[i];
+                let step = &lane.path.steps()[lane.step];
+                let (next, trace) = self.exec_step(&lane.ctx, step);
+                lane.stats.steps.push(trace);
+                scratch.recycle(std::mem::replace(&mut lane.ctx, next));
+                lane.step += 1;
+            }
+
+            for (form, group) in groups {
+                match form {
+                    LaneForm::Staircase(vert, variant) => {
+                        self.staircase_round(&mut lanes, &group, vert, variant, scratch);
+                    }
+                    LaneForm::Fragment {
+                        vert,
+                        name,
+                        prescan,
+                    } => {
+                        self.fragment_round(&mut lanes, &group, vert, name, prescan, scratch);
+                    }
+                    LaneForm::Horiz(haxis) => {
+                        self.horiz_round(&mut lanes, &group, haxis, scratch);
+                    }
+                    LaneForm::PerLane => unreachable!("PerLane lanes go to the fallback list"),
+                }
+            }
+        }
+
+        // Reassemble per-query outputs: branches merge in declaration
+        // order, step traces concatenate in the same order as a
+        // branch-by-branch evaluation would produce them.
+        let mut outputs: Vec<Option<EvalOutput>> = plans.iter().map(|_| None).collect();
+        for lane in lanes {
+            let branch = EvalOutput {
+                result: lane.ctx,
+                stats: lane.stats,
+            };
+            match &mut outputs[lane.query] {
+                slot @ None => *slot = Some(branch),
+                Some(acc) => {
+                    acc.result = merge(&acc.result, &branch.result);
+                    acc.stats.steps.extend(branch.stats.steps);
+                }
+            }
+        }
+        outputs
+            .into_iter()
+            .map(|o| {
+                o.unwrap_or_else(|| EvalOutput {
+                    // The parser guarantees at least one branch; an empty
+                    // union is harmlessly empty rather than a panic.
+                    result: Context::empty(),
+                    stats: EvalStats::default(),
+                })
+            })
+            .collect()
     }
-    let vert = vert_axis_of(step.axis())?;
-    match step.operator() {
-        StepOp::Staircase { variant } => Some((vert, *variant)),
-        // Fragment/parallel/naive/SQL operators evaluate per lane.
-        _ => None,
+
+    /// One shared pass of the plain staircase join for every lane in
+    /// `group`, plus fused name tests over shared bases, or-self
+    /// merging, and group-wise predicate probes.
+    fn staircase_round(
+        &self,
+        lanes: &mut [Lane<'_>],
+        group: &[usize],
+        vert: VertAxis,
+        variant: staircase_core::Variant,
+        scratch: &mut Scratch,
+    ) {
+        // Dedup identical current contexts up front: the join runs once
+        // per unique context and duplicates borrow the shared base result
+        // instead of cloning it. The shared pass's cost is attributed to
+        // the first lane that needed it.
+        let mut uniq: Vec<usize> = Vec::new();
+        let mut slot_of: Vec<usize> = Vec::with_capacity(group.len());
+        for &i in group {
+            match uniq
+                .iter()
+                .position(|&u| lanes[u].ctx.as_slice() == lanes[i].ctx.as_slice())
+            {
+                Some(s) => slot_of.push(s),
+                None => {
+                    slot_of.push(uniq.len());
+                    uniq.push(i);
+                }
+            }
+        }
+        let joined = {
+            let contexts: Vec<&Context> = uniq.iter().map(|&i| &lanes[i].ctx).collect();
+            match vert {
+                VertAxis::Descendant => descendant_many(self.doc, &contexts, variant, scratch),
+                VertAxis::Ancestor => ancestor_many(self.doc, &contexts, variant, scratch),
+            }
+        };
+        let axis = match vert {
+            VertAxis::Descendant => Axis::Descendant,
+            VertAxis::Ancestor => Axis::Ancestor,
+        };
+        // Fuse name tests over each shared base: one pass reading
+        // `kind`/`tag` serves every lane filtering the same base by tag,
+        // instead of one pass per lane.
+        let mut fused: Vec<Option<Context>> = vec![None; group.len()];
+        for (slot, (base, _)) in joined.iter().enumerate() {
+            let named: Vec<(usize, TagId)> = group
+                .iter()
+                .enumerate()
+                .filter(|&(gi, _)| slot_of[gi] == slot)
+                .filter_map(|(gi, &i)| {
+                    let step = &lanes[i].path.steps()[lanes[i].step];
+                    if matches!(step.axis(), Axis::DescendantOrSelf | Axis::AncestorOrSelf) {
+                        return None; // or-self lanes merge selves later
+                    }
+                    let NodeTest::Name(name) = &step.test else {
+                        return None;
+                    };
+                    // An absent name means an empty result.
+                    let tid = self.doc.tag_id(name).unwrap_or(staircase_accel::NO_TAG);
+                    Some((gi, tid))
+                })
+                .collect();
+            if named.len() < 2 {
+                continue; // a lone filter gains nothing from fusing
+            }
+            let mut bufs: Vec<Vec<Pre>> = named.iter().map(|_| scratch.take()).collect();
+            let element = NodeKind::Element;
+            for v in base.iter() {
+                if self.doc.kind(v) != element {
+                    continue;
+                }
+                let t = self.doc.tag(v);
+                for (bi, &(_, tid)) in named.iter().enumerate() {
+                    if tid == t {
+                        bufs[bi].push(v);
+                    }
+                }
+            }
+            for ((gi, _), buf) in named.into_iter().zip(bufs) {
+                fused[gi] = Some(Context::from_sorted(buf));
+            }
+        }
+        let mut first_use = vec![true; uniq.len()];
+        let mut outs: Vec<(Context, u64)> = Vec::with_capacity(group.len());
+        for (gi, &i) in group.iter().enumerate() {
+            let (base, jstats) = &joined[slot_of[gi]];
+            let lane = &lanes[i];
+            let step = &lane.path.steps()[lane.step];
+            let mut out = match fused[gi].take() {
+                Some(filtered) => filtered,
+                None => apply_test(self.doc, base, &step.test, axis),
+            };
+            if matches!(step.axis(), Axis::DescendantOrSelf | Axis::AncestorOrSelf) {
+                let selves = apply_test(self.doc, &lane.ctx, &step.test, Axis::SelfAxis);
+                out = merge(&out, &selves);
+                scratch.recycle(selves);
+            }
+            let touched = if std::mem::take(&mut first_use[slot_of[gi]]) {
+                jstats.nodes_touched()
+            } else {
+                0
+            };
+            outs.push((out, touched));
+        }
+        for (base, _) in joined {
+            scratch.recycle(base);
+        }
+        self.predicate_rounds(lanes, group, &mut outs, scratch);
+        advance(lanes, group, outs, scratch);
+    }
+
+    /// One shared cursor over a tag fragment (prebuilt or one query-time
+    /// selection scan) for every lane in `group`. The fragment join
+    /// fuses the name test, so the join result *is* the tested result.
+    fn fragment_round(
+        &self,
+        lanes: &mut [Lane<'_>],
+        group: &[usize],
+        vert: VertAxis,
+        name: &str,
+        prescan: bool,
+        scratch: &mut Scratch,
+    ) {
+        // Resolve the shared list once for the whole group. The prescan
+        // variant's selection scan costs one pass over the plane (§4.4) —
+        // paid once per group, attributed to its first lane — except for
+        // names absent from the dictionary, where no scan runs.
+        let (list, scan_cost) = if prescan {
+            let cost = if self.doc.tag_id(name).is_some() {
+                self.doc.len() as u64
+            } else {
+                0
+            };
+            (std::borrow::Cow::Owned(self.scan_list(name)), cost)
+        } else {
+            (self.fragment_list(name), 0)
+        };
+        let joined = {
+            let contexts: Vec<&Context> = group.iter().map(|&i| &lanes[i].ctx).collect();
+            match vert {
+                VertAxis::Descendant => {
+                    descendant_on_list_many(self.doc, &list, &contexts, scratch)
+                }
+                VertAxis::Ancestor => ancestor_on_list_many(self.doc, &list, &contexts, scratch),
+            }
+        };
+        let mut outs: Vec<(Context, u64)> = Vec::with_capacity(group.len());
+        for (gi, (mut out, jstats)) in joined.into_iter().enumerate() {
+            let lane = &lanes[group[gi]];
+            let step = &lane.path.steps()[lane.step];
+            if matches!(step.axis(), Axis::DescendantOrSelf | Axis::AncestorOrSelf) {
+                let selves = apply_test(self.doc, &lane.ctx, &step.test, Axis::SelfAxis);
+                let merged = merge(&out, &selves);
+                scratch.recycle(selves);
+                scratch.recycle(std::mem::replace(&mut out, merged));
+            }
+            let touched = jstats.nodes_touched() + if gi == 0 { scan_cost } else { 0 };
+            outs.push((out, touched));
+        }
+        self.predicate_rounds(lanes, group, &mut outs, scratch);
+        advance(lanes, group, outs, scratch);
+    }
+
+    /// One shared suffix/prefix scan for every lane in `group`.
+    fn horiz_round(
+        &self,
+        lanes: &mut [Lane<'_>],
+        group: &[usize],
+        haxis: HorizAxis,
+        scratch: &mut Scratch,
+    ) {
+        let joined = {
+            let contexts: Vec<&Context> = group.iter().map(|&i| &lanes[i].ctx).collect();
+            match haxis {
+                HorizAxis::Following => following_many(self.doc, &contexts, scratch),
+                HorizAxis::Preceding => preceding_many(self.doc, &contexts, scratch),
+            }
+        };
+        let axis = haxis.axis();
+        let mut outs: Vec<(Context, u64)> = Vec::with_capacity(group.len());
+        for (gi, (base, jstats)) in joined.into_iter().enumerate() {
+            let step = &lanes[group[gi]].path.steps()[lanes[group[gi]].step];
+            // node() steps keep the whole region: the join result moves
+            // straight through instead of being re-filtered.
+            let out = if matches!(step.test, NodeTest::AnyNode) {
+                base
+            } else {
+                let tested = apply_test(self.doc, &base, &step.test, axis);
+                scratch.recycle(base);
+                tested
+            };
+            outs.push((out, jstats.nodes_touched()));
+        }
+        self.predicate_rounds(lanes, group, &mut outs, scratch);
+        advance(lanes, group, outs, scratch);
+    }
+
+    /// Applies the group's (all-semijoin, by construction of the lane
+    /// forms) predicates wave by wave: the `w`-th predicates of every
+    /// lane are sub-grouped by (axis, name, list source) and probed
+    /// through one `*_in_many` call each, resolving the node list once
+    /// per sub-group.
+    fn predicate_rounds(
+        &self,
+        lanes: &[Lane<'_>],
+        group: &[usize],
+        outs: &mut [(Context, u64)],
+        scratch: &mut Scratch,
+    ) {
+        let waves = group
+            .iter()
+            .map(|&i| {
+                lanes[i].path.steps()[lanes[i].step]
+                    .predicate_operators()
+                    .len()
+            })
+            .max()
+            .unwrap_or(0);
+        // A probe sub-group: (axis, tag name, prebuilt list?) and the
+        // group-relative indices of its members.
+        type ProbeSpec<'n> = ((SemijoinAxis, &'n str, bool), Vec<usize>);
+        for w in 0..waves {
+            // Sub-group the wave's probes by predicate spec.
+            let mut specs: Vec<ProbeSpec<'_>> = Vec::new();
+            for (gi, &i) in group.iter().enumerate() {
+                let step = &lanes[i].path.steps()[lanes[i].step];
+                let Some(PredOp::Semijoin {
+                    axis,
+                    name,
+                    prebuilt,
+                }) = step.predicate_operators().get(w)
+                else {
+                    continue;
+                };
+                let key = (*axis, name.as_str(), *prebuilt);
+                match specs.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, members)) => members.push(gi),
+                    None => specs.push((key, vec![gi])),
+                }
+            }
+            for ((axis, name, prebuilt), members) in specs {
+                let list = if prebuilt {
+                    self.fragment_list(name)
+                } else {
+                    std::borrow::Cow::Owned(self.scan_list(name))
+                };
+                let probed = {
+                    let candidates: Vec<&Context> = members.iter().map(|&gi| &outs[gi].0).collect();
+                    match axis {
+                        SemijoinAxis::Descendant => {
+                            has_descendant_in_many(self.doc, &candidates, &list)
+                        }
+                        SemijoinAxis::Child => has_child_in_many(self.doc, &candidates, &list),
+                        SemijoinAxis::Ancestor => {
+                            has_ancestor_in_many(self.doc, &candidates, &list)
+                        }
+                    }
+                };
+                for (gi, (kept, _)) in members.into_iter().zip(probed) {
+                    scratch.recycle(std::mem::replace(&mut outs[gi].0, kept));
+                }
+            }
+        }
     }
 }
 
-/// Evaluates many physical plans from one shared starting context,
-/// sharing plane scans between queries wherever planned steps line up.
-pub(crate) fn run_many_plans(
-    ex: &Executor<'_>,
-    plans: &[&PhysicalPlan],
-    context: &Context,
-) -> Vec<EvalOutput> {
-    let mut scratch = Scratch::new();
-    let mut lanes: Vec<Lane<'_>> = Vec::new();
-    for (query, plan) in plans.iter().enumerate() {
-        for path in plan.branches() {
-            let ctx = if path.absolute {
-                Context::singleton(ex.doc.root())
-            } else {
-                context.clone()
-            };
-            lanes.push(Lane {
-                query,
-                path,
-                ctx,
-                step: 0,
-                stats: EvalStats::default(),
-            });
-        }
+/// Records each lane's step trace and advances it to the next step,
+/// recycling the previous context's allocation.
+fn advance(
+    lanes: &mut [Lane<'_>],
+    group: &[usize],
+    outs: Vec<(Context, u64)>,
+    scratch: &mut Scratch,
+) {
+    for (&i, (out, touched)) in group.iter().zip(outs) {
+        let lane = &mut lanes[i];
+        let step = &lane.path.steps()[lane.step];
+        lane.stats.steps.push(StepTrace {
+            step: step.source().to_string(),
+            result_size: out.len(),
+            nodes_touched: touched,
+            tuples_produced: out.len() as u64,
+        });
+        scratch.recycle(std::mem::replace(&mut lane.ctx, out));
+        lane.step += 1;
     }
-
-    // Rounds: every unfinished lane advances one step per round; lanes
-    // whose current steps share a batchable (axis, variant) group
-    // advance together.
-    loop {
-        // Per (vertical axis, variant) groups; one engine per batch call
-        // keeps the variant set tiny, but auto plans are free to mix.
-        let mut groups: Vec<((VertAxis, Variant), Vec<usize>)> = Vec::new();
-        let mut fallback: Vec<usize> = Vec::new();
-        for (i, lane) in lanes.iter().enumerate() {
-            let Some(step) = lane.pending() else { continue };
-            match batchable(step) {
-                Some(key) => match groups.iter_mut().find(|(k, _)| *k == key) {
-                    Some((_, members)) => members.push(i),
-                    None => groups.push((key, vec![i])),
-                },
-                None => fallback.push(i),
-            }
-        }
-        if groups.is_empty() && fallback.is_empty() {
-            break;
-        }
-
-        for i in fallback {
-            let lane = &mut lanes[i];
-            let step = &lane.path.steps()[lane.step];
-            let (next, trace) = ex.exec_step(&lane.ctx, step);
-            lane.stats.steps.push(trace);
-            scratch.recycle(std::mem::replace(&mut lane.ctx, next));
-            lane.step += 1;
-        }
-
-        for ((vert, variant), group) in groups {
-            // Dedup identical current contexts up front: the join runs
-            // once per unique context and duplicates borrow the shared
-            // base result instead of cloning it. The shared pass's cost
-            // is attributed to the first lane that needed it.
-            let mut uniq: Vec<usize> = Vec::new();
-            let mut slot_of: Vec<usize> = Vec::with_capacity(group.len());
-            for &i in &group {
-                match uniq
-                    .iter()
-                    .position(|&u| lanes[u].ctx.as_slice() == lanes[i].ctx.as_slice())
-                {
-                    Some(s) => slot_of.push(s),
-                    None => {
-                        slot_of.push(uniq.len());
-                        uniq.push(i);
-                    }
-                }
-            }
-            let joined = {
-                let contexts: Vec<&Context> = uniq.iter().map(|&i| &lanes[i].ctx).collect();
-                match vert {
-                    VertAxis::Descendant => {
-                        descendant_many(ex.doc, &contexts, variant, &mut scratch)
-                    }
-                    VertAxis::Ancestor => ancestor_many(ex.doc, &contexts, variant, &mut scratch),
-                }
-            };
-            let axis = match vert {
-                VertAxis::Descendant => Axis::Descendant,
-                VertAxis::Ancestor => Axis::Ancestor,
-            };
-            // Fuse name tests over each shared base: one pass reading
-            // `kind`/`tag` serves every lane filtering the same base by
-            // tag, instead of one pass per lane.
-            let mut fused: Vec<Option<Context>> = vec![None; group.len()];
-            for (slot, (base, _)) in joined.iter().enumerate() {
-                let named: Vec<(usize, TagId)> = group
-                    .iter()
-                    .enumerate()
-                    .filter(|&(gi, _)| slot_of[gi] == slot)
-                    .filter_map(|(gi, &i)| {
-                        let step = &lanes[i].path.steps()[lanes[i].step];
-                        if matches!(step.axis(), Axis::DescendantOrSelf | Axis::AncestorOrSelf) {
-                            return None; // or-self lanes merge selves later
-                        }
-                        let crate::ast::NodeTest::Name(name) = &step.test else {
-                            return None;
-                        };
-                        // An absent name means an empty result.
-                        let tid = ex.doc.tag_id(name).unwrap_or(staircase_accel::NO_TAG);
-                        Some((gi, tid))
-                    })
-                    .collect();
-                if named.len() < 2 {
-                    continue; // a lone filter gains nothing from fusing
-                }
-                let mut bufs: Vec<Vec<_>> = named.iter().map(|_| scratch.take()).collect();
-                let element = NodeKind::Element;
-                for v in base.iter() {
-                    if ex.doc.kind(v) != element {
-                        continue;
-                    }
-                    let t = ex.doc.tag(v);
-                    for (bi, &(_, tid)) in named.iter().enumerate() {
-                        if tid == t {
-                            bufs[bi].push(v);
-                        }
-                    }
-                }
-                for ((gi, _), buf) in named.into_iter().zip(bufs) {
-                    fused[gi] = Some(Context::from_sorted(buf));
-                }
-            }
-            let mut first_use = vec![true; uniq.len()];
-            for (gi, &i) in group.iter().enumerate() {
-                let (base, jstats) = &joined[slot_of[gi]];
-                let lane = &mut lanes[i];
-                let step = &lane.path.steps()[lane.step];
-                let mut out = match fused[gi].take() {
-                    Some(filtered) => filtered,
-                    None => apply_test(ex.doc, base, &step.test, axis),
-                };
-                if matches!(step.axis(), Axis::DescendantOrSelf | Axis::AncestorOrSelf) {
-                    let selves = apply_test(ex.doc, &lane.ctx, &step.test, Axis::SelfAxis);
-                    out = merge(&out, &selves);
-                    scratch.recycle(selves);
-                }
-                let touched = if std::mem::take(&mut first_use[slot_of[gi]]) {
-                    jstats.nodes_touched()
-                } else {
-                    0
-                };
-                lane.stats.steps.push(StepTrace {
-                    step: step.source().to_string(),
-                    result_size: out.len(),
-                    nodes_touched: touched,
-                    tuples_produced: out.len() as u64,
-                });
-                scratch.recycle(std::mem::replace(&mut lane.ctx, out));
-                lane.step += 1;
-            }
-            for (base, _) in joined {
-                scratch.recycle(base);
-            }
-        }
-    }
-
-    // Reassemble per-query outputs: branches merge in declaration order,
-    // step traces concatenate in the same order as the sequential
-    // interpreter.
-    let mut outputs: Vec<Option<EvalOutput>> = plans.iter().map(|_| None).collect();
-    for lane in lanes {
-        let branch = EvalOutput {
-            result: lane.ctx,
-            stats: lane.stats,
-        };
-        match &mut outputs[lane.query] {
-            slot @ None => *slot = Some(branch),
-            Some(acc) => {
-                acc.result = merge(&acc.result, &branch.result);
-                acc.stats.steps.extend(branch.stats.steps);
-            }
-        }
-    }
-    outputs
-        .into_iter()
-        .map(|o| {
-            o.unwrap_or_else(|| EvalOutput {
-                // The parser guarantees at least one branch; an empty
-                // union is harmlessly empty rather than a panic.
-                result: Context::empty(),
-                stats: EvalStats::default(),
-            })
-        })
-        .collect()
 }

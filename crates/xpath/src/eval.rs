@@ -1,15 +1,21 @@
-//! The plan interpreter: executes a [`PhysicalPlan`] over a document.
+//! The sequential plan interpreter: the lane executor's per-lane
+//! residue.
 //!
-//! Since the plan/execute split, this module makes **no engine
-//! decisions**: every step arrives as a [`PlannedStep`] whose operator
-//! was chosen by [`crate::plan`] (trivially, for fixed engines;
-//! cost-based, for [`crate::Engine::auto`]), and [`Executor`] merely
-//! dispatches on it. The executor pairs the document with whichever
-//! auxiliary structures the plan requires — the per-tag fragments and
-//! the SQL B-tree, resolved by [`crate::Session`] against its caches.
-//! Everything below that resolution step is total: no panics, no
-//! `unwrap`. Multi-query (batched) evaluation interprets the same IR in
-//! [`crate::batch`].
+//! Since the lane-native refactor, **all** evaluation enters through
+//! the lane executor in [`crate::batch`] ([`Executor::run_plans`];
+//! single-query `run` is the K = 1 batch). This module holds the
+//! [`Executor`] itself — the document paired with whichever auxiliary
+//! structures the plans at hand require, resolved by [`crate::Session`]
+//! against its caches — plus the *sequential* step interpreter
+//! ([`Executor::exec_step`]) that serves the genuinely unbatchable
+//! residue: steps whose planned operator declares no multi-context form
+//! (naive/SQL/parallel joins, structural axes) and nested-loop
+//! predicate evaluation. It makes no engine decisions: every step
+//! arrives as a [`PlannedStep`] whose operator was chosen by
+//! [`crate::plan`] (trivially, for fixed engines; cost-based, for
+//! [`crate::Engine::auto`]), and the interpreter merely dispatches on
+//! it. Everything below the session's resolution step is total: no
+//! panics, no `unwrap`.
 
 use staircase_accel::{Axis, Context, Doc, NodeKind, Pre};
 use staircase_baselines::{naive_step, SqlEngine, SqlPlanOptions};
@@ -21,7 +27,7 @@ use staircase_core::{
 
 use crate::ast::NodeTest;
 use crate::plan::{
-    axis_of, PartAxis, PathPlan, PhysicalPlan, PlannedStep, PredOp, SemijoinAxis, StepOp, VertAxis,
+    axis_of, PartAxis, PathPlan, PlannedStep, PredOp, SemijoinAxis, StepOp, VertAxis,
 };
 
 /// Per-step trace of an evaluation.
@@ -84,26 +90,9 @@ pub(crate) struct Executor<'a> {
 }
 
 impl<'a> Executor<'a> {
-    /// Interprets a whole plan: each branch independently from
-    /// `context`, results merged into document order (duplicate-free).
-    pub(crate) fn run_plan(&self, plan: &PhysicalPlan, context: &Context) -> EvalOutput {
-        let mut branches = plan.branches.iter().map(|b| self.run_branch(b, context));
-        let Some(mut acc) = branches.next() else {
-            // The parser guarantees at least one branch; an empty union is
-            // harmlessly empty rather than a panic.
-            return EvalOutput {
-                result: Context::empty(),
-                stats: EvalStats::default(),
-            };
-        };
-        for out in branches {
-            acc.result = merge(&acc.result, &out.result);
-            acc.stats.steps.extend(out.stats.steps);
-        }
-        acc
-    }
-
-    /// Interprets one branch plan from an explicit context.
+    /// Interprets one branch plan from an explicit context — the
+    /// nested-loop predicate path ([`PredOp::Filter`] recurses into full
+    /// path evaluation per candidate).
     pub(crate) fn run_branch(&self, branch: &PathPlan, context: &Context) -> EvalOutput {
         let mut ctx = if branch.absolute {
             Context::singleton(self.doc.root())
@@ -138,7 +127,7 @@ impl<'a> Executor<'a> {
     /// The prebuilt fragment index (resolved by the session whenever the
     /// plan calls for it; the scan fallback keeps this total even if a
     /// hand-built plan slips through without one).
-    fn fragment_list(&self, name: &str) -> std::borrow::Cow<'a, [Pre]> {
+    pub(crate) fn fragment_list(&self, name: &str) -> std::borrow::Cow<'a, [Pre]> {
         match self.tags {
             Some(idx) => std::borrow::Cow::Borrowed(idx.fragment_by_name(self.doc, name)),
             None => std::borrow::Cow::Owned(self.scan_list(name)),
@@ -146,7 +135,7 @@ impl<'a> Executor<'a> {
     }
 
     /// `nametest(doc, name)` as a query-time selection scan.
-    fn scan_list(&self, name: &str) -> Vec<Pre> {
+    pub(crate) fn scan_list(&self, name: &str) -> Vec<Pre> {
         self.doc
             .tag_id(name)
             .map(|t| self.doc.elements_with_tag(t))
@@ -446,6 +435,10 @@ fn on_list_join(
 
 /// Applies a node test to a node sequence.
 pub(crate) fn apply_test(doc: &Doc, ctx: &Context, test: &NodeTest, axis: Axis) -> Context {
+    // node() keeps everything: one memcpy instead of a per-node loop.
+    if matches!(test, NodeTest::AnyNode) {
+        return ctx.clone();
+    }
     // Name tests compare interned tag ids, not strings: one dictionary
     // lookup per step instead of one string comparison per node.
     if let NodeTest::Name(name) = test {
@@ -466,6 +459,9 @@ pub(crate) fn apply_test(doc: &Doc, ctx: &Context, test: &NodeTest, axis: Axis) 
     let keep = |v: Pre| -> bool {
         let kind = doc.kind(v);
         match test {
+            // node() and name tests took the fast paths above; these
+            // arms restate their semantics so the match stays total
+            // without introducing a panic path.
             NodeTest::AnyNode => true,
             NodeTest::AnyPrincipal | NodeTest::Name(_) => {
                 if axis == Axis::Attribute {

@@ -42,13 +42,27 @@
 //! * [`Query`] ([`Session::prepare`]) is parsed once and run many times,
 //!   against any engine, yielding a [`QueryOutput`]; physical plans are
 //!   cached per engine, so repeated runs skip re-planning;
-//! * [`Session::run_many`] evaluates a whole *batch* of prepared
-//!   queries, grouping each round's lanes **by planned operator**:
-//!   steps planned as plain staircase joins share one pass over the
-//!   plane via the multi-context joins, everything else falls back to
-//!   the per-lane interpreter;
 //! * every failure is a typed [`Error`]; nothing on the query path
 //!   panics.
+//!
+//! ## Lane-native execution
+//!
+//! Multi-context execution is the **native form**: every evaluation is
+//! a batch of *lanes* (one per union branch per query), advancing in
+//! rounds, and `Session::run` is simply [`Session::run_many`] with
+//! K = 1. Batchability is a *declared property of the planned operator*
+//! ([`PlannedStep::batchable`]): plain staircase joins, fragment
+//! (on-list) joins, horizontal scans, and semijoin predicate probes all
+//! carry multi-context forms in `staircase_core`, so lanes whose
+//! current steps agree — whatever engine planned them, including
+//! [`Engine::auto`] — share **one pass** per round (merged-boundary
+//! plane scans, one cursor per shared tag fragment, one suffix/prefix
+//! scan per horizontal group, grouped predicate probes). Only the
+//! genuinely unbatchable residue — nested-loop predicates, structural
+//! axes, the naive/SQL/parallel operators — drops to the sequential
+//! per-lane interpreter. Per-query [`EvalStats`] count *incremental*
+//! cost (a shared read is attributed to the first lane that needed it),
+//! so touched totals across a batch equal physical reads.
 //!
 //! The supported grammar covers what the paper's experiments need and the
 //! usual abbreviations:

@@ -264,10 +264,118 @@ impl PathPlan {
     }
 }
 
+/// The multi-context ("lane") executor a planned step is served by.
+///
+/// Batchability is a **declared property of the planned operator**:
+/// every [`StepOp`] either provides a multi-context form — dispatched by
+/// the lane executor so K lanes whose current steps agree on this key
+/// share one pass — or names [`LaneForm::PerLane`], the sequential
+/// fallback. Grouping therefore never re-derives engine decisions at
+/// run time, and the planner can reason about which steps of a batch
+/// will share passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LaneForm<'s> {
+    /// Plain staircase join over the whole plane:
+    /// [`staircase_core::descendant_many`] / [`staircase_core::ancestor_many`].
+    Staircase(VertAxis, Variant),
+    /// On-list (fragment) join over a shared per-tag node list:
+    /// [`staircase_core::descendant_on_list_many`] /
+    /// [`staircase_core::ancestor_on_list_many`]. Lanes naming the same
+    /// tag share both the list resolution and the merged cursor.
+    Fragment {
+        /// Join direction.
+        vert: VertAxis,
+        /// The name test's tag (fused into the join), borrowed from the
+        /// step — deriving the lane form allocates nothing.
+        name: &'s str,
+        /// Query-time selection scan instead of the prebuilt index.
+        prescan: bool,
+    },
+    /// Horizontal scan: [`staircase_core::following_many`] /
+    /// [`staircase_core::preceding_many`] (one suffix/prefix pass for
+    /// the whole group).
+    Horiz(HorizAxis),
+    /// No multi-context form: the lane falls back to the sequential
+    /// plan interpreter for this step.
+    PerLane,
+}
+
+/// The two horizontal axes, as their own enum so a horizontal lane form
+/// cannot name a vertical axis by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum HorizAxis {
+    Following,
+    Preceding,
+}
+
+impl HorizAxis {
+    pub(crate) fn axis(self) -> Axis {
+        match self {
+            HorizAxis::Following => Axis::Following,
+            HorizAxis::Preceding => Axis::Preceding,
+        }
+    }
+}
+
 impl PlannedStep {
     /// The chosen join operator.
     pub fn operator(&self) -> &StepOp {
         &self.op
+    }
+
+    /// The declared multi-context form of this step (see [`LaneForm`]).
+    ///
+    /// Semijoin predicates do not block lane execution — the executor
+    /// probes them group-wise through the `*_in_many` operators — but a
+    /// nested-loop [`PredOp::Filter`] recurses into full path
+    /// evaluation, so it forces the sequential fallback.
+    pub(crate) fn lane_form(&self) -> LaneForm<'_> {
+        if self
+            .predicates
+            .iter()
+            .any(|p| matches!(p, PredOp::Filter(_)))
+        {
+            return LaneForm::PerLane;
+        }
+        let Some(paxis) = part_axis_of(self.axis) else {
+            return LaneForm::PerLane; // structural axes
+        };
+        match (&self.op, vert_axis_of(self.axis)) {
+            (StepOp::Staircase { variant }, Some(vert)) => LaneForm::Staircase(vert, *variant),
+            (StepOp::Fragment { prescan }, Some(vert)) => match &self.test {
+                NodeTest::Name(name) => LaneForm::Fragment {
+                    vert,
+                    name,
+                    prescan: *prescan,
+                },
+                // The planner only emits fragment joins for name tests;
+                // a hand-built plan without one falls back (exactly as
+                // the sequential interpreter does).
+                _ => LaneForm::PerLane,
+            },
+            // The horizontal scan ignores the variant (pruning collapses
+            // the context to one node), so Staircase-planned horizontal
+            // steps batch too.
+            (StepOp::Staircase { .. } | StepOp::Horiz, None) => match paxis {
+                PartAxis::Following => LaneForm::Horiz(HorizAxis::Following),
+                PartAxis::Preceding => LaneForm::Horiz(HorizAxis::Preceding),
+                // vert_axis_of returned None, so paxis is horizontal;
+                // stay total without asserting it.
+                PartAxis::Descendant | PartAxis::Ancestor => LaneForm::PerLane,
+            },
+            _ => LaneForm::PerLane,
+        }
+    }
+
+    /// Does this step provide a multi-context (batched) form?
+    ///
+    /// When `true`, [`crate::Session::run_many`] serves every lane whose
+    /// current step shares this step's lane form from **one** pass;
+    /// when `false`, the step is the per-lane residue (nested-loop
+    /// predicates, structural axes, and the naive/SQL/parallel
+    /// operators, which have no multi-context form).
+    pub fn batchable(&self) -> bool {
+        self.lane_form() != LaneForm::PerLane
     }
 
     /// How the node test is applied.
@@ -342,6 +450,11 @@ impl fmt::Display for PlannedStep {
                 }
                 PredOp::Filter(_) => ops.push_str(" + filter-pred"),
             }
+        }
+        if self.batchable() {
+            // This step has a multi-context form: in a batch, lanes that
+            // agree on it share one pass.
+            ops.push_str(" [lane]");
         }
         write!(
             f,
@@ -876,6 +989,50 @@ mod tests {
         // Union plans label their branches.
         let union = plan_for("//b | //c", Engine::auto());
         assert!(union.to_string().contains("branch 2:"));
+    }
+
+    #[test]
+    fn lane_forms_are_declared_per_operator() {
+        let step = |expr: &str, engine: Engine| -> PlannedStep {
+            plan_for(expr, engine).branches()[0].steps()[0].clone()
+        };
+        // Plain staircase joins and fragment joins have lane forms…
+        assert_eq!(
+            step("/descendant::node()", Engine::default()).lane_form(),
+            LaneForm::Staircase(VertAxis::Descendant, Variant::EstimationSkipping)
+        );
+        let fragmented = Engine::staircase().fragmented(true).build().unwrap();
+        assert_eq!(
+            step("/ancestor::b", fragmented).lane_form(),
+            LaneForm::Fragment {
+                vert: VertAxis::Ancestor,
+                name: "b",
+                prescan: false
+            }
+        );
+        // …as do horizontal scans…
+        assert_eq!(
+            step("/following::c", Engine::default()).lane_form(),
+            LaneForm::Horiz(HorizAxis::Following)
+        );
+        // …and steps whose predicates lower to semijoins…
+        assert!(step("/descendant::a[b]", Engine::default()).batchable());
+        // …while nested-loop predicates, structural axes, and operators
+        // without a multi-context form name the per-lane fallback.
+        assert!(!step("/descendant::a[b/c]", Engine::default()).batchable());
+        assert!(!step("child::b", Engine::default()).batchable());
+        assert!(!step("/descendant::b", Engine::naive()).batchable());
+        assert!(!step("/descendant::b", Engine::sql().build().unwrap()).batchable());
+        let parallel = Engine::staircase().parallel(2).build().unwrap();
+        assert!(!step("/descendant::b", parallel).batchable());
+    }
+
+    #[test]
+    fn explain_marks_batchable_steps() {
+        let text = plan_for("/descendant::b/child::c", Engine::default()).to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("[lane]"), "{text}");
+        assert!(!lines[1].contains("[lane]"), "{text}");
     }
 
     #[test]

@@ -34,7 +34,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use staircase_accel::{Context, Doc, Pre};
 use staircase_baselines::SqlEngine;
 use staircase_core::cost::DocStats;
-use staircase_core::TagIndex;
+use staircase_core::{Scratch, TagIndex};
 
 use crate::ast::UnionExpr;
 use crate::engine::Engine;
@@ -52,6 +52,11 @@ pub struct Session {
     stats: OnceLock<DocStats>,
     tag_builds: AtomicUsize,
     sql_builds: AtomicUsize,
+    /// The lane executor's buffer pool, persisted across queries and
+    /// batches so a steady-state session stops allocating per step.
+    /// Uncontended in the common case; concurrent queries that find it
+    /// busy fall back to a throwaway pool rather than serialising.
+    scratch: Mutex<Scratch>,
 }
 
 impl std::fmt::Debug for Session {
@@ -84,6 +89,7 @@ impl Session {
             stats: OnceLock::new(),
             tag_builds: AtomicUsize::new(0),
             sql_builds: AtomicUsize::new(0),
+            scratch: Mutex::new(Scratch::new()),
         }
     }
 
@@ -160,20 +166,28 @@ impl Session {
     }
 
     /// Evaluates a whole batch of prepared queries from the document
-    /// root, **sharing one pass over the plane** wherever the queries'
-    /// current steps line up.
+    /// root, **sharing one pass** wherever the queries' current steps
+    /// agree on a planned operator.
     ///
-    /// Steps are grouped by vertical axis each round: predicate-free
-    /// `descendant`/`ancestor`(-or-self) steps that the engine would
-    /// evaluate with the plain staircase join are dispatched through the
-    /// multi-context joins ([`staircase_core::descendant_many`] /
-    /// [`staircase_core::ancestor_many`]) — one interleaved boundary
-    /// list, one sequential scan of the `post`/`kind` columns, K result
-    /// vectors. Steps that cannot batch (predicates, fragment joins,
-    /// horizontal/structural axes, the naive/SQL/parallel engines) fall
-    /// back to per-query evaluation, so for every query
+    /// Each round, lanes are grouped by the step's declared lane form
+    /// ([`crate::PlannedStep::batchable`]): plain staircase joins share
+    /// a merged-boundary plane scan
+    /// ([`staircase_core::descendant_many`] /
+    /// [`staircase_core::ancestor_many`]), fragment (on-list) joins
+    /// naming the same tag share one cursor over its node list
+    /// ([`staircase_core::descendant_on_list_many`] /
+    /// [`staircase_core::ancestor_on_list_many`]), horizontal steps
+    /// share one suffix/prefix scan
+    /// ([`staircase_core::following_many`] /
+    /// [`staircase_core::preceding_many`]), and semijoin predicates are
+    /// probed group-wise ([`staircase_core::has_descendant_in_many`]
+    /// and friends). Only the residue without a multi-context form —
+    /// nested-loop predicates, structural axes, the naive/SQL/parallel
+    /// operators — evaluates per lane, so for every query
     /// `run_many(&[q])[0].nodes() == q.run(engine).nodes()` holds
-    /// engine-independently (property-tested).
+    /// engine-independently (property-tested). [`Query::run`] itself is
+    /// this method's K = 1 case: single queries and batches execute
+    /// through the same lane executor.
     ///
     /// Outputs arrive in input order with per-query [`EvalStats`]. In a
     /// batch, statistics count *incremental* cost: a plane position
@@ -214,10 +228,21 @@ impl Session {
             plan_refs.iter().any(|p| p.needs_sql_engine()),
         );
         let root = Context::singleton(self.doc.root());
-        crate::batch::run_many_plans(&ex, &plan_refs, &root)
+        self.with_scratch(|scratch| ex.run_plans(&plan_refs, &root, scratch))
             .into_iter()
             .map(|EvalOutput { result, stats }| QueryOutput { result, stats })
             .collect()
+    }
+
+    /// Runs `f` with the session's persistent buffer pool — or, when
+    /// another query holds it, a throwaway pool (correctness never
+    /// depends on which one is handed out).
+    fn with_scratch<R>(&self, f: impl FnOnce(&mut Scratch) -> R) -> R {
+        match self.scratch.try_lock() {
+            Ok(mut pooled) => f(&mut pooled),
+            Err(std::sync::TryLockError::WouldBlock) => f(&mut Scratch::new()),
+            Err(std::sync::TryLockError::Poisoned(e)) => f(&mut e.into_inner()),
+        }
     }
 
     /// Lowers `expr` into the physical plan `engine` would execute,
@@ -393,11 +418,17 @@ impl<'s> Query<'s> {
         plan
     }
 
-    /// Evaluation core; `context` must already be in bounds.
+    /// Evaluation core; `context` must already be in bounds. A single
+    /// query is the K = 1 batch: it executes through the same lane
+    /// executor as [`Session::run_many`].
     fn run_unchecked(&self, context: &Context, engine: Engine) -> QueryOutput {
         let plan = self.plan_for(engine);
-        let EvalOutput { result, stats } =
-            self.session.executor_for(&plan).run_plan(&plan, context);
+        let ex = self.session.executor_for(&plan);
+        let EvalOutput { result, stats } = self
+            .session
+            .with_scratch(|scratch| ex.run_plans(&[&plan], context, scratch))
+            .pop()
+            .expect("one plan in, one output out");
         QueryOutput { result, stats }
     }
 }

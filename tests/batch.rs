@@ -47,14 +47,19 @@ fn all_engines() -> Vec<Engine> {
     engines
 }
 
-/// An arbitrary small document over the `p`/`q`/`r` vocabulary.
+/// An arbitrary small document over the `p`/`q`/`r` vocabulary, plus an
+/// occasional `rare` element: on most generated documents `rare` is
+/// selective enough that [`Engine::auto`] plans its name tests as
+/// fragment (on-list) joins — the fragment lane rounds are exercised by
+/// the cost-based policy, not just the fixed fragmented engines.
 fn arb_doc() -> impl Strategy<Value = Doc> {
-    proptest::collection::vec(0u8..5, 1..220).prop_map(|ops| {
+    proptest::collection::vec(0u8..6, 1..220).prop_map(|ops| {
         let tags = ["p", "q", "r"];
         let mut b = EncodingBuilder::new();
         b.open_element("root");
         let mut depth = 1;
         let mut just_text = false;
+        let mut rares = 0;
         for (i, op) in ops.into_iter().enumerate() {
             match op {
                 0 | 3 => {
@@ -71,6 +76,12 @@ fn arb_doc() -> impl Strategy<Value = Doc> {
                     b.text("t");
                     just_text = true;
                 }
+                5 if rares < 2 && i % 31 == 5 => {
+                    b.open_element("rare");
+                    b.close_element();
+                    rares += 1;
+                    just_text = false;
+                }
                 _ => {
                     b.comment("c");
                     just_text = false;
@@ -85,8 +96,12 @@ fn arb_doc() -> impl Strategy<Value = Doc> {
     })
 }
 
-/// An arbitrary multi-step query mixing batchable steps (vertical axes)
-/// with fallback ones (children, horizontal axes, predicates).
+/// An arbitrary multi-step query mixing every lane form with the
+/// per-lane residue: plain vertical steps (staircase lanes), selective
+/// and unselective name tests (fragment lanes under the fragmented /
+/// pushdown / auto engines), horizontal axes (horiz lanes), semijoin
+/// predicates on all three probe axes (grouped probes), nested-loop
+/// predicates, and structural steps (both per-lane).
 fn arb_query() -> impl Strategy<Value = String> {
     let axis = prop_oneof![
         Just("descendant"),
@@ -99,13 +114,23 @@ fn arb_query() -> impl Strategy<Value = String> {
         Just("following"),
         Just("preceding"),
     ];
-    let test = prop_oneof![Just("p"), Just("q"), Just("r"), Just("*"), Just("node()")];
+    let test = prop_oneof![
+        Just("p"),
+        Just("q"),
+        Just("r"),
+        Just("rare"),
+        Just("*"),
+        Just("node()")
+    ];
     let pred = prop_oneof![
         Just(""),
         Just(""),
         Just(""),
         Just("[p]"),
-        Just("[descendant::q]")
+        Just("[descendant::q]"),
+        Just("[ancestor::r]"),
+        Just("[rare]"),
+        Just("[p/q]"), // nested-loop filter: the per-lane residue
     ];
     proptest::collection::vec((axis, test, pred), 1..4).prop_map(|steps| {
         let mut out = String::new();
@@ -123,10 +148,13 @@ fn arb_query() -> impl Strategy<Value = String> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// The batch layer's acceptance property: `run_many` equals a
-    /// sequential `run` loop node-for-node — and step-for-step on result
-    /// sizes — on every engine, while never touching more nodes in total
-    /// than the sequential runs did.
+    /// The lane executor's acceptance property: `run_many` equals a
+    /// sequential `run` loop node- **and order**-identical (`Context`
+    /// equality compares the full document-order sequence) — and
+    /// step-for-step on result sizes — on every engine including
+    /// `auto`, across staircase, fragment-join-planned, horizontal, and
+    /// predicate-carrying steps, while never touching more nodes in
+    /// total than the sequential runs did.
     #[test]
     fn run_many_equals_sequential_runs(
         (doc, exprs) in (arb_doc(), proptest::collection::vec(arb_query(), 1..7))
@@ -275,13 +303,115 @@ fn trivial_batches() {
     assert!(outs.iter().all(|o| o.is_empty()));
 }
 
-/// Horizontal axes (`following`/`preceding`) are served by
-/// `run_many`'s per-query fallback — they must line up with sequential
-/// runs node for node and trace for trace, on batching and
-/// fallback-only engines alike, including mixed batches where vertical
-/// steps batch around them.
+/// Fragment (on-list) joins batch: under the fragmented engine — and
+/// under `auto` wherever it plans fragments — lanes naming the same tag
+/// share one cursor over the per-tag list, so batch touched totals drop
+/// strictly below the sequential sum while results stay identical.
 #[test]
-fn horizontal_axes_fall_back_per_query() {
+fn fragment_joins_share_the_list_cursor() {
+    let session = Session::new(generate(XmarkConfig::new(0.05)));
+    // All eight first steps are name tests from the root: same tag ⇒
+    // same fragment lane group, deduped context ⇒ one pass.
+    let exprs = [
+        "/descendant::bidder",
+        "/descendant::bidder/ancestor::open_auction",
+        "/descendant::bidder/descendant::increase",
+        "/descendant::bidder[increase]",
+        "/descendant::person",
+        "/descendant::person/descendant::education",
+        "/descendant::increase",
+        "/descendant::increase/ancestor::bidder",
+    ];
+    let queries: Vec<Query> = exprs.iter().map(|e| session.prepare(e).unwrap()).collect();
+    let refs: Vec<&Query> = queries.iter().collect();
+    for engine in [
+        Engine::staircase().fragmented(true).build().unwrap(),
+        Engine::staircase().pushdown(true).build().unwrap(),
+        Engine::auto(),
+    ] {
+        let batch = session.run_many(&refs, engine);
+        let sequential: Vec<QueryOutput> = queries.iter().map(|q| q.run(engine)).collect();
+        let batch_total: u64 = batch.iter().map(|o| o.stats().total_touched()).sum();
+        let seq_total: u64 = sequential.iter().map(|o| o.stats().total_touched()).sum();
+        assert!(
+            batch_total < seq_total,
+            "{engine:?}: batch touched {batch_total} !< sequential {seq_total}"
+        );
+        for ((e, b), s) in exprs.iter().zip(&batch).zip(&sequential) {
+            assert_eq!(b.nodes(), s.nodes(), "{e} via {engine:?}");
+        }
+    }
+}
+
+/// Horizontal axes batch too: the nested following/preceding regions of
+/// a group come out of one shared scan, attributed to the widest lane.
+#[test]
+fn horizontal_axes_share_one_scan() {
+    let session = Session::new(generate(XmarkConfig::new(0.05)));
+    let exprs = [
+        "/descendant::bidder/following::node()",
+        "/descendant::person/following::node()",
+        "/descendant::increase/following::node()",
+        "/descendant::bidder/preceding::node()",
+        "/descendant::education/preceding::node()",
+    ];
+    let queries: Vec<Query> = exprs.iter().map(|e| session.prepare(e).unwrap()).collect();
+    let refs: Vec<&Query> = queries.iter().collect();
+    let engine = Engine::default();
+    let batch = session.run_many(&refs, engine);
+    let mut batch_horiz = 0u64;
+    let mut seq_horiz = 0u64;
+    for (q, b) in queries.iter().zip(&batch) {
+        let s = q.run(engine);
+        assert_eq!(b.nodes(), s.nodes());
+        batch_horiz += b.stats().steps[1].nodes_touched;
+        seq_horiz += s.stats().steps[1].nodes_touched;
+    }
+    assert!(
+        batch_horiz < seq_horiz,
+        "horizontal round: batch touched {batch_horiz} !< sequential {seq_horiz}"
+    );
+}
+
+/// Steps carrying semijoin predicates stay on the lane path (the probes
+/// are grouped), so a batch of predicate-heavy queries still shares its
+/// join passes.
+#[test]
+fn semijoin_predicates_do_not_break_batching() {
+    let session = Session::new(generate(XmarkConfig::new(0.05)));
+    let exprs = [
+        "/descendant::open_auction[bidder]",
+        "/descendant::open_auction[descendant::increase]",
+        "/descendant::open_auction[bidder][descendant::date]",
+        "/descendant::bidder[increase]/ancestor::open_auction",
+    ];
+    let queries: Vec<Query> = exprs.iter().map(|e| session.prepare(e).unwrap()).collect();
+    let refs: Vec<&Query> = queries.iter().collect();
+    for engine in [Engine::default(), Engine::auto()] {
+        let batch = session.run_many(&refs, engine);
+        let sequential: Vec<QueryOutput> = queries.iter().map(|q| q.run(engine)).collect();
+        for ((e, b), s) in exprs.iter().zip(&batch).zip(&sequential) {
+            assert_eq!(b.nodes(), s.nodes(), "{e} via {engine:?}");
+            for (bt, st) in b.stats().steps.iter().zip(&s.stats().steps) {
+                assert_eq!(bt.result_size, st.result_size, "{e} via {engine:?}");
+            }
+        }
+        // The four first steps share passes: strictly fewer touches than
+        // four sequential runs (which re-scan per query).
+        let batch_total: u64 = batch.iter().map(|o| o.stats().total_touched()).sum();
+        let seq_total: u64 = sequential.iter().map(|o| o.stats().total_touched()).sum();
+        assert!(
+            batch_total < seq_total,
+            "{engine:?}: batch touched {batch_total} !< sequential {seq_total}"
+        );
+    }
+}
+
+/// Horizontal axes on batching and fallback-only engines alike must
+/// line up with sequential runs node for node and trace for trace,
+/// including mixed batches where vertical steps batch around them.
+#[test]
+fn horizontal_axes_match_sequential_per_query() {
     let session = Session::new(generate(XmarkConfig::new(0.05)));
     let exprs = [
         "/descendant::bidder/following::node()",

@@ -305,17 +305,39 @@ fn query_file_batches_queries() {
 }
 
 #[test]
-fn query_file_parse_errors_exit_with_parse_code() {
+fn query_file_parse_errors_continue_with_partial_code() {
     let dir = tempdir();
     let doc = dir.join("badbatch.xml");
     let qf = dir.join("bad-queries.txt");
     std::fs::write(&doc, SAMPLE).unwrap();
-    std::fs::write(&qf, "//bidder\n///bad[\n").unwrap();
+    // A bad line in the middle: the lines around it must still run.
+    std::fs::write(&qf, "//bidder\n///bad[\n//date\n").unwrap();
     let out = xq()
-        .args(["--query-file", qf.to_str().unwrap(), doc.to_str().unwrap()])
+        .args([
+            "--query-file",
+            qf.to_str().unwrap(),
+            doc.to_str().unwrap(),
+            "--count",
+        ])
         .output()
         .unwrap();
-    assert_eq!(out.status.code(), Some(3), "batch parse errors exit 3");
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "partial batches exit 5, not 3 (abort) or 0 (clean)"
+    );
+    // The error names the file and the failing line.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad-queries.txt:2"), "stderr: {stderr}");
+    assert!(stderr.contains("///bad["), "stderr: {stderr}");
+    // The remaining queries ran — including the one *after* the bad line.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "two good queries answered: {stdout}");
+    assert!(lines[0].trim().starts_with('3'), "{stdout}");
+    assert!(lines[0].contains("//bidder"));
+    assert!(lines[1].trim().starts_with('1'), "{stdout}");
+    assert!(lines[1].contains("//date"));
 
     let out = xq()
         .args([
@@ -326,6 +348,25 @@ fn query_file_parse_errors_exit_with_parse_code() {
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(4), "missing query file exits 4");
+}
+
+#[test]
+fn query_file_all_lines_bad_still_reports_each() {
+    let dir = tempdir();
+    let doc = dir.join("allbad.xml");
+    let qf = dir.join("all-bad-queries.txt");
+    std::fs::write(&doc, SAMPLE).unwrap();
+    std::fs::write(&qf, "///x[\n# comment\n//y[unclosed\n").unwrap();
+    let out = xq()
+        .args(["--query-file", qf.to_str().unwrap(), doc.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(5));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // Line numbers count raw file lines (the comment shifts them).
+    assert!(stderr.contains("all-bad-queries.txt:1"), "{stderr}");
+    assert!(stderr.contains("all-bad-queries.txt:3"), "{stderr}");
+    assert!(String::from_utf8_lossy(&out.stdout).is_empty());
 }
 
 #[test]

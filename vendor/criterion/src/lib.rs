@@ -11,16 +11,35 @@
 //! report the median — which is plenty to compare the engines this
 //! repository benches against each other on one machine. It is *not* a
 //! replacement for criterion's statistics when publishing numbers.
+//!
+//! Like the real crate, `cargo bench -- --test` runs every benchmark in
+//! **smoke mode**: each closure executes exactly once, untimed — fast
+//! enough for CI to catch bench bit-rot on every push without paying
+//! for measurements.
 
 #![warn(missing_docs)]
 
 use std::fmt;
 use std::time::Instant;
 
+/// `true` when the benchmark binary was invoked with `--test` (smoke
+/// mode: run everything once, measure nothing).
+pub fn is_test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// Top-level benchmark driver.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
-    _private: (),
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            test_mode: is_test_mode(),
+        }
+    }
 }
 
 impl Criterion {
@@ -28,11 +47,13 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("\n== {name} ==");
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             _criterion: self,
             name,
             sample_size: 10,
             throughput: None,
+            test_mode,
         }
     }
 
@@ -53,6 +74,7 @@ pub struct BenchmarkGroup<'c> {
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -77,6 +99,7 @@ impl BenchmarkGroup<'_> {
         let mut bencher = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
+            test_mode: self.test_mode,
         };
         f(&mut bencher);
         self.report(&id.to_string(), &bencher);
@@ -92,6 +115,7 @@ impl BenchmarkGroup<'_> {
         let mut bencher = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
+            test_mode: self.test_mode,
         };
         f(&mut bencher, input);
         self.report(&id.to_string(), &bencher);
@@ -102,6 +126,10 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {}
 
     fn report(&self, id: &str, bencher: &Bencher) {
+        if self.test_mode {
+            println!("{}/{id:<32} ok (smoke: 1 iteration, untimed)", self.name);
+            return;
+        }
         let mut samples = bencher.samples.clone();
         if samples.is_empty() {
             println!("{}/{id:<32} (no samples)", self.name);
@@ -143,14 +171,20 @@ fn format_seconds(s: f64) -> String {
 pub struct Bencher {
     samples: Vec<f64>,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Bencher {
-    /// Measures `f`, recording `sample_size` samples.
+    /// Measures `f`, recording `sample_size` samples — or, in smoke
+    /// mode, runs it exactly once.
     pub fn iter<O, F>(&mut self, mut f: F)
     where
         F: FnMut() -> O,
     {
+        if self.test_mode {
+            std::hint::black_box(f());
+            return;
+        }
         // Warm-up + batch sizing: aim for ≥ ~1 ms per timed sample so
         // short closures aren't dominated by timer resolution.
         let t0 = Instant::now();
@@ -256,6 +290,20 @@ mod tests {
         });
         g.finish();
         assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn smoke_mode_runs_each_closure_exactly_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut g = c.benchmark_group("smoke-mode");
+        g.sample_size(10);
+        let mut runs = 0u32;
+        g.bench_function("once", |b| {
+            b.iter(|| runs += 1);
+        });
+        g.finish();
+        // Not sample_size × batch — exactly one untimed execution.
+        assert_eq!(runs, 1);
     }
 
     #[test]
