@@ -24,39 +24,9 @@
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use staircase_bench::{Workload, QUERY_Q1, QUERY_Q2};
+use staircase_bench::{Workload, BATCH_MIXED as MIXED, BATCH_VERTICAL as VERTICAL};
 use staircase_core::Variant;
 use staircase_xpath::{Engine, Query, Session};
-
-/// Eight descendant/ancestor queries sharing plenty of plane regions —
-/// every first step starts at the root.
-const VERTICAL: [&str; 8] = [
-    QUERY_Q1,
-    QUERY_Q2,
-    "/descendant::bidder",
-    "/descendant::date/ancestor::open_auction",
-    "/descendant::person",
-    "/descendant::increase",
-    "/descendant::open_auction/descendant::date",
-    "/descendant::education/ancestor::person",
-];
-
-/// The step shapes PR 2's batching could not share: semijoin
-/// predicates, fragment-join-planned name tests, horizontal axes —
-/// with the overlap a server's query log actually has (hot tags recur,
-/// popular axis shapes repeat), so the fragment lanes share list
-/// cursors, the semijoin probes share candidate sets, and the
-/// following/preceding lanes share one suffix/prefix scan.
-const MIXED: [&str; 8] = [
-    "/descendant::bidder[increase]",
-    "/descendant::bidder[date]",
-    "/descendant::bidder[increase]/ancestor::open_auction",
-    "/descendant::open_auction[bidder]/descendant::date",
-    "/descendant::bidder/following::node()",
-    "/descendant::open_auction/following::node()",
-    "/descendant::person/preceding::node()",
-    "/descendant::education/preceding::node()",
-];
 
 /// Interleaved best-of-N speedup measurement, robust against CPU
 /// frequency drift between the two loops; prints the shared-pass
@@ -155,6 +125,30 @@ fn bench(c: &mut Criterion) {
         });
         g.finish();
         report_speedup(&format!("mixed/{ename}"), session, &mixed, engine);
+    }
+
+    // Pool-width sweep: the same mixed workload on sessions whose worker
+    // pool has 1, 2, and 4 executors. Touched-node totals are
+    // width-independent by construction (morsels change who reads a
+    // position, never whether it is read); wall-clock scaling depends on
+    // the host's core count — the JSON-emitting `bench_batch_throughput`
+    // binary records both for the perf trajectory.
+    for width in [1usize, 2, 4] {
+        let w = Workload::generate_with_threads(0.2, width);
+        let session = w.session();
+        session.warm();
+        let queries: Vec<Query> = MIXED
+            .iter()
+            .map(|q| session.prepare(q).expect("mixed query parses"))
+            .collect();
+        let refs: Vec<&Query> = queries.iter().collect();
+        let mut g = c.benchmark_group(format!("batch_throughput_mixed_width{width}"));
+        g.sample_size(30);
+        g.throughput(Throughput::Elements((queries.len() * w.doc().len()) as u64));
+        g.bench_function("run_many_auto", |b| {
+            b.iter(|| session.run_many(&refs, Engine::auto()))
+        });
+        g.finish();
     }
 }
 

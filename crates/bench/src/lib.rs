@@ -25,4 +25,4 @@ pub mod table;
 pub mod workload;
 
 pub use table::Table;
-pub use workload::{Workload, QUERY_Q1, QUERY_Q2};
+pub use workload::{Workload, BATCH_MIXED, BATCH_VERTICAL, QUERY_Q1, QUERY_Q2};

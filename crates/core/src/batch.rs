@@ -39,10 +39,17 @@
 //!
 //! [`Scratch`] is the companion buffer pool: it is threaded through
 //! every multi-context operator and lives as long as its owner (the
-//! session, upstairs), so repeated batches and rounds reuse result and
-//! context allocations instead of paying `Vec::new()` plus regrowth per
-//! step — a steady-state executor stops allocating (asserted by the
+//! session, upstairs, keeps one per shard of its
+//! [`crate::ScratchPool`]), so repeated batches and rounds reuse result
+//! and context allocations instead of paying `Vec::new()` plus regrowth
+//! per step — a steady-state executor stops allocating (asserted by the
 //! pool-reuse tests below).
+//!
+//! Every operator here also has a **morsel-parallel form**
+//! ([`crate::descendant_many_par`] and friends): identical results and
+//! statistics, with single-context batches split into disjoint
+//! pre-range chunks executed on the owner's persistent
+//! [`crate::WorkerPool`].
 
 use staircase_accel::{Context, Doc, NodeKind, Pre};
 
@@ -204,7 +211,7 @@ pub fn descendant_many(
         contexts,
         scratch,
         prune_descendant_into,
-        |doc, lanes| match lanes {
+        |doc, lanes, _| match lanes {
             // One unique context (e.g. every query starts at the root):
             // the sequential join's tight loops are strictly faster than
             // the merged scan, and the single pass serves everyone.
@@ -234,7 +241,7 @@ pub fn ancestor_many(
         contexts,
         scratch,
         prune_ancestor_into,
-        |doc, lanes| match lanes {
+        |doc, lanes, _| match lanes {
             [lane] => ancestor_partitions(
                 doc,
                 &lane.steps,
@@ -270,11 +277,12 @@ pub fn descendant_on_list_many(
         contexts,
         scratch,
         prune_descendant_into,
-        |doc, lanes| match lanes {
+        |doc, lanes, _| match lanes {
             [lane] => descendant_list_partitions(
                 doc,
                 list,
                 &lane.steps,
+                doc.len() as Pre,
                 &mut lane.result,
                 &mut lane.stats,
             ),
@@ -296,19 +304,24 @@ pub fn ancestor_on_list_many(
         contexts,
         scratch,
         prune_ancestor_into,
-        |doc, lanes| match lanes {
-            [lane] => {
-                ancestor_list_partitions(doc, list, &lane.steps, &mut lane.result, &mut lane.stats)
-            }
+        |doc, lanes, _| match lanes {
+            [lane] => ancestor_list_partitions(
+                doc,
+                list,
+                &lane.steps,
+                0,
+                &mut lane.result,
+                &mut lane.stats,
+            ),
             _ => ancestor_list_scan(doc, list, lanes),
         },
     )
 }
 
 /// One query's slice of the shared scan.
-struct Lane {
+pub(crate) struct Lane {
     /// Pruned staircase steps (partition boundaries), from the pool.
-    steps: Vec<Pre>,
+    pub(crate) steps: Vec<Pre>,
     /// Index of the next boundary not yet passed.
     next: usize,
     /// Pre rank of the currently open step (descendant scan).
@@ -327,19 +340,19 @@ struct Lane {
     /// `true` while a partition is open (descendant scan).
     open: bool,
     /// This lane's result, from the pool.
-    result: Vec<Pre>,
+    pub(crate) result: Vec<Pre>,
     /// This lane's (incremental) statistics.
-    stats: StepStats,
+    pub(crate) stats: StepStats,
 }
 
 /// Dedups identical contexts, prunes each unique one, runs `scan` over
 /// the unique lanes, and maps results back to the callers' order.
-fn shared_pass(
+pub(crate) fn shared_pass(
     doc: &Doc,
     contexts: &[&Context],
     scratch: &mut Scratch,
     prune: impl Fn(&Doc, &Context, &mut Vec<Pre>),
-    scan: impl FnOnce(&Doc, &mut [Lane]),
+    scan: impl FnOnce(&Doc, &mut [Lane], &mut Scratch),
 ) -> Vec<(Context, StepStats)> {
     let k = contexts.len();
     let rep = representatives(contexts);
@@ -373,7 +386,7 @@ fn shared_pass(
         });
     }
 
-    scan(doc, &mut lanes);
+    scan(doc, &mut lanes, scratch);
 
     // Hand pruned-step buffers back; results leave the pool as Contexts
     // (their allocations come back via `Scratch::recycle` once the
@@ -435,7 +448,7 @@ fn merged_boundaries(lanes: &[Lane]) -> Vec<(Pre, u32)> {
 /// sleeping per lane exactly as the sequential join would. An active
 /// list keeps per-position work proportional to the lanes that actually
 /// need the position; regions nobody needs are leapfrogged.
-fn descendant_scan(doc: &Doc, lanes: &mut [Lane], variant: Variant) {
+pub(crate) fn descendant_scan(doc: &Doc, lanes: &mut [Lane], variant: Variant) {
     let post = doc.post_column();
     let kind = doc.kind_column();
     let attr = NodeKind::Attribute as u8;
@@ -544,7 +557,7 @@ fn descendant_scan(doc: &Doc, lanes: &mut [Lane], variant: Variant) {
 /// The merged ancestor scan: partitions *end* at each lane's boundaries;
 /// subtree jumps (§3.3 / Equation 1) move a lane from the active to the
 /// sleeping list until its wake position.
-fn ancestor_scan(doc: &Doc, lanes: &mut [Lane], variant: Variant) {
+pub(crate) fn ancestor_scan(doc: &Doc, lanes: &mut [Lane], variant: Variant) {
     let post = doc.post_column();
     let kind = doc.kind_column();
     let attr = NodeKind::Attribute as u8;
@@ -665,7 +678,7 @@ fn ancestor_scan(doc: &Doc, lanes: &mut [Lane], variant: Variant) {
 /// it tests the staircase bound, and the first miss puts the lane to
 /// sleep until its next boundary — exactly the sequential on-list join,
 /// lane by lane, with each entry read once.
-fn descendant_list_scan(doc: &Doc, list: &[Pre], lanes: &mut [Lane]) {
+pub(crate) fn descendant_list_scan(doc: &Doc, list: &[Pre], lanes: &mut [Lane]) {
     let post = doc.post_column();
     let n = doc.len() as Pre;
     let events = merged_boundaries(lanes);
@@ -743,7 +756,7 @@ fn descendant_list_scan(doc: &Doc, list: &[Pre], lanes: &mut [Lane]) {
 /// boundaries; an entry below a lane's bound is preceding, so that lane
 /// jumps the entry's guaranteed subtree block (sleeping until its wake
 /// position) exactly as the sequential on-list join does.
-fn ancestor_list_scan(doc: &Doc, list: &[Pre], lanes: &mut [Lane]) {
+pub(crate) fn ancestor_list_scan(doc: &Doc, list: &[Pre], lanes: &mut [Lane]) {
     let post = doc.post_column();
     let mut active: Vec<u32> = Vec::with_capacity(lanes.len());
     let mut sleeping: Vec<u32> = Vec::new();

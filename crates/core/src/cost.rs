@@ -273,7 +273,24 @@ impl DocStats {
             probe
         }
     }
+
+    /// `true` when a step estimated to touch `cost` nodes carries enough
+    /// work to amortize handing morsels to a worker pool
+    /// ([`MIN_FANOUT_COST`]). The planner records this as the step's
+    /// parallelism hint; small steps stay sequential however wide the
+    /// session's pool is, because the per-morsel handoff (queue push,
+    /// wake, result concat — microseconds) would dominate their
+    /// microsecond-scale scans.
+    pub fn fanout_worthwhile(&self, cost: f64) -> bool {
+        cost >= MIN_FANOUT_COST
+    }
 }
+
+/// Minimum estimated touched-work (nodes / index entries, the cost
+/// model's unit) before fanning a step's execution out across the worker
+/// pool pays for the morsel handoff. Matches the executor-side floor the
+/// core kernels enforce per morsel.
+pub const MIN_FANOUT_COST: f64 = 4096.0;
 
 #[cfg(test)]
 mod tests {

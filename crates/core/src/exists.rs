@@ -15,6 +15,8 @@
 use staircase_accel::{Context, Doc, Pre};
 
 use crate::batch::dedup_pass;
+use crate::morsel::morsel_count;
+use crate::pool::WorkerPool;
 use crate::stats::StepStats;
 
 /// Keeps the context nodes that have at least one descendant in `list`
@@ -28,9 +30,26 @@ pub fn has_descendant_in(doc: &Doc, context: &Context, list: &[Pre]) -> (Context
         context_out: context.len(),
         ..Default::default()
     };
-    let post = doc.post_column();
     let mut result = Vec::new();
-    for c in context.iter() {
+    probe_descendant(doc, context.as_slice(), list, &mut result, &mut stats);
+    stats.result_size = result.len();
+    stats.partitions = context.len();
+    (Context::from_sorted(result), stats)
+}
+
+/// The descendant probe over a candidate slice — the partition-bounded
+/// core of [`has_descendant_in`], shared with the chunked parallel form
+/// (each candidate's probe is independent, so any sub-slice evaluates
+/// exactly as it would inside the full loop).
+fn probe_descendant(
+    doc: &Doc,
+    candidates: &[Pre],
+    list: &[Pre],
+    result: &mut Vec<Pre>,
+    stats: &mut StepStats,
+) {
+    let post = doc.post_column();
+    for &c in candidates {
         // First list entry after c in document order. The subtree of c is
         // contiguous, so either this entry is a descendant or none is.
         let i = list.partition_point(|&p| p <= c);
@@ -41,9 +60,6 @@ pub fn has_descendant_in(doc: &Doc, context: &Context, list: &[Pre]) -> (Context
             }
         }
     }
-    stats.result_size = result.len();
-    stats.partitions = context.len();
-    (Context::from_sorted(result), stats)
 }
 
 /// Keeps the context nodes that have at least one ancestor in `list`.
@@ -57,7 +73,21 @@ pub fn has_ancestor_in(doc: &Doc, context: &Context, list: &[Pre]) -> (Context, 
         ..Default::default()
     };
     let mut result = Vec::new();
-    for c in context.iter() {
+    probe_ancestor(doc, context.as_slice(), list, &mut result, &mut stats);
+    stats.result_size = result.len();
+    stats.partitions = context.len();
+    (Context::from_sorted(result), stats)
+}
+
+/// The ancestor probe over a candidate slice (see [`probe_descendant`]).
+fn probe_ancestor(
+    doc: &Doc,
+    candidates: &[Pre],
+    list: &[Pre],
+    result: &mut Vec<Pre>,
+    stats: &mut StepStats,
+) {
+    for &c in candidates {
         let mut a = doc.parent(c);
         while a != staircase_accel::NO_PARENT {
             stats.nodes_scanned += 1;
@@ -68,9 +98,6 @@ pub fn has_ancestor_in(doc: &Doc, context: &Context, list: &[Pre]) -> (Context, 
             a = doc.parent(a);
         }
     }
-    stats.result_size = result.len();
-    stats.partitions = context.len();
-    (Context::from_sorted(result), stats)
 }
 
 /// Keeps the context nodes that have at least one *child* in `list`.
@@ -84,7 +111,21 @@ pub fn has_child_in(doc: &Doc, context: &Context, list: &[Pre]) -> (Context, Ste
         ..Default::default()
     };
     let mut result = Vec::new();
-    for c in context.iter() {
+    probe_child(doc, context.as_slice(), list, &mut result, &mut stats);
+    stats.result_size = result.len();
+    stats.partitions = context.len();
+    (Context::from_sorted(result), stats)
+}
+
+/// The child probe over a candidate slice (see [`probe_descendant`]).
+fn probe_child(
+    doc: &Doc,
+    candidates: &[Pre],
+    list: &[Pre],
+    result: &mut Vec<Pre>,
+    stats: &mut StepStats,
+) {
+    for &c in candidates {
         let subtree_end = c + 1 + doc.subtree_size(c);
         let lo = list.partition_point(|&p| p <= c);
         let hi = lo + list[lo..].partition_point(|&p| p < subtree_end);
@@ -96,9 +137,6 @@ pub fn has_child_in(doc: &Doc, context: &Context, list: &[Pre]) -> (Context, Ste
             }
         }
     }
-    stats.result_size = result.len();
-    stats.partitions = context.len();
-    (Context::from_sorted(result), stats)
 }
 
 /// Probes K candidate sets against one shared `list`: the multi-context
@@ -136,6 +174,99 @@ pub fn has_child_in_many(
     list: &[Pre],
 ) -> Vec<(Context, StepStats)> {
     dedup_pass(contexts, |ctx| has_child_in(doc, ctx, list))
+}
+
+/// The parallel form of [`has_descendant_in_many`]: unique candidate
+/// sets large enough to amortize handoff are probed in chunks on `pool`
+/// (each candidate's probe is independent, so results and statistics are
+/// identical to the sequential form).
+pub fn has_descendant_in_many_par(
+    doc: &Doc,
+    contexts: &[&Context],
+    list: &[Pre],
+    pool: &WorkerPool,
+) -> Vec<(Context, StepStats)> {
+    dedup_pass(contexts, |ctx| {
+        probe_chunked(ctx, pool, |cands, result, stats| {
+            probe_descendant(doc, cands, list, result, stats);
+        })
+    })
+}
+
+/// The parallel form of [`has_ancestor_in_many`]; see
+/// [`has_descendant_in_many_par`].
+pub fn has_ancestor_in_many_par(
+    doc: &Doc,
+    contexts: &[&Context],
+    list: &[Pre],
+    pool: &WorkerPool,
+) -> Vec<(Context, StepStats)> {
+    dedup_pass(contexts, |ctx| {
+        probe_chunked(ctx, pool, |cands, result, stats| {
+            probe_ancestor(doc, cands, list, result, stats);
+        })
+    })
+}
+
+/// The parallel form of [`has_child_in_many`]; see
+/// [`has_descendant_in_many_par`].
+pub fn has_child_in_many_par(
+    doc: &Doc,
+    contexts: &[&Context],
+    list: &[Pre],
+    pool: &WorkerPool,
+) -> Vec<(Context, StepStats)> {
+    dedup_pass(contexts, |ctx| {
+        probe_chunked(ctx, pool, |cands, result, stats| {
+            probe_child(doc, cands, list, result, stats);
+        })
+    })
+}
+
+/// Splits one candidate set into contiguous chunks probed concurrently;
+/// stays sequential when the set is too small to amortize the handoff.
+fn probe_chunked(
+    ctx: &Context,
+    pool: &WorkerPool,
+    probe: impl Fn(&[Pre], &mut Vec<Pre>, &mut StepStats) + Sync,
+) -> (Context, StepStats) {
+    let candidates = ctx.as_slice();
+    let mut stats = StepStats {
+        context_in: ctx.len(),
+        context_out: ctx.len(),
+        ..Default::default()
+    };
+    let mut result = Vec::new();
+    match (pool.width() > 1)
+        .then(|| morsel_count(candidates.len() as u64, pool.width()))
+        .flatten()
+    {
+        None => probe(candidates, &mut result, &mut stats),
+        Some(k) => {
+            let chunk = candidates.len().div_ceil(k).max(1);
+            let probe = &probe;
+            let outs = pool.run(
+                candidates
+                    .chunks(chunk)
+                    .map(|cands| {
+                        move || {
+                            let mut part = Vec::new();
+                            let mut st = StepStats::default();
+                            probe(cands, &mut part, &mut st);
+                            (part, st)
+                        }
+                    })
+                    .collect(),
+            );
+            for (part, st) in outs {
+                result.extend_from_slice(&part);
+                stats.nodes_scanned += st.nodes_scanned;
+            }
+        }
+    }
+    stats.result_size = result.len();
+    stats.partitions = ctx.len();
+    (Context::from_sorted(result), stats)
 }
 
 #[cfg(test)]
@@ -221,6 +352,33 @@ mod tests {
         assert!(r.is_empty());
         let (r, _) = has_child_in(&doc, &ctx, &[]);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn parallel_probes_match_sequential_exactly() {
+        use crate::WorkerPool;
+        let pool = WorkerPool::new(4);
+        let doc = random_doc(8, 9000);
+        let idx = TagIndex::build(&doc);
+        let list = idx.fragment_by_name(&doc, "p");
+        // Whole-plane candidate set: far past the chunking gate, plus a
+        // duplicate set exercising the dedup path.
+        let all: Context = doc.pres().collect();
+        let small = random_context(&doc, 0xC0FFEE, 20);
+        let refs: Vec<&Context> = vec![&all, &small, &all];
+        let par_d = has_descendant_in_many_par(&doc, &refs, list, &pool);
+        let seq_d = has_descendant_in_many(&doc, &refs, list);
+        let par_a = has_ancestor_in_many_par(&doc, &refs, list, &pool);
+        let seq_a = has_ancestor_in_many(&doc, &refs, list);
+        let par_c = has_child_in_many_par(&doc, &refs, list, &pool);
+        let seq_c = has_child_in_many(&doc, &refs, list);
+        for i in 0..refs.len() {
+            assert_eq!(par_d[i], seq_d[i], "descendant query {i}");
+            assert_eq!(par_a[i], seq_a[i], "ancestor query {i}");
+            assert_eq!(par_c[i], seq_c[i], "child query {i}");
+        }
+        // The duplicate candidate set still reports zero incremental cost.
+        assert_eq!(par_d[2].1.nodes_touched(), 0);
     }
 
     use staircase_accel::Doc;

@@ -14,6 +14,8 @@
 use staircase_accel::{Context, Doc, NodeKind, Pre};
 
 use crate::batch::Scratch;
+use crate::morsel::morsel_count;
+use crate::pool::WorkerPool;
 use crate::prune::{prune_following, prune_preceding};
 use crate::stats::StepStats;
 
@@ -177,10 +179,6 @@ pub fn preceding_many(
     contexts: &[&Context],
     scratch: &mut Scratch,
 ) -> Vec<(Context, StepStats)> {
-    let post = doc.post_column();
-    let kind = doc.kind_column();
-    let attr = NodeKind::Attribute as u8;
-
     // Pruned boundary per lane; unique boundaries ascending share one
     // result buffer each.
     let bounds: Vec<Option<Pre>> = contexts
@@ -192,46 +190,332 @@ pub fn preceding_many(
     uniq.dedup();
     let mut results: Vec<Vec<Pre>> = uniq.iter().map(|_| scratch.take()).collect();
 
+    let (scanned, copied) = match uniq.last() {
+        Some(&c_max) => preceding_scan_range(doc, &uniq, 0, c_max, &mut results),
+        None => (0, 0),
+    };
+
+    // Distribute: the widest boundary's first lane pays for the scan;
+    // duplicates clone, the last user of each buffer takes it.
+    preceding_distribute(contexts, &bounds, &uniq, results, scanned, copied)
+}
+
+/// The preceding scan restricted to positions `[from, to)`, pushing into
+/// one result buffer per unique boundary (`results` parallel to `uniq`,
+/// ascending; `uniq` non-empty with `to ≤ uniq.last()`).
+///
+/// The full scan is the `[0, c_max)` range. Any other entry point first
+/// *reconstructs* the cursor state at `from`: the only way `from` can sit
+/// inside a comparison-free copy run is under a run started by one of its
+/// **ancestors** (a run is a subtree prefix, and a subtree containing
+/// `from` belongs to an ancestor), so walking `from`'s ancestor chain
+/// top-down — skipping ancestors covered by an earlier ancestor's run,
+/// exactly as the left-to-right scan would — recovers in O(h · log K)
+/// whether `from` is mid-run and for which boundary set. Per position the
+/// behaviour (and thus the scanned/copied accounting, counted
+/// per-position here) is identical to the full scan, so range results
+/// concatenate to the full scan's and per-range counters sum to its
+/// totals (asserted by the parallel-equivalence tests).
+fn preceding_scan_range(
+    doc: &Doc,
+    uniq: &[Pre],
+    from: Pre,
+    to: Pre,
+    results: &mut [Vec<Pre>],
+) -> (u64, u64) {
+    let post = doc.post_column();
+    let kind = doc.kind_column();
+    let attr = NodeKind::Attribute as u8;
     let mut scanned = 0u64;
     let mut copied = 0u64;
-    if let Some(&c_max) = uniq.last() {
-        let mut lo = 0usize; // first boundary still ahead of the cursor
-        let mut v: Pre = 0;
-        while v < c_max {
-            while uniq[lo] <= v {
-                lo += 1; // this boundary's region is complete
+    let mut v = from;
+
+    if from > 0 {
+        // Reconstruct: is `from` inside a run? Walk its ancestors in
+        // document order, tracking the furthest run end among the ones
+        // the scan actually visits (an ancestor inside an earlier run is
+        // skipped by the scan and starts no run of its own).
+        let mut chain: Vec<Pre> = Vec::new();
+        let mut p = doc.parent(from);
+        while p != staircase_accel::NO_PARENT {
+            chain.push(p);
+            p = doc.parent(p);
+        }
+        let mut cover: Option<(Pre, usize)> = None; // (run end, head's boundary index)
+        for &u in chain.iter().rev() {
+            if cover.is_some_and(|(end, _)| u <= end) {
+                continue; // covered: the scan never visits u as a head
             }
-            let first = uniq[lo];
-            scanned += 1;
-            if post[v as usize] < post[first as usize] {
-                // v precedes the earliest active boundary — and therefore
-                // every later one. Copy v and its guaranteed subtree
-                // block to all active lanes without further comparisons.
-                let run = post[v as usize].saturating_sub(v).min(first - v - 1);
-                for w in v..=v + run {
+            let lo = uniq.partition_point(|&b| b <= u);
+            let Some(&first) = uniq.get(lo) else { break };
+            if post[u as usize] < post[first as usize] {
+                let run_end = u + post[u as usize].saturating_sub(u).min(first - u - 1);
+                if cover.is_none_or(|(end, _)| run_end > end) {
+                    cover = Some((run_end, lo));
+                }
+            }
+        }
+        if let Some((run_end, lo)) = cover {
+            if run_end >= from {
+                // Mid-run: finish the covered stretch that falls in range.
+                for w in from..=run_end.min(to.saturating_sub(1)) {
+                    copied += 1;
                     if kind[w as usize] != attr {
                         for r in &mut results[lo..] {
                             r.push(w);
                         }
                     }
                 }
-                copied += u64::from(run);
-                v += 1 + run;
-            } else {
-                // v is an ancestor of the earliest boundary; it may still
-                // precede later ones — probe each individually.
-                for (u, r) in uniq.iter().zip(&mut results).skip(lo + 1) {
-                    if post[v as usize] < post[*u as usize] && kind[v as usize] != attr {
-                        r.push(v);
-                    }
-                }
-                v += 1;
+                v = run_end + 1;
             }
         }
     }
 
-    // Distribute: the widest boundary's first lane pays for the scan;
-    // duplicates clone, the last user of each buffer takes it.
+    let mut lo = uniq.partition_point(|&b| b <= v);
+    while v < to {
+        while lo < uniq.len() && uniq[lo] <= v {
+            lo += 1; // this boundary's region is complete
+        }
+        if lo == uniq.len() {
+            break;
+        }
+        let first = uniq[lo];
+        scanned += 1;
+        if post[v as usize] < post[first as usize] {
+            // v precedes the earliest active boundary — and therefore
+            // every later one. Copy v and its guaranteed subtree block to
+            // all active lanes without further comparisons. A run
+            // overshooting `to` is finished by the next range's
+            // reconstruction.
+            let run = post[v as usize].saturating_sub(v).min(first - v - 1);
+            if kind[v as usize] != attr {
+                for r in &mut results[lo..] {
+                    r.push(v);
+                }
+            }
+            let stop = (v + run).min(to.saturating_sub(1));
+            for w in v + 1..=stop {
+                copied += 1;
+                if kind[w as usize] != attr {
+                    for r in &mut results[lo..] {
+                        r.push(w);
+                    }
+                }
+            }
+            v += 1 + run;
+        } else {
+            // v is an ancestor of the earliest boundary; it may still
+            // precede later ones — probe each individually.
+            for (u, r) in uniq.iter().zip(results.iter_mut()).skip(lo + 1) {
+                if post[v as usize] < post[*u as usize] && kind[v as usize] != attr {
+                    r.push(v);
+                }
+            }
+            v += 1;
+        }
+    }
+    (scanned, copied)
+}
+
+/// The parallel form of [`following_many`]: the one shared suffix scan
+/// is built by range chunks on `pool`, and the per-lane suffix copies run
+/// as pool tasks. Results and statistics are identical to the sequential
+/// form; a width-1 pool (or a region too small to amortize handoff)
+/// degenerates to it outright.
+pub fn following_many_par(
+    doc: &Doc,
+    contexts: &[&Context],
+    pool: &WorkerPool,
+    scratch: &mut Scratch,
+) -> Vec<(Context, StepStats)> {
+    let n = doc.len() as Pre;
+    let kind = doc.kind_column();
+    let attr = NodeKind::Attribute as u8;
+
+    let starts: Vec<Option<(Pre, Pre)>> = contexts
+        .iter()
+        .map(|ctx| {
+            prune_following(doc, ctx)
+                .as_slice()
+                .first()
+                .map(|&c| (c, (c + 1 + doc.subtree_size(c)).min(n)))
+        })
+        .collect();
+    let widest = starts.iter().flatten().map(|&(_, s)| s).min();
+    let lanes = starts.iter().flatten().count() as u64;
+    let work = widest.map_or(0, |s| u64::from(n - s)) * lanes.max(1);
+    let Some(k) = (pool.width() > 1)
+        .then(|| morsel_count(work, pool.width()))
+        .flatten()
+    else {
+        return following_many(doc, contexts, scratch);
+    };
+
+    // Phase 1: the shared scan, chunked by range.
+    let start = widest.expect("work > 0 implies a widest region");
+    let chunk = u64::from(n - start).div_ceil(k as u64).max(1) as Pre;
+    let ranges: Vec<(Pre, Pre)> = (0..k as Pre)
+        .map(|i| {
+            let lo = start + i * chunk;
+            (lo.min(n), lo.saturating_add(chunk).min(n))
+        })
+        .filter(|&(lo, hi)| lo < hi)
+        .collect();
+    let buffers: Vec<Vec<Pre>> = ranges.iter().map(|_| scratch.take()).collect();
+    let parts = pool.run(
+        ranges
+            .into_iter()
+            .zip(buffers)
+            .map(|((lo, hi), mut buf)| {
+                move || {
+                    buf.extend((lo..hi).filter(|&v| kind[v as usize] != attr));
+                    buf
+                }
+            })
+            .collect(),
+    );
+    let mut base = scratch.take();
+    base.reserve(parts.iter().map(Vec::len).sum());
+    for part in parts {
+        base.extend_from_slice(&part);
+        scratch.put(part);
+    }
+
+    // Phase 2: per-lane suffix copies, one task each.
+    let payer = starts
+        .iter()
+        .position(|s| matches!((s, widest), (Some((_, a)), Some(b)) if *a == b));
+    let copies: Vec<Option<Vec<Pre>>> = {
+        let live: Vec<(usize, Pre)> = starts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|(_, start)| (i, start)))
+            .collect();
+        let buffers: Vec<Vec<Pre>> = live.iter().map(|_| scratch.take()).collect();
+        let base = &base;
+        let filled = pool.run(
+            live.iter()
+                .zip(buffers)
+                .map(|(&(_, start), mut buf)| {
+                    move || {
+                        let from = base.partition_point(|&v| v < start);
+                        buf.extend_from_slice(&base[from..]);
+                        buf
+                    }
+                })
+                .collect(),
+        );
+        let mut slots: Vec<Option<Vec<Pre>>> = starts.iter().map(|_| None).collect();
+        for ((i, _), buf) in live.into_iter().zip(filled) {
+            slots[i] = Some(buf);
+        }
+        slots
+    };
+    scratch.put(base);
+
+    contexts
+        .iter()
+        .enumerate()
+        .zip(copies)
+        .map(|((i, ctx), copy)| {
+            let mut stats = StepStats {
+                context_in: ctx.len(),
+                ..Default::default()
+            };
+            let Some((c, start)) = starts[i] else {
+                return (Context::empty(), stats);
+            };
+            stats.context_out = 1;
+            stats.partitions = 1;
+            stats.nodes_skipped = u64::from(start.saturating_sub(c + 1));
+            if payer == Some(i) {
+                stats.nodes_copied = u64::from(n.saturating_sub(start));
+            }
+            let result = copy.expect("every live lane produced a copy");
+            stats.result_size = result.len();
+            (Context::from_sorted(result), stats)
+        })
+        .collect()
+}
+
+/// The parallel form of [`preceding_many`]: the one shared left-to-right
+/// scan is split into pre-range chunks, each entered via
+/// `preceding_scan_range`'s state reconstruction, so per-chunk results
+/// concatenate to the sequential scan's and the per-chunk access
+/// counters sum to its totals exactly.
+pub fn preceding_many_par(
+    doc: &Doc,
+    contexts: &[&Context],
+    pool: &WorkerPool,
+    scratch: &mut Scratch,
+) -> Vec<(Context, StepStats)> {
+    let bounds: Vec<Option<Pre>> = contexts
+        .iter()
+        .map(|ctx| prune_preceding(doc, ctx).as_slice().first().copied())
+        .collect();
+    let mut uniq: Vec<Pre> = bounds.iter().flatten().copied().collect();
+    uniq.sort_unstable();
+    uniq.dedup();
+
+    let c_max = uniq.last().copied().unwrap_or(0);
+    let Some(k) = (pool.width() > 1)
+        .then(|| morsel_count(u64::from(c_max), pool.width()))
+        .flatten()
+    else {
+        return preceding_many(doc, contexts, scratch);
+    };
+
+    // Chunked shared scan: each chunk fills one buffer per unique
+    // boundary; chunk-major concatenation preserves document order.
+    let chunk = u64::from(c_max).div_ceil(k as u64).max(1) as Pre;
+    let ranges: Vec<(Pre, Pre)> = (0..k as Pre)
+        .map(|i| ((i * chunk).min(c_max), ((i + 1) * chunk).min(c_max)))
+        .filter(|&(lo, hi)| lo < hi)
+        .collect();
+    let buffer_sets: Vec<Vec<Vec<Pre>>> = ranges
+        .iter()
+        .map(|_| uniq.iter().map(|_| scratch.take()).collect())
+        .collect();
+    let uniq_ref = &uniq;
+    let parts = pool.run(
+        ranges
+            .into_iter()
+            .zip(buffer_sets)
+            .map(|((lo, hi), mut bufs)| {
+                move || {
+                    let (scanned, copied) = preceding_scan_range(doc, uniq_ref, lo, hi, &mut bufs);
+                    (bufs, scanned, copied)
+                }
+            })
+            .collect(),
+    );
+    let mut results: Vec<Vec<Pre>> = uniq.iter().map(|_| scratch.take()).collect();
+    let mut scanned = 0u64;
+    let mut copied = 0u64;
+    for (bufs, s, c) in parts {
+        for (r, buf) in results.iter_mut().zip(bufs) {
+            r.extend_from_slice(&buf);
+            scratch.put(buf);
+        }
+        scanned += s;
+        copied += c;
+    }
+
+    preceding_distribute(contexts, &bounds, &uniq, results, scanned, copied)
+}
+
+/// The distribution tail shared by [`preceding_many`] and
+/// [`preceding_many_par`]: per-boundary buffers fan out to the lanes,
+/// duplicates cloning and the widest boundary's first lane paying for
+/// the scan.
+fn preceding_distribute(
+    contexts: &[&Context],
+    bounds: &[Option<Pre>],
+    uniq: &[Pre],
+    results: Vec<Vec<Pre>>,
+    scanned: u64,
+    copied: u64,
+) -> Vec<(Context, StepStats)> {
     let payer = uniq
         .last()
         .and_then(|&m| bounds.iter().position(|b| *b == Some(m)));
@@ -383,5 +667,55 @@ mod tests {
         let (got, stats) = following(&doc, &Context::singleton(4));
         assert!(got.is_empty());
         assert_eq!(stats.nodes_skipped, 5);
+    }
+
+    #[test]
+    fn parallel_horiz_matches_sequential_exactly() {
+        use crate::WorkerPool;
+        for width in [2, 4] {
+            let pool = WorkerPool::new(width);
+            for seed in 0..8 {
+                // Big enough that the morsel gate opens.
+                let doc = random_doc(seed, 9000);
+                let ctxs: Vec<Context> = (0..4)
+                    .map(|i| random_context(&doc, seed ^ (0xF011 + i), 15))
+                    .collect();
+                let refs: Vec<&Context> = ctxs.iter().collect();
+                let mut s1 = Scratch::new();
+                let mut s2 = Scratch::new();
+                let par = following_many_par(&doc, &refs, &pool, &mut s1);
+                let seq = following_many(&doc, &refs, &mut s2);
+                for (i, ((pc, ps), (sc, ss))) in par.iter().zip(&seq).enumerate() {
+                    assert_eq!(pc, sc, "following seed {seed} width {width} lane {i}");
+                    assert_eq!(ps, ss, "following stats seed {seed} width {width} lane {i}");
+                }
+                let par = preceding_many_par(&doc, &refs, &pool, &mut s1);
+                let seq = preceding_many(&doc, &refs, &mut s2);
+                for (i, ((pc, ps), (sc, ss))) in par.iter().zip(&seq).enumerate() {
+                    assert_eq!(pc, sc, "preceding seed {seed} width {width} lane {i}");
+                    assert_eq!(ps, ss, "preceding stats seed {seed} width {width} lane {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_horiz_small_regions_stay_sequential() {
+        use crate::WorkerPool;
+        let pool = WorkerPool::new(4);
+        let doc = figure1();
+        let ctx = Context::singleton(5);
+        let refs: Vec<&Context> = vec![&ctx];
+        let mut scratch = Scratch::new();
+        let par = following_many_par(&doc, &refs, &pool, &mut scratch);
+        let seq = following_many(&doc, &refs, &mut scratch);
+        assert_eq!(par[0], seq[0]);
+        let par = preceding_many_par(&doc, &refs, &pool, &mut scratch);
+        let seq = preceding_many(&doc, &refs, &mut scratch);
+        assert_eq!(par[0], seq[0]);
+        // Empty contexts yield empty results in both forms.
+        let empty = Context::empty();
+        let par = preceding_many_par(&doc, &[&empty], &pool, &mut scratch);
+        assert!(par[0].0.is_empty());
     }
 }

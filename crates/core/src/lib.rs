@@ -59,7 +59,9 @@ mod desc;
 mod exists;
 mod horiz;
 mod list;
+mod morsel;
 mod parallel;
+mod pool;
 mod prune;
 mod stats;
 
@@ -70,12 +72,21 @@ pub use batch::{
 pub use cost::DocStats;
 pub use desc::{descendant, descendant_fused, guaranteed_result_estimate};
 pub use exists::{
-    has_ancestor_in, has_ancestor_in_many, has_child_in, has_child_in_many, has_descendant_in,
-    has_descendant_in_many,
+    has_ancestor_in, has_ancestor_in_many, has_ancestor_in_many_par, has_child_in,
+    has_child_in_many, has_child_in_many_par, has_descendant_in, has_descendant_in_many,
+    has_descendant_in_many_par,
 };
-pub use horiz::{following, following_many, preceding, preceding_many};
+pub use horiz::{
+    following, following_many, following_many_par, preceding, preceding_many, preceding_many_par,
+};
 pub use list::{ancestor_on_list, descendant_on_list, TagIndex};
-pub use parallel::{ancestor_parallel, descendant_parallel};
+pub use morsel::{
+    ancestor_many_par, ancestor_on_list_many_par, descendant_many_par, descendant_on_list_many_par,
+};
+pub use parallel::{
+    ancestor_parallel, ancestor_parallel_on, descendant_parallel, descendant_parallel_on,
+};
+pub use pool::{ScratchPool, WorkerPool};
 pub use prune::{
     prune, prune_ancestor, prune_ancestor_into, prune_descendant, prune_descendant_into,
     prune_following, prune_preceding,

@@ -90,27 +90,37 @@ pub fn descendant_on_list(doc: &Doc, list: &[Pre], context: &Context) -> (Contex
     let pruned = prune_descendant(doc, context);
     stats.context_out = pruned.len();
     let mut result = Vec::new();
-    descendant_list_partitions(doc, list, pruned.as_slice(), &mut result, &mut stats);
+    descendant_list_partitions(
+        doc,
+        list,
+        pruned.as_slice(),
+        doc.len() as Pre,
+        &mut result,
+        &mut stats,
+    );
     stats.result_size = result.len();
     (Context::from_sorted(result), stats)
 }
 
-/// Walks the partitions induced by a pruned step slice over `list`.
-/// Factored out so the multi-context fragment join
+/// Walks the partitions induced by a pruned step slice over `list`; the
+/// last partition ends at `end` (exclusive). Factored out — and bounded
+/// on the right — so the multi-context fragment join
 /// ([`crate::descendant_on_list_many`]) can serve a single-lane batch
-/// with exactly the sequential join's access pattern.
+/// with exactly the sequential join's access pattern, and so the
+/// parallel executor can hand each worker a *chunk* of steps whose final
+/// partition ends where the next chunk's first step begins.
 pub(crate) fn descendant_list_partitions(
     doc: &Doc,
     list: &[Pre],
     steps: &[Pre],
+    end: Pre,
     result: &mut Vec<Pre>,
     stats: &mut StepStats,
 ) {
     let post = doc.post_column();
-    let n = doc.len() as Pre;
     let mut j = 0usize; // cursor into `list`
     for (i, &c) in steps.iter().enumerate() {
-        let part_end = steps.get(i + 1).copied().unwrap_or(n);
+        let part_end = steps.get(i + 1).copied().unwrap_or(end);
         stats.partitions += 1;
         let bound = post[c as usize];
         // First list entry inside the partition (list and steps both
@@ -150,22 +160,25 @@ pub fn ancestor_on_list(doc: &Doc, list: &[Pre], context: &Context) -> (Context,
     let pruned = prune_ancestor(doc, context);
     stats.context_out = pruned.len();
     let mut result = Vec::new();
-    ancestor_list_partitions(doc, list, pruned.as_slice(), &mut result, &mut stats);
+    ancestor_list_partitions(doc, list, pruned.as_slice(), 0, &mut result, &mut stats);
     stats.result_size = result.len();
     (Context::from_sorted(result), stats)
 }
 
-/// The ancestor twin of [`descendant_list_partitions`].
+/// The ancestor twin of [`descendant_list_partitions`]: the first
+/// partition starts at `start` (a chunked caller passes the previous
+/// chunk's last step + 1).
 pub(crate) fn ancestor_list_partitions(
     doc: &Doc,
     list: &[Pre],
     steps: &[Pre],
+    start: Pre,
     result: &mut Vec<Pre>,
     stats: &mut StepStats,
 ) {
     let post = doc.post_column();
     let mut j = 0usize;
-    let mut part_start: Pre = 0;
+    let mut part_start: Pre = start;
     for &c in steps {
         stats.partitions += 1;
         let bound = post[c as usize];

@@ -1,0 +1,815 @@
+//! Morsel-parallel forms of the multi-context staircase kernels.
+//!
+//! §3.2's Figure-8 argument — pruned staircase steps own **disjoint
+//! pre-range partitions**, so partitions evaluate independently and
+//! their results concatenate in document order with no merge sort — is
+//! exactly what a morsel-driven executor (Leis et al., SIGMOD 2014)
+//! needs: each morsel is a contiguous chunk of the boundary list, a
+//! worker from the session's [`WorkerPool`] walks it with the ordinary
+//! sequential partition loops, and the coordinator glues the per-worker
+//! result vectors back together.
+//!
+//! Two splitting strategies cover every partition shape:
+//!
+//! * **By steps** ([`span_chunks`] / [`entry_chunks`]): contiguous runs
+//!   of whole partitions, weighted by their pre-range span (plane scans)
+//!   or their fragment-entry count (on-list scans) so workers get equal
+//!   *work*, not equal step counts. This is the [`crate::parallel`]
+//!   engine's split, now driven by the persistent pool.
+//! * **Inside one partition** ([`plan_descendant_slices`]): the common
+//!   hot case — a root context — has a *single* partition covering the
+//!   whole plane, which steps-chunking cannot split. For the descendant
+//!   direction the touched interval of a partition is known in closed
+//!   form before scanning: descendants of `c` are the contiguous run
+//!   `(c, c + |subtree(c)|]`, so the scan touches `(c, m]` where
+//!   `m = c + |subtree(c)| + 1` is the provable first miss (the node
+//!   whose postorder rank first exceeds `post(c)`). Any sub-range of
+//!   that interval can therefore be executed independently — including
+//!   the skip bookkeeping, which can only fire in the sub-range
+//!   containing `m`.
+//!
+//! Every morsel reproduces the sequential kernel's per-position
+//! behaviour bit for bit, so per-worker [`StepStats`] **sum to exactly
+//! the sequential counters** (asserted by the tests below) and results
+//! are node- and order-identical. The ancestor direction has no closed
+//! touched-interval (its skip is an under-estimating jump chain), so it
+//! parallelises by whole partitions only — which is where its work lives
+//! anyway: ancestor steps arrive with many boundaries, not one.
+
+use staircase_accel::{Context, Doc, NodeKind, Pre};
+
+use crate::anc::ancestor_partitions;
+use crate::batch::{
+    ancestor_list_scan, ancestor_scan, descendant_list_scan, descendant_scan, shared_pass, Lane,
+    Scratch,
+};
+use crate::desc::descendant_partitions;
+use crate::list::{ancestor_list_partitions, descendant_list_partitions};
+use crate::pool::WorkerPool;
+use crate::prune::{prune_ancestor_into, prune_descendant_into};
+use crate::stats::StepStats;
+use crate::{ancestor_many, descendant_many, Variant};
+use crate::{ancestor_on_list_many, descendant_on_list_many};
+
+/// Minimum touched-work (nodes or list entries) a morsel must carry for
+/// the handoff to a pooled worker to amortize. Batches below twice this
+/// stay sequential.
+pub(crate) const MIN_MORSEL_WORK: u64 = 2048;
+
+/// How many morsels `work` units of touched-work justify on a pool of
+/// `width` executors; `None` means "stay sequential".
+pub(crate) fn morsel_count(work: u64, width: usize) -> Option<usize> {
+    let by_work = usize::try_from(work / MIN_MORSEL_WORK).unwrap_or(usize::MAX);
+    let k = by_work.min(width);
+    (k >= 2).then_some(k)
+}
+
+/// The parallel form of [`crate::descendant_many`]: identical results
+/// and statistics, with single-context batches split into morsels
+/// executed on `pool`. Multi-context (merged-boundary) batches keep the
+/// sequential shared scan — their sharing *is* the optimisation — and a
+/// width-1 pool degenerates to the sequential kernel outright.
+pub fn descendant_many_par(
+    doc: &Doc,
+    contexts: &[&Context],
+    variant: Variant,
+    pool: &WorkerPool,
+    scratch: &mut Scratch,
+) -> Vec<(Context, StepStats)> {
+    if pool.width() == 1 {
+        return descendant_many(doc, contexts, variant, scratch);
+    }
+    shared_pass(
+        doc,
+        contexts,
+        scratch,
+        prune_descendant_into,
+        |doc, lanes, scratch| match lanes {
+            [lane] => descendant_lane_par(doc, lane, variant, pool, scratch),
+            _ => descendant_scan(doc, lanes, variant),
+        },
+    )
+}
+
+/// The parallel form of [`crate::ancestor_many`]; see
+/// [`descendant_many_par`] for the contract.
+pub fn ancestor_many_par(
+    doc: &Doc,
+    contexts: &[&Context],
+    variant: Variant,
+    pool: &WorkerPool,
+    scratch: &mut Scratch,
+) -> Vec<(Context, StepStats)> {
+    if pool.width() == 1 {
+        return ancestor_many(doc, contexts, variant, scratch);
+    }
+    shared_pass(
+        doc,
+        contexts,
+        scratch,
+        prune_ancestor_into,
+        |doc, lanes, scratch| match lanes {
+            [lane] => ancestor_lane_par(doc, lane, variant, pool, scratch),
+            _ => ancestor_scan(doc, lanes, variant),
+        },
+    )
+}
+
+/// The parallel form of [`crate::descendant_on_list_many`]: the shared
+/// tag fragment is split into per-partition entry ranges and executed by
+/// the pool; see [`descendant_many_par`] for the contract.
+pub fn descendant_on_list_many_par(
+    doc: &Doc,
+    list: &[Pre],
+    contexts: &[&Context],
+    pool: &WorkerPool,
+    scratch: &mut Scratch,
+) -> Vec<(Context, StepStats)> {
+    if pool.width() == 1 {
+        return descendant_on_list_many(doc, list, contexts, scratch);
+    }
+    shared_pass(
+        doc,
+        contexts,
+        scratch,
+        prune_descendant_into,
+        |doc, lanes, scratch| match lanes {
+            [lane] => descendant_list_lane_par(doc, list, lane, pool, scratch),
+            _ => descendant_list_scan(doc, list, lanes),
+        },
+    )
+}
+
+/// The parallel form of [`crate::ancestor_on_list_many`]; see
+/// [`descendant_many_par`] for the contract.
+pub fn ancestor_on_list_many_par(
+    doc: &Doc,
+    list: &[Pre],
+    contexts: &[&Context],
+    pool: &WorkerPool,
+    scratch: &mut Scratch,
+) -> Vec<(Context, StepStats)> {
+    if pool.width() == 1 {
+        return ancestor_on_list_many(doc, list, contexts, scratch);
+    }
+    shared_pass(
+        doc,
+        contexts,
+        scratch,
+        prune_ancestor_into,
+        |doc, lanes, scratch| match lanes {
+            [lane] => ancestor_list_lane_par(doc, list, lane, pool, scratch),
+            _ => ancestor_list_scan(doc, list, lanes),
+        },
+    )
+}
+
+// ── Descendant: sub-partition slices ────────────────────────────────────
+
+/// One executable sub-range of a descendant partition: positions
+/// `[from, to)` of the partition `(c, part_end)` whose staircase
+/// boundary is `bound` and whose Equation-1 copy phase ends at
+/// `copy_end` (inclusive; `copy_end ≤ c` means no copy phase).
+struct DescSlice {
+    bound: u32,
+    copy_end: Pre,
+    part_end: Pre,
+    from: Pre,
+    to: Pre,
+}
+
+impl DescSlice {
+    fn len(&self) -> u64 {
+        u64::from(self.to - self.from)
+    }
+}
+
+/// The touched intervals of every partition, in plane order, plus their
+/// total length. For the skipping variants the interval ends at the
+/// provable first miss `m = c + |subtree(c)| + 1` (capped by the
+/// partition); [`Variant::Basic`] touches the whole partition.
+fn plan_descendant_slices(
+    doc: &Doc,
+    steps: &[Pre],
+    end: Pre,
+    variant: Variant,
+) -> (Vec<DescSlice>, u64) {
+    let post = doc.post_column();
+    let mut slices = Vec::with_capacity(steps.len());
+    let mut work = 0u64;
+    for (i, &c) in steps.iter().enumerate() {
+        let part_end = steps.get(i + 1).copied().unwrap_or(end);
+        let bound = post[c as usize];
+        let (copy_end, to) = match variant {
+            Variant::Basic => (c, part_end),
+            Variant::Skipping => {
+                let miss = c + 1 + doc.subtree_size(c);
+                (c, miss.saturating_add(1).min(part_end))
+            }
+            Variant::EstimationSkipping => {
+                let miss = c + 1 + doc.subtree_size(c);
+                (
+                    bound.min(part_end - 1),
+                    miss.saturating_add(1).min(part_end),
+                )
+            }
+        };
+        let from = c + 1;
+        let to = to.max(from);
+        work += u64::from(to - from);
+        slices.push(DescSlice {
+            bound,
+            copy_end,
+            part_end,
+            from,
+            to,
+        });
+    }
+    (slices, work)
+}
+
+/// Splits `slices` (total length `work`) into `k` morsels of roughly
+/// equal touched-work, cutting inside a slice where necessary.
+fn split_desc_slices(slices: Vec<DescSlice>, work: u64, k: usize) -> Vec<Vec<DescSlice>> {
+    let target = work.div_ceil(k as u64).max(1);
+    let mut morsels: Vec<Vec<DescSlice>> = Vec::with_capacity(k);
+    let mut cur: Vec<DescSlice> = Vec::new();
+    let mut cur_work = 0u64;
+    for mut s in slices {
+        while cur_work + s.len() > target && morsels.len() + 1 < k {
+            let room = target - cur_work;
+            if room > 0 {
+                let cut = s.from + room as Pre;
+                cur.push(DescSlice {
+                    bound: s.bound,
+                    copy_end: s.copy_end,
+                    part_end: s.part_end,
+                    from: s.from,
+                    to: cut,
+                });
+                s.from = cut;
+            }
+            morsels.push(std::mem::take(&mut cur));
+            cur_work = 0;
+        }
+        cur_work += s.len();
+        if s.len() > 0 {
+            cur.push(s);
+        }
+    }
+    if !cur.is_empty() || morsels.is_empty() {
+        morsels.push(cur);
+    }
+    morsels
+}
+
+/// Executes one morsel of descendant slices with exactly the sequential
+/// partition loop's per-position behaviour (copy / scan / skip-on-miss).
+fn exec_desc_morsel(
+    doc: &Doc,
+    slices: &[DescSlice],
+    variant: Variant,
+    result: &mut Vec<Pre>,
+    stats: &mut StepStats,
+) {
+    let post = doc.post_column();
+    let kind = doc.kind_column();
+    let attr = NodeKind::Attribute as u8;
+    let skip_on_miss = variant != Variant::Basic;
+    for s in slices {
+        let mut v = s.from;
+        while v < s.to {
+            if v <= s.copy_end {
+                stats.nodes_copied += 1;
+                if kind[v as usize] != attr {
+                    result.push(v);
+                }
+            } else {
+                stats.nodes_scanned += 1;
+                if post[v as usize] < s.bound {
+                    if kind[v as usize] != attr {
+                        result.push(v);
+                    }
+                } else if skip_on_miss {
+                    // The provable first miss: only the slice containing
+                    // it ever reaches here, so the Z-region accounting
+                    // lands exactly once per partition.
+                    stats.nodes_skipped += u64::from(s.part_end - v - 1);
+                    break;
+                }
+            }
+            v += 1;
+        }
+    }
+}
+
+/// Runs a single descendant lane through pool-executed morsels (or the
+/// sequential loop when the work does not amortize the handoff).
+fn descendant_lane_par(
+    doc: &Doc,
+    lane: &mut Lane,
+    variant: Variant,
+    pool: &WorkerPool,
+    scratch: &mut Scratch,
+) {
+    let n = doc.len() as Pre;
+    let (slices, work) = plan_descendant_slices(doc, &lane.steps, n, variant);
+    let Some(k) = morsel_count(work, pool.width()) else {
+        return descendant_partitions(
+            doc,
+            &lane.steps,
+            n,
+            variant,
+            &mut lane.result,
+            &mut lane.stats,
+        );
+    };
+    lane.stats.partitions += lane.steps.len();
+    let morsels = split_desc_slices(slices, work, k);
+    let buffers: Vec<Vec<Pre>> = morsels.iter().map(|_| scratch.take()).collect();
+    let outs = pool.run(
+        morsels
+            .into_iter()
+            .zip(buffers)
+            .map(|(m, mut buf)| {
+                move || {
+                    let mut st = StepStats::default();
+                    buf.reserve(m.iter().map(|s| s.len() as usize).sum());
+                    exec_desc_morsel(doc, &m, variant, &mut buf, &mut st);
+                    (buf, st)
+                }
+            })
+            .collect(),
+    );
+    collect_morsels(outs, &mut lane.result, &mut lane.stats, scratch);
+}
+
+// ── Descendant on a list: per-partition entry ranges ────────────────────
+
+/// One executable entry range `[j_from, j_to)` of a fragment-join
+/// partition whose staircase boundary is `bound` and whose pre-range
+/// ends at `part_end`.
+struct ListSlice {
+    bound: u32,
+    part_end: Pre,
+    j_from: usize,
+    j_to: usize,
+}
+
+/// The touched entry ranges of every partition over `list`: within a
+/// partition the fragment entries below the provable first miss are the
+/// hits (the subtree run is a contiguous pre-range, and the list is
+/// pre-sorted), plus the miss entry itself.
+fn plan_descendant_list_slices(
+    doc: &Doc,
+    list: &[Pre],
+    steps: &[Pre],
+    end: Pre,
+) -> (Vec<ListSlice>, u64) {
+    let post = doc.post_column();
+    let mut slices = Vec::with_capacity(steps.len());
+    let mut work = 0u64;
+    let mut j = 0usize;
+    for (i, &c) in steps.iter().enumerate() {
+        let part_end = steps.get(i + 1).copied().unwrap_or(end);
+        let bound = post[c as usize];
+        let j_from = j + list[j..].partition_point(|&p| p <= c);
+        let in_part = list[j_from..].partition_point(|&p| p < part_end);
+        let miss = c + 1 + doc.subtree_size(c);
+        let hits = list[j_from..j_from + in_part].partition_point(|&p| p < miss);
+        let j_to = j_from + if hits < in_part { hits + 1 } else { in_part };
+        work += (j_to - j_from) as u64;
+        slices.push(ListSlice {
+            bound,
+            part_end,
+            j_from,
+            j_to,
+        });
+        j = j_from + in_part;
+    }
+    (slices, work)
+}
+
+/// Splits list slices into `k` morsels of roughly equal entry counts.
+fn split_list_slices(slices: Vec<ListSlice>, work: u64, k: usize) -> Vec<Vec<ListSlice>> {
+    let target = (work.div_ceil(k as u64)).max(1) as usize;
+    let mut morsels: Vec<Vec<ListSlice>> = Vec::with_capacity(k);
+    let mut cur: Vec<ListSlice> = Vec::new();
+    let mut cur_work = 0usize;
+    for mut s in slices {
+        while cur_work + (s.j_to - s.j_from) > target && morsels.len() + 1 < k {
+            let room = target - cur_work;
+            if room > 0 {
+                let cut = s.j_from + room;
+                cur.push(ListSlice {
+                    bound: s.bound,
+                    part_end: s.part_end,
+                    j_from: s.j_from,
+                    j_to: cut,
+                });
+                s.j_from = cut;
+            }
+            morsels.push(std::mem::take(&mut cur));
+            cur_work = 0;
+        }
+        cur_work += s.j_to - s.j_from;
+        if s.j_to > s.j_from {
+            cur.push(s);
+        }
+    }
+    if !cur.is_empty() || morsels.is_empty() {
+        morsels.push(cur);
+    }
+    morsels
+}
+
+/// Executes one morsel of fragment-join entry ranges, mirroring the
+/// sequential on-list partition loop.
+fn exec_list_morsel(
+    doc: &Doc,
+    list: &[Pre],
+    slices: &[ListSlice],
+    result: &mut Vec<Pre>,
+    stats: &mut StepStats,
+) {
+    let post = doc.post_column();
+    for s in slices {
+        for j in s.j_from..s.j_to {
+            let p = list[j];
+            stats.nodes_scanned += 1;
+            if post[p as usize] < s.bound {
+                result.push(p);
+            } else {
+                // Z-region: the rest of the partition's entries are
+                // provably not descendants; only the range containing the
+                // miss reaches here.
+                let rest = list[j..]
+                    .partition_point(|&q| q < s.part_end)
+                    .saturating_sub(1);
+                stats.nodes_skipped += rest as u64;
+                break;
+            }
+        }
+    }
+}
+
+/// Runs a single fragment-join lane through pool-executed entry ranges.
+fn descendant_list_lane_par(
+    doc: &Doc,
+    list: &[Pre],
+    lane: &mut Lane,
+    pool: &WorkerPool,
+    scratch: &mut Scratch,
+) {
+    let n = doc.len() as Pre;
+    let (slices, work) = plan_descendant_list_slices(doc, list, &lane.steps, n);
+    let Some(k) = morsel_count(work, pool.width()) else {
+        return descendant_list_partitions(
+            doc,
+            list,
+            &lane.steps,
+            n,
+            &mut lane.result,
+            &mut lane.stats,
+        );
+    };
+    lane.stats.partitions += lane.steps.len();
+    let morsels = split_list_slices(slices, work, k);
+    let buffers: Vec<Vec<Pre>> = morsels.iter().map(|_| scratch.take()).collect();
+    let outs = pool.run(
+        morsels
+            .into_iter()
+            .zip(buffers)
+            .map(|(m, mut buf)| {
+                move || {
+                    let mut st = StepStats::default();
+                    exec_list_morsel(doc, list, &m, &mut buf, &mut st);
+                    (buf, st)
+                }
+            })
+            .collect(),
+    );
+    collect_morsels(outs, &mut lane.result, &mut lane.stats, scratch);
+}
+
+// ── Ancestor: whole-partition chunks ────────────────────────────────────
+
+/// Splits `steps` into at most `k` contiguous chunks of roughly equal
+/// pre-range *span* (partition `i` spans `[prevᵢ, stepᵢ)`), so workers
+/// inherit equal scan ranges rather than equal step counts.
+fn span_chunks(steps: &[Pre], k: usize) -> Vec<(usize, usize)> {
+    let total = u64::from(steps.last().copied().unwrap_or(0));
+    let target = total.div_ceil(k as u64).max(1);
+    let mut chunks = Vec::with_capacity(k);
+    let mut lo = 0usize;
+    let mut span_start = 0u64;
+    for (i, &c) in steps.iter().enumerate() {
+        let span = u64::from(c) - span_start;
+        let last = i + 1 == steps.len();
+        if last || (span >= target && chunks.len() + 1 < k) {
+            chunks.push((lo, i + 1));
+            lo = i + 1;
+            span_start = u64::from(c);
+        }
+    }
+    chunks
+}
+
+/// Splits `steps` into at most `k` contiguous chunks carrying roughly
+/// equal numbers of `list` entries (the on-list ancestor join's work
+/// unit).
+fn entry_chunks(list: &[Pre], steps: &[Pre], k: usize) -> Vec<(usize, usize)> {
+    let total = list.len() as u64;
+    let target = total.div_ceil(k as u64).max(1);
+    let mut chunks = Vec::with_capacity(k);
+    let mut lo = 0usize;
+    let mut seen_start = 0u64;
+    for (i, &c) in steps.iter().enumerate() {
+        let seen = list.partition_point(|&p| p < c) as u64 - seen_start;
+        let last = i + 1 == steps.len();
+        if last || (seen >= target && chunks.len() + 1 < k) {
+            chunks.push((lo, i + 1));
+            lo = i + 1;
+            seen_start += seen;
+        }
+    }
+    chunks
+}
+
+/// Runs a single ancestor lane as whole-partition chunks on the pool.
+fn ancestor_lane_par(
+    doc: &Doc,
+    lane: &mut Lane,
+    variant: Variant,
+    pool: &WorkerPool,
+    scratch: &mut Scratch,
+) {
+    let steps = &lane.steps;
+    let span = u64::from(steps.last().copied().unwrap_or(0));
+    let k = morsel_count(span, pool.width())
+        .map(|k| k.min(steps.len()))
+        .filter(|&k| k >= 2);
+    let Some(k) = k else {
+        return ancestor_partitions(doc, steps, 0, variant, &mut lane.result, &mut lane.stats);
+    };
+    let chunks = span_chunks(steps, k);
+    let buffers: Vec<Vec<Pre>> = chunks.iter().map(|_| scratch.take()).collect();
+    let outs = pool.run(
+        chunks
+            .into_iter()
+            .zip(buffers)
+            .map(|((lo, hi), mut buf)| {
+                let chunk = &steps[lo..hi];
+                let start = if lo == 0 { 0 } else { steps[lo - 1] + 1 };
+                move || {
+                    let mut st = StepStats::default();
+                    ancestor_partitions(doc, chunk, start, variant, &mut buf, &mut st);
+                    (buf, st)
+                }
+            })
+            .collect(),
+    );
+    for (buf, st) in outs {
+        lane.result.extend_from_slice(&buf);
+        scratch.put(buf);
+        lane.stats.nodes_scanned += st.nodes_scanned;
+        lane.stats.nodes_copied += st.nodes_copied;
+        lane.stats.nodes_skipped += st.nodes_skipped;
+        lane.stats.partitions += st.partitions;
+    }
+}
+
+/// Runs a single on-list ancestor lane as whole-partition chunks.
+fn ancestor_list_lane_par(
+    doc: &Doc,
+    list: &[Pre],
+    lane: &mut Lane,
+    pool: &WorkerPool,
+    scratch: &mut Scratch,
+) {
+    let steps = &lane.steps;
+    let below_last = steps
+        .last()
+        .map(|&c| list.partition_point(|&p| p < c))
+        .unwrap_or(0) as u64;
+    let k = morsel_count(below_last, pool.width())
+        .map(|k| k.min(steps.len()))
+        .filter(|&k| k >= 2);
+    let Some(k) = k else {
+        return ancestor_list_partitions(doc, list, steps, 0, &mut lane.result, &mut lane.stats);
+    };
+    let chunks = entry_chunks(list, steps, k);
+    let buffers: Vec<Vec<Pre>> = chunks.iter().map(|_| scratch.take()).collect();
+    let outs = pool.run(
+        chunks
+            .into_iter()
+            .zip(buffers)
+            .map(|((lo, hi), mut buf)| {
+                let chunk = &steps[lo..hi];
+                let start = if lo == 0 { 0 } else { steps[lo - 1] + 1 };
+                move || {
+                    let mut st = StepStats::default();
+                    ancestor_list_partitions(doc, list, chunk, start, &mut buf, &mut st);
+                    (buf, st)
+                }
+            })
+            .collect(),
+    );
+    for (buf, st) in outs {
+        lane.result.extend_from_slice(&buf);
+        scratch.put(buf);
+        lane.stats.nodes_scanned += st.nodes_scanned;
+        lane.stats.nodes_copied += st.nodes_copied;
+        lane.stats.nodes_skipped += st.nodes_skipped;
+        lane.stats.partitions += st.partitions;
+    }
+}
+
+/// Concatenates morsel outputs in plane order into the lane, summing the
+/// per-worker access counters (partition counts are the coordinator's
+/// job — a split partition must not count twice).
+fn collect_morsels(
+    outs: Vec<(Vec<Pre>, StepStats)>,
+    result: &mut Vec<Pre>,
+    stats: &mut StepStats,
+    scratch: &mut Scratch,
+) {
+    result.reserve(outs.iter().map(|(b, _)| b.len()).sum());
+    for (buf, st) in outs {
+        result.extend_from_slice(&buf);
+        scratch.put(buf);
+        stats.nodes_scanned += st.nodes_scanned;
+        stats.nodes_copied += st.nodes_copied;
+        stats.nodes_skipped += st.nodes_skipped;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{random_context, random_doc};
+    use crate::TagIndex;
+
+    const ALL: [Variant; 3] = [
+        Variant::Basic,
+        Variant::Skipping,
+        Variant::EstimationSkipping,
+    ];
+
+    fn assert_same(label: &str, par: &[(Context, StepStats)], seq: &[(Context, StepStats)]) {
+        assert_eq!(par.len(), seq.len(), "{label}");
+        for (i, ((pc, ps), (sc, ss))) in par.iter().zip(seq).enumerate() {
+            assert_eq!(pc, sc, "{label}: query {i} results differ");
+            assert_eq!(ps, ss, "{label}: query {i} stats differ");
+        }
+    }
+
+    #[test]
+    fn parallel_plane_joins_match_sequential_exactly() {
+        for width in [2, 4] {
+            let pool = WorkerPool::new(width);
+            for seed in 0..8 {
+                // Big enough that the morsel gate opens.
+                let doc = random_doc(seed, 9000);
+                let root = Context::singleton(doc.root());
+                let ctx = random_context(&doc, seed ^ 0xD15C, 40);
+                for variant in ALL {
+                    for case in [&root, &ctx] {
+                        let refs: Vec<&Context> = vec![case];
+                        let mut s1 = Scratch::new();
+                        let mut s2 = Scratch::new();
+                        let par = descendant_many_par(&doc, &refs, variant, &pool, &mut s1);
+                        let seq = descendant_many(&doc, &refs, variant, &mut s2);
+                        assert_same(
+                            &format!("desc seed {seed} width {width} {variant:?}"),
+                            &par,
+                            &seq,
+                        );
+                        let par = ancestor_many_par(&doc, &refs, variant, &pool, &mut s1);
+                        let seq = ancestor_many(&doc, &refs, variant, &mut s2);
+                        assert_same(
+                            &format!("anc seed {seed} width {width} {variant:?}"),
+                            &par,
+                            &seq,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_list_joins_match_sequential_exactly() {
+        let pool = WorkerPool::new(4);
+        for seed in 0..8 {
+            let doc = random_doc(seed, 9000);
+            let idx = TagIndex::build(&doc);
+            let root = Context::singleton(doc.root());
+            let ctx = random_context(&doc, seed ^ 0x11F7, 40);
+            for tag in ["p", "q"] {
+                let list = idx.fragment_by_name(&doc, tag);
+                for case in [&root, &ctx] {
+                    let refs: Vec<&Context> = vec![case];
+                    let mut s1 = Scratch::new();
+                    let mut s2 = Scratch::new();
+                    let par = descendant_on_list_many_par(&doc, list, &refs, &pool, &mut s1);
+                    let seq = descendant_on_list_many(&doc, list, &refs, &mut s2);
+                    assert_same(&format!("desc-list {tag} seed {seed}"), &par, &seq);
+                    let par = ancestor_on_list_many_par(&doc, list, &refs, &pool, &mut s1);
+                    let seq = ancestor_on_list_many(&doc, list, &refs, &mut s2);
+                    assert_same(&format!("anc-list {tag} seed {seed}"), &par, &seq);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_context_batches_keep_the_shared_scan() {
+        // Several distinct contexts: the parallel entry points fall back
+        // to the merged sequential scan — same results, same stats.
+        let pool = WorkerPool::new(4);
+        let doc = random_doc(3, 3000);
+        let ctxs: Vec<Context> = (0..5)
+            .map(|i| random_context(&doc, 0xBA7C4 ^ i, 20))
+            .collect();
+        let refs: Vec<&Context> = ctxs.iter().collect();
+        let mut s1 = Scratch::new();
+        let mut s2 = Scratch::new();
+        for variant in ALL {
+            let par = descendant_many_par(&doc, &refs, variant, &pool, &mut s1);
+            let seq = descendant_many(&doc, &refs, variant, &mut s2);
+            assert_same(&format!("multi {variant:?}"), &par, &seq);
+        }
+    }
+
+    #[test]
+    fn single_partition_splits_across_workers() {
+        // A root context is one partition; the closed-form touched
+        // interval lets the morsel planner split inside it.
+        let doc = random_doc(11, 12000);
+        let root = Context::singleton(doc.root());
+        let refs: Vec<&Context> = vec![&root];
+        let pool = WorkerPool::new(4);
+        let mut scratch = Scratch::new();
+        let (slices, work) = {
+            let pruned = crate::prune_descendant(&doc, &root);
+            plan_descendant_slices(
+                &doc,
+                pruned.as_slice(),
+                doc.len() as Pre,
+                Variant::EstimationSkipping,
+            )
+        };
+        assert_eq!(slices.len(), 1, "root context prunes to one partition");
+        assert!(morsel_count(work, pool.width()).unwrap_or(1) >= 2);
+        let par = descendant_many_par(
+            &doc,
+            &refs,
+            Variant::EstimationSkipping,
+            &pool,
+            &mut scratch,
+        );
+        let (seq, seq_stats) = crate::descendant(&doc, &root, Variant::EstimationSkipping);
+        assert_eq!(par[0].0, seq);
+        assert_eq!(par[0].1.nodes_touched(), seq_stats.nodes_touched());
+    }
+
+    #[test]
+    fn tiny_batches_stay_sequential() {
+        let pool = WorkerPool::new(4);
+        let doc = random_doc(1, 200); // far below the morsel gate
+        let ctx = Context::singleton(doc.root());
+        let refs: Vec<&Context> = vec![&ctx];
+        let mut s1 = Scratch::new();
+        let mut s2 = Scratch::new();
+        let par = descendant_many_par(&doc, &refs, Variant::Skipping, &pool, &mut s1);
+        let seq = descendant_many(&doc, &refs, Variant::Skipping, &mut s2);
+        assert_same("tiny", &par, &seq);
+    }
+
+    #[test]
+    fn span_chunks_cover_all_steps() {
+        let steps: Vec<Pre> = vec![5, 6, 7, 1000, 1001, 5000, 9000];
+        for k in [2, 3, 4] {
+            let chunks = span_chunks(&steps, k);
+            assert!(chunks.len() <= k);
+            assert_eq!(chunks.first().unwrap().0, 0);
+            assert_eq!(chunks.last().unwrap().1, steps.len());
+            assert!(chunks.windows(2).all(|w| w[0].1 == w[1].0));
+            assert!(chunks.iter().all(|&(lo, hi)| lo < hi));
+        }
+    }
+
+    #[test]
+    fn empty_contexts_short_circuit() {
+        let pool = WorkerPool::new(4);
+        let doc = random_doc(2, 5000);
+        let empty = Context::empty();
+        let refs: Vec<&Context> = vec![&empty];
+        let mut scratch = Scratch::new();
+        let par = descendant_many_par(&doc, &refs, Variant::Basic, &pool, &mut scratch);
+        assert!(par[0].0.is_empty());
+        let par = ancestor_many_par(&doc, &refs, Variant::Basic, &pool, &mut scratch);
+        assert!(par[0].0.is_empty());
+    }
+}

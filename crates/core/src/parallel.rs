@@ -6,26 +6,50 @@
 //! independently and concatenated — results stay duplicate-free and in
 //! document order with no merge step. §6 proposes the same idea as a
 //! fragmentation strategy for documents beyond 1 GB.
+//!
+//! Since the pooled-executor refactor these joins run their chunks on a
+//! [`WorkerPool`] — the session layer passes its persistent pool through
+//! [`descendant_parallel_on`] / [`ancestor_parallel_on`], so no threads
+//! are spawned per call. The original [`descendant_parallel`] /
+//! [`ancestor_parallel`] entry points remain for standalone use and
+//! build a transient pool of the requested width.
 
 use staircase_accel::{Context, Doc, Pre};
 
 use crate::anc::ancestor_partitions;
 use crate::desc::descendant_partitions;
+use crate::pool::WorkerPool;
 use crate::prune::{prune_ancestor, prune_descendant};
 use crate::stats::StepStats;
 use crate::Variant;
 
-/// Parallel `descendant` staircase join over `threads` workers.
+/// Parallel `descendant` staircase join over `chunks` partition chunks,
+/// executed by a transient pool of the same width.
 ///
 /// Equivalent to [`crate::descendant`] (asserted by tests); the pruned
 /// staircase is split into contiguous chunks of steps, one worker per
 /// chunk. Workers write into private result buffers that are concatenated
-/// in step order.
+/// in step order. Prefer [`descendant_parallel_on`] when a persistent
+/// pool is at hand.
 pub fn descendant_parallel(
     doc: &Doc,
     context: &Context,
     variant: Variant,
     threads: usize,
+) -> (Context, StepStats) {
+    descendant_parallel_on(doc, context, variant, threads, &WorkerPool::new(threads))
+}
+
+/// [`descendant_parallel`] on a caller-provided persistent [`WorkerPool`]
+/// (the session's), splitting the staircase into `chunks` contiguous
+/// step chunks. No threads are spawned; the pool's executors (its
+/// workers plus the calling thread) drain the chunks.
+pub fn descendant_parallel_on(
+    doc: &Doc,
+    context: &Context,
+    variant: Variant,
+    chunks: usize,
+    pool: &WorkerPool,
 ) -> (Context, StepStats) {
     let mut stats = StepStats {
         context_in: context.len(),
@@ -36,28 +60,24 @@ pub fn descendant_parallel(
     let steps = pruned.as_slice();
     let n = doc.len() as Pre;
 
-    let chunks = chunk_bounds(steps.len(), threads);
-    let outputs: Vec<(Vec<Pre>, StepStats)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
+    let bounds = chunk_bounds(steps.len(), chunks);
+    let outputs: Vec<(Vec<Pre>, StepStats)> = pool.run(
+        bounds
             .iter()
             .map(|&(lo, hi)| {
-                let steps = &steps[lo..hi];
+                let chunk = &steps[lo..hi];
                 // This chunk's final partition ends where the next chunk's
                 // first step begins (or at the end of the plane).
-                let end = steps_end(pruned.as_slice(), hi, n);
-                scope.spawn(move || {
+                let end = steps_end(steps, hi, n);
+                move || {
                     let mut out = Vec::new();
                     let mut st = StepStats::default();
-                    descendant_partitions(doc, steps, end, variant, &mut out, &mut st);
+                    descendant_partitions(doc, chunk, end, variant, &mut out, &mut st);
                     (out, st)
-                })
+                }
             })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
+            .collect(),
+    );
 
     let mut result = Vec::with_capacity(outputs.iter().map(|(v, _)| v.len()).sum());
     for (part, st) in &outputs {
@@ -68,12 +88,25 @@ pub fn descendant_parallel(
     (Context::from_sorted(result), stats)
 }
 
-/// Parallel `ancestor` staircase join over `threads` workers.
+/// Parallel `ancestor` staircase join over `threads` partition chunks on
+/// a transient pool; prefer [`ancestor_parallel_on`] when a persistent
+/// pool is at hand.
 pub fn ancestor_parallel(
     doc: &Doc,
     context: &Context,
     variant: Variant,
     threads: usize,
+) -> (Context, StepStats) {
+    ancestor_parallel_on(doc, context, variant, threads, &WorkerPool::new(threads))
+}
+
+/// [`ancestor_parallel`] on a caller-provided persistent [`WorkerPool`].
+pub fn ancestor_parallel_on(
+    doc: &Doc,
+    context: &Context,
+    variant: Variant,
+    chunks: usize,
+    pool: &WorkerPool,
 ) -> (Context, StepStats) {
     let mut stats = StepStats {
         context_in: context.len(),
@@ -83,28 +116,24 @@ pub fn ancestor_parallel(
     stats.context_out = pruned.len();
     let steps = pruned.as_slice();
 
-    let chunks = chunk_bounds(steps.len(), threads);
-    let outputs: Vec<(Vec<Pre>, StepStats)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
+    let bounds = chunk_bounds(steps.len(), chunks);
+    let outputs: Vec<(Vec<Pre>, StepStats)> = pool.run(
+        bounds
             .iter()
             .map(|&(lo, hi)| {
                 let chunk = &steps[lo..hi];
                 // This chunk's first partition starts right after the
                 // previous chunk's last step (or at pre 0).
                 let start = if lo == 0 { 0 } else { steps[lo - 1] + 1 };
-                scope.spawn(move || {
+                move || {
                     let mut out = Vec::new();
                     let mut st = StepStats::default();
                     ancestor_partitions(doc, chunk, start, variant, &mut out, &mut st);
                     (out, st)
-                })
+                }
             })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
+            .collect(),
+    );
 
     let mut result = Vec::with_capacity(outputs.iter().map(|(v, _)| v.len()).sum());
     for (part, st) in &outputs {
@@ -204,6 +233,24 @@ mod tests {
         assert_eq!(serial.nodes_scanned, par.nodes_scanned);
         assert_eq!(serial.nodes_skipped, par.nodes_skipped);
         assert_eq!(serial.nodes_copied, par.nodes_copied);
+    }
+
+    #[test]
+    fn shared_pool_serves_both_joins() {
+        // The session path: one persistent pool, many joins, no spawning
+        // per call.
+        let pool = WorkerPool::new(4);
+        let doc = random_doc(9, 900);
+        let ctx = random_context(&doc, 0xFADE, 60);
+        let (serial_d, _) = descendant(&doc, &ctx, Variant::EstimationSkipping);
+        let (serial_a, _) = ancestor(&doc, &ctx, Variant::Skipping);
+        for chunks in [2, 4, 8] {
+            let (par_d, _) =
+                descendant_parallel_on(&doc, &ctx, Variant::EstimationSkipping, chunks, &pool);
+            assert_eq!(serial_d, par_d, "chunks {chunks}");
+            let (par_a, _) = ancestor_parallel_on(&doc, &ctx, Variant::Skipping, chunks, &pool);
+            assert_eq!(serial_a, par_a, "chunks {chunks}");
+        }
     }
 
     #[test]

@@ -10,12 +10,18 @@
 //! options:
 //!   --engine staircase|pushdown|fragmented|parallel|naive|sql|auto
 //!   --variant basic|skipping|estimation   staircase skipping refinement
-//!   --threads N      worker threads (implies the parallel engine)
+//!   --threads N      session worker-pool width: every engine fans its
+//!                    evaluation out across N workers wherever the
+//!                    planner's cost hint says the work amortizes the
+//!                    handoff (with --engine staircase, N also implies
+//!                    the partitioned parallel engine — the historical
+//!                    special case)
 //!   --warm           build all auxiliary structures eagerly, in parallel
 //!   --count          print only the number of matching nodes
 //!   --stats          print per-step statistics to stderr
 //!   --explain        print the physical plan (one line per step: chosen
-//!                    operator + cost estimate) instead of running
+//!                    operator + cost estimate; `[par]` marks steps the
+//!                    pool fans out) instead of running
 //! ```
 //!
 //! Exit codes: `0` success, `2` usage or engine-configuration error,
@@ -30,6 +36,7 @@
 //! xq --encode auctions.xml auctions.scj
 //! xq '/descendant::increase/ancestor::bidder' --encoded auctions.scj --stats
 //! xq '//bidder' auctions.xml --engine parallel --threads 8 --variant skipping
+//! xq --query-file queries.txt auctions.xml --engine auto --threads 4
 //! xq --query-file queries.txt auctions.xml --warm --count
 //! xq '//bidder/ancestor::open_auction' auctions.xml --engine auto --explain
 //! ```
@@ -86,8 +93,12 @@ fn usage() -> ! {
          engines:  staircase (default) | pushdown | fragmented | parallel | naive | sql\n\
          \u{20}         | auto (cost-based per-step operator picking)\n\
          variants: basic | skipping | estimation (default)\n\
+         --threads N sizes the session's worker pool: any engine fans its\n\
+         evaluation out across N workers where the planner's cost hint\n\
+         allows (with --engine staircase it also implies the parallel\n\
+         engine, the historical special case)\n\
          --explain prints the physical plan (one line per step: operator +\n\
-         cost estimate) instead of evaluating"
+         cost estimate; [par] marks fan-out steps) instead of evaluating"
     );
     exit(EXIT_USAGE);
 }
@@ -156,9 +167,12 @@ fn parse_args() -> Options {
             }
             "--threads" => {
                 let n = args.next().unwrap_or_else(|| usage());
+                // Zero workers is invalid for every engine — reject it
+                // uniformly at parse time rather than letting non-
+                // staircase engines silently clamp it to 1.
                 opts.threads = match n.parse::<usize>() {
-                    Ok(n) => Some(n),
-                    Err(_) => usage(),
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => usage(),
                 };
             }
             "--count" => opts.count_only = true,
@@ -199,25 +213,29 @@ fn build_engine(opts: &Options) -> Result<Engine, Error> {
     let variant = opts.variant.unwrap_or(Variant::EstimationSkipping);
     let staircase = || Engine::staircase().variant(variant);
     match (opts.engine_name.as_str(), opts.threads) {
-        // --threads implies the parallel engine for the plain staircase.
+        // The historical special case, kept and documented: --threads
+        // with the plain staircase engine still selects the partitioned
+        // parallel engine (`--engine parallel`). For every other engine
+        // --threads only sizes the session's worker pool (see main).
         ("staircase", Some(n)) | ("parallel", Some(n)) => staircase().parallel(n).build(),
         ("staircase", None) => staircase().build(),
         ("parallel", None) => staircase().parallel(4).build(),
-        ("pushdown", None) => staircase().pushdown(true).build(),
-        ("fragmented", None) => staircase().fragmented(true).build(),
-        ("naive", None) => Ok(Engine::naive()),
-        ("sql", None) => Engine::sql().eq1_window(true).early_nametest(true).build(),
-        ("auto", None) => Ok(Engine::auto()),
-        // --threads with an engine that cannot parallelize: route through
-        // the builder so the error message is the library's.
-        ("pushdown", Some(n)) => staircase().pushdown(true).parallel(n).build(),
-        ("fragmented", Some(n)) => staircase().fragmented(true).parallel(n).build(),
-        (_, Some(_)) => Err(Error::InvalidEngine(format!(
-            "--threads does not apply to the {} engine",
-            opts.engine_name
-        ))),
+        ("pushdown", _) => staircase().pushdown(true).build(),
+        ("fragmented", _) => staircase().fragmented(true).build(),
+        ("naive", _) => Ok(Engine::naive()),
+        ("sql", _) => Engine::sql().eq1_window(true).early_nametest(true).build(),
+        ("auto", _) => Ok(Engine::auto()),
         _ => usage(),
     }
+}
+
+/// The session worker-pool width the flags ask for: `--threads` when
+/// given (any engine), else the parallel engine's default worker count,
+/// else `None` (leave the session's own default — the
+/// `STAIRCASE_THREADS` environment variable or 1).
+fn session_threads(opts: &Options) -> Option<usize> {
+    opts.threads
+        .or_else(|| (opts.engine_name == "parallel").then_some(4))
 }
 
 fn render_node(doc: &Doc, v: Pre) -> String {
@@ -278,6 +296,12 @@ fn main() {
             fail("stdin", e.into());
         }
         Session::parse_xml(&buf).unwrap_or_else(|e| fail("stdin", e))
+    };
+    // --threads sizes the worker pool for *every* engine; evaluation
+    // fans out wherever the planner's cost hint allows.
+    let session = match session_threads(&opts) {
+        Some(n) => session.with_threads(n),
+        None => session,
     };
 
     if opts.warm {

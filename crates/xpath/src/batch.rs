@@ -2,12 +2,12 @@
 //!
 //! Every evaluation — [`Session::run`](crate::Session::run) included —
 //! arrives here as a batch of [`PhysicalPlan`]s and is split into
-//! *lanes* (one per union branch); single-query `run` is simply the
-//! K = 1 batch. Evaluation proceeds in rounds: each round, every
-//! unfinished lane advances by exactly one step, and lanes whose current
-//! steps **declare the same lane form** ([`LaneForm`], a property of the
-//! planned operator) advance together through the multi-context
-//! operators of `staircase_core`:
+//! *lanes* (one per union branch per query); single-query `run` is
+//! simply the K = 1 batch. Evaluation proceeds in rounds: each round,
+//! every unfinished lane advances by exactly one step, and lanes whose
+//! current steps **declare the same lane form** ([`LaneForm`], a
+//! property of the planned operator) advance together through the
+//! multi-context operators of `staircase_core`:
 //!
 //! * [`LaneForm::Staircase`] → [`descendant_many`] / [`ancestor_many`]:
 //!   one merged-boundary scan of the plane serves the whole group;
@@ -26,6 +26,18 @@
 //! falls back to the sequential plan interpreter, one lane at a time
 //! ([`Executor::exec_step`]).
 //!
+//! **Rounds are parallel.** On a session whose worker pool is wider
+//! than one, a round's independent pieces — each lane-form group's
+//! shared pass, plus every fallback lane — execute as concurrent pool
+//! tasks (each sweeping out its own scratch shard), and a group whose
+//! planned step carries the cost model's fanout hint additionally
+//! splits its own pass into morsels (`staircase_core`'s `*_many_par`
+//! kernels): contiguous chunks of the merged boundary list, disjoint
+//! pre-ranges in the paper's Figure-8 sense, so per-worker results
+//! concatenate in document order and per-worker statistics sum to the
+//! sequential counters exactly. A width-1 session never touches the
+//! pool — the sequential path is byte-for-byte the pre-pool executor.
+//!
 //! Because the grouping key is read straight off the plan, no engine
 //! decision is re-derived at run time, and [`crate::Engine::auto`]'s
 //! steps batch exactly like the fixed engines'. Statistics count
@@ -37,8 +49,11 @@
 
 use staircase_accel::{Axis, Context, NodeKind, Pre, TagId};
 use staircase_core::{
-    ancestor_many, ancestor_on_list_many, descendant_many, descendant_on_list_many, following_many,
-    has_ancestor_in_many, has_child_in_many, has_descendant_in_many, preceding_many, Scratch,
+    ancestor_many, ancestor_many_par, ancestor_on_list_many, ancestor_on_list_many_par,
+    descendant_many, descendant_many_par, descendant_on_list_many, descendant_on_list_many_par,
+    following_many, following_many_par, has_ancestor_in_many, has_ancestor_in_many_par,
+    has_child_in_many, has_child_in_many_par, has_descendant_in_many, has_descendant_in_many_par,
+    preceding_many, preceding_many_par, Scratch,
 };
 
 use crate::ast::NodeTest;
@@ -65,12 +80,25 @@ impl<'p> Lane<'p> {
     }
 }
 
+/// The outcome of one round task: a whole group's (result, incremental
+/// touches) pairs, or a single fallback lane's step.
+enum RoundOut {
+    Group(Vec<(Context, u64)>),
+    Lane(Context, StepTrace),
+}
+
 impl Executor<'_> {
     /// Evaluates many physical plans from one shared starting context —
     /// the single entry point for *all* plan evaluation (`run` is the
     /// K = 1 batch), sharing passes wherever planned steps agree on a
-    /// lane form.
-    pub(crate) fn run_plans(
+    /// lane form and fanning independent round pieces out across the
+    /// session's worker pool.
+    pub(crate) fn run_plans(&self, plans: &[&PhysicalPlan], context: &Context) -> Vec<EvalOutput> {
+        self.scratch
+            .with(|scratch| self.run_plans_inner(plans, context, scratch))
+    }
+
+    fn run_plans_inner(
         &self,
         plans: &[&PhysicalPlan],
         context: &Context,
@@ -114,34 +142,14 @@ impl Executor<'_> {
                 break;
             }
 
-            // The residue: one lane at a time through the sequential
-            // plan interpreter.
-            for i in fallback {
-                let lane = &mut lanes[i];
-                let step = &lane.path.steps()[lane.step];
-                let (next, trace) = self.exec_step(&lane.ctx, step);
-                lane.stats.steps.push(trace);
-                scratch.recycle(std::mem::replace(&mut lane.ctx, next));
-                lane.step += 1;
-            }
-
-            for (form, group) in groups {
-                match form {
-                    LaneForm::Staircase(vert, variant) => {
-                        self.staircase_round(&mut lanes, &group, vert, variant, scratch);
-                    }
-                    LaneForm::Fragment {
-                        vert,
-                        name,
-                        prescan,
-                    } => {
-                        self.fragment_round(&mut lanes, &group, vert, name, prescan, scratch);
-                    }
-                    LaneForm::Horiz(haxis) => {
-                        self.horiz_round(&mut lanes, &group, haxis, scratch);
-                    }
-                    LaneForm::PerLane => unreachable!("PerLane lanes go to the fallback list"),
-                }
+            // A round with several independent pieces fans them out
+            // across the pool; a width-1 session (or a single-piece
+            // round) takes the sequential path, which is exactly the
+            // pre-pool executor.
+            if self.pool.width() > 1 && groups.len() + fallback.len() > 1 {
+                self.round_parallel(&mut lanes, groups, fallback, scratch);
+            } else {
+                self.round_sequential(&mut lanes, groups, fallback, scratch);
             }
         }
 
@@ -175,17 +183,132 @@ impl Executor<'_> {
             .collect()
     }
 
-    /// One shared pass of the plain staircase join for every lane in
-    /// `group`, plus fused name tests over shared bases, or-self
-    /// merging, and group-wise predicate probes.
-    fn staircase_round(
+    /// One round, sequentially: fallback lanes through the plan
+    /// interpreter, then each group's shared pass.
+    fn round_sequential(
         &self,
         lanes: &mut [Lane<'_>],
+        groups: Vec<(LaneForm, Vec<usize>)>,
+        fallback: Vec<usize>,
+        scratch: &mut Scratch,
+    ) {
+        // The residue: one lane at a time through the sequential plan
+        // interpreter.
+        for i in fallback {
+            let lane = &mut lanes[i];
+            let step = &lane.path.steps()[lane.step];
+            let (next, trace) = self.exec_step(&lane.ctx, step);
+            lane.stats.steps.push(trace);
+            scratch.recycle(std::mem::replace(&mut lane.ctx, next));
+            lane.step += 1;
+        }
+        for (form, group) in groups {
+            let outs = self.group_outs(lanes, &group, form, scratch);
+            advance(lanes, &group, outs, scratch);
+        }
+    }
+
+    /// One round, fanned out: every group's shared pass and every
+    /// fallback lane becomes a pool task (each sweeping out its own
+    /// scratch shard); results are applied in task order afterwards, so
+    /// traces and recycling match the sequential round exactly.
+    fn round_parallel(
+        &self,
+        lanes: &mut Vec<Lane<'_>>,
+        groups: Vec<(LaneForm, Vec<usize>)>,
+        fallback: Vec<usize>,
+        scratch: &mut Scratch,
+    ) {
+        let results = {
+            let lanes_ref: &[Lane<'_>] = lanes;
+            let mut tasks: Vec<Box<dyn FnOnce() -> RoundOut + Send + '_>> =
+                Vec::with_capacity(fallback.len() + groups.len());
+            for &i in &fallback {
+                tasks.push(Box::new(move || {
+                    let lane = &lanes_ref[i];
+                    let step = &lane.path.steps()[lane.step];
+                    let (next, trace) = self.exec_step(&lane.ctx, step);
+                    RoundOut::Lane(next, trace)
+                }));
+            }
+            for (form, group) in &groups {
+                let form = *form;
+                tasks.push(Box::new(move || {
+                    RoundOut::Group(
+                        self.scratch
+                            .with(|shard| self.group_outs(lanes_ref, group, form, shard)),
+                    )
+                }));
+            }
+            self.pool.run(tasks)
+        };
+
+        let mut results = results.into_iter();
+        for i in fallback {
+            let Some(RoundOut::Lane(next, trace)) = results.next() else {
+                unreachable!("fallback tasks come back first, in order");
+            };
+            let lane = &mut lanes[i];
+            lane.stats.steps.push(trace);
+            scratch.recycle(std::mem::replace(&mut lane.ctx, next));
+            lane.step += 1;
+        }
+        for (_, group) in groups {
+            let Some(RoundOut::Group(outs)) = results.next() else {
+                unreachable!("one group task per group, in order");
+            };
+            advance(lanes, &group, outs, scratch);
+        }
+    }
+
+    /// One group's shared pass: the form-specific join, then the
+    /// group-wise predicate probes. Pure with respect to `lanes` — the
+    /// produced contexts are applied by [`advance`] afterwards, which is
+    /// what lets groups of one round run concurrently.
+    fn group_outs(
+        &self,
+        lanes: &[Lane<'_>],
+        group: &[usize],
+        form: LaneForm<'_>,
+        scratch: &mut Scratch,
+    ) -> Vec<(Context, u64)> {
+        let mut outs = match form {
+            LaneForm::Staircase(vert, variant) => {
+                self.staircase_outs(lanes, group, vert, variant, scratch)
+            }
+            LaneForm::Fragment {
+                vert,
+                name,
+                prescan,
+            } => self.fragment_outs(lanes, group, vert, name, prescan, scratch),
+            LaneForm::Horiz(haxis) => self.horiz_outs(lanes, group, haxis, scratch),
+            LaneForm::PerLane => unreachable!("PerLane lanes go to the fallback list"),
+        };
+        self.predicate_rounds(lanes, group, &mut outs, scratch);
+        outs
+    }
+
+    /// Does this group's planned step carry the cost model's fanout
+    /// hint (and is there a pool to fan out on)? Gates the morsel-split
+    /// kernels; the kernels themselves re-check the actual work.
+    fn fanout(&self, lanes: &[Lane<'_>], group: &[usize]) -> bool {
+        self.pool.width() > 1
+            && group
+                .iter()
+                .any(|&i| lanes[i].path.steps()[lanes[i].step].fanout())
+    }
+
+    /// One shared pass of the plain staircase join for every lane in
+    /// `group`, plus fused name tests over shared bases and or-self
+    /// merging.
+    fn staircase_outs(
+        &self,
+        lanes: &[Lane<'_>],
         group: &[usize],
         vert: VertAxis,
         variant: staircase_core::Variant,
         scratch: &mut Scratch,
-    ) {
+    ) -> Vec<(Context, u64)> {
         // Dedup identical current contexts up front: the join runs once
         // per unique context and duplicates borrow the shared base result
         // instead of cloning it. The shared pass's cost is attributed to
@@ -204,11 +327,20 @@ impl Executor<'_> {
                 }
             }
         }
+        let fanout = self.fanout(lanes, group);
         let joined = {
             let contexts: Vec<&Context> = uniq.iter().map(|&i| &lanes[i].ctx).collect();
-            match vert {
-                VertAxis::Descendant => descendant_many(self.doc, &contexts, variant, scratch),
-                VertAxis::Ancestor => ancestor_many(self.doc, &contexts, variant, scratch),
+            match (vert, fanout) {
+                (VertAxis::Descendant, true) => {
+                    descendant_many_par(self.doc, &contexts, variant, self.pool, scratch)
+                }
+                (VertAxis::Descendant, false) => {
+                    descendant_many(self.doc, &contexts, variant, scratch)
+                }
+                (VertAxis::Ancestor, true) => {
+                    ancestor_many_par(self.doc, &contexts, variant, self.pool, scratch)
+                }
+                (VertAxis::Ancestor, false) => ancestor_many(self.doc, &contexts, variant, scratch),
             }
         };
         let axis = match vert {
@@ -282,22 +414,21 @@ impl Executor<'_> {
         for (base, _) in joined {
             scratch.recycle(base);
         }
-        self.predicate_rounds(lanes, group, &mut outs, scratch);
-        advance(lanes, group, outs, scratch);
+        outs
     }
 
     /// One shared cursor over a tag fragment (prebuilt or one query-time
     /// selection scan) for every lane in `group`. The fragment join
     /// fuses the name test, so the join result *is* the tested result.
-    fn fragment_round(
+    fn fragment_outs(
         &self,
-        lanes: &mut [Lane<'_>],
+        lanes: &[Lane<'_>],
         group: &[usize],
         vert: VertAxis,
         name: &str,
         prescan: bool,
         scratch: &mut Scratch,
-    ) {
+    ) -> Vec<(Context, u64)> {
         // Resolve the shared list once for the whole group. The prescan
         // variant's selection scan costs one pass over the plane (§4.4) —
         // paid once per group, attributed to its first lane — except for
@@ -312,13 +443,22 @@ impl Executor<'_> {
         } else {
             (self.fragment_list(name), 0)
         };
+        let fanout = self.fanout(lanes, group);
         let joined = {
             let contexts: Vec<&Context> = group.iter().map(|&i| &lanes[i].ctx).collect();
-            match vert {
-                VertAxis::Descendant => {
+            match (vert, fanout) {
+                (VertAxis::Descendant, true) => {
+                    descendant_on_list_many_par(self.doc, &list, &contexts, self.pool, scratch)
+                }
+                (VertAxis::Descendant, false) => {
                     descendant_on_list_many(self.doc, &list, &contexts, scratch)
                 }
-                VertAxis::Ancestor => ancestor_on_list_many(self.doc, &list, &contexts, scratch),
+                (VertAxis::Ancestor, true) => {
+                    ancestor_on_list_many_par(self.doc, &list, &contexts, self.pool, scratch)
+                }
+                (VertAxis::Ancestor, false) => {
+                    ancestor_on_list_many(self.doc, &list, &contexts, scratch)
+                }
             }
         };
         let mut outs: Vec<(Context, u64)> = Vec::with_capacity(group.len());
@@ -334,23 +474,29 @@ impl Executor<'_> {
             let touched = jstats.nodes_touched() + if gi == 0 { scan_cost } else { 0 };
             outs.push((out, touched));
         }
-        self.predicate_rounds(lanes, group, &mut outs, scratch);
-        advance(lanes, group, outs, scratch);
+        outs
     }
 
     /// One shared suffix/prefix scan for every lane in `group`.
-    fn horiz_round(
+    fn horiz_outs(
         &self,
-        lanes: &mut [Lane<'_>],
+        lanes: &[Lane<'_>],
         group: &[usize],
         haxis: HorizAxis,
         scratch: &mut Scratch,
-    ) {
+    ) -> Vec<(Context, u64)> {
+        let fanout = self.fanout(lanes, group);
         let joined = {
             let contexts: Vec<&Context> = group.iter().map(|&i| &lanes[i].ctx).collect();
-            match haxis {
-                HorizAxis::Following => following_many(self.doc, &contexts, scratch),
-                HorizAxis::Preceding => preceding_many(self.doc, &contexts, scratch),
+            match (haxis, fanout) {
+                (HorizAxis::Following, true) => {
+                    following_many_par(self.doc, &contexts, self.pool, scratch)
+                }
+                (HorizAxis::Following, false) => following_many(self.doc, &contexts, scratch),
+                (HorizAxis::Preceding, true) => {
+                    preceding_many_par(self.doc, &contexts, self.pool, scratch)
+                }
+                (HorizAxis::Preceding, false) => preceding_many(self.doc, &contexts, scratch),
             }
         };
         let axis = haxis.axis();
@@ -368,8 +514,7 @@ impl Executor<'_> {
             };
             outs.push((out, jstats.nodes_touched()));
         }
-        self.predicate_rounds(lanes, group, &mut outs, scratch);
-        advance(lanes, group, outs, scratch);
+        outs
     }
 
     /// Applies the group's (all-semijoin, by construction of the lane
@@ -421,14 +566,29 @@ impl Executor<'_> {
                 } else {
                     std::borrow::Cow::Owned(self.scan_list(name))
                 };
+                // The probes are O(1) per candidate; big candidate sets
+                // chunk across the pool (the kernel gates on actual
+                // size, so small sets never pay handoff).
+                let pooled = self.pool.width() > 1;
                 let probed = {
                     let candidates: Vec<&Context> = members.iter().map(|&gi| &outs[gi].0).collect();
-                    match axis {
-                        SemijoinAxis::Descendant => {
+                    match (axis, pooled) {
+                        (SemijoinAxis::Descendant, true) => {
+                            has_descendant_in_many_par(self.doc, &candidates, &list, self.pool)
+                        }
+                        (SemijoinAxis::Descendant, false) => {
                             has_descendant_in_many(self.doc, &candidates, &list)
                         }
-                        SemijoinAxis::Child => has_child_in_many(self.doc, &candidates, &list),
-                        SemijoinAxis::Ancestor => {
+                        (SemijoinAxis::Child, true) => {
+                            has_child_in_many_par(self.doc, &candidates, &list, self.pool)
+                        }
+                        (SemijoinAxis::Child, false) => {
+                            has_child_in_many(self.doc, &candidates, &list)
+                        }
+                        (SemijoinAxis::Ancestor, true) => {
+                            has_ancestor_in_many_par(self.doc, &candidates, &list, self.pool)
+                        }
+                        (SemijoinAxis::Ancestor, false) => {
                             has_ancestor_in_many(self.doc, &candidates, &list)
                         }
                     }

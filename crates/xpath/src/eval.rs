@@ -20,9 +20,9 @@
 use staircase_accel::{Axis, Context, Doc, NodeKind, Pre};
 use staircase_baselines::{naive_step, SqlEngine, SqlPlanOptions};
 use staircase_core::{
-    ancestor, ancestor_on_list, ancestor_parallel, descendant, descendant_on_list,
-    descendant_parallel, following, has_ancestor_in, has_child_in, has_descendant_in, preceding,
-    TagIndex,
+    ancestor, ancestor_on_list, ancestor_parallel, ancestor_parallel_on, descendant,
+    descendant_on_list, descendant_parallel, descendant_parallel_on, following, has_ancestor_in,
+    has_child_in, has_descendant_in, preceding, ScratchPool, TagIndex, WorkerPool,
 };
 
 use crate::ast::NodeTest;
@@ -87,6 +87,12 @@ pub(crate) struct Executor<'a> {
     /// The SQL baseline's B-tree; `Some` whenever the plan contains an
     /// SQL step.
     pub(crate) sql: Option<&'a SqlEngine>,
+    /// The session's persistent worker pool; width 1 means fully
+    /// sequential execution (no handoff anywhere on the path).
+    pub(crate) pool: &'a WorkerPool,
+    /// The session's sharded scratch pools: concurrent rounds and
+    /// queries each sweep out their own shard.
+    pub(crate) scratch: &'a ScratchPool,
 }
 
 impl<'a> Executor<'a> {
@@ -345,11 +351,24 @@ impl<'a> Executor<'a> {
                 self.plain_staircase(ctx, paxis, step, staircase_core::Variant::default())
             }
             StepOp::Parallel { variant, threads } => {
-                let (base, stats) = match paxis {
-                    PartAxis::Descendant => descendant_parallel(doc, ctx, variant, threads),
-                    PartAxis::Ancestor => ancestor_parallel(doc, ctx, variant, threads),
-                    PartAxis::Following => following(doc, ctx),
-                    PartAxis::Preceding => preceding(doc, ctx),
+                // On a session with a real pool the chunks run there (no
+                // spawning); a width-1 session keeps the engine's original
+                // spawn-per-call semantics so `parallel(n)` still means n
+                // concurrent workers.
+                let pooled = self.pool.width() > 1;
+                let (base, stats) = match (paxis, pooled) {
+                    (PartAxis::Descendant, true) => {
+                        descendant_parallel_on(doc, ctx, variant, threads, self.pool)
+                    }
+                    (PartAxis::Descendant, false) => {
+                        descendant_parallel(doc, ctx, variant, threads)
+                    }
+                    (PartAxis::Ancestor, true) => {
+                        ancestor_parallel_on(doc, ctx, variant, threads, self.pool)
+                    }
+                    (PartAxis::Ancestor, false) => ancestor_parallel(doc, ctx, variant, threads),
+                    (PartAxis::Following, _) => following(doc, ctx),
+                    (PartAxis::Preceding, _) => preceding(doc, ctx),
                 };
                 let out = apply_test(doc, &base, &step.test, axis_of(paxis));
                 (out, stats.nodes_touched(), 0)

@@ -64,6 +64,40 @@
 //! cost (a shared read is attributed to the first lane that needed it),
 //! so touched totals across a batch equal physical reads.
 //!
+//! ## Threading model
+//!
+//! Every session owns a **persistent worker pool**
+//! ([`staircase_core::WorkerPool`]), built once — width 1 by default,
+//! [`Session::with_threads`] or the `STAIRCASE_THREADS` environment
+//! variable to widen — and reused by every query, batch, and
+//! [`Session::warm`]; nothing on the query path spawns threads per
+//! call. Width `n` means `n` executors: `n − 1` pool threads plus the
+//! querying thread itself, which drains the same work queue while it
+//! waits, so a width-1 session is *exactly* the sequential executor
+//! with zero handoff anywhere.
+//!
+//! On a wider pool the lane executor parallelises two ways:
+//!
+//! * **Across a round**: each lane-form group's shared pass — and each
+//!   per-lane fallback step — is an independent piece of the round and
+//!   runs as its own pool task, sweeping out its own scratch shard
+//!   ([`staircase_core::ScratchPool`]).
+//! * **Inside a pass**: a step whose cost estimate carries the
+//!   planner's *fanout hint* ([`PlannedStep::fanout`], `[par]` in
+//!   `EXPLAIN` output) splits its scan into **morsels** — contiguous
+//!   chunks of the pruned boundary list, disjoint pre-ranges in the
+//!   paper's §3.2/Figure-8 sense — so per-worker results concatenate in
+//!   document order with no merge sort, and per-worker statistics sum
+//!   to the sequential counters *exactly* (the parallel kernels
+//!   reproduce the sequential scans' per-position behaviour, asserted
+//!   by equivalence tests at widths 1/2/4). Steps below the cost
+//!   model's fanout floor stay sequential however wide the pool is, so
+//!   small queries never pay worker handoff.
+//!
+//! Sessions are [`Sync`]: concurrent callers share the same pool and
+//! shards, which is the execution backbone the future query server
+//! batches onto.
+//!
 //! The supported grammar covers what the paper's experiments need and the
 //! usual abbreviations:
 //!

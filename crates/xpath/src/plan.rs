@@ -103,6 +103,11 @@ pub struct PlannedStep {
     pub(crate) test_op: TestOp,
     pub(crate) predicates: Vec<PredOp>,
     pub(crate) estimate: StepEstimate,
+    /// Parallelism hint: the cost model judged this step's estimated
+    /// work large enough to amortize fanning morsels out across the
+    /// session's worker pool (see
+    /// [`staircase_core::cost::DocStats::fanout_worthwhile`]).
+    pub(crate) fanout: bool,
     /// Rendered source step (axis, test, predicates) for traces.
     pub(crate) rendered: String,
 }
@@ -393,6 +398,16 @@ impl PlannedStep {
         self.estimate
     }
 
+    /// The planner's parallelism hint: `true` when this step's estimated
+    /// work amortizes fanning morsels out across the session's worker
+    /// pool. The executor only splits a hinted step (and only on a pool
+    /// wider than one); un-hinted steps stay sequential so small queries
+    /// never pay worker handoff. `xq --explain` marks hinted steps
+    /// `[par]`.
+    pub fn fanout(&self) -> bool {
+        self.fanout
+    }
+
     /// The axis this step traverses.
     pub fn axis(&self) -> Axis {
         self.axis
@@ -455,6 +470,11 @@ impl fmt::Display for PlannedStep {
             // This step has a multi-context form: in a batch, lanes that
             // agree on it share one pass.
             ops.push_str(" [lane]");
+        }
+        if self.fanout {
+            // Estimated work amortizes the worker pool: on a session
+            // with threads > 1 this step's execution fans out.
+            ops.push_str(" [par]");
         }
         write!(
             f,
@@ -611,6 +631,7 @@ fn plan_step(
         test_op,
         predicates,
         estimate: StepEstimate { cost, rows },
+        fanout: stats.fanout_worthwhile(cost),
         rendered: step.to_string(),
     };
     (planned, rows)

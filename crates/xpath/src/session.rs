@@ -34,7 +34,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use staircase_accel::{Context, Doc, Pre};
 use staircase_baselines::SqlEngine;
 use staircase_core::cost::DocStats;
-use staircase_core::{Scratch, TagIndex};
+use staircase_core::{ScratchPool, TagIndex, WorkerPool};
 
 use crate::ast::UnionExpr;
 use crate::engine::Engine;
@@ -52,17 +52,25 @@ pub struct Session {
     stats: OnceLock<DocStats>,
     tag_builds: AtomicUsize,
     sql_builds: AtomicUsize,
-    /// The lane executor's buffer pool, persisted across queries and
+    /// The lane executor's buffer pools, persisted across queries and
     /// batches so a steady-state session stops allocating per step.
-    /// Uncontended in the common case; concurrent queries that find it
-    /// busy fall back to a throwaway pool rather than serialising.
-    scratch: Mutex<Scratch>,
+    /// Sharded (two shards per pool executor): concurrent queries and
+    /// parallel round tasks each sweep out their own shard instead of
+    /// falling back to throwaway allocations.
+    scratch: ScratchPool,
+    /// The session's persistent worker pool: built once (at
+    /// construction, from [`Session::with_threads`] or the
+    /// `STAIRCASE_THREADS` environment default) and reused by every
+    /// query, batch, and [`Session::warm`] — nothing on the session path
+    /// spawns threads per call. Width 1 spawns no threads at all.
+    workers: WorkerPool,
 }
 
 impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Session")
             .field("nodes", &self.doc.len())
+            .field("threads", &self.workers.width())
             .field("tag_index_built", &self.tags.get().is_some())
             .field("sql_engine_built", &self.sql.get().is_some())
             .finish()
@@ -80,8 +88,41 @@ pub struct AuxBuilds {
 }
 
 impl Session {
-    /// Wraps an already encoded document.
+    /// Wraps an already encoded document. The worker-pool width defaults
+    /// to the `STAIRCASE_THREADS` environment variable when set (and ≥ 1),
+    /// else to 1 — fully sequential; see [`Session::with_threads`].
     pub fn new(doc: Doc) -> Session {
+        Session::with_pool_width(doc, default_threads())
+    }
+
+    /// Rebuilds this session's worker pool with `threads` executors
+    /// (clamped to ≥ 1): `threads − 1` persistent worker threads plus the
+    /// querying thread itself. Every engine's evaluation fans out on this
+    /// pool wherever the planner's cost hint says the work amortizes the
+    /// handoff; width 1 spawns nothing and keeps the whole path
+    /// sequential. Configure before preparing queries:
+    ///
+    /// ```
+    /// # use staircase_xpath::{Engine, Error, Session};
+    /// let session = Session::parse_xml("<a><b/><b/></a>")?.with_threads(4);
+    /// assert_eq!(session.threads(), 4);
+    /// assert_eq!(session.run("//b", Engine::default())?.len(), 2);
+    /// # Ok::<(), Error>(())
+    /// ```
+    pub fn with_threads(mut self, threads: usize) -> Session {
+        let threads = threads.max(1);
+        self.workers = WorkerPool::new(threads);
+        self.scratch = ScratchPool::new(threads * 2);
+        self
+    }
+
+    /// The worker-pool width queries of this session execute on.
+    pub fn threads(&self) -> usize {
+        self.workers.width()
+    }
+
+    fn with_pool_width(doc: Doc, threads: usize) -> Session {
+        let threads = threads.max(1);
         Session {
             doc,
             tags: OnceLock::new(),
@@ -89,7 +130,8 @@ impl Session {
             stats: OnceLock::new(),
             tag_builds: AtomicUsize::new(0),
             sql_builds: AtomicUsize::new(0),
-            scratch: Mutex::new(Scratch::new()),
+            scratch: ScratchPool::new(threads * 2),
+            workers: WorkerPool::new(threads),
         }
     }
 
@@ -228,21 +270,10 @@ impl Session {
             plan_refs.iter().any(|p| p.needs_sql_engine()),
         );
         let root = Context::singleton(self.doc.root());
-        self.with_scratch(|scratch| ex.run_plans(&plan_refs, &root, scratch))
+        ex.run_plans(&plan_refs, &root)
             .into_iter()
             .map(|EvalOutput { result, stats }| QueryOutput { result, stats })
             .collect()
-    }
-
-    /// Runs `f` with the session's persistent buffer pool — or, when
-    /// another query holds it, a throwaway pool (correctness never
-    /// depends on which one is handed out).
-    fn with_scratch<R>(&self, f: impl FnOnce(&mut Scratch) -> R) -> R {
-        match self.scratch.try_lock() {
-            Ok(mut pooled) => f(&mut pooled),
-            Err(std::sync::TryLockError::WouldBlock) => f(&mut Scratch::new()),
-            Err(std::sync::TryLockError::Poisoned(e)) => f(&mut e.into_inner()),
-        }
     }
 
     /// Lowers `expr` into the physical plan `engine` would execute,
@@ -266,19 +297,37 @@ impl Session {
     }
 
     /// Eagerly builds **both** cached auxiliary structures — the per-tag
-    /// [`TagIndex`] and the SQL engine's B-tree — concurrently, so the
-    /// first query of every engine family finds them ready.
+    /// [`TagIndex`] and the SQL engine's B-tree — **concurrently**, so
+    /// the first query of every engine family finds them ready. On a
+    /// session whose pool is wider than one the two builds run on the
+    /// worker pool (no threads are spawned for the call); a width-1
+    /// session falls back to a scoped spawn so warm-up still overlaps
+    /// the builds — the one deliberate exception to the
+    /// nothing-spawns-per-call rule, since a sequential warm would
+    /// silently double the documented warm-up latency.
     ///
     /// Idempotent and cheap to repeat: each structure is still built at
     /// most once per session ([`Session::aux_builds`] reports exactly
     /// one construction however often `warm` and queries race).
     pub fn warm(&self) {
-        std::thread::scope(|scope| {
-            scope.spawn(|| {
-                self.tag_index();
+        if self.workers.width() > 1 {
+            let builds: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+                Box::new(|| {
+                    self.tag_index();
+                }),
+                Box::new(|| {
+                    self.sql_engine();
+                }),
+            ];
+            self.workers.run(builds);
+        } else {
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    self.tag_index();
+                });
+                self.sql_engine();
             });
-            self.sql_engine();
-        });
+        }
     }
 
     /// The per-tag fragment index, built on first use and cached for the
@@ -322,6 +371,8 @@ impl Session {
             doc: &self.doc,
             tags: needs_tags.then(|| self.tag_index()),
             sql: needs_sql.then(|| self.sql_engine()),
+            pool: &self.workers,
+            scratch: &self.scratch,
         }
     }
 
@@ -329,6 +380,18 @@ impl Session {
     pub(crate) fn executor_for(&self, plan: &PhysicalPlan) -> Executor<'_> {
         self.executor(plan.needs_tag_index(), plan.needs_sql_engine())
     }
+}
+
+/// The session's default worker-pool width: the `STAIRCASE_THREADS`
+/// environment variable when set to a positive integer (how the CI
+/// matrix forces every test through the parallel paths), else 1 —
+/// parallelism is opt-in per session via [`Session::with_threads`].
+fn default_threads() -> usize {
+    std::env::var("STAIRCASE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 /// An expression parsed once by [`Session::prepare`], runnable many
@@ -424,9 +487,8 @@ impl<'s> Query<'s> {
     fn run_unchecked(&self, context: &Context, engine: Engine) -> QueryOutput {
         let plan = self.plan_for(engine);
         let ex = self.session.executor_for(&plan);
-        let EvalOutput { result, stats } = self
-            .session
-            .with_scratch(|scratch| ex.run_plans(&[&plan], context, scratch))
+        let EvalOutput { result, stats } = ex
+            .run_plans(&[&plan], context)
             .pop()
             .expect("one plan in, one output out");
         QueryOutput { result, stats }

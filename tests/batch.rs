@@ -154,12 +154,21 @@ proptest! {
     /// step-for-step on result sizes — on every engine including
     /// `auto`, across staircase, fragment-join-planned, horizontal, and
     /// predicate-carrying steps, while never touching more nodes in
-    /// total than the sequential runs did.
+    /// total than the sequential runs did. The same holds **per pool
+    /// width**: sessions with worker pools of width 1, 2, and 4 answer
+    /// node- and order-identically, and the per-worker touched-node
+    /// counts sum to exactly the width-1 (sequential) totals — the
+    /// morsel split changes who reads a position, never whether it is
+    /// read.
     #[test]
     fn run_many_equals_sequential_runs(
         (doc, exprs) in (arb_doc(), proptest::collection::vec(arb_query(), 1..7))
     ) {
-        let session = Session::new(doc);
+        let sessions: Vec<Session> = [1usize, 2, 4]
+            .into_iter()
+            .map(|w| Session::new(doc.clone()).with_threads(w))
+            .collect();
+        let session = &sessions[0]; // width 1: the sequential reference
         let queries: Vec<Query> = exprs
             .iter()
             .map(|e| session.prepare(e).unwrap_or_else(|err| panic!("{e:?} must parse: {err}")))
@@ -190,6 +199,107 @@ proptest! {
                 batch_touched,
                 seq_touched,
                 engine
+            );
+
+            // Pool widths 2 and 4: parallel run_many (and run) must be
+            // node- and order-identical to the width-1 session, with
+            // summed touched-node counts equal to the sequential totals.
+            for wide in &sessions[1..] {
+                let wqueries: Vec<Query> = exprs
+                    .iter()
+                    .map(|e| wide.prepare(e).expect("parsed on the width-1 session"))
+                    .collect();
+                let wrefs: Vec<&Query> = wqueries.iter().collect();
+                let wbatch = wide.run_many(&wrefs, engine);
+                let mut wide_touched = 0u64;
+                for ((q, w), b) in exprs.iter().zip(&wbatch).zip(&batch) {
+                    prop_assert_eq!(
+                        w.nodes(), b.nodes(),
+                        "{} via {:?} at width {}", q, engine, wide.threads()
+                    );
+                    wide_touched += w.stats().total_touched();
+                }
+                prop_assert_eq!(
+                    wide_touched, batch_touched,
+                    "width {} touched-node total must equal sequential's via {:?}",
+                    wide.threads(), engine
+                );
+                for ((q, w), s) in exprs.iter().zip(&wqueries).zip(&sequential) {
+                    prop_assert_eq!(
+                        w.run(engine).nodes(), s.nodes(),
+                        "single-query run at width {} via {:?}: {}",
+                        wide.threads(), engine, q
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Morsel-level parallelism on a document big enough for the planner's
+/// fanout hint to fire: a 4-worker session answers node- and
+/// order-identically to the width-1 session, per-query traces line up,
+/// and the summed per-worker touched-node counts equal the sequential
+/// totals exactly — on a workload mixing root-context descendants
+/// (single-partition range splits), ancestor steps (whole-partition
+/// chunks), fragment joins, horizontal axes, and semijoin probes.
+#[test]
+fn four_workers_match_single_thread_on_fanout_sized_doc() {
+    // Widths pinned explicitly: the STAIRCASE_THREADS environment
+    // default (the CI matrix's knob) must not change what this test
+    // compares.
+    let doc = generate(XmarkConfig::new(0.2));
+    let narrow = Session::new(doc.clone()).with_threads(1);
+    let wide = Session::new(doc).with_threads(4);
+    assert_eq!(narrow.threads(), 1);
+    assert_eq!(wide.threads(), 4);
+    let exprs = [
+        "/descendant::node()",
+        "/descendant::bidder",
+        "/descendant::increase/ancestor::bidder",
+        "/descendant::node()/ancestor::node()",
+        "/descendant::open_auction[bidder]/descendant::date",
+        "/descendant::bidder/following::node()",
+        "/descendant::person/preceding::node()",
+        "/descendant::bidder[increase]/ancestor::open_auction",
+    ];
+    for engine in [
+        Engine::default(),
+        Engine::staircase().fragmented(true).build().unwrap(),
+        Engine::staircase().pushdown(true).build().unwrap(),
+        Engine::auto(),
+    ] {
+        let nq: Vec<Query> = exprs.iter().map(|e| narrow.prepare(e).unwrap()).collect();
+        let wq: Vec<Query> = exprs.iter().map(|e| wide.prepare(e).unwrap()).collect();
+        let nrefs: Vec<&Query> = nq.iter().collect();
+        let wrefs: Vec<&Query> = wq.iter().collect();
+        let nbatch = narrow.run_many(&nrefs, engine);
+        let wbatch = wide.run_many(&wrefs, engine);
+        let mut ntouched = 0u64;
+        let mut wtouched = 0u64;
+        for ((e, n), w) in exprs.iter().zip(&nbatch).zip(&wbatch) {
+            assert_eq!(n.nodes(), w.nodes(), "{e} via {engine:?}");
+            assert_eq!(
+                n.stats().steps.len(),
+                w.stats().steps.len(),
+                "{e} via {engine:?}"
+            );
+            for (nt, wt) in n.stats().steps.iter().zip(&w.stats().steps) {
+                assert_eq!(nt.result_size, wt.result_size, "{e} via {engine:?}");
+            }
+            ntouched += n.stats().total_touched();
+            wtouched += w.stats().total_touched();
+        }
+        assert_eq!(
+            ntouched, wtouched,
+            "{engine:?}: per-worker touched counts must sum to the sequential total"
+        );
+        // Single queries fan out too (run is the K = 1 batch).
+        for (e, (n, w)) in exprs.iter().zip(nq.iter().zip(&wq)) {
+            assert_eq!(
+                n.run(engine).nodes(),
+                w.run(engine).nodes(),
+                "{e} via {engine:?}"
             );
         }
     }

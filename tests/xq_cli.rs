@@ -233,24 +233,53 @@ fn variant_on_non_staircase_engine_exits_with_usage_code() {
 }
 
 #[test]
-fn conflicting_engine_flags_exit_with_usage_code() {
+fn threads_flag_applies_to_every_engine() {
+    // --threads used to imply (and be restricted to) the parallel
+    // engine; it now sizes the session's worker pool for any engine,
+    // with identical results.
     let dir = tempdir();
-    let file = dir.join("conflict.xml");
+    let file = dir.join("threads-any.xml");
     std::fs::write(&file, SAMPLE).unwrap();
-    // Pushdown cannot parallelize: the builder rejects the combination.
-    let out = xq()
-        .args([
-            "//bidder",
-            file.to_str().unwrap(),
-            "--engine",
-            "pushdown",
-            "--threads",
+    for engine in ["pushdown", "fragmented", "naive", "sql", "auto"] {
+        let out = xq()
+            .args([
+                "/descendant::increase/ancestor::bidder",
+                file.to_str().unwrap(),
+                "--count",
+                "--engine",
+                engine,
+                "--threads",
+                "4",
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "engine {engine}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout).trim(),
             "2",
-        ])
-        .output()
-        .unwrap();
-    assert_eq!(out.status.code(), Some(2), "invalid engine configs exit 2");
-    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid engine configuration"));
+            "engine {engine}"
+        );
+    }
+    // Zero workers is rejected uniformly, whatever the engine.
+    for engine_args in [
+        &["--threads", "0"][..],
+        &["--engine", "auto", "--threads", "0"][..],
+    ] {
+        let out = xq()
+            .args(["//bidder", file.to_str().unwrap()])
+            .args(engine_args)
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "zero workers exit 2 ({engine_args:?})"
+        );
+    }
 }
 
 #[test]
