@@ -1,0 +1,335 @@
+//! `staircase-loadgen` — open-loop load generator for the query server.
+//!
+//! Drives a `staircase-serve` instance (or a self-hosted in-process
+//! server) with a fixed-rate request schedule and records latency from
+//! each request's *scheduled* send time, not its actual send time, so a
+//! server that falls behind pays for its backlog in the percentiles
+//! (no coordinated omission).
+//!
+//! By default it self-hosts the server twice over one generated
+//! document — once with `--window-us 0` (pass-through, every query its
+//! own `run_many` call) and once with the admission window enabled —
+//! and writes both modes to `BENCH_server_latency.json` so the batching
+//! win on shared-scan mixes is recorded next to the pass-through
+//! baseline.
+//!
+//! ```text
+//! cargo run -p staircase-bench --release --bin staircase-loadgen --
+//!     [--qps Q]          target request rate per mode (default 400)
+//!     [--duration-s D]   seconds of load per mode (default 5)
+//!     [--concurrency C]  client connections (default 8)
+//!     [--window-us W]    admission window for the batched mode (2000)
+//!     [--max-batch B]    admission batch cap (default 32)
+//!     [--scale S]        xmlgen scale for the self-hosted doc (0.4)
+//!     [--engine E]       wire engine name (default staircase)
+//!     [--mix PATH]       query mix file, one XPath per line
+//!                        (default: the BATCH_MIXED workload)
+//!     [--addr A]         drive an external server instead of
+//!                        self-hosting (single mode, no window sweep)
+//!     [--out PATH]       output path (BENCH_server_latency.json)
+//!     [--smoke]          1 s per mode at modest qps (CI keep-alive)
+//! ```
+//!
+//! CI runs `--smoke` on every push and uploads the JSON as an artifact,
+//! alongside `BENCH_batch_throughput.json`.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use staircase_bench::BATCH_MIXED;
+use staircase_server::{mix, Client, ClientError, QueryOptions, Server, ServerConfig};
+use staircase_xmlgen::{generate, XmarkConfig};
+use staircase_xpath::Session;
+
+struct Config {
+    qps: f64,
+    duration: Duration,
+    concurrency: usize,
+    window_us: u64,
+    max_batch: usize,
+    scale: f64,
+    engine: String,
+    mix_path: Option<String>,
+    addr: Option<String>,
+    out_path: String,
+}
+
+/// One mode's worth of measurements, plus the server-side counters
+/// scraped from its STATS frame.
+struct ModeResult {
+    mode: &'static str,
+    window_us: u64,
+    ok: u64,
+    busy: u64,
+    errors: u64,
+    achieved_qps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    batches: u64,
+    avg_batch: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn stat_line(stats: &str, key: &str) -> u64 {
+    stats
+        .lines()
+        .find_map(|l| l.strip_prefix(key).map(str::trim_start))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Open-loop drive: `concurrency` connections share one fixed-rate
+/// schedule; connection `w` owns requests `w, w+C, w+2C, …`, each sent
+/// at `start + i/qps` (or immediately if already late — the lateness is
+/// the point) and timed from that scheduled instant.
+fn drive(addr: &str, queries: &[String], cfg: &Config) -> (Vec<f64>, u64, u64, u64, f64) {
+    let total = (cfg.qps * cfg.duration.as_secs_f64()).round() as usize;
+    let interval = Duration::from_secs_f64(1.0 / cfg.qps);
+    let busy = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+
+    let workers: Vec<_> = (0..cfg.concurrency)
+        .map(|w| {
+            let addr = addr.to_string();
+            let queries = queries.to_vec();
+            let engine = cfg.engine.clone();
+            let concurrency = cfg.concurrency;
+            let busy = Arc::clone(&busy);
+            let errors = Arc::clone(&errors);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("loadgen connect");
+                let opts = QueryOptions {
+                    engine,
+                    render: false,
+                    count_only: true,
+                };
+                let mut latencies: Vec<f64> = Vec::new();
+                let mut i = w;
+                while i < total {
+                    let scheduled = started + interval.mul_f64(i as f64);
+                    if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    match client.query(&queries[i % queries.len()], &opts) {
+                        Ok(_) => latencies.push(scheduled.elapsed().as_secs_f64() * 1e3),
+                        Err(ClientError::Server { code, .. })
+                            if code == staircase_server::protocol::code::BUSY =>
+                        {
+                            busy.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    i += concurrency;
+                }
+                latencies
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<f64> = Vec::with_capacity(total);
+    for worker in workers {
+        latencies.extend(worker.join().expect("loadgen worker"));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let ok = latencies.len() as u64;
+    (
+        latencies,
+        ok,
+        busy.load(Ordering::Relaxed),
+        errors.load(Ordering::Relaxed),
+        ok as f64 / elapsed,
+    )
+}
+
+/// Drive one mode against a live server and fold the measurements and
+/// the server's STATS counters into a `ModeResult`.
+fn run_mode(
+    mode: &'static str,
+    window_us: u64,
+    addr: &str,
+    queries: &[String],
+    cfg: &Config,
+) -> ModeResult {
+    let (latencies, ok, busy, errors, achieved_qps) = drive(addr, queries, cfg);
+    let stats = Client::connect(addr)
+        .ok()
+        .and_then(|mut c| c.server_stats().ok())
+        .unwrap_or_default();
+    let batches = stat_line(&stats, "batches ");
+    let batched = stat_line(&stats, "batched_queries ");
+    let result = ModeResult {
+        mode,
+        window_us,
+        ok,
+        busy,
+        errors,
+        achieved_qps,
+        p50_ms: percentile(&latencies, 50.0),
+        p95_ms: percentile(&latencies, 95.0),
+        p99_ms: percentile(&latencies, 99.0),
+        batches,
+        avg_batch: if batches > 0 {
+            batched as f64 / batches as f64
+        } else {
+            0.0
+        },
+    };
+    eprintln!(
+        "{mode:>12} (window {window_us:>5} µs): {ok} ok, {busy} busy, {errors} err, \
+         {achieved_qps:.0} qps, p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms, avg batch {:.2}",
+        result.p50_ms, result.p95_ms, result.p99_ms, result.avg_batch
+    );
+    result
+}
+
+/// Self-host a server over `session` with the given window, drive it,
+/// and shut it down.
+fn hosted_mode(
+    mode: &'static str,
+    window_us: u64,
+    session: &Arc<Session>,
+    queries: &[String],
+    cfg: &Config,
+) -> ModeResult {
+    let server_config = ServerConfig {
+        window: Duration::from_micros(window_us),
+        max_batch: cfg.max_batch,
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(Arc::clone(session), server_config).expect("loadgen server binds");
+    let addr = handle.local_addr().to_string();
+    let result = run_mode(mode, window_us, &addr, queries, cfg);
+    handle.shutdown_and_join();
+    result
+}
+
+fn main() {
+    let mut cfg = Config {
+        qps: 400.0,
+        duration: Duration::from_secs(5),
+        concurrency: 8,
+        window_us: 2000,
+        max_batch: 32,
+        scale: 0.4,
+        engine: "staircase".to_string(),
+        mix_path: None,
+        addr: None,
+        out_path: "BENCH_server_latency.json".to_string(),
+    };
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut next = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} takes a value"))
+        };
+        match a.as_str() {
+            "--qps" => cfg.qps = next("--qps").parse().expect("--qps takes a number"),
+            "--duration-s" => {
+                cfg.duration =
+                    Duration::from_secs_f64(next("--duration-s").parse().expect("number"))
+            }
+            "--concurrency" => cfg.concurrency = next("--concurrency").parse().expect("number"),
+            "--window-us" => cfg.window_us = next("--window-us").parse().expect("number"),
+            "--max-batch" => cfg.max_batch = next("--max-batch").parse().expect("number"),
+            "--scale" => cfg.scale = next("--scale").parse().expect("number"),
+            "--engine" => cfg.engine = next("--engine"),
+            "--mix" => cfg.mix_path = Some(next("--mix")),
+            "--addr" => cfg.addr = Some(next("--addr")),
+            "--out" => cfg.out_path = next("--out"),
+            "--smoke" => smoke = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    if smoke {
+        cfg.qps = cfg.qps.min(200.0);
+        cfg.duration = Duration::from_secs(1);
+    }
+    assert!(
+        cfg.qps > 0.0 && cfg.concurrency > 0,
+        "qps and concurrency must be positive"
+    );
+
+    // The query mix: a file of one-XPath-per-line (shared loader with
+    // `xq --query-file` and the same skip/report contract), or the
+    // shared-scan BATCH_MIXED workload.
+    let queries: Vec<String> = match &cfg.mix_path {
+        Some(path) => {
+            let (lines, issues) = mix::read_query_lines(path).expect("read query mix");
+            for issue in &issues {
+                eprintln!(
+                    "loadgen: {path}:{}: {} (skipped)",
+                    issue.lineno, issue.message
+                );
+            }
+            assert!(!lines.is_empty(), "query mix {path} has no usable lines");
+            lines.into_iter().map(|l| l.text).collect()
+        }
+        None => BATCH_MIXED.iter().map(|s| s.to_string()).collect(),
+    };
+
+    let modes: Vec<ModeResult> = if let Some(addr) = cfg.addr.clone() {
+        // External server: one mode, whatever window it was started with.
+        vec![run_mode("external", cfg.window_us, &addr, &queries, &cfg)]
+    } else {
+        let session = Arc::new(Session::new(generate(XmarkConfig::new(cfg.scale))));
+        session.warm();
+        eprintln!(
+            "self-hosted document: scale {}, {} nodes; {} queries in mix",
+            cfg.scale,
+            session.doc().len(),
+            queries.len()
+        );
+        vec![
+            hosted_mode("passthrough", 0, &session, &queries, &cfg),
+            hosted_mode("batched", cfg.window_us, &session, &queries, &cfg),
+        ]
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"server_latency\",");
+    let _ = writeln!(json, "  \"qps_target\": {},", cfg.qps);
+    let _ = writeln!(json, "  \"duration_s\": {},", cfg.duration.as_secs_f64());
+    let _ = writeln!(json, "  \"concurrency\": {},", cfg.concurrency);
+    let _ = writeln!(json, "  \"engine\": \"{}\",", cfg.engine);
+    let _ = writeln!(json, "  \"mix_queries\": {},", queries.len());
+    json.push_str("  \"modes\": [\n");
+    for (i, m) in modes.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"mode\": \"{}\", \"window_us\": {}, \"ok\": {}, \"busy\": {}, \
+             \"errors\": {}, \"achieved_qps\": {:.1}, \"p50_ms\": {:.3}, \
+             \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"batches\": {}, \"avg_batch\": {:.2}}}",
+            m.mode,
+            m.window_us,
+            m.ok,
+            m.busy,
+            m.errors,
+            m.achieved_qps,
+            m.p50_ms,
+            m.p95_ms,
+            m.p99_ms,
+            m.batches,
+            m.avg_batch
+        );
+        json.push_str(if i + 1 < modes.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&cfg.out_path, json).expect("write bench json");
+    eprintln!("wrote {}", cfg.out_path);
+}

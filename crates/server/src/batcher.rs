@@ -1,0 +1,391 @@
+//! The admission-window batcher: the piece that turns concurrent
+//! independent clients into `Session::run_many` batches.
+//!
+//! Connection threads `submit` parse-checked requests into a
+//! **bounded** admission queue; one batcher thread (`run`) drains it
+//! in rounds. A round begins when the queue becomes
+//! non-empty, waits until either the admission window (measured from
+//! the round's *first* enqueue) expires or `max_batch` queries have
+//! accumulated, then drains up to `max_batch` of them and executes each
+//! engine's group as **one** `Session::run_many` call — the shared-scan
+//! pass the lane executor was built for. The window deliberately trades
+//! a bounded few milliseconds of latency for that throughput multiple;
+//! `window = 0` disables batching outright — every query runs as its
+//! own single-lane pass, even under backlog — which is the load
+//! generator's baseline mode.
+//!
+//! Backpressure is the queue bound: while `queue_depth` queries are
+//! already admitted (they stay queued until drained, so in-window
+//! requests count), further submissions fail fast with
+//! [`SubmitError::Busy`] and the connection answers a typed
+//! `SERVER_BUSY` frame instead of queueing without bound. On shutdown
+//! the batcher refuses new work ([`SubmitError::ShuttingDown`]) but
+//! drains everything already admitted — an accepted query is always
+//! answered.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use staircase_xpath::{Engine, Error, Query, QueryOutput, Session};
+
+use crate::metrics::Metrics;
+use crate::shutdown::Shutdown;
+
+/// One admitted query, waiting for its round.
+pub(crate) struct Pending {
+    /// The expression text (parse-checked by the connection thread, so
+    /// re-preparing in the batcher cannot fail in the normal course).
+    pub expr: String,
+    /// The engine its group will run on.
+    pub engine: Engine,
+    /// Where the connection thread waits for the answer.
+    pub reply: Sender<Reply>,
+    /// Enqueue time: the admission window is measured from the round's
+    /// first entry.
+    pub at: Instant,
+}
+
+/// What a connection gets back: the output plus the size of the shared
+/// pass it rode in, or the (parse) error that kept it out of one.
+pub(crate) type Reply = Result<(QueryOutput, usize), Error>;
+
+/// One engine's slice of a drained batch: the prepared queries and the
+/// reply channels riding the same shared pass.
+type EngineGroup<'s> = (Engine, Vec<(Query<'s>, Sender<Reply>)>);
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is at `queue_depth` — backpressure.
+    Busy,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+}
+
+/// The bounded admission queue plus the window/batch policy.
+pub(crate) struct Batcher {
+    queue: Mutex<VecDeque<Pending>>,
+    wake: Condvar,
+    depth: usize,
+    window: Duration,
+    max_batch: usize,
+    shutdown: Shutdown,
+    metrics: Arc<Metrics>,
+}
+
+impl Batcher {
+    pub(crate) fn new(
+        depth: usize,
+        window: Duration,
+        max_batch: usize,
+        shutdown: Shutdown,
+        metrics: Arc<Metrics>,
+    ) -> Batcher {
+        Batcher {
+            queue: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            depth: depth.max(1),
+            window,
+            max_batch: max_batch.max(1),
+            shutdown,
+            metrics,
+        }
+    }
+
+    /// Admits one query, or refuses it fast.
+    pub(crate) fn submit(&self, pending: Pending) -> Result<(), SubmitError> {
+        if self.shutdown.is_triggered() {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() >= self.depth {
+            self.metrics
+                .busy_rejections
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return Err(SubmitError::Busy);
+        }
+        q.push_back(pending);
+        drop(q);
+        self.wake.notify_all();
+        Ok(())
+    }
+
+    /// Wakes the batcher thread (used by shutdown, which otherwise
+    /// could leave it parked on an empty queue).
+    pub(crate) fn wake_all(&self) {
+        self.wake.notify_all();
+    }
+
+    /// The batcher thread's body: rounds of wait → drain → execute,
+    /// until shutdown finds the queue empty.
+    pub(crate) fn run(&self, session: &Session) {
+        loop {
+            let batch = match self.next_batch() {
+                Some(batch) => batch,
+                None => return,
+            };
+            self.execute(session, batch);
+        }
+    }
+
+    /// Blocks for the next round's batch; `None` means shutdown with an
+    /// empty queue — time to exit.
+    fn next_batch(&self) -> Option<Vec<Pending>> {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if q.is_empty() {
+                if self.shutdown.is_triggered() {
+                    return None;
+                }
+                q = self.wake.wait(q).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            // A round is open. Hold the admission window — unless it is
+            // already full, the window is zero, or shutdown wants the
+            // queue drained now.
+            if !self.shutdown.is_triggered() && q.len() < self.max_batch {
+                let deadline = q.front().expect("non-empty").at + self.window;
+                let now = Instant::now();
+                if now < deadline {
+                    let (guard, _) = self
+                        .wake
+                        .wait_timeout(q, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    q = guard;
+                    continue;
+                }
+            }
+            // A zero window disables batching outright: one query per
+            // pass, even under backlog. Without this, a saturated
+            // queue would still drain as shared passes and the
+            // "no batching" baseline would quietly batch anyway.
+            let take = if self.window.is_zero() {
+                1
+            } else {
+                q.len().min(self.max_batch)
+            };
+            return Some(q.drain(..take).collect());
+        }
+    }
+
+    /// Executes one drained batch: group by engine, one
+    /// `Session::run_many` shared pass per group, replies in admission
+    /// order within each group.
+    fn execute(&self, session: &Session, batch: Vec<Pending>) {
+        // Prepare everything first; parse failures (impossible for
+        // connection-checked submissions, but `submit` is also a
+        // library entry point) answer immediately and drop out of the
+        // groups.
+        let mut groups: Vec<EngineGroup<'_>> = Vec::new();
+        for pending in batch {
+            let Pending {
+                expr,
+                engine,
+                reply,
+                ..
+            } = pending;
+            match session.prepare(&expr) {
+                Ok(query) => match groups.iter_mut().find(|(e, _)| *e == engine) {
+                    Some((_, lanes)) => lanes.push((query, reply)),
+                    None => groups.push((engine, vec![(query, reply)])),
+                },
+                Err(err) => {
+                    // The connection may have hung up mid-wait; a dead
+                    // receiver is not the batcher's problem.
+                    let _ = reply.send(Err(err));
+                }
+            }
+        }
+        for (engine, lanes) in groups {
+            let size = lanes.len();
+            let refs: Vec<&Query<'_>> = lanes.iter().map(|(q, _)| q).collect();
+            let outputs = session.run_many(&refs, engine);
+            self.metrics.record_batch(size);
+            for ((_, reply), output) in lanes.into_iter().zip(outputs) {
+                let _ = reply.send(Ok((output, size)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn batcher(depth: usize, window: Duration, max_batch: usize) -> (Arc<Batcher>, Shutdown) {
+        let shutdown = Shutdown::new();
+        let b = Arc::new(Batcher::new(
+            depth,
+            window,
+            max_batch,
+            shutdown.clone(),
+            Arc::new(Metrics::default()),
+        ));
+        (b, shutdown)
+    }
+
+    fn pending(expr: &str) -> (Pending, std::sync::mpsc::Receiver<Reply>) {
+        let (tx, rx) = channel();
+        (
+            Pending {
+                expr: expr.to_string(),
+                engine: Engine::default(),
+                reply: tx,
+                at: Instant::now(),
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn queue_depth_is_backpressure() {
+        let (b, _shutdown) = batcher(2, Duration::from_secs(60), 64);
+        let (p1, _rx1) = pending("//a");
+        let (p2, _rx2) = pending("//b");
+        let (p3, _rx3) = pending("//c");
+        assert!(b.submit(p1).is_ok());
+        assert!(b.submit(p2).is_ok());
+        assert_eq!(b.submit(p3), Err(SubmitError::Busy));
+        assert_eq!(
+            b.metrics
+                .busy_rejections
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work_but_drains_admitted_work() {
+        let session = Session::parse_xml("<a><b/><b/></a>").expect("fixture");
+        let (b, shutdown) = batcher(8, Duration::from_secs(60), 64);
+        let (p1, rx1) = pending("//b");
+        b.submit(p1).unwrap();
+        shutdown.trigger();
+        let (p2, _rx2) = pending("//b");
+        assert_eq!(b.submit(p2), Err(SubmitError::ShuttingDown));
+        // The admitted query is still answered — the huge window is
+        // skipped once shutdown is triggered — and run() returns.
+        let runner = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || {
+                b.run(&session);
+            })
+        };
+        let (out, size) = rx1
+            .recv_timeout(Duration::from_secs(5))
+            .expect("drained on shutdown")
+            .expect("parses");
+        assert_eq!((out.len(), size), (2, 1));
+        runner.join().expect("batcher exits");
+    }
+
+    #[test]
+    fn full_batches_skip_the_window() {
+        let session = Session::parse_xml("<a><b/><b/></a>").expect("fixture");
+        // Window of a minute, max_batch 2: the second submission must
+        // trigger the drain, not the clock.
+        let (b, shutdown) = batcher(8, Duration::from_secs(60), 2);
+        let runner = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || {
+                let session = session;
+                b.run(&session);
+            })
+        };
+        let (p1, rx1) = pending("//b");
+        let (p2, rx2) = pending("descendant::b");
+        b.submit(p1).unwrap();
+        b.submit(p2).unwrap();
+        for rx in [rx1, rx2] {
+            let (out, size) = rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("full batch drains immediately")
+                .expect("parses");
+            assert_eq!(out.len(), 2);
+            assert_eq!(size, 2, "both lanes share one pass");
+        }
+        assert_eq!(
+            b.metrics
+                .max_batch
+                .load(std::sync::atomic::Ordering::Relaxed),
+            2
+        );
+        shutdown.trigger();
+        b.wake_all();
+        runner.join().expect("batcher exits");
+    }
+
+    #[test]
+    fn zero_window_never_batches_even_under_backlog() {
+        let session = Session::parse_xml("<a><b/><b/></a>").expect("fixture");
+        let (b, shutdown) = batcher(8, Duration::ZERO, 64);
+        // Two queries already queued before the batcher thread starts:
+        // the window-0 drain must still take them one at a time.
+        let (p1, rx1) = pending("//b");
+        let (p2, rx2) = pending("//b");
+        b.submit(p1).unwrap();
+        b.submit(p2).unwrap();
+        let runner = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || {
+                let session = session;
+                b.run(&session);
+            })
+        };
+        for rx in [rx1, rx2] {
+            let (out, size) = rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("pass-through answers")
+                .expect("parses");
+            assert_eq!(out.len(), 2);
+            assert_eq!(size, 1, "pass-through means single-lane passes");
+        }
+        shutdown.trigger();
+        b.wake_all();
+        runner.join().expect("batcher exits");
+    }
+
+    #[test]
+    fn mixed_engines_split_into_per_engine_passes() {
+        let session = Session::parse_xml("<a><b/><b/></a>").expect("fixture");
+        let (b, shutdown) = batcher(8, Duration::from_millis(20), 64);
+        let runner = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || {
+                let session = session;
+                b.run(&session);
+            })
+        };
+        let (tx1, rx1) = channel();
+        let (tx2, rx2) = channel();
+        let now = Instant::now();
+        b.submit(Pending {
+            expr: "//b".into(),
+            engine: Engine::default(),
+            reply: tx1,
+            at: now,
+        })
+        .unwrap();
+        b.submit(Pending {
+            expr: "//b".into(),
+            engine: Engine::auto(),
+            reply: tx2,
+            at: now,
+        })
+        .unwrap();
+        for rx in [rx1, rx2] {
+            let (out, size) = rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("window drains")
+                .expect("parses");
+            assert_eq!(out.len(), 2);
+            assert_eq!(size, 1, "different engines cannot share a pass");
+        }
+        shutdown.trigger();
+        b.wake_all();
+        runner.join().expect("batcher exits");
+    }
+}

@@ -1,0 +1,257 @@
+//! A blocking client for the frame protocol — what `xq --connect` and
+//! `staircase-loadgen` speak.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use staircase_accel::Pre;
+
+use crate::protocol::{
+    self, code, flags, frame, parse_done_payload, parse_error_payload, parse_ids_payload,
+    query_payload, write_frame, FrameError,
+};
+
+/// How a query should be asked for and answered.
+#[derive(Debug, Clone)]
+pub struct QueryOptions {
+    /// Wire engine name (see [`protocol::engine_by_name`]).
+    pub engine: String,
+    /// Ask for rendered result lines instead of raw pre ranks.
+    pub render: bool,
+    /// Ask for no result chunks at all — only the `DONE` totals.
+    pub count_only: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> QueryOptions {
+        QueryOptions {
+            engine: "staircase".to_string(),
+            render: false,
+            count_only: false,
+        }
+    }
+}
+
+/// A collected query answer.
+#[derive(Debug, Clone, Default)]
+pub struct QueryReply {
+    /// Result pre ranks (empty under `render`/`count_only`).
+    pub ids: Vec<Pre>,
+    /// Rendered result lines (empty unless `render`).
+    pub rendered: Vec<String>,
+    /// Result cardinality, from the terminal frame.
+    pub total: u32,
+    /// Nodes the evaluation touched.
+    pub touched: u64,
+    /// Size of the admission batch this query shared a pass with
+    /// (1 = it ran alone).
+    pub batch_size: u32,
+}
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed.
+    Io(io::Error),
+    /// The server broke the protocol (or exceeded the frame limit).
+    Protocol(String),
+    /// The server answered with a typed error frame.
+    Server {
+        /// One of the [`code`] constants.
+        code: u8,
+        /// The server's message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server { code: c, message } => {
+                write!(f, "server error ({}): {message}", code_name(*c))
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> ClientError {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            oversized => ClientError::Protocol(oversized.to_string()),
+        }
+    }
+}
+
+/// The human name of a wire error code.
+pub fn code_name(c: u8) -> &'static str {
+    match c {
+        code::PARSE => "PARSE",
+        code::BUSY => "SERVER_BUSY",
+        code::MALFORMED => "MALFORMED",
+        code::OVERSIZED => "OVERSIZED",
+        code::SHUTTING_DOWN => "SHUTTING_DOWN",
+        code::INTERNAL => "INTERNAL",
+        code::TIMEOUT => "TIMEOUT",
+        code::ENGINE => "ENGINE",
+        _ => "UNKNOWN",
+    }
+}
+
+/// One connection to a running server.
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects (blocking) to a server.
+    ///
+    /// # Errors
+    ///
+    /// The underlying connect failing.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            // Generous: response frames are bounded by the server's
+            // chunking, not by its request limit.
+            max_frame: 64 << 20,
+        })
+    }
+
+    /// Sends one query and collects the whole streamed answer.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for typed error frames (parse errors,
+    /// `SERVER_BUSY`, …), [`ClientError::Io`]/[`ClientError::Protocol`]
+    /// for transport trouble.
+    pub fn query(&mut self, expr: &str, opts: &QueryOptions) -> Result<QueryReply, ClientError> {
+        let mut reply = QueryReply::default();
+        let (total, touched, batch_size) = self.query_streamed(
+            expr,
+            opts,
+            &mut |ids| reply.ids.extend_from_slice(ids),
+            &mut |text| {
+                reply.rendered.extend(text.lines().map(|l| l.to_string()));
+            },
+        )?;
+        reply.total = total;
+        reply.touched = touched;
+        reply.batch_size = batch_size;
+        Ok(reply)
+    }
+
+    /// Sends one query and hands each chunk to a callback as it
+    /// arrives — the streaming form ([`Client::query`] is this plus
+    /// collection). Returns the terminal `(total, touched,
+    /// batch_size)`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::query`].
+    pub fn query_streamed(
+        &mut self,
+        expr: &str,
+        opts: &QueryOptions,
+        on_ids: &mut dyn FnMut(&[Pre]),
+        on_text: &mut dyn FnMut(&str),
+    ) -> Result<(u32, u64, u32), ClientError> {
+        let mut request_flags = 0u8;
+        if opts.render {
+            request_flags |= flags::RENDER;
+        }
+        if opts.count_only {
+            request_flags |= flags::COUNT_ONLY;
+        }
+        write_frame(
+            &mut self.stream,
+            frame::QUERY,
+            &query_payload(request_flags, &opts.engine, expr),
+        )?;
+        self.read_response(on_ids, on_text)
+    }
+
+    /// Asks for the server's metrics: `key value` lines.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::query`].
+    pub fn server_stats(&mut self) -> Result<String, ClientError> {
+        write_frame(&mut self.stream, frame::STATS, &[])?;
+        let mut text = String::new();
+        self.read_response(&mut |_| {}, &mut |t| text.push_str(t))?;
+        Ok(text)
+    }
+
+    /// Asks the server to shut down gracefully; returns once the
+    /// server has acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::query`].
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, frame::SHUTDOWN, &[])?;
+        self.read_response(&mut |_| {}, &mut |_| {})?;
+        Ok(())
+    }
+
+    /// Reads chunk frames until the terminal `DONE` or `ERROR`.
+    fn read_response(
+        &mut self,
+        on_ids: &mut dyn FnMut(&[Pre]),
+        on_text: &mut dyn FnMut(&str),
+    ) -> Result<(u32, u64, u32), ClientError> {
+        loop {
+            let f = protocol::read_frame(&mut self.stream, self.max_frame)?
+                .ok_or_else(|| ClientError::Protocol("server closed mid-response".into()))?;
+            match f.ty {
+                frame::CHUNK => {
+                    let ids = parse_ids_payload(&f.payload).map_err(ClientError::Protocol)?;
+                    on_ids(&ids);
+                }
+                frame::RCHUNK => {
+                    let text = std::str::from_utf8(&f.payload)
+                        .map_err(|_| ClientError::Protocol("rendered chunk is not UTF-8".into()))?;
+                    on_text(text);
+                }
+                frame::DONE => {
+                    return parse_done_payload(&f.payload).map_err(ClientError::Protocol);
+                }
+                frame::ERROR => {
+                    let (c, message) =
+                        parse_error_payload(&f.payload).map_err(ClientError::Protocol)?;
+                    return Err(ClientError::Server {
+                        code: c,
+                        message: message.to_string(),
+                    });
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected response frame type 0x{other:02x}"
+                    )));
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("peer", &self.stream.peer_addr().ok())
+            .finish()
+    }
+}

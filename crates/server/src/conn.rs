@@ -1,0 +1,325 @@
+//! Per-connection protocol loop: read a frame, answer it, survive what
+//! can be survived.
+//!
+//! Each accepted connection gets one thread running [`serve`]. Reads
+//! are chunked into short OS-level ticks so the loop can observe both
+//! the per-connection read deadline (idle *or* dribbling-a-partial-
+//! frame connections are closed with a typed `TIMEOUT` error) and the
+//! server's shutdown flag without any async machinery. Request errors
+//! are answered with typed error frames; only errors that lose the
+//! frame boundary (or the peer) close the connection.
+
+use std::io::{ErrorKind, Read};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use staircase_xpath::{parse_union, Session};
+
+use crate::batcher::{Batcher, Pending, SubmitError};
+use crate::metrics::Metrics;
+use crate::protocol::{
+    code, done_payload, error_payload, flags, frame, ids_payload, parse_query_payload, render_line,
+    write_frame, Frame, HEADER_LEN,
+};
+use crate::shutdown::Shutdown;
+use crate::ServerConfig;
+
+/// How often a blocked read wakes to check the deadline and the
+/// shutdown flag.
+const TICK: Duration = Duration::from_millis(50);
+
+/// Rendered chunks are flushed at this payload size.
+const RENDER_CHUNK_BYTES: usize = 32 * 1024;
+
+/// Everything a connection thread needs, shared by all of them.
+pub(crate) struct ConnShared {
+    pub session: Arc<Session>,
+    pub batcher: Arc<Batcher>,
+    pub metrics: Arc<Metrics>,
+    pub shutdown: Shutdown,
+    pub config: ServerConfig,
+}
+
+/// What one deadline-bounded frame read produced.
+enum ReadOutcome {
+    Frame(Frame),
+    /// The peer closed between frames.
+    CleanEof,
+    /// Nothing (or not everything) arrived before the deadline.
+    TimedOut,
+    /// The announced length exceeds the frame limit.
+    Oversized(u32),
+    /// The server is shutting down and this connection is idle.
+    Shutdown,
+    /// The stream failed.
+    Dead,
+}
+
+/// Reads exactly `buf.len()` bytes, waking every [`TICK`] to check the
+/// deadline and the shutdown flag. `allow_eof` treats an EOF before the
+/// first byte as a clean close (frame boundary); an EOF mid-buffer is
+/// always `Dead`.
+fn read_exact_deadline(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Instant,
+    shutdown: &Shutdown,
+    allow_eof: bool,
+) -> ReadOutcome {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && allow_eof {
+                    ReadOutcome::CleanEof
+                } else {
+                    ReadOutcome::Dead
+                }
+            }
+            Ok(n) => filled += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // Only an idle connection yields to shutdown; once a
+                // frame is in flight we keep reading it (its query
+                // deserves an answer) until the deadline says otherwise.
+                if shutdown.is_triggered() && filled == 0 && allow_eof {
+                    return ReadOutcome::Shutdown;
+                }
+                if Instant::now() >= deadline {
+                    return ReadOutcome::TimedOut;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Dead,
+        }
+    }
+    ReadOutcome::Frame(Frame {
+        ty: 0,
+        payload: Vec::new(),
+    })
+}
+
+/// Reads one whole frame under the connection's read deadline.
+fn read_frame_deadline(
+    stream: &mut TcpStream,
+    max_frame: usize,
+    deadline: Instant,
+    shutdown: &Shutdown,
+) -> ReadOutcome {
+    let mut header = [0u8; HEADER_LEN];
+    match read_exact_deadline(stream, &mut header, deadline, shutdown, true) {
+        ReadOutcome::Frame(_) => {}
+        other => return other,
+    }
+    let len = u32::from_be_bytes([header[0], header[1], header[2], header[3]]);
+    if len as usize > max_frame {
+        return ReadOutcome::Oversized(len);
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_exact_deadline(stream, &mut payload, deadline, shutdown, false) {
+        ReadOutcome::Frame(_) => ReadOutcome::Frame(Frame {
+            ty: header[4],
+            payload,
+        }),
+        other => other,
+    }
+}
+
+/// Best-effort error frame; a failed write just means the peer is gone.
+fn send_error(stream: &mut TcpStream, error_code: u8, message: &str) -> std::io::Result<()> {
+    write_frame(stream, frame::ERROR, &error_payload(error_code, message))
+}
+
+/// The connection thread's body.
+pub(crate) fn serve(mut stream: TcpStream, shared: &ConnShared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(TICK));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+    loop {
+        let deadline = Instant::now() + shared.config.read_timeout;
+        let outcome = read_frame_deadline(
+            &mut stream,
+            shared.config.max_frame,
+            deadline,
+            &shared.shutdown,
+        );
+        let request = match outcome {
+            ReadOutcome::Frame(f) => f,
+            ReadOutcome::CleanEof | ReadOutcome::Shutdown | ReadOutcome::Dead => return,
+            ReadOutcome::TimedOut => {
+                shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                let _ = send_error(&mut stream, code::TIMEOUT, "read timed out");
+                return;
+            }
+            ReadOutcome::Oversized(len) => {
+                shared
+                    .metrics
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = send_error(
+                    &mut stream,
+                    code::OVERSIZED,
+                    &format!(
+                        "frame of {len} bytes exceeds the {}-byte limit",
+                        shared.config.max_frame
+                    ),
+                );
+                return;
+            }
+        };
+        let keep_going = match request.ty {
+            frame::QUERY => answer_query(&mut stream, shared, &request.payload),
+            frame::STATS => answer_stats(&mut stream, shared),
+            frame::SHUTDOWN => {
+                let ok = write_frame(&mut stream, frame::DONE, &done_payload(0, 0, 0)).is_ok();
+                shared.shutdown.trigger();
+                shared.batcher.wake_all();
+                ok
+            }
+            other => {
+                shared
+                    .metrics
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                send_error(
+                    &mut stream,
+                    code::MALFORMED,
+                    &format!("unknown frame type 0x{other:02x}"),
+                )
+                .is_ok()
+            }
+        };
+        if !keep_going {
+            return;
+        }
+    }
+}
+
+/// Handles one `QUERY` frame end to end; `false` closes the connection
+/// (only I/O failures and a lost batcher do).
+fn answer_query(stream: &mut TcpStream, shared: &ConnShared, payload: &[u8]) -> bool {
+    let (request_flags, engine_name, expr) = match parse_query_payload(payload) {
+        Ok(parts) => parts,
+        Err(message) => {
+            shared
+                .metrics
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            return send_error(stream, code::MALFORMED, &message).is_ok();
+        }
+    };
+    let engine = match crate::protocol::engine_by_name(engine_name) {
+        Some(engine) => engine,
+        None => {
+            shared
+                .metrics
+                .rejected_requests
+                .fetch_add(1, Ordering::Relaxed);
+            return send_error(
+                stream,
+                code::ENGINE,
+                &format!("unknown engine {engine_name:?}"),
+            )
+            .is_ok();
+        }
+    };
+    // Parse-check here so a bad expression is answered without a
+    // batcher round trip (and without holding a batch slot).
+    if let Err(e) = parse_union(expr) {
+        shared
+            .metrics
+            .rejected_requests
+            .fetch_add(1, Ordering::Relaxed);
+        return send_error(stream, code::PARSE, &e.to_string()).is_ok();
+    }
+    let (reply_tx, reply_rx) = channel();
+    let submitted = shared.batcher.submit(Pending {
+        expr: expr.to_string(),
+        engine,
+        reply: reply_tx,
+        at: Instant::now(),
+    });
+    match submitted {
+        Ok(()) => {}
+        Err(SubmitError::Busy) => {
+            return send_error(stream, code::BUSY, "admission queue is full").is_ok();
+        }
+        Err(SubmitError::ShuttingDown) => {
+            return send_error(stream, code::SHUTTING_DOWN, "server is shutting down").is_ok();
+        }
+    }
+    // The batcher always answers admitted queries (it drains the queue
+    // even on shutdown); a dropped sender means it died.
+    let reply = match reply_rx.recv() {
+        Ok(reply) => reply,
+        Err(_) => {
+            let _ = send_error(stream, code::INTERNAL, "query engine is gone");
+            return false;
+        }
+    };
+    let (output, batch_size) = match reply {
+        Ok(answer) => answer,
+        Err(e) => {
+            shared
+                .metrics
+                .rejected_requests
+                .fetch_add(1, Ordering::Relaxed);
+            return send_error(stream, code::PARSE, &e.to_string()).is_ok();
+        }
+    };
+    shared.metrics.queries_ok.fetch_add(1, Ordering::Relaxed);
+    stream_output(stream, shared, request_flags, &output, batch_size).is_ok()
+}
+
+/// Streams one query's answer: chunks, then the terminal `DONE`.
+fn stream_output(
+    stream: &mut TcpStream,
+    shared: &ConnShared,
+    request_flags: u8,
+    output: &staircase_xpath::QueryOutput,
+    batch_size: usize,
+) -> std::io::Result<()> {
+    if request_flags & flags::COUNT_ONLY == 0 {
+        if request_flags & flags::RENDER != 0 {
+            let doc = shared.session.doc();
+            let mut text = String::new();
+            for v in output.iter() {
+                text.push_str(&render_line(doc, v));
+                text.push('\n');
+                if text.len() >= RENDER_CHUNK_BYTES {
+                    write_frame(stream, frame::RCHUNK, text.as_bytes())?;
+                    text.clear();
+                }
+            }
+            if !text.is_empty() {
+                write_frame(stream, frame::RCHUNK, text.as_bytes())?;
+            }
+        } else {
+            let ids = output.nodes().as_slice();
+            for chunk in ids.chunks(shared.config.chunk_ids.max(1)) {
+                write_frame(stream, frame::CHUNK, &ids_payload(chunk))?;
+            }
+        }
+    }
+    write_frame(
+        stream,
+        frame::DONE,
+        &done_payload(
+            output.len() as u32,
+            output.stats().total_touched(),
+            batch_size as u32,
+        ),
+    )
+}
+
+/// Answers a `STATS` frame: one rendered-text chunk of `key value`
+/// metric lines, then `DONE`.
+fn answer_stats(stream: &mut TcpStream, shared: &ConnShared) -> bool {
+    let text = shared.metrics.render();
+    write_frame(stream, frame::RCHUNK, text.as_bytes())
+        .and_then(|()| write_frame(stream, frame::DONE, &done_payload(0, 0, 0)))
+        .is_ok()
+}

@@ -1,0 +1,294 @@
+//! # staircase-server
+//!
+//! The batching query server front end: the traffic layer that turns
+//! concurrent independent clients into the shared-scan
+//! `Session::run_many` batches the lane executor underneath was built
+//! to serve.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use staircase_server::{Client, QueryOptions, Server, ServerConfig};
+//! use staircase_xpath::Session;
+//!
+//! let session = Arc::new(Session::parse_xml("<a><b/><b/></a>")?);
+//! let handle = Server::start(session, ServerConfig::default())?;
+//! let mut client = Client::connect(handle.local_addr())?;
+//! let reply = client.query("//b", &QueryOptions::default())?;
+//! assert_eq!(reply.total, 2);
+//! client.shutdown_server()?;
+//! handle.join();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## The serving model
+//!
+//! The executor half of the server predates this crate: a
+//! [`Session`] is `Sync`, owns a persistent
+//! worker pool, and its `run_many` answers K queries with shared plane
+//! passes wherever their planned steps line up — a measured 1.3–2×
+//! over running them back to back. What this crate adds is the
+//! discipline that manufactures those batches out of independent
+//! clients, the same admission-window trick inference servers use to
+//! amortize a shared pass over concurrent requests:
+//!
+//! * **Admission window** ([`batcher`]): queries from all connections
+//!   land in one bounded queue. A round opens when the queue becomes
+//!   non-empty and drains when either the window
+//!   ([`ServerConfig::window`], a few ms) expires or
+//!   [`ServerConfig::max_batch`] queries have accumulated; the drained
+//!   batch executes as one `run_many` call per engine named in it. The
+//!   window deliberately trades a few milliseconds of added latency for
+//!   the shared-scan throughput multiple; a zero window disables
+//!   batching entirely (one query per pass, even under backlog) and is
+//!   the load generator's baseline.
+//! * **Backpressure**: the admission queue is bounded
+//!   ([`ServerConfig::queue_depth`]); when the pool cannot drain fast
+//!   enough, further requests are answered with a typed `SERVER_BUSY`
+//!   error frame immediately instead of queueing without bound. Clients
+//!   retry or shed load; the server's memory does not grow with offered
+//!   load.
+//! * **Streamed results**: answers leave as a sequence of bounded
+//!   chunk frames followed by a terminal stats frame, so clients
+//!   process (and the server forgets) results incrementally instead of
+//!   holding a materialized response per in-flight query.
+//! * **Robustness**: per-connection read/write timeouts, typed error
+//!   frames for malformed input (the connection survives anything that
+//!   does not lose the frame boundary), and graceful shutdown — stop
+//!   accepting, refuse new admissions, drain every admitted batch,
+//!   exit. An accepted query is always answered.
+//!
+//! Threads, not async: there is no tokio in this environment (no
+//! registry access), and none is needed — the acceptor and the batcher
+//! are one thread each, connections are a thread apiece with blocking
+//! I/O chopped into short ticks, and the actual work all happens on the
+//! session's own worker pool.
+//!
+//! ## Wire protocol
+//!
+//! See [`protocol`] for the normative frame-by-frame spec. In short:
+//! every frame is `[len: u32 BE][type: u8][payload]`; a client sends a
+//! `QUERY` frame naming an engine and an XPath expression and reads
+//! result chunks (`CHUNK` of big-endian pre ranks, or `RCHUNK` of
+//! rendered text lines) terminated by exactly one `DONE` (total,
+//! touched nodes, admission-batch size) or typed `ERROR` frame.
+//! `STATS` reports server counters and `SHUTDOWN` asks for a graceful
+//! exit. Two bins ship with the crate: `staircase-serve` (the server)
+//! and, in `staircase-bench`, `staircase-loadgen` (an open-loop load
+//! generator emitting `BENCH_server_latency.json`).
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+mod conn;
+pub mod metrics;
+pub mod mix;
+pub mod protocol;
+pub mod shutdown;
+
+mod client;
+
+pub use batcher::SubmitError;
+pub use client::{Client, ClientError, QueryOptions, QueryReply};
+pub use metrics::Metrics;
+pub use protocol::{engine_by_name, render_line, render_node};
+pub use shutdown::Shutdown;
+
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use staircase_xpath::Session;
+
+use batcher::Batcher;
+use conn::ConnShared;
+
+/// Everything tunable about a server, with defaults sized for the
+/// `staircase-serve` CLI.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// The admission window: how long the batcher holds an open round
+    /// for more queries to join. Zero means pass-through.
+    pub window: Duration,
+    /// Largest admission batch one round may drain.
+    pub max_batch: usize,
+    /// Bound of the admission queue; submissions beyond it are answered
+    /// `SERVER_BUSY`.
+    pub queue_depth: usize,
+    /// A connection that takes longer than this to deliver a frame —
+    /// idle or dribbling — is closed with a `TIMEOUT` error.
+    pub read_timeout: Duration,
+    /// Per-write timeout for responses; a client that stops reading is
+    /// disconnected rather than parked on forever.
+    pub write_timeout: Duration,
+    /// Largest accepted frame (requests *and* the limit announced to
+    /// payload builders).
+    pub max_frame: usize,
+    /// How many pre ranks one `CHUNK` frame carries.
+    pub chunk_ids: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            window: Duration::from_millis(2),
+            max_batch: 32,
+            queue_depth: 256,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            max_frame: 1 << 20,
+            chunk_ids: 4096,
+        }
+    }
+}
+
+/// The server: [`Server::start`] is the only entry point.
+pub struct Server;
+
+impl Server {
+    /// Binds the listener, spawns the acceptor and batcher threads, and
+    /// returns immediately with a handle.
+    ///
+    /// # Errors
+    ///
+    /// The bind or the nonblocking-mode switch failing.
+    pub fn start(session: Arc<Session>, config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        // Nonblocking accept + short sleeps: the acceptor must observe
+        // the shutdown flag without a connection arriving to unblock it.
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Shutdown::new();
+        let metrics = Arc::new(Metrics::default());
+        let batcher = Arc::new(Batcher::new(
+            config.queue_depth,
+            config.window,
+            config.max_batch,
+            shutdown.clone(),
+            Arc::clone(&metrics),
+        ));
+        let shared = Arc::new(ConnShared {
+            session: Arc::clone(&session),
+            batcher: Arc::clone(&batcher),
+            metrics: Arc::clone(&metrics),
+            shutdown: shutdown.clone(),
+            config,
+        });
+        let runner = {
+            let batcher = Arc::clone(&batcher);
+            std::thread::spawn(move || batcher.run(&session))
+        };
+        let acceptor = {
+            let shutdown = shutdown.clone();
+            std::thread::spawn(move || accept_loop(listener, &shared, &shutdown))
+        };
+        Ok(ServerHandle {
+            local_addr,
+            shutdown,
+            batcher,
+            metrics,
+            acceptor: Some(acceptor),
+            runner: Some(runner),
+        })
+    }
+}
+
+/// The acceptor thread: poll-accept until shutdown, then join every
+/// connection thread (they close within a read tick of the flag).
+fn accept_loop(listener: TcpListener, shared: &Arc<ConnShared>, shutdown: &Shutdown) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.is_triggered() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                conns.push(std::thread::spawn(move || conn::serve(stream, &shared)));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+        // Reap finished connection threads so a long-lived server does
+        // not accumulate one handle per client ever served.
+        conns.retain(|h| !h.is_finished());
+    }
+    drop(listener);
+    for handle in conns {
+        let _ = handle.join();
+    }
+}
+
+/// A running server: its address, its metrics, and its lifecycle.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shutdown: Shutdown,
+    batcher: Arc<Batcher>,
+    metrics: Arc<Metrics>,
+    acceptor: Option<JoinHandle<()>>,
+    runner: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (the actual port when the config said 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live server counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Triggers graceful shutdown: stop accepting, refuse new
+    /// admissions, drain everything admitted. Idempotent; returns
+    /// without waiting — pair with [`ServerHandle::join`].
+    pub fn shutdown(&self) {
+        self.shutdown.trigger();
+        self.batcher.wake_all();
+    }
+
+    /// Waits for the server to exit (either after
+    /// [`ServerHandle::shutdown`] or a client's `SHUTDOWN` frame).
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    /// [`ServerHandle::shutdown`] + [`ServerHandle::join`].
+    pub fn shutdown_and_join(self) {
+        self.shutdown();
+        self.join();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.runner.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // A dropped handle must not leave detached server threads
+        // accepting traffic; trigger and reap them.
+        self.shutdown.trigger();
+        self.batcher.wake_all();
+        self.join_threads();
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("local_addr", &self.local_addr)
+            .field("shutting_down", &self.shutdown.is_triggered())
+            .finish()
+    }
+}

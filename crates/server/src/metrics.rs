@@ -1,0 +1,95 @@
+//! Server counters: what the traffic layer did, as lock-free atomics.
+//!
+//! Every counter is monotonic and updated with relaxed ordering — the
+//! metrics are observability, not synchronization. [`Metrics::render`]
+//! is the `STATS` frame's payload: one `key value` pair per line, a
+//! format both the load generator and shell pipelines can split.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters for one server's lifetime.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Queries answered successfully.
+    pub queries_ok: AtomicU64,
+    /// Queries refused with `PARSE` (bad expression) or `ENGINE`
+    /// (unknown engine name).
+    pub rejected_requests: AtomicU64,
+    /// Undecodable frames or payloads.
+    pub protocol_errors: AtomicU64,
+    /// Queries refused with `SERVER_BUSY` (admission queue full).
+    pub busy_rejections: AtomicU64,
+    /// Connections closed for idling past the read timeout.
+    pub timeouts: AtomicU64,
+    /// Shared passes executed (`Session::run_many` calls; one admission
+    /// drain produces one pass per distinct engine in the batch).
+    pub batches: AtomicU64,
+    /// Queries that rode in those passes (so `batched_queries /
+    /// batches` is the mean batch size).
+    pub batched_queries: AtomicU64,
+    /// Largest single shared pass.
+    pub max_batch: AtomicU64,
+}
+
+impl Metrics {
+    /// Records one executed pass of `n` queries.
+    pub fn record_batch(&self, n: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_queries.fetch_add(n as u64, Ordering::Relaxed);
+        self.max_batch.fetch_max(n as u64, Ordering::Relaxed);
+    }
+
+    /// The `STATS` payload: one `key value` pair per line.
+    pub fn render(&self) -> String {
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        format!(
+            "connections {}\nqueries_ok {}\nrejected_requests {}\nprotocol_errors {}\n\
+             busy_rejections {}\ntimeouts {}\nbatches {}\nbatched_queries {}\nmax_batch {}\n",
+            get(&self.connections),
+            get(&self.queries_ok),
+            get(&self.rejected_requests),
+            get(&self.protocol_errors),
+            get(&self.busy_rejections),
+            get(&self.timeouts),
+            get(&self.batches),
+            get(&self.batched_queries),
+            get(&self.max_batch),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_lists_every_counter_once() {
+        let m = Metrics::default();
+        m.record_batch(3);
+        m.record_batch(5);
+        m.queries_ok.store(8, Ordering::Relaxed);
+        let text = m.render();
+        for key in [
+            "connections",
+            "queries_ok",
+            "rejected_requests",
+            "protocol_errors",
+            "busy_rejections",
+            "timeouts",
+            "batches",
+            "batched_queries",
+            "max_batch",
+        ] {
+            assert_eq!(
+                text.lines().filter(|l| l.starts_with(key)).count(),
+                1,
+                "{key} in {text}"
+            );
+        }
+        assert!(text.contains("batches 2"));
+        assert!(text.contains("batched_queries 8"));
+        assert!(text.contains("max_batch 5"));
+    }
+}

@@ -1,0 +1,466 @@
+//! The wire protocol: length-prefixed frames, typed error codes, and
+//! the payload encodings both ends share.
+//!
+//! Every frame on the wire is
+//!
+//! ```text
+//! ┌──────────────┬─────────┬───────────────────┐
+//! │ len: u32 BE  │ ty: u8  │ payload: len bytes│
+//! └──────────────┴─────────┴───────────────────┘
+//! ```
+//!
+//! where `len` counts the payload only (the 5-byte header is fixed) and
+//! `ty` is one of [`frame`]'s constants. Frames larger than the
+//! server's `max_frame` are answered with an
+//! [`code::OVERSIZED`] error and the connection is closed — a length
+//! that huge is garbage, not a request worth resynchronizing past.
+//!
+//! ## Requests (client → server)
+//!
+//! * [`frame::QUERY`] — payload `[flags: u8][engine_len: u8][engine
+//!   name][XPath expression…]`. Flags: [`flags::RENDER`] asks for
+//!   rendered node lines instead of raw pre ranks,
+//!   [`flags::COUNT_ONLY`] suppresses result chunks entirely (the
+//!   [`frame::DONE`] frame carries the total). The engine name is one
+//!   of `staircase | pushdown | fragmented | parallel | naive | sql |
+//!   auto` (see [`engine_by_name`]).
+//! * [`frame::STATS`] — no payload; the server answers with one
+//!   [`frame::RCHUNK`] of `key value` metric lines and a `DONE`.
+//! * [`frame::SHUTDOWN`] — no payload; the server acknowledges with
+//!   `DONE` and then shuts down gracefully (stops accepting, drains
+//!   in-flight batches, exits).
+//!
+//! ## Responses (server → client)
+//!
+//! A query answer is **streamed**: zero or more chunk frames followed
+//! by exactly one terminal frame ([`frame::DONE`] or [`frame::ERROR`]),
+//! so a client can process results incrementally instead of waiting
+//! for — or buffering — the whole node vector.
+//!
+//! * [`frame::CHUNK`] — a run of result pre ranks, 4 bytes big-endian
+//!   each, in document order.
+//! * [`frame::RCHUNK`] — UTF-8 text: rendered result lines (or metric
+//!   lines for `STATS`), `\n`-separated.
+//! * [`frame::DONE`] — `[total: u32][touched: u64][batch: u32]`: the
+//!   result cardinality, the nodes touched evaluating it, and the size
+//!   of the admission batch this query rode in (1 = it ran alone).
+//! * [`frame::ERROR`] — `[code: u8][message…]`; see [`code`]. Parse
+//!   ([`code::PARSE`]), engine ([`code::ENGINE`]), busy
+//!   ([`code::BUSY`]) and shutdown ([`code::SHUTTING_DOWN`]) errors
+//!   leave the connection usable; framing errors
+//!   ([`code::MALFORMED`] on an undecodable *frame*,
+//!   [`code::OVERSIZED`], [`code::TIMEOUT`]) are followed by a close.
+//!   A malformed *payload* inside a well-framed message is answered
+//!   with `MALFORMED` and the connection survives — the frame boundary
+//!   was never lost.
+
+use std::io::{Read, Write};
+
+use staircase_accel::{Doc, NodeKind, Pre};
+use staircase_xpath::Engine;
+
+/// Frame type bytes.
+pub mod frame {
+    /// Client → server: evaluate one XPath expression.
+    pub const QUERY: u8 = 0x01;
+    /// Server → client: a run of big-endian `u32` result pre ranks.
+    pub const CHUNK: u8 = 0x02;
+    /// Server → client: rendered UTF-8 result (or metric) lines.
+    pub const RCHUNK: u8 = 0x03;
+    /// Server → client: terminal success frame (total, touched, batch).
+    pub const DONE: u8 = 0x04;
+    /// Server → client: terminal error frame (code, message).
+    pub const ERROR: u8 = 0x05;
+    /// Client → server: report server metrics.
+    pub const STATS: u8 = 0x06;
+    /// Client → server: graceful shutdown request.
+    pub const SHUTDOWN: u8 = 0x08;
+}
+
+/// Request flag bits (first byte of a [`frame::QUERY`] payload).
+pub mod flags {
+    /// Stream rendered node lines ([`frame::RCHUNK`](super::frame::RCHUNK))
+    /// instead of raw pre ranks.
+    pub const RENDER: u8 = 0x01;
+    /// Send no result chunks at all; the client only wants the
+    /// cardinality in the [`frame::DONE`](super::frame::DONE) frame.
+    pub const COUNT_ONLY: u8 = 0x02;
+}
+
+/// Typed error codes (first byte of a [`frame::ERROR`] payload).
+pub mod code {
+    /// The XPath expression did not parse. Connection survives.
+    pub const PARSE: u8 = 1;
+    /// The admission queue is full — back off and retry. Connection
+    /// survives.
+    pub const BUSY: u8 = 2;
+    /// The frame or payload did not decode. The connection survives a
+    /// malformed payload (the frame boundary held) and is closed after
+    /// a malformed frame.
+    pub const MALFORMED: u8 = 3;
+    /// The announced frame length exceeds the server's limit.
+    /// Connection closes.
+    pub const OVERSIZED: u8 = 4;
+    /// The server is draining for shutdown and admits no new queries.
+    /// Connection survives (until the server exits).
+    pub const SHUTTING_DOWN: u8 = 5;
+    /// The server lost its execution engine mid-request. Connection
+    /// closes.
+    pub const INTERNAL: u8 = 6;
+    /// The connection idled (or dribbled a partial frame) past the
+    /// read timeout. Connection closes.
+    pub const TIMEOUT: u8 = 7;
+    /// The request named an unknown engine. Connection survives.
+    pub const ENGINE: u8 = 8;
+}
+
+/// Frame header size: `u32` payload length + `u8` frame type.
+pub const HEADER_LEN: usize = 5;
+
+/// A decoded frame: type byte plus raw payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// One of the [`frame`] constants (unknown values are delivered and
+    /// left to the caller to reject).
+    pub ty: u8,
+    /// The raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Why reading a frame failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed (including timeouts).
+    Io(std::io::Error),
+    /// The announced payload length exceeds the reader's limit.
+    Oversized {
+        /// The announced payload length.
+        len: u32,
+        /// The reader's limit.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+/// Reads one frame, blocking. `Ok(None)` is a clean EOF — the peer
+/// closed between frames.
+///
+/// # Errors
+///
+/// [`FrameError::Oversized`] when the announced length exceeds
+/// `max_frame` (nothing past the header is consumed);
+/// [`FrameError::Io`] on stream errors, including an EOF that cuts a
+/// frame in half.
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> Result<Option<Frame>, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    // A clean EOF before the first header byte is a normal close.
+    match r.read(&mut header[..1]) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(e.into()),
+    }
+    r.read_exact(&mut header[1..])?;
+    let len = u32::from_be_bytes([header[0], header[1], header[2], header[3]]);
+    if len as usize > max_frame {
+        return Err(FrameError::Oversized {
+            len,
+            max: max_frame,
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(Frame {
+        ty: header[4],
+        payload,
+    }))
+}
+
+/// Encodes a frame (header + payload) into one buffer, ready for a
+/// single `write_all`.
+pub fn encode_frame(ty: u8, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.push(ty);
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// Propagates the stream's error (including write timeouts).
+pub fn write_frame(w: &mut impl Write, ty: u8, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&encode_frame(ty, payload))
+}
+
+/// Builds a [`frame::QUERY`] payload.
+pub fn query_payload(flags: u8, engine: &str, expr: &str) -> Vec<u8> {
+    let mut p = Vec::with_capacity(2 + engine.len() + expr.len());
+    p.push(flags);
+    p.push(engine.len() as u8);
+    p.extend_from_slice(engine.as_bytes());
+    p.extend_from_slice(expr.as_bytes());
+    p
+}
+
+/// Decodes a [`frame::QUERY`] payload into `(flags, engine, expr)`.
+///
+/// # Errors
+///
+/// A human-readable description of the defect (truncated payload,
+/// engine-name length past the end, non-UTF-8 text).
+pub fn parse_query_payload(payload: &[u8]) -> Result<(u8, &str, &str), String> {
+    if payload.len() < 2 {
+        return Err(format!(
+            "query payload of {} bytes is truncated",
+            payload.len()
+        ));
+    }
+    let flags = payload[0];
+    let engine_len = payload[1] as usize;
+    let rest = &payload[2..];
+    if engine_len > rest.len() {
+        return Err(format!(
+            "engine name of {engine_len} bytes overruns the {}-byte payload",
+            payload.len()
+        ));
+    }
+    let engine = std::str::from_utf8(&rest[..engine_len])
+        .map_err(|_| "engine name is not UTF-8".to_string())?;
+    let expr = std::str::from_utf8(&rest[engine_len..])
+        .map_err(|_| "expression is not UTF-8".to_string())?;
+    Ok((flags, engine, expr))
+}
+
+/// Builds a [`frame::DONE`] payload.
+pub fn done_payload(total: u32, touched: u64, batch: u32) -> Vec<u8> {
+    let mut p = Vec::with_capacity(16);
+    p.extend_from_slice(&total.to_be_bytes());
+    p.extend_from_slice(&touched.to_be_bytes());
+    p.extend_from_slice(&batch.to_be_bytes());
+    p
+}
+
+/// Decodes a [`frame::DONE`] payload into `(total, touched, batch)`.
+///
+/// # Errors
+///
+/// A description of the defect when the payload is not 16 bytes.
+pub fn parse_done_payload(payload: &[u8]) -> Result<(u32, u64, u32), String> {
+    if payload.len() != 16 {
+        return Err(format!("done payload is {} bytes, not 16", payload.len()));
+    }
+    let total = u32::from_be_bytes(payload[0..4].try_into().expect("4 bytes"));
+    let touched = u64::from_be_bytes(payload[4..12].try_into().expect("8 bytes"));
+    let batch = u32::from_be_bytes(payload[12..16].try_into().expect("4 bytes"));
+    Ok((total, touched, batch))
+}
+
+/// Builds a [`frame::ERROR`] payload.
+pub fn error_payload(code: u8, message: &str) -> Vec<u8> {
+    let mut p = Vec::with_capacity(1 + message.len());
+    p.push(code);
+    p.extend_from_slice(message.as_bytes());
+    p
+}
+
+/// Decodes a [`frame::ERROR`] payload into `(code, message)`.
+///
+/// # Errors
+///
+/// A description of the defect when the payload is empty or the
+/// message is not UTF-8.
+pub fn parse_error_payload(payload: &[u8]) -> Result<(u8, &str), String> {
+    let (&code, msg) = payload
+        .split_first()
+        .ok_or_else(|| "error payload is empty".to_string())?;
+    let message = std::str::from_utf8(msg).map_err(|_| "error message is not UTF-8".to_string())?;
+    Ok((code, message))
+}
+
+/// Builds a [`frame::CHUNK`] payload from a run of pre ranks.
+pub fn ids_payload(ids: &[Pre]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(ids.len() * 4);
+    for id in ids {
+        p.extend_from_slice(&id.to_be_bytes());
+    }
+    p
+}
+
+/// Decodes a [`frame::CHUNK`] payload back into pre ranks.
+///
+/// # Errors
+///
+/// A description of the defect when the payload length is not a
+/// multiple of four.
+pub fn parse_ids_payload(payload: &[u8]) -> Result<Vec<Pre>, String> {
+    if !payload.len().is_multiple_of(4) {
+        return Err(format!(
+            "id chunk of {} bytes is not a whole number of u32s",
+            payload.len()
+        ));
+    }
+    Ok(payload
+        .chunks_exact(4)
+        .map(|c| Pre::from_be_bytes(c.try_into().expect("4 bytes")))
+        .collect())
+}
+
+/// Resolves a wire engine name to a validated [`Engine`] — the same
+/// seven names `xq --engine` accepts, at their default configurations
+/// (variants are a client-side concern; the wire names pick policies,
+/// not knobs).
+pub fn engine_by_name(name: &str) -> Option<Engine> {
+    match name {
+        "staircase" => Some(Engine::default()),
+        "pushdown" => Engine::staircase().pushdown(true).build().ok(),
+        "fragmented" => Engine::staircase().fragmented(true).build().ok(),
+        "parallel" => Engine::staircase().parallel(4).build().ok(),
+        "naive" => Some(Engine::naive()),
+        "sql" => Engine::sql()
+            .eq1_window(true)
+            .early_nametest(true)
+            .build()
+            .ok(),
+        "auto" => Some(Engine::auto()),
+        _ => None,
+    }
+}
+
+/// Renders one result node the way `xq` prints it — shared by the
+/// server's [`flags::RENDER`] path and `xq`'s local mode, so remote and
+/// local output are byte-identical.
+pub fn render_node(doc: &Doc, v: Pre) -> String {
+    match doc.kind(v) {
+        NodeKind::Element => format!("<{}>", doc.tag_name(v).unwrap_or("?")),
+        NodeKind::Attribute => format!(
+            "@{}={:?}",
+            doc.tag_name(v).unwrap_or("?"),
+            doc.content(v).unwrap_or("")
+        ),
+        NodeKind::Text => format!("text {:?}", truncate(doc.content(v).unwrap_or(""))),
+        NodeKind::Comment => format!("comment {:?}", truncate(doc.content(v).unwrap_or(""))),
+        NodeKind::Pi => format!("pi <?{}?>", doc.tag_name(v).unwrap_or("?")),
+    }
+}
+
+/// The full output line for one result node (`pre <rank>  <rendered>`).
+pub fn render_line(doc: &Doc, v: Pre) -> String {
+    format!("pre {:>8}  {}", v, render_node(doc, v))
+}
+
+fn truncate(s: &str) -> &str {
+    let end = s
+        .char_indices()
+        .map(|(i, _)| i)
+        .take_while(|&i| i <= 40)
+        .last()
+        .unwrap_or(0);
+    &s[..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let payload = query_payload(flags::RENDER, "auto", "//bidder");
+        let bytes = encode_frame(frame::QUERY, &payload);
+        let mut cursor = &bytes[..];
+        let f = read_frame(&mut cursor, 1 << 20).unwrap().unwrap();
+        assert_eq!(f.ty, frame::QUERY);
+        let (fl, engine, expr) = parse_query_payload(&f.payload).unwrap();
+        assert_eq!((fl, engine, expr), (flags::RENDER, "auto", "//bidder"));
+    }
+
+    #[test]
+    fn eof_between_frames_is_clean() {
+        let mut empty: &[u8] = &[];
+        assert!(read_frame(&mut empty, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_inside_a_frame_is_an_error() {
+        let bytes = encode_frame(frame::QUERY, &[0u8; 10]);
+        let mut cut = &bytes[..7];
+        assert!(matches!(read_frame(&mut cut, 1024), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        bytes.push(frame::QUERY);
+        let mut cursor = &bytes[..];
+        assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(FrameError::Oversized {
+                len: u32::MAX,
+                max: 1024
+            })
+        ));
+    }
+
+    #[test]
+    fn done_and_error_payloads_round_trip() {
+        let (t, n, b) = parse_done_payload(&done_payload(7, 1234, 3)).unwrap();
+        assert_eq!((t, n, b), (7, 1234, 3));
+        let err = error_payload(code::BUSY, "full");
+        let (c, m) = parse_error_payload(&err).unwrap();
+        assert_eq!((c, m), (code::BUSY, "full"));
+        assert!(parse_done_payload(&[0; 3]).is_err());
+        assert!(parse_error_payload(&[]).is_err());
+    }
+
+    #[test]
+    fn id_chunks_round_trip() {
+        let ids = vec![0u32, 5, 1_000_000];
+        assert_eq!(parse_ids_payload(&ids_payload(&ids)).unwrap(), ids);
+        assert!(parse_ids_payload(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn malformed_query_payloads_are_described() {
+        assert!(parse_query_payload(&[]).is_err());
+        // Engine length pointing past the end of the payload.
+        assert!(parse_query_payload(&[0, 200, b'a']).is_err());
+        // Non-UTF-8 expression.
+        assert!(parse_query_payload(&[0, 1, b'a', 0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn every_wire_engine_name_resolves() {
+        for name in [
+            "staircase",
+            "pushdown",
+            "fragmented",
+            "parallel",
+            "naive",
+            "sql",
+            "auto",
+        ] {
+            assert!(engine_by_name(name).is_some(), "{name}");
+        }
+        assert!(engine_by_name("warp-drive").is_none());
+    }
+}

@@ -1,0 +1,59 @@
+//! Graceful-shutdown coordination: one shared flag, checked at every
+//! blocking point.
+//!
+//! The sequence on trigger is: the acceptor stops accepting (its
+//! nonblocking poll loop sees the flag within one tick), connection
+//! threads answer queued replies and then close at their next read
+//! tick, and the batcher drains every admitted query — nothing already
+//! accepted is dropped — before its thread exits. New admissions after
+//! the trigger are refused with a typed `SHUTTING_DOWN` error frame.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable shutdown flag shared by the acceptor, every connection
+/// thread, and the batcher.
+#[derive(Clone, Default)]
+pub struct Shutdown {
+    flag: Arc<AtomicBool>,
+}
+
+impl Shutdown {
+    /// A fresh, untriggered flag.
+    pub fn new() -> Shutdown {
+        Shutdown::default()
+    }
+
+    /// Triggers shutdown. Idempotent; never blocks.
+    pub fn trigger(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once [`Shutdown::trigger`] has run.
+    pub fn is_triggered(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+impl std::fmt::Debug for Shutdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shutdown")
+            .field("triggered", &self.is_triggered())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_is_visible_to_clones_and_idempotent() {
+        let s = Shutdown::new();
+        let c = s.clone();
+        assert!(!c.is_triggered());
+        s.trigger();
+        s.trigger();
+        assert!(c.is_triggered());
+    }
+}

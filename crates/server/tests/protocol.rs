@@ -1,0 +1,294 @@
+//! Protocol-level robustness tests over a real listener: malformed and
+//! oversized frames, read timeouts, backpressure (`SERVER_BUSY`), and
+//! graceful shutdown.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use staircase_server::protocol::{self, code, flags, frame};
+use staircase_server::{Client, ClientError, QueryOptions, Server, ServerConfig, ServerHandle};
+use staircase_xpath::Session;
+
+const SAMPLE: &str = "<site><open_auctions><open_auction id='a0'><bidder><increase>1</increase>\
+    </bidder><bidder><increase>2</increase></bidder></open_auction>\
+    </open_auctions></site>";
+
+fn start(config: ServerConfig) -> ServerHandle {
+    let session = Arc::new(Session::parse_xml(SAMPLE).expect("fixture parses"));
+    Server::start(session, config).expect("ephemeral bind succeeds")
+}
+
+fn opts(engine: &str) -> QueryOptions {
+    QueryOptions {
+        engine: engine.to_string(),
+        render: false,
+        count_only: false,
+    }
+}
+
+#[test]
+fn queries_round_trip_on_every_engine() {
+    let handle = start(ServerConfig::default());
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    for engine in [
+        "staircase",
+        "pushdown",
+        "fragmented",
+        "parallel",
+        "naive",
+        "sql",
+        "auto",
+    ] {
+        let reply = client
+            .query("/descendant::increase/ancestor::bidder", &opts(engine))
+            .unwrap_or_else(|e| panic!("{engine}: {e}"));
+        assert_eq!(reply.total, 2, "{engine}");
+        assert_eq!(reply.ids.len(), 2, "{engine}");
+        assert!(reply.touched > 0, "{engine}");
+        assert!(reply.batch_size >= 1, "{engine}");
+    }
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn count_only_and_render_modes() {
+    let handle = start(ServerConfig::default());
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let counted = client
+        .query(
+            "//bidder",
+            &QueryOptions {
+                count_only: true,
+                ..opts("staircase")
+            },
+        )
+        .unwrap();
+    assert_eq!(counted.total, 2);
+    assert!(counted.ids.is_empty(), "count-only sends no chunks");
+
+    let rendered = client
+        .query(
+            "//bidder",
+            &QueryOptions {
+                render: true,
+                ..opts("staircase")
+            },
+        )
+        .unwrap();
+    assert_eq!(rendered.rendered.len(), 2);
+    for line in &rendered.rendered {
+        assert!(line.starts_with("pre "), "{line}");
+        assert!(line.contains("<bidder>"), "{line}");
+    }
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn parse_and_engine_errors_leave_the_connection_usable() {
+    let handle = start(ServerConfig::default());
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let err = client.query("///bad[", &opts("staircase")).unwrap_err();
+    assert!(
+        matches!(err, ClientError::Server { code: c, .. } if c == code::PARSE),
+        "{err:?}"
+    );
+    let err = client.query("//bidder", &opts("warp-drive")).unwrap_err();
+    assert!(
+        matches!(err, ClientError::Server { code: c, .. } if c == code::ENGINE),
+        "{err:?}"
+    );
+    // Same connection, still serving.
+    let reply = client.query("//bidder", &opts("staircase")).unwrap();
+    assert_eq!(reply.total, 2);
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn malformed_payload_is_answered_and_survived() {
+    let handle = start(ServerConfig::default());
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+
+    // A QUERY frame whose engine-name length overruns the payload.
+    let bad = protocol::encode_frame(frame::QUERY, &[flags::COUNT_ONLY, 250, b'x']);
+    stream.write_all(&bad).unwrap();
+    let f = protocol::read_frame(&mut stream, 1 << 20).unwrap().unwrap();
+    assert_eq!(f.ty, frame::ERROR);
+    let (c, msg) = protocol::parse_error_payload(&f.payload).unwrap();
+    assert_eq!(c, code::MALFORMED, "{msg}");
+
+    // An unknown frame type is also answered in place.
+    stream
+        .write_all(&protocol::encode_frame(0x7F, &[]))
+        .unwrap();
+    let f = protocol::read_frame(&mut stream, 1 << 20).unwrap().unwrap();
+    let (c, _) = protocol::parse_error_payload(&f.payload).unwrap();
+    assert_eq!(c, code::MALFORMED);
+
+    // The connection survived both: a clean query still answers.
+    stream
+        .write_all(&protocol::encode_frame(
+            frame::QUERY,
+            &protocol::query_payload(flags::COUNT_ONLY, "staircase", "//bidder"),
+        ))
+        .unwrap();
+    let f = protocol::read_frame(&mut stream, 1 << 20).unwrap().unwrap();
+    assert_eq!(f.ty, frame::DONE);
+    let (total, _, _) = protocol::parse_done_payload(&f.payload).unwrap();
+    assert_eq!(total, 2);
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn oversized_frames_error_and_close() {
+    let config = ServerConfig {
+        max_frame: 1024,
+        ..ServerConfig::default()
+    };
+    let handle = start(config);
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    // Announce a 2 MiB payload against a 1 KiB limit; no need to send it.
+    let mut header = Vec::new();
+    header.extend_from_slice(&(2u32 << 20).to_be_bytes());
+    header.push(frame::QUERY);
+    stream.write_all(&header).unwrap();
+    let f = protocol::read_frame(&mut stream, 1 << 20).unwrap().unwrap();
+    assert_eq!(f.ty, frame::ERROR);
+    let (c, msg) = protocol::parse_error_payload(&f.payload).unwrap();
+    assert_eq!(c, code::OVERSIZED);
+    assert!(msg.contains("1024"), "{msg}");
+    // The server closes after an oversized frame.
+    let mut buf = [0u8; 1];
+    assert_eq!(stream.read(&mut buf).unwrap_or(0), 0, "connection closed");
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn idle_connections_time_out_with_a_typed_error() {
+    let config = ServerConfig {
+        read_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    };
+    let handle = start(config);
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let started = Instant::now();
+    // Send nothing; the server must close us out with TIMEOUT.
+    let f = protocol::read_frame(&mut stream, 1 << 20).unwrap().unwrap();
+    assert_eq!(f.ty, frame::ERROR);
+    let (c, _) = protocol::parse_error_payload(&f.payload).unwrap();
+    assert_eq!(c, code::TIMEOUT);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "timeout fired way late: {:?}",
+        started.elapsed()
+    );
+    let mut buf = [0u8; 1];
+    assert_eq!(stream.read(&mut buf).unwrap_or(0), 0, "connection closed");
+    assert!(
+        handle
+            .metrics()
+            .timeouts
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn a_dribbled_partial_frame_times_out_too() {
+    let config = ServerConfig {
+        read_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    };
+    let handle = start(config);
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    // Three header bytes, then silence: the deadline covers the whole
+    // frame, not just the first byte.
+    stream.write_all(&[0, 0, 0]).unwrap();
+    let f = protocol::read_frame(&mut stream, 1 << 20).unwrap().unwrap();
+    let (c, _) = protocol::parse_error_payload(&f.payload).unwrap();
+    assert_eq!(c, code::TIMEOUT);
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn saturated_admission_queue_answers_server_busy() {
+    // A huge window and a queue depth of 1: the first query parks in
+    // the open round, the second must bounce with SERVER_BUSY.
+    let config = ServerConfig {
+        window: Duration::from_millis(500),
+        queue_depth: 1,
+        max_batch: 64,
+        ..ServerConfig::default()
+    };
+    let handle = start(config);
+    let addr = handle.local_addr();
+
+    let parked = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.query("//bidder", &opts("staircase")).unwrap()
+    });
+    // Give the first query time to be admitted into the open window.
+    std::thread::sleep(Duration::from_millis(150));
+
+    let mut client = Client::connect(addr).unwrap();
+    let err = client.query("//bidder", &opts("staircase")).unwrap_err();
+    assert!(
+        matches!(err, ClientError::Server { code: c, .. } if c == code::BUSY),
+        "{err:?}"
+    );
+    let parked_reply = parked.join().expect("parked client answered");
+    assert_eq!(parked_reply.total, 2);
+
+    // Backpressure is per-request, not per-connection: the window has
+    // drained (the parked client got its answer), so the same
+    // connection that bounced is served again.
+    let reply = client.query("//bidder", &opts("staircase")).unwrap();
+    assert_eq!(reply.total, 2);
+    assert!(
+        handle
+            .metrics()
+            .busy_rejections
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn stats_frame_reports_counters() {
+    let handle = start(ServerConfig::default());
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    client.query("//bidder", &opts("staircase")).unwrap();
+    let stats = client.server_stats().unwrap();
+    let queries: u64 = stats
+        .lines()
+        .find_map(|l| l.strip_prefix("queries_ok "))
+        .and_then(|v| v.parse().ok())
+        .expect("queries_ok line");
+    assert_eq!(queries, 1, "{stats}");
+    assert!(stats.contains("batches 1"), "{stats}");
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn shutdown_frame_drains_and_exits() {
+    let handle = start(ServerConfig::default());
+    let addr = handle.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    let reply = client.query("//bidder", &opts("auto")).unwrap();
+    assert_eq!(reply.total, 2);
+    client.shutdown_server().unwrap();
+    // join() returns because the SHUTDOWN frame triggered the exit.
+    handle.join();
+    // New queries on the old connection are refused or the connection
+    // is closed — either way, no silent hang.
+    let outcome = client.query("//bidder", &opts("auto"));
+    assert!(outcome.is_err(), "server is gone: {outcome:?}");
+}

@@ -6,6 +6,10 @@
 //!                                  line) in one shared pass
 //! xq --encode <FILE> <OUT.scj>     encode an XML file to the binary plane
 //! xq <XPATH> --encoded <FILE.scj>  query a pre-encoded document
+//! xq <XPATH> --connect <ADDR>      send the query to a running
+//!                                  staircase-serve instead of loading
+//!                                  a document locally (--query-file
+//!                                  batches work here too)
 //!
 //! options:
 //!   --engine staircase|pushdown|fragmented|parallel|naive|sql|auto
@@ -26,8 +30,13 @@
 //!
 //! Exit codes: `0` success, `2` usage or engine-configuration error,
 //! `3` XPath/XML/decode parse error, `4` I/O error, `5` partial batch
-//! (one or more `--query-file` lines failed to parse; each failure is
-//! reported with its line number and the remaining queries still run).
+//! (one or more `--query-file` lines failed to load or parse; each
+//! failure is reported with its line number and the remaining queries
+//! still run — the normative contract lives in
+//! `staircase_server::mix`), `6` server unavailable (`SERVER_BUSY`
+//! backpressure or a draining server in `--connect` mode). Server-side
+//! parse errors in `--connect` mode map to `3`, exactly like local
+//! ones.
 //!
 //! Examples:
 //!
@@ -60,13 +69,19 @@
 use std::io::Read;
 use std::process::exit;
 
+use staircase_server::protocol::code as server_code;
+use staircase_server::{mix, render_node, Client, ClientError, QueryOptions};
 use staircase_suite::prelude::*;
 
 const EXIT_USAGE: i32 = 2;
 const EXIT_PARSE: i32 = 3;
 const EXIT_IO: i32 = 4;
-/// Some `--query-file` lines failed to parse; the rest ran.
+/// Some `--query-file` lines failed to load or parse; the rest ran.
+/// (Normative contract: `staircase_server::mix`.)
 const EXIT_BATCH_PARTIAL: i32 = 5;
+/// The server refused the query (backpressure or shutdown) — retry
+/// later; nothing was wrong with the query itself.
+const EXIT_UNAVAILABLE: i32 = 6;
 
 struct Options {
     query: Option<String>,
@@ -74,6 +89,7 @@ struct Options {
     file: Option<String>,
     encoded: Option<String>,
     encode_to: Option<(String, String)>,
+    connect: Option<String>,
     engine_name: String,
     variant: Option<Variant>,
     threads: Option<usize>,
@@ -90,6 +106,8 @@ fn usage() -> ! {
          \u{20}      xq --query-file <QF> [FILE]   (one XPath per line, batched)\n\
          \u{20}      xq --encode <FILE> <OUT.scj>\n\
          \u{20}      xq <XPATH> --encoded <FILE.scj>\n\
+         \u{20}      xq <XPATH> --connect <ADDR>   (query a running staircase-serve;\n\
+         \u{20}      also with --query-file; local-only flags are rejected)\n\
          engines:  staircase (default) | pushdown | fragmented | parallel | naive | sql\n\
          \u{20}         | auto (cost-based per-step operator picking)\n\
          variants: basic | skipping | estimation (default)\n\
@@ -128,6 +146,7 @@ fn parse_args() -> Options {
         file: None,
         encoded: None,
         encode_to: None,
+        connect: None,
         engine_name: "staircase".to_string(),
         variant: None,
         threads: None,
@@ -139,6 +158,7 @@ fn parse_args() -> Options {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--connect" => opts.connect = Some(args.next().unwrap_or_else(|| usage())),
             "--encode" => {
                 let src = args.next().unwrap_or_else(|| usage());
                 let dst = args.next().unwrap_or_else(|| usage());
@@ -238,32 +258,110 @@ fn session_threads(opts: &Options) -> Option<usize> {
         .or_else(|| (opts.engine_name == "parallel").then_some(4))
 }
 
-fn render_node(doc: &Doc, v: Pre) -> String {
-    match doc.kind(v) {
-        NodeKind::Element => format!("<{}>", doc.tag_name(v).unwrap_or("?")),
-        NodeKind::Attribute => format!(
-            "@{}={:?}",
-            doc.tag_name(v).unwrap_or("?"),
-            doc.content(v).unwrap_or("")
-        ),
-        NodeKind::Text => format!("text {:?}", truncate(doc.content(v).unwrap_or(""))),
-        NodeKind::Comment => format!("comment {:?}", truncate(doc.content(v).unwrap_or(""))),
-        NodeKind::Pi => format!("pi <?{}?>", doc.tag_name(v).unwrap_or("?")),
-    }
+/// Exits with the code matching a `--connect`-mode failure: server
+/// parse errors are parse errors (`3`, same as local), unknown engines
+/// are usage (`2`), backpressure/shutdown is `6` (retry later), and
+/// everything transport-shaped is I/O (`4`).
+fn fail_client(context: &str, err: ClientError) -> ! {
+    eprintln!(
+        "xq: {context}{}{err}",
+        if context.is_empty() { "" } else { ": " }
+    );
+    let exit_code = match &err {
+        ClientError::Server { code, .. } => match *code {
+            server_code::PARSE => EXIT_PARSE,
+            server_code::ENGINE => EXIT_USAGE,
+            server_code::BUSY | server_code::SHUTTING_DOWN => EXIT_UNAVAILABLE,
+            _ => EXIT_IO,
+        },
+        ClientError::Io(_) | ClientError::Protocol(_) => EXIT_IO,
+    };
+    exit(exit_code);
 }
 
-fn truncate(s: &str) -> &str {
-    let end = s
-        .char_indices()
-        .map(|(i, _)| i)
-        .take_while(|&i| i <= 40)
-        .last()
-        .unwrap_or(0);
-    &s[..end]
+/// `--connect` mode: the same queries, answered by a running
+/// `staircase-serve` over the frame protocol, printed with the same
+/// formatting (the server renders through the shared `render_line`).
+fn run_connect(addr: &str, opts: &Options) -> ! {
+    // Everything that configures *local* evaluation is meaningless
+    // against a server and is rejected instead of silently ignored.
+    if opts.file.is_some()
+        || opts.encoded.is_some()
+        || opts.encode_to.is_some()
+        || opts.variant.is_some()
+        || opts.threads.is_some()
+        || opts.warm
+        || opts.explain
+    {
+        usage();
+    }
+    let mut client = Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("xq: {addr}: {e}");
+        exit(EXIT_IO);
+    });
+    let query_opts = QueryOptions {
+        engine: opts.engine_name.clone(),
+        render: !opts.count_only,
+        count_only: opts.count_only,
+    };
+
+    // Batch mode over the wire: one request per query-file line, one
+    // connection, streamed printing. Load and parse failures follow the
+    // partial-batch contract (see `staircase_server::mix`).
+    if let Some(path) = &opts.query_file {
+        let (lines, issues) = mix::read_query_lines(path).unwrap_or_else(|e| {
+            eprintln!("xq: {path}: {e}");
+            exit(EXIT_IO);
+        });
+        let mut failures = issues.len();
+        for issue in &issues {
+            eprintln!("xq: {path}:{}: {}", issue.lineno, issue.message);
+        }
+        for line in &lines {
+            if !opts.count_only {
+                println!("# {}", line.text);
+            }
+            let sent = client.query_streamed(&line.text, &query_opts, &mut |_| {}, &mut |text| {
+                print!("{text}")
+            });
+            match sent {
+                Ok((total, touched, batch)) => {
+                    if opts.stats {
+                        eprintln!("server: touched {touched}  batch {batch}");
+                    }
+                    if opts.count_only {
+                        println!("{:>8}  {}", total, line.text);
+                    }
+                }
+                Err(ClientError::Server { code, message }) if code == server_code::PARSE => {
+                    eprintln!("xq: {path}:{}: {}: {message}", line.lineno, line.text);
+                    failures += 1;
+                }
+                Err(other) => fail_client(&line.text, other),
+            }
+        }
+        exit(if failures > 0 { EXIT_BATCH_PARTIAL } else { 0 });
+    }
+
+    let expr = opts.query.as_deref().unwrap_or_else(|| usage());
+    let (total, touched, batch) = client
+        .query_streamed(expr, &query_opts, &mut |_| {}, &mut |text| print!("{text}"))
+        .unwrap_or_else(|e| fail_client("", e));
+    if opts.stats {
+        eprintln!("server: touched {touched}  batch {batch}");
+    }
+    if opts.count_only {
+        println!("{total}");
+    }
+    exit(0);
 }
 
 fn main() {
     let opts = parse_args();
+
+    if let Some(addr) = &opts.connect {
+        run_connect(addr, &opts);
+    }
 
     // Encoding mode.
     if let Some((src, dst)) = &opts.encode_to {
@@ -309,22 +407,23 @@ fn main() {
     }
 
     // Batch mode: every expression in the query file, one shared pass.
-    // A line that fails to parse is reported (with its line number) and
-    // skipped rather than aborting the whole batch; the exit code then
-    // distinguishes the partial batch from a clean run.
+    // Loading is buffered and per-line (`staircase_server::mix`, the
+    // same loader the server's query-mix path uses): a line that fails
+    // to load (bad UTF-8) or to parse is reported with its line number
+    // and skipped rather than aborting the whole batch; the exit code
+    // then distinguishes the partial batch from a clean run.
     if let Some(path) = &opts.query_file {
-        let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(path, e.into()));
-        let mut parse_failures = 0usize;
+        let (lines, issues) = mix::read_query_lines(path).unwrap_or_else(|e| fail(path, e.into()));
+        let mut parse_failures = issues.len();
+        for issue in &issues {
+            eprintln!("xq: {path}:{}: {}", issue.lineno, issue.message);
+        }
         let mut queries = Vec::new();
-        for (lineno, line) in text.lines().enumerate() {
-            let expr = line.trim();
-            if expr.is_empty() || expr.starts_with('#') {
-                continue;
-            }
-            match session.prepare(expr) {
+        for line in &lines {
+            match session.prepare(&line.text) {
                 Ok(query) => queries.push(query),
                 Err(err) => {
-                    eprintln!("xq: {path}:{}: {expr}: {err}", lineno + 1);
+                    eprintln!("xq: {path}:{}: {}: {err}", line.lineno, line.text);
                     parse_failures += 1;
                 }
             }

@@ -1,0 +1,150 @@
+//! End-to-end server test: a real listener on an ephemeral port, many
+//! concurrent client threads on mixed engines, every response asserted
+//! node- and order-identical to a sequential `Session::run` of the same
+//! expression.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use staircase_server::{Client, QueryOptions, Server, ServerConfig};
+use staircase_suite::prelude::*;
+
+/// A generated xmark-ish document big enough that shared scans matter
+/// and queries return non-trivial result sets.
+fn session() -> Arc<Session> {
+    Arc::new(Session::new(generate(XmarkConfig::new(0.05))))
+}
+
+const EXPRS: [&str; 8] = [
+    "/descendant::profile/descendant::education",
+    "/descendant::increase/ancestor::bidder",
+    "/descendant::bidder",
+    "/descendant::date/ancestor::open_auction",
+    "/descendant::person",
+    "/descendant::bidder[increase]",
+    "/descendant::open_auction[bidder]/descendant::date",
+    "/descendant::education/ancestor::person",
+];
+
+const ENGINES: [&str; 5] = ["staircase", "fragmented", "auto", "sql", "naive"];
+
+fn engine_of(name: &str) -> Engine {
+    staircase_server::engine_by_name(name).expect("wire engine name")
+}
+
+/// ≥ 8 concurrent clients, mixed engines (incl. `auto`), a batching
+/// window: every streamed response must equal the sequential
+/// `Session::run` answer, node for node, in order.
+#[test]
+fn concurrent_clients_match_sequential_run_exactly() {
+    let session = session();
+    // The oracle: sequential runs, engine by engine, before any server
+    // traffic exists.
+    let mut expected: Vec<Vec<Vec<Pre>>> = Vec::new();
+    for engine in ENGINES {
+        expected.push(
+            EXPRS
+                .iter()
+                .map(|e| {
+                    session
+                        .run(e, engine_of(engine))
+                        .expect("oracle query parses")
+                        .into_nodes()
+                        .into_vec()
+                })
+                .collect(),
+        );
+    }
+    let expected = Arc::new(expected);
+
+    let config = ServerConfig {
+        window: Duration::from_millis(3),
+        max_batch: 64,
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(Arc::clone(&session), config).expect("bind");
+    let addr = handle.local_addr();
+
+    const CLIENTS: usize = 10;
+    const ROUNDS: usize = 3;
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for round in 0..ROUNDS {
+                    // Stagger engines and expressions across clients and
+                    // rounds so windows mix engines and expressions.
+                    let ei = (c + round) % ENGINES.len();
+                    for (qi, expr) in EXPRS.iter().enumerate() {
+                        let reply = client
+                            .query(
+                                expr,
+                                &QueryOptions {
+                                    engine: ENGINES[ei].to_string(),
+                                    render: false,
+                                    count_only: false,
+                                },
+                            )
+                            .unwrap_or_else(|e| panic!("client {c}: {expr}: {e}"));
+                        assert_eq!(
+                            reply.ids, expected[ei][qi],
+                            "client {c} round {round}: {} on {expr} diverged from \
+                             sequential run",
+                            ENGINES[ei]
+                        );
+                        assert_eq!(reply.total as usize, expected[ei][qi].len());
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+
+    // The server must have actually batched some of that concurrency:
+    // every query answered, at least one multi-query shared pass.
+    let metrics = handle.metrics();
+    let queries = metrics
+        .queries_ok
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(queries as usize, CLIENTS * ROUNDS * EXPRS.len());
+    let batches = metrics.batches.load(std::sync::atomic::Ordering::Relaxed);
+    let batched = metrics
+        .batched_queries
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(batched, queries, "every query rode in exactly one pass");
+    assert!(
+        batches <= queries,
+        "passes cannot outnumber queries (batches {batches}, queries {queries})"
+    );
+    handle.shutdown_and_join();
+}
+
+/// Rendered streaming matches what local `xq`-style rendering would
+/// produce (same shared `render_line`).
+#[test]
+fn rendered_results_match_local_rendering() {
+    let session = session();
+    let handle = Server::start(Arc::clone(&session), ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    let expr = "/descendant::increase/ancestor::bidder";
+    let reply = client
+        .query(
+            expr,
+            &QueryOptions {
+                engine: "auto".to_string(),
+                render: true,
+                count_only: false,
+            },
+        )
+        .expect("query");
+    let local = session.run(expr, Engine::auto()).expect("parses");
+    let local_lines: Vec<String> = local
+        .iter()
+        .map(|v| staircase_server::render_line(session.doc(), v))
+        .collect();
+    assert_eq!(reply.rendered, local_lines);
+    handle.shutdown_and_join();
+}

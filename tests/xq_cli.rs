@@ -380,6 +380,39 @@ fn query_file_parse_errors_continue_with_partial_code() {
 }
 
 #[test]
+fn query_file_invalid_utf8_line_is_reported_and_skipped() {
+    let dir = tempdir();
+    let doc = dir.join("utf8batch.xml");
+    let qf = dir.join("utf8-queries.txt");
+    std::fs::write(&doc, SAMPLE).unwrap();
+    // Line 2 is not UTF-8. A whole-file read would abort everything;
+    // the buffered per-line reader reports it and runs the rest.
+    std::fs::write(&qf, b"//bidder\n\xFF\xFE\n//date\n").unwrap();
+    let out = xq()
+        .args([
+            "--query-file",
+            qf.to_str().unwrap(),
+            doc.to_str().unwrap(),
+            "--count",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "a bad-encoding line is a partial batch, not an I/O abort"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("utf8-queries.txt:2"), "stderr: {stderr}");
+    assert!(stderr.contains("UTF-8"), "stderr: {stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "both good lines ran: {stdout}");
+    assert!(lines[0].trim().starts_with('3'), "{stdout}");
+    assert!(lines[1].trim().starts_with('1'), "{stdout}");
+}
+
+#[test]
 fn query_file_all_lines_bad_still_reports_each() {
     let dir = tempdir();
     let doc = dir.join("allbad.xml");
@@ -429,6 +462,121 @@ fn warm_flag_with_single_query() {
         .unwrap();
     assert!(out.status.success());
     assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "3");
+}
+
+/// A live in-process server for exercising `xq --connect`.
+fn serve_sample() -> staircase_server::ServerHandle {
+    let session = std::sync::Arc::new(staircase_xpath::Session::parse_xml(SAMPLE).unwrap());
+    staircase_server::Server::start(session, staircase_server::ServerConfig::default()).unwrap()
+}
+
+#[test]
+fn connect_mode_round_trips_against_a_live_server() {
+    let handle = serve_sample();
+    let addr = handle.local_addr().to_string();
+
+    let out = xq()
+        .args(["//bidder", "--connect", &addr, "--count"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "3");
+
+    // Rendered mode uses the same shared formatting as local runs.
+    let out = xq()
+        .args([
+            "/descendant::increase/ancestor::bidder",
+            "--connect",
+            &addr,
+            "--engine",
+            "auto",
+            "--stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 2, "{stdout}");
+    assert!(stdout.contains("pre "), "{stdout}");
+    assert!(stdout.contains("<bidder>"), "{stdout}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("server: touched"),
+        "--stats reports the server-side counters"
+    );
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn connect_mode_maps_server_errors_to_local_exit_codes() {
+    let handle = serve_sample();
+    let addr = handle.local_addr().to_string();
+
+    let out = xq().args(["///bad[", "--connect", &addr]).output().unwrap();
+    assert_eq!(out.status.code(), Some(3), "server parse errors exit 3");
+
+    let out = xq()
+        .args(["//bidder", "--connect", &addr, "--engine", "warp-drive"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "unknown engines exit 2");
+
+    // Local-only flags are rejected up front, not silently ignored.
+    let out = xq()
+        .args(["//bidder", "--connect", &addr, "--threads", "4"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "--threads with --connect exits 2"
+    );
+    handle.shutdown_and_join();
+
+    // Nobody listening: transport errors are I/O errors.
+    let out = xq()
+        .args(["//bidder", "--connect", &addr])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "refused connections exit 4");
+}
+
+#[test]
+fn connect_mode_streams_query_files_with_partial_code() {
+    let handle = serve_sample();
+    let addr = handle.local_addr().to_string();
+    let dir = tempdir();
+    let qf = dir.join("remote-queries.txt");
+    std::fs::write(&qf, "//bidder\n///bad[\n//date\n").unwrap();
+
+    let out = xq()
+        .args([
+            "--query-file",
+            qf.to_str().unwrap(),
+            "--connect",
+            &addr,
+            "--count",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "remote batches share the partial-batch contract: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("remote-queries.txt:2"), "stderr: {stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    assert!(lines[0].trim().starts_with('3'), "{stdout}");
+    assert!(lines[0].contains("//bidder"), "{stdout}");
+    assert!(lines[1].trim().starts_with('1'), "{stdout}");
+    handle.shutdown_and_join();
 }
 
 #[test]
