@@ -64,12 +64,13 @@ pub(crate) fn ancestor_partitions(
         let bound = post[c as usize];
         match variant {
             Variant::Basic => {
-                for v in part_start..c {
-                    stats.nodes_scanned += 1;
-                    if post[v as usize] > bound && kind[v as usize] != attr {
-                        result.push(v);
-                    }
-                }
+                // Algorithm 2 charges every partition position; the
+                // counter is arithmetic, so the containment + kind test
+                // runs through the 64-lane mask kernel.
+                stats.nodes_scanned += u64::from(c - part_start);
+                crate::mask::select_where(part_start, c, result, |v| {
+                    post[v as usize] > bound && kind[v as usize] != attr
+                });
             }
             Variant::Skipping | Variant::EstimationSkipping => {
                 let mut v = part_start;

@@ -125,13 +125,14 @@ pub(crate) fn descendant_partitions(
 
         match variant {
             Variant::Basic => {
-                // Algorithm 2: inspect the entire partition.
-                for v in c + 1..part_end {
-                    stats.nodes_scanned += 1;
-                    if post[v as usize] < bound && kind[v as usize] != attr {
-                        result.push(v);
-                    }
-                }
+                // Algorithm 2: inspect the entire partition. Every
+                // position is charged regardless of the per-node test,
+                // so the counter is arithmetic and the filter runs
+                // through the 64-lane mask kernel.
+                stats.nodes_scanned += u64::from(part_end - c - 1);
+                crate::mask::select_where(c + 1, part_end, result, |v| {
+                    post[v as usize] < bound && kind[v as usize] != attr
+                });
             }
             Variant::Skipping => {
                 // Algorithm 3: the first node v with post(v) ≥ post(c)
@@ -157,12 +158,14 @@ pub(crate) fn descendant_partitions(
                 // copy them without postorder comparisons.
                 let estimate = bound.min(part_end.saturating_sub(1));
                 let mut v = c + 1;
-                while v <= estimate {
-                    stats.nodes_copied += 1;
-                    if kind[v as usize] != attr {
-                        result.push(v);
-                    }
-                    v += 1;
+                if v <= estimate {
+                    // The copy phase charges every position of the
+                    // guaranteed range whether or not it survives the
+                    // attribute filter, so the counter is arithmetic
+                    // and the filter is a masked select.
+                    stats.nodes_copied += u64::from(estimate + 1 - v);
+                    crate::mask::select_non_attr(kind, v, estimate + 1, result);
+                    v = estimate + 1;
                 }
                 // Scan phase: at most level(c) ≤ h more descendants.
                 while v < part_end {

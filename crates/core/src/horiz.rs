@@ -37,14 +37,12 @@ pub fn following(doc: &Doc, context: &Context) -> (Context, StepStats) {
     let n = doc.len() as Pre;
     stats.nodes_skipped = u64::from(start.min(n).saturating_sub(c + 1));
     let kind = doc.kind_column();
-    let attr = NodeKind::Attribute as u8;
     let mut result = Vec::with_capacity(n.saturating_sub(start) as usize);
-    for v in start..n {
-        stats.nodes_copied += 1;
-        if kind[v as usize] != attr {
-            result.push(v);
-        }
-    }
+    // The whole suffix is copied position by position whatever the
+    // attribute filter says, so the counter is arithmetic and the
+    // filter is a masked select.
+    stats.nodes_copied = u64::from(n.saturating_sub(start));
+    crate::mask::select_non_attr(kind, start.min(n), n, &mut result);
     stats.result_size = result.len();
     (Context::from_sorted(result), stats)
 }
@@ -77,12 +75,10 @@ pub fn preceding(doc: &Doc, context: &Context) -> (Context, StepStats) {
                 result.push(v);
             }
             let run = post[v as usize].saturating_sub(v).min(c - v - 1);
-            for w in v + 1..=v + run {
-                stats.nodes_copied += 1;
-                if kind[w as usize] != attr {
-                    result.push(w);
-                }
-            }
+            // Guaranteed-block copy: every run position is charged, so
+            // the attribute filter runs through the mask kernel.
+            stats.nodes_copied += u64::from(run);
+            crate::mask::select_non_attr(kind, v + 1, v + 1 + run, &mut result);
             v += 1 + run;
         } else {
             // v is an ancestor of c: inspect it alone and move on.
@@ -109,7 +105,6 @@ pub fn following_many(
 ) -> Vec<(Context, StepStats)> {
     let n = doc.len() as Pre;
     let kind = doc.kind_column();
-    let attr = NodeKind::Attribute as u8;
 
     // Per lane: the pruned context node and its region start.
     let starts: Vec<Option<(Pre, Pre)>> = contexts
@@ -126,7 +121,7 @@ pub fn following_many(
     // The one shared scan, from the earliest region start.
     let mut base = scratch.take();
     if let Some(start) = widest {
-        base.extend((start..n).filter(|&v| kind[v as usize] != attr));
+        crate::mask::select_non_attr(kind, start, n, &mut base);
     }
 
     // The scan's physical reads go to the first lane with the widest
@@ -330,7 +325,6 @@ pub fn following_many_par(
 ) -> Vec<(Context, StepStats)> {
     let n = doc.len() as Pre;
     let kind = doc.kind_column();
-    let attr = NodeKind::Attribute as u8;
 
     let starts: Vec<Option<(Pre, Pre)>> = contexts
         .iter()
@@ -368,7 +362,7 @@ pub fn following_many_par(
             .zip(buffers)
             .map(|((lo, hi), mut buf)| {
                 move || {
-                    buf.extend((lo..hi).filter(|&v| kind[v as usize] != attr));
+                    crate::mask::select_non_attr(kind, lo, hi, &mut buf);
                     buf
                 }
             })

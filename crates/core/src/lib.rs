@@ -49,8 +49,50 @@
 //! Full XPath evaluation — engine selection, prepared queries, cached
 //! auxiliary structures — lives in `staircase-xpath`'s `Session` type;
 //! this crate is the operator library underneath it.
+//!
+//! ## Data layout & hot loops
+//!
+//! Every operator here bottoms out in a scan of two dense, parallel
+//! columns: `Doc::kind_column()` (`&[u8]`, one kind byte per pre rank)
+//! and `Doc::tag_column()` (`&[TagId]`). The per-element filters those
+//! scans end in — `kind != Attribute` in every copy phase, `kind ==
+//! Element && tag == t` in name tests — are routed through the
+//! chunked bitmask kernels of [`mask`]: 64 positions fold into one
+//! `u64` predicate word (byte-wise SWAR compare on the kind column, a
+//! single vector compare under `--cfg stair_simd`), and survivors are
+//! materialized with one `trailing_zeros` per *match* instead of one
+//! branch per *lane*. Lanes are counted from the window's own start
+//! offset, so unaligned heads are free and only a sub-word tail takes
+//! the partial-mask path.
+//!
+//! **Why statistics parity holds.** The kernels replace only loops
+//! whose [`StepStats`] counters are *arithmetic*: a copy phase charges
+//! `nodes_copied` per **position** of the range regardless of whether
+//! the position survives the attribute filter, and a Basic-variant
+//! window scan charges `nodes_scanned` for the whole window. Masking
+//! changes how the surviving positions are found, never how many
+//! positions are charged, so masked and scalar paths report
+//! byte-identical `StepStats` (proptested). Loops whose extent is
+//! data-dependent — the skipping variants' first-miss early-outs, the
+//! ancestor subtree jumps — stay scalar: their counters depend on
+//! *where* the scan stopped, which a batched mask cannot reproduce
+//! without doing the scalar work anyway.
+//!
+//! **Masked name tests vs. the fragment join.** A name test over a
+//! candidate list costs one gathered kind/tag load per candidate
+//! ([`mask::select_tag_candidates`]); once a per-tag
+//! `TagBitmap` exists ([`TagIndex::bitmap`]), the same test is one
+//! bit-probe per candidate — but *building* the bitmap costs a full
+//! column pass. [`DocStats::bitmap_filter_cost`] prices the probe
+//! path against the plain masked filter and the fragment join, and
+//! [`DocStats::bitmap_worthwhile`] gates the lazy build so only
+//! filters wide enough to amortize it ever trigger one; planned steps
+//! whose tests take the masked path carry a `[mask]` marker in
+//! `--explain` output.
 
 #![warn(missing_docs)]
+#![cfg_attr(stair_simd, feature(portable_simd))]
+#![allow(unexpected_cfgs)]
 
 mod anc;
 mod batch;
@@ -59,6 +101,7 @@ mod desc;
 mod exists;
 mod horiz;
 mod list;
+pub mod mask;
 mod morsel;
 mod parallel;
 mod pool;
@@ -91,6 +134,7 @@ pub use prune::{
     prune, prune_ancestor, prune_ancestor_into, prune_descendant, prune_descendant_into,
     prune_following, prune_preceding,
 };
+pub use staircase_storage::TagBitmap;
 pub use stats::StepStats;
 
 use staircase_accel::{Axis, Context, Doc};

@@ -14,7 +14,10 @@
 //! within a partition, the first list node outside the boundary proves the
 //! rest of the partition empty, exactly as on the full plane.
 
+use std::sync::OnceLock;
+
 use staircase_accel::{Context, Doc, NodeKind, Pre, TagId};
+use staircase_storage::TagBitmap;
 
 use crate::prune::{prune_ancestor, prune_descendant};
 use crate::stats::StepStats;
@@ -25,13 +28,25 @@ use crate::stats::StepStats;
 /// Built once after loading ("fragmentation by tag name", §6); the same
 /// structure serves name-test pushdown, where the fragment *is*
 /// `nametest(doc, tag)`.
+///
+/// Alongside each fragment the index caches a lazily built
+/// [`TagBitmap`] (one bit per pre rank, set for elements with the
+/// tag): fragments answer "walk every `t`-element in order", bitmaps
+/// answer "which of *these* positions are `t`-elements" with one
+/// bit-probe each — the masked name-test path of
+/// [`crate::mask`]. A bitmap costs a full column pass to build, so it
+/// is built on first touch only (callers gate on
+/// [`crate::DocStats::bitmap_worthwhile`]).
 #[derive(Debug, Clone)]
 pub struct TagIndex {
     fragments: Vec<Vec<Pre>>,
+    bitmaps: Vec<OnceLock<TagBitmap>>,
 }
 
 impl TagIndex {
-    /// Builds the index with one pass over the document.
+    /// Builds the index with one pass over the document. Bitmaps are
+    /// *not* built here — each materializes on first
+    /// [`TagIndex::bitmap`] touch.
     pub fn build(doc: &Doc) -> TagIndex {
         let mut fragments = vec![Vec::new(); doc.tags().len()];
         let kinds = doc.kind_column();
@@ -41,7 +56,37 @@ impl TagIndex {
                 fragments[tags[v as usize] as usize].push(v);
             }
         }
-        TagIndex { fragments }
+        let bitmaps = (0..fragments.len()).map(|_| OnceLock::new()).collect();
+        TagIndex { fragments, bitmaps }
+    }
+
+    /// The per-tag bitmap for `tag`, built on first touch (one pass
+    /// over the kind/tag columns) and cached for the index's lifetime;
+    /// `None` for out-of-range tag ids.
+    pub fn bitmap(&self, doc: &Doc, tag: TagId) -> Option<&TagBitmap> {
+        self.bitmaps.get(tag as usize).map(|cell| {
+            cell.get_or_init(|| {
+                TagBitmap::build(
+                    doc.kind_column(),
+                    NodeKind::Element as u8,
+                    doc.tag_column(),
+                    tag,
+                )
+            })
+        })
+    }
+
+    /// Whether `tag`'s bitmap has already materialized — the `built`
+    /// input to [`crate::cost::DocStats::bitmap_worthwhile`]'s gate.
+    pub fn bitmap_built(&self, tag: TagId) -> bool {
+        self.bitmaps
+            .get(tag as usize)
+            .is_some_and(|c| c.get().is_some())
+    }
+
+    /// How many per-tag bitmaps have materialized (tests/metrics).
+    pub fn bitmaps_built(&self) -> usize {
+        self.bitmaps.iter().filter(|c| c.get().is_some()).count()
     }
 
     /// The fragment for `tag` (empty slice for unknown tags).
@@ -304,6 +349,25 @@ mod tests {
                 frag.len()
             );
         }
+    }
+
+    #[test]
+    fn bitmap_cache_builds_lazily_and_agrees_with_fragments() {
+        let doc = doc_with_tags();
+        let idx = TagIndex::build(&doc);
+        assert_eq!(idx.bitmaps_built(), 0, "no eager bitmap builds");
+        let tid = doc.tag_id("bidder").unwrap();
+        let bm = idx.bitmap(&doc, tid).unwrap();
+        assert_eq!(idx.bitmaps_built(), 1);
+        let frag = idx.fragment(tid);
+        assert_eq!(bm.ones(), frag.len());
+        let mut sel = Vec::new();
+        bm.select_window(0, doc.len(), &mut sel);
+        assert_eq!(sel.as_slice(), frag, "bitmap set bits = fragment");
+        // Second touch reuses the cached build.
+        assert!(std::ptr::eq(idx.bitmap(&doc, tid).unwrap(), bm));
+        assert_eq!(idx.bitmaps_built(), 1);
+        assert!(idx.bitmap(&doc, 9999).is_none());
     }
 
     #[test]

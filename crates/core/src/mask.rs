@@ -1,0 +1,385 @@
+//! Chunked 64-lane bitmask kernels for the hot scan loops.
+//!
+//! Every scan-shaped operator in this crate ends in the same inner
+//! loop: walk a pre-rank range (or a candidate list), test each
+//! position against a kind/tag predicate, and push the survivors. The
+//! test is a data-dependent branch per node — exactly the pattern the
+//! hardware mispredicts on low- and mid-selectivity windows. The
+//! kernels here evaluate the predicate **a `u64` word at a time**:
+//!
+//! 1. *Mask build*: 64 lanes of the predicate are folded into one
+//!    `u64` (bit `i` set ⇔ lane `i` survives). For the ubiquitous
+//!    `kind != Attribute` test over the byte-wide kind column this is
+//!    a byte-wise SWAR compare (broadcast-XOR + zero-byte detect +
+//!    movemask multiply) — eight positions per 64-bit load, no
+//!    branches. A `#[cfg(stair_simd)]`-gated `std::simd` path swaps
+//!    the SWAR word builder for a single 64-byte vector compare.
+//! 2. *Select*: [`select_into`] materializes the set bits as pre
+//!    ranks via `trailing_zeros` + clear-lowest-bit — one iteration
+//!    per **survivor**, not per lane, and no per-element branch.
+//!
+//! Lanes are counted from the window's `from` offset, not from a
+//! memory-aligned boundary, so an unaligned window head costs nothing;
+//! a sub-word tail builds a partial mask over the remaining lanes.
+//! The kernels only replace loops whose *counters are arithmetic* —
+//! where `StepStats` charges the whole range regardless of the
+//! per-position outcome — so masked and scalar paths report
+//! byte-identical statistics (see the crate docs' "data layout & hot
+//! loops" section).
+
+use staircase_accel::{NodeKind, Pre, TagId};
+use staircase_storage::TagBitmap;
+
+/// The attribute kind byte every vertical-axis filter rejects.
+const ATTR: u8 = NodeKind::Attribute as u8;
+
+/// Broadcast of `0x01` to all eight byte lanes (SWAR broadcasts).
+const LO: u64 = 0x0101_0101_0101_0101;
+/// Broadcast of `0x7F` to all eight byte lanes (SWAR zero-detect).
+const SEVENF: u64 = 0x7F7F_7F7F_7F7F_7F7F;
+/// Movemask multiplier: gathers the eight `0x01`-lane bits into the
+/// top byte (bit `i` of the product's top byte = lane `i`'s bit).
+const GATHER: u64 = 0x0102_0408_1020_4080;
+
+/// Bitmask of the eight bytes at `kind[base..base + 8]` that equal
+/// `ATTR`: SWAR zero-byte detection on `x ^ broadcast(ATTR)`, reduced
+/// to one bit per byte with a movemask multiply. Uses the carry-free
+/// `!((x & 0x7F…) + 0x7F… | x | 0x7F…)` form — the shorter
+/// `(x - LO) & !x & HI` detect has false positives from cross-byte
+/// borrows (a `0x01` byte directly above a zero byte), exactly the
+/// kind of bug the parity proptests exist to catch.
+#[inline]
+fn attr_byte8(kind: &[u8], base: usize) -> u8 {
+    let x = u64::from_le_bytes(kind[base..base + 8].try_into().unwrap());
+    let x = x ^ (ATTR as u64).wrapping_mul(LO);
+    // High bit of each byte set ⇔ that byte of `x` is zero; per-byte
+    // adds of 0x7F cannot carry out of their lane, so this is exact.
+    let z = !(((x & SEVENF) + SEVENF) | x | SEVENF);
+    (((z >> 7).wrapping_mul(GATHER)) >> 56) as u8
+}
+
+/// Builds the full 64-lane `kind != Attribute` mask for
+/// `kind[base..base + 64]` (bit `i` ⇔ `kind[base + i]` is not an
+/// attribute). SWAR on stable; one `u8x64` compare under
+/// `--cfg stair_simd`.
+#[inline]
+#[cfg(not(stair_simd))]
+fn non_attr_word64(kind: &[u8], base: usize) -> u64 {
+    let mut word = 0u64;
+    let mut l = 0;
+    while l < 64 {
+        word |= u64::from(!attr_byte8(kind, base + l)) << l;
+        l += 8;
+    }
+    word
+}
+
+/// `std::simd` variant of the 64-lane mask builder: one vector
+/// compare + bitmask extraction.
+#[inline]
+#[cfg(stair_simd)]
+fn non_attr_word64(kind: &[u8], base: usize) -> u64 {
+    use std::simd::cmp::SimdPartialEq;
+    use std::simd::u8x64;
+    let v = u8x64::from_slice(&kind[base..base + 64]);
+    !v.simd_eq(u8x64::splat(ATTR)).to_bitmask()
+}
+
+/// Partial-word mask builder for a sub-word tail of `lanes` (< 64)
+/// positions: SWAR over the full 8-byte chunks, scalar (but
+/// branch-free) over the remainder.
+#[inline]
+fn non_attr_tail(kind: &[u8], base: usize, lanes: usize) -> u64 {
+    debug_assert!(lanes < 64);
+    let mut word = 0u64;
+    let mut l = 0;
+    while l + 8 <= lanes {
+        word |= u64::from(!attr_byte8(kind, base + l)) << l;
+        l += 8;
+    }
+    while l < lanes {
+        word |= u64::from(kind[base + l] != ATTR) << l;
+        l += 1;
+    }
+    word
+}
+
+/// Iterates the set-bit positions of `word`, lowest first.
+///
+/// The scalar view of the select step: `select_into` is this iterator
+/// fused with the push loop.
+#[inline]
+pub fn iter_ones(word: u64) -> impl Iterator<Item = u32> {
+    std::iter::successors((word != 0).then_some(word), |w| {
+        let w = w & (w - 1);
+        (w != 0).then_some(w)
+    })
+    .map(|w| w.trailing_zeros())
+}
+
+/// Pushes `base + i` for every set bit `i` of `word`, lowest first —
+/// one iteration per survivor (`trailing_zeros` + clear-lowest-bit),
+/// no per-lane branch.
+#[inline]
+pub fn select_into(base: Pre, mut word: u64, out: &mut Vec<Pre>) {
+    while word != 0 {
+        out.push(base + word.trailing_zeros());
+        word &= word - 1;
+    }
+}
+
+/// Pushes every `v` in `[from, to)` with `kind[v] != Attribute`, in
+/// order — the masked form of the copy-phase filter loop shared by the
+/// descendant/ancestor copy phases, the `following` suffix, and the
+/// `preceding` guaranteed runs.
+///
+/// Result-identical to
+/// `(from..to).filter(|&v| kind[v as usize] != ATTR)`; callers keep
+/// their `StepStats` charge arithmetic (`to - from` positions), which
+/// is exactly what the scalar loop charged.
+pub fn select_non_attr(kind: &[u8], from: Pre, to: Pre, out: &mut Vec<Pre>) {
+    let mut v = from as usize;
+    let to = to as usize;
+    debug_assert!(to <= kind.len());
+    while v + 64 <= to {
+        select_into(v as Pre, non_attr_word64(kind, v), out);
+        v += 64;
+    }
+    if v < to {
+        select_into(v as Pre, non_attr_tail(kind, v, to - v), out);
+    }
+}
+
+/// Pushes every `v` in `[from, to)` satisfying `pred`, in order, via
+/// 64-lane mask build + select. The predicate is evaluated for
+/// **every** lane (branch-free accumulation), so this fits only loops
+/// that already test every position — Basic-variant window scans,
+/// never the data-dependent skipping scans.
+pub fn select_where(from: Pre, to: Pre, out: &mut Vec<Pre>, pred: impl Fn(Pre) -> bool) {
+    let mut v = from;
+    while v < to {
+        let lanes = (to - v).min(64);
+        let mut word = 0u64;
+        for l in 0..lanes {
+            word |= u64::from(pred(v + l)) << l;
+        }
+        select_into(v, word, out);
+        v += lanes;
+    }
+}
+
+/// Filters a sorted candidate list through the `kind == want && tag ==
+/// tid` name/kind test, 64 candidates per mask word (gathered loads,
+/// branch-free mask build, per-survivor select). The masked form of
+/// `apply_test`'s name-test filter.
+pub fn select_tag_candidates(
+    kind: &[u8],
+    tags: &[TagId],
+    want: u8,
+    tid: TagId,
+    candidates: &[Pre],
+    out: &mut Vec<Pre>,
+) {
+    for chunk in candidates.chunks(64) {
+        let mut word = 0u64;
+        for (l, &v) in chunk.iter().enumerate() {
+            let keep = (kind[v as usize] == want) & (tags[v as usize] == tid);
+            word |= u64::from(keep) << l;
+        }
+        while word != 0 {
+            out.push(chunk[word.trailing_zeros() as usize]);
+            word &= word - 1;
+        }
+    }
+}
+
+/// Filters a sorted candidate list through a per-tag [`TagBitmap`]:
+/// one bit-probe per candidate instead of the two gathered column
+/// loads of [`select_tag_candidates`] — the path
+/// [`crate::cost::DocStats::bitmap_worthwhile`] prices against the
+/// plain masked filter. Result-identical to the name test the bitmap
+/// was built from (bit `v` ⇔ element with the tag).
+pub fn select_bitmap_candidates(bm: &TagBitmap, candidates: &[Pre], out: &mut Vec<Pre>) {
+    for chunk in candidates.chunks(64) {
+        let mut word = 0u64;
+        for (l, &v) in chunk.iter().enumerate() {
+            word |= u64::from(bm.get(v as usize)) << l;
+        }
+        while word != 0 {
+            out.push(chunk[word.trailing_zeros() as usize]);
+            word &= word - 1;
+        }
+    }
+}
+
+/// Filters a sorted candidate list through a `kind`-only test
+/// (`keep_kind[kind[v]]` must hold), 64 candidates per word — the
+/// masked form of `apply_test`'s kind-test filter. `keep` is a 256-bit
+/// lookup of accepted kind bytes encoded as four words.
+pub fn select_kind_candidates(kind: &[u8], keep: &KindSet, candidates: &[Pre], out: &mut Vec<Pre>) {
+    for chunk in candidates.chunks(64) {
+        let mut word = 0u64;
+        for (l, &v) in chunk.iter().enumerate() {
+            word |= u64::from(keep.contains(kind[v as usize])) << l;
+        }
+        while word != 0 {
+            out.push(chunk[word.trailing_zeros() as usize]);
+            word &= word - 1;
+        }
+    }
+}
+
+/// A branch-free set of accepted kind bytes (a 256-bit lookup table):
+/// the mask kernels test membership with one shift instead of a match.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KindSet {
+    words: [u64; 4],
+}
+
+impl KindSet {
+    /// The empty set.
+    pub const fn new() -> KindSet {
+        KindSet { words: [0; 4] }
+    }
+
+    /// Adds a node kind to the set.
+    pub const fn with(mut self, kind: NodeKind) -> KindSet {
+        let b = kind as u8;
+        self.words[(b >> 6) as usize] |= 1u64 << (b & 63);
+        self
+    }
+
+    /// Membership test for a raw kind byte.
+    #[inline]
+    pub fn contains(&self, b: u8) -> bool {
+        (self.words[(b >> 6) as usize] >> (b & 63)) & 1 != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::random_doc;
+    use proptest::prelude::*;
+
+    #[test]
+    fn byte8_detects_attrs_exactly() {
+        let kind = [0u8, 1, 2, 1, 3, 4, 1, 0, 1, 1];
+        for base in 0..=2usize {
+            let m = attr_byte8(&kind, base);
+            for i in 0..8 {
+                assert_eq!(
+                    m >> i & 1 == 1,
+                    kind[base + i] == ATTR,
+                    "base {base} bit {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn iter_ones_matches_select_into() {
+        for word in [0u64, 1, 0x8000_0000_0000_0000, 0xDEAD_BEEF_CAFE_F00D] {
+            let mut out = Vec::new();
+            select_into(10, word, &mut out);
+            let via_iter: Vec<Pre> = iter_ones(word).map(|i| 10 + i).collect();
+            assert_eq!(out, via_iter);
+            assert_eq!(out.len(), word.count_ones() as usize);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn select_non_attr_equals_scalar_filter(
+            seed in 0u64..40,
+            from_fr in 0.0f64..1.0,
+            len in 0usize..400,
+        ) {
+            let doc = random_doc(seed, 600);
+            let kind = doc.kind_column();
+            let n = doc.len();
+            let from = ((n as f64 * from_fr) as usize).min(n) as Pre;
+            let to = (from as usize + len).min(n) as Pre;
+            let want: Vec<Pre> =
+                (from..to).filter(|&v| kind[v as usize] != ATTR).collect();
+            let mut got = Vec::new();
+            select_non_attr(kind, from, to, &mut got);
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn select_where_equals_scalar_filter(seed in 0u64..20, to in 0u32..500) {
+            let doc = random_doc(seed, 600);
+            let post = doc.post_column();
+            let to = to.min(doc.len() as Pre);
+            let want: Vec<Pre> = (0..to).filter(|&v| post[v as usize].is_multiple_of(3)).collect();
+            let mut got = Vec::new();
+            select_where(0, to, &mut got, |v| post[v as usize].is_multiple_of(3));
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn tag_candidates_equal_scalar_filter(seed in 0u64..20) {
+            let doc = random_doc(seed, 500);
+            let (kind, tags) = (doc.kind_column(), doc.tag_column());
+            let cands: Vec<Pre> = (0..doc.len() as Pre).step_by(3).collect();
+            for name in ["p", "q", "nope"] {
+                let Some(tid) = doc.tag_id(name) else { continue };
+                let want: Vec<Pre> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&v| kind[v as usize] == 0 && tags[v as usize] == tid)
+                    .collect();
+                let mut got = Vec::new();
+                select_tag_candidates(kind, tags, 0, tid, &cands, &mut got);
+                prop_assert_eq!(got, want);
+            }
+        }
+
+        #[test]
+        fn bitmap_candidates_equal_tag_candidates(seed in 0u64..20, step in 1usize..5) {
+            let doc = random_doc(seed, 500);
+            let (kind, tags) = (doc.kind_column(), doc.tag_column());
+            let element = NodeKind::Element as u8;
+            let cands: Vec<Pre> = (0..doc.len() as Pre).step_by(step).collect();
+            for name in ["p", "q"] {
+                let Some(tid) = doc.tag_id(name) else { continue };
+                let bm = TagBitmap::build(kind, element, tags, tid);
+                let mut via_bitmap = Vec::new();
+                select_bitmap_candidates(&bm, &cands, &mut via_bitmap);
+                let mut via_columns = Vec::new();
+                select_tag_candidates(kind, tags, element, tid, &cands, &mut via_columns);
+                prop_assert_eq!(via_bitmap, via_columns);
+            }
+        }
+    }
+
+    #[test]
+    fn unaligned_heads_and_subword_tails() {
+        // Every (offset, length) combination around the word boundary:
+        // the classic off-by-one surface.
+        let doc = random_doc(3, 400);
+        let kind = doc.kind_column();
+        let n = doc.len() as Pre;
+        for from in 0..130u32.min(n) {
+            for len in [0u32, 1, 7, 8, 63, 64, 65, 127, 128, 129] {
+                let to = (from + len).min(n);
+                let want: Vec<Pre> = (from..to).filter(|&v| kind[v as usize] != ATTR).collect();
+                let mut got = Vec::new();
+                select_non_attr(kind, from, to, &mut got);
+                assert_eq!(got, want, "from {from} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn kind_set_membership() {
+        let set = KindSet::new().with(NodeKind::Text).with(NodeKind::Comment);
+        assert!(set.contains(NodeKind::Text as u8));
+        assert!(set.contains(NodeKind::Comment as u8));
+        assert!(!set.contains(NodeKind::Element as u8));
+        assert!(!set.contains(NodeKind::Attribute as u8));
+    }
+}

@@ -278,25 +278,27 @@ fn exec_desc_morsel(
     let skip_on_miss = variant != Variant::Basic;
     for s in slices {
         let mut v = s.from;
+        // The slice's copy prefix charges every position, so the
+        // attribute filter runs through the 64-lane mask kernel; the
+        // data-dependent scan suffix below stays scalar.
+        if v <= s.copy_end {
+            let copy_to = s.to.min(s.copy_end + 1);
+            stats.nodes_copied += u64::from(copy_to - v);
+            crate::mask::select_non_attr(kind, v, copy_to, result);
+            v = copy_to;
+        }
         while v < s.to {
-            if v <= s.copy_end {
-                stats.nodes_copied += 1;
+            stats.nodes_scanned += 1;
+            if post[v as usize] < s.bound {
                 if kind[v as usize] != attr {
                     result.push(v);
                 }
-            } else {
-                stats.nodes_scanned += 1;
-                if post[v as usize] < s.bound {
-                    if kind[v as usize] != attr {
-                        result.push(v);
-                    }
-                } else if skip_on_miss {
-                    // The provable first miss: only the slice containing
-                    // it ever reaches here, so the Z-region accounting
-                    // lands exactly once per partition.
-                    stats.nodes_skipped += u64::from(s.part_end - v - 1);
-                    break;
-                }
+            } else if skip_on_miss {
+                // The provable first miss: only the slice containing
+                // it ever reaches here, so the Z-region accounting
+                // lands exactly once per partition.
+                stats.nodes_skipped += u64::from(s.part_end - v - 1);
+                break;
             }
             v += 1;
         }

@@ -1,0 +1,181 @@
+//! Per-tag bitmaps over the pre-rank axis.
+//!
+//! A [`TagBitmap`] holds **one bit per pre rank**: bit `v` is set iff
+//! node `v` is an element carrying the bitmap's tag. A name test over
+//! a contiguous scan window then degenerates to word-aligned bit
+//! arithmetic — mask the boundary words, popcount to *count* matches,
+//! or walk set bits to *materialize* them — instead of a per-node
+//! branch over the kind and tag columns. At 64 positions per `u64`
+//! the bitmap for a document costs `n / 8` bytes per distinct tag,
+//! which is why callers build them lazily per tag on first touch
+//! (like the pre-sorted tag fragments they are cached alongside) and
+//! let the cost model decide when the window is large enough to
+//! amortize the build.
+
+/// A bitmap with one bit per pre rank: set ⇔ the node is an element
+/// with the bitmap's tag.
+#[derive(Debug, Clone)]
+pub struct TagBitmap {
+    /// Bit `v` lives at `words[v / 64]`, bit `v % 64` (LSB-first).
+    words: Vec<u64>,
+    /// Number of valid bits (= document length in nodes).
+    len: usize,
+    /// Total set bits (= the tag's element count), precomputed at build.
+    ones: usize,
+}
+
+impl TagBitmap {
+    /// Builds the bitmap with one pass over the parallel `kinds`/`tags`
+    /// columns: bit `v` is set iff `kinds[v] == element && tags[v] ==
+    /// tag`. The accumulation is branch-free — each position
+    /// contributes one shifted boolean to its word.
+    pub fn build(kinds: &[u8], element: u8, tags: &[u32], tag: u32) -> TagBitmap {
+        debug_assert_eq!(kinds.len(), tags.len());
+        let len = kinds.len();
+        let mut words = vec![0u64; len.div_ceil(64)];
+        let mut ones = 0usize;
+        for (w, (kc, tc)) in words.iter_mut().zip(kinds.chunks(64).zip(tags.chunks(64))) {
+            let mut word = 0u64;
+            for (l, (&k, &t)) in kc.iter().zip(tc).enumerate() {
+                word |= u64::from((k == element) & (t == tag)) << l;
+            }
+            ones += word.count_ones() as usize;
+            *w = word;
+        }
+        TagBitmap { words, len, ones }
+    }
+
+    /// Number of addressable bits (= nodes in the document).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the bitmap covers no positions at all.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total set bits: the tag's element count.
+    pub fn ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Membership test for one pre rank.
+    #[inline]
+    pub fn get(&self, v: usize) -> bool {
+        (self.words[v / 64] >> (v % 64)) & 1 != 0
+    }
+
+    /// The raw word array (word `i` covers positions `64 i .. 64 i +
+    /// 64`, LSB-first) — for callers that AND windows themselves.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The bitmap word covering positions `[base, base + 64)` of the
+    /// window `[from, to)`: out-of-window lanes are masked off, so
+    /// boundary words need no special casing at the call site.
+    #[inline]
+    fn window_word(&self, base: usize, from: usize, to: usize) -> u64 {
+        let mut word = self.words[base / 64];
+        if from > base {
+            word &= !0u64 << (from - base);
+        }
+        if to < base + 64 {
+            word &= (1u64 << (to - base)) - 1;
+        }
+        word
+    }
+
+    /// Counts set bits inside `[from, to)`: one masked popcount per
+    /// word, no per-position work.
+    pub fn count_window(&self, from: usize, to: usize) -> usize {
+        let to = to.min(self.len);
+        if from >= to {
+            return 0;
+        }
+        let mut base = from - from % 64;
+        let mut ones = 0usize;
+        while base < to {
+            ones += self.window_word(base, from, to).count_ones() as usize;
+            base += 64;
+        }
+        ones
+    }
+
+    /// Pushes every set position inside `[from, to)`, ascending: the
+    /// word-at-a-time name test over a scan window. Work is one masked
+    /// load per word plus one `trailing_zeros` per **match**.
+    pub fn select_window(&self, from: usize, to: usize, out: &mut Vec<u32>) {
+        let to = to.min(self.len);
+        if from >= to {
+            return;
+        }
+        let mut base = from - from % 64;
+        while base < to {
+            let mut word = self.window_word(base, from, to);
+            while word != 0 {
+                out.push(base as u32 + word.trailing_zeros());
+                word &= word - 1;
+            }
+            base += 64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(n: usize) -> (Vec<u8>, Vec<u32>) {
+        // Deterministic mixed columns: kind cycles 0..5, tag cycles 0..7.
+        let kinds: Vec<u8> = (0..n).map(|i| (i * 7 % 5) as u8).collect();
+        let tags: Vec<u32> = (0..n).map(|i| (i * 13 % 7) as u32).collect();
+        (kinds, tags)
+    }
+
+    #[test]
+    fn build_matches_scalar_membership() {
+        for n in [0usize, 1, 63, 64, 65, 200, 513] {
+            let (kinds, tags) = fixture(n);
+            let bm = TagBitmap::build(&kinds, 0, &tags, 3);
+            assert_eq!(bm.len(), n);
+            let mut ones = 0;
+            for v in 0..n {
+                let want = kinds[v] == 0 && tags[v] == 3;
+                assert_eq!(bm.get(v), want, "n {n} v {v}");
+                ones += usize::from(want);
+            }
+            assert_eq!(bm.ones(), ones);
+        }
+    }
+
+    #[test]
+    fn window_count_and_select_agree_with_scalar() {
+        let (kinds, tags) = fixture(300);
+        let bm = TagBitmap::build(&kinds, 0, &tags, 3);
+        for from in [0usize, 1, 7, 63, 64, 65, 100, 299, 300] {
+            for len in [0usize, 1, 5, 63, 64, 65, 128, 300] {
+                let to = (from + len).min(300);
+                let want: Vec<u32> = (from..to.max(from))
+                    .filter(|&v| bm.get(v))
+                    .map(|v| v as u32)
+                    .collect();
+                let mut got = Vec::new();
+                bm.select_window(from, to, &mut got);
+                assert_eq!(got, want, "from {from} to {to}");
+                assert_eq!(bm.count_window(from, to), want.len());
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_windows_clamp() {
+        let (kinds, tags) = fixture(70);
+        let bm = TagBitmap::build(&kinds, 0, &tags, 1);
+        assert_eq!(bm.count_window(70, 900), 0);
+        let mut out = Vec::new();
+        bm.select_window(65, 900, &mut out);
+        assert!(out.iter().all(|&v| (65..70).contains(&(v as usize))));
+    }
+}

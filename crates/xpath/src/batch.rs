@@ -53,11 +53,11 @@ use staircase_core::{
     descendant_many, descendant_many_par, descendant_on_list_many, descendant_on_list_many_par,
     following_many, following_many_par, has_ancestor_in_many, has_ancestor_in_many_par,
     has_child_in_many, has_child_in_many_par, has_descendant_in_many, has_descendant_in_many_par,
-    preceding_many, preceding_many_par, Scratch,
+    mask, preceding_many, preceding_many_par, Scratch,
 };
 
 use crate::ast::NodeTest;
-use crate::eval::{apply_test, merge, EvalOutput, EvalStats, Executor, StepTrace};
+use crate::eval::{merge, EvalOutput, EvalStats, Executor, StepTrace};
 use crate::plan::{
     HorizAxis, LaneForm, PathPlan, PhysicalPlan, PlannedStep, PredOp, SemijoinAxis, VertAxis,
 };
@@ -88,6 +88,21 @@ enum RoundOut {
 }
 
 impl Executor<'_> {
+    /// Applies a node test through the masked filters into a buffer
+    /// taken from the round's scratch shard — the batch paths'
+    /// residual filter, allocation-free at steady state.
+    fn test_scratched(
+        &self,
+        ctx: &Context,
+        test: &NodeTest,
+        axis: Axis,
+        scratch: &mut Scratch,
+    ) -> Context {
+        let mut buf = scratch.take();
+        self.test_into(ctx, test, axis, &mut buf);
+        Context::from_sorted(buf)
+    }
+
     /// Evaluates many physical plans from one shared starting context —
     /// the single entry point for *all* plan evaluation (`run` is the
     /// K = 1 batch), sharing passes wherever planned steps agree on a
@@ -347,9 +362,11 @@ impl Executor<'_> {
             VertAxis::Descendant => Axis::Descendant,
             VertAxis::Ancestor => Axis::Ancestor,
         };
-        // Fuse name tests over each shared base: one pass reading
-        // `kind`/`tag` serves every lane filtering the same base by tag,
-        // instead of one pass per lane.
+        // Fuse name tests over each shared base: every lane filtering
+        // the same base by tag runs through the 64-lane mask kernel
+        // back to back, so the gathered `kind`/`tag` cache lines stay
+        // hot across the whole group instead of being re-fetched one
+        // lane at a time.
         let mut fused: Vec<Option<Context>> = vec![None; group.len()];
         for (slot, (base, _)) in joined.iter().enumerate() {
             let named: Vec<(usize, TagId)> = group
@@ -373,17 +390,10 @@ impl Executor<'_> {
                 continue; // a lone filter gains nothing from fusing
             }
             let mut bufs: Vec<Vec<Pre>> = named.iter().map(|_| scratch.take()).collect();
-            let element = NodeKind::Element;
-            for v in base.iter() {
-                if self.doc.kind(v) != element {
-                    continue;
-                }
-                let t = self.doc.tag(v);
-                for (bi, &(_, tid)) in named.iter().enumerate() {
-                    if tid == t {
-                        bufs[bi].push(v);
-                    }
-                }
+            let (kind, tags) = (self.doc.kind_column(), self.doc.tag_column());
+            let element = NodeKind::Element as u8;
+            for (&(_, tid), buf) in named.iter().zip(bufs.iter_mut()) {
+                mask::select_tag_candidates(kind, tags, element, tid, base.as_slice(), buf);
             }
             for ((gi, _), buf) in named.into_iter().zip(bufs) {
                 fused[gi] = Some(Context::from_sorted(buf));
@@ -397,10 +407,10 @@ impl Executor<'_> {
             let step = &lane.path.steps()[lane.step];
             let mut out = match fused[gi].take() {
                 Some(filtered) => filtered,
-                None => apply_test(self.doc, base, &step.test, axis),
+                None => self.test_scratched(base, &step.test, axis, scratch),
             };
             if matches!(step.axis(), Axis::DescendantOrSelf | Axis::AncestorOrSelf) {
-                let selves = apply_test(self.doc, &lane.ctx, &step.test, Axis::SelfAxis);
+                let selves = self.test_scratched(&lane.ctx, &step.test, Axis::SelfAxis, scratch);
                 out = merge(&out, &selves);
                 scratch.recycle(selves);
             }
@@ -466,7 +476,7 @@ impl Executor<'_> {
             let lane = &lanes[group[gi]];
             let step = &lane.path.steps()[lane.step];
             if matches!(step.axis(), Axis::DescendantOrSelf | Axis::AncestorOrSelf) {
-                let selves = apply_test(self.doc, &lane.ctx, &step.test, Axis::SelfAxis);
+                let selves = self.test_scratched(&lane.ctx, &step.test, Axis::SelfAxis, scratch);
                 let merged = merge(&out, &selves);
                 scratch.recycle(selves);
                 scratch.recycle(std::mem::replace(&mut out, merged));
@@ -508,7 +518,7 @@ impl Executor<'_> {
             let out = if matches!(step.test, NodeTest::AnyNode) {
                 base
             } else {
-                let tested = apply_test(self.doc, &base, &step.test, axis);
+                let tested = self.test_scratched(&base, &step.test, axis, scratch);
                 scratch.recycle(base);
                 tested
             };

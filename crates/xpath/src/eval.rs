@@ -20,9 +20,10 @@
 use staircase_accel::{Axis, Context, Doc, NodeKind, Pre};
 use staircase_baselines::{naive_step, SqlEngine, SqlPlanOptions};
 use staircase_core::{
-    ancestor, ancestor_on_list, ancestor_parallel, ancestor_parallel_on, descendant,
-    descendant_on_list, descendant_parallel, descendant_parallel_on, following, has_ancestor_in,
-    has_child_in, has_descendant_in, preceding, ScratchPool, TagIndex, WorkerPool,
+    ancestor, ancestor_on_list, ancestor_parallel, ancestor_parallel_on, cost::DocStats,
+    descendant, descendant_on_list, descendant_parallel, descendant_parallel_on, following,
+    has_ancestor_in, has_child_in, has_descendant_in, mask, preceding, ScratchPool, TagBitmap,
+    TagIndex, WorkerPool,
 };
 
 use crate::ast::NodeTest;
@@ -93,6 +94,10 @@ pub(crate) struct Executor<'a> {
     /// The session's sharded scratch pools: concurrent rounds and
     /// queries each sweep out their own shard.
     pub(crate) scratch: &'a ScratchPool,
+    /// The session's cached document statistics; at evaluation time
+    /// they price the per-tag bitmap probe against the plain masked
+    /// name-test filter.
+    pub(crate) stats: &'a DocStats,
 }
 
 impl<'a> Executor<'a> {
@@ -146,6 +151,71 @@ impl<'a> Executor<'a> {
             .tag_id(name)
             .map(|t| self.doc.elements_with_tag(t))
             .unwrap_or_default()
+    }
+
+    /// Applies the node test into `buf` (cleared first) through
+    /// whichever masked filter the cost model picks: the cached
+    /// per-tag bitmap — one word-aligned window select for gap-free
+    /// candidate runs, one bit-probe per candidate otherwise — when
+    /// [`DocStats::bitmap_worthwhile`] prices it (plus an amortized
+    /// lazy build) below the gathered column loads, else the column
+    /// mask kernels of [`apply_test_into`].
+    pub(crate) fn test_into(&self, ctx: &Context, test: &NodeTest, axis: Axis, buf: &mut Vec<Pre>) {
+        match self.bitmap_for(ctx, test, axis) {
+            Some(bm) => {
+                buf.clear();
+                let cs = ctx.as_slice();
+                // A gap-free run covers every position it spans, so
+                // the name test degenerates to AND-ing word-aligned
+                // bitmap slices: ~64 positions per load, zero words
+                // skipped wholesale.
+                let (first, last) = (cs[0], cs[cs.len() - 1]);
+                if (last - first) as usize + 1 == cs.len() {
+                    bm.select_window(first as usize, last as usize + 1, buf);
+                } else {
+                    mask::select_bitmap_candidates(bm, cs, buf);
+                }
+            }
+            None => apply_test_into(self.doc, ctx, test, axis, buf),
+        }
+    }
+
+    /// Applies the node test to an **owned** intermediate sequence:
+    /// the survivors land in a buffer swept out of the session scratch
+    /// pool and the input's allocation is recycled back into it, so
+    /// steady-state filtering allocates nothing.
+    fn test_pooled(&self, base: Context, test: &NodeTest, axis: Axis) -> Context {
+        if matches!(test, NodeTest::AnyNode) {
+            return base;
+        }
+        self.scratch.with(|s| {
+            let mut buf = s.take();
+            self.test_into(&base, test, axis, &mut buf);
+            s.recycle(base);
+            Context::from_sorted(buf)
+        })
+    }
+
+    /// The cached per-tag bitmap serving `test` over `base`, when one
+    /// is applicable — an element name test with the tag index already
+    /// resolved for this plan — *and* the cost model prices the
+    /// bit-probe filter below the gathered column loads.
+    fn bitmap_for(&self, base: &Context, test: &NodeTest, axis: Axis) -> Option<&'a TagBitmap> {
+        let NodeTest::Name(name) = test else {
+            return None;
+        };
+        if base.is_empty() || axis == Axis::Attribute {
+            return None; // the bitmap covers elements only
+        }
+        let tags = self.tags?;
+        let tid = self.doc.tag_id(name)?;
+        if !self
+            .stats
+            .bitmap_worthwhile(base.len() as f64, tags.bitmap_built(tid))
+        {
+            return None;
+        }
+        tags.bitmap(self.doc, tid)
     }
 
     /// Executes one lowered predicate against the candidate set.
@@ -214,12 +284,7 @@ impl<'a> Executor<'a> {
                     .collect();
                 parents.sort_unstable();
                 parents.dedup();
-                let out = apply_test(
-                    doc,
-                    &Context::from_sorted(parents),
-                    &step.test,
-                    Axis::Parent,
-                );
+                let out = self.test_pooled(Context::from_sorted(parents), &step.test, Axis::Parent);
                 (out, ctx.len() as u64, 0)
             }
             Axis::Child => {
@@ -238,7 +303,7 @@ impl<'a> Executor<'a> {
                     }
                 }
                 kids.sort_unstable();
-                let out = apply_test(doc, &Context::from_sorted(kids), &step.test, Axis::Child);
+                let out = self.test_pooled(Context::from_sorted(kids), &step.test, Axis::Child);
                 (out, touched, 0)
             }
             Axis::Attribute => {
@@ -254,12 +319,8 @@ impl<'a> Executor<'a> {
                         v += 1;
                     }
                 }
-                let out = apply_test(
-                    doc,
-                    &Context::from_sorted(attrs),
-                    &step.test,
-                    Axis::Attribute,
-                );
+                let out =
+                    self.test_pooled(Context::from_sorted(attrs), &step.test, Axis::Attribute);
                 (out, touched, 0)
             }
             Axis::FollowingSibling | Axis::PrecedingSibling => {
@@ -297,7 +358,7 @@ impl<'a> Executor<'a> {
                         sibs.push(v);
                     }
                 }
-                let out = apply_test(doc, &Context::from_sorted(sibs), &step.test, step.axis);
+                let out = self.test_pooled(Context::from_sorted(sibs), &step.test, step.axis);
                 (out, touched, 0)
             }
         }
@@ -370,7 +431,7 @@ impl<'a> Executor<'a> {
                     (PartAxis::Following, _) => following(doc, ctx),
                     (PartAxis::Preceding, _) => preceding(doc, ctx),
                 };
-                let out = apply_test(doc, &base, &step.test, axis_of(paxis));
+                let out = self.test_pooled(base, &step.test, axis_of(paxis));
                 (out, stats.nodes_touched(), 0)
             }
             StepOp::Naive | StepOp::Structural => {
@@ -378,7 +439,7 @@ impl<'a> Executor<'a> {
                 // planner; route it through the naive region scan so a
                 // hand-built plan still evaluates correctly.
                 let (base, stats) = naive_step(doc, ctx, axis_of(paxis));
-                let out = apply_test(doc, &base, &step.test, axis_of(paxis));
+                let out = self.test_pooled(base, &step.test, axis_of(paxis));
                 (out, stats.nodes_scanned, stats.tuples_produced)
             }
             StepOp::Sql {
@@ -398,7 +459,7 @@ impl<'a> Executor<'a> {
                     // Resolution always provides the B-tree for SQL plans;
                     // stay total for hand-built plans.
                     let (base, stats) = naive_step(doc, ctx, axis_of(paxis));
-                    let out = apply_test(doc, &base, &step.test, axis_of(paxis));
+                    let out = self.test_pooled(base, &step.test, axis_of(paxis));
                     return (out, stats.nodes_scanned, stats.tuples_produced);
                 };
                 let opts = SqlPlanOptions {
@@ -409,7 +470,7 @@ impl<'a> Executor<'a> {
                 let out = if pushed_tag.is_some() {
                     base
                 } else {
-                    apply_test(doc, &base, &step.test, axis_of(paxis))
+                    self.test_pooled(base, &step.test, axis_of(paxis))
                 };
                 (out, stats.index_entries_scanned, stats.tuples_produced)
             }
@@ -431,7 +492,7 @@ impl<'a> Executor<'a> {
             PartAxis::Following => following(doc, ctx),
             PartAxis::Preceding => preceding(doc, ctx),
         };
-        let out = apply_test(doc, &base, &step.test, axis_of(paxis));
+        let out = self.test_pooled(base, &step.test, axis_of(paxis));
         (out, stats.nodes_touched(), 0)
     }
 }
@@ -452,54 +513,85 @@ fn on_list_join(
     (out, stats.nodes_touched() + scan_cost, 0)
 }
 
-/// Applies a node test to a node sequence.
+/// The principal node kind of an axis (attributes for `attribute::`,
+/// elements everywhere else).
+fn principal_kind(axis: Axis) -> NodeKind {
+    if axis == Axis::Attribute {
+        NodeKind::Attribute
+    } else {
+        NodeKind::Element
+    }
+}
+
+/// Applies a node test to a node sequence, appending the survivors to
+/// `out` (cleared first). Every per-element predicate runs through the
+/// chunked 64-lane mask kernels in [`staircase_core::mask`] — gathered
+/// column loads, branch-free mask build, one select iteration per
+/// survivor; only targeted processing-instruction tests (a string
+/// compare per node) stay scalar.
+pub(crate) fn apply_test_into(
+    doc: &Doc,
+    ctx: &Context,
+    test: &NodeTest,
+    axis: Axis,
+    out: &mut Vec<Pre>,
+) {
+    out.clear();
+    let kind = doc.kind_column();
+    let cands = ctx.as_slice();
+    match test {
+        NodeTest::AnyNode => out.extend_from_slice(cands),
+        // Name tests compare interned tag ids, not strings: one
+        // dictionary lookup per step instead of one string comparison
+        // per node.
+        NodeTest::Name(name) => {
+            let Some(tid) = doc.tag_id(name) else {
+                return; // name absent from the document
+            };
+            mask::select_tag_candidates(
+                kind,
+                doc.tag_column(),
+                principal_kind(axis) as u8,
+                tid,
+                cands,
+                out,
+            );
+        }
+        NodeTest::AnyPrincipal => {
+            let keep = mask::KindSet::new().with(principal_kind(axis));
+            mask::select_kind_candidates(kind, &keep, cands, out);
+        }
+        NodeTest::Text => {
+            let keep = mask::KindSet::new().with(NodeKind::Text);
+            mask::select_kind_candidates(kind, &keep, cands, out);
+        }
+        NodeTest::Comment => {
+            let keep = mask::KindSet::new().with(NodeKind::Comment);
+            mask::select_kind_candidates(kind, &keep, cands, out);
+        }
+        NodeTest::Pi(None) => {
+            let keep = mask::KindSet::new().with(NodeKind::Pi);
+            mask::select_kind_candidates(kind, &keep, cands, out);
+        }
+        NodeTest::Pi(Some(target)) => {
+            out.extend(ctx.iter().filter(|&v| {
+                doc.kind(v) == NodeKind::Pi && doc.tag_name(v) == Some(target.as_str())
+            }))
+        }
+    }
+}
+
+/// Applies a node test to a node sequence into a fresh allocation; the
+/// executor's hot paths go through [`Executor::test_pooled`] instead,
+/// which draws the buffer from the session scratch pool.
 pub(crate) fn apply_test(doc: &Doc, ctx: &Context, test: &NodeTest, axis: Axis) -> Context {
     // node() keeps everything: one memcpy instead of a per-node loop.
     if matches!(test, NodeTest::AnyNode) {
         return ctx.clone();
     }
-    // Name tests compare interned tag ids, not strings: one dictionary
-    // lookup per step instead of one string comparison per node.
-    if let NodeTest::Name(name) = test {
-        let want = if axis == Axis::Attribute {
-            NodeKind::Attribute
-        } else {
-            NodeKind::Element
-        };
-        let Some(tid) = doc.tag_id(name) else {
-            return Context::empty(); // name absent from the document
-        };
-        return Context::from_sorted(
-            ctx.iter()
-                .filter(|&v| doc.kind(v) == want && doc.tag(v) == tid)
-                .collect(),
-        );
-    }
-    let keep = |v: Pre| -> bool {
-        let kind = doc.kind(v);
-        match test {
-            // node() and name tests took the fast paths above; these
-            // arms restate their semantics so the match stays total
-            // without introducing a panic path.
-            NodeTest::AnyNode => true,
-            NodeTest::AnyPrincipal | NodeTest::Name(_) => {
-                if axis == Axis::Attribute {
-                    kind == NodeKind::Attribute
-                } else {
-                    kind == NodeKind::Element
-                }
-            }
-            NodeTest::Text => kind == NodeKind::Text,
-            NodeTest::Comment => kind == NodeKind::Comment,
-            NodeTest::Pi(target) => {
-                kind == NodeKind::Pi
-                    && target
-                        .as_ref()
-                        .is_none_or(|t| doc.tag_name(v) == Some(t.as_str()))
-            }
-        }
-    };
-    Context::from_sorted(ctx.iter().filter(|&v| keep(v)).collect())
+    let mut out = Vec::new();
+    apply_test_into(doc, ctx, test, axis, &mut out);
+    Context::from_sorted(out)
 }
 
 /// Merges two sorted, duplicate-free sequences.

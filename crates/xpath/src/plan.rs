@@ -454,7 +454,10 @@ impl fmt::Display for PlannedStep {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut ops = self.op.to_string();
         if self.test_op == TestOp::ApplyTest && !matches!(self.test, NodeTest::AnyNode) {
-            ops.push_str(" + apply-test");
+            // The residual node test runs through the chunked 64-lane
+            // bitmask kernels (`staircase_core::mask`), with large name
+            // tests upgraded to per-tag bitmap probes at run time.
+            ops.push_str(" + apply-test [mask]");
         }
         for pred in &self.predicates {
             match pred {
@@ -1054,6 +1057,22 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert!(lines[0].contains("[lane]"), "{text}");
         assert!(!lines[1].contains("[lane]"), "{text}");
+    }
+
+    #[test]
+    fn explain_marks_masked_node_tests() {
+        // A residual name test is applied through the mask kernels…
+        let text = plan_for("/descendant::b/child::c", Engine::default()).to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("apply-test [mask]"), "{text}");
+        assert!(lines[1].contains("apply-test [mask]"), "{text}");
+        // …while fused tests (fragment join) and node() steps have no
+        // residual filter to mask.
+        let fragmented = Engine::staircase().fragmented(true).build().unwrap();
+        let fused = plan_for("/descendant::b", fragmented).to_string();
+        assert!(!fused.contains("[mask]"), "{fused}");
+        let keep_all = plan_for("/descendant::node()", Engine::default()).to_string();
+        assert!(!keep_all.contains("[mask]"), "{keep_all}");
     }
 
     #[test]

@@ -373,6 +373,7 @@ impl Session {
             sql: needs_sql.then(|| self.sql_engine()),
             pool: &self.workers,
             scratch: &self.scratch,
+            stats: self.doc_stats(),
         }
     }
 
@@ -603,6 +604,38 @@ mod tests {
                 sql_engine: 1
             }
         );
+    }
+
+    #[test]
+    fn name_test_filtering_reuses_the_scratch_pool() {
+        // Width 1 regardless of STAIRCASE_THREADS: this pins the
+        // sequential filtering path, where takes and recycles balance
+        // exactly. (Wider pools route rounds through whichever shard a
+        // worker lands on, so a take can miss a non-empty pool and
+        // allocate fresh — bounded, but not round-for-round equal.)
+        let s = session().with_threads(1);
+        let q = s.prepare("/descendant::bidder/child::increase").unwrap();
+        // Warm phase: enough runs for every shard's pool to reach its
+        // steady population (fresh allocations from structural steps
+        // enter the pool as they are recycled; the escaping result
+        // buffer leaves it; the bounds cap the growth).
+        for _ in 0..200 {
+            q.run(Engine::default());
+        }
+        let steady = s.scratch.pooled_total();
+        assert!(steady > 0, "warm runs must leave recycled buffers pooled");
+        // Steady state: the masked name/kind filters draw their output
+        // buffers from the pool and recycle their inputs back into it,
+        // so repeated runs neither grow nor shrink it — filtering
+        // allocates nothing.
+        for round in 0..10 {
+            q.run(Engine::default());
+            assert_eq!(
+                s.scratch.pooled_total(),
+                steady,
+                "round {round}: steady-state filtering must not allocate"
+            );
+        }
     }
 
     #[test]

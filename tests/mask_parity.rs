@@ -1,0 +1,308 @@
+//! Mask/scalar parity: the chunked bitmask kernels and the per-tag
+//! bitmap fragments are pure acceleration. Whichever filtering route
+//! the runtime picks — per-element scalar loop, gathered-column mask
+//! kernel, or bitmap window select — every engine must return node-
+//! and order-identical results with identical per-step stats.
+//!
+//! The reference here is deliberately naive: a per-node loop over the
+//! raw pre/post/kind/tag columns that never touches `mask` or
+//! `TagBitmap`. Window offsets and lengths are driven across word
+//! boundaries (unaligned heads, sub-word tails) both at the kernel
+//! level and, via `Query::run_from`, through whole engines including
+//! the cost-based `auto` planner.
+
+use proptest::prelude::*;
+use staircase_core::{mask, TagBitmap};
+use staircase_suite::prelude::*;
+
+const TAG_NAMES: [&str; 4] = ["x", "y", "z", "w"];
+const AXES: [(&str, Axis); 5] = [
+    ("descendant", Axis::Descendant),
+    ("ancestor", Axis::Ancestor),
+    ("following", Axis::Following),
+    ("preceding", Axis::Preceding),
+    ("child", Axis::Child),
+];
+/// Node tests as written in the query text; `ghost` never occurs in
+/// any generated document, so its name test must yield nothing.
+const TESTS: [&str; 8] = ["x", "y", "z", "w", "ghost", "*", "node()", "text()"];
+
+fn engines() -> [Engine; 10] {
+    [
+        Engine::staircase().variant(Variant::Basic).build().unwrap(),
+        Engine::staircase()
+            .variant(Variant::Skipping)
+            .build()
+            .unwrap(),
+        Engine::staircase()
+            .variant(Variant::EstimationSkipping)
+            .build()
+            .unwrap(),
+        Engine::staircase().pushdown(true).build().unwrap(),
+        Engine::staircase().fragmented(true).build().unwrap(),
+        Engine::staircase().parallel(3).build().unwrap(),
+        Engine::naive(),
+        Engine::sql().build().unwrap(),
+        Engine::sql()
+            .eq1_window(true)
+            .early_nametest(true)
+            .build()
+            .unwrap(),
+        Engine::auto(),
+    ]
+}
+
+/// Random document from an opcode tape: elements over a small tag
+/// alphabet, interleaved with text, comments, and attributes.
+fn build_doc(ops: &[u8]) -> Doc {
+    let mut b = EncodingBuilder::new();
+    b.open_element("r");
+    let mut depth = 1usize;
+    for (i, &op) in ops.iter().enumerate() {
+        match op {
+            0..=2 | 7 => {
+                b.open_element(TAG_NAMES[(op as usize + i) % TAG_NAMES.len()]);
+                depth += 1;
+            }
+            3 if depth > 1 => {
+                b.close_element();
+                depth -= 1;
+            }
+            4 => {
+                b.text("t");
+            }
+            5 => {
+                b.comment("pad");
+            }
+            _ => {
+                b.attribute("id", "v");
+            }
+        }
+    }
+    while depth > 0 {
+        b.close_element();
+        depth -= 1;
+    }
+    b.finish()
+}
+
+/// `true` when `v` passes `test` (as spelled in [`TESTS`]).
+fn scalar_test(doc: &Doc, v: Pre, test: &str) -> bool {
+    match test {
+        "*" => doc.kind(v) == NodeKind::Element,
+        "node()" => true,
+        "text()" => doc.kind(v) == NodeKind::Text,
+        "comment()" => doc.kind(v) == NodeKind::Comment,
+        name => {
+            doc.kind(v) == NodeKind::Element
+                && doc.tag_id(name) == Some(doc.tag_column()[v as usize])
+        }
+    }
+}
+
+/// One axis step + node test, evaluated per node over the raw columns.
+fn scalar_step(doc: &Doc, ctx: &[Pre], axis: Axis, test: &str) -> Vec<Pre> {
+    let post = doc.post_column();
+    let mut out = Vec::new();
+    for v in doc.pres() {
+        if doc.kind(v) == NodeKind::Attribute {
+            continue;
+        }
+        let hit = ctx.iter().any(|&c| match axis {
+            Axis::Descendant => v > c && post[v as usize] < post[c as usize],
+            Axis::Ancestor => v < c && post[v as usize] > post[c as usize],
+            Axis::Following => v > c && post[v as usize] > post[c as usize],
+            Axis::Preceding => v < c && post[v as usize] < post[c as usize],
+            Axis::Child => v != c && doc.parent(v) == c,
+            _ => unreachable!("axis outside the generated set"),
+        });
+        if hit && scalar_test(doc, v, test) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+fn query_text(steps: &[(usize, usize)], absolute: bool) -> String {
+    let mut q = String::new();
+    for (i, &(a, t)) in steps.iter().enumerate() {
+        if absolute || i > 0 {
+            q.push('/');
+        }
+        q.push_str(AXES[a].0);
+        q.push_str("::");
+        q.push_str(TESTS[t]);
+    }
+    q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whole-query parity from the root: every engine, including
+    /// `auto`, matches the scalar reference node for node, and a warm
+    /// rerun (bitmaps now built and cached) reports byte-identical
+    /// [`EvalStats`] to the cold one.
+    #[test]
+    fn every_engine_matches_the_scalar_reference(
+        ops in proptest::collection::vec(0u8..8, 1..250),
+        steps in proptest::collection::vec((0usize..AXES.len(), 0usize..TESTS.len()), 1..4),
+    ) {
+        let doc = build_doc(&ops);
+        let mut expected: Vec<Pre> = vec![doc.root()];
+        for &(a, t) in &steps {
+            expected = scalar_step(&doc, &expected, AXES[a].1, TESTS[t]);
+        }
+        let query = query_text(&steps, true);
+        let session = Session::new(doc);
+        let prepared = session.prepare(&query).unwrap();
+        for engine in engines() {
+            let cold = prepared.run(engine);
+            let warm = prepared.run(engine);
+            let got: Vec<Pre> = cold.nodes().iter().collect();
+            prop_assert_eq!(&got, &expected, "{} via {:?}", &query, engine);
+            prop_assert_eq!(
+                warm.nodes().iter().collect::<Vec<Pre>>(), got,
+                "warm rerun changed nodes: {} via {:?}", &query, engine
+            );
+            prop_assert_eq!(
+                cold.stats(), warm.stats(),
+                "bitmap warm-up changed stats: {} via {:?}", &query, engine
+            );
+        }
+    }
+
+    /// Windowed contexts at arbitrary offsets: a contiguous pre-rank
+    /// run whose head and tail land anywhere relative to the 64-bit
+    /// word grid is fed to every engine through `run_from`, and each
+    /// must match the scalar reference (the gap-free runs here are
+    /// exactly the shape the bitmap window-select fast path claims).
+    #[test]
+    fn offset_windows_agree_on_every_engine(
+        ops in proptest::collection::vec(0u8..8, 64..300),
+        start in 0usize..130,
+        len in 1usize..140,
+        a in 0usize..AXES.len(),
+        t in 0usize..TESTS.len(),
+    ) {
+        let doc = build_doc(&ops);
+        let n = doc.len();
+        let ctx: Vec<Pre> = (start.min(n)..(start + len).min(n))
+            .map(|v| v as Pre)
+            .filter(|&v| doc.kind(v) != NodeKind::Attribute)
+            .collect();
+        if !ctx.is_empty() {
+            let expected = scalar_step(&doc, &ctx, AXES[a].1, TESTS[t]);
+            let query = query_text(&[(a, t)], false);
+            let session = Session::new(doc);
+            let prepared = session.prepare(&query).unwrap();
+            let context: Context = ctx.iter().copied().collect();
+            for engine in engines() {
+                let cold = prepared.run_from(&context, engine).unwrap();
+                let warm = prepared.run_from(&context, engine).unwrap();
+                let got: Vec<Pre> = cold.nodes().iter().collect();
+                prop_assert_eq!(&got, &expected, "{} from {}..+{} via {:?}", &query, start, len, engine);
+                prop_assert_eq!(
+                    cold.stats(), warm.stats(),
+                    "warm rerun changed stats: {} from {}..+{} via {:?}", &query, start, len, engine
+                );
+            }
+        }
+    }
+
+    /// Kernel-level window parity: `TagBitmap::select_window` and
+    /// `count_window` against the scalar column loop over windows whose
+    /// `from`/`to` sweep across word boundaries.
+    #[test]
+    fn bitmap_windows_match_scalar_filters(
+        tags in proptest::collection::vec(0u32..6, 1..400),
+        from in 0usize..140,
+        len in 0usize..140,
+    ) {
+        let element = NodeKind::Element as u8;
+        let kinds: Vec<u8> = (0..tags.len())
+            .map(|i| if i % 7 == 3 { NodeKind::Text as u8 } else { element })
+            .collect();
+        for tid in 0..6u32 {
+            let bm = TagBitmap::build(&kinds, element, &tags, tid);
+            let to = (from + len).min(tags.len());
+            let want: Vec<Pre> = (from.min(tags.len())..to)
+                .filter(|&v| kinds[v] == element && tags[v] == tid)
+                .map(|v| v as Pre)
+                .collect();
+            let mut got = Vec::new();
+            bm.select_window(from, to, &mut got);
+            prop_assert_eq!(&got, &want, "select {}..{} tag {}", from, to, tid);
+            prop_assert_eq!(bm.count_window(from, to), want.len(), "count {}..{} tag {}", from, to, tid);
+        }
+    }
+
+    /// Kernel-level candidate parity: the gathered-column mask kernel
+    /// and the bitmap probe kernel against the scalar loop, over
+    /// candidate slices starting at unaligned offsets with sub-word
+    /// tails and gaps.
+    #[test]
+    fn candidate_kernels_match_scalar_filters(
+        tags in proptest::collection::vec(0u32..6, 1..400),
+        off in 0usize..70,
+        stride in 1usize..4,
+    ) {
+        let element = NodeKind::Element as u8;
+        let kinds: Vec<u8> = (0..tags.len())
+            .map(|i| if i % 5 == 2 { NodeKind::Comment as u8 } else { element })
+            .collect();
+        let cands: Vec<Pre> = (off.min(tags.len())..tags.len())
+            .step_by(stride)
+            .map(|v| v as Pre)
+            .collect();
+        for tid in 0..6u32 {
+            let want: Vec<Pre> = cands
+                .iter()
+                .copied()
+                .filter(|&v| kinds[v as usize] == element && tags[v as usize] == tid)
+                .collect();
+            let mut got = Vec::new();
+            mask::select_tag_candidates(&kinds, &tags, element, tid, &cands, &mut got);
+            prop_assert_eq!(&got, &want, "columns off {} stride {} tag {}", off, stride, tid);
+            let bm = TagBitmap::build(&kinds, element, &tags, tid);
+            got.clear();
+            mask::select_bitmap_candidates(&bm, &cands, &mut got);
+            prop_assert_eq!(&got, &want, "bitmap off {} stride {} tag {}", off, stride, tid);
+        }
+    }
+}
+
+/// Deterministic sweep pinning the exact boundary shapes: empty
+/// windows, single bits, 63/64/65, double-word spans, and ragged tails
+/// past the end of the document.
+#[test]
+fn word_boundary_windows_are_exact() {
+    let element = NodeKind::Element as u8;
+    let n = 300usize;
+    let kinds = vec![element; n];
+    let tags: Vec<u32> = (0..n as u32)
+        .map(|v| v.wrapping_mul(2654435761) % 5)
+        .collect();
+    for tid in 0..5u32 {
+        let bm = TagBitmap::build(&kinds, element, &tags, tid);
+        for from in [
+            0usize, 1, 7, 31, 63, 64, 65, 127, 128, 129, 255, 256, 299, 300, 310,
+        ] {
+            for len in [0usize, 1, 7, 63, 64, 65, 128, 129, 171, 400] {
+                let to = (from + len).min(n);
+                let want: Vec<Pre> = (from.min(n)..to)
+                    .filter(|&v| tags[v] == tid)
+                    .map(|v| v as Pre)
+                    .collect();
+                let mut got = Vec::new();
+                bm.select_window(from, from + len, &mut got);
+                assert_eq!(got, want, "select {from}..+{len} tag {tid}");
+                assert_eq!(
+                    bm.count_window(from, from + len),
+                    want.len(),
+                    "count {from}..+{len} tag {tid}"
+                );
+            }
+        }
+    }
+}
