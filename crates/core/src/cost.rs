@@ -309,6 +309,97 @@ impl DocStats {
         }
     }
 
+    // ── Twig pricing (worst-case-optimal vs. step-at-a-time) ───────────
+
+    /// Predicted **peak intermediate result** (materialized rows) of
+    /// evaluating a twig region step-at-a-time: the frontier after each
+    /// spine step, estimated from per-tag fragment sizes and
+    /// containment selectivity exactly like the step planner does
+    /// (existential predicates halve the frontier). This is the blowup
+    /// a multiway plan avoids — the step plan must materialize and
+    /// probe every one of these rows, so the peak is directly
+    /// comparable to [`DocStats::twig_frontier_cost`]'s touched-work
+    /// estimate.
+    pub fn step_blowup_estimate(
+        &self,
+        context_card: f64,
+        from_root: bool,
+        legs: &[TwigLegCost],
+    ) -> f64 {
+        let n = (self.nodes as f64).max(1.0);
+        let fanout = if self.elements == 0 {
+            0.0
+        } else {
+            (self.nodes.saturating_sub(1)) as f64 / self.elements as f64
+        };
+        let mut rows = context_card.max(1.0);
+        let mut peak = 0.0f64;
+        for (i, leg) in legs.iter().enumerate() {
+            let f = leg.fragment as f64;
+            let reach = if leg.child_edge {
+                rows * fanout
+            } else {
+                self.descendant_window(rows, from_root && i == 0)
+            };
+            let out = (reach * f / n).min(f);
+            peak = peak.max(out);
+            rows = out / 2.0f64.powi(leg.chains.len() as i32);
+        }
+        peak
+    }
+
+    /// Predicted touched-work of the leapfrog twig operator
+    /// ([`crate::twig::twig_match`]) over the same region: bottom-up
+    /// chain closure (multi-step chains walk every list above the
+    /// last), pivot anchoring (the smallest spine fragment, one
+    /// height-bounded upward sweep of gallops per candidate), and the
+    /// on-list descent below the pivot. `Engine::auto` picks the twig
+    /// plan only when [`DocStats::step_blowup_estimate`] exceeds this.
+    pub fn twig_frontier_cost(&self, _context_card: f64, legs: &[TwigLegCost]) -> f64 {
+        if legs.is_empty() {
+            return 0.0;
+        }
+        let n = (self.nodes as f64).max(1.0);
+        let h = self.height.max(1.0);
+        let lg = |f: f64| (f + 2.0).log2();
+        let mut cost = 0.0;
+        // Chain closure: list j is walked with one gallop per entry
+        // into list j+1; single-step chains close for free.
+        for leg in legs {
+            for chain in &leg.chains {
+                for w in chain.windows(2) {
+                    cost += w[0] as f64 * lg(w[1] as f64);
+                }
+            }
+        }
+        // Pivot anchoring: per candidate, the pivot's own chain probes
+        // plus an ancestor sweep of at most `h` positions, each a
+        // fragment-membership gallop and its leg's chain probes.
+        let pivot_idx = (0..legs.len())
+            .min_by_key(|&j| legs[j].fragment)
+            .expect("non-empty leg set");
+        let pivot = legs[pivot_idx].fragment as f64;
+        let max_lg = legs
+            .iter()
+            .map(|l| lg(l.fragment as f64))
+            .fold(1.0, f64::max);
+        let chain_count: f64 = legs.iter().map(|l| l.chains.len() as f64).sum();
+        cost += pivot * (h + 1.0) * (max_lg + chain_count);
+        // Descent below the pivot: one on-list join per remaining leg.
+        let mut card = pivot;
+        for leg in &legs[pivot_idx + 1..] {
+            let f = leg.fragment as f64;
+            let reach = if leg.child_edge {
+                card * self.avg_subtree().min(8.0)
+            } else {
+                (card * self.avg_subtree()).min(n)
+            };
+            cost += self.fragment_cost(leg.fragment, card, reach, false);
+            card = (reach * f / n).min(f).max(1.0);
+        }
+        cost
+    }
+
     /// `true` when a step estimated to touch `cost` nodes carries enough
     /// work to amortize handing morsels to a worker pool
     /// ([`MIN_FANOUT_COST`]). The planner records this as the step's
@@ -319,6 +410,22 @@ impl DocStats {
     pub fn fanout_worthwhile(&self, cost: f64) -> bool {
         cost >= MIN_FANOUT_COST
     }
+}
+
+/// Per-leg inputs to the twig estimators
+/// ([`DocStats::step_blowup_estimate`] /
+/// [`DocStats::twig_frontier_cost`]): sizes only, so the planner can
+/// price a twig region without resolving any fragment list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwigLegCost {
+    /// Fragment size of the leg's tag (element count for wildcards).
+    pub fragment: usize,
+    /// `true` for a `child::` edge from the previous leg (or context),
+    /// `false` for `descendant::`.
+    pub child_edge: bool,
+    /// Per predicate chain, the fragment sizes of its steps, outermost
+    /// first.
+    pub chains: Vec<Vec<usize>>,
 }
 
 /// Minimum estimated touched-work (nodes / index entries, the cost
@@ -433,6 +540,84 @@ mod tests {
         assert!(s.bitmap_worthwhile(s.nodes() as f64, false));
         // The un-built price includes the build pass.
         assert!(s.bitmap_filter_cost(10.0, false) > s.nodes() as f64);
+    }
+
+    #[test]
+    fn skewed_twigs_price_the_leapfrog_below_the_blowup() {
+        // A skew-shaped document: tall, with a huge first spine
+        // fragment and a tiny second one — the step plan materializes
+        // the whole first fragment, the leapfrog pivots on the tiny one.
+        let s = DocStats {
+            nodes: 2_000_000,
+            elements: 1_900_000,
+            attributes: 0,
+            height: 14.0,
+            avg_depth: 8.0,
+        };
+        let legs = [
+            TwigLegCost {
+                fragment: 600_000,
+                child_edge: false,
+                chains: vec![vec![500_000]],
+            },
+            TwigLegCost {
+                fragment: 800,
+                child_edge: false,
+                chains: vec![vec![700]],
+            },
+        ];
+        let blowup = s.step_blowup_estimate(1.0, true, &legs);
+        let frontier = s.twig_frontier_cost(1.0, &legs);
+        assert!(
+            blowup > frontier,
+            "skew: blowup {blowup} must exceed frontier {frontier}"
+        );
+        // …while a uniform region with comparable fragment sizes keeps
+        // stepping cheaper than anchoring the pivot.
+        let uniform = [
+            TwigLegCost {
+                fragment: 9_000,
+                child_edge: false,
+                chains: vec![vec![12_000]],
+            },
+            TwigLegCost {
+                fragment: 11_000,
+                child_edge: false,
+                chains: vec![vec![8_000]],
+            },
+        ];
+        let blowup = s.step_blowup_estimate(1.0, true, &uniform);
+        let frontier = s.twig_frontier_cost(1.0, &uniform);
+        assert!(
+            blowup < frontier,
+            "uniform: blowup {blowup} must stay below frontier {frontier}"
+        );
+    }
+
+    #[test]
+    fn twig_estimators_handle_degenerate_inputs() {
+        let doc = random_doc(4, 600);
+        let s = DocStats::from_doc(&doc);
+        assert_eq!(s.twig_frontier_cost(1.0, &[]), 0.0);
+        let legs = [TwigLegCost {
+            fragment: 0,
+            child_edge: true,
+            chains: vec![],
+        }];
+        assert!(s.step_blowup_estimate(0.0, false, &legs) >= 0.0);
+        assert!(s.twig_frontier_cost(0.0, &legs).is_finite());
+        // Multi-step chains charge their closure walk.
+        let deep = [TwigLegCost {
+            fragment: 50,
+            child_edge: false,
+            chains: vec![vec![200, 100]],
+        }];
+        let shallow = [TwigLegCost {
+            fragment: 50,
+            child_edge: false,
+            chains: vec![vec![100]],
+        }];
+        assert!(s.twig_frontier_cost(1.0, &deep) > s.twig_frontier_cost(1.0, &shallow));
     }
 
     #[test]

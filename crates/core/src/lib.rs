@@ -107,12 +107,13 @@ mod parallel;
 mod pool;
 mod prune;
 mod stats;
+pub mod twig;
 
 pub use anc::ancestor;
 pub use batch::{
     ancestor_many, ancestor_on_list_many, descendant_many, descendant_on_list_many, Scratch,
 };
-pub use cost::DocStats;
+pub use cost::{DocStats, TwigLegCost};
 pub use desc::{descendant, descendant_fused, guaranteed_result_estimate};
 pub use exists::{
     has_ancestor_in, has_ancestor_in_many, has_ancestor_in_many_par, has_child_in,
@@ -136,6 +137,7 @@ pub use prune::{
 };
 pub use staircase_storage::TagBitmap;
 pub use stats::StepStats;
+pub use twig::{twig_match, ChainStep, SpineLeg, TwigEdge};
 
 use staircase_accel::{Axis, Context, Doc};
 

@@ -28,6 +28,9 @@ pub struct StepStats {
     pub result_size: usize,
     /// Number of plane partitions visited (one per staircase step).
     pub partitions: usize,
+    /// Binary/galloping cursor repositionings (leapfrog-style operators;
+    /// zero for the scan-shaped joins, whose movement is all sequential).
+    pub seeks: u64,
 }
 
 impl StepStats {
@@ -56,6 +59,7 @@ impl StepStats {
         self.nodes_skipped += other.nodes_skipped;
         self.result_size += other.result_size;
         self.partitions += other.partitions;
+        self.seeks += other.seeks;
     }
 }
 
@@ -63,14 +67,15 @@ impl std::fmt::Display for StepStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "ctx {}→{}, scanned {}, copied {}, skipped {}, result {}, partitions {}",
+            "ctx {}→{}, scanned {}, copied {}, skipped {}, result {}, partitions {}, seeks {}",
             self.context_in,
             self.context_out,
             self.nodes_scanned,
             self.nodes_copied,
             self.nodes_skipped,
             self.result_size,
-            self.partitions
+            self.partitions,
+            self.seeks
         )
     }
 }
@@ -109,6 +114,7 @@ mod tests {
             nodes_skipped: 3,
             result_size: 4,
             partitions: 1,
+            seeks: 7,
         };
         let b = StepStats {
             nodes_scanned: 10,
@@ -116,6 +122,7 @@ mod tests {
             nodes_skipped: 30,
             result_size: 40,
             partitions: 2,
+            seeks: 5,
             ..Default::default()
         };
         a.merge(&b);
@@ -124,6 +131,7 @@ mod tests {
         assert_eq!(a.nodes_skipped, 33);
         assert_eq!(a.result_size, 44);
         assert_eq!(a.partitions, 3);
+        assert_eq!(a.seeks, 12);
         assert_eq!(a.context_in, 5); // context fields not merged
     }
 

@@ -12,7 +12,7 @@
 //!                                  batches work here too)
 //!
 //! options:
-//!   --engine staircase|pushdown|fragmented|parallel|naive|sql|auto
+//!   --engine staircase|pushdown|fragmented|parallel|naive|sql|auto|twig
 //!   --variant basic|skipping|estimation   staircase skipping refinement
 //!   --threads N      session worker-pool width: every engine fans its
 //!                    evaluation out across N workers wherever the
@@ -25,7 +25,8 @@
 //!   --stats          print per-step statistics to stderr
 //!   --explain        print the physical plan (one line per step: chosen
 //!                    operator + cost estimate; `[par]` marks steps the
-//!                    pool fans out) instead of running
+//!                    pool fans out; a closing `total` line sums the
+//!                    plan's estimated cost) instead of running
 //! ```
 //!
 //! Exit codes: `0` success, `2` usage or engine-configuration error,
@@ -110,6 +111,7 @@ fn usage() -> ! {
          \u{20}      also with --query-file; local-only flags are rejected)\n\
          engines:  staircase (default) | pushdown | fragmented | parallel | naive | sql\n\
          \u{20}         | auto (cost-based per-step operator picking)\n\
+         \u{20}         | twig (fuse eligible step runs into multiway leapfrog joins)\n\
          variants: basic | skipping | estimation (default)\n\
          --threads N sizes the session's worker pool: any engine fans its\n\
          evaluation out across N workers where the planner's cost hint\n\
@@ -171,7 +173,7 @@ fn parse_args() -> Options {
                 let name = args.next().unwrap_or_else(|| usage());
                 match name.as_str() {
                     "staircase" | "pushdown" | "fragmented" | "parallel" | "naive" | "sql"
-                    | "auto" => {
+                    | "auto" | "twig" => {
                         opts.engine_name = name;
                     }
                     _ => usage(),
@@ -224,7 +226,8 @@ fn parse_args() -> Options {
 fn build_engine(opts: &Options) -> Result<Engine, Error> {
     // --variant and --threads only make sense for the staircase family;
     // reject them elsewhere instead of silently dropping them.
-    if let (Some(_), "naive" | "sql" | "auto") = (opts.variant, opts.engine_name.as_str()) {
+    if let (Some(_), "naive" | "sql" | "auto" | "twig") = (opts.variant, opts.engine_name.as_str())
+    {
         return Err(Error::InvalidEngine(format!(
             "--variant does not apply to the {} engine",
             opts.engine_name
@@ -245,6 +248,7 @@ fn build_engine(opts: &Options) -> Result<Engine, Error> {
         ("naive", _) => Ok(Engine::naive()),
         ("sql", _) => Engine::sql().eq1_window(true).early_nametest(true).build(),
         ("auto", _) => Ok(Engine::auto()),
+        ("twig", _) => Ok(Engine::twig()),
         _ => usage(),
     }
 }
@@ -431,7 +435,7 @@ fn main() {
         if opts.explain {
             for query in &queries {
                 println!("# {}", query.text());
-                print!("{}", query.explain(engine));
+                print_plan(&query.explain(engine));
             }
         } else {
             let refs: Vec<&_> = queries.iter().collect();
@@ -459,7 +463,7 @@ fn main() {
     let query_text = opts.query.as_deref().unwrap_or_else(|| usage());
     let query = session.prepare(query_text).unwrap_or_else(|e| fail("", e));
     if opts.explain {
-        print!("{}", query.explain(engine));
+        print_plan(&query.explain(engine));
         return;
     }
     let out = query.run(engine);
@@ -476,13 +480,25 @@ fn main() {
     }
 }
 
+/// The physical plan, one line per step, closed by the plan-total cost
+/// line (the number `Engine::auto` would have compared alternatives by).
+fn print_plan(plan: &PhysicalPlan) {
+    print!("{plan}");
+    println!(
+        "total {:<82} est cost {:>12.0}",
+        "", // aligned under the per-step `op` column
+        plan.estimated_cost()
+    );
+}
+
 fn print_stats(out: &QueryOutput) {
     for s in &out.stats().steps {
         eprintln!(
-            "step {:<40} result {:>8}  touched {:>10}  duplicates {:>8}",
+            "step {:<40} result {:>8}  touched {:>10}  seeks {:>8}  duplicates {:>8}",
             s.step,
             s.result_size,
             s.nodes_touched,
+            s.seeks,
             s.tuples_produced.saturating_sub(s.result_size as u64)
         );
     }

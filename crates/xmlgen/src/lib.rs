@@ -29,6 +29,8 @@
 
 mod gen;
 mod sink;
+mod skew;
 mod words;
 
 pub use gen::{generate, generate_document, generate_xml, DocProfile, XmarkConfig};
+pub use skew::{generate_skewed, generate_skewed_xml, SkewConfig};

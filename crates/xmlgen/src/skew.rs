@@ -1,0 +1,260 @@
+//! Adversarial skewed documents: the twig benchmark's workload shape.
+//!
+//! The XMark-like generator ([`crate::generate`]) is deliberately
+//! *uniform* — tag frequencies and fan-outs are tuned to the paper's
+//! Table 1 ratios, which is exactly the regime where step-at-a-time
+//! evaluation is already near-optimal. This module generates the
+//! opposite: documents whose tag frequencies follow a Zipf law and whose
+//! shape plants a **deep chain of rare-under-common** — a huge
+//! population of `a[b]` blocks of which only a tiny planted fraction
+//! actually contains the rare `c[d]` tail, buried under a filler chain.
+//!
+//! Against `//a[b]//c[d]`-shaped twig queries this is the worst case for
+//! step-at-a-time plans (the `a[b]` frontier is enormous and almost
+//! entirely useless) and the best case for the multiway leapfrog
+//! (`staircase_core::twig_match`), whose pivot cursor runs over the
+//! tiny `c` fragment. Documents are fully deterministic per
+//! [`SkewConfig`], so benchmark runs are reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use staircase_accel::{Doc, EncodingBuilder};
+
+use crate::sink::{DocumentSink, EncodingSink, GenSink};
+
+/// Filler vocabulary: `t0` (most frequent) … `t15` (rarest), with
+/// frequency ∝ 1/rank^zipf.
+const FILLER_TAGS: [&str; 16] = [
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "t11", "t12", "t13", "t14",
+    "t15",
+];
+
+/// One block in `PLANT_PERIOD` carries the planted `c[d]` tail.
+const PLANT_PERIOD: usize = 1000;
+/// One block in `DECOY_PERIOD` carries a childless decoy `c` (so `c`
+/// membership alone never decides `c[d]`).
+const DECOY_PERIOD: usize = 250;
+/// Blocks per unit of scale; a block averages ≈ 25 nodes, so one scale
+/// unit lands near the XMark generator's ≈ 50 000 nodes.
+const BLOCKS_PER_SCALE: f64 = 2000.0;
+/// Mean Zipf-distributed filler elements per block.
+const MEAN_FILLER: f64 = 20.0;
+/// Depth of the filler chain burying a planted `c[d]` tail.
+const PLANT_CHAIN_DEPTH: usize = 5;
+
+/// Configuration for one skewed document.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewConfig {
+    /// Size knob: 1.0 ≈ 50 000 nodes, like [`crate::XmarkConfig::scale`].
+    pub scale: f64,
+    /// Zipf exponent for the filler-tag choice; 0.0 is uniform, larger
+    /// values concentrate mass on `t0`.
+    pub zipf: f64,
+    /// RNG seed; equal configs generate identical documents.
+    pub seed: u64,
+}
+
+impl SkewConfig {
+    /// A config with the default seed.
+    pub fn new(scale: f64, zipf: f64) -> SkewConfig {
+        SkewConfig {
+            scale,
+            zipf,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> SkewConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Generates a skewed document straight into the XPath-accelerator
+/// encoding.
+pub fn generate_skewed(config: SkewConfig) -> Doc {
+    let mut sink = EncodingSink {
+        builder: EncodingBuilder::new(),
+    };
+    sink.builder.reserve((config.scale * 50_000.0) as usize);
+    SkewGenerator::new(config).run(&mut sink);
+    sink.builder.finish()
+}
+
+/// Generates the same skewed document as XML text.
+pub fn generate_skewed_xml(config: SkewConfig) -> String {
+    let mut sink = DocumentSink::new();
+    SkewGenerator::new(config).run(&mut sink);
+    sink.doc.to_xml()
+}
+
+struct SkewGenerator {
+    config: SkewConfig,
+    rng: SmallRng,
+    /// Cumulative Zipf weights over [`FILLER_TAGS`].
+    cumulative: [f64; FILLER_TAGS.len()],
+}
+
+impl SkewGenerator {
+    fn new(config: SkewConfig) -> SkewGenerator {
+        let mut cumulative = [0.0; FILLER_TAGS.len()];
+        let mut total = 0.0;
+        for (i, slot) in cumulative.iter_mut().enumerate() {
+            total += 1.0 / ((i + 1) as f64).powf(config.zipf.max(0.0));
+            *slot = total;
+        }
+        SkewGenerator {
+            config,
+            rng: SmallRng::seed_from_u64(config.seed),
+            cumulative,
+        }
+    }
+
+    fn filler_tag(&mut self) -> &'static str {
+        let total = self.cumulative[FILLER_TAGS.len() - 1];
+        let u: f64 = self.rng.gen::<f64>() * total;
+        let idx = self.cumulative.partition_point(|&c| c <= u);
+        FILLER_TAGS[idx.min(FILLER_TAGS.len() - 1)]
+    }
+
+    fn geometric(&mut self, mean: f64) -> usize {
+        let p = 1.0 / (mean + 1.0);
+        let u: f64 = self.rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        (u.ln() / (1.0 - p).ln()).floor() as usize
+    }
+
+    fn run(&mut self, sink: &mut impl GenSink) {
+        let blocks = ((BLOCKS_PER_SCALE * self.config.scale).round() as usize).max(2);
+        sink.open("root");
+        for block in 0..blocks {
+            // Offsets keep the planted and decoy populations disjoint.
+            let planted = block % PLANT_PERIOD == PLANT_PERIOD / 2;
+            let decoy = !planted && block % DECOY_PERIOD == DECOY_PERIOD / 4;
+            self.block(sink, planted, decoy);
+        }
+        sink.close();
+    }
+
+    /// One `a` block: a common `b` child, a pile of Zipf filler
+    /// (occasionally nested one level), and — for the planted few — the
+    /// rare `c[d]` tail buried under a filler chain.
+    fn block(&mut self, sink: &mut impl GenSink, planted: bool, decoy: bool) {
+        sink.open("a");
+        sink.open("b");
+        sink.close();
+        let fillers = self.geometric(MEAN_FILLER);
+        for _ in 0..fillers {
+            let tag = self.filler_tag();
+            sink.open(tag);
+            if self.rng.gen::<f64>() < 0.2 {
+                let inner = self.filler_tag();
+                sink.open(inner);
+                sink.close();
+            }
+            sink.close();
+        }
+        if decoy {
+            // A `c` with no `d` below it: rare enough to keep the `c`
+            // fragment small, common enough that the `[d]` chain does
+            // real filtering work.
+            sink.open("c");
+            sink.close();
+        }
+        if planted {
+            for _ in 0..PLANT_CHAIN_DEPTH {
+                let tag = self.filler_tag();
+                sink.open(tag);
+            }
+            sink.open("c");
+            sink.open("d");
+            sink.close();
+            sink.close();
+            for _ in 0..PLANT_CHAIN_DEPTH {
+                sink.close();
+            }
+        }
+        sink.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staircase_accel::NodeKind;
+
+    fn count(doc: &Doc, name: &str) -> usize {
+        doc.tag_id(name)
+            .map(|t| {
+                doc.pres()
+                    .filter(|&v| doc.tag(v) == t && doc.kind(v) == NodeKind::Element)
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn determinism_same_config_same_doc() {
+        let a = generate_skewed(SkewConfig::new(0.5, 1.2));
+        let b = generate_skewed(SkewConfig::new(0.5, 1.2));
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.post_column(), b.post_column());
+        let c = generate_skewed(SkewConfig::new(0.5, 1.2).with_seed(9));
+        assert_ne!(a.post_column(), c.post_column());
+    }
+
+    #[test]
+    fn zipf_exponent_skews_the_tag_frequencies() {
+        let skewed = generate_skewed(SkewConfig::new(1.0, 1.5));
+        let head = count(&skewed, "t0");
+        let tail = count(&skewed, "t15");
+        assert!(
+            head > tail * 10,
+            "zipf 1.5 should skew hard: t0 {head} vs t15 {tail}"
+        );
+        let uniform = generate_skewed(SkewConfig::new(1.0, 0.0));
+        let head = count(&uniform, "t0") as f64;
+        let tail = count(&uniform, "t15") as f64;
+        assert!(
+            head < tail * 2.0 && tail < head * 2.0,
+            "zipf 0 should be near-uniform: t0 {head} vs t15 {tail}"
+        );
+    }
+
+    #[test]
+    fn rare_under_common_shape_holds() {
+        let doc = generate_skewed(SkewConfig::new(2.0, 1.2));
+        let a = count(&doc, "a");
+        let c = count(&doc, "c");
+        let d = count(&doc, "d");
+        // The common spine dwarfs the rare tail…
+        assert!(a > 100 * c.max(1), "a {a} !>> c {c}");
+        // …and only the planted subset of `c` carries a `d` (decoys
+        // outnumber plants).
+        assert!(d > 0 && c > 2 * d, "c {c} vs d {d}");
+        // Every block has its `b`.
+        assert_eq!(count(&doc, "b"), a);
+    }
+
+    #[test]
+    fn node_count_tracks_scale() {
+        let small = generate_skewed(SkewConfig::new(1.0, 1.0));
+        let large = generate_skewed(SkewConfig::new(4.0, 1.0));
+        let ratio = large.len() as f64 / small.len() as f64;
+        assert!((3.0..5.0).contains(&ratio), "scaling broken: {ratio}");
+        assert!(
+            (30_000..70_000).contains(&small.len()),
+            "nodes per scale unit: {}",
+            small.len()
+        );
+    }
+
+    #[test]
+    fn xml_output_roundtrips_to_same_encoding() {
+        let cfg = SkewConfig::new(0.05, 1.3).with_seed(7);
+        let direct = generate_skewed(cfg);
+        let parsed = Doc::from_xml(&generate_skewed_xml(cfg)).expect("generated XML must parse");
+        assert_eq!(direct.len(), parsed.len());
+        assert_eq!(direct.post_column(), parsed.post_column());
+    }
+}

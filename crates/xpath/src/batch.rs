@@ -627,6 +627,9 @@ fn advance(
             result_size: out.len(),
             nodes_touched: touched,
             tuples_produced: out.len() as u64,
+            // Lane-form joins are scan-shaped; only the per-lane twig
+            // step (routed through `exec_step`) seeks.
+            seeks: 0,
         });
         scratch.recycle(std::mem::replace(&mut lane.ctx, out));
         lane.step += 1;

@@ -57,6 +57,11 @@ pub(crate) enum EngineKind {
     /// candidate operators for every step from document statistics and
     /// keeps the cheapest.
     Auto,
+    /// Worst-case-optimal twig matching: every eligible run of vertical
+    /// steps with path-shaped existential predicates is fused into one
+    /// multiway leapfrog intersection over the per-tag fragments; the
+    /// remaining steps run as fragment joins.
+    Twig,
 }
 
 impl Default for Engine {
@@ -100,6 +105,7 @@ impl fmt::Debug for Engine {
                 )
             }
             EngineKind::Auto => write!(f, "auto"),
+            EngineKind::Twig => write!(f, "twig"),
         }
     }
 }
@@ -142,6 +148,21 @@ impl Engine {
     pub fn auto() -> Engine {
         Engine {
             kind: EngineKind::Auto,
+        }
+    }
+
+    /// The twig-fusing engine: every eligible *twig region* — a run of
+    /// vertical steps whose predicates are themselves vertical
+    /// existential paths — is fused into one worst-case-optimal
+    /// multiway leapfrog step ([`staircase_core::twig`]); steps outside
+    /// a region run as §6 fragment joins. Results are node- and
+    /// order-identical to every fixed engine (property-tested); only
+    /// intermediate materialization disappears. [`Engine::auto`] picks
+    /// this operator per region, and only where the cost model predicts
+    /// the step plan's intermediates exceed the leapfrog frontier cost.
+    pub fn twig() -> Engine {
+        Engine {
+            kind: EngineKind::Twig,
         }
     }
 
@@ -318,6 +339,7 @@ mod tests {
                 .build()
                 .unwrap(),
             Engine::auto(),
+            Engine::twig(),
         ];
         // All distinct configurations.
         for (i, a) in engines.iter().enumerate() {
@@ -347,5 +369,12 @@ mod tests {
     fn debug_rendering_is_compact() {
         let e = Engine::staircase().pushdown(true).build().unwrap();
         assert_eq!(format!("{e:?}"), "staircase(EstimationSkipping, pushdown)");
+        assert_eq!(format!("{:?}", Engine::twig()), "twig");
+    }
+
+    #[test]
+    fn twig_is_neither_auto_nor_staircase_family() {
+        assert!(!Engine::twig().is_auto());
+        assert!(!Engine::twig().is_staircase());
     }
 }

@@ -22,13 +22,13 @@ use staircase_baselines::{naive_step, SqlEngine, SqlPlanOptions};
 use staircase_core::{
     ancestor, ancestor_on_list, ancestor_parallel, ancestor_parallel_on, cost::DocStats,
     descendant, descendant_on_list, descendant_parallel, descendant_parallel_on, following,
-    has_ancestor_in, has_child_in, has_descendant_in, mask, preceding, ScratchPool, TagBitmap,
-    TagIndex, WorkerPool,
+    has_ancestor_in, has_child_in, has_descendant_in, mask, preceding, twig_match, ChainStep,
+    ScratchPool, SpineLeg, TagBitmap, TagIndex, WorkerPool,
 };
 
 use crate::ast::NodeTest;
 use crate::plan::{
-    axis_of, PartAxis, PathPlan, PlannedStep, PredOp, SemijoinAxis, StepOp, VertAxis,
+    axis_of, PartAxis, PathPlan, PlannedStep, PredOp, SemijoinAxis, StepOp, TwigSpec, VertAxis,
 };
 
 /// Per-step trace of an evaluation.
@@ -44,6 +44,9 @@ pub struct StepTrace {
     /// equals `result_size` for the staircase join, which never produces
     /// duplicates).
     pub tuples_produced: u64,
+    /// Binary/galloping cursor repositionings (the leapfrog twig
+    /// operator; zero for the scan-shaped joins).
+    pub seeks: u64,
 }
 
 /// Evaluation statistics: one trace per step.
@@ -57,6 +60,12 @@ impl EvalStats {
     /// Total nodes touched across steps.
     pub fn total_touched(&self) -> u64 {
         self.steps.iter().map(|s| s.nodes_touched).sum()
+    }
+
+    /// Total cursor seeks across steps (leapfrog twig steps; zero for
+    /// plans without one).
+    pub fn total_seeks(&self) -> u64 {
+        self.steps.iter().map(|s| s.seeks).sum()
     }
 
     /// Total duplicates generated (and removed) across steps.
@@ -122,7 +131,7 @@ impl<'a> Executor<'a> {
     /// Interprets one planned step (join, node test, predicates); also
     /// the per-lane fallback of the batch evaluator.
     pub(crate) fn exec_step(&self, ctx: &Context, step: &PlannedStep) -> (Context, StepTrace) {
-        let (mut out, touched, produced) = self.exec_join_and_test(ctx, step);
+        let (mut out, touched, produced, seeks) = self.exec_join_and_test(ctx, step);
         for pred in &step.predicates {
             out = self.exec_predicate(&out, pred);
         }
@@ -131,6 +140,7 @@ impl<'a> Executor<'a> {
             result_size: out.len(),
             nodes_touched: touched,
             tuples_produced: produced.max(out.len() as u64),
+            seeks,
         };
         (out, trace)
     }
@@ -254,8 +264,8 @@ impl<'a> Executor<'a> {
     }
 
     /// Executes the step's join operator and node test; returns
-    /// (result, nodes touched, tuples produced before dedup).
-    fn exec_join_and_test(&self, ctx: &Context, step: &PlannedStep) -> (Context, u64, u64) {
+    /// (result, nodes touched, tuples produced before dedup, seeks).
+    fn exec_join_and_test(&self, ctx: &Context, step: &PlannedStep) -> (Context, u64, u64, u64) {
         let doc = self.doc;
         match step.axis {
             Axis::Descendant => self.partitioning(ctx, PartAxis::Descendant, step),
@@ -263,18 +273,20 @@ impl<'a> Executor<'a> {
             Axis::Following => self.partitioning(ctx, PartAxis::Following, step),
             Axis::Preceding => self.partitioning(ctx, PartAxis::Preceding, step),
             Axis::DescendantOrSelf => {
-                let (base, touched, produced) = self.partitioning(ctx, PartAxis::Descendant, step);
+                let (base, touched, produced, seeks) =
+                    self.partitioning(ctx, PartAxis::Descendant, step);
                 let selves = apply_test(doc, ctx, &step.test, Axis::SelfAxis);
-                (merge(&base, &selves), touched, produced)
+                (merge(&base, &selves), touched, produced, seeks)
             }
             Axis::AncestorOrSelf => {
-                let (base, touched, produced) = self.partitioning(ctx, PartAxis::Ancestor, step);
+                let (base, touched, produced, seeks) =
+                    self.partitioning(ctx, PartAxis::Ancestor, step);
                 let selves = apply_test(doc, ctx, &step.test, Axis::SelfAxis);
-                (merge(&base, &selves), touched, produced)
+                (merge(&base, &selves), touched, produced, seeks)
             }
             Axis::SelfAxis => {
                 let out = apply_test(doc, ctx, &step.test, Axis::SelfAxis);
-                (out, ctx.len() as u64, 0)
+                (out, ctx.len() as u64, 0, 0)
             }
             Axis::Parent => {
                 let mut parents: Vec<Pre> = ctx
@@ -285,7 +297,7 @@ impl<'a> Executor<'a> {
                 parents.sort_unstable();
                 parents.dedup();
                 let out = self.test_pooled(Context::from_sorted(parents), &step.test, Axis::Parent);
-                (out, ctx.len() as u64, 0)
+                (out, ctx.len() as u64, 0, 0)
             }
             Axis::Child => {
                 // Per-context children via subtree jumps: O(Σ #children),
@@ -304,7 +316,7 @@ impl<'a> Executor<'a> {
                 }
                 kids.sort_unstable();
                 let out = self.test_pooled(Context::from_sorted(kids), &step.test, Axis::Child);
-                (out, touched, 0)
+                (out, touched, 0, 0)
             }
             Axis::Attribute => {
                 let mut attrs = Vec::new();
@@ -321,7 +333,7 @@ impl<'a> Executor<'a> {
                 }
                 let out =
                     self.test_pooled(Context::from_sorted(attrs), &step.test, Axis::Attribute);
-                (out, touched, 0)
+                (out, touched, 0, 0)
             }
             Axis::FollowingSibling | Axis::PrecedingSibling => {
                 // Per parent, the extremal context child bounds the sibling
@@ -359,7 +371,7 @@ impl<'a> Executor<'a> {
                     }
                 }
                 let out = self.test_pooled(Context::from_sorted(sibs), &step.test, step.axis);
-                (out, touched, 0)
+                (out, touched, 0, 0)
             }
         }
     }
@@ -370,7 +382,7 @@ impl<'a> Executor<'a> {
         ctx: &Context,
         paxis: PartAxis,
         step: &PlannedStep,
-    ) -> (Context, u64, u64) {
+    ) -> (Context, u64, u64, u64) {
         let doc = self.doc;
         match step.op {
             StepOp::Fragment { prescan } => {
@@ -432,7 +444,7 @@ impl<'a> Executor<'a> {
                     (PartAxis::Preceding, _) => preceding(doc, ctx),
                 };
                 let out = self.test_pooled(base, &step.test, axis_of(paxis));
-                (out, stats.nodes_touched(), 0)
+                (out, stats.nodes_touched(), 0, 0)
             }
             StepOp::Naive | StepOp::Structural => {
                 // Structural never reaches a partitioning axis from the
@@ -440,7 +452,7 @@ impl<'a> Executor<'a> {
                 // hand-built plan still evaluates correctly.
                 let (base, stats) = naive_step(doc, ctx, axis_of(paxis));
                 let out = self.test_pooled(base, &step.test, axis_of(paxis));
-                (out, stats.nodes_scanned, stats.tuples_produced)
+                (out, stats.nodes_scanned, stats.tuples_produced, 0)
             }
             StepOp::Sql {
                 eq1_window,
@@ -453,14 +465,14 @@ impl<'a> Executor<'a> {
                 if early_nametest && matches!(step.test, NodeTest::Name(_)) && pushed_tag.is_none()
                 {
                     // Name never occurs in the document: empty result.
-                    return (Context::empty(), 0, 0);
+                    return (Context::empty(), 0, 0, 0);
                 }
                 let Some(sql) = self.sql else {
                     // Resolution always provides the B-tree for SQL plans;
                     // stay total for hand-built plans.
                     let (base, stats) = naive_step(doc, ctx, axis_of(paxis));
                     let out = self.test_pooled(base, &step.test, axis_of(paxis));
-                    return (out, stats.nodes_scanned, stats.tuples_produced);
+                    return (out, stats.nodes_scanned, stats.tuples_produced, 0);
                 };
                 let opts = SqlPlanOptions {
                     eq1_window,
@@ -472,9 +484,68 @@ impl<'a> Executor<'a> {
                 } else {
                     self.test_pooled(base, &step.test, axis_of(paxis))
                 };
-                (out, stats.index_entries_scanned, stats.tuples_produced)
+                (out, stats.index_entries_scanned, stats.tuples_produced, 0)
+            }
+            StepOp::Twig(ref spec) => {
+                // The planner only emits twig steps on the descendant
+                // axis; any other pairing (hand-built plan) falls back
+                // to the plain join plus the step's residual test.
+                if paxis != PartAxis::Descendant {
+                    return self.plain_staircase(
+                        ctx,
+                        paxis,
+                        step,
+                        staircase_core::Variant::default(),
+                    );
+                }
+                self.twig_step(ctx, spec)
             }
         }
+    }
+
+    /// Executes a fused twig region: resolves one sorted list per spine
+    /// leg and chain step (prebuilt fragments when the session provides
+    /// the index, selection scans otherwise) and hands them to the
+    /// multiway leapfrog intersection [`staircase_core::twig_match`].
+    /// The result is the output (last) leg's binding in document order.
+    fn twig_step(&self, ctx: &Context, spec: &TwigSpec) -> (Context, u64, u64, u64) {
+        let mut leg_lists = Vec::with_capacity(spec.spine.len());
+        let mut chain_lists = Vec::with_capacity(spec.spine.len());
+        for leg in &spec.spine {
+            leg_lists.push(self.fragment_list(&leg.name));
+            let per_leg: Vec<Vec<std::borrow::Cow<'a, [Pre]>>> = leg
+                .chains
+                .iter()
+                .map(|chain| chain.iter().map(|(_, n)| self.fragment_list(n)).collect())
+                .collect();
+            chain_lists.push(per_leg);
+        }
+        let spine: Vec<SpineLeg<'_>> = spec
+            .spine
+            .iter()
+            .enumerate()
+            .map(|(i, leg)| SpineLeg {
+                edge: leg.edge,
+                list: &leg_lists[i],
+                chains: leg
+                    .chains
+                    .iter()
+                    .enumerate()
+                    .map(|(j, chain)| {
+                        chain
+                            .iter()
+                            .enumerate()
+                            .map(|(k, (edge, _))| ChainStep {
+                                edge: *edge,
+                                list: &chain_lists[i][j][k],
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            })
+            .collect();
+        let (out, stats) = twig_match(self.doc, &spine, ctx);
+        (out, stats.nodes_touched(), 0, stats.seeks)
     }
 
     /// The serial staircase join over the whole plane, plus node test.
@@ -484,7 +555,7 @@ impl<'a> Executor<'a> {
         paxis: PartAxis,
         step: &PlannedStep,
         variant: staircase_core::Variant,
-    ) -> (Context, u64, u64) {
+    ) -> (Context, u64, u64, u64) {
         let doc = self.doc;
         let (base, stats) = match paxis {
             PartAxis::Descendant => descendant(doc, ctx, variant),
@@ -493,7 +564,7 @@ impl<'a> Executor<'a> {
             PartAxis::Preceding => preceding(doc, ctx),
         };
         let out = self.test_pooled(base, &step.test, axis_of(paxis));
-        (out, stats.nodes_touched(), 0)
+        (out, stats.nodes_touched(), 0, 0)
     }
 }
 
@@ -505,12 +576,12 @@ fn on_list_join(
     list: &[Pre],
     ctx: &Context,
     scan_cost: u64,
-) -> (Context, u64, u64) {
+) -> (Context, u64, u64, u64) {
     let (out, stats) = match vert {
         VertAxis::Descendant => descendant_on_list(doc, list, ctx),
         VertAxis::Ancestor => ancestor_on_list(doc, list, ctx),
     };
-    (out, stats.nodes_touched() + scan_cost, 0)
+    (out, stats.nodes_touched() + scan_cost, 0, 0)
 }
 
 /// The principal node kind of an axis (attributes for `attribute::`,

@@ -31,6 +31,39 @@
 //! [`Session::explain`] / [`Query::explain`] return the plan with
 //! per-step cost estimates (`xq --explain` on the command line).
 //!
+//! ## Twig planning
+//!
+//! Step-at-a-time evaluation has a worst case the paper's cost model
+//! can see coming: a run of vertical steps whose intermediate results
+//! dwarf the final answer (`//a[b]//c[d]` on a document where almost
+//! every `a` has a `b` but almost none leads to a `c[d]`). For these
+//! the planner recognizes **twig regions** — maximal runs of
+//! `descendant::`/`child::` name-test steps, starting on a
+//! `descendant::` step, whose predicates are themselves vertical
+//! existential paths — and can fuse a whole region into one
+//! [`StepOp::Twig`] operator ([`TwigSpec`] describes the shape): a
+//! worst-case-optimal **multiway leapfrog intersection**
+//! ([`staircase_core::twig_match`]) that runs one galloping cursor per
+//! leg over the §6 per-tag pre/post fragments and never materializes an
+//! intermediate step result. Output is the last leg's bindings in
+//! document order, node-identical to the step-at-a-time plans
+//! (property-tested), and the step's [`StepTrace`] reports the actual
+//! cursor `seeks` next to the nodes touched.
+//!
+//! Two engines reach the operator:
+//!
+//! * [`Engine::twig`] fuses *every* eligible region (steps outside a
+//!   region run as fragment joins) — the forced form benchmarks use;
+//! * [`Engine::auto`] prices each region both ways —
+//!   [`staircase_core::DocStats::step_blowup_estimate`] (the peak
+//!   intermediate a step plan would carry) against
+//!   [`staircase_core::DocStats::twig_frontier_cost`] (the leapfrog's
+//!   seek bill) — and fuses only where the blowup exceeds the frontier
+//!   cost, so uniform workloads keep their step-at-a-time plans.
+//!
+//! In `EXPLAIN` output a fused region renders as its leaf paths, e.g.
+//! `twig[a>b, a>c.d]` (`>` a descendant edge, `.` a child edge).
+//!
 //! ## The session API
 //!
 //! * [`Session`] owns a loaded document plus lazily built, cached
@@ -160,5 +193,6 @@ pub use eval::{EvalOutput, EvalStats, StepTrace};
 pub use parser::{parse, parse_union, ParseError};
 pub use plan::{
     PathPlan, PhysicalPlan, PlannedStep, PredOp, SemijoinAxis, StepEstimate, StepOp, TestOp,
+    TwigSpec,
 };
 pub use session::{AuxBuilds, Query, QueryOutput, Session};

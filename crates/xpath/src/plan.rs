@@ -20,10 +20,11 @@
 //! strategies from cardinality bounds.
 
 use std::fmt;
+use std::sync::Arc;
 
 use staircase_accel::{Axis, Doc};
-use staircase_core::cost::DocStats;
-use staircase_core::Variant;
+use staircase_core::cost::{DocStats, TwigLegCost};
+use staircase_core::{TwigEdge, Variant};
 
 use crate::ast::{NodeTest, Path, Predicate, Step, UnionExpr};
 use crate::engine::{Engine, EngineKind};
@@ -113,7 +114,7 @@ pub struct PlannedStep {
 }
 
 /// The join operator chosen for one step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StepOp {
     /// Staircase join over the whole plane (vertical axes).
     Staircase {
@@ -149,6 +150,71 @@ pub enum StepOp {
     /// Engine-independent structural axis (`self`, `child`, `parent`,
     /// `attribute`, the sibling axes).
     Structural,
+    /// Worst-case-optimal twig region: a run of vertical name-test steps
+    /// whose predicates are themselves vertical existential paths, fused
+    /// into one multiway leapfrog intersection over the per-tag
+    /// fragments ([`staircase_core::twig_match`]). The step binds the
+    /// *last* spine leg only, in document order; no intermediate step
+    /// result is ever materialized.
+    Twig(Arc<TwigSpec>),
+}
+
+/// The fused twig region evaluated by [`StepOp::Twig`]: the spine legs
+/// (tag plus containment edge from the previous leg) and, per leg, the
+/// existential chains hanging off it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwigSpec {
+    /// Spine legs in path order; the last leg is the output binding.
+    pub(crate) spine: Vec<TwigSpecLeg>,
+}
+
+/// One spine leg of a fused twig region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct TwigSpecLeg {
+    /// Containment edge from the previous leg (for the first leg: from
+    /// the context).
+    pub(crate) edge: TwigEdge,
+    /// The leg's tag name.
+    pub(crate) name: String,
+    /// Existential predicate chains below this leg, outermost step
+    /// first; every chain is non-empty.
+    pub(crate) chains: Vec<Vec<(TwigEdge, String)>>,
+}
+
+impl TwigSpec {
+    /// The root-to-leaf paths of the pattern tree, rendered with `>` for
+    /// descendant edges and `.` for child edges (`a>b`, `a>c.d`).
+    fn leaf_paths(&self) -> Vec<String> {
+        let sep = |e: TwigEdge| if e == TwigEdge::Child { '.' } else { '>' };
+        let mut prefix = String::new();
+        let mut paths = Vec::new();
+        for (i, leg) in self.spine.iter().enumerate() {
+            if i > 0 {
+                prefix.push(sep(leg.edge));
+            }
+            prefix.push_str(&leg.name);
+            for chain in &leg.chains {
+                let mut p = prefix.clone();
+                for (edge, name) in chain {
+                    p.push(sep(*edge));
+                    p.push_str(name);
+                }
+                paths.push(p);
+            }
+        }
+        // The spine itself is a leaf path unless the output leg's chains
+        // already extend it.
+        if self.spine.last().is_none_or(|l| l.chains.is_empty()) {
+            paths.push(prefix);
+        }
+        paths
+    }
+}
+
+impl fmt::Display for TwigSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "twig[{}]", self.leaf_paths().join(", "))
+    }
 }
 
 /// How the step's node test is evaluated.
@@ -244,7 +310,7 @@ impl PhysicalPlan {
 
 fn path_needs_tags(path: &PathPlan) -> bool {
     path.steps.iter().any(|s| {
-        matches!(s.op, StepOp::Fragment { prescan: false })
+        matches!(s.op, StepOp::Fragment { prescan: false } | StepOp::Twig(_))
             || s.predicates.iter().any(|p| match p {
                 PredOp::Semijoin { prebuilt, .. } => *prebuilt,
                 PredOp::Filter(sub) => path_needs_tags(sub),
@@ -446,6 +512,7 @@ impl fmt::Display for StepOp {
                 write!(f, ")")
             }
             StepOp::Structural => write!(f, "structural"),
+            StepOp::Twig(spec) => write!(f, "{spec}"),
         }
     }
 }
@@ -509,6 +576,9 @@ impl fmt::Display for PhysicalPlan {
 enum Policy {
     Fixed(EngineKind),
     Auto,
+    /// [`Engine::twig`]: fuse **every** eligible twig region; steps
+    /// outside a region run as §6 fragment joins.
+    Twig,
 }
 
 /// Lowers a parsed union expression into a physical plan for `engine`.
@@ -520,6 +590,7 @@ pub(crate) fn plan_union(
 ) -> PhysicalPlan {
     let policy = match engine.kind {
         EngineKind::Auto => Policy::Auto,
+        EngineKind::Twig => Policy::Twig,
         kind => Policy::Fixed(kind),
     };
     PhysicalPlan {
@@ -544,20 +615,199 @@ fn plan_path(
 ) -> PathPlan {
     let mut rows = in_rows;
     let mut root = at_root;
-    let steps = path
-        .steps
-        .iter()
-        .map(|step| {
-            let (planned, out_rows) = plan_step(step, doc, stats, policy, rows, root);
-            rows = out_rows;
-            root = false;
-            planned
-        })
-        .collect();
+    let mut steps = Vec::with_capacity(path.steps.len());
+    let mut i = 0;
+    while i < path.steps.len() {
+        // Twig-capable policies look for a region starting here; the
+        // auto policy additionally demands that the cost model predict a
+        // step-at-a-time intermediate blowup above the leapfrog frontier
+        // cost before fusing.
+        if matches!(policy, Policy::Twig | Policy::Auto) {
+            if let Some(spec) = twig_region(&path.steps[i..]) {
+                let len = spec.spine.len();
+                if let Some((planned, out_rows)) = plan_twig(
+                    spec,
+                    &path.steps[i..i + len],
+                    doc,
+                    stats,
+                    policy,
+                    rows,
+                    root,
+                ) {
+                    rows = out_rows;
+                    root = false;
+                    steps.push(planned);
+                    i += len;
+                    continue;
+                }
+            }
+        }
+        let (planned, out_rows) = plan_step(&path.steps[i], doc, stats, policy, rows, root);
+        rows = out_rows;
+        root = false;
+        steps.push(planned);
+        i += 1;
+    }
     PathPlan {
         absolute: path.absolute,
         steps,
     }
+}
+
+// ── Twig-region recognition and lowering ────────────────────────────────
+
+/// Recognizes the maximal *twig region* starting at `steps[0]`: a run of
+/// at least two vertical name-test steps — the first on the descendant
+/// axis, later ones descendant or child — whose predicates are all
+/// relative vertical existential paths (descendant/child name-test steps
+/// with no nested predicates). Returns `None` when no region starts
+/// here; single eligible steps stay on the step-at-a-time operators,
+/// which already touch no more than the twig would.
+fn twig_region(steps: &[Step]) -> Option<TwigSpec> {
+    let mut spine = Vec::new();
+    for (i, step) in steps.iter().enumerate() {
+        match twig_leg(step, i == 0) {
+            Some(leg) => spine.push(leg),
+            None => break,
+        }
+    }
+    if spine.len() < 2 {
+        return None;
+    }
+    Some(TwigSpec { spine })
+}
+
+/// One step's twig-leg form, if it has one.
+fn twig_leg(step: &Step, first: bool) -> Option<TwigSpecLeg> {
+    let edge = match step.axis {
+        Axis::Descendant => TwigEdge::Descendant,
+        // A child-axis *first* leg would need the structural child
+        // dispatch; regions start on the partitioning descendant axis so
+        // the fused step replaces a partitioning join.
+        Axis::Child if !first => TwigEdge::Child,
+        _ => return None,
+    };
+    let NodeTest::Name(name) = &step.test else {
+        return None;
+    };
+    let mut chains = Vec::with_capacity(step.predicates.len());
+    for pred in &step.predicates {
+        let Predicate::Exists(path) = pred;
+        chains.push(vertical_chain(path)?);
+    }
+    Some(TwigSpecLeg {
+        edge,
+        name: name.clone(),
+        chains,
+    })
+}
+
+/// A predicate path's chain form: relative, non-empty, every step a
+/// predicate-free descendant/child name test.
+fn vertical_chain(path: &Path) -> Option<Vec<(TwigEdge, String)>> {
+    if path.absolute || path.steps.is_empty() {
+        return None;
+    }
+    let mut chain = Vec::with_capacity(path.steps.len());
+    for step in &path.steps {
+        if !step.predicates.is_empty() {
+            return None;
+        }
+        let edge = match step.axis {
+            Axis::Descendant => TwigEdge::Descendant,
+            Axis::Child => TwigEdge::Child,
+            _ => return None,
+        };
+        let NodeTest::Name(name) = &step.test else {
+            return None;
+        };
+        chain.push((edge, name.clone()));
+    }
+    Some(chain)
+}
+
+/// Lowers a recognized region to one fused [`StepOp::Twig`] step.
+/// Returns `None` when the policy is [`Policy::Auto`] and the cost model
+/// prices the step-at-a-time intermediates *below* the leapfrog frontier
+/// — stepping through a uniform document is cheaper than running one
+/// cursor per leg, so auto declines the fusion there.
+fn plan_twig(
+    spec: TwigSpec,
+    source: &[Step],
+    doc: &Doc,
+    stats: &DocStats,
+    policy: Policy,
+    in_rows: f64,
+    at_root: bool,
+) -> Option<(PlannedStep, f64)> {
+    let legs: Vec<TwigLegCost> = spec
+        .spine
+        .iter()
+        .map(|leg| TwigLegCost {
+            fragment: stats.fragment_size(doc, doc.tag_id(&leg.name)),
+            child_edge: leg.edge == TwigEdge::Child,
+            chains: leg
+                .chains
+                .iter()
+                .map(|c| {
+                    c.iter()
+                        .map(|(_, n)| stats.fragment_size(doc, doc.tag_id(n)))
+                        .collect()
+                })
+                .collect(),
+        })
+        .collect();
+    let frontier = stats.twig_frontier_cost(in_rows, &legs);
+    if matches!(policy, Policy::Auto)
+        && stats.step_blowup_estimate(in_rows, at_root, &legs) <= frontier
+    {
+        return None;
+    }
+    // Output cardinality: the step plan's final rows, so downstream
+    // estimates are unchanged by splicing the twig in.
+    let rows = twig_rows_estimate(stats, in_rows, at_root, &legs);
+    let rendered = source
+        .iter()
+        .map(Step::to_string)
+        .collect::<Vec<_>>()
+        .join("/");
+    let test = NodeTest::Name(spec.spine[spec.spine.len() - 1].name.clone());
+    let planned = PlannedStep {
+        // The fused step replaces the region's first (descendant-axis)
+        // step in the pipeline; the evaluator dispatches it through the
+        // partitioning path like any descendant step.
+        axis: Axis::Descendant,
+        test,
+        op: StepOp::Twig(Arc::new(spec)),
+        test_op: TestOp::Fused,
+        predicates: Vec::new(),
+        estimate: StepEstimate {
+            cost: frontier,
+            rows,
+        },
+        fanout: false,
+        rendered,
+    };
+    Some((planned, rows))
+}
+
+/// The step plan's output-cardinality recursion over a region (the
+/// `rows` half of [`DocStats::step_blowup_estimate`]), so the fused step
+/// reports the same expected rows the step pipeline would.
+fn twig_rows_estimate(stats: &DocStats, in_rows: f64, at_root: bool, legs: &[TwigLegCost]) -> f64 {
+    let n = (stats.nodes() as f64).max(1.0);
+    let mut rows = in_rows.max(1.0);
+    for (i, leg) in legs.iter().enumerate() {
+        let f = leg.fragment as f64;
+        let reach = if leg.child_edge {
+            stats.structural_cost(Axis::Child, rows)
+        } else {
+            stats.descendant_window(rows, at_root && i == 0)
+        };
+        let out = (reach * f / n).min(f);
+        rows = out / 2.0f64.powi(leg.chains.len() as i32);
+    }
+    rows
 }
 
 /// Fraction of window nodes surviving `test` (rough: name tests use the
@@ -699,11 +949,24 @@ fn plan_partitioning(
                 }
             }
             StepOp::Structural => f64::INFINITY,
+            // Twig steps are priced at region level (`plan_twig`), never
+            // as per-step candidates.
+            StepOp::Twig(_) => f64::INFINITY,
         }
     };
 
     let op = match policy {
         Policy::Fixed(kind) => fixed_op(kind, is_name, vert.is_some(), horiz),
+        // Steps outside a fused region run as §6 fragment joins under
+        // the twig engine.
+        Policy::Twig => fixed_op(
+            EngineKind::Fragmented {
+                variant: Variant::EstimationSkipping,
+            },
+            is_name,
+            vert.is_some(),
+            horiz,
+        ),
         Policy::Auto => {
             if horiz {
                 StepOp::Horiz
@@ -728,12 +991,12 @@ fn plan_partitioning(
                     eq1_window: true,
                     early_nametest: true,
                 });
-                let mut best = candidates[0];
+                let mut best = candidates[0].clone();
                 let mut best_cost = price(&candidates[0]);
                 for cand in &candidates[1..] {
                     let c = price(cand);
                     if c < best_cost {
-                        best = *cand;
+                        best = cand.clone();
                         best_cost = c;
                     }
                 }
@@ -747,7 +1010,8 @@ fn plan_partitioning(
         StepOp::Sql { early_nametest, .. } if early_nametest && is_name => TestOp::Fused,
         _ => TestOp::ApplyTest,
     };
-    (op, test_op, price(&op), base_rows)
+    let cost = price(&op);
+    (op, test_op, cost, base_rows)
 }
 
 /// The operator a fixed engine always uses for a partitioning step —
@@ -790,6 +1054,7 @@ fn fixed_op(kind: EngineKind, is_name: bool, vertical: bool, horiz: bool) -> Ste
             early_nametest,
         },
         EngineKind::Auto => unreachable!("auto resolves to Policy::Auto"),
+        EngineKind::Twig => unreachable!("twig resolves to Policy::Twig"),
     }
 }
 
@@ -798,7 +1063,7 @@ fn fixed_op(kind: EngineKind, is_name: bool, vertical: bool, horiz: bool) -> Ste
 /// otherwise.
 fn plan_predicate(path: &Path, doc: &Doc, stats: &DocStats, policy: Policy) -> PredOp {
     let semijoin_family = match policy {
-        Policy::Auto => true,
+        Policy::Auto | Policy::Twig => true,
         Policy::Fixed(
             EngineKind::Staircase { .. }
             | EngineKind::Fragmented { .. }
@@ -810,7 +1075,7 @@ fn plan_predicate(path: &Path, doc: &Doc, stats: &DocStats, policy: Policy) -> P
         if let Some((axis, name)) = semijoin_shape(path) {
             let prebuilt = matches!(
                 policy,
-                Policy::Auto | Policy::Fixed(EngineKind::Fragmented { .. })
+                Policy::Auto | Policy::Twig | Policy::Fixed(EngineKind::Fragmented { .. })
             );
             return PredOp::Semijoin {
                 axis,
@@ -868,7 +1133,7 @@ mod tests {
         plan.branches()
             .iter()
             .flat_map(|b| b.steps())
-            .map(|s| *s.operator())
+            .map(|s| s.operator().clone())
             .collect()
     }
 
@@ -1073,6 +1338,84 @@ mod tests {
         assert!(!fused.contains("[mask]"), "{fused}");
         let keep_all = plan_for("/descendant::node()", Engine::default()).to_string();
         assert!(!keep_all.contains("[mask]"), "{keep_all}");
+    }
+
+    #[test]
+    fn twig_engine_fuses_eligible_regions() {
+        // Two descendant name-test steps with vertical existential
+        // predicates: one fused leapfrog step.
+        let plan = plan_for("/descendant::a[b]/descendant::c", Engine::twig());
+        let steps = plan.branches()[0].steps();
+        assert_eq!(steps.len(), 1, "{plan}");
+        let StepOp::Twig(spec) = steps[0].operator() else {
+            panic!("expected a fused twig step, got {}", steps[0].operator());
+        };
+        assert_eq!(spec.spine.len(), 2);
+        assert_eq!(spec.spine[0].name, "a");
+        assert_eq!(spec.spine[0].chains, [[(TwigEdge::Child, "b".to_string())]]);
+        assert_eq!(spec.spine[1].edge, TwigEdge::Descendant);
+        // Fused output binding: no residual test or predicates.
+        assert_eq!(steps[0].test_operator(), TestOp::Fused);
+        assert!(steps[0].predicate_operators().is_empty());
+        // The fused step needs the prebuilt fragments.
+        assert!(plan.needs_tag_index());
+    }
+
+    #[test]
+    fn twig_regions_stop_at_ineligible_steps() {
+        // The ancestor step ends the region; the remaining steps run as
+        // fragment joins under the twig engine.
+        let plan = plan_for("/descendant::a/child::b/ancestor::c", Engine::twig());
+        let planned_ops = ops(&plan);
+        assert_eq!(planned_ops.len(), 2, "{plan}");
+        assert!(matches!(planned_ops[0], StepOp::Twig(_)), "{plan}");
+        assert_eq!(
+            planned_ops[1],
+            StepOp::Fragment { prescan: false },
+            "{plan}"
+        );
+        // A lone eligible step is no region at all.
+        let single = plan_for("/descendant::b", Engine::twig());
+        assert_eq!(ops(&single), [StepOp::Fragment { prescan: false }]);
+        // Positional ineligibility: a nested predicate blocks the chain.
+        let nested = plan_for("/descendant::a[b[c]]/descendant::c", Engine::twig());
+        assert!(
+            !ops(&nested).iter().any(|op| matches!(op, StepOp::Twig(_))),
+            "{nested}"
+        );
+    }
+
+    #[test]
+    fn twig_display_renders_leaf_paths() {
+        let plan = plan_for(
+            "/descendant::a[descendant::b]/descendant::c[child::d]",
+            Engine::twig(),
+        );
+        let text = plan.to_string();
+        assert_eq!(text.lines().count(), 1, "{text}");
+        assert!(text.contains("twig[a>b, a>c.d]"), "{text}");
+        // Chain-free spines render the spine itself.
+        let bare = plan_for("/descendant::a/child::b", Engine::twig());
+        assert!(bare.to_string().contains("twig[a.b]"), "{bare}");
+    }
+
+    #[test]
+    fn auto_declines_twig_on_uniform_fixture() {
+        // On the tiny uniform fixture the step plan's intermediates never
+        // exceed the leapfrog frontier, so auto keeps stepping.
+        let plan = plan_for("/descendant::a[b]/descendant::c", Engine::auto());
+        assert!(
+            !ops(&plan).iter().any(|op| matches!(op, StepOp::Twig(_))),
+            "{plan}"
+        );
+    }
+
+    #[test]
+    fn twig_steps_are_per_lane() {
+        let plan = plan_for("/descendant::a[b]/descendant::c", Engine::twig());
+        let step = &plan.branches()[0].steps()[0];
+        assert_eq!(step.lane_form(), LaneForm::PerLane);
+        assert!(!step.batchable());
     }
 
     #[test]

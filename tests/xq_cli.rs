@@ -51,6 +51,7 @@ fn query_from_file_with_engines() {
         "naive",
         "sql",
         "auto",
+        "twig",
     ] {
         let out = xq()
             .args([
@@ -602,15 +603,49 @@ fn explain_prints_one_line_per_step() {
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     let lines: Vec<&str> = text.lines().collect();
-    // One line per step: the chosen operator and its cost estimate.
-    assert_eq!(lines.len(), 2, "{text}");
-    for line in &lines {
+    // One line per step, plus the closing plan-total cost line.
+    assert_eq!(lines.len(), 3, "{text}");
+    for line in &lines[..2] {
         assert!(line.starts_with("step "), "{line}");
         assert!(line.contains("op "), "{line}");
         assert!(line.contains("est cost"), "{line}");
     }
+    assert!(lines[2].starts_with("total"), "{text}");
+    assert!(lines[2].contains("est cost"), "{text}");
     // Selective name tests on this document plan as fragment joins.
     assert!(lines[0].contains("fragment"), "{text}");
+}
+
+#[test]
+fn explain_renders_fused_twig_steps() {
+    let mut child = xq()
+        .args([
+            "/descendant::open_auction[descendant::bidder]/descendant::increase",
+            "--engine",
+            "twig",
+            "--explain",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(SAMPLE.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    let lines: Vec<&str> = text.lines().collect();
+    // Both vertical steps fuse into one twig step, plus the total line.
+    assert_eq!(lines.len(), 2, "{text}");
+    assert!(
+        lines[0].contains("twig[open_auction>bidder, open_auction>increase]"),
+        "{text}"
+    );
+    assert!(lines[1].starts_with("total"), "{text}");
 }
 
 #[test]
