@@ -32,6 +32,8 @@
 //! curve. It only has to *rank* candidates correctly, and the candidates
 //! differ by orders of magnitude exactly when the choice matters.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use staircase_accel::{Axis, Doc, NodeKind, TagId};
 
 use crate::Variant;
@@ -412,6 +414,181 @@ impl DocStats {
     }
 }
 
+/// Runtime overlay over a [`DocStats`] snapshot: observed quantities
+/// shadow the static estimates.
+///
+/// The static planner estimates the context cardinality of every step
+/// from global averages — exactly the assumption skewed documents break
+/// ("Skew Strikes Back"). Once a step has *run*, the frontier
+/// cardinality is not an estimate any more: the executor hands the
+/// actual context list size (and the step's
+/// [`StepStats::observed_cost`](crate::StepStats::observed_cost)) to a
+/// `RuntimeStats`, and every window/operator formula below re-prices
+/// with the observed value where the static path would have used the
+/// Equation-1 guess. A [`Calibrator`] factor (session-lifetime, fitted
+/// from real seek counts) scales the twig constants the same way.
+///
+/// The overlay borrows the base snapshot; building one is free, so the
+/// adaptive executor constructs a fresh overlay at every step boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeStats<'a> {
+    base: &'a DocStats,
+    /// Observed context cardinality for the next step — exact, not the
+    /// planner's estimate.
+    observed_card: f64,
+    /// Session-lifetime multiplier on the twig seek constants (1.0
+    /// until the calibrator has seen real seek counts).
+    twig_seek_factor: f64,
+}
+
+impl<'a> RuntimeStats<'a> {
+    /// Overlays `base` with an observed frontier cardinality.
+    pub fn new(base: &'a DocStats, observed_card: f64) -> RuntimeStats<'a> {
+        RuntimeStats {
+            base,
+            observed_card,
+            twig_seek_factor: 1.0,
+        }
+    }
+
+    /// Applies a [`Calibrator`]'s fitted twig-seek factor.
+    pub fn calibrated(mut self, calibrator: &Calibrator) -> RuntimeStats<'a> {
+        self.twig_seek_factor = calibrator.twig_seek_factor();
+        self
+    }
+
+    /// The underlying static snapshot.
+    pub fn base(&self) -> &DocStats {
+        self.base
+    }
+
+    /// The observed frontier cardinality shadowing the estimate.
+    pub fn card(&self) -> f64 {
+        self.observed_card
+    }
+
+    /// Equation-1 descendant window, from the *observed* cardinality.
+    pub fn descendant_window(&self, from_root: bool) -> f64 {
+        self.base.descendant_window(self.observed_card, from_root)
+    }
+
+    /// Ancestor window, from the *observed* cardinality.
+    pub fn ancestor_window(&self) -> f64 {
+        self.base.ancestor_window(self.observed_card)
+    }
+
+    /// Unpruned window, from the *observed* cardinality.
+    pub fn unpruned_window(&self, descendant: bool, from_root: bool) -> f64 {
+        self.base
+            .unpruned_window(self.observed_card, descendant, from_root)
+    }
+
+    /// [`DocStats::staircase_cost`] with the observed cardinality.
+    pub fn staircase_cost(&self, variant: Variant, window: f64) -> f64 {
+        self.base
+            .staircase_cost(variant, self.observed_card, window)
+    }
+
+    /// [`DocStats::fragment_cost`] with the observed cardinality.
+    pub fn fragment_cost(&self, fragment: usize, window: f64, prescan: bool) -> f64 {
+        self.base
+            .fragment_cost(fragment, self.observed_card, window, prescan)
+    }
+
+    /// [`DocStats::sql_cost`] with the observed cardinality.
+    pub fn sql_cost(&self, unpruned_window: f64, eq1_window: bool) -> f64 {
+        self.base
+            .sql_cost(self.observed_card, unpruned_window, eq1_window)
+    }
+
+    /// [`DocStats::twig_frontier_cost`] with the calibrated seek factor:
+    /// the pivot-anchoring term (the seek bill the calibrator fits) is
+    /// scaled by the session's observed seeks-per-prediction ratio.
+    pub fn twig_frontier_cost(&self, legs: &[TwigLegCost]) -> f64 {
+        self.base.twig_frontier_cost(self.observed_card, legs) * self.twig_seek_factor
+    }
+}
+
+/// Session-lifetime cost-constant calibrator.
+///
+/// The static twig constants predict the leapfrog's seek bill from
+/// first principles; the executor reports the *actual*
+/// [`StepStats::seeks`](crate::StepStats) after every twig step. The
+/// calibrator keeps an exponentially weighted ratio of observed to
+/// predicted seeks and exposes it as a multiplicative factor
+/// ([`Calibrator::twig_seek_factor`]) that [`RuntimeStats`] (and any
+/// planner holding the calibrator) applies to
+/// [`DocStats::twig_frontier_cost`]. The factor is clamped to
+/// `[0.25, 4.0]` so one pathological sample can never invert every
+/// later twig-vs-step decision.
+///
+/// All state is atomic; sessions share one calibrator across threads.
+#[derive(Debug)]
+pub struct Calibrator {
+    /// EWMA of observed/predicted seek ratios, stored as `f64` bits.
+    twig_seek: AtomicU64,
+    /// Number of twig observations folded in.
+    samples: AtomicU64,
+}
+
+/// EWMA weight of each new observation.
+const CALIBRATOR_ALPHA: f64 = 0.25;
+/// Clamp range for the fitted factor.
+const CALIBRATOR_CLAMP: (f64, f64) = (0.25, 4.0);
+
+impl Calibrator {
+    /// A fresh calibrator: factor 1.0 (trust the static constants).
+    pub fn new() -> Calibrator {
+        Calibrator {
+            twig_seek: AtomicU64::new(1.0f64.to_bits()),
+            samples: AtomicU64::new(0),
+        }
+    }
+
+    /// The fitted twig-seek factor (1.0 until observations arrive).
+    pub fn twig_seek_factor(&self) -> f64 {
+        f64::from_bits(self.twig_seek.load(Ordering::Relaxed))
+    }
+
+    /// How many twig steps have been folded into the fit.
+    pub fn samples(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+
+    /// Folds one twig step's real seek count against the cost the
+    /// planner predicted for it. Zero or non-finite inputs are ignored.
+    pub fn observe_twig(&self, predicted_cost: f64, observed_seeks: u64) {
+        if predicted_cost <= 0.0 || observed_seeks == 0 {
+            return;
+        }
+        let ratio =
+            (observed_seeks as f64 / predicted_cost).clamp(CALIBRATOR_CLAMP.0, CALIBRATOR_CLAMP.1);
+        // Lock-free EWMA: retry on concurrent writers.
+        let mut current = self.twig_seek.load(Ordering::Relaxed);
+        loop {
+            let old = f64::from_bits(current);
+            let next = (old + CALIBRATOR_ALPHA * (ratio - old))
+                .clamp(CALIBRATOR_CLAMP.0, CALIBRATOR_CLAMP.1);
+            match self.twig_seek.compare_exchange_weak(
+                current,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+        self.samples.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Default for Calibrator {
+    fn default() -> Calibrator {
+        Calibrator::new()
+    }
+}
+
 /// Per-leg inputs to the twig estimators
 /// ([`DocStats::step_blowup_estimate`] /
 /// [`DocStats::twig_frontier_cost`]): sizes only, so the planner can
@@ -618,6 +795,65 @@ mod tests {
             chains: vec![vec![100]],
         }];
         assert!(s.twig_frontier_cost(1.0, &deep) > s.twig_frontier_cost(1.0, &shallow));
+    }
+
+    #[test]
+    fn runtime_overlay_shadows_the_estimated_cardinality() {
+        let doc = random_doc(11, 1200);
+        let s = DocStats::from_doc(&doc);
+        // The static path would estimate a large frontier; the overlay
+        // observed a tiny one and every formula re-prices from it.
+        let rt = RuntimeStats::new(&s, 3.0);
+        assert_eq!(rt.card(), 3.0);
+        let w = rt.descendant_window(false);
+        assert_eq!(w, s.descendant_window(3.0, false));
+        assert_eq!(
+            rt.staircase_cost(Variant::EstimationSkipping, w),
+            s.staircase_cost(Variant::EstimationSkipping, 3.0, w)
+        );
+        assert_eq!(
+            rt.fragment_cost(40, w, false),
+            s.fragment_cost(40, 3.0, w, false)
+        );
+        // Observed-small frontiers price probes below the scan the
+        // static estimate would have bought.
+        let big = RuntimeStats::new(&s, 800.0);
+        assert!(
+            rt.fragment_cost(40, w, false)
+                < big.fragment_cost(40, big.descendant_window(false), false)
+        );
+    }
+
+    #[test]
+    fn calibrator_fits_the_twig_seek_factor_from_observed_seeks() {
+        let c = Calibrator::new();
+        assert_eq!(c.twig_seek_factor(), 1.0);
+        assert_eq!(c.samples(), 0);
+        // Seeks keep coming in at half the predicted bill: the factor
+        // converges below 1 (and the clamp bounds it).
+        for _ in 0..32 {
+            c.observe_twig(1000.0, 500);
+        }
+        assert!(c.twig_seek_factor() < 0.75, "{}", c.twig_seek_factor());
+        assert!(c.twig_seek_factor() >= 0.25);
+        assert_eq!(c.samples(), 32);
+        // Degenerate observations are ignored.
+        c.observe_twig(0.0, 10);
+        c.observe_twig(100.0, 0);
+        assert_eq!(c.samples(), 32);
+        // A calibrated overlay scales the frontier cost by the factor.
+        let doc = random_doc(2, 900);
+        let s = DocStats::from_doc(&doc);
+        let legs = [TwigLegCost {
+            fragment: 50,
+            child_edge: false,
+            chains: vec![vec![100]],
+        }];
+        let plain = RuntimeStats::new(&s, 1.0).twig_frontier_cost(&legs);
+        let fitted = RuntimeStats::new(&s, 1.0)
+            .calibrated(&c)
+            .twig_frontier_cost(&legs);
+        assert!((fitted - plain * c.twig_seek_factor()).abs() < 1e-9);
     }
 
     #[test]

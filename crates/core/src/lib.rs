@@ -113,7 +113,7 @@ pub use anc::ancestor;
 pub use batch::{
     ancestor_many, ancestor_on_list_many, descendant_many, descendant_on_list_many, Scratch,
 };
-pub use cost::{DocStats, TwigLegCost};
+pub use cost::{Calibrator, DocStats, RuntimeStats, TwigLegCost};
 pub use desc::{descendant, descendant_fused, guaranteed_result_estimate};
 pub use exists::{
     has_ancestor_in, has_ancestor_in_many, has_ancestor_in_many_par, has_child_in,
@@ -123,7 +123,7 @@ pub use exists::{
 pub use horiz::{
     following, following_many, following_many_par, preceding, preceding_many, preceding_many_par,
 };
-pub use list::{ancestor_on_list, descendant_on_list, TagIndex};
+pub use list::{ancestor_on_list, descendant_on_list, TagIndex, CRACK_CONVERGE_TOUCHES};
 pub use morsel::{
     ancestor_many_par, ancestor_on_list_many_par, descendant_many_par, descendant_on_list_many_par,
 };

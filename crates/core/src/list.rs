@@ -13,8 +13,18 @@
 //! ([`descendant_on_list`], [`ancestor_on_list`]). Skipping carries over:
 //! within a partition, the first list node outside the boundary proves the
 //! rest of the partition empty, exactly as on the full plane.
+//!
+//! Since the adaptive-execution work the index is also **cracked**: a
+//! [`TagIndex::lazy`] index starts with *no* fragment materialized, and
+//! queries build them per tag on first touch. A query that only scans a
+//! pre-*range* of a tag cracks just that range out of the columns
+//! ([`TagIndex::fragment_window`]) and keeps the sorted piece; later
+//! windows refine the coverage, and a tag that keeps getting touched is
+//! promoted to its fully sorted fragment. Cold tags never pay a build.
 
-use std::sync::OnceLock;
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 use staircase_accel::{Context, Doc, NodeKind, Pre, TagId};
 use staircase_storage::TagBitmap;
@@ -22,12 +32,61 @@ use staircase_storage::TagBitmap;
 use crate::prune::{prune_ancestor, prune_descendant};
 use crate::stats::StepStats;
 
+/// How many window touches a tag sustains before the cracked pieces are
+/// promoted to the fully sorted fragment. Hot tags therefore converge
+/// within [`CRACK_CONVERGE_TOUCHES`] queries even when no single query
+/// ever covers the whole plane.
+pub const CRACK_CONVERGE_TOUCHES: u32 = 4;
+
+/// One cracked piece of a tag's fragment: the sorted pre ranks of the
+/// tag's elements inside `[lo, hi)`, materialized by some past window.
+#[derive(Debug, Clone)]
+struct Piece {
+    lo: Pre,
+    hi: Pre,
+    entries: Vec<Pre>,
+}
+
+/// Per-tag state: the fully sorted fragment once promoted, else the
+/// cracked pieces accumulated so far (disjoint, sorted by `lo`).
+#[derive(Debug, Default)]
+struct TagCell {
+    full: OnceLock<Vec<Pre>>,
+    pieces: Mutex<Vec<Piece>>,
+    touches: AtomicU32,
+}
+
+impl Clone for TagCell {
+    fn clone(&self) -> TagCell {
+        let cell = TagCell {
+            full: OnceLock::new(),
+            pieces: Mutex::new(self.pieces.lock().expect("tag pieces lock").clone()),
+            touches: AtomicU32::new(self.touches.load(Ordering::Relaxed)),
+        };
+        if let Some(f) = self.full.get() {
+            let _ = cell.full.set(f.clone());
+        }
+        cell
+    }
+}
+
 /// Per-tag fragments of the document: for every tag id, the pre ranks of
 /// all elements carrying it, in document order.
 ///
-/// Built once after loading ("fragmentation by tag name", §6); the same
+/// [`TagIndex::build`] materializes every fragment with one pass over
+/// the columns ("fragmentation by tag name", §6) — the eager form
+/// [`warm`](TagIndex::warm_all)-style server paths use. The same
 /// structure serves name-test pushdown, where the fragment *is*
 /// `nametest(doc, tag)`.
+///
+/// [`TagIndex::lazy`] builds *nothing*: fragments are **cracked** out of
+/// the columns as queries touch them. A whole-fragment touch
+/// ([`TagIndex::fragment_by_name`]) materializes that one tag; a
+/// range-limited touch ([`TagIndex::fragment_window`]) scans only the
+/// requested pre range and keeps the sorted piece, so repeated queries
+/// piecewise-refine hot tags to fully sorted fragments
+/// (promotion after [`CRACK_CONVERGE_TOUCHES`] touches, or as soon as
+/// the pieces cover the plane) while cold tags stay unbuilt.
 ///
 /// Alongside each fragment the index caches a lazily built
 /// [`TagBitmap`] (one bit per pre rank, set for elements with the
@@ -37,16 +96,27 @@ use crate::stats::StepStats;
 /// [`crate::mask`]. A bitmap costs a full column pass to build, so it
 /// is built on first touch only (callers gate on
 /// [`crate::DocStats::bitmap_worthwhile`]).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct TagIndex {
-    fragments: Vec<Vec<Pre>>,
+    cells: Vec<TagCell>,
     bitmaps: Vec<OnceLock<TagBitmap>>,
+    cracks: AtomicU64,
+}
+
+impl Clone for TagIndex {
+    fn clone(&self) -> TagIndex {
+        TagIndex {
+            cells: self.cells.clone(),
+            bitmaps: self.bitmaps.clone(),
+            cracks: AtomicU64::new(self.cracks.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl TagIndex {
-    /// Builds the index with one pass over the document. Bitmaps are
-    /// *not* built here — each materializes on first
-    /// [`TagIndex::bitmap`] touch.
+    /// Builds the index with one pass over the document — every
+    /// fragment fully materialized. Bitmaps are *not* built here — each
+    /// materializes on first [`TagIndex::bitmap`] touch.
     pub fn build(doc: &Doc) -> TagIndex {
         let mut fragments = vec![Vec::new(); doc.tags().len()];
         let kinds = doc.kind_column();
@@ -56,8 +126,22 @@ impl TagIndex {
                 fragments[tags[v as usize] as usize].push(v);
             }
         }
-        let bitmaps = (0..fragments.len()).map(|_| OnceLock::new()).collect();
-        TagIndex { fragments, bitmaps }
+        let idx = TagIndex::lazy(doc);
+        for (cell, frag) in idx.cells.iter().zip(fragments) {
+            let _ = cell.full.set(frag);
+        }
+        idx
+    }
+
+    /// An index with **no** fragment materialized: each cracks out of
+    /// the columns on first touch.
+    pub fn lazy(doc: &Doc) -> TagIndex {
+        let ntags = doc.tags().len();
+        TagIndex {
+            cells: (0..ntags).map(|_| TagCell::default()).collect(),
+            bitmaps: (0..ntags).map(|_| OnceLock::new()).collect(),
+            cracks: AtomicU64::new(0),
+        }
     }
 
     /// The per-tag bitmap for `tag`, built on first touch (one pass
@@ -89,39 +173,273 @@ impl TagIndex {
         self.bitmaps.iter().filter(|c| c.get().is_some()).count()
     }
 
-    /// The fragment for `tag` (empty slice for unknown tags).
-    pub fn fragment(&self, tag: TagId) -> &[Pre] {
-        self.fragments
-            .get(tag as usize)
-            .map(Vec::as_slice)
+    /// The fully materialized fragment for `tag`, building it on first
+    /// touch (crediting any cracked pieces — only the uncovered gaps
+    /// are scanned). Empty slice for unknown tags.
+    pub fn fragment(&self, doc: &Doc, tag: TagId) -> &[Pre] {
+        let Some(cell) = self.cells.get(tag as usize) else {
+            return &[];
+        };
+        cell.touches.fetch_add(1, Ordering::Relaxed);
+        self.ensure_full(doc, tag, cell)
+    }
+
+    /// The fragment for a tag *name*, built on first touch.
+    pub fn fragment_by_name<'s>(&'s self, doc: &Doc, name: &str) -> &'s [Pre] {
+        doc.tag_id(name)
+            .map(|t| self.fragment(doc, t))
             .unwrap_or(&[])
     }
 
-    /// The fragment for a tag *name*.
-    pub fn fragment_by_name<'s>(&'s self, doc: &Doc, name: &str) -> &'s [Pre] {
-        doc.tag_id(name).map(|t| self.fragment(t)).unwrap_or(&[])
+    /// The tag's elements with pre ranks in `[lo, hi)` — the cracked
+    /// access path. A fully built fragment answers with a borrowed
+    /// subslice; otherwise only the window's uncovered gaps are scanned
+    /// out of the columns and the sorted piece is kept, so repeated
+    /// windows piecewise-refine the fragment. After
+    /// [`CRACK_CONVERGE_TOUCHES`] touches (or full coverage) the tag is
+    /// promoted to its fully sorted fragment.
+    pub fn fragment_window<'s>(
+        &'s self,
+        doc: &Doc,
+        tag: TagId,
+        lo: Pre,
+        hi: Pre,
+    ) -> Cow<'s, [Pre]> {
+        let Some(cell) = self.cells.get(tag as usize) else {
+            return Cow::Borrowed(&[]);
+        };
+        let hi = hi.min(doc.len() as Pre);
+        let lo = lo.min(hi);
+        let touches = cell.touches.fetch_add(1, Ordering::Relaxed) + 1;
+        if cell.full.get().is_some()
+            || touches >= CRACK_CONVERGE_TOUCHES
+            || (lo == 0 && hi == doc.len() as Pre)
+        {
+            let full = self.ensure_full(doc, tag, cell);
+            let a = full.partition_point(|&p| p < lo);
+            let b = full.partition_point(|&p| p < hi);
+            return Cow::Borrowed(&full[a..b]);
+        }
+        Cow::Owned(self.crack(doc, tag, cell, lo, hi))
     }
 
-    /// Size of the fragment for `tag` — the per-tag cardinality a
-    /// selectivity-driven planner prices fragment joins from.
-    pub fn fragment_len(&self, tag: TagId) -> usize {
-        self.fragment(tag).len()
+    /// The windowed form of [`TagIndex::fragment_window`] addressed by
+    /// tag *name*.
+    pub fn fragment_window_by_name<'s>(
+        &'s self,
+        doc: &Doc,
+        name: &str,
+        lo: Pre,
+        hi: Pre,
+    ) -> Cow<'s, [Pre]> {
+        match doc.tag_id(name) {
+            Some(t) => self.fragment_window(doc, t, lo, hi),
+            None => Cow::Borrowed(&[]),
+        }
+    }
+
+    /// Ensures `tag`'s fragment is fully materialized (the explicit
+    /// warm path; also promotion's target).
+    fn ensure_full<'s>(&'s self, doc: &Doc, tag: TagId, cell: &'s TagCell) -> &'s [Pre] {
+        cell.full.get_or_init(|| {
+            let mut pieces = cell.pieces.lock().expect("tag pieces lock");
+            let full = assemble(doc, tag, &pieces, 0, doc.len() as Pre, &self.cracks);
+            pieces.clear();
+            pieces.shrink_to_fit();
+            full
+        })
+    }
+
+    /// Cracks the window `[lo, hi)` out of the columns: entries covered
+    /// by existing pieces are reused, uncovered gaps are scanned and
+    /// the merged piece kept. Promotes to the full fragment when the
+    /// pieces end up covering the whole plane.
+    fn crack(&self, doc: &Doc, tag: TagId, cell: &TagCell, lo: Pre, hi: Pre) -> Vec<Pre> {
+        let mut pieces = cell.pieces.lock().expect("tag pieces lock");
+        if let Some(full) = cell.full.get() {
+            // A racing promoter won: serve from the full fragment.
+            let a = full.partition_point(|&p| p < lo);
+            let b = full.partition_point(|&p| p < hi);
+            return full[a..b].to_vec();
+        }
+        let out = assemble(doc, tag, &pieces, lo, hi, &self.cracks);
+        merge_piece(&mut pieces, lo, hi, &out);
+        // Full coverage reached piecewise: promote.
+        if pieces.len() == 1 && pieces[0].lo == 0 && pieces[0].hi >= doc.len() as Pre {
+            let promoted = std::mem::take(&mut pieces[0].entries);
+            pieces.clear();
+            let _ = cell.full.set(promoted);
+        }
+        out
+    }
+
+    /// Whether `tag`'s fragment is fully materialized (tests/metrics —
+    /// the cold-tags-stay-unbuilt assertion).
+    pub fn fragment_built(&self, tag: TagId) -> bool {
+        self.cells
+            .get(tag as usize)
+            .is_some_and(|c| c.full.get().is_some())
+    }
+
+    /// [`TagIndex::fragment_built`] addressed by tag name (`false` for
+    /// names absent from the document).
+    pub fn fragment_built_by_name(&self, doc: &Doc, name: &str) -> bool {
+        doc.tag_id(name).is_some_and(|t| self.fragment_built(t))
+    }
+
+    /// `true` once `tag` has at least one cracked piece or its full
+    /// fragment — i.e. some query touched it.
+    pub fn fragment_touched(&self, tag: TagId) -> bool {
+        self.cells.get(tag as usize).is_some_and(|c| {
+            c.full.get().is_some() || !c.pieces.lock().expect("tag pieces lock").is_empty()
+        })
+    }
+
+    /// How many window touches `tag` has seen (the cracking convergence
+    /// metric: a hot tag is fully sorted within
+    /// [`CRACK_CONVERGE_TOUCHES`]).
+    pub fn fragment_touches(&self, tag: TagId) -> u32 {
+        self.cells
+            .get(tag as usize)
+            .map(|c| c.touches.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// How many fragments are fully materialized.
+    pub fn fragments_built(&self) -> usize {
+        self.cells.iter().filter(|c| c.full.get().is_some()).count()
+    }
+
+    /// Total column positions scanned by crack/build passes so far —
+    /// the work the lazy index actually paid, vs. the eager build's
+    /// `tags × nodes`.
+    pub fn crack_scan_work(&self) -> u64 {
+        self.cracks.load(Ordering::Relaxed)
+    }
+
+    /// Fully materializes every fragment (the eager/server warm path).
+    pub fn warm_all(&self, doc: &Doc) {
+        for tag in 0..self.cells.len() {
+            self.ensure_full(doc, tag as TagId, &self.cells[tag]);
+        }
+    }
+
+    /// Fully materializes the named tags only — the server's
+    /// configured-hot-set warm (`staircase-serve --warm-tags`). Unknown
+    /// names are ignored.
+    pub fn warm_tags(&self, doc: &Doc, names: &[&str]) {
+        for name in names {
+            if let Some(t) = doc.tag_id(name) {
+                self.ensure_full(doc, t, &self.cells[t as usize]);
+            }
+        }
     }
 
     /// Number of distinct tags indexed.
     pub fn len(&self) -> usize {
-        self.fragments.len()
+        self.cells.len()
     }
 
-    /// `true` if the document had no elements at all.
+    /// `true` if the index covers no tags at all.
     pub fn is_empty(&self) -> bool {
-        self.fragments.iter().all(Vec::is_empty)
+        self.cells.is_empty()
     }
 
-    /// Total pre ranks stored (= number of element nodes).
+    /// Total pre ranks stored across materialized fragments and cracked
+    /// pieces.
     pub fn total_nodes(&self) -> usize {
-        self.fragments.iter().map(Vec::len).sum()
+        self.cells
+            .iter()
+            .map(|c| match c.full.get() {
+                Some(f) => f.len(),
+                None => c
+                    .pieces
+                    .lock()
+                    .expect("tag pieces lock")
+                    .iter()
+                    .map(|p| p.entries.len())
+                    .sum(),
+            })
+            .sum()
     }
+}
+
+/// Collects `tag`'s elements with pre in `[lo, hi)`, reusing `pieces`
+/// where they cover the window and scanning the columns only over the
+/// uncovered gaps (each gap scan is charged to `cracks`).
+fn assemble(
+    doc: &Doc,
+    tag: TagId,
+    pieces: &[Piece],
+    lo: Pre,
+    hi: Pre,
+    cracks: &AtomicU64,
+) -> Vec<Pre> {
+    let mut out = Vec::new();
+    let mut cursor = lo;
+    for piece in pieces {
+        if piece.hi <= cursor {
+            continue;
+        }
+        if piece.lo >= hi {
+            break;
+        }
+        if piece.lo > cursor {
+            scan_range(doc, tag, cursor, piece.lo.min(hi), &mut out, cracks);
+        }
+        let a = piece.entries.partition_point(|&p| p < cursor);
+        let b = piece.entries.partition_point(|&p| p < hi);
+        out.extend_from_slice(&piece.entries[a..b]);
+        cursor = piece.hi.min(hi);
+        if cursor >= hi {
+            break;
+        }
+    }
+    if cursor < hi {
+        scan_range(doc, tag, cursor, hi, &mut out, cracks);
+    }
+    out
+}
+
+/// Scans the kind/tag columns over `[lo, hi)` for `tag`'s elements.
+fn scan_range(doc: &Doc, tag: TagId, lo: Pre, hi: Pre, out: &mut Vec<Pre>, cracks: &AtomicU64) {
+    let kinds = doc.kind_column();
+    let tags = doc.tag_column();
+    let element = NodeKind::Element as u8;
+    for v in lo..hi {
+        if kinds[v as usize] == element && tags[v as usize] == tag {
+            out.push(v);
+        }
+    }
+    cracks.fetch_add(u64::from(hi.saturating_sub(lo)), Ordering::Relaxed);
+}
+
+/// Replaces every piece overlapping (or touching) `[lo, hi)` with one
+/// merged piece whose entries are the union; keeps the list disjoint
+/// and sorted by `lo`.
+fn merge_piece(pieces: &mut Vec<Piece>, lo: Pre, hi: Pre, window_entries: &[Pre]) {
+    let start = pieces.partition_point(|p| p.hi < lo);
+    let end = pieces.partition_point(|p| p.lo <= hi);
+    let mut merged_lo = lo;
+    let mut merged_hi = hi;
+    let mut entries: Vec<Pre> = Vec::new();
+    for piece in &pieces[start..end] {
+        merged_lo = merged_lo.min(piece.lo);
+        merged_hi = merged_hi.max(piece.hi);
+        // Entries outside the new window survive; inside it the fresh
+        // scan is authoritative (they are identical anyway).
+        entries.extend(piece.entries.iter().copied().filter(|&p| p < lo || p >= hi));
+    }
+    entries.extend_from_slice(window_entries);
+    entries.sort_unstable();
+    pieces.splice(
+        start..end,
+        [Piece {
+            lo: merged_lo,
+            hi: merged_hi,
+            entries,
+        }],
+    );
 }
 
 /// `context/descendant::tag` evaluated directly on a tag fragment:
@@ -359,7 +677,7 @@ mod tests {
         let tid = doc.tag_id("bidder").unwrap();
         let bm = idx.bitmap(&doc, tid).unwrap();
         assert_eq!(idx.bitmaps_built(), 1);
-        let frag = idx.fragment(tid);
+        let frag = idx.fragment(&doc, tid);
         assert_eq!(bm.ones(), frag.len());
         let mut sel = Vec::new();
         bm.select_window(0, doc.len(), &mut sel);
@@ -368,6 +686,156 @@ mod tests {
         assert!(std::ptr::eq(idx.bitmap(&doc, tid).unwrap(), bm));
         assert_eq!(idx.bitmaps_built(), 1);
         assert!(idx.bitmap(&doc, 9999).is_none());
+    }
+
+    #[test]
+    fn lazy_index_builds_nothing_until_touched() {
+        let doc = doc_with_tags();
+        let idx = TagIndex::lazy(&doc);
+        assert_eq!(idx.fragments_built(), 0);
+        assert_eq!(idx.total_nodes(), 0);
+        assert_eq!(idx.crack_scan_work(), 0);
+        // First whole-fragment touch builds that one tag only.
+        let bidders = idx.fragment_by_name(&doc, "bidder");
+        assert_eq!(bidders.len(), 3);
+        assert_eq!(idx.fragments_built(), 1);
+        let cold = doc.tag_id("increase").unwrap();
+        assert!(!idx.fragment_built(cold), "cold tags stay unbuilt");
+        assert!(!idx.fragment_touched(cold));
+        // The build scanned the plane once, not once per tag.
+        assert_eq!(idx.crack_scan_work(), doc.len() as u64);
+        // Lazy and eager agree for every tag.
+        let eager = TagIndex::build(&doc);
+        for (t, name) in doc.tags().iter().collect::<Vec<_>>() {
+            assert_eq!(idx.fragment(&doc, t), eager.fragment(&doc, t), "tag {name}");
+        }
+    }
+
+    #[test]
+    fn window_cracks_only_the_touched_range() {
+        let doc = random_doc(3, 600);
+        let idx = TagIndex::lazy(&doc);
+        let eager = TagIndex::build(&doc);
+        let tid = doc.tag_id("p").unwrap();
+        let full = eager.fragment(&doc, tid);
+        let (lo, hi) = (100, 250);
+        let window = idx.fragment_window(&doc, tid, lo, hi);
+        let want: Vec<Pre> = full
+            .iter()
+            .copied()
+            .filter(|&p| (lo..hi).contains(&p))
+            .collect();
+        assert_eq!(window.as_ref(), &want[..]);
+        // Only the window's positions were scanned, and the tag is
+        // cracked but not fully built.
+        assert_eq!(idx.crack_scan_work(), u64::from(hi - lo));
+        assert!(idx.fragment_touched(tid));
+        assert!(!idx.fragment_built(tid));
+        // A second, overlapping window reuses the covered part: the
+        // extra scan work is the uncovered gap only.
+        let window2 = idx.fragment_window(&doc, tid, 50, 200);
+        let want2: Vec<Pre> = full
+            .iter()
+            .copied()
+            .filter(|&p| (50..200).contains(&p))
+            .collect();
+        assert_eq!(window2.as_ref(), &want2[..]);
+        assert_eq!(idx.crack_scan_work(), u64::from(hi - lo) + 50);
+    }
+
+    #[test]
+    fn hot_tags_promote_to_fully_sorted_fragments() {
+        let doc = random_doc(5, 800);
+        let idx = TagIndex::lazy(&doc);
+        let eager = TagIndex::build(&doc);
+        let tid = doc.tag_id("q").unwrap();
+        // Keep touching disjoint windows: by CRACK_CONVERGE_TOUCHES the
+        // tag is promoted and answers with borrowed subslices.
+        let n = doc.len() as Pre;
+        for i in 0..CRACK_CONVERGE_TOUCHES + 1 {
+            let lo = (i % 3) * 7;
+            let out = idx.fragment_window(&doc, tid, lo, n / 2 + lo);
+            let want: Vec<Pre> = eager
+                .fragment(&doc, tid)
+                .iter()
+                .copied()
+                .filter(|&p| (lo..n / 2 + lo).contains(&p))
+                .collect();
+            assert_eq!(out.as_ref(), &want[..], "touch {i}");
+        }
+        assert!(idx.fragment_built(tid), "hot tag converged");
+        assert!(matches!(
+            idx.fragment_window(&doc, tid, 0, n),
+            Cow::Borrowed(_)
+        ));
+        assert_eq!(idx.fragment(&doc, tid), eager.fragment(&doc, tid));
+        assert!(idx.fragment_touches(tid) > CRACK_CONVERGE_TOUCHES);
+    }
+
+    #[test]
+    fn piecewise_coverage_promotes_without_a_full_touch() {
+        let doc = doc_with_tags();
+        let idx = TagIndex::lazy(&doc);
+        let tid = doc.tag_id("bidder").unwrap();
+        let n = doc.len() as Pre;
+        // Two windows that together cover the plane: the second one
+        // completes coverage and promotes, with no whole-plane scan
+        // beyond the two windows themselves.
+        idx.fragment_window(&doc, tid, 0, n / 2);
+        assert!(!idx.fragment_built(tid));
+        idx.fragment_window(&doc, tid, n / 2, n);
+        assert!(idx.fragment_built(tid), "coverage-complete promotion");
+        assert_eq!(idx.crack_scan_work(), u64::from(n));
+        let eager = TagIndex::build(&doc);
+        assert_eq!(idx.fragment(&doc, tid), eager.fragment(&doc, tid));
+    }
+
+    #[test]
+    fn warm_tags_builds_exactly_the_named_set() {
+        let doc = doc_with_tags();
+        let idx = TagIndex::lazy(&doc);
+        idx.warm_tags(&doc, &["bidder", "increase", "nonexistent"]);
+        assert_eq!(idx.fragments_built(), 2);
+        assert!(idx.fragment_built_by_name(&doc, "bidder"));
+        assert!(idx.fragment_built_by_name(&doc, "increase"));
+        assert!(!idx.fragment_built_by_name(&doc, "open_auction"));
+        assert!(!idx.fragment_built_by_name(&doc, "nonexistent"));
+        // warm_all finishes the rest.
+        idx.warm_all(&doc);
+        assert_eq!(idx.fragments_built(), idx.len());
+        assert_eq!(idx.total_nodes(), doc.kind_counts().0);
+    }
+
+    #[test]
+    fn cracked_windows_agree_with_eager_fragments_on_random_docs() {
+        for seed in 0..12 {
+            let doc = random_doc(seed, 500);
+            let idx = TagIndex::lazy(&doc);
+            let eager = TagIndex::build(&doc);
+            let n = doc.len() as Pre;
+            let mut st = 0x1234_5678_u64 ^ seed;
+            let mut next = |m: Pre| {
+                st ^= st << 13;
+                st ^= st >> 7;
+                st ^= st << 17;
+                (st % u64::from(m.max(1))) as Pre
+            };
+            for tag in ["p", "q", "r"] {
+                let tid = doc.tag_id(tag).unwrap();
+                let full = eager.fragment(&doc, tid);
+                for _ in 0..8 {
+                    let a = next(n);
+                    let b = a + next(n - a + 1);
+                    let got = idx.fragment_window(&doc, tid, a, b);
+                    let want: Vec<Pre> = full
+                        .iter()
+                        .copied()
+                        .filter(|&p| (a..b).contains(&p))
+                        .collect();
+                    assert_eq!(got.as_ref(), &want[..], "seed {seed} tag {tag} [{a},{b})");
+                }
+            }
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!                                  batches work here too)
 //!
 //! options:
-//!   --engine staircase|pushdown|fragmented|parallel|naive|sql|auto|twig
+//!   --engine staircase|pushdown|fragmented|parallel|naive|sql|auto|twig|adaptive
 //!   --variant basic|skipping|estimation   staircase skipping refinement
 //!   --threads N      session worker-pool width: every engine fans its
 //!                    evaluation out across N workers wherever the
@@ -22,11 +22,17 @@
 //!                    special case)
 //!   --warm           build all auxiliary structures eagerly, in parallel
 //!   --count          print only the number of matching nodes
-//!   --stats          print per-step statistics to stderr
+//!   --stats          print per-step statistics to stderr, including the
+//!                    planner's estimated cost next to the observed cost
+//!                    (nodes touched + seeks) for every engine
 //!   --explain        print the physical plan (one line per step: chosen
 //!                    operator + cost estimate; `[par]` marks steps the
 //!                    pool fans out; a closing `total` line sums the
 //!                    plan's estimated cost) instead of running
+//!   --explain --stats  run the query, then print the post-run report:
+//!                    per step, the executed operator (with `[replan]`
+//!                    marking steps the adaptive engine switched
+//!                    mid-query), planned cost, and observed cost
 //! ```
 //!
 //! Exit codes: `0` success, `2` usage or engine-configuration error,
@@ -55,7 +61,11 @@
 //! is priced against document statistics (per-tag fragment sizes,
 //! Equation-1 window estimates) and the cheapest operator — plain
 //! staircase join, prebuilt tag fragment, or the SQL B-tree plan — is
-//! chosen. `--explain` shows the decisions for any engine.
+//! chosen. `--explain` shows the decisions for any engine. The
+//! `adaptive` engine starts from `auto`'s plan and re-prices the
+//! remaining steps after each one executes, using the *observed*
+//! frontier cardinality instead of the estimate; `--explain --stats`
+//! shows which steps it switched (`[replan]`).
 //!
 //! A query file holds one expression per line; blank lines and lines
 //! starting with `#` are ignored. The batch is answered through
@@ -112,6 +122,7 @@ fn usage() -> ! {
          engines:  staircase (default) | pushdown | fragmented | parallel | naive | sql\n\
          \u{20}         | auto (cost-based per-step operator picking)\n\
          \u{20}         | twig (fuse eligible step runs into multiway leapfrog joins)\n\
+         \u{20}         | adaptive (auto + mid-query re-planning from observed stats)\n\
          variants: basic | skipping | estimation (default)\n\
          --threads N sizes the session's worker pool: any engine fans its\n\
          evaluation out across N workers where the planner's cost hint\n\
@@ -173,7 +184,7 @@ fn parse_args() -> Options {
                 let name = args.next().unwrap_or_else(|| usage());
                 match name.as_str() {
                     "staircase" | "pushdown" | "fragmented" | "parallel" | "naive" | "sql"
-                    | "auto" | "twig" => {
+                    | "auto" | "twig" | "adaptive" => {
                         opts.engine_name = name;
                     }
                     _ => usage(),
@@ -226,7 +237,8 @@ fn parse_args() -> Options {
 fn build_engine(opts: &Options) -> Result<Engine, Error> {
     // --variant and --threads only make sense for the staircase family;
     // reject them elsewhere instead of silently dropping them.
-    if let (Some(_), "naive" | "sql" | "auto" | "twig") = (opts.variant, opts.engine_name.as_str())
+    if let (Some(_), "naive" | "sql" | "auto" | "twig" | "adaptive") =
+        (opts.variant, opts.engine_name.as_str())
     {
         return Err(Error::InvalidEngine(format!(
             "--variant does not apply to the {} engine",
@@ -249,6 +261,7 @@ fn build_engine(opts: &Options) -> Result<Engine, Error> {
         ("sql", _) => Engine::sql().eq1_window(true).early_nametest(true).build(),
         ("auto", _) => Ok(Engine::auto()),
         ("twig", _) => Ok(Engine::twig()),
+        ("adaptive", _) => Ok(Engine::adaptive()),
         _ => usage(),
     }
 }
@@ -432,10 +445,20 @@ fn main() {
                 }
             }
         }
-        if opts.explain {
+        if opts.explain && !opts.stats {
             for query in &queries {
                 println!("# {}", query.text());
                 print_plan(&query.explain(engine));
+            }
+        } else if opts.explain {
+            // Post-run explain: evaluate, then report planned vs
+            // observed cost per executed step ([replan] marks adaptive
+            // switches).
+            let refs: Vec<&_> = queries.iter().collect();
+            let outputs = session.run_many(&refs, engine);
+            for (query, out) in queries.iter().zip(&outputs) {
+                println!("# {}", query.text());
+                print_report(out);
             }
         } else {
             let refs: Vec<&_> = queries.iter().collect();
@@ -462,11 +485,16 @@ fn main() {
 
     let query_text = opts.query.as_deref().unwrap_or_else(|| usage());
     let query = session.prepare(query_text).unwrap_or_else(|e| fail("", e));
-    if opts.explain {
+    if opts.explain && !opts.stats {
         print_plan(&query.explain(engine));
         return;
     }
     let out = query.run(engine);
+    if opts.explain {
+        // Post-run explain: planned vs observed cost per executed step.
+        print_report(&out);
+        return;
+    }
 
     if opts.stats {
         print_stats(&out);
@@ -494,12 +522,31 @@ fn print_plan(plan: &PhysicalPlan) {
 fn print_stats(out: &QueryOutput) {
     for s in &out.stats().steps {
         eprintln!(
-            "step {:<40} result {:>8}  touched {:>10}  seeks {:>8}  duplicates {:>8}",
+            "step {:<40} result {:>8}  touched {:>10}  seeks {:>8}  duplicates {:>8}  \
+             est cost {:>10.0}  obs cost {:>10.0}",
             s.step,
             s.result_size,
             s.nodes_touched,
             s.seeks,
-            s.tuples_produced.saturating_sub(s.result_size as u64)
+            s.tuples_produced.saturating_sub(s.result_size as u64),
+            s.est_cost,
+            s.observed_cost()
+        );
+    }
+}
+
+/// The post-run report (`--explain --stats`): per executed step, the
+/// operator that actually ran (`[replan]` marks mid-query switches by
+/// the adaptive engine), the cost the plan carried for it, and the cost
+/// observed while running it.
+fn print_report(out: &QueryOutput) {
+    for s in &out.stats().steps {
+        println!(
+            "step {:<36} op {:<44} est cost {:>12.0}  obs cost {:>12.0}",
+            s.step,
+            s.op,
+            s.est_cost,
+            s.observed_cost()
         );
     }
 }

@@ -54,13 +54,14 @@ pub mod prelude {
     pub use staircase_core::{
         ancestor, ancestor_many, ancestor_on_list, ancestor_parallel, descendant, descendant_fused,
         descendant_many, descendant_on_list, descendant_parallel, following, has_ancestor_in,
-        has_child_in, has_descendant_in, preceding, prune, try_axis_step, twig_match, ChainStep,
-        DocStats, Scratch, SpineLeg, StepStats, TagIndex, TwigEdge, UnsupportedAxis, Variant,
+        has_child_in, has_descendant_in, preceding, prune, try_axis_step, twig_match, Calibrator,
+        ChainStep, DocStats, RuntimeStats, Scratch, SpineLeg, StepStats, TagIndex, TwigEdge,
+        UnsupportedAxis, Variant, CRACK_CONVERGE_TOUCHES,
     };
     pub use staircase_xml::{Document, PullParser};
     pub use staircase_xmlgen::{
-        generate, generate_skewed, generate_skewed_xml, generate_xml, DocProfile, SkewConfig,
-        XmarkConfig,
+        generate, generate_misleading, generate_misleading_xml, generate_skewed,
+        generate_skewed_xml, generate_xml, DocProfile, MisleadConfig, SkewConfig, XmarkConfig,
     };
     pub use staircase_xpath::{
         parse, AuxBuilds, Engine, Error, PathPlan, PhysicalPlan, PlannedStep, PredOp, Query,

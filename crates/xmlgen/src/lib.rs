@@ -28,9 +28,11 @@
 #![warn(missing_docs)]
 
 mod gen;
+mod mislead;
 mod sink;
 mod skew;
 mod words;
 
 pub use gen::{generate, generate_document, generate_xml, DocProfile, XmarkConfig};
+pub use mislead::{generate_misleading, generate_misleading_xml, MisleadConfig};
 pub use skew::{generate_skewed, generate_skewed_xml, SkewConfig};

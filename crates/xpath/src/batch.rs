@@ -47,26 +47,44 @@
 //! session, so it persists across batches — recycles result and context
 //! allocations instead of paying for them per round.
 
+use std::borrow::Cow;
+
 use staircase_accel::{Axis, Context, NodeKind, Pre, TagId};
+use staircase_core::cost::RuntimeStats;
 use staircase_core::{
     ancestor_many, ancestor_many_par, ancestor_on_list_many, ancestor_on_list_many_par,
     descendant_many, descendant_many_par, descendant_on_list_many, descendant_on_list_many_par,
     following_many, following_many_par, has_ancestor_in_many, has_ancestor_in_many_par,
     has_child_in_many, has_child_in_many_par, has_descendant_in_many, has_descendant_in_many_par,
-    mask, preceding_many, preceding_many_par, Scratch,
+    mask, preceding_many, preceding_many_par, Scratch, Variant,
 };
 
 use crate::ast::NodeTest;
-use crate::eval::{merge, EvalOutput, EvalStats, Executor, StepTrace};
+use crate::eval::{merge, rendered_op, EvalOutput, EvalStats, Executor, StepTrace};
 use crate::plan::{
-    HorizAxis, LaneForm, PathPlan, PhysicalPlan, PlannedStep, PredOp, SemijoinAxis, VertAxis,
+    replan_step, HorizAxis, LaneForm, PhysicalPlan, PlannedStep, PredOp, SemijoinAxis, VertAxis,
 };
+
+/// How far (multiplicatively, either direction) the observed frontier
+/// cardinality must stray from the planner's estimate before the
+/// adaptive executor re-prices the pending step. Below the factor the
+/// static ranking stands and the lane advances with zero re-planning
+/// overhead; the misleading workloads this exists for miss by orders of
+/// magnitude.
+const REPLAN_DISAGREE_FACTOR: f64 = 8.0;
 
 /// One union branch of one query, advancing step by step.
 struct Lane<'p> {
     /// Index of the owning query in the batch.
     query: usize,
-    path: &'p PathPlan,
+    /// The steps this lane executes: borrowed from the plan until the
+    /// adaptive re-planner first switches an operator, owned (a clone
+    /// of the branch's steps) afterwards. Non-adaptive lanes never
+    /// leave the borrowed state.
+    steps: Cow<'p, [PlannedStep]>,
+    /// Re-price the pending step from the observed frontier cardinality
+    /// after every advance ([`crate::Engine::adaptive`]).
+    adaptive: bool,
     /// Context after `step` steps.
     ctx: Context,
     /// Number of steps already evaluated.
@@ -74,9 +92,42 @@ struct Lane<'p> {
     stats: EvalStats,
 }
 
-impl<'p> Lane<'p> {
-    fn pending(&self) -> Option<&'p PlannedStep> {
-        self.path.steps().get(self.step)
+impl Lane<'_> {
+    fn pending(&self) -> Option<&PlannedStep> {
+        self.steps.get(self.step)
+    }
+}
+
+/// A round's grouping key: [`LaneForm`] with the fragment name owned,
+/// so the key survives adaptive lanes mutating their pending steps
+/// between rounds (the borrowed form would pin `lanes` immutably).
+#[derive(Clone, PartialEq, Eq)]
+enum GroupKey {
+    Staircase(VertAxis, Variant),
+    Fragment {
+        vert: VertAxis,
+        name: String,
+        prescan: bool,
+    },
+    Horiz(HorizAxis),
+}
+
+/// The owned grouping key of a lane form; `None` for the per-lane
+/// fallback.
+fn group_key(form: LaneForm<'_>) -> Option<GroupKey> {
+    match form {
+        LaneForm::Staircase(vert, variant) => Some(GroupKey::Staircase(vert, variant)),
+        LaneForm::Fragment {
+            vert,
+            name,
+            prescan,
+        } => Some(GroupKey::Fragment {
+            vert,
+            name: name.to_string(),
+            prescan,
+        }),
+        LaneForm::Horiz(haxis) => Some(GroupKey::Horiz(haxis)),
+        LaneForm::PerLane => None,
     }
 }
 
@@ -129,7 +180,8 @@ impl Executor<'_> {
                 };
                 lanes.push(Lane {
                     query,
-                    path,
+                    steps: Cow::Borrowed(path.steps()),
+                    adaptive: plan.is_adaptive(),
                     ctx,
                     step: 0,
                     stats: EvalStats::default(),
@@ -141,13 +193,13 @@ impl Executor<'_> {
         // lanes whose current steps declare the same lane form advance
         // together through one multi-context pass.
         loop {
-            let mut groups: Vec<(LaneForm, Vec<usize>)> = Vec::new();
+            let mut groups: Vec<(GroupKey, Vec<usize>)> = Vec::new();
             let mut fallback: Vec<usize> = Vec::new();
             for (i, lane) in lanes.iter().enumerate() {
                 let Some(step) = lane.pending() else { continue };
-                match step.lane_form() {
-                    LaneForm::PerLane => fallback.push(i),
-                    key => match groups.iter_mut().find(|(k, _)| *k == key) {
+                match group_key(step.lane_form()) {
+                    None => fallback.push(i),
+                    Some(key) => match groups.iter_mut().find(|(k, _)| *k == key) {
                         Some((_, members)) => members.push(i),
                         None => groups.push((key, vec![i])),
                     },
@@ -203,7 +255,7 @@ impl Executor<'_> {
     fn round_sequential(
         &self,
         lanes: &mut [Lane<'_>],
-        groups: Vec<(LaneForm, Vec<usize>)>,
+        groups: Vec<(GroupKey, Vec<usize>)>,
         fallback: Vec<usize>,
         scratch: &mut Scratch,
     ) {
@@ -211,15 +263,16 @@ impl Executor<'_> {
         // interpreter.
         for i in fallback {
             let lane = &mut lanes[i];
-            let step = &lane.path.steps()[lane.step];
+            let step = &lane.steps[lane.step];
             let (next, trace) = self.exec_step(&lane.ctx, step);
             lane.stats.steps.push(trace);
             scratch.recycle(std::mem::replace(&mut lane.ctx, next));
             lane.step += 1;
+            self.maybe_replan(&mut lanes[i]);
         }
         for (form, group) in groups {
-            let outs = self.group_outs(lanes, &group, form, scratch);
-            advance(lanes, &group, outs, scratch);
+            let outs = self.group_outs(lanes, &group, &form, scratch);
+            self.advance(lanes, &group, outs, scratch);
         }
     }
 
@@ -230,7 +283,7 @@ impl Executor<'_> {
     fn round_parallel(
         &self,
         lanes: &mut Vec<Lane<'_>>,
-        groups: Vec<(LaneForm, Vec<usize>)>,
+        groups: Vec<(GroupKey, Vec<usize>)>,
         fallback: Vec<usize>,
         scratch: &mut Scratch,
     ) {
@@ -241,13 +294,12 @@ impl Executor<'_> {
             for &i in &fallback {
                 tasks.push(Box::new(move || {
                     let lane = &lanes_ref[i];
-                    let step = &lane.path.steps()[lane.step];
+                    let step = &lane.steps[lane.step];
                     let (next, trace) = self.exec_step(&lane.ctx, step);
                     RoundOut::Lane(next, trace)
                 }));
             }
             for (form, group) in &groups {
-                let form = *form;
                 tasks.push(Box::new(move || {
                     RoundOut::Group(
                         self.scratch
@@ -267,12 +319,13 @@ impl Executor<'_> {
             lane.stats.steps.push(trace);
             scratch.recycle(std::mem::replace(&mut lane.ctx, next));
             lane.step += 1;
+            self.maybe_replan(&mut lanes[i]);
         }
         for (_, group) in groups {
             let Some(RoundOut::Group(outs)) = results.next() else {
                 unreachable!("one group task per group, in order");
             };
-            advance(lanes, &group, outs, scratch);
+            self.advance(lanes, &group, outs, scratch);
         }
     }
 
@@ -284,20 +337,19 @@ impl Executor<'_> {
         &self,
         lanes: &[Lane<'_>],
         group: &[usize],
-        form: LaneForm<'_>,
+        form: &GroupKey,
         scratch: &mut Scratch,
     ) -> Vec<(Context, u64)> {
         let mut outs = match form {
-            LaneForm::Staircase(vert, variant) => {
-                self.staircase_outs(lanes, group, vert, variant, scratch)
+            GroupKey::Staircase(vert, variant) => {
+                self.staircase_outs(lanes, group, *vert, *variant, scratch)
             }
-            LaneForm::Fragment {
+            GroupKey::Fragment {
                 vert,
                 name,
                 prescan,
-            } => self.fragment_outs(lanes, group, vert, name, prescan, scratch),
-            LaneForm::Horiz(haxis) => self.horiz_outs(lanes, group, haxis, scratch),
-            LaneForm::PerLane => unreachable!("PerLane lanes go to the fallback list"),
+            } => self.fragment_outs(lanes, group, *vert, name.as_str(), *prescan, scratch),
+            GroupKey::Horiz(haxis) => self.horiz_outs(lanes, group, *haxis, scratch),
         };
         self.predicate_rounds(lanes, group, &mut outs, scratch);
         outs
@@ -310,7 +362,7 @@ impl Executor<'_> {
         self.pool.width() > 1
             && group
                 .iter()
-                .any(|&i| lanes[i].path.steps()[lanes[i].step].fanout())
+                .any(|&i| lanes[i].steps[lanes[i].step].fanout())
     }
 
     /// One shared pass of the plain staircase join for every lane in
@@ -374,7 +426,7 @@ impl Executor<'_> {
                 .enumerate()
                 .filter(|&(gi, _)| slot_of[gi] == slot)
                 .filter_map(|(gi, &i)| {
-                    let step = &lanes[i].path.steps()[lanes[i].step];
+                    let step = &lanes[i].steps[lanes[i].step];
                     if matches!(step.axis(), Axis::DescendantOrSelf | Axis::AncestorOrSelf) {
                         return None; // or-self lanes merge selves later
                     }
@@ -404,7 +456,7 @@ impl Executor<'_> {
         for (gi, &i) in group.iter().enumerate() {
             let (base, jstats) = &joined[slot_of[gi]];
             let lane = &lanes[i];
-            let step = &lane.path.steps()[lane.step];
+            let step = &lane.steps[lane.step];
             let mut out = match fused[gi].take() {
                 Some(filtered) => filtered,
                 None => self.test_scratched(base, &step.test, axis, scratch),
@@ -451,7 +503,12 @@ impl Executor<'_> {
             };
             (std::borrow::Cow::Owned(self.scan_list(name)), cost)
         } else {
-            (self.fragment_list(name), 0)
+            // The windowed lookup confines a lazy index's cracking to
+            // the pre range the whole group can actually reach; a
+            // prebuilt (eager) index serves the full fragment either
+            // way.
+            let contexts: Vec<&Context> = group.iter().map(|&i| &lanes[i].ctx).collect();
+            (self.fragment_list_windowed(name, vert, &contexts), 0)
         };
         let fanout = self.fanout(lanes, group);
         let joined = {
@@ -474,7 +531,7 @@ impl Executor<'_> {
         let mut outs: Vec<(Context, u64)> = Vec::with_capacity(group.len());
         for (gi, (mut out, jstats)) in joined.into_iter().enumerate() {
             let lane = &lanes[group[gi]];
-            let step = &lane.path.steps()[lane.step];
+            let step = &lane.steps[lane.step];
             if matches!(step.axis(), Axis::DescendantOrSelf | Axis::AncestorOrSelf) {
                 let selves = self.test_scratched(&lane.ctx, &step.test, Axis::SelfAxis, scratch);
                 let merged = merge(&out, &selves);
@@ -512,7 +569,7 @@ impl Executor<'_> {
         let axis = haxis.axis();
         let mut outs: Vec<(Context, u64)> = Vec::with_capacity(group.len());
         for (gi, (base, jstats)) in joined.into_iter().enumerate() {
-            let step = &lanes[group[gi]].path.steps()[lanes[group[gi]].step];
+            let step = &lanes[group[gi]].steps[lanes[group[gi]].step];
             // node() steps keep the whole region: the join result moves
             // straight through instead of being re-filtered.
             let out = if matches!(step.test, NodeTest::AnyNode) {
@@ -541,11 +598,7 @@ impl Executor<'_> {
     ) {
         let waves = group
             .iter()
-            .map(|&i| {
-                lanes[i].path.steps()[lanes[i].step]
-                    .predicate_operators()
-                    .len()
-            })
+            .map(|&i| lanes[i].steps[lanes[i].step].predicate_operators().len())
             .max()
             .unwrap_or(0);
         // A probe sub-group: (axis, tag name, prebuilt list?) and the
@@ -555,7 +608,7 @@ impl Executor<'_> {
             // Sub-group the wave's probes by predicate spec.
             let mut specs: Vec<ProbeSpec<'_>> = Vec::new();
             for (gi, &i) in group.iter().enumerate() {
-                let step = &lanes[i].path.steps()[lanes[i].step];
+                let step = &lanes[i].steps[lanes[i].step];
                 let Some(PredOp::Semijoin {
                     axis,
                     name,
@@ -609,29 +662,79 @@ impl Executor<'_> {
             }
         }
     }
-}
 
-/// Records each lane's step trace and advances it to the next step,
-/// recycling the previous context's allocation.
-fn advance(
-    lanes: &mut [Lane<'_>],
-    group: &[usize],
-    outs: Vec<(Context, u64)>,
-    scratch: &mut Scratch,
-) {
-    for (&i, (out, touched)) in group.iter().zip(outs) {
-        let lane = &mut lanes[i];
-        let step = &lane.path.steps()[lane.step];
-        lane.stats.steps.push(StepTrace {
-            step: step.source().to_string(),
-            result_size: out.len(),
-            nodes_touched: touched,
-            tuples_produced: out.len() as u64,
-            // Lane-form joins are scan-shaped; only the per-lane twig
-            // step (routed through `exec_step`) seeks.
-            seeks: 0,
-        });
-        scratch.recycle(std::mem::replace(&mut lane.ctx, out));
-        lane.step += 1;
+    /// Records each lane's step trace and advances it to the next step,
+    /// recycling the previous context's allocation; adaptive lanes then
+    /// re-price their next pending step against the frontier they just
+    /// observed.
+    fn advance(
+        &self,
+        lanes: &mut [Lane<'_>],
+        group: &[usize],
+        outs: Vec<(Context, u64)>,
+        scratch: &mut Scratch,
+    ) {
+        for (&i, (out, touched)) in group.iter().zip(outs) {
+            let lane = &mut lanes[i];
+            let step = &lane.steps[lane.step];
+            lane.stats.steps.push(StepTrace {
+                step: step.source().to_string(),
+                op: rendered_op(step),
+                est_cost: step.estimate.cost,
+                replanned: step.replanned,
+                result_size: out.len(),
+                nodes_touched: touched,
+                tuples_produced: out.len() as u64,
+                // Lane-form joins are scan-shaped; only the per-lane twig
+                // step (routed through `exec_step`) seeks.
+                seeks: 0,
+            });
+            scratch.recycle(std::mem::replace(&mut lane.ctx, out));
+            lane.step += 1;
+            self.maybe_replan(&mut lanes[i]);
+        }
+    }
+
+    /// The adaptive feedback loop's re-planning hook, run after every
+    /// lane advance: overlay the *observed* frontier cardinality (and
+    /// the session calibrator's fitted constants) on the document
+    /// statistics, re-price the pending step's operator candidates, and
+    /// switch the step's operator in place when the observed ranking
+    /// disagrees with the planned choice. Switched steps carry the
+    /// `[replan]` marker into their traces. Non-adaptive lanes — every
+    /// fixed engine and the static [`crate::Engine::auto`] — never
+    /// enter.
+    fn maybe_replan(&self, lane: &mut Lane<'_>) {
+        if !lane.adaptive || lane.ctx.is_empty() {
+            return;
+        }
+        let Some(next) = lane.steps.get(lane.step) else {
+            return;
+        };
+        // Re-price only when the observed frontier materially
+        // contradicts the planner's estimate: within the factor the
+        // static ranking stands, and skipping keeps the adaptive
+        // engine's overhead near zero on well-estimated workloads.
+        let observed = lane.ctx.len() as f64;
+        let planned = match lane.step.checked_sub(1) {
+            Some(prev) => lane.steps[prev].estimate.rows.max(1.0),
+            None => 1.0,
+        };
+        if (observed / planned).max(planned / observed) < REPLAN_DISAGREE_FACTOR {
+            return;
+        }
+        let rt = RuntimeStats::new(self.stats, observed).calibrated(self.calibrator);
+        let Some((op, test_op, cost)) = replan_step(next, self.doc, &rt, self.sql.is_some()) else {
+            return;
+        };
+        // First switch on this lane: clone the branch's steps so the
+        // shared plan (and every other lane) stays untouched.
+        let steps = lane.steps.to_mut();
+        let s = &mut steps[lane.step];
+        s.op = op;
+        s.test_op = test_op;
+        s.estimate.cost = cost;
+        s.fanout = self.stats.fanout_worthwhile(cost);
+        s.replanned = true;
     }
 }

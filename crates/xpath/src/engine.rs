@@ -62,6 +62,11 @@ pub(crate) enum EngineKind {
     /// multiway leapfrog intersection over the per-tag fragments; the
     /// remaining steps run as fragment joins.
     Twig,
+    /// Adaptive execution: plans like [`EngineKind::Auto`], then
+    /// re-prices the remaining steps at every step boundary from the
+    /// *observed* frontier cardinality and switches operators when the
+    /// observed-cost ranking disagrees with the planned one.
+    Adaptive,
 }
 
 impl Default for Engine {
@@ -106,6 +111,7 @@ impl fmt::Debug for Engine {
             }
             EngineKind::Auto => write!(f, "auto"),
             EngineKind::Twig => write!(f, "twig"),
+            EngineKind::Adaptive => write!(f, "adaptive"),
         }
     }
 }
@@ -166,9 +172,32 @@ impl Engine {
         }
     }
 
+    /// The adaptive executor: plans exactly like [`Engine::auto`], then
+    /// keeps planning *while the query runs*. After every step boundary
+    /// the executor feeds the observed frontier cardinality (and the
+    /// step's [`StepStats::observed_cost`](staircase_core::StepStats))
+    /// into a [`staircase_core::RuntimeStats`] overlay, re-prices the
+    /// remaining steps, and switches operator where the observed-cost
+    /// ranking disagrees with the planned one (`[replan]` in the step
+    /// trace). A session-lifetime [`staircase_core::Calibrator`] nudges
+    /// the cost constants from real seek counts. Results are node- and
+    /// order-identical to every fixed engine (property-tested); only
+    /// the access pattern changes. [`Engine::auto`] stays the static
+    /// baseline.
+    pub fn adaptive() -> Engine {
+        Engine {
+            kind: EngineKind::Adaptive,
+        }
+    }
+
     /// `true` for the cost-based planner ([`Engine::auto`]).
     pub fn is_auto(&self) -> bool {
         self.kind == EngineKind::Auto
+    }
+
+    /// `true` for the adaptive executor ([`Engine::adaptive`]).
+    pub fn is_adaptive(&self) -> bool {
+        self.kind == EngineKind::Adaptive
     }
 
     /// `true` for the staircase family (serial, fragmented, parallel).
@@ -340,6 +369,7 @@ mod tests {
                 .unwrap(),
             Engine::auto(),
             Engine::twig(),
+            Engine::adaptive(),
         ];
         // All distinct configurations.
         for (i, a) in engines.iter().enumerate() {
@@ -376,5 +406,14 @@ mod tests {
     fn twig_is_neither_auto_nor_staircase_family() {
         assert!(!Engine::twig().is_auto());
         assert!(!Engine::twig().is_staircase());
+    }
+
+    #[test]
+    fn adaptive_is_its_own_kind() {
+        assert!(Engine::adaptive().is_adaptive());
+        assert!(!Engine::adaptive().is_auto());
+        assert!(!Engine::adaptive().is_staircase());
+        assert!(!Engine::auto().is_adaptive());
+        assert_eq!(format!("{:?}", Engine::adaptive()), "adaptive");
     }
 }

@@ -20,7 +20,8 @@
 use staircase_accel::{Axis, Context, Doc, NodeKind, Pre};
 use staircase_baselines::{naive_step, SqlEngine, SqlPlanOptions};
 use staircase_core::{
-    ancestor, ancestor_on_list, ancestor_parallel, ancestor_parallel_on, cost::DocStats,
+    ancestor, ancestor_on_list, ancestor_parallel, ancestor_parallel_on,
+    cost::{Calibrator, DocStats},
     descendant, descendant_on_list, descendant_parallel, descendant_parallel_on, following,
     has_ancestor_in, has_child_in, has_descendant_in, mask, preceding, twig_match, ChainStep,
     ScratchPool, SpineLeg, TagBitmap, TagIndex, WorkerPool,
@@ -32,10 +33,14 @@ use crate::plan::{
 };
 
 /// Per-step trace of an evaluation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StepTrace {
     /// Rendered step (`descendant::profile`).
     pub step: String,
+    /// Rendered join operator that actually ran (`fragment`,
+    /// `staircase(EstimationSkipping)`, …) — suffixed ` [replan]` when
+    /// the adaptive executor switched it at a step boundary.
+    pub op: String,
     /// Result size after node test and predicates.
     pub result_size: usize,
     /// Nodes/index entries the engine touched for this step.
@@ -47,10 +52,25 @@ pub struct StepTrace {
     /// Binary/galloping cursor repositionings (the leapfrog twig
     /// operator; zero for the scan-shaped joins).
     pub seeks: u64,
+    /// The cost model's estimate for this step at the moment it ran
+    /// (re-priced by the adaptive executor when it switched operators).
+    pub est_cost: f64,
+    /// Did the adaptive re-planner switch this step's operator before
+    /// running it?
+    pub replanned: bool,
+}
+
+impl StepTrace {
+    /// The step's observed cost in the cost model's unit: nodes/index
+    /// entries touched plus cursor seeks — the runtime quantity the
+    /// estimate ([`StepTrace::est_cost`]) tries to predict.
+    pub fn observed_cost(&self) -> f64 {
+        (self.nodes_touched + self.seeks) as f64
+    }
 }
 
 /// Evaluation statistics: one trace per step.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EvalStats {
     /// Traces in evaluation order (predicate evaluations excluded).
     pub steps: Vec<StepTrace>,
@@ -78,7 +98,7 @@ impl EvalStats {
 }
 
 /// The outcome of a path evaluation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvalOutput {
     /// Result node sequence (document order, duplicate-free).
     pub result: Context,
@@ -107,6 +127,10 @@ pub(crate) struct Executor<'a> {
     /// they price the per-tag bitmap probe against the plain masked
     /// name-test filter.
     pub(crate) stats: &'a DocStats,
+    /// The session-lifetime cost calibrator: every twig step reports
+    /// its real seek count here, and the adaptive re-planner prices
+    /// through the fitted factors.
+    pub(crate) calibrator: &'a Calibrator,
 }
 
 impl<'a> Executor<'a> {
@@ -137,10 +161,13 @@ impl<'a> Executor<'a> {
         }
         let trace = StepTrace {
             step: step.rendered.clone(),
+            op: rendered_op(step),
             result_size: out.len(),
             nodes_touched: touched,
             tuples_produced: produced.max(out.len() as u64),
             seeks,
+            est_cost: step.estimate.cost,
+            replanned: step.replanned,
         };
         (out, trace)
     }
@@ -153,6 +180,67 @@ impl<'a> Executor<'a> {
             Some(idx) => std::borrow::Cow::Borrowed(idx.fragment_by_name(self.doc, name)),
             None => std::borrow::Cow::Owned(self.scan_list(name)),
         }
+    }
+
+    /// The fragment entries a windowed on-list join can actually use,
+    /// resolved through the cracked index ([`TagIndex::fragment_window`])
+    /// so a query over a narrow pre-range scans — and cracks — only
+    /// that range instead of building the whole fragment.
+    ///
+    /// The window is result-safe by the join kernels' own reasoning:
+    /// for the descendant join, list entries at or before a context
+    /// node only trigger its Z-region break, and entries past every
+    /// context subtree end are never reached; for the ancestor join,
+    /// ancestors precede their context node in pre order, so `[0, max)`
+    /// covers every probe.
+    pub(crate) fn fragment_list_windowed(
+        &self,
+        name: &str,
+        vert: VertAxis,
+        contexts: &[&Context],
+    ) -> std::borrow::Cow<'a, [Pre]> {
+        let Some(idx) = self.tags else {
+            return std::borrow::Cow::Owned(self.scan_list(name));
+        };
+        if contexts.iter().all(|c| c.is_empty()) {
+            return std::borrow::Cow::Borrowed(&[]);
+        }
+        let post = self.doc.post_column();
+        let (lo, hi) = match vert {
+            VertAxis::Descendant => {
+                // Descendants live strictly after their context node,
+                // and a descendant's pre never exceeds `post(p) +
+                // height` (pre(v) − post(v) = depth(v) − size(v), so
+                // max descendant pre = post(p) + depth(p)).
+                let lo = contexts
+                    .iter()
+                    .filter_map(|c| c.as_slice().first())
+                    .map(|&p| p + 1)
+                    .min()
+                    .unwrap_or(0);
+                let hi = contexts
+                    .iter()
+                    .flat_map(|c| c.as_slice())
+                    .map(|&p| post[p as usize])
+                    .max()
+                    .unwrap_or(0)
+                    .saturating_add(Pre::from(self.doc.height()))
+                    .saturating_add(1)
+                    .min(self.doc.len() as Pre);
+                (lo, hi)
+            }
+            VertAxis::Ancestor => {
+                // Ancestors precede their context node in pre order.
+                let hi = contexts
+                    .iter()
+                    .filter_map(|c| c.as_slice().last())
+                    .copied()
+                    .max()
+                    .unwrap_or(0);
+                (0, hi)
+            }
+        };
+        idx.fragment_window_by_name(self.doc, name, lo, hi)
     }
 
     /// `nametest(doc, name)` as a query-time selection scan.
@@ -413,7 +501,7 @@ impl<'a> Executor<'a> {
                     let list = self.scan_list(name);
                     on_list_join(doc, vert, &list, ctx, scan_cost)
                 } else {
-                    let list = self.fragment_list(name);
+                    let list = self.fragment_list_windowed(name, vert, &[ctx]);
                     on_list_join(doc, vert, &list, ctx, 0)
                 }
             }
@@ -498,7 +586,7 @@ impl<'a> Executor<'a> {
                         staircase_core::Variant::default(),
                     );
                 }
-                self.twig_step(ctx, spec)
+                self.twig_step(ctx, spec, step.estimate.cost)
             }
         }
     }
@@ -508,7 +596,7 @@ impl<'a> Executor<'a> {
     /// the index, selection scans otherwise) and hands them to the
     /// multiway leapfrog intersection [`staircase_core::twig_match`].
     /// The result is the output (last) leg's binding in document order.
-    fn twig_step(&self, ctx: &Context, spec: &TwigSpec) -> (Context, u64, u64, u64) {
+    fn twig_step(&self, ctx: &Context, spec: &TwigSpec, est_cost: f64) -> (Context, u64, u64, u64) {
         let mut leg_lists = Vec::with_capacity(spec.spine.len());
         let mut chain_lists = Vec::with_capacity(spec.spine.len());
         for leg in &spec.spine {
@@ -545,6 +633,10 @@ impl<'a> Executor<'a> {
             })
             .collect();
         let (out, stats) = twig_match(self.doc, &spine, ctx);
+        // Session-lifetime feedback: fold this step's *actual* seek
+        // count against the frontier cost the planner predicted, so
+        // later twig-vs-step decisions price from measured constants.
+        self.calibrator.observe_twig(est_cost, stats.seeks);
         (out, stats.nodes_touched(), 0, stats.seeks)
     }
 
@@ -565,6 +657,16 @@ impl<'a> Executor<'a> {
         };
         let out = self.test_pooled(base, &step.test, axis_of(paxis));
         (out, stats.nodes_touched(), 0, 0)
+    }
+}
+
+/// The trace's rendered operator: the planned operator, suffixed with
+/// the `[replan]` marker when the adaptive executor switched it.
+pub(crate) fn rendered_op(step: &PlannedStep) -> String {
+    if step.replanned {
+        format!("{} [replan]", step.op)
+    } else {
+        step.op.to_string()
     }
 }
 

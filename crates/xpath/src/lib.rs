@@ -26,7 +26,10 @@
 //!   [`staircase_core::cost`]) and keeps the cheapest — fragment joins
 //!   for selective name tests, the estimation-skipping staircase join
 //!   for unselective steps. Results are node-identical to every fixed
-//!   engine (property-tested); only the access pattern changes.
+//!   engine (property-tested); only the access pattern changes;
+//! * [`Engine::adaptive`] starts from auto's plan and re-prices pending
+//!   steps mid-query from *observed* frontier cardinalities (see
+//!   *Feedback loops* below).
 //!
 //! [`Session::explain`] / [`Query::explain`] return the plan with
 //! per-step cost estimates (`xq --explain` on the command line).
@@ -63,6 +66,47 @@
 //!
 //! In `EXPLAIN` output a fused region renders as its leaf paths, e.g.
 //! `twig[a>b, a>c.d]` (`>` a descendant edge, `.` a child edge).
+//!
+//! ## Feedback loops
+//!
+//! Static planning trusts two things that can be wrong at run time:
+//! the *cardinality model* (Equation-1 windows scaled by global tag
+//! frequencies — misled whenever a tag's mass is clustered rather than
+//! uniform) and the *cost constants* (the twig seek bill is predicted
+//! from first principles). Two feedback loops correct for both without
+//! giving up the plan/execute split:
+//!
+//! * **Re-planning at step boundaries** ([`Engine::adaptive`]). The
+//!   lane executor plans exactly like [`Engine::auto`], but after each
+//!   advance it compares the lane's *observed* frontier cardinality
+//!   against the planner's estimate. When they disagree by an order of
+//!   magnitude, the observed value is overlaid on the document
+//!   statistics ([`staircase_core::RuntimeStats`]), the pending step's
+//!   candidates are re-priced, and the operator is switched in place if
+//!   the observed ranking disagrees with the planned choice. Switching
+//!   is lane-local (the cached plan is copy-on-write, so other lanes
+//!   and later runs are untouched), results stay node-identical to
+//!   every fixed engine (property-tested at pool widths 1/2/4, through
+//!   [`Session::run`] and [`Session::run_many`] alike), and switched
+//!   steps carry a `[replan]` marker in their [`StepTrace`] and in the
+//!   post-run report (`xq --explain --stats`). On well-estimated
+//!   workloads the disagreement gate keeps the overhead near zero.
+//! * **Constant calibration** ([`Session::calibrator`],
+//!   [`staircase_core::Calibrator`]). Every executed twig step reports
+//!   its actual leapfrog seek count ([`StepTrace::seeks`]) against the
+//!   cost the planner predicted; the session keeps a clamped
+//!   exponentially-weighted ratio and later plans scale
+//!   [`staircase_core::DocStats::twig_frontier_cost`] by it — so the
+//!   fuse-or-not decision sharpens with observed behaviour instead of
+//!   drifting on mispredicted constants.
+//!
+//! The companion loop on the storage side: the session's per-tag
+//! fragment index is **cracked** ([`staircase_core::TagIndex::lazy`]) —
+//! fragments materialize piecewise as queries touch pre ranges, hot
+//! tags converge to fully sorted fragments within
+//! [`staircase_core::CRACK_CONVERGE_TOUCHES`] touches, cold tags are
+//! never built, and [`Session::warm`] / [`Session::warm_tags`] remain
+//! the explicit eager builds (the server's `--warm` / `--warm-tags`).
 //!
 //! ## The session API
 //!

@@ -23,7 +23,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use staircase_accel::{Axis, Doc};
-use staircase_core::cost::{DocStats, TwigLegCost};
+use staircase_core::cost::{DocStats, RuntimeStats, TwigLegCost};
 use staircase_core::{TwigEdge, Variant};
 
 use crate::ast::{NodeTest, Path, Predicate, Step, UnionExpr};
@@ -85,6 +85,12 @@ pub(crate) fn axis_of(paxis: PartAxis) -> Axis {
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhysicalPlan {
     pub(crate) branches: Vec<PathPlan>,
+    /// Planned under [`Engine::adaptive`](crate::Engine::adaptive): the
+    /// lane executor re-prices every pending step at step boundaries
+    /// from the *observed* frontier cardinality
+    /// ([`staircase_core::cost::RuntimeStats`]) and may switch its
+    /// operator ([`replan_step`]).
+    pub(crate) adaptive: bool,
 }
 
 /// A lowered location path: a pipeline of planned steps.
@@ -109,6 +115,10 @@ pub struct PlannedStep {
     /// session's worker pool (see
     /// [`staircase_core::cost::DocStats::fanout_worthwhile`]).
     pub(crate) fanout: bool,
+    /// Set by the adaptive executor when the runtime re-pricing pass
+    /// switched this step's operator away from the planned one; the
+    /// planner itself always emits `false`. Rendered as `[replan]`.
+    pub(crate) replanned: bool,
     /// Rendered source step (axis, test, predicates) for traces.
     pub(crate) rendered: String,
 }
@@ -297,9 +307,19 @@ impl PhysicalPlan {
             .sum()
     }
 
+    /// Was this plan lowered for [`Engine::adaptive`](crate::Engine::adaptive)?
+    pub fn is_adaptive(&self) -> bool {
+        self.adaptive
+    }
+
     /// Does executing this plan require the prebuilt tag-fragment index?
+    ///
+    /// Adaptive plans always resolve the index: a runtime switch to a
+    /// fragment join must find it in hand. The index is first-touch
+    /// lazy ([`staircase_core::TagIndex::lazy`]), so resolving it for a
+    /// plan that never switches builds nothing.
     pub(crate) fn needs_tag_index(&self) -> bool {
-        self.branches.iter().any(path_needs_tags)
+        self.adaptive || self.branches.iter().any(path_needs_tags)
     }
 
     /// Does executing this plan require the SQL engine's B-tree?
@@ -546,6 +566,11 @@ impl fmt::Display for PlannedStep {
             // with threads > 1 this step's execution fans out.
             ops.push_str(" [par]");
         }
+        if self.replanned {
+            // The adaptive executor switched this operator at a step
+            // boundary, against the observed frontier cardinality.
+            ops.push_str(" [replan]");
+        }
         write!(
             f,
             "step {:<36} op {:<44} est cost {:>12.0}  est rows {:>9.0}",
@@ -581,24 +606,43 @@ enum Policy {
     Twig,
 }
 
+/// Planner configuration: the policy plus the session-calibrated cost
+/// factors (currently the fitted twig-seek multiplier).
+#[derive(Debug, Clone, Copy)]
+struct Planner {
+    policy: Policy,
+    /// Session-fitted multiplier on the twig frontier cost
+    /// ([`staircase_core::cost::Calibrator::twig_seek_factor`]): 1.0
+    /// until twig steps have actually run and reported their seeks.
+    twig_seek: f64,
+}
+
 /// Lowers a parsed union expression into a physical plan for `engine`.
+/// `twig_seek` is the session calibrator's fitted twig-seek factor
+/// (pass 1.0 for an uncalibrated plan).
 pub(crate) fn plan_union(
     expr: &UnionExpr,
     doc: &Doc,
     stats: &DocStats,
     engine: Engine,
+    twig_seek: f64,
 ) -> PhysicalPlan {
     let policy = match engine.kind {
-        EngineKind::Auto => Policy::Auto,
+        // Adaptive plans start from exactly the static auto plan; the
+        // divergence is at run time, where the executor re-prices
+        // pending steps from observed cardinalities.
+        EngineKind::Auto | EngineKind::Adaptive => Policy::Auto,
         EngineKind::Twig => Policy::Twig,
         kind => Policy::Fixed(kind),
     };
+    let pl = Planner { policy, twig_seek };
     PhysicalPlan {
         branches: expr
             .branches
             .iter()
-            .map(|p| plan_path(p, doc, stats, policy, 1.0, true))
+            .map(|p| plan_path(p, doc, stats, pl, 1.0, true))
             .collect(),
+        adaptive: engine.is_adaptive(),
     }
 }
 
@@ -609,7 +653,7 @@ fn plan_path(
     path: &Path,
     doc: &Doc,
     stats: &DocStats,
-    policy: Policy,
+    pl: Planner,
     in_rows: f64,
     at_root: bool,
 ) -> PathPlan {
@@ -622,18 +666,12 @@ fn plan_path(
         // auto policy additionally demands that the cost model predict a
         // step-at-a-time intermediate blowup above the leapfrog frontier
         // cost before fusing.
-        if matches!(policy, Policy::Twig | Policy::Auto) {
+        if matches!(pl.policy, Policy::Twig | Policy::Auto) {
             if let Some(spec) = twig_region(&path.steps[i..]) {
                 let len = spec.spine.len();
-                if let Some((planned, out_rows)) = plan_twig(
-                    spec,
-                    &path.steps[i..i + len],
-                    doc,
-                    stats,
-                    policy,
-                    rows,
-                    root,
-                ) {
+                if let Some((planned, out_rows)) =
+                    plan_twig(spec, &path.steps[i..i + len], doc, stats, pl, rows, root)
+                {
                     rows = out_rows;
                     root = false;
                     steps.push(planned);
@@ -642,7 +680,7 @@ fn plan_path(
                 }
             }
         }
-        let (planned, out_rows) = plan_step(&path.steps[i], doc, stats, policy, rows, root);
+        let (planned, out_rows) = plan_step(&path.steps[i], doc, stats, pl, rows, root);
         rows = out_rows;
         root = false;
         steps.push(planned);
@@ -736,7 +774,7 @@ fn plan_twig(
     source: &[Step],
     doc: &Doc,
     stats: &DocStats,
-    policy: Policy,
+    pl: Planner,
     in_rows: f64,
     at_root: bool,
 ) -> Option<(PlannedStep, f64)> {
@@ -757,8 +795,11 @@ fn plan_twig(
                 .collect(),
         })
         .collect();
-    let frontier = stats.twig_frontier_cost(in_rows, &legs);
-    if matches!(policy, Policy::Auto)
+    // The calibrated frontier: the session's fitted seek factor scales
+    // the static prediction, so a session whose twig steps kept seeking
+    // more (or less) than predicted shifts later twig-vs-step picks.
+    let frontier = stats.twig_frontier_cost(in_rows, &legs) * pl.twig_seek;
+    if matches!(pl.policy, Policy::Auto)
         && stats.step_blowup_estimate(in_rows, at_root, &legs) <= frontier
     {
         return None;
@@ -786,6 +827,7 @@ fn plan_twig(
             rows,
         },
         fanout: false,
+        replanned: false,
         rendered,
     };
     Some((planned, rows))
@@ -831,7 +873,7 @@ fn plan_step(
     step: &Step,
     doc: &Doc,
     stats: &DocStats,
-    policy: Policy,
+    pl: Planner,
     in_rows: f64,
     at_root: bool,
 ) -> (PlannedStep, f64) {
@@ -842,9 +884,9 @@ fn plan_step(
     };
 
     let (op, test_op, mut cost, mut rows) = match part_axis_of(step.axis) {
-        Some(paxis) => {
-            plan_partitioning(step, paxis, policy, stats, sel, fragment, in_rows, at_root)
-        }
+        Some(paxis) => plan_partitioning(
+            step, paxis, pl.policy, stats, sel, fragment, in_rows, at_root,
+        ),
         None => {
             // Structural axes are engine-independent.
             let cost = stats.structural_cost(step.axis, in_rows);
@@ -860,7 +902,7 @@ fn plan_step(
     let mut predicates = Vec::with_capacity(step.predicates.len());
     for pred in &step.predicates {
         let Predicate::Exists(path) = pred;
-        let lowered = plan_predicate(path, doc, stats, policy);
+        let lowered = plan_predicate(path, doc, stats, pl);
         match &lowered {
             PredOp::Semijoin { name, prebuilt, .. } => {
                 let f = stats.fragment_size(doc, doc.tag_id(name));
@@ -885,6 +927,7 @@ fn plan_step(
         predicates,
         estimate: StepEstimate { cost, rows },
         fanout: stats.fanout_worthwhile(cost),
+        replanned: false,
         rendered: step.to_string(),
     };
     (planned, rows)
@@ -1054,15 +1097,117 @@ fn fixed_op(kind: EngineKind, is_name: bool, vertical: bool, horiz: bool) -> Ste
             early_nametest,
         },
         EngineKind::Auto => unreachable!("auto resolves to Policy::Auto"),
+        EngineKind::Adaptive => unreachable!("adaptive resolves to Policy::Auto"),
         EngineKind::Twig => unreachable!("twig resolves to Policy::Twig"),
     }
+}
+
+/// Re-prices one pending step against the **observed** frontier
+/// cardinality — [`Engine::adaptive`](crate::Engine::adaptive)'s loop
+/// (a) — and returns the now-cheapest operator (with its fused-test
+/// flag and re-priced cost) when the observed-cost ranking disagrees
+/// with the planned pick.
+///
+/// Only vertical partitioning steps already carrying an operator from
+/// the auto candidate set (plain staircase, prebuilt fragment, SQL) are
+/// re-chosen: twig regions, horizontal scans, and structural axes have
+/// no runtime alternative the overlay prices. `sql_available` gates the
+/// SQL candidate as a switch *target* — the executor only resolves the
+/// B-tree when the static plan asked for it, and a mid-query build
+/// would cost more than it saves.
+pub(crate) fn replan_step(
+    step: &PlannedStep,
+    doc: &Doc,
+    rt: &RuntimeStats<'_>,
+    sql_available: bool,
+) -> Option<(StepOp, TestOp, f64)> {
+    let vert = vert_axis_of(step.axis)?;
+    if !matches!(
+        step.op,
+        StepOp::Staircase { .. } | StepOp::Fragment { .. } | StepOp::Sql { .. }
+    ) {
+        return None;
+    }
+    let stats = rt.base();
+    let is_name = matches!(step.test, NodeTest::Name(_));
+    let fragment = match &step.test {
+        NodeTest::Name(name) => stats.fragment_size(doc, doc.tag_id(name)),
+        _ => 0,
+    };
+    if is_name && fragment == 0 {
+        // The result is provably empty; the planned operator already
+        // gets there without building anything.
+        return None;
+    }
+    // Replanning fires mid-path, after at least one step has run, so
+    // the from-root window special case never applies.
+    let desc = vert == VertAxis::Descendant;
+    let window = if desc {
+        rt.descendant_window(false)
+    } else {
+        rt.ancestor_window()
+    };
+    let unpruned = rt.unpruned_window(desc, false);
+    let price = |op: &StepOp| -> f64 {
+        match *op {
+            StepOp::Staircase { variant } => {
+                rt.staircase_cost(variant, window) + stats.apply_test_cost(window)
+            }
+            StepOp::Fragment { prescan } => rt.fragment_cost(fragment, window, prescan),
+            StepOp::Sql {
+                eq1_window,
+                early_nametest,
+            } => {
+                let scan = rt.sql_cost(unpruned, eq1_window);
+                if early_nametest && is_name {
+                    scan
+                } else {
+                    scan + stats.apply_test_cost(unpruned)
+                }
+            }
+            _ => f64::INFINITY,
+        }
+    };
+    // The same candidate set (and tie-breaking order) as the static
+    // auto policy, priced through the runtime overlay instead of the
+    // Equation-1 cardinality guess.
+    let mut candidates = vec![StepOp::Staircase {
+        variant: Variant::EstimationSkipping,
+    }];
+    if is_name {
+        candidates.push(StepOp::Fragment { prescan: false });
+    }
+    if sql_available || matches!(step.op, StepOp::Sql { .. }) {
+        candidates.push(StepOp::Sql {
+            eq1_window: true,
+            early_nametest: true,
+        });
+    }
+    let mut best = candidates[0].clone();
+    let mut best_cost = price(&candidates[0]);
+    for cand in &candidates[1..] {
+        let c = price(cand);
+        if c < best_cost {
+            best = cand.clone();
+            best_cost = c;
+        }
+    }
+    if best == step.op {
+        return None;
+    }
+    let test_op = match best {
+        StepOp::Fragment { .. } => TestOp::Fused,
+        StepOp::Sql { early_nametest, .. } if early_nametest && is_name => TestOp::Fused,
+        _ => TestOp::ApplyTest,
+    };
+    Some((best, test_op, best_cost))
 }
 
 /// Lowers a predicate path: the semijoin fast path when the shape allows
 /// and the policy's engine family supports it, the nested-loop filter
 /// otherwise.
-fn plan_predicate(path: &Path, doc: &Doc, stats: &DocStats, policy: Policy) -> PredOp {
-    let semijoin_family = match policy {
+fn plan_predicate(path: &Path, doc: &Doc, stats: &DocStats, pl: Planner) -> PredOp {
+    let semijoin_family = match pl.policy {
         Policy::Auto | Policy::Twig => true,
         Policy::Fixed(
             EngineKind::Staircase { .. }
@@ -1074,7 +1219,7 @@ fn plan_predicate(path: &Path, doc: &Doc, stats: &DocStats, policy: Policy) -> P
     if semijoin_family {
         if let Some((axis, name)) = semijoin_shape(path) {
             let prebuilt = matches!(
-                policy,
+                pl.policy,
                 Policy::Auto | Policy::Twig | Policy::Fixed(EngineKind::Fragmented { .. })
             );
             return PredOp::Semijoin {
@@ -1084,7 +1229,7 @@ fn plan_predicate(path: &Path, doc: &Doc, stats: &DocStats, policy: Policy) -> P
             };
         }
     }
-    PredOp::Filter(plan_path(path, doc, stats, policy, 1.0, false))
+    PredOp::Filter(plan_path(path, doc, stats, pl, 1.0, false))
 }
 
 /// The §3.3 semijoin fast path applies to single-step, predicate-free,
@@ -1126,7 +1271,7 @@ mod tests {
 
     fn plan_for(expr: &str, engine: Engine) -> PhysicalPlan {
         let (doc, stats) = fixture();
-        plan_union(&parse_union(expr).unwrap(), &doc, &stats, engine)
+        plan_union(&parse_union(expr).unwrap(), &doc, &stats, engine, 1.0)
     }
 
     fn ops(plan: &PhysicalPlan) -> Vec<StepOp> {
@@ -1252,11 +1397,82 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_plans_start_from_the_static_auto_plan() {
+        for q in [
+            "/descendant::b/ancestor::a",
+            "/descendant::node()/following::node()",
+            "//a[b]/descendant::c",
+        ] {
+            let auto = plan_for(q, Engine::auto());
+            let adaptive = plan_for(q, Engine::adaptive());
+            assert_eq!(ops(&auto), ops(&adaptive), "{q}");
+            assert!(!auto.is_adaptive());
+            assert!(adaptive.is_adaptive());
+            // The runtime flag forces index resolution (lazy, so free
+            // until a switch actually touches it).
+            assert!(adaptive.needs_tag_index(), "{q}");
+        }
+    }
+
+    #[test]
+    fn replan_switches_when_the_observed_cardinality_explodes() {
+        let (doc, stats) = fixture();
+        // Auto plans //b as a fragment join on this fixture; pretend a
+        // hand-planned staircase step instead and replan it with a tiny
+        // observed context — the fragment join must win.
+        let plan = plan_for("/descendant::b/descendant::b", Engine::adaptive());
+        let step = &plan.branches()[0].steps()[1];
+        let rt = RuntimeStats::new(&stats, 1.0);
+        match step.operator() {
+            StepOp::Fragment { .. } => {
+                // Already the observed-cost winner at card 1: no switch.
+                assert!(replan_step(step, &doc, &rt, false).is_none());
+            }
+            other => panic!("fixture surprise: {other}"),
+        }
+        // A staircase-planned step with a selective observed context
+        // switches to the fragment join.
+        let fixed = plan_for("/descendant::b/descendant::b", Engine::default());
+        let stair = &fixed.branches()[0].steps()[1];
+        let (op, test_op, cost) =
+            replan_step(stair, &doc, &rt, false).expect("staircase should lose to the fragment");
+        assert_eq!(op, StepOp::Fragment { prescan: false });
+        assert_eq!(test_op, TestOp::Fused);
+        assert!(cost.is_finite() && cost >= 0.0);
+        // Horizontal and structural steps never replan.
+        let horiz = plan_for("/following::b", Engine::default());
+        assert!(replan_step(&horiz.branches()[0].steps()[0], &doc, &rt, true).is_none());
+        let structural = plan_for("child::b", Engine::default());
+        assert!(replan_step(&structural.branches()[0].steps()[0], &doc, &rt, true).is_none());
+    }
+
+    #[test]
+    fn replan_never_builds_fragments_for_absent_names() {
+        let (doc, stats) = fixture();
+        let plan = plan_for("/descendant::zzz/descendant::zzz", Engine::default());
+        let rt = RuntimeStats::new(&stats, 1.0);
+        // An absent name is provably empty: whatever the planned
+        // operator, switching could only force an index build.
+        for step in plan.branches()[0].steps() {
+            assert!(replan_step(step, &doc, &rt, true).is_none());
+        }
+    }
+
+    #[test]
+    fn replanned_steps_render_the_marker() {
+        let plan = plan_for("/descendant::b", Engine::default());
+        let mut step = plan.branches()[0].steps()[0].clone();
+        assert!(!step.to_string().contains("[replan]"));
+        step.replanned = true;
+        assert!(step.to_string().contains("[replan]"), "{step}");
+    }
+
+    #[test]
     fn estimates_are_positive_and_ordered() {
         let (doc, stats) = fixture();
         let parsed = parse_union("/descendant::b").unwrap();
-        let frag = plan_union(&parsed, &doc, &stats, Engine::auto());
-        let naive = plan_union(&parsed, &doc, &stats, Engine::naive());
+        let frag = plan_union(&parsed, &doc, &stats, Engine::auto(), 1.0);
+        let naive = plan_union(&parsed, &doc, &stats, Engine::naive(), 1.0);
         assert!(frag.estimated_cost() > 0.0);
         assert!(
             frag.estimated_cost() < naive.estimated_cost(),

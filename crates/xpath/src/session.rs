@@ -33,7 +33,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use staircase_accel::{Context, Doc, Pre};
 use staircase_baselines::SqlEngine;
-use staircase_core::cost::DocStats;
+use staircase_core::cost::{Calibrator, DocStats};
 use staircase_core::{ScratchPool, TagIndex, WorkerPool};
 
 use crate::ast::UnionExpr;
@@ -52,6 +52,11 @@ pub struct Session {
     stats: OnceLock<DocStats>,
     tag_builds: AtomicUsize,
     sql_builds: AtomicUsize,
+    /// Session-lifetime cost calibrator: every executed twig step feeds
+    /// its (predicted cost, observed seeks) pair back in, and both the
+    /// static planner and the adaptive re-planner read the fitted seek
+    /// constant out. See [`Calibrator`].
+    calibrator: Calibrator,
     /// The lane executor's buffer pools, persisted across queries and
     /// batches so a steady-state session stops allocating per step.
     /// Sharded (two shards per pool executor): concurrent queries and
@@ -130,6 +135,7 @@ impl Session {
             stats: OnceLock::new(),
             tag_builds: AtomicUsize::new(0),
             sql_builds: AtomicUsize::new(0),
+            calibrator: Calibrator::new(),
             scratch: ScratchPool::new(threads * 2),
             workers: WorkerPool::new(threads),
         }
@@ -313,7 +319,7 @@ impl Session {
         if self.workers.width() > 1 {
             let builds: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
                 Box::new(|| {
-                    self.tag_index();
+                    self.tag_index().warm_all(&self.doc);
                 }),
                 Box::new(|| {
                     self.sql_engine();
@@ -323,20 +329,53 @@ impl Session {
         } else {
             std::thread::scope(|scope| {
                 scope.spawn(|| {
-                    self.tag_index();
+                    self.tag_index().warm_all(&self.doc);
                 });
                 self.sql_engine();
             });
         }
     }
 
-    /// The per-tag fragment index, built on first use and cached for the
-    /// session's lifetime.
+    /// Pre-cracks the [`TagIndex`] fragments for exactly `names` —
+    /// partial warm-up for workloads with a known hot tag set. Tags not
+    /// listed stay *unbuilt*: they cost nothing until a query first
+    /// touches them (the cracked-index counterpart of [`Session::warm`],
+    /// which builds every fragment plus the SQL B-tree). Unknown names
+    /// are ignored. Counts as the session's one tag-index construction.
+    pub fn warm_tags(&self, names: &[&str]) {
+        self.tag_index().warm_tags(&self.doc, names);
+    }
+
+    /// The per-tag fragment index, created on first use and cached for
+    /// the session's lifetime. Creation is **lazy per fragment**
+    /// ([`TagIndex::lazy`]): the index shell costs O(tags) up front and
+    /// each tag's fragment materializes piecewise as queries touch it
+    /// (cracking), so a session that never names a tag never pays for
+    /// its fragment. [`Session::warm`] / [`Session::warm_tags`] convert
+    /// to the eager build for all / selected tags.
     pub fn tag_index(&self) -> &TagIndex {
         self.tags.get_or_init(|| {
             self.tag_builds.fetch_add(1, Ordering::Relaxed);
-            TagIndex::build(&self.doc)
+            TagIndex::lazy(&self.doc)
         })
+    }
+
+    /// Is `name`'s tag fragment fully materialized (sorted) right now?
+    /// `false` for unknown names, for a session whose index shell has
+    /// not been created, and for fragments still in the cracked
+    /// (piecewise) state. Exposed so servers and tests can observe which
+    /// tags the workload has actually paid for.
+    pub fn tag_fragment_built(&self, name: &str) -> bool {
+        self.tags
+            .get()
+            .is_some_and(|idx| idx.fragment_built_by_name(&self.doc, name))
+    }
+
+    /// The session's cost calibrator (see the crate docs' *feedback
+    /// loops* section): executed twig steps feed observed seek counts
+    /// in; planning reads the fitted constants out.
+    pub fn calibrator(&self) -> &Calibrator {
+        &self.calibrator
     }
 
     /// The SQL baseline's B-tree engine, built on first use and cached
@@ -361,7 +400,13 @@ impl Session {
 
     /// Lowers a parsed expression into the plan `engine` executes.
     pub(crate) fn plan(&self, parsed: &UnionExpr, engine: Engine) -> PhysicalPlan {
-        plan_union(parsed, &self.doc, self.doc_stats(), engine)
+        plan_union(
+            parsed,
+            &self.doc,
+            self.doc_stats(),
+            engine,
+            self.calibrator.twig_seek_factor(),
+        )
     }
 
     /// Pairs the document with exactly the (cached) auxiliary structures
@@ -374,6 +419,7 @@ impl Session {
             pool: &self.workers,
             scratch: &self.scratch,
             stats: self.doc_stats(),
+            calibrator: &self.calibrator,
         }
     }
 

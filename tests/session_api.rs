@@ -41,6 +41,7 @@ fn all_engines() -> Vec<Engine> {
             .build()
             .expect("valid config"),
         Engine::auto(),
+        Engine::adaptive(),
     ]
 }
 
@@ -151,6 +152,39 @@ proptest! {
         let builds = session.aux_builds();
         prop_assert!(builds.tag_index <= 1);
         prop_assert!(builds.sql_engine <= 1);
+    }
+
+    /// The adaptive engine is node- and order-identical to every fixed
+    /// engine through both `run` and `run_many`, at every session pool
+    /// width — re-planning may change access paths, never answers.
+    #[test]
+    fn adaptive_agrees_at_every_pool_width((doc, query) in (arb_doc(), arb_query())) {
+        for width in [1usize, 2, 4] {
+            let session = Session::new(doc.clone()).with_threads(width);
+            let prepared = session.prepare(&query)
+                .unwrap_or_else(|e| panic!("generated query {query:?} must parse: {e}"));
+            let reference = prepared.run(Engine::naive());
+            let single = prepared.run(Engine::adaptive());
+            prop_assert_eq!(
+                single.nodes(),
+                reference.nodes(),
+                "run at width {}: {}",
+                width,
+                query
+            );
+            // The same query twice in one batch: both lanes re-plan (or
+            // decline to) independently and agree with the fixed run.
+            let batch = session.run_many(&[&prepared, &prepared], Engine::adaptive());
+            for out in &batch {
+                prop_assert_eq!(
+                    out.nodes(),
+                    reference.nodes(),
+                    "run_many at width {}: {}",
+                    width,
+                    query
+                );
+            }
+        }
     }
 
     /// Sessions over a persisted plane answer exactly like sessions over
@@ -411,4 +445,78 @@ fn auto_plans_absent_names_without_building_the_fragment_index() {
     );
     // And the absent-name step costs nothing: no scan ever ran.
     assert_eq!(out.stats().steps[0].nodes_touched, 0);
+}
+
+#[test]
+fn adaptive_replans_when_estimates_mislead() {
+    // The misleading-statistics document: every global statistic is
+    // honest, yet the `b` frontier after `//a/descendant::b` is orders
+    // of magnitude above the Equation-1 estimate. The static planner
+    // mis-prices the final step; the adaptive executor must observe the
+    // real frontier, switch the operator mid-plan, and mark the switch.
+    let session = Session::new(generate_misleading(MisleadConfig::new(4.0)));
+    let expr = "/descendant::a/descendant::b/descendant::node()";
+    let query = session.prepare(expr).unwrap();
+
+    let adaptive = query.run(Engine::adaptive());
+    let auto = query.run(Engine::auto());
+    assert_eq!(
+        adaptive.nodes(),
+        auto.nodes(),
+        "replanning changed the answer"
+    );
+
+    // The switch provably fired: the trace carries the marker …
+    let replanned: Vec<&str> = adaptive
+        .stats()
+        .steps
+        .iter()
+        .filter(|s| s.replanned)
+        .map(|s| s.op.as_str())
+        .collect();
+    assert!(
+        !replanned.is_empty(),
+        "the misleading workload must trigger a mid-plan switch"
+    );
+    assert!(
+        replanned.iter().all(|op| op.contains("[replan]")),
+        "replanned steps must be marked: {replanned:?}"
+    );
+    // … the switched step runs cheaper than the static pick of the same
+    // step …
+    let step = adaptive
+        .stats()
+        .steps
+        .iter()
+        .position(|s| s.replanned)
+        .unwrap();
+    assert!(
+        adaptive.stats().steps[step].nodes_touched < auto.stats().steps[step].nodes_touched,
+        "the switch must pay off: adaptive touched {} vs auto {}",
+        adaptive.stats().steps[step].nodes_touched,
+        auto.stats().steps[step].nodes_touched
+    );
+    // … and the static engines never carry the marker.
+    assert!(auto.stats().steps.iter().all(|s| !s.replanned));
+
+    // Lane-local switching: the shared cached plan is untouched, so a
+    // later static run re-prices nothing.
+    let plan = session.explain(expr, Engine::adaptive()).unwrap();
+    assert!(!plan.to_string().contains("[replan]"));
+
+    // The switch also fires identically through run_many at every pool
+    // width.
+    for width in [1usize, 2, 4] {
+        let session =
+            Session::new(generate_misleading(MisleadConfig::new(4.0))).with_threads(width);
+        let query = session.prepare(expr).unwrap();
+        let outs = session.run_many(&[&query, &query], Engine::adaptive());
+        for out in &outs {
+            assert_eq!(out.nodes(), adaptive.nodes(), "width {width}");
+            assert!(
+                out.stats().steps.iter().any(|s| s.replanned),
+                "width {width}: batch lanes must replan too"
+            );
+        }
+    }
 }

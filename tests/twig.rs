@@ -183,6 +183,60 @@ fn fused_step_reports_real_seeks() {
     );
 }
 
+/// The session calibrator fits the twig seek constant from executed
+/// steps' real seek counts, and the fitted factor must keep (or
+/// improve) `Engine::auto`'s fuse-or-not decision on the skewed
+/// workload the twig operator exists for — feedback may sharpen the
+/// constants, never invert a correct decision.
+#[test]
+fn calibrator_fits_twig_seeks_without_flipping_autos_decision() {
+    let session = Session::new(generate_skewed(SkewConfig::new(0.5, 1.2)));
+    let expr = "/descendant::a[descendant::b]/descendant::c[descendant::d]";
+    let fused_steps = |plan: &PhysicalPlan| {
+        plan.branches()[0]
+            .steps()
+            .iter()
+            .filter(|s| matches!(s.operator(), StepOp::Twig(_)))
+            .count()
+    };
+
+    // Before any feedback: factor 1.0 (trust the static constants), no
+    // samples, and auto fuses the rare-under-common path.
+    assert_eq!(session.calibrator().samples(), 0);
+    assert_eq!(session.calibrator().twig_seek_factor(), 1.0);
+    let before = session.explain(expr, Engine::auto()).unwrap();
+    let fused_before = fused_steps(&before);
+    assert!(fused_before >= 1, "auto must fuse on the skewed workload");
+
+    // Executed twig steps feed their observed seeks into the fit.
+    let query = session.prepare(expr).unwrap();
+    let reference = query.run(Engine::twig());
+    for _ in 0..7 {
+        query.run(Engine::twig());
+    }
+    assert!(
+        session.calibrator().samples() >= 8,
+        "every executed twig step must be folded into the fit"
+    );
+    let factor = session.calibrator().twig_seek_factor();
+    assert!(
+        (0.25..=4.0).contains(&factor),
+        "the fitted factor must stay inside the clamp: {factor}"
+    );
+
+    // Re-planning with the fitted constant keeps the decision …
+    let after = session.explain(expr, Engine::auto()).unwrap();
+    assert!(
+        fused_steps(&after) >= fused_before,
+        "calibration flipped auto's twig decision: {} fused before, {} after (factor {factor})",
+        fused_before,
+        fused_steps(&after)
+    );
+    // … and the answers, on a freshly planned query.
+    let recalibrated = session.prepare(expr).unwrap();
+    assert_eq!(recalibrated.run(Engine::auto()).nodes(), reference.nodes());
+}
+
 /// Tags absent from the document give empty fragments; the leapfrog
 /// must return empty (not panic, not mis-seek) whichever leg is empty.
 #[test]

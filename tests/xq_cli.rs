@@ -4,6 +4,8 @@
 use std::io::Write;
 use std::process::{Command, Stdio};
 
+use staircase_suite::prelude::{generate_misleading_xml, MisleadConfig};
+
 fn xq() -> Command {
     Command::new(env!("CARGO_BIN_EXE_xq"))
 }
@@ -51,6 +53,7 @@ fn query_from_file_with_engines() {
         "naive",
         "sql",
         "auto",
+        "adaptive",
         "twig",
     ] {
         let out = xq()
@@ -123,6 +126,119 @@ fn stats_go_to_stderr() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("step"), "stats missing: {stderr}");
     assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "3");
+}
+
+/// Pins the `--stats` line format: every engine reports its estimated
+/// cost next to the observed cost, per step, in this column order.
+#[test]
+fn stats_print_estimated_next_to_observed_cost_for_every_engine() {
+    for engine in [
+        "staircase",
+        "fragmented",
+        "naive",
+        "sql",
+        "auto",
+        "adaptive",
+    ] {
+        let mut child = xq()
+            .args(["//bidder", "--stats", "--count", "--engine", engine])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap();
+        child
+            .stdin
+            .as_mut()
+            .unwrap()
+            .write_all(SAMPLE.as_bytes())
+            .unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert!(out.status.success(), "engine {engine}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        let step_lines: Vec<&str> = stderr.lines().filter(|l| l.starts_with("step ")).collect();
+        assert!(
+            !step_lines.is_empty(),
+            "engine {engine}: no stats: {stderr}"
+        );
+        for line in step_lines {
+            // The pinned column order, estimated beside observed.
+            let cols = [
+                "result ",
+                "touched ",
+                "seeks ",
+                "duplicates ",
+                "est cost ",
+                "obs cost ",
+            ];
+            let mut at = 0usize;
+            for col in cols {
+                match line[at..].find(col) {
+                    Some(off) => at += off + col.len(),
+                    None => panic!("engine {engine}: column {col:?} missing or misordered: {line}"),
+                }
+            }
+        }
+    }
+}
+
+/// `--explain --stats` is the post-run report: per executed step, the
+/// operator that actually ran with planned vs observed cost, and
+/// `[replan]` marking the adaptive engine's mid-query switches. On the
+/// misleading-statistics document the marker must appear for
+/// `adaptive` and never for static `auto`.
+#[test]
+fn explain_stats_reports_observed_cost_and_replan_markers() {
+    let dir = tempdir();
+    let file = dir.join("mislead.xml");
+    std::fs::write(&file, generate_misleading_xml(MisleadConfig::new(4.0))).unwrap();
+    let expr = "/descendant::a/descendant::b/descendant::node()";
+
+    let out = xq()
+        .args([
+            expr,
+            file.to_str().unwrap(),
+            "--engine",
+            "adaptive",
+            "--explain",
+            "--stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let step_lines: Vec<&str> = stdout.lines().filter(|l| l.starts_with("step ")).collect();
+    assert_eq!(step_lines.len(), 3, "one report line per step: {stdout}");
+    for line in &step_lines {
+        assert!(line.contains("op "), "{line}");
+        assert!(line.contains("est cost"), "{line}");
+        assert!(line.contains("obs cost"), "{line}");
+    }
+    assert!(
+        step_lines.iter().any(|l| l.contains("[replan]")),
+        "adaptive must mark its switch on the misleading document: {stdout}"
+    );
+
+    let out = xq()
+        .args([
+            expr,
+            file.to_str().unwrap(),
+            "--engine",
+            "auto",
+            "--explain",
+            "--stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(
+        !String::from_utf8_lossy(&out.stdout).contains("[replan]"),
+        "static engines never replan"
+    );
 }
 
 #[test]
