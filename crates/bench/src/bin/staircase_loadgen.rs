@@ -24,11 +24,19 @@
 //!     [--engine E]       wire engine name (default staircase)
 //!     [--mix PATH]       query mix file, one XPath per line
 //!                        (default: the BATCH_MIXED workload)
+//!     [--deadline-ms N]  attach a per-query governor deadline to every
+//!                        request; server-side TIMEOUT answers are
+//!                        counted per mode instead of failing the run
 //!     [--addr A]         drive an external server instead of
 //!                        self-hosting (single mode, no window sweep)
 //!     [--out PATH]       output path (BENCH_server_latency.json)
 //!     [--smoke]          1 s per mode at modest qps (CI keep-alive)
 //! ```
+//!
+//! Each mode records, besides the latency percentiles, the governed-
+//! failure counts the client observed — `busy` (backpressure),
+//! `timeout` (deadline trips), `cancelled` — so a run under deadline
+//! pressure shows *where* the load shed instead of a bare error total.
 //!
 //! CI runs `--smoke` on every push and uploads the JSON as an artifact,
 //! alongside `BENCH_batch_throughput.json`.
@@ -52,6 +60,7 @@ struct Config {
     scale: f64,
     engine: String,
     mix_path: Option<String>,
+    deadline_ms: Option<u32>,
     addr: Option<String>,
     out_path: String,
 }
@@ -63,6 +72,8 @@ struct ModeResult {
     window_us: u64,
     ok: u64,
     busy: u64,
+    timeout: u64,
+    cancelled: u64,
     errors: u64,
     achieved_qps: f64,
     p50_ms: f64,
@@ -70,6 +81,17 @@ struct ModeResult {
     p99_ms: f64,
     batches: u64,
     avg_batch: f64,
+}
+
+/// What one mode's drive observed, client side.
+struct DriveCounts {
+    latencies: Vec<f64>,
+    ok: u64,
+    busy: u64,
+    timeout: u64,
+    cancelled: u64,
+    errors: u64,
+    achieved_qps: f64,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -92,10 +114,12 @@ fn stat_line(stats: &str, key: &str) -> u64 {
 /// schedule; connection `w` owns requests `w, w+C, w+2C, …`, each sent
 /// at `start + i/qps` (or immediately if already late — the lateness is
 /// the point) and timed from that scheduled instant.
-fn drive(addr: &str, queries: &[String], cfg: &Config) -> (Vec<f64>, u64, u64, u64, f64) {
+fn drive(addr: &str, queries: &[String], cfg: &Config) -> DriveCounts {
     let total = (cfg.qps * cfg.duration.as_secs_f64()).round() as usize;
     let interval = Duration::from_secs_f64(1.0 / cfg.qps);
     let busy = Arc::new(AtomicU64::new(0));
+    let timeout = Arc::new(AtomicU64::new(0));
+    let cancelled = Arc::new(AtomicU64::new(0));
     let errors = Arc::new(AtomicU64::new(0));
     let started = Instant::now();
 
@@ -104,15 +128,20 @@ fn drive(addr: &str, queries: &[String], cfg: &Config) -> (Vec<f64>, u64, u64, u
             let addr = addr.to_string();
             let queries = queries.to_vec();
             let engine = cfg.engine.clone();
+            let deadline_ms = cfg.deadline_ms;
             let concurrency = cfg.concurrency;
             let busy = Arc::clone(&busy);
+            let timeout = Arc::clone(&timeout);
+            let cancelled = Arc::clone(&cancelled);
             let errors = Arc::clone(&errors);
             std::thread::spawn(move || {
+                use staircase_server::protocol::code;
                 let mut client = Client::connect(&addr).expect("loadgen connect");
                 let opts = QueryOptions {
                     engine,
                     render: false,
                     count_only: true,
+                    deadline_ms,
                 };
                 let mut latencies: Vec<f64> = Vec::new();
                 let mut i = w;
@@ -123,10 +152,16 @@ fn drive(addr: &str, queries: &[String], cfg: &Config) -> (Vec<f64>, u64, u64, u
                     }
                     match client.query(&queries[i % queries.len()], &opts) {
                         Ok(_) => latencies.push(scheduled.elapsed().as_secs_f64() * 1e3),
-                        Err(ClientError::Server { code, .. })
-                            if code == staircase_server::protocol::code::BUSY =>
-                        {
+                        Err(ClientError::Server { code: c, .. }) if c == code::BUSY => {
                             busy.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ClientError::Server { code: c, .. })
+                            if c == code::TIMEOUT || c == code::RESOURCE =>
+                        {
+                            timeout.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ClientError::Server { code: c, .. }) if c == code::CANCELLED => {
+                            cancelled.fetch_add(1, Ordering::Relaxed);
                         }
                         Err(_) => {
                             errors.fetch_add(1, Ordering::Relaxed);
@@ -146,13 +181,15 @@ fn drive(addr: &str, queries: &[String], cfg: &Config) -> (Vec<f64>, u64, u64, u
     let elapsed = started.elapsed().as_secs_f64();
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let ok = latencies.len() as u64;
-    (
-        latencies,
+    DriveCounts {
         ok,
-        busy.load(Ordering::Relaxed),
-        errors.load(Ordering::Relaxed),
-        ok as f64 / elapsed,
-    )
+        busy: busy.load(Ordering::Relaxed),
+        timeout: timeout.load(Ordering::Relaxed),
+        cancelled: cancelled.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        achieved_qps: ok as f64 / elapsed,
+        latencies,
+    }
 }
 
 /// Drive one mode against a live server and fold the measurements and
@@ -164,7 +201,7 @@ fn run_mode(
     queries: &[String],
     cfg: &Config,
 ) -> ModeResult {
-    let (latencies, ok, busy, errors, achieved_qps) = drive(addr, queries, cfg);
+    let counts = drive(addr, queries, cfg);
     let stats = Client::connect(addr)
         .ok()
         .and_then(|mut c| c.server_stats().ok())
@@ -174,13 +211,15 @@ fn run_mode(
     let result = ModeResult {
         mode,
         window_us,
-        ok,
-        busy,
-        errors,
-        achieved_qps,
-        p50_ms: percentile(&latencies, 50.0),
-        p95_ms: percentile(&latencies, 95.0),
-        p99_ms: percentile(&latencies, 99.0),
+        ok: counts.ok,
+        busy: counts.busy,
+        timeout: counts.timeout,
+        cancelled: counts.cancelled,
+        errors: counts.errors,
+        achieved_qps: counts.achieved_qps,
+        p50_ms: percentile(&counts.latencies, 50.0),
+        p95_ms: percentile(&counts.latencies, 95.0),
+        p99_ms: percentile(&counts.latencies, 99.0),
         batches,
         avg_batch: if batches > 0 {
             batched as f64 / batches as f64
@@ -189,9 +228,18 @@ fn run_mode(
         },
     };
     eprintln!(
-        "{mode:>12} (window {window_us:>5} µs): {ok} ok, {busy} busy, {errors} err, \
-         {achieved_qps:.0} qps, p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms, avg batch {:.2}",
-        result.p50_ms, result.p95_ms, result.p99_ms, result.avg_batch
+        "{mode:>12} (window {window_us:>5} µs): {} ok, {} busy, {} timeout, {} cancelled, \
+         {} err, {:.0} qps, p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms, avg batch {:.2}",
+        result.ok,
+        result.busy,
+        result.timeout,
+        result.cancelled,
+        result.errors,
+        result.achieved_qps,
+        result.p50_ms,
+        result.p95_ms,
+        result.p99_ms,
+        result.avg_batch
     );
     result
 }
@@ -227,6 +275,7 @@ fn main() {
         scale: 0.4,
         engine: "staircase".to_string(),
         mix_path: None,
+        deadline_ms: None,
         addr: None,
         out_path: "BENCH_server_latency.json".to_string(),
     };
@@ -249,6 +298,9 @@ fn main() {
             "--scale" => cfg.scale = next("--scale").parse().expect("number"),
             "--engine" => cfg.engine = next("--engine"),
             "--mix" => cfg.mix_path = Some(next("--mix")),
+            "--deadline-ms" => {
+                cfg.deadline_ms = Some(next("--deadline-ms").parse().expect("number"))
+            }
             "--addr" => cfg.addr = Some(next("--addr")),
             "--out" => cfg.out_path = next("--out"),
             "--smoke" => smoke = true,
@@ -313,12 +365,15 @@ fn main() {
         let _ = write!(
             json,
             "    {{\"mode\": \"{}\", \"window_us\": {}, \"ok\": {}, \"busy\": {}, \
-             \"errors\": {}, \"achieved_qps\": {:.1}, \"p50_ms\": {:.3}, \
-             \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"batches\": {}, \"avg_batch\": {:.2}}}",
+             \"timeout\": {}, \"cancelled\": {}, \"errors\": {}, \"achieved_qps\": {:.1}, \
+             \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"batches\": {}, \
+             \"avg_batch\": {:.2}}}",
             m.mode,
             m.window_us,
             m.ok,
             m.busy,
+            m.timeout,
+            m.cancelled,
             m.errors,
             m.achieved_qps,
             m.p50_ms,

@@ -48,6 +48,10 @@ pub(crate) fn ancestor_partitions(
     let post = doc.post_column();
     let kind = doc.kind_column();
     let attr = NodeKind::Attribute as u8;
+    // Cooperative stop: tick every visited position, chunk governed
+    // mask-kernel ranges, abandon mid-scan on a trip (partial `result`
+    // is discarded by the caller).
+    let mut gov = crate::governor::Ticker::ambient();
 
     // Pre-size from the pruned-context height bound (the ancestor-side
     // counterpart of the descendant join's Equation-1 pre-sizing): each
@@ -61,6 +65,10 @@ pub(crate) fn ancestor_partitions(
     let mut part_start = start;
     for &c in steps {
         stats.partitions += 1;
+        crate::faults::fail_point("core::anc::partition");
+        if gov.tick(1) {
+            return;
+        }
         let bound = post[c as usize];
         match variant {
             Variant::Basic => {
@@ -68,14 +76,29 @@ pub(crate) fn ancestor_partitions(
                 // counter is arithmetic, so the containment + kind test
                 // runs through the 64-lane mask kernel.
                 stats.nodes_scanned += u64::from(c - part_start);
-                crate::mask::select_where(part_start, c, result, |v| {
-                    post[v as usize] > bound && kind[v as usize] != attr
-                });
+                let mut lo = part_start;
+                while lo < c {
+                    let hi = if gov.active() {
+                        c.min(lo + crate::governor::SCAN_CHUNK)
+                    } else {
+                        c
+                    };
+                    crate::mask::select_where(lo, hi, result, |v| {
+                        post[v as usize] > bound && kind[v as usize] != attr
+                    });
+                    if gov.tick(u64::from(hi - lo)) {
+                        return;
+                    }
+                    lo = hi;
+                }
             }
             Variant::Skipping | Variant::EstimationSkipping => {
                 let mut v = part_start;
                 while v < c {
                     stats.nodes_scanned += 1;
+                    if gov.tick(1) {
+                        return;
+                    }
                     if post[v as usize] > bound {
                         if kind[v as usize] != attr {
                             result.push(v);

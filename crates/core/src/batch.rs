@@ -466,6 +466,10 @@ pub(crate) fn descendant_scan(doc: &Doc, lanes: &mut [Lane], variant: Variant) {
     let events = merged_boundaries(lanes);
     let mut ei = 0usize;
     let mut active: Vec<u32> = Vec::with_capacity(lanes.len());
+    // Governed merged scans stop cooperatively at position granularity;
+    // a trip abandons the whole pass (every lane's partial result is
+    // discarded by the caller).
+    let mut gov = crate::governor::Ticker::ambient();
     let Some(&(mut v, _)) = events.first() else {
         return; // every context pruned to nothing
     };
@@ -501,6 +505,9 @@ pub(crate) fn descendant_scan(doc: &Doc, lanes: &mut [Lane], variant: Variant) {
                 }
                 None => break,
             }
+        }
+        if gov.tick(1) {
+            return;
         }
         // Phase 2: every active lane whose partition was open before v
         // inspects position v. The position is physically read at most
@@ -566,6 +573,7 @@ pub(crate) fn ancestor_scan(doc: &Doc, lanes: &mut [Lane], variant: Variant) {
     let mut ei = 0usize;
     let mut active: Vec<u32> = Vec::with_capacity(lanes.len());
     let mut sleeping: Vec<u32> = Vec::new();
+    let mut gov = crate::governor::Ticker::ambient();
     for (i, lane) in lanes.iter_mut().enumerate() {
         if !lane.steps.is_empty() {
             lane.stats.partitions = lane.steps.len();
@@ -626,6 +634,9 @@ pub(crate) fn ancestor_scan(doc: &Doc, lanes: &mut [Lane], variant: Variant) {
             v = min_wake;
             continue;
         }
+        if gov.tick(1) {
+            return;
+        }
         // Scan position v for every active lane; one physical read,
         // attributed to the first lane that needed it.
         let post_v = post[v as usize];
@@ -684,6 +695,7 @@ pub(crate) fn descendant_list_scan(doc: &Doc, list: &[Pre], lanes: &mut [Lane]) 
     let events = merged_boundaries(lanes);
     let mut ei = 0usize;
     let mut active: Vec<u32> = Vec::with_capacity(lanes.len());
+    let mut gov = crate::governor::Ticker::ambient();
     for lane in lanes.iter_mut() {
         // Every partition is priced exactly like the sequential join's
         // partition loop, even the ones the cursor never reaches.
@@ -717,6 +729,9 @@ pub(crate) fn descendant_list_scan(doc: &Doc, list: &[Pre], lanes: &mut [Lane]) 
                 }
                 None => break,
             }
+        }
+        if gov.tick(1) {
+            return;
         }
         // One physical read of the entry, attributed to the first lane
         // that inspects it.
@@ -760,6 +775,7 @@ pub(crate) fn ancestor_list_scan(doc: &Doc, list: &[Pre], lanes: &mut [Lane]) {
     let post = doc.post_column();
     let mut active: Vec<u32> = Vec::with_capacity(lanes.len());
     let mut sleeping: Vec<u32> = Vec::new();
+    let mut gov = crate::governor::Ticker::ambient();
     for (i, lane) in lanes.iter_mut().enumerate() {
         lane.stats.partitions = lane.steps.len();
         if !lane.steps.is_empty() {
@@ -796,6 +812,9 @@ pub(crate) fn ancestor_list_scan(doc: &Doc, list: &[Pre], lanes: &mut [Lane]) {
             // earliest wake position.
             j += list[j..].partition_point(|&q| q < min_wake);
             continue;
+        }
+        if gov.tick(1) {
+            return;
         }
         let post_p = post[p as usize];
         let mut touched = false;

@@ -114,6 +114,11 @@ pub(crate) fn descendant_partitions(
     let post = doc.post_column();
     let kind = doc.kind_column();
     let attr = NodeKind::Attribute as u8;
+    // Governed scans stop cooperatively: every visited position is
+    // ticked, long mask-kernel ranges are chunked so a deadline cannot
+    // hide behind one huge partition, and a trip abandons the scan
+    // mid-flight (the partial `result` is discarded by the caller).
+    let mut gov = crate::governor::Ticker::ambient();
 
     result.reserve(guaranteed_result_estimate(post, steps, end));
 
@@ -121,6 +126,10 @@ pub(crate) fn descendant_partitions(
         let part_end = steps.get(i + 1).copied().unwrap_or(end);
         debug_assert!(part_end > c);
         stats.partitions += 1;
+        crate::faults::fail_point("core::desc::partition");
+        if gov.tick(1) {
+            return;
+        }
         let bound = post[c as usize];
 
         match variant {
@@ -130,9 +139,21 @@ pub(crate) fn descendant_partitions(
                 // so the counter is arithmetic and the filter runs
                 // through the 64-lane mask kernel.
                 stats.nodes_scanned += u64::from(part_end - c - 1);
-                crate::mask::select_where(c + 1, part_end, result, |v| {
-                    post[v as usize] < bound && kind[v as usize] != attr
-                });
+                let mut lo = c + 1;
+                while lo < part_end {
+                    let hi = if gov.active() {
+                        part_end.min(lo + crate::governor::SCAN_CHUNK)
+                    } else {
+                        part_end
+                    };
+                    crate::mask::select_where(lo, hi, result, |v| {
+                        post[v as usize] < bound && kind[v as usize] != attr
+                    });
+                    if gov.tick(u64::from(hi - lo)) {
+                        return;
+                    }
+                    lo = hi;
+                }
             }
             Variant::Skipping => {
                 // Algorithm 3: the first node v with post(v) ≥ post(c)
@@ -141,6 +162,9 @@ pub(crate) fn descendant_partitions(
                 let mut v = c + 1;
                 while v < part_end {
                     stats.nodes_scanned += 1;
+                    if gov.tick(1) {
+                        return;
+                    }
                     if post[v as usize] < bound {
                         if kind[v as usize] != attr {
                             result.push(v);
@@ -163,13 +187,27 @@ pub(crate) fn descendant_partitions(
                     // guaranteed range whether or not it survives the
                     // attribute filter, so the counter is arithmetic
                     // and the filter is a masked select.
-                    stats.nodes_copied += u64::from(estimate + 1 - v);
-                    crate::mask::select_non_attr(kind, v, estimate + 1, result);
-                    v = estimate + 1;
+                    let copy_end = estimate + 1;
+                    stats.nodes_copied += u64::from(copy_end - v);
+                    while v < copy_end {
+                        let hi = if gov.active() {
+                            copy_end.min(v + crate::governor::SCAN_CHUNK)
+                        } else {
+                            copy_end
+                        };
+                        crate::mask::select_non_attr(kind, v, hi, result);
+                        if gov.tick(u64::from(hi - v)) {
+                            return;
+                        }
+                        v = hi;
+                    }
                 }
                 // Scan phase: at most level(c) ≤ h more descendants.
                 while v < part_end {
                     stats.nodes_scanned += 1;
+                    if gov.tick(1) {
+                        return;
+                    }
                     if post[v as usize] < bound {
                         if kind[v as usize] != attr {
                             result.push(v);

@@ -1,0 +1,456 @@
+//! The query governor: deadlines, cost budgets, and cooperative
+//! cancellation for long staircase scans.
+//!
+//! The staircase join's whole design is long pruned passes over the
+//! pre/post plane — exactly the shape that, on an adversarial or
+//! mis-estimated query, turns into a runaway scan holding a shared
+//! batch (and, one layer up, a server's admission window) hostage. A
+//! [`Budget`] is the antidote: a cheap, shareable token carrying an
+//! optional wall-clock deadline, an optional touched-nodes cost
+//! ceiling, and an atomic cancel flag. Kernels check it **cooperatively
+//! at amortized boundaries** — partition and chunk boundaries in the
+//! plane scans, entry batches in the merged multi-context scans, seek
+//! boundaries in the twig matcher — so the ungoverned fast path pays
+//! one thread-local load per kernel call and a governed scan observes a
+//! trip within [`TICK_GRAIN`] touched nodes (plus one mask-kernel
+//! chunk, [`SCAN_CHUNK`]).
+//!
+//! # Threading model
+//!
+//! The kernels keep their public signatures: a budget is installed as
+//! the thread's *ambient* budget with [`enter`] (an RAII guard restores
+//! the previous one, so nesting and recursion are safe), and each
+//! kernel invocation picks it up with [`Ticker::ambient`]. The worker
+//! pool captures the submitting thread's ambient budget and re-installs
+//! it inside every pooled job, so governance follows the work across
+//! threads (morsel splits, parallel rounds).
+//!
+//! A budget is deliberately *advisory inside* a kernel: once
+//! [`Ticker::tick`] reports a trip the kernel abandons its scan and
+//! returns whatever partial state it has — the **caller** (the lane
+//! executor upstairs) is responsible for discarding the partial result
+//! and surfacing the typed error. Trips latch: the first cause wins and
+//! every later check reports it, so a deadline that fires mid-pass is
+//! still the answer at the round boundary.
+//!
+//! Charging discipline (who counts touched nodes):
+//!
+//! * with an ambient budget installed, the **kernels** charge as they
+//!   scan (that is what makes mid-pass trips prompt);
+//! * without one, the executor charges observed per-lane touches at
+//!   round boundaries — coarser, overshoot bounded by one pass.
+//!
+//! Callers must never do both for the same pass.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a governed execution stopped early. Carried by the latched trip
+/// state of a [`Budget`]; the query layer maps it onto its typed
+/// errors (`DeadlineExceeded` / `BudgetExhausted` / `Cancelled`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trip {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The touched-nodes cost ceiling was exceeded.
+    Cost,
+    /// [`Budget::cancel`] was called.
+    Cancelled,
+}
+
+impl Trip {
+    fn as_u8(self) -> u8 {
+        match self {
+            Trip::Deadline => 1,
+            Trip::Cost => 2,
+            Trip::Cancelled => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Trip> {
+        match v {
+            1 => Some(Trip::Deadline),
+            2 => Some(Trip::Cost),
+            3 => Some(Trip::Cancelled),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Trip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Trip::Deadline => write!(f, "deadline exceeded"),
+            Trip::Cost => write!(f, "cost budget exhausted"),
+            Trip::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// A shareable execution budget: wall-clock deadline + touched-nodes
+/// ceiling + cancel flag, with a latched trip state.
+///
+/// Cheap to share (`Arc<Budget>`) and cheap to check; see the module
+/// docs for the cooperative-checking contract. An unconstrained budget
+/// ([`Budget::new`]) never trips on its own but can still be
+/// [cancelled](Budget::cancel).
+///
+/// ```
+/// use staircase_core::governor::{Budget, Trip};
+/// use std::sync::Arc;
+///
+/// let b = Arc::new(Budget::new().with_max_touched(100));
+/// assert_eq!(b.charge(64), None);
+/// assert_eq!(b.charge(64), Some(Trip::Cost));
+/// // Trips latch: later checks keep reporting the first cause.
+/// b.cancel();
+/// assert_eq!(b.check(), Some(Trip::Cost));
+/// ```
+#[derive(Debug, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    max_touched: Option<u64>,
+    touched: AtomicU64,
+    cancelled: AtomicBool,
+    /// Latched first trip (0 = none, else `Trip::as_u8`).
+    tripped: AtomicU8,
+}
+
+impl Budget {
+    /// An unconstrained budget: no deadline, no cost ceiling. Useful as
+    /// a pure cancellation token.
+    pub fn new() -> Budget {
+        Budget::default()
+    }
+
+    /// Caps execution at the wall-clock instant `deadline`.
+    pub fn with_deadline(mut self, deadline: Instant) -> Budget {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Caps execution `timeout` from now.
+    pub fn with_deadline_in(self, timeout: Duration) -> Budget {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// Caps the number of touched nodes (the kernels' incremental
+    /// `nodes_touched` unit) at `max`.
+    pub fn with_max_touched(mut self, max: u64) -> Budget {
+        self.max_touched = Some(max);
+        self
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Requests cooperative cancellation: the next check (on whatever
+    /// thread is running the work) trips with [`Trip::Cancelled`].
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Has [`Budget::cancel`] been called?
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Total nodes charged so far.
+    pub fn touched(&self) -> u64 {
+        self.touched.load(Ordering::Relaxed)
+    }
+
+    /// Adds `n` touched nodes **without** checking limits — the
+    /// [`Ticker`]'s drop-flush, so partial tick grains still count.
+    pub fn add_touched(&self, n: u64) {
+        if n > 0 {
+            self.touched.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Charges `n` touched nodes and runs a full check.
+    pub fn charge(&self, n: u64) -> Option<Trip> {
+        self.add_touched(n);
+        self.check()
+    }
+
+    /// The full cooperative check: latched trip, then cancel flag, then
+    /// deadline (one clock read), then cost ceiling. The first failing
+    /// condition latches and is returned; `None` means keep going.
+    pub fn check(&self) -> Option<Trip> {
+        if let Some(t) = self.trip() {
+            return Some(t);
+        }
+        if self.cancelled.load(Ordering::Relaxed) {
+            return Some(self.latch(Trip::Cancelled));
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Some(self.latch(Trip::Deadline));
+            }
+        }
+        if let Some(max) = self.max_touched {
+            if self.touched.load(Ordering::Relaxed) > max {
+                return Some(self.latch(Trip::Cost));
+            }
+        }
+        None
+    }
+
+    /// The clock-free check: latched trip and cancel flag only. What a
+    /// sub-grain [`Ticker::tick`] pays.
+    pub fn quick_check(&self) -> Option<Trip> {
+        if let Some(t) = self.trip() {
+            return Some(t);
+        }
+        if self.cancelled.load(Ordering::Relaxed) {
+            return Some(self.latch(Trip::Cancelled));
+        }
+        None
+    }
+
+    /// The latched trip state, if any — no new conditions are
+    /// evaluated.
+    pub fn trip(&self) -> Option<Trip> {
+        Trip::from_u8(self.tripped.load(Ordering::Relaxed))
+    }
+
+    /// Latches `t` as the trip cause unless one is already latched;
+    /// returns the winning cause either way.
+    fn latch(&self, t: Trip) -> Trip {
+        let _ = self
+            .tripped
+            .compare_exchange(0, t.as_u8(), Ordering::Relaxed, Ordering::Relaxed);
+        self.trip().unwrap_or(t)
+    }
+}
+
+thread_local! {
+    /// The thread's ambient budget; see [`enter`].
+    static AMBIENT: RefCell<Option<Arc<Budget>>> = const { RefCell::new(None) };
+}
+
+/// Installs `budget` as this thread's ambient budget for the guard's
+/// lifetime; the previous ambient budget (if any) is restored on drop,
+/// so scopes nest and survive panics.
+#[must_use = "the budget is uninstalled when the guard drops"]
+pub fn enter(budget: Arc<Budget>) -> AmbientGuard {
+    AMBIENT.with(|cell| AmbientGuard {
+        prev: cell.replace(Some(budget)),
+    })
+}
+
+/// The budget installed on this thread by the innermost live [`enter`]
+/// guard, if any.
+pub fn current() -> Option<Arc<Budget>> {
+    AMBIENT.with(|cell| cell.borrow().clone())
+}
+
+/// RAII guard of [`enter`]: restores the previously ambient budget.
+#[derive(Debug)]
+pub struct AmbientGuard {
+    prev: Option<Arc<Budget>>,
+}
+
+impl Drop for AmbientGuard {
+    fn drop(&mut self) {
+        AMBIENT.with(|cell| {
+            *cell.borrow_mut() = self.prev.take();
+        });
+    }
+}
+
+/// How many touched nodes a [`Ticker`] accumulates before paying a full
+/// budget check (one clock read). Small enough that a 50 ms deadline is
+/// honored with single-digit-millisecond overshoot on any realistic
+/// scan rate, large enough to amortize to noise.
+pub const TICK_GRAIN: u64 = 4096;
+
+/// How many positions a governed mask-kernel range is chunked into per
+/// check. The 64-lane bitmask kernels take whole ranges; under a budget
+/// the partition loops split those ranges at this stride and tick
+/// between chunks, so even a document-spanning single partition cannot
+/// overshoot a deadline by more than one chunk.
+pub const SCAN_CHUNK: u32 = 8192;
+
+/// A kernel's per-invocation view of the ambient budget: accumulates
+/// touch charges and checks the budget every [`TICK_GRAIN`] units.
+///
+/// With no ambient budget installed, [`Ticker::tick`] is one branch —
+/// the ungoverned fast path. On drop, any sub-grain remainder is
+/// flushed into the budget's touched counter (unchecked), so accounting
+/// stays exact.
+#[derive(Debug)]
+pub struct Ticker {
+    budget: Option<Arc<Budget>>,
+    pending: u64,
+}
+
+impl Ticker {
+    /// A ticker against this thread's ambient budget ([`current`]);
+    /// inert when none is installed.
+    pub fn ambient() -> Ticker {
+        Ticker {
+            budget: current(),
+            pending: 0,
+        }
+    }
+
+    /// A ticker against an explicit budget (`None` = inert).
+    pub fn for_budget(budget: Option<Arc<Budget>>) -> Ticker {
+        Ticker { budget, pending: 0 }
+    }
+
+    /// Is there a budget to enforce? Kernels use this to decide whether
+    /// big mask-kernel ranges need chunking ([`SCAN_CHUNK`]).
+    pub fn active(&self) -> bool {
+        self.budget.is_some()
+    }
+
+    /// Charges `n` touched units and reports whether the budget has
+    /// tripped. Every [`TICK_GRAIN`] accumulated units pays a full
+    /// check (deadline included); in between, only the latched-trip and
+    /// cancel flags are read. `true` means *stop now*: abandon the scan
+    /// and return — the caller discards the partial result.
+    #[inline]
+    pub fn tick(&mut self, n: u64) -> bool {
+        let Some(budget) = &self.budget else {
+            return false;
+        };
+        self.pending += n;
+        if self.pending >= TICK_GRAIN {
+            let charge = std::mem::take(&mut self.pending);
+            budget.charge(charge).is_some()
+        } else {
+            budget.quick_check().is_some()
+        }
+    }
+
+    /// Has the underlying budget tripped (latched)?
+    pub fn tripped(&self) -> bool {
+        self.budget.as_ref().is_some_and(|b| b.trip().is_some())
+    }
+}
+
+impl Drop for Ticker {
+    fn drop(&mut self) {
+        if let Some(budget) = &self.budget {
+            budget.add_touched(std::mem::take(&mut self.pending));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_budget_never_trips() {
+        let b = Budget::new();
+        assert_eq!(b.check(), None);
+        assert_eq!(b.charge(1 << 40), None);
+        assert_eq!(b.trip(), None);
+    }
+
+    #[test]
+    fn cost_ceiling_trips_and_latches() {
+        let b = Budget::new().with_max_touched(100);
+        assert_eq!(b.charge(100), None, "at the ceiling is still fine");
+        assert_eq!(b.charge(1), Some(Trip::Cost));
+        assert_eq!(b.touched(), 101);
+        // Latched: cancel after the fact does not change the cause.
+        b.cancel();
+        assert_eq!(b.check(), Some(Trip::Cost));
+        assert_eq!(b.trip(), Some(Trip::Cost));
+    }
+
+    #[test]
+    fn expired_deadline_trips_immediately() {
+        let b = Budget::new().with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(b.check(), Some(Trip::Deadline));
+        let b = Budget::new().with_deadline_in(Duration::from_secs(3600));
+        assert_eq!(b.check(), None);
+    }
+
+    #[test]
+    fn cancellation_is_cross_thread_visible() {
+        let b = Arc::new(Budget::new());
+        assert_eq!(b.quick_check(), None);
+        let b2 = Arc::clone(&b);
+        std::thread::spawn(move || b2.cancel()).join().unwrap();
+        assert!(b.is_cancelled());
+        assert_eq!(b.quick_check(), Some(Trip::Cancelled));
+    }
+
+    #[test]
+    fn ambient_scopes_nest_and_restore() {
+        assert!(current().is_none());
+        let outer = Arc::new(Budget::new().with_max_touched(1));
+        let inner = Arc::new(Budget::new().with_max_touched(2));
+        {
+            let _g1 = enter(Arc::clone(&outer));
+            assert!(Arc::ptr_eq(&current().unwrap(), &outer));
+            {
+                let _g2 = enter(Arc::clone(&inner));
+                assert!(Arc::ptr_eq(&current().unwrap(), &inner));
+            }
+            assert!(Arc::ptr_eq(&current().unwrap(), &outer));
+        }
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn ticker_amortizes_charges_and_flushes_on_drop() {
+        let b = Arc::new(Budget::new());
+        {
+            let _g = enter(Arc::clone(&b));
+            let mut t = Ticker::ambient();
+            assert!(t.active());
+            // Sub-grain ticks don't hit the shared counter yet...
+            for _ in 0..10 {
+                assert!(!t.tick(100));
+            }
+            assert_eq!(b.touched(), 0);
+            // ...until the grain rolls over.
+            assert!(!t.tick(TICK_GRAIN));
+            assert!(b.touched() >= TICK_GRAIN);
+            // The remainder flushes when the ticker drops.
+        }
+        assert_eq!(b.touched(), 1000 + TICK_GRAIN);
+    }
+
+    #[test]
+    fn ticker_reports_trips_promptly() {
+        let b = Arc::new(Budget::new().with_max_touched(TICK_GRAIN));
+        let _g = enter(Arc::clone(&b));
+        let mut t = Ticker::ambient();
+        let mut stopped_at = None;
+        for i in 0..10 {
+            if t.tick(TICK_GRAIN) {
+                stopped_at = Some(i);
+                break;
+            }
+        }
+        // The ceiling is one grain: the second full-grain tick trips.
+        assert_eq!(stopped_at, Some(1));
+        assert_eq!(b.trip(), Some(Trip::Cost));
+        // Cancellation is seen on the very next (sub-grain) tick.
+        let c = Arc::new(Budget::new());
+        let mut t = Ticker::for_budget(Some(Arc::clone(&c)));
+        assert!(!t.tick(1));
+        c.cancel();
+        assert!(t.tick(1));
+    }
+
+    #[test]
+    fn inert_ticker_is_free_and_never_stops() {
+        let mut t = Ticker::ambient();
+        assert!(!t.active());
+        assert!(!t.tick(u64::MAX / 2));
+        assert!(!t.tripped());
+    }
+}

@@ -40,9 +40,23 @@ pub fn following(doc: &Doc, context: &Context) -> (Context, StepStats) {
     let mut result = Vec::with_capacity(n.saturating_sub(start) as usize);
     // The whole suffix is copied position by position whatever the
     // attribute filter says, so the counter is arithmetic and the
-    // filter is a masked select.
+    // filter is a masked select — chunked when governed so a trip
+    // cannot hide behind one plane-sized copy.
     stats.nodes_copied = u64::from(n.saturating_sub(start));
-    crate::mask::select_non_attr(kind, start.min(n), n, &mut result);
+    let mut gov = crate::governor::Ticker::ambient();
+    let mut lo = start.min(n);
+    while lo < n {
+        let hi = if gov.active() {
+            n.min(lo + crate::governor::SCAN_CHUNK)
+        } else {
+            n
+        };
+        crate::mask::select_non_attr(kind, lo, hi, &mut result);
+        if gov.tick(u64::from(hi - lo)) {
+            break;
+        }
+        lo = hi;
+    }
     stats.result_size = result.len();
     (Context::from_sorted(result), stats)
 }
@@ -65,9 +79,13 @@ pub fn preceding(doc: &Doc, context: &Context) -> (Context, StepStats) {
     let attr = NodeKind::Attribute as u8;
     let bound = post[c as usize];
     let mut result = Vec::new();
+    let mut gov = crate::governor::Ticker::ambient();
     let mut v: Pre = 0;
-    while v < c {
+    'scan: while v < c {
         stats.nodes_scanned += 1;
+        if gov.tick(1) {
+            break;
+        }
         if post[v as usize] < bound {
             // v precedes c — and so does v's entire subtree, which cannot
             // contain c. Copy the guaranteed block without comparisons.
@@ -76,10 +94,24 @@ pub fn preceding(doc: &Doc, context: &Context) -> (Context, StepStats) {
             }
             let run = post[v as usize].saturating_sub(v).min(c - v - 1);
             // Guaranteed-block copy: every run position is charged, so
-            // the attribute filter runs through the mask kernel.
+            // the attribute filter runs through the mask kernel —
+            // chunked when governed.
             stats.nodes_copied += u64::from(run);
-            crate::mask::select_non_attr(kind, v + 1, v + 1 + run, &mut result);
-            v += 1 + run;
+            let run_end = v + 1 + run;
+            let mut lo = v + 1;
+            while lo < run_end {
+                let hi = if gov.active() {
+                    run_end.min(lo + crate::governor::SCAN_CHUNK)
+                } else {
+                    run_end
+                };
+                crate::mask::select_non_attr(kind, lo, hi, &mut result);
+                if gov.tick(u64::from(hi - lo)) {
+                    break 'scan;
+                }
+                lo = hi;
+            }
+            v = run_end;
         } else {
             // v is an ancestor of c: inspect it alone and move on.
             v += 1;
@@ -118,10 +150,25 @@ pub fn following_many(
         .collect();
     let widest = starts.iter().flatten().map(|&(_, s)| s).min();
 
-    // The one shared scan, from the earliest region start.
+    // The one shared scan, from the earliest region start — chunked
+    // when governed; a trip leaves `base` (and thus every lane) partial,
+    // which the governed caller discards.
     let mut base = scratch.take();
     if let Some(start) = widest {
-        crate::mask::select_non_attr(kind, start, n, &mut base);
+        let mut gov = crate::governor::Ticker::ambient();
+        let mut lo = start;
+        while lo < n {
+            let hi = if gov.active() {
+                n.min(lo + crate::governor::SCAN_CHUNK)
+            } else {
+                n
+            };
+            crate::mask::select_non_attr(kind, lo, hi, &mut base);
+            if gov.tick(u64::from(hi - lo)) {
+                break;
+            }
+            lo = hi;
+        }
     }
 
     // The scan's physical reads go to the first lane with the widest
@@ -223,6 +270,7 @@ fn preceding_scan_range(
     let attr = NodeKind::Attribute as u8;
     let mut scanned = 0u64;
     let mut copied = 0u64;
+    let mut gov = crate::governor::Ticker::ambient();
     let mut v = from;
 
     if from > 0 {
@@ -255,6 +303,9 @@ fn preceding_scan_range(
                 // Mid-run: finish the covered stretch that falls in range.
                 for w in from..=run_end.min(to.saturating_sub(1)) {
                     copied += 1;
+                    if gov.tick(1) {
+                        return (scanned, copied);
+                    }
                     if kind[w as usize] != attr {
                         for r in &mut results[lo..] {
                             r.push(w);
@@ -276,6 +327,9 @@ fn preceding_scan_range(
         }
         let first = uniq[lo];
         scanned += 1;
+        if gov.tick(1) {
+            return (scanned, copied);
+        }
         if post[v as usize] < post[first as usize] {
             // v precedes the earliest active boundary — and therefore
             // every later one. Copy v and its guaranteed subtree block to
@@ -291,6 +345,9 @@ fn preceding_scan_range(
             let stop = (v + run).min(to.saturating_sub(1));
             for w in v + 1..=stop {
                 copied += 1;
+                if gov.tick(1) {
+                    return (scanned, copied);
+                }
                 if kind[w as usize] != attr {
                     for r in &mut results[lo..] {
                         r.push(w);

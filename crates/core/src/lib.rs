@@ -89,6 +89,37 @@
 //! filters wide enough to amortize it ever trigger one; planned steps
 //! whose tests take the masked path carry a `[mask]` marker in
 //! `--explain` output.
+//!
+//! ## Failure model
+//!
+//! The kernels themselves are infallible over valid planes — they
+//! neither allocate fallibly nor touch I/O — but two *external* stop
+//! conditions thread through them:
+//!
+//! * **Governed stops** ([`governor`]): when an ambient
+//!   [`governor::Budget`] is installed, every scan checks it at
+//!   amortized boundaries (partitions, [`governor::SCAN_CHUNK`]-sized
+//!   mask chunks, merged-scan positions, twig seeks) and **abandons the
+//!   pass** on a trip, returning partial state. Partial results are
+//!   *garbage by contract*: only the layer that installed the budget
+//!   (the lane executor upstairs) may interpret them, and it discards
+//!   them and reports the typed trip cause instead. A budget trips at
+//!   most once (latched) and never un-trips.
+//! * **Panics** ([`WorkerPool`]): a panicking pooled job is caught at
+//!   the task boundary. [`WorkerPool::run`] re-raises the first payload
+//!   after the batch drains (legacy contract);
+//!   [`WorkerPool::run_caught`] returns per-job `Result`s so a caller
+//!   can fail one job's query and keep its siblings — either way the
+//!   pool's threads survive and the pool stays reusable. Scratch
+//!   buffers held by a panicked task are dropped, not poisoned; the
+//!   bounded [`Scratch`] pools simply re-grow.
+//!
+//! What survives what: a governed trip loses only the tripped pass's
+//! partial output; a pooled panic loses only that task's batch slot;
+//! the [`WorkerPool`], [`ScratchPool`], cached [`TagIndex`], and the
+//! document itself remain valid in every case. Fault-injection hooks
+//! for exercising these paths live in [`faults`] (compiled out unless
+//! `--cfg stair_faults`).
 
 #![warn(missing_docs)]
 #![cfg_attr(stair_simd, feature(portable_simd))]
@@ -99,6 +130,8 @@ mod batch;
 pub mod cost;
 mod desc;
 mod exists;
+pub mod faults;
+pub mod governor;
 mod horiz;
 mod list;
 pub mod mask;
@@ -120,6 +153,7 @@ pub use exists::{
     has_child_in_many, has_child_in_many_par, has_descendant_in, has_descendant_in_many,
     has_descendant_in_many_par,
 };
+pub use governor::{Budget, Trip};
 pub use horiz::{
     following, following_many, following_many_par, preceding, preceding_many, preceding_many_par,
 };

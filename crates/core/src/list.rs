@@ -481,10 +481,14 @@ pub(crate) fn descendant_list_partitions(
     stats: &mut StepStats,
 ) {
     let post = doc.post_column();
+    let mut gov = crate::governor::Ticker::ambient();
     let mut j = 0usize; // cursor into `list`
     for (i, &c) in steps.iter().enumerate() {
         let part_end = steps.get(i + 1).copied().unwrap_or(end);
         stats.partitions += 1;
+        if gov.tick(1) {
+            return;
+        }
         let bound = post[c as usize];
         // First list entry inside the partition (list and steps both
         // ascend, so the cursor only moves forward).
@@ -494,6 +498,9 @@ pub(crate) fn descendant_list_partitions(
                 break;
             }
             stats.nodes_scanned += 1;
+            if gov.tick(1) {
+                return;
+            }
             if post[p as usize] < bound {
                 result.push(p);
                 j += 1;
@@ -540,10 +547,14 @@ pub(crate) fn ancestor_list_partitions(
     stats: &mut StepStats,
 ) {
     let post = doc.post_column();
+    let mut gov = crate::governor::Ticker::ambient();
     let mut j = 0usize;
     let mut part_start: Pre = start;
     for &c in steps {
         stats.partitions += 1;
+        if gov.tick(1) {
+            return;
+        }
         let bound = post[c as usize];
         j += list[j..].partition_point(|&p| p < part_start);
         while let Some(&p) = list.get(j) {
@@ -551,6 +562,9 @@ pub(crate) fn ancestor_list_partitions(
                 break;
             }
             stats.nodes_scanned += 1;
+            if gov.tick(1) {
+                return;
+            }
             if post[p as usize] > bound {
                 result.push(p);
                 j += 1;

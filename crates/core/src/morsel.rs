@@ -276,7 +276,11 @@ fn exec_desc_morsel(
     let kind = doc.kind_column();
     let attr = NodeKind::Attribute as u8;
     let skip_on_miss = variant != Variant::Basic;
+    // Workers inherit the submitting lane's budget (the pool installs it
+    // ambiently); a trip abandons the morsel mid-slice.
+    let mut gov = crate::governor::Ticker::ambient();
     for s in slices {
+        crate::faults::fail_point("core::morsel::exec");
         let mut v = s.from;
         // The slice's copy prefix charges every position, so the
         // attribute filter runs through the 64-lane mask kernel; the
@@ -284,11 +288,24 @@ fn exec_desc_morsel(
         if v <= s.copy_end {
             let copy_to = s.to.min(s.copy_end + 1);
             stats.nodes_copied += u64::from(copy_to - v);
-            crate::mask::select_non_attr(kind, v, copy_to, result);
-            v = copy_to;
+            while v < copy_to {
+                let hi = if gov.active() {
+                    copy_to.min(v + crate::governor::SCAN_CHUNK)
+                } else {
+                    copy_to
+                };
+                crate::mask::select_non_attr(kind, v, hi, result);
+                if gov.tick(u64::from(hi - v)) {
+                    return;
+                }
+                v = hi;
+            }
         }
         while v < s.to {
             stats.nodes_scanned += 1;
+            if gov.tick(1) {
+                return;
+            }
             if post[v as usize] < s.bound {
                 if kind[v as usize] != attr {
                     result.push(v);
@@ -435,10 +452,15 @@ fn exec_list_morsel(
     stats: &mut StepStats,
 ) {
     let post = doc.post_column();
+    let mut gov = crate::governor::Ticker::ambient();
     for s in slices {
+        crate::faults::fail_point("core::morsel::exec");
         for j in s.j_from..s.j_to {
             let p = list[j];
             stats.nodes_scanned += 1;
+            if gov.tick(1) {
+                return;
+            }
             if post[p as usize] < s.bound {
                 result.push(p);
             } else {

@@ -25,9 +25,16 @@
 //!   round fanning a kernel out into morsels). The nested caller drains
 //!   the shared queue while waiting, so progress is always possible and
 //!   the pool cannot deadlock on its own tasks.
-//! * **Panics propagate**: a panicking job poisons nothing; the first
-//!   payload is re-raised on the calling thread after the whole batch has
-//!   drained.
+//! * **Panics propagate — or are caught**: a panicking job poisons
+//!   nothing; [`WorkerPool::run`] re-raises the first payload on the
+//!   calling thread after the whole batch has drained, while
+//!   [`WorkerPool::run_caught`] returns per-job
+//!   [`std::thread::Result`]s so a caller can fail one job's query and
+//!   keep the rest.
+//! * **Governance propagates**: both entry points capture the
+//!   submitting thread's ambient [`crate::governor::Budget`] and
+//!   install it around every job, so governed kernels keep ticking
+//!   inside workers.
 //!
 //! [`ScratchPool`] is the companion buffer-pool shard set: one
 //! [`Scratch`] per slot, handed out by a `try_lock` sweep so concurrent
@@ -71,8 +78,6 @@ struct Batch {
     remaining: Mutex<usize>,
     /// Signalled when `remaining` reaches zero.
     done: Condvar,
-    /// First panic payload raised by a job of this batch.
-    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
 /// A persistent pool of worker threads executing borrowed closures.
@@ -145,23 +150,62 @@ impl WorkerPool {
     ///
     /// # Panics
     ///
-    /// Re-raises the first panic any job of the batch raised, after all
-    /// jobs have drained.
+    /// Re-raises the first (in input order) panic any job of the batch
+    /// raised, after all jobs have drained. Callers that must survive a
+    /// panicking job use [`WorkerPool::run_caught`] instead.
     pub fn run<'env, T, F>(&self, jobs: Vec<F>) -> Vec<T>
     where
         T: Send + 'env,
         F: FnOnce() -> T + Send + 'env,
     {
+        let mut out = Vec::with_capacity(jobs.len());
+        for result in self.run_caught(jobs) {
+            match result {
+                Ok(value) => out.push(value),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    }
+
+    /// Like [`WorkerPool::run`], but panic-isolating: each job's outcome
+    /// comes back as a [`std::thread::Result`], a panicking job
+    /// surrendering its payload in place instead of unwinding through
+    /// the caller. The whole batch always drains — one bad job cannot
+    /// starve the others — and the pool stays fully reusable afterwards.
+    ///
+    /// Every job additionally inherits the *submitting* thread's ambient
+    /// [`crate::governor::Budget`] (if any): the budget is captured here
+    /// and installed around the job body wherever it runs, so governed
+    /// kernels keep ticking inside pool workers.
+    pub fn run_caught<'env, T, F>(&self, jobs: Vec<F>) -> Vec<std::thread::Result<T>>
+    where
+        T: Send + 'env,
+        F: FnOnce() -> T + Send + 'env,
+    {
+        let ambient = crate::governor::current();
+        let govern = |job: F| {
+            let ambient = ambient.clone();
+            move || {
+                crate::faults::fail_point("core::pool::task");
+                let _guard = ambient.map(crate::governor::enter);
+                job()
+            }
+        };
         if self.width == 1 || jobs.len() <= 1 {
-            return jobs.into_iter().map(|job| job()).collect();
+            // Sequential fast path: still catching, still governed, so
+            // the isolation contract does not depend on pool width.
+            return jobs
+                .into_iter()
+                .map(|job| std::panic::catch_unwind(AssertUnwindSafe(govern(job))))
+                .collect();
         }
 
         let n = jobs.len();
-        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut slots: Vec<Option<std::thread::Result<T>>> = (0..n).map(|_| None).collect();
         let batch = Arc::new(Batch {
             remaining: Mutex::new(n),
             done: Condvar::new(),
-            panic: Mutex::new(None),
         });
 
         {
@@ -170,31 +214,26 @@ impl WorkerPool {
             // below), so handing them across threads is sound.
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             for (slot, job) in slots.iter_mut().zip(jobs) {
-                let slot = SlotPtr(slot as *mut Option<T>);
+                let slot = SlotPtr(slot as *mut Option<std::thread::Result<T>>);
                 let batch = Arc::clone(&batch);
+                let job = govern(job);
                 let task: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
                     let slot = slot;
                     let outcome = std::panic::catch_unwind(AssertUnwindSafe(job));
-                    match outcome {
-                        // SAFETY: each wrapped job owns a distinct slot of
-                        // `slots`, which `run` keeps alive until the batch
-                        // completes below.
-                        Ok(value) => unsafe { *slot.0 = Some(value) },
-                        Err(payload) => {
-                            let mut first = batch.panic.lock().unwrap_or_else(|e| e.into_inner());
-                            first.get_or_insert(payload);
-                        }
-                    }
+                    // SAFETY: each wrapped job owns a distinct slot of
+                    // `slots`, which `run_caught` keeps alive until the
+                    // batch completes below.
+                    unsafe { *slot.0 = Some(outcome) };
                     let mut remaining = batch.remaining.lock().unwrap_or_else(|e| e.into_inner());
                     *remaining -= 1;
                     if *remaining == 0 {
                         batch.done.notify_all();
                     }
                 });
-                // SAFETY: `run` does not return before `remaining` hits
-                // zero, i.e. before every queued task has finished running
-                // — nothing the closure borrows can be dropped while the
-                // erased lifetime is live.
+                // SAFETY: `run_caught` does not return before `remaining`
+                // hits zero, i.e. before every queued task has finished
+                // running — nothing the closure borrows can be dropped
+                // while the erased lifetime is live.
                 let task: Job =
                     unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(task) };
                 queue.jobs.push_back(task);
@@ -228,10 +267,6 @@ impl WorkerPool {
         }
         drop(remaining);
 
-        let payload = batch.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
-        if let Some(payload) = payload {
-            std::panic::resume_unwind(payload);
-        }
         slots
             .into_iter()
             .map(|slot| slot.expect("every completed job wrote its slot"))
@@ -444,6 +479,55 @@ mod tests {
         assert!(outcome.is_err(), "the job's panic must reach the caller");
         // The pool survives a panicked batch.
         assert_eq!(pool.run(vec![|| 7u64]), vec![7]);
+    }
+
+    #[test]
+    fn run_caught_isolates_panics_per_job() {
+        for width in [1, 3] {
+            let pool = WorkerPool::new(width);
+            let results = pool.run_caught(
+                (0..6u64)
+                    .map(|i| {
+                        move || {
+                            assert!(i != 3, "job three fails");
+                            i * 2
+                        }
+                    })
+                    .collect(),
+            );
+            assert_eq!(results.len(), 6);
+            for (i, r) in results.iter().enumerate() {
+                if i == 3 {
+                    assert!(r.is_err(), "width {width}: job 3 must fail alone");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i as u64 * 2, "width {width}");
+                }
+            }
+            // The pool stays reusable.
+            assert_eq!(pool.run(vec![|| 9u64]), vec![9]);
+        }
+    }
+
+    #[test]
+    fn jobs_inherit_the_submitters_ambient_budget() {
+        use crate::governor::{self, Budget};
+        for width in [1, 4] {
+            let pool = WorkerPool::new(width);
+            let budget = Arc::new(Budget::new());
+            let _guard = governor::enter(Arc::clone(&budget));
+            let seen = pool.run(
+                (0..8)
+                    .map(|_| {
+                        let want = Arc::clone(&budget);
+                        move || governor::current().is_some_and(|b| Arc::ptr_eq(&b, &want))
+                    })
+                    .collect(),
+            );
+            assert!(
+                seen.iter().all(|&ok| ok),
+                "width {width}: every job must see the submitter's budget"
+            );
+        }
     }
 
     #[test]

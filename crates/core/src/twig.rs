@@ -100,6 +100,10 @@ struct Matcher<'d> {
     doc: &'d Doc,
     post: &'d [Post],
     stats: StepStats,
+    /// Cooperative stop at seek granularity: on a trip probes answer
+    /// `false` and scans bail, so the (garbage) partial result is
+    /// produced quickly and discarded by the governed caller.
+    gov: crate::governor::Ticker,
 }
 
 impl<'d> Matcher<'d> {
@@ -113,7 +117,11 @@ impl<'d> Matcher<'d> {
     /// `p` occupy a contiguous pre range starting right after `p`, so
     /// one gallop plus one containment compare decides it.
     fn has_desc_in(&mut self, list: &[Pre], p: Pre) -> bool {
+        crate::faults::fail_point("core::twig::seek");
         self.stats.seeks += 1;
+        if self.gov.tick(1) {
+            return false;
+        }
         let idx = list.partition_point(|&q| q <= p);
         match list.get(idx) {
             Some(&q) => {
@@ -129,13 +137,20 @@ impl<'d> Matcher<'d> {
     /// deeper entry (the ancestor-join skip idiom), so each touched
     /// entry sits in a distinct child subtree of `p`.
     fn has_child_in(&mut self, list: &[Pre], p: Pre) -> bool {
+        crate::faults::fail_point("core::twig::seek");
         self.stats.seeks += 1;
+        if self.gov.tick(1) {
+            return false;
+        }
         let mut j = list.partition_point(|&q| q <= p);
         while let Some(&q) = list.get(j) {
             if !self.is_desc(p, q) {
                 return false;
             }
             self.stats.nodes_scanned += 1;
+            if self.gov.tick(1) {
+                return false;
+            }
             if self.doc.parent(q) == p {
                 return true;
             }
@@ -167,6 +182,9 @@ impl<'d> Matcher<'d> {
             let mut filtered = Vec::new();
             for &p in chain[j].list {
                 self.stats.nodes_scanned += 1;
+                if self.gov.tick(1) {
+                    return Cow::Owned(Vec::new());
+                }
                 if self.edge_probe(edge, &valid, p) {
                     filtered.push(p);
                 }
@@ -281,15 +299,21 @@ impl<'d> Matcher<'d> {
     /// every node has one parent).
     fn children_on_list(&mut self, list: &[Pre], parents: &[Pre]) -> Vec<Pre> {
         let mut out = Vec::new();
-        for &c in parents {
+        'parents: for &c in parents {
             self.stats.seeks += 1;
             self.stats.partitions += 1;
+            if self.gov.tick(1) {
+                break;
+            }
             let mut j = list.partition_point(|&q| q <= c);
             while let Some(&q) = list.get(j) {
                 if !self.is_desc(c, q) {
                     break;
                 }
                 self.stats.nodes_scanned += 1;
+                if self.gov.tick(1) {
+                    break 'parents;
+                }
                 if self.doc.parent(q) == c {
                     out.push(q);
                     j += 1;
@@ -340,6 +364,7 @@ pub fn twig_match(doc: &Doc, spine: &[SpineLeg<'_>], context: &Context) -> (Cont
             context_out: context.len(),
             ..Default::default()
         },
+        gov: crate::governor::Ticker::ambient(),
     };
 
     // The pruned staircase is shared by pivot anchoring and the
@@ -409,6 +434,9 @@ pub fn twig_match(doc: &Doc, spine: &[SpineLeg<'_>], context: &Context) -> (Cont
         let mut anc_buf = Vec::new();
         for &v in legs[pivot_idx].list {
             m.stats.nodes_scanned += 1;
+            if m.gov.tick(1) {
+                break;
+            }
             if !m.chains_ok(&legs[pivot_idx], v) {
                 continue;
             }
@@ -423,7 +451,7 @@ pub fn twig_match(doc: &Doc, spine: &[SpineLeg<'_>], context: &Context) -> (Cont
     // leg, chain-filtering every intermediate frontier.
     let mut current = anchored;
     for leg in &legs[pivot_idx + 1..] {
-        if current.is_empty() {
+        if current.is_empty() || m.gov.tick(1) {
             break;
         }
         let mut next = Vec::new();
@@ -662,6 +690,7 @@ mod tests {
             doc: &doc,
             post: doc.post_column(),
             stats: StepStats::default(),
+            gov: crate::governor::Ticker::ambient(),
         };
         let root = doc.root();
         // Empty list: no descendant, no child, regardless of the probe.

@@ -22,13 +22,26 @@
 //! the batcher refuses new work ([`SubmitError::ShuttingDown`]) but
 //! drains everything already admitted — an accepted query is always
 //! answered.
+//!
+//! Two per-query refinements on top of the round discipline:
+//!
+//! * **Deadline-aware admission**: every pending query carries its
+//!   governor [`Budget`]; one whose deadline expired (or that was
+//!   cancelled) while it sat in the queue is answered with the typed
+//!   error at drain time and never takes a batch slot.
+//! * **Per-client fairness**: when a drain has to leave work queued
+//!   (more than `max_batch` pending), the batch is filled round-robin
+//!   across the submitting connections rather than strictly FIFO, so
+//!   one client flooding the queue cannot starve the others — each
+//!   client's own queries still run in its submission order.
 
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use staircase_xpath::{Engine, Error, Query, QueryOutput, Session};
+use staircase_xpath::{faults, Budget, Engine, Error, Query, QueryOutput, Session, Trip};
 
 use crate::metrics::Metrics;
 use crate::shutdown::Shutdown;
@@ -43,17 +56,32 @@ pub(crate) struct Pending {
     /// Where the connection thread waits for the answer.
     pub reply: Sender<Reply>,
     /// Enqueue time: the admission window is measured from the round's
-    /// first entry.
+    /// oldest entry.
     pub at: Instant,
+    /// The query's governor budget — deadline, cost ceiling,
+    /// cancellation — shared with the connection thread (which flips
+    /// the cancel flag on a `CANCEL` frame or hangup).
+    pub budget: Arc<Budget>,
+    /// The submitting connection's id, for the fair drain.
+    pub client: u64,
+}
+
+/// Maps a budget trip to the typed query-path error.
+pub(crate) fn trip_to_error(trip: Trip) -> Error {
+    match trip {
+        Trip::Deadline => Error::DeadlineExceeded,
+        Trip::Cost => Error::BudgetExhausted,
+        Trip::Cancelled => Error::Cancelled,
+    }
 }
 
 /// What a connection gets back: the output plus the size of the shared
 /// pass it rode in, or the (parse) error that kept it out of one.
 pub(crate) type Reply = Result<(QueryOutput, usize), Error>;
 
-/// One engine's slice of a drained batch: the prepared queries and the
-/// reply channels riding the same shared pass.
-type EngineGroup<'s> = (Engine, Vec<(Query<'s>, Sender<Reply>)>);
+/// One engine's slice of a drained batch: the prepared queries, reply
+/// channels, and budgets riding the same shared pass.
+type EngineGroup<'s> = (Engine, Vec<(Query<'s>, Sender<Reply>, Arc<Budget>)>);
 
 /// Why a submission was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,9 +172,12 @@ impl Batcher {
             }
             // A round is open. Hold the admission window — unless it is
             // already full, the window is zero, or shutdown wants the
-            // queue drained now.
+            // queue drained now. Measured from the *oldest* entry (the
+            // fair drain can reorder the deque, so the front is not
+            // necessarily the oldest).
             if !self.shutdown.is_triggered() && q.len() < self.max_batch {
-                let deadline = q.front().expect("non-empty").at + self.window;
+                let oldest = q.iter().map(|p| p.at).min().expect("non-empty");
+                let deadline = oldest + self.window;
                 let now = Instant::now();
                 if now < deadline {
                     let (guard, _) = self
@@ -166,13 +197,15 @@ impl Batcher {
             } else {
                 q.len().min(self.max_batch)
             };
-            return Some(q.drain(..take).collect());
+            return Some(drain_fair(&mut q, take));
         }
     }
 
-    /// Executes one drained batch: group by engine, one
-    /// `Session::run_many` shared pass per group, replies in admission
-    /// order within each group.
+    /// Executes one drained batch: group by engine, one governed
+    /// `Session::run_many_governed` shared pass per group, replies in
+    /// admission order within each group. Queries whose budget already
+    /// tripped in the queue (expired deadline, cancel) are answered
+    /// immediately and never take a batch slot.
     fn execute(&self, session: &Session, batch: Vec<Pending>) {
         // Prepare everything first; parse failures (impossible for
         // connection-checked submissions, but `submit` is also a
@@ -184,12 +217,19 @@ impl Batcher {
                 expr,
                 engine,
                 reply,
+                budget,
                 ..
             } = pending;
+            // Deadline-aware admission: dead-on-arrival queries are
+            // answered with the typed error, not executed.
+            if let Some(trip) = budget.check() {
+                let _ = reply.send(Err(trip_to_error(trip)));
+                continue;
+            }
             match session.prepare(&expr) {
                 Ok(query) => match groups.iter_mut().find(|(e, _)| *e == engine) {
-                    Some((_, lanes)) => lanes.push((query, reply)),
-                    None => groups.push((engine, vec![(query, reply)])),
+                    Some((_, lanes)) => lanes.push((query, reply, budget)),
+                    None => groups.push((engine, vec![(query, reply, budget)])),
                 },
                 Err(err) => {
                     // The connection may have hung up mid-wait; a dead
@@ -200,14 +240,70 @@ impl Batcher {
         }
         for (engine, lanes) in groups {
             let size = lanes.len();
-            let refs: Vec<&Query<'_>> = lanes.iter().map(|(q, _)| q).collect();
-            let outputs = session.run_many(&refs, engine);
+            // The governed run isolates lane panics per query; this
+            // catch covers the batcher's own surroundings (and the
+            // `server::execute` fail point), so one poisoned pass
+            // cannot take the batcher thread — and the server — down.
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                faults::fail_point("server::execute");
+                let refs: Vec<&Query<'_>> = lanes.iter().map(|(q, _, _)| q).collect();
+                let budgets: Vec<Option<Arc<Budget>>> =
+                    lanes.iter().map(|(_, _, b)| Some(Arc::clone(b))).collect();
+                session.run_many_governed(&refs, engine, &budgets)
+            }));
             self.metrics.record_batch(size);
-            for ((_, reply), output) in lanes.into_iter().zip(outputs) {
-                let _ = reply.send(Ok((output, size)));
+            match outcome {
+                Ok(outputs) => {
+                    for ((_, reply, _), output) in lanes.into_iter().zip(outputs) {
+                        let _ = reply.send(output.map(|o| (o, size)));
+                    }
+                }
+                Err(_) => {
+                    for (_, reply, _) in lanes {
+                        let _ = reply
+                            .send(Err(Error::Internal("batch execution panicked".to_string())));
+                    }
+                }
             }
         }
     }
+}
+
+/// Drains up to `take` entries, round-robin across client ids when the
+/// queue holds more than `take` — so one flooding client cannot starve
+/// the rest of a saturated round. Each client's own FIFO order is
+/// preserved, both in the batch and among the entries left behind.
+fn drain_fair(q: &mut VecDeque<Pending>, take: usize) -> Vec<Pending> {
+    if q.len() <= take {
+        return q.drain(..).collect();
+    }
+    // Bucket by client in first-appearance order.
+    let mut ids: Vec<u64> = Vec::new();
+    let mut buckets: Vec<VecDeque<Pending>> = Vec::new();
+    for p in q.drain(..) {
+        match ids.iter().position(|&c| c == p.client) {
+            Some(i) => buckets[i].push_back(p),
+            None => {
+                ids.push(p.client);
+                buckets.push(VecDeque::from([p]));
+            }
+        }
+    }
+    let mut batch = Vec::with_capacity(take);
+    while batch.len() < take {
+        for b in buckets.iter_mut() {
+            if batch.len() >= take {
+                break;
+            }
+            if let Some(p) = b.pop_front() {
+                batch.push(p);
+            }
+        }
+    }
+    for b in buckets.iter_mut() {
+        q.extend(b.drain(..));
+    }
+    batch
 }
 
 #[cfg(test)]
@@ -228,6 +324,10 @@ mod tests {
     }
 
     fn pending(expr: &str) -> (Pending, std::sync::mpsc::Receiver<Reply>) {
+        pending_for(expr, 0)
+    }
+
+    fn pending_for(expr: &str, client: u64) -> (Pending, std::sync::mpsc::Receiver<Reply>) {
         let (tx, rx) = channel();
         (
             Pending {
@@ -235,6 +335,8 @@ mod tests {
                 engine: Engine::default(),
                 reply: tx,
                 at: Instant::now(),
+                budget: Arc::new(Budget::new()),
+                client,
             },
             rx,
         )
@@ -367,6 +469,8 @@ mod tests {
             engine: Engine::default(),
             reply: tx1,
             at: now,
+            budget: Arc::new(Budget::new()),
+            client: 0,
         })
         .unwrap();
         b.submit(Pending {
@@ -374,6 +478,8 @@ mod tests {
             engine: Engine::auto(),
             reply: tx2,
             at: now,
+            budget: Arc::new(Budget::new()),
+            client: 0,
         })
         .unwrap();
         for rx in [rx1, rx2] {
@@ -387,5 +493,67 @@ mod tests {
         shutdown.trigger();
         b.wake_all();
         runner.join().expect("batcher exits");
+    }
+
+    #[test]
+    fn expired_queries_are_answered_at_drain_without_a_batch_slot() {
+        let session = Session::parse_xml("<a><b/><b/></a>").expect("fixture");
+        let (b, _shutdown) = batcher(8, Duration::from_secs(60), 64);
+        // One query already dead (cancelled in the queue), one live.
+        let (dead, rx_dead) = pending("//b");
+        dead.budget.cancel();
+        let (live, rx_live) = pending("//b");
+        b.execute(&session, vec![dead, live]);
+        assert!(matches!(
+            rx_dead.try_recv().expect("answered"),
+            Err(Error::Cancelled)
+        ));
+        let (out, size) = rx_live.try_recv().expect("answered").expect("runs");
+        assert_eq!(out.len(), 2);
+        assert_eq!(size, 1, "the dead query took no batch slot");
+    }
+
+    #[test]
+    fn saturated_drains_are_fair_across_clients() {
+        // Client 1 floods five queries before client 2's one; a drain
+        // of two must still include client 2.
+        let mut q: VecDeque<Pending> = VecDeque::new();
+        for i in 0..5 {
+            let (p, _rx) = pending_for(&format!("//a{i}"), 1);
+            q.push_back(p);
+            std::mem::forget(_rx);
+        }
+        let (p, _rx) = pending_for("//z", 2);
+        q.push_back(p);
+        std::mem::forget(_rx);
+        let batch = drain_fair(&mut q, 2);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].client, 1);
+        assert_eq!(batch[0].expr, "//a0", "per-client FIFO holds");
+        assert_eq!(batch[1].client, 2, "the flooded-out client gets a slot");
+        assert_eq!(q.len(), 4, "the rest stays queued");
+        assert!(q.iter().all(|p| p.client == 1));
+        assert_eq!(
+            q.iter().map(|p| p.expr.as_str()).collect::<Vec<_>>(),
+            ["//a1", "//a2", "//a3", "//a4"],
+            "leftovers keep client 1's order"
+        );
+    }
+
+    #[test]
+    fn small_drains_stay_strict_fifo() {
+        let mut q: VecDeque<Pending> = VecDeque::new();
+        for (expr, client) in [("//a", 1), ("//b", 2), ("//c", 1)] {
+            let (p, _rx) = pending_for(expr, client);
+            q.push_back(p);
+            std::mem::forget(_rx);
+        }
+        // take >= len: everything drains in submission order.
+        let batch = drain_fair(&mut q, 8);
+        assert_eq!(
+            batch.iter().map(|p| p.expr.as_str()).collect::<Vec<_>>(),
+            ["//a", "//b", "//c"]
+        );
+        assert!(q.is_empty());
     }
 }

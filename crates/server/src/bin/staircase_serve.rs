@@ -12,6 +12,10 @@
 //!   --max-batch B      largest admission batch (default 32)
 //!   --queue-depth Q    admission queue bound before SERVER_BUSY (default 256)
 //!   --read-timeout-ms  per-connection read deadline (default 30000)
+//!   --exec-timeout-ms  server-side execution ceiling per query
+//!                      (default 10000); a query still running when it
+//!                      expires is stopped cooperatively and answered
+//!                      with a TIMEOUT error frame, connection kept open
 //!   --warm             build aux structures before accepting traffic
 //!   --warm-tags a,b,c  pre-crack only the listed tag fragments (a
 //!                      configured hot set); every other tag's fragment
@@ -33,8 +37,8 @@ use staircase_xpath::Session;
 fn usage() -> ! {
     eprintln!(
         "usage: staircase-serve <DOC> [--encoded] [--addr A] [--threads N] [--window-us W]\n\
-         \u{20}      [--max-batch B] [--queue-depth Q] [--read-timeout-ms T] [--warm]\n\
-         \u{20}      [--warm-tags a,b,c]"
+         \u{20}      [--max-batch B] [--queue-depth Q] [--read-timeout-ms T]\n\
+         \u{20}      [--exec-timeout-ms T] [--warm] [--warm-tags a,b,c]"
     );
     exit(2);
 }
@@ -70,6 +74,9 @@ fn main() {
             "--queue-depth" => config.queue_depth = parse_flag(&mut args),
             "--read-timeout-ms" => {
                 config.read_timeout = Duration::from_millis(parse_flag(&mut args));
+            }
+            "--exec-timeout-ms" => {
+                config.exec_timeout = Duration::from_millis(parse_flag(&mut args));
             }
             "--warm" => warm = true,
             "--warm-tags" => warm_tags = Some(args.next().unwrap_or_else(|| usage())),

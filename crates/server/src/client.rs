@@ -8,7 +8,7 @@ use staircase_accel::Pre;
 
 use crate::protocol::{
     self, code, flags, frame, parse_done_payload, parse_error_payload, parse_ids_payload,
-    query_payload, write_frame, FrameError,
+    query_payload_deadline, write_frame, FrameError,
 };
 
 /// How a query should be asked for and answered.
@@ -20,6 +20,11 @@ pub struct QueryOptions {
     pub render: bool,
     /// Ask for no result chunks at all — only the `DONE` totals.
     pub count_only: bool,
+    /// Per-query execution deadline in milliseconds; the server answers
+    /// a `TIMEOUT` error frame (connection kept open) if the query is
+    /// still running when it expires. `None` leaves only the server's
+    /// own execution ceiling.
+    pub deadline_ms: Option<u32>,
 }
 
 impl Default for QueryOptions {
@@ -28,6 +33,7 @@ impl Default for QueryOptions {
             engine: "staircase".to_string(),
             render: false,
             count_only: false,
+            deadline_ms: None,
         }
     }
 }
@@ -104,6 +110,8 @@ pub fn code_name(c: u8) -> &'static str {
         code::INTERNAL => "INTERNAL",
         code::TIMEOUT => "TIMEOUT",
         code::ENGINE => "ENGINE",
+        code::RESOURCE => "RESOURCE",
+        code::CANCELLED => "CANCELLED",
         _ => "UNKNOWN",
     }
 }
@@ -179,9 +187,37 @@ impl Client {
         write_frame(
             &mut self.stream,
             frame::QUERY,
-            &query_payload(request_flags, &opts.engine, expr),
+            &query_payload_deadline(request_flags, opts.deadline_ms, &opts.engine, expr),
         )?;
         self.read_response(on_ids, on_text)
+    }
+
+    /// Asks the server to cancel the query currently in flight on this
+    /// connection. Fire-and-forget: the *query's* response (a
+    /// `CANCELLED` error frame if the cancel won the race, the normal
+    /// answer if it lost) is still read by whoever sent the query —
+    /// typically a second thread sharing this connection via
+    /// [`Client::try_clone`].
+    ///
+    /// # Errors
+    ///
+    /// The write failing.
+    pub fn cancel(&mut self) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, frame::CANCEL, &[])?;
+        Ok(())
+    }
+
+    /// Clones the underlying stream so one thread can [`Client::cancel`]
+    /// while another is blocked reading a query's answer.
+    ///
+    /// # Errors
+    ///
+    /// The OS-level duplication failing.
+    pub fn try_clone(&self) -> io::Result<Client> {
+        Ok(Client {
+            stream: self.stream.try_clone()?,
+            max_frame: self.max_frame,
+        })
     }
 
     /// Asks for the server's metrics: `key value` lines.

@@ -8,15 +8,26 @@
 //! server's shutdown flag without any async machinery. Request errors
 //! are answered with typed error frames; only errors that lose the
 //! frame boundary (or the peer) close the connection.
+//!
+//! Every admitted query carries a governor `Budget` whose deadline is
+//! the smaller of the client's optional per-query deadline and the
+//! server's execution timeout. While the query is in flight the
+//! connection thread keeps listening in short ticks: a `CANCEL` frame
+//! (or the peer hanging up) flips the budget's cancel flag and the
+//! executor stops the query cooperatively; any other frame that
+//! arrives early is stashed and served after the in-flight answer.
+//! Governed failures — deadline, budget, cancel, or an isolated
+//! internal panic — answer typed `ERROR` frames and the connection
+//! stays open.
 
 use std::io::{ErrorKind, Read};
 use std::net::TcpStream;
-use std::sync::atomic::Ordering;
-use std::sync::mpsc::channel;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, TryRecvError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use staircase_xpath::{parse_union, Session};
+use staircase_xpath::{parse_union, Budget, Error, Session};
 
 use crate::batcher::{Batcher, Pending, SubmitError};
 use crate::metrics::Metrics;
@@ -26,6 +37,9 @@ use crate::protocol::{
 };
 use crate::shutdown::Shutdown;
 use crate::ServerConfig;
+
+/// Source of per-connection ids (the batcher's fairness key).
+static CONN_IDS: AtomicU64 = AtomicU64::new(1);
 
 /// How often a blocked read wakes to check the deadline and the
 /// shutdown flag.
@@ -138,40 +152,56 @@ pub(crate) fn serve(mut stream: TcpStream, shared: &ConnShared) {
     let _ = stream.set_read_timeout(Some(TICK));
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+    let client_id = CONN_IDS.fetch_add(1, Ordering::Relaxed);
+    // A frame that arrived while a query was in flight, served next.
+    let mut stashed: Option<Frame> = None;
     loop {
-        let deadline = Instant::now() + shared.config.read_timeout;
-        let outcome = read_frame_deadline(
-            &mut stream,
-            shared.config.max_frame,
-            deadline,
-            &shared.shutdown,
-        );
-        let request = match outcome {
-            ReadOutcome::Frame(f) => f,
-            ReadOutcome::CleanEof | ReadOutcome::Shutdown | ReadOutcome::Dead => return,
-            ReadOutcome::TimedOut => {
-                shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
-                let _ = send_error(&mut stream, code::TIMEOUT, "read timed out");
-                return;
-            }
-            ReadOutcome::Oversized(len) => {
-                shared
-                    .metrics
-                    .protocol_errors
-                    .fetch_add(1, Ordering::Relaxed);
-                let _ = send_error(
+        staircase_xpath::faults::fail_point("server::conn::frame");
+        let request = match stashed.take() {
+            Some(f) => f,
+            None => {
+                let deadline = Instant::now() + shared.config.read_timeout;
+                let outcome = read_frame_deadline(
                     &mut stream,
-                    code::OVERSIZED,
-                    &format!(
-                        "frame of {len} bytes exceeds the {}-byte limit",
-                        shared.config.max_frame
-                    ),
+                    shared.config.max_frame,
+                    deadline,
+                    &shared.shutdown,
                 );
-                return;
+                match outcome {
+                    ReadOutcome::Frame(f) => f,
+                    ReadOutcome::CleanEof | ReadOutcome::Shutdown | ReadOutcome::Dead => return,
+                    ReadOutcome::TimedOut => {
+                        shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                        let _ = send_error(&mut stream, code::TIMEOUT, "read timed out");
+                        return;
+                    }
+                    ReadOutcome::Oversized(len) => {
+                        shared
+                            .metrics
+                            .protocol_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        let _ = send_error(
+                            &mut stream,
+                            code::OVERSIZED,
+                            &format!(
+                                "frame of {len} bytes exceeds the {}-byte limit",
+                                shared.config.max_frame
+                            ),
+                        );
+                        return;
+                    }
+                }
             }
         };
         let keep_going = match request.ty {
-            frame::QUERY => answer_query(&mut stream, shared, &request.payload),
+            frame::QUERY => {
+                let (ok, leftover) = answer_query(&mut stream, shared, &request.payload, client_id);
+                stashed = leftover;
+                ok
+            }
+            // A CANCEL with nothing in flight lost the race against the
+            // answer (or was speculative); it is deliberately a no-op.
+            frame::CANCEL => true,
             frame::STATS => answer_stats(&mut stream, shared),
             frame::SHUTDOWN => {
                 let ok = write_frame(&mut stream, frame::DONE, &done_payload(0, 0, 0)).is_ok();
@@ -198,17 +228,24 @@ pub(crate) fn serve(mut stream: TcpStream, shared: &ConnShared) {
     }
 }
 
-/// Handles one `QUERY` frame end to end; `false` closes the connection
-/// (only I/O failures and a lost batcher do).
-fn answer_query(stream: &mut TcpStream, shared: &ConnShared, payload: &[u8]) -> bool {
-    let (request_flags, engine_name, expr) = match parse_query_payload(payload) {
+/// Handles one `QUERY` frame end to end. The first return value is
+/// `false` when the connection must close (only I/O failures and a
+/// lost batcher); the second carries a non-`CANCEL` frame that arrived
+/// while the query was in flight, to be served next.
+fn answer_query(
+    stream: &mut TcpStream,
+    shared: &ConnShared,
+    payload: &[u8],
+    client_id: u64,
+) -> (bool, Option<Frame>) {
+    let (request_flags, deadline_ms, engine_name, expr) = match parse_query_payload(payload) {
         Ok(parts) => parts,
         Err(message) => {
             shared
                 .metrics
                 .protocol_errors
                 .fetch_add(1, Ordering::Relaxed);
-            return send_error(stream, code::MALFORMED, &message).is_ok();
+            return (send_error(stream, code::MALFORMED, &message).is_ok(), None);
         }
     };
     let engine = match crate::protocol::engine_by_name(engine_name) {
@@ -218,12 +255,13 @@ fn answer_query(stream: &mut TcpStream, shared: &ConnShared, payload: &[u8]) -> 
                 .metrics
                 .rejected_requests
                 .fetch_add(1, Ordering::Relaxed);
-            return send_error(
+            let ok = send_error(
                 stream,
                 code::ENGINE,
                 &format!("unknown engine {engine_name:?}"),
             )
             .is_ok();
+            return (ok, None);
         }
     };
     // Parse-check here so a bad expression is answered without a
@@ -233,45 +271,119 @@ fn answer_query(stream: &mut TcpStream, shared: &ConnShared, payload: &[u8]) -> 
             .metrics
             .rejected_requests
             .fetch_add(1, Ordering::Relaxed);
-        return send_error(stream, code::PARSE, &e.to_string()).is_ok();
+        return (
+            send_error(stream, code::PARSE, &e.to_string()).is_ok(),
+            None,
+        );
     }
+    // The governed deadline is the tighter of the client's ask and the
+    // server's own execution ceiling.
+    let mut exec_deadline = shared.config.exec_timeout;
+    if let Some(ms) = deadline_ms {
+        exec_deadline = exec_deadline.min(Duration::from_millis(u64::from(ms)));
+    }
+    let budget = Arc::new(Budget::new().with_deadline_in(exec_deadline));
     let (reply_tx, reply_rx) = channel();
     let submitted = shared.batcher.submit(Pending {
         expr: expr.to_string(),
         engine,
         reply: reply_tx,
         at: Instant::now(),
+        budget: Arc::clone(&budget),
+        client: client_id,
     });
     match submitted {
         Ok(()) => {}
         Err(SubmitError::Busy) => {
-            return send_error(stream, code::BUSY, "admission queue is full").is_ok();
+            return (
+                send_error(stream, code::BUSY, "admission queue is full").is_ok(),
+                None,
+            );
         }
         Err(SubmitError::ShuttingDown) => {
-            return send_error(stream, code::SHUTTING_DOWN, "server is shutting down").is_ok();
+            return (
+                send_error(stream, code::SHUTTING_DOWN, "server is shutting down").is_ok(),
+                None,
+            );
         }
     }
-    // The batcher always answers admitted queries (it drains the queue
-    // even on shutdown); a dropped sender means it died.
-    let reply = match reply_rx.recv() {
-        Ok(reply) => reply,
-        Err(_) => {
-            let _ = send_error(stream, code::INTERNAL, "query engine is gone");
-            return false;
+    // Wait for the reply while still listening to the socket in short
+    // ticks, so a CANCEL frame (or the peer hanging up) can flip the
+    // budget's cancel flag mid-query.
+    let mut stashed: Option<Frame> = None;
+    let mut client_gone = false;
+    let reply = loop {
+        match reply_rx.try_recv() {
+            Ok(reply) => break reply,
+            Err(TryRecvError::Empty) => {}
+            Err(TryRecvError::Disconnected) => {
+                // The batcher always answers admitted queries (it
+                // drains the queue even on shutdown); a dropped sender
+                // means it died.
+                let _ = send_error(stream, code::INTERNAL, "query engine is gone");
+                return (false, None);
+            }
+        }
+        if client_gone || stashed.is_some() {
+            // Nothing useful to read until the reply lands; don't spin.
+            std::thread::sleep(TICK);
+            continue;
+        }
+        let tick_deadline = Instant::now() + TICK;
+        match read_frame_deadline(
+            stream,
+            shared.config.max_frame,
+            tick_deadline,
+            &shared.shutdown,
+        ) {
+            ReadOutcome::Frame(f) if f.ty == frame::CANCEL => budget.cancel(),
+            ReadOutcome::Frame(f) => stashed = Some(f),
+            ReadOutcome::TimedOut => {}
+            ReadOutcome::Shutdown => std::thread::sleep(TICK),
+            ReadOutcome::CleanEof | ReadOutcome::Dead => {
+                // The peer hung up mid-query: stop paying for the
+                // answer, but let the in-flight slot resolve cleanly.
+                budget.cancel();
+                client_gone = true;
+            }
+            ReadOutcome::Oversized(_) => {
+                budget.cancel();
+                client_gone = true;
+            }
         }
     };
+    if client_gone {
+        // The reply has resolved; there is no one to write it to.
+        shared
+            .metrics
+            .cancelled_queries
+            .fetch_add(1, Ordering::Relaxed);
+        return (false, None);
+    }
     let (output, batch_size) = match reply {
         Ok(answer) => answer,
         Err(e) => {
-            shared
-                .metrics
-                .rejected_requests
-                .fetch_add(1, Ordering::Relaxed);
-            return send_error(stream, code::PARSE, &e.to_string()).is_ok();
+            // Governed failures answer a typed error and keep the
+            // connection (and its stashed frame) alive.
+            let (error_code, counter) = match &e {
+                Error::DeadlineExceeded => (code::TIMEOUT, &shared.metrics.exec_timeouts),
+                Error::BudgetExhausted => (code::RESOURCE, &shared.metrics.resource_exhausted),
+                Error::Cancelled => (code::CANCELLED, &shared.metrics.cancelled_queries),
+                Error::Internal(_) => (code::INTERNAL, &shared.metrics.internal_errors),
+                _ => (code::PARSE, &shared.metrics.rejected_requests),
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            return (
+                send_error(stream, error_code, &e.to_string()).is_ok(),
+                stashed,
+            );
         }
     };
     shared.metrics.queries_ok.fetch_add(1, Ordering::Relaxed);
-    stream_output(stream, shared, request_flags, &output, batch_size).is_ok()
+    (
+        stream_output(stream, shared, request_flags, &output, batch_size).is_ok(),
+        stashed,
+    )
 }
 
 /// Streams one query's answer: chunks, then the terminal `DONE`.

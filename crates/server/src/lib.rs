@@ -63,6 +63,44 @@
 //! I/O chopped into short ticks, and the actual work all happens on the
 //! session's own worker pool.
 //!
+//! ## Failure model
+//!
+//! Every admitted query executes under a governor
+//! [`Budget`](staircase_xpath::Budget) whose deadline is the tighter of
+//! the client's optional per-query deadline (the `DEADLINE` flag in the
+//! `QUERY` frame) and the server-wide [`ServerConfig::exec_timeout`].
+//! What can go wrong, and what survives it:
+//!
+//! * **Query deadline** (`TIMEOUT` error frame): the executor stops the
+//!   query cooperatively at the next enforcement boundary. Only that
+//!   query fails; batch siblings in the same shared pass complete with
+//!   node- and order-identical results, and the connection stays open
+//!   for the next request. This is distinct from the *read* timeout
+//!   ([`ServerConfig::read_timeout`]), which also answers `TIMEOUT` but
+//!   closes the connection — a peer that cannot deliver a frame has
+//!   lost the frame boundary.
+//! * **Cost budget** (`RESOURCE`): same containment as the deadline,
+//!   tripped by the touched-node ceiling instead of the clock.
+//! * **Cancellation** (`CANCELLED`): while a query is in flight the
+//!   connection thread keeps reading in short ticks; a `CANCEL` frame
+//!   or the peer hanging up flips the budget's cancel flag. Any other
+//!   frame that arrives early is stashed and served after the in-flight
+//!   answer, so pipelining a request behind a long query is safe.
+//! * **Execution panic** (`INTERNAL`): a panicking executor task is
+//!   caught at the pool (or batch-group) boundary and isolated to the
+//!   pass it rode in — each query of that pass answers `INTERNAL`, the
+//!   batcher thread, the worker pool, the session, and the connection
+//!   all remain usable. An `INTERNAL` caused by the batcher itself
+//!   dying is the one variant that closes the connection.
+//! * **Overload** (`SERVER_BUSY`) and **shutdown** (`SHUTTING_DOWN`)
+//!   are refused at admission and never consume a batch slot; queries
+//!   whose budget is already dead when their round drains (expired in
+//!   queue) are answered without occupying a slot either.
+//!
+//! The corresponding counters — `exec_timeouts`, `resource_exhausted`,
+//! `cancelled_queries`, `internal_errors` — are reported by the `STATS`
+//! frame; see [`Metrics`].
+//!
 //! ## Wire protocol
 //!
 //! See [`protocol`] for the normative frame-by-frame spec. In short:
@@ -130,6 +168,12 @@ pub struct ServerConfig {
     pub max_frame: usize,
     /// How many pre ranks one `CHUNK` frame carries.
     pub chunk_ids: usize,
+    /// Server-side ceiling on a single query's execution time. Every
+    /// admitted query runs under a governor deadline of
+    /// `min(client deadline, exec_timeout)`; tripping it answers a
+    /// `TIMEOUT` error frame and the connection survives (unlike the
+    /// read timeout, which closes it).
+    pub exec_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -143,6 +187,7 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(10),
             max_frame: 1 << 20,
             chunk_ids: 4096,
+            exec_timeout: Duration::from_secs(10),
         }
     }
 }

@@ -23,6 +23,16 @@ pub struct Metrics {
     pub busy_rejections: AtomicU64,
     /// Connections closed for idling past the read timeout.
     pub timeouts: AtomicU64,
+    /// Queries stopped at a deadline — the client's per-query deadline
+    /// or the server's execution timeout. The connection survives.
+    pub exec_timeouts: AtomicU64,
+    /// Queries stopped by a `CANCEL` frame or a mid-query hangup.
+    pub cancelled_queries: AtomicU64,
+    /// Queries stopped at a resource (cost) budget ceiling.
+    pub resource_exhausted: AtomicU64,
+    /// Queries that failed with an isolated internal execution error
+    /// (a caught panic); the server and connection survive.
+    pub internal_errors: AtomicU64,
     /// Shared passes executed (`Session::run_many` calls; one admission
     /// drain produces one pass per distinct engine in the batch).
     pub batches: AtomicU64,
@@ -46,13 +56,19 @@ impl Metrics {
         let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
         format!(
             "connections {}\nqueries_ok {}\nrejected_requests {}\nprotocol_errors {}\n\
-             busy_rejections {}\ntimeouts {}\nbatches {}\nbatched_queries {}\nmax_batch {}\n",
+             busy_rejections {}\ntimeouts {}\nexec_timeouts {}\ncancelled_queries {}\n\
+             resource_exhausted {}\ninternal_errors {}\nbatches {}\nbatched_queries {}\n\
+             max_batch {}\n",
             get(&self.connections),
             get(&self.queries_ok),
             get(&self.rejected_requests),
             get(&self.protocol_errors),
             get(&self.busy_rejections),
             get(&self.timeouts),
+            get(&self.exec_timeouts),
+            get(&self.cancelled_queries),
+            get(&self.resource_exhausted),
+            get(&self.internal_errors),
             get(&self.batches),
             get(&self.batched_queries),
             get(&self.max_batch),
@@ -78,6 +94,10 @@ mod tests {
             "protocol_errors",
             "busy_rejections",
             "timeouts",
+            "exec_timeouts",
+            "cancelled_queries",
+            "resource_exhausted",
+            "internal_errors",
             "batches",
             "batched_queries",
             "max_batch",

@@ -17,13 +17,20 @@
 //!
 //! ## Requests (client → server)
 //!
-//! * [`frame::QUERY`] — payload `[flags: u8][engine_len: u8][engine
-//!   name][XPath expression…]`. Flags: [`flags::RENDER`] asks for
-//!   rendered node lines instead of raw pre ranks,
-//!   [`flags::COUNT_ONLY`] suppresses result chunks entirely (the
-//!   [`frame::DONE`] frame carries the total). The engine name is one
-//!   of `staircase | pushdown | fragmented | parallel | naive | sql |
-//!   auto` (see [`engine_by_name`]).
+//! * [`frame::QUERY`] — payload `[flags: u8][deadline_ms: u32 BE, only
+//!   when `flags & DEADLINE`][engine_len: u8][engine name][XPath
+//!   expression…]`. Flags: [`flags::RENDER`] asks for rendered node
+//!   lines instead of raw pre ranks, [`flags::COUNT_ONLY`] suppresses
+//!   result chunks entirely (the [`frame::DONE`] frame carries the
+//!   total), [`flags::DEADLINE`] says a 4-byte per-query deadline in
+//!   milliseconds follows the flag byte (the server clamps it to its
+//!   own execution timeout). The engine name is one of `staircase |
+//!   pushdown | fragmented | parallel | naive | sql | auto` (see
+//!   [`engine_by_name`]).
+//! * [`frame::CANCEL`] — no payload; cancels the connection's in-flight
+//!   query. The query answers with an [`code::CANCELLED`] error frame
+//!   (unless it won the race and completed); the connection survives.
+//!   A `CANCEL` with nothing in flight is ignored.
 //! * [`frame::STATS`] — no payload; the server answers with one
 //!   [`frame::RCHUNK`] of `key value` metric lines and a `DONE`.
 //! * [`frame::SHUTDOWN`] — no payload; the server acknowledges with
@@ -46,13 +53,16 @@
 //!   of the admission batch this query rode in (1 = it ran alone).
 //! * [`frame::ERROR`] — `[code: u8][message…]`; see [`code`]. Parse
 //!   ([`code::PARSE`]), engine ([`code::ENGINE`]), busy
-//!   ([`code::BUSY`]) and shutdown ([`code::SHUTTING_DOWN`]) errors
-//!   leave the connection usable; framing errors
-//!   ([`code::MALFORMED`] on an undecodable *frame*,
-//!   [`code::OVERSIZED`], [`code::TIMEOUT`]) are followed by a close.
-//!   A malformed *payload* inside a well-framed message is answered
-//!   with `MALFORMED` and the connection survives — the frame boundary
-//!   was never lost.
+//!   ([`code::BUSY`]), shutdown ([`code::SHUTTING_DOWN`]), and the
+//!   governed execution errors — [`code::TIMEOUT`] for an expired
+//!   query deadline, [`code::RESOURCE`] for an exhausted cost budget,
+//!   [`code::CANCELLED`] for a client cancel — leave the connection
+//!   usable; framing errors ([`code::MALFORMED`] on an undecodable
+//!   *frame*, [`code::OVERSIZED`], and `TIMEOUT` for a *read* timeout
+//!   with no query in flight) are followed by a close. A malformed
+//!   *payload* inside a well-framed message is answered with
+//!   `MALFORMED` and the connection survives — the frame boundary was
+//!   never lost.
 
 use std::io::{Read, Write};
 
@@ -73,6 +83,8 @@ pub mod frame {
     pub const ERROR: u8 = 0x05;
     /// Client → server: report server metrics.
     pub const STATS: u8 = 0x06;
+    /// Client → server: cancel the connection's in-flight query.
+    pub const CANCEL: u8 = 0x07;
     /// Client → server: graceful shutdown request.
     pub const SHUTDOWN: u8 = 0x08;
 }
@@ -85,6 +97,10 @@ pub mod flags {
     /// Send no result chunks at all; the client only wants the
     /// cardinality in the [`frame::DONE`](super::frame::DONE) frame.
     pub const COUNT_ONLY: u8 = 0x02;
+    /// A 4-byte big-endian per-query deadline (milliseconds) follows
+    /// the flag byte. The server enforces the smaller of this and its
+    /// own execution timeout.
+    pub const DEADLINE: u8 = 0x04;
 }
 
 /// Typed error codes (first byte of a [`frame::ERROR`] payload).
@@ -107,11 +123,21 @@ pub mod code {
     /// The server lost its execution engine mid-request. Connection
     /// closes.
     pub const INTERNAL: u8 = 6;
-    /// The connection idled (or dribbled a partial frame) past the
-    /// read timeout. Connection closes.
+    /// A deadline expired. For a *query* deadline (the client's
+    /// [`flags::DEADLINE`](super::flags::DEADLINE) or the server's
+    /// execution timeout) the connection survives; for a *read*
+    /// timeout — the connection idled or dribbled a partial frame —
+    /// it closes.
     pub const TIMEOUT: u8 = 7;
     /// The request named an unknown engine. Connection survives.
     pub const ENGINE: u8 = 8;
+    /// The query exhausted a resource budget (cost ceiling) and was
+    /// stopped. Connection survives.
+    pub const RESOURCE: u8 = 9;
+    /// The query was cancelled — a [`frame::CANCEL`](super::frame::CANCEL),
+    /// or the client hung up mid-query. Connection survives (when it is
+    /// still there).
+    pub const CANCELLED: u8 = 10;
 }
 
 /// Frame header size: `u32` payload length + `u8` frame type.
@@ -212,32 +238,64 @@ pub fn write_frame(w: &mut impl Write, ty: u8, payload: &[u8]) -> std::io::Resul
     w.write_all(&encode_frame(ty, payload))
 }
 
-/// Builds a [`frame::QUERY`] payload.
+/// Builds a [`frame::QUERY`] payload without a per-query deadline.
 pub fn query_payload(flags: u8, engine: &str, expr: &str) -> Vec<u8> {
-    let mut p = Vec::with_capacity(2 + engine.len() + expr.len());
-    p.push(flags);
+    query_payload_deadline(flags, None, engine, expr)
+}
+
+/// Builds a [`frame::QUERY`] payload; `deadline_ms` (when given) sets
+/// [`flags::DEADLINE`] and inserts the 4-byte deadline field.
+pub fn query_payload_deadline(
+    flags: u8,
+    deadline_ms: Option<u32>,
+    engine: &str,
+    expr: &str,
+) -> Vec<u8> {
+    let mut p = Vec::with_capacity(6 + engine.len() + expr.len());
+    match deadline_ms {
+        Some(ms) => {
+            p.push(flags | self::flags::DEADLINE);
+            p.extend_from_slice(&ms.to_be_bytes());
+        }
+        None => p.push(flags & !self::flags::DEADLINE),
+    }
     p.push(engine.len() as u8);
     p.extend_from_slice(engine.as_bytes());
     p.extend_from_slice(expr.as_bytes());
     p
 }
 
-/// Decodes a [`frame::QUERY`] payload into `(flags, engine, expr)`.
+/// Decodes a [`frame::QUERY`] payload into `(flags, deadline_ms,
+/// engine, expr)`; `deadline_ms` is `Some` exactly when the payload
+/// carries [`flags::DEADLINE`].
 ///
 /// # Errors
 ///
 /// A human-readable description of the defect (truncated payload,
 /// engine-name length past the end, non-UTF-8 text).
-pub fn parse_query_payload(payload: &[u8]) -> Result<(u8, &str, &str), String> {
-    if payload.len() < 2 {
-        return Err(format!(
-            "query payload of {} bytes is truncated",
-            payload.len()
-        ));
+pub fn parse_query_payload(payload: &[u8]) -> Result<(u8, Option<u32>, &str, &str), String> {
+    if payload.is_empty() {
+        return Err("query payload is empty".to_string());
     }
     let flags = payload[0];
-    let engine_len = payload[1] as usize;
-    let rest = &payload[2..];
+    let mut rest = &payload[1..];
+    let deadline_ms = if flags & self::flags::DEADLINE != 0 {
+        if rest.len() < 4 {
+            return Err(format!(
+                "deadline flag set but only {} payload bytes follow the flags",
+                rest.len()
+            ));
+        }
+        let ms = u32::from_be_bytes(rest[..4].try_into().expect("4 bytes"));
+        rest = &rest[4..];
+        Some(ms)
+    } else {
+        None
+    };
+    let (&engine_len_byte, rest) = rest
+        .split_first()
+        .ok_or_else(|| format!("query payload of {} bytes is truncated", payload.len()))?;
+    let engine_len = engine_len_byte as usize;
     if engine_len > rest.len() {
         return Err(format!(
             "engine name of {engine_len} bytes overruns the {}-byte payload",
@@ -248,7 +306,7 @@ pub fn parse_query_payload(payload: &[u8]) -> Result<(u8, &str, &str), String> {
         .map_err(|_| "engine name is not UTF-8".to_string())?;
     let expr = std::str::from_utf8(&rest[engine_len..])
         .map_err(|_| "expression is not UTF-8".to_string())?;
-    Ok((flags, engine, expr))
+    Ok((flags, deadline_ms, engine, expr))
 }
 
 /// Builds a [`frame::DONE`] payload.
@@ -389,8 +447,22 @@ mod tests {
         let mut cursor = &bytes[..];
         let f = read_frame(&mut cursor, 1 << 20).unwrap().unwrap();
         assert_eq!(f.ty, frame::QUERY);
-        let (fl, engine, expr) = parse_query_payload(&f.payload).unwrap();
-        assert_eq!((fl, engine, expr), (flags::RENDER, "auto", "//bidder"));
+        let (fl, deadline, engine, expr) = parse_query_payload(&f.payload).unwrap();
+        assert_eq!(
+            (fl, deadline, engine, expr),
+            (flags::RENDER, None, "auto", "//bidder")
+        );
+    }
+
+    #[test]
+    fn deadline_payloads_round_trip() {
+        let payload = query_payload_deadline(flags::COUNT_ONLY, Some(250), "auto", "//bidder");
+        let (fl, deadline, engine, expr) = parse_query_payload(&payload).unwrap();
+        assert_eq!(fl & flags::COUNT_ONLY, flags::COUNT_ONLY);
+        assert_eq!(fl & flags::DEADLINE, flags::DEADLINE);
+        assert_eq!((deadline, engine, expr), (Some(250), "auto", "//bidder"));
+        // The deadline flag without its 4-byte field is malformed.
+        assert!(parse_query_payload(&[flags::DEADLINE, 0, 1]).is_err());
     }
 
     #[test]
@@ -442,6 +514,8 @@ mod tests {
     #[test]
     fn malformed_query_payloads_are_described() {
         assert!(parse_query_payload(&[]).is_err());
+        // A lone flag byte has no engine-length byte.
+        assert!(parse_query_payload(&[0]).is_err());
         // Engine length pointing past the end of the payload.
         assert!(parse_query_payload(&[0, 200, b'a']).is_err());
         // Non-UTF-8 expression.

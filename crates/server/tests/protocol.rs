@@ -25,6 +25,7 @@ fn opts(engine: &str) -> QueryOptions {
         engine: engine.to_string(),
         render: false,
         count_only: false,
+        deadline_ms: None,
     }
 }
 

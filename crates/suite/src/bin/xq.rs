@@ -21,6 +21,13 @@
 //!                    the partitioned parallel engine — the historical
 //!                    special case)
 //!   --warm           build all auxiliary structures eagerly, in parallel
+//!   --timeout-ms N   run under a governor deadline of N milliseconds;
+//!                    a query still running when it expires stops
+//!                    cooperatively and exits 7 (in --connect mode the
+//!                    deadline rides the QUERY frame and the server
+//!                    answers a TIMEOUT error frame)
+//!   --max-touched N  run under a governor cost budget of N touched
+//!                    nodes; exceeding it exits 7 (local mode only)
 //!   --count          print only the number of matching nodes
 //!   --stats          print per-step statistics to stderr, including the
 //!                    planner's estimated cost next to the observed cost
@@ -41,9 +48,11 @@
 //! failure is reported with its line number and the remaining queries
 //! still run — the normative contract lives in
 //! `staircase_server::mix`), `6` server unavailable (`SERVER_BUSY`
-//! backpressure or a draining server in `--connect` mode). Server-side
-//! parse errors in `--connect` mode map to `3`, exactly like local
-//! ones.
+//! backpressure or a draining server in `--connect` mode), `7` governed
+//! stop (`--timeout-ms` deadline or `--max-touched` budget tripped —
+//! locally or as a server-side `TIMEOUT`/`RESOURCE`/`CANCELLED` error
+//! frame). Server-side parse errors in `--connect` mode map to `3`,
+//! exactly like local ones.
 //!
 //! Examples:
 //!
@@ -93,6 +102,9 @@ const EXIT_BATCH_PARTIAL: i32 = 5;
 /// The server refused the query (backpressure or shutdown) — retry
 /// later; nothing was wrong with the query itself.
 const EXIT_UNAVAILABLE: i32 = 6;
+/// The governor stopped the query: `--timeout-ms` deadline,
+/// `--max-touched` budget, or a server-side cancellation.
+const EXIT_GOVERNED: i32 = 7;
 
 struct Options {
     query: Option<String>,
@@ -108,6 +120,8 @@ struct Options {
     count_only: bool,
     stats: bool,
     explain: bool,
+    timeout_ms: Option<u64>,
+    max_touched: Option<u64>,
 }
 
 fn usage() -> ! {
@@ -129,7 +143,9 @@ fn usage() -> ! {
          allows (with --engine staircase it also implies the parallel\n\
          engine, the historical special case)\n\
          --explain prints the physical plan (one line per step: operator +\n\
-         cost estimate; [par] marks fan-out steps) instead of evaluating"
+         cost estimate; [par] marks fan-out steps) instead of evaluating\n\
+         --timeout-ms N / --max-touched N run under a governor deadline /\n\
+         cost budget; a tripped query stops cooperatively and xq exits 7"
     );
     exit(EXIT_USAGE);
 }
@@ -147,6 +163,7 @@ fn fail(context: &str, err: Error) -> ! {
         }
         Error::InvalidEngine(_) => EXIT_USAGE,
         Error::Io(_) => EXIT_IO,
+        Error::DeadlineExceeded | Error::BudgetExhausted | Error::Cancelled => EXIT_GOVERNED,
         _ => EXIT_USAGE,
     };
     exit(code);
@@ -167,6 +184,8 @@ fn parse_args() -> Options {
         count_only: false,
         stats: false,
         explain: false,
+        timeout_ms: None,
+        max_touched: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -208,6 +227,21 @@ fn parse_args() -> Options {
                     _ => usage(),
                 };
             }
+            "--timeout-ms" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                opts.timeout_ms = match n.parse::<u64>() {
+                    Ok(n) => Some(n),
+                    _ => usage(),
+                };
+            }
+            "--max-touched" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                // A zero-node budget can never admit work; reject it.
+                opts.max_touched = match n.parse::<u64>() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => usage(),
+                };
+            }
             "--count" => opts.count_only = true,
             "--stats" => opts.stats = true,
             "--explain" => opts.explain = true,
@@ -229,7 +263,29 @@ fn parse_args() -> Options {
     if opts.query_file.is_some() && opts.query.is_some() {
         usage();
     }
+    // Explain modes are about the plan (or its report), not resource
+    // policy — a governed explain would be a silently different answer.
+    if opts.explain && (opts.timeout_ms.is_some() || opts.max_touched.is_some()) {
+        usage();
+    }
     opts
+}
+
+/// The governor budget the flags ask for (fresh per query, so one
+/// tripped query never retires its batch siblings), or `None` when
+/// neither flag was given.
+fn build_budget(opts: &Options) -> Option<std::sync::Arc<Budget>> {
+    if opts.timeout_ms.is_none() && opts.max_touched.is_none() {
+        return None;
+    }
+    let mut budget = Budget::new();
+    if let Some(ms) = opts.timeout_ms {
+        budget = budget.with_deadline_in(std::time::Duration::from_millis(ms));
+    }
+    if let Some(n) = opts.max_touched {
+        budget = budget.with_max_touched(n);
+    }
+    Some(std::sync::Arc::new(budget))
 }
 
 /// Routes the CLI's engine/variant/thread flags through the builders;
@@ -289,6 +345,7 @@ fn fail_client(context: &str, err: ClientError) -> ! {
             server_code::PARSE => EXIT_PARSE,
             server_code::ENGINE => EXIT_USAGE,
             server_code::BUSY | server_code::SHUTTING_DOWN => EXIT_UNAVAILABLE,
+            server_code::TIMEOUT | server_code::RESOURCE | server_code::CANCELLED => EXIT_GOVERNED,
             _ => EXIT_IO,
         },
         ClientError::Io(_) | ClientError::Protocol(_) => EXIT_IO,
@@ -309,6 +366,9 @@ fn run_connect(addr: &str, opts: &Options) -> ! {
         || opts.threads.is_some()
         || opts.warm
         || opts.explain
+        // The cost budget has no wire field; only the deadline rides
+        // the QUERY frame.
+        || opts.max_touched.is_some()
     {
         usage();
     }
@@ -320,6 +380,9 @@ fn run_connect(addr: &str, opts: &Options) -> ! {
         engine: opts.engine_name.clone(),
         render: !opts.count_only,
         count_only: opts.count_only,
+        deadline_ms: opts
+            .timeout_ms
+            .map(|ms| u32::try_from(ms).unwrap_or(u32::MAX)),
     };
 
     // Batch mode over the wire: one request per query-file line, one
@@ -462,8 +525,20 @@ fn main() {
             }
         } else {
             let refs: Vec<&_> = queries.iter().collect();
-            let outputs = session.run_many(&refs, engine);
+            // A fresh budget per query: one tripped query never retires
+            // its batch siblings.
+            let budgets: Vec<_> = refs.iter().map(|_| build_budget(&opts)).collect();
+            let outputs = session.run_many_governed(&refs, engine, &budgets);
+            let mut tripped = 0;
             for (query, out) in queries.iter().zip(&outputs) {
+                let out = match out {
+                    Ok(out) => out,
+                    Err(e) => {
+                        eprintln!("xq: {}: {e}", query.text());
+                        tripped += 1;
+                        continue;
+                    }
+                };
                 if opts.stats {
                     print_stats(out);
                 }
@@ -475,6 +550,9 @@ fn main() {
                         println!("pre {:>8}  {}", v, render_node(session.doc(), v));
                     }
                 }
+            }
+            if parse_failures == 0 && tripped > 0 {
+                exit(EXIT_GOVERNED);
             }
         }
         if parse_failures > 0 {
@@ -489,7 +567,12 @@ fn main() {
         print_plan(&query.explain(engine));
         return;
     }
-    let out = query.run(engine);
+    let out = match build_budget(&opts) {
+        Some(budget) => query
+            .run_governed(engine, budget)
+            .unwrap_or_else(|e| fail("", e)),
+        None => query.run(engine),
+    };
     if opts.explain {
         // Post-run explain: planned vs observed cost per executed step.
         print_report(&out);

@@ -64,9 +64,9 @@ pub mod prelude {
         generate_skewed_xml, generate_xml, DocProfile, MisleadConfig, SkewConfig, XmarkConfig,
     };
     pub use staircase_xpath::{
-        parse, AuxBuilds, Engine, Error, PathPlan, PhysicalPlan, PlannedStep, PredOp, Query,
-        QueryOutput, SemijoinAxis, Session, SqlBuilder, StaircaseBuilder, StepEstimate, StepOp,
-        TestOp,
+        parse, AuxBuilds, Budget, Engine, Error, PathPlan, PhysicalPlan, PlannedStep, PredOp,
+        Query, QueryOutput, SemijoinAxis, Session, SqlBuilder, StaircaseBuilder, StepEstimate,
+        StepOp, TestOp, Trip,
     };
 }
 

@@ -47,23 +47,90 @@
 //! session, so it persists across batches — recycles result and context
 //! allocations instead of paying for them per round.
 
+//! ## Governed execution
+//!
+//! [`Executor::run_plans_governed`] threads an optional per-query
+//! [`Budget`] through the rounds. Enforcement is **lane-local**:
+//!
+//! * before each round every governed lane's budget is checked, so an
+//!   expired deadline or exhausted ceiling fails the query at a round
+//!   boundary;
+//! * a pass whose lanes all share *one* budget (always true for a
+//!   governed single-query batch) runs with that budget installed
+//!   ambiently ([`governor::enter`]), so the core kernels tick and the
+//!   pass stops mid-scan with bounded overshoot;
+//! * a pass mixing budgets (or mixing governed and ungoverned lanes)
+//!   runs exactly as an ungoverned pass — sibling lanes stay node- and
+//!   order-identical to an ungoverned run — and each governed lane is
+//!   charged its incremental touches afterwards, so the overshoot is
+//!   bounded by one round;
+//! * every pass and fallback step runs under `catch_unwind`: a panic
+//!   fails the affected queries with [`Error::Internal`] (a shared
+//!   pass's blast radius is the queries of that pass; fallback lanes
+//!   fail alone) and leaves the session, pool, and sibling queries
+//!   usable.
+//!
+//! A failed query's remaining lanes are retired at the next round
+//! boundary; its partial results are discarded, never returned.
+
 use std::borrow::Cow;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
 
 use staircase_accel::{Axis, Context, NodeKind, Pre, TagId};
 use staircase_core::cost::RuntimeStats;
+use staircase_core::governor::{self, Budget};
 use staircase_core::{
     ancestor_many, ancestor_many_par, ancestor_on_list_many, ancestor_on_list_many_par,
     descendant_many, descendant_many_par, descendant_on_list_many, descendant_on_list_many_par,
-    following_many, following_many_par, has_ancestor_in_many, has_ancestor_in_many_par,
+    faults, following_many, following_many_par, has_ancestor_in_many, has_ancestor_in_many_par,
     has_child_in_many, has_child_in_many_par, has_descendant_in_many, has_descendant_in_many_par,
     mask, preceding_many, preceding_many_par, Scratch, Variant,
 };
 
 use crate::ast::NodeTest;
+use crate::error::Error;
 use crate::eval::{merge, rendered_op, EvalOutput, EvalStats, Executor, StepTrace};
 use crate::plan::{
     replan_step, HorizAxis, LaneForm, PhysicalPlan, PlannedStep, PredOp, SemijoinAxis, VertAxis,
 };
+
+/// Maps a budget trip to the typed error a governed query fails with.
+pub(crate) fn trip_error(trip: governor::Trip) -> Error {
+    match trip {
+        governor::Trip::Deadline => Error::DeadlineExceeded,
+        governor::Trip::Cost => Error::BudgetExhausted,
+        governor::Trip::Cancelled => Error::Cancelled,
+    }
+}
+
+/// Renders a caught panic payload for [`Error::Internal`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "execution task panicked".to_string()
+    }
+}
+
+/// The one budget every lane of `group` shares, if they all share one:
+/// the condition under which a pass may run with that budget installed
+/// ambiently without governing (or mis-attributing charges to) a
+/// sibling lane.
+fn shared_budget(lanes: &[Lane<'_>], group: &[usize]) -> Option<Arc<Budget>> {
+    let first = lanes[group[0]].budget.as_ref()?;
+    group
+        .iter()
+        .all(|&i| {
+            lanes[i]
+                .budget
+                .as_ref()
+                .is_some_and(|b| Arc::ptr_eq(b, first))
+        })
+        .then(|| Arc::clone(first))
+}
 
 /// How far (multiplicatively, either direction) the observed frontier
 /// cardinality must stray from the planner's estimate before the
@@ -90,6 +157,10 @@ struct Lane<'p> {
     /// Number of steps already evaluated.
     step: usize,
     stats: EvalStats,
+    /// The owning query's budget, if it runs governed. Lanes of one
+    /// query share the same `Arc`, so a trip on any lane fails them
+    /// all; lanes of different queries never share one.
+    budget: Option<Arc<Budget>>,
 }
 
 impl Lane<'_> {
@@ -160,16 +231,35 @@ impl Executor<'_> {
     /// lane form and fanning independent round pieces out across the
     /// session's worker pool.
     pub(crate) fn run_plans(&self, plans: &[&PhysicalPlan], context: &Context) -> Vec<EvalOutput> {
+        let budgets: Vec<Option<Arc<Budget>>> = plans.iter().map(|_| None).collect();
+        self.run_plans_governed(plans, context, &budgets)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("ungoverned evaluation failed: {e}")))
+            .collect()
+    }
+
+    /// [`run_plans`](Self::run_plans) with an optional per-query
+    /// [`Budget`]: `budgets[q]` governs every lane of query `q` (see the
+    /// module docs for the enforcement points). A query that trips its
+    /// budget — or whose lane panics — comes back as `Err` while its
+    /// batch siblings complete normally.
+    pub(crate) fn run_plans_governed(
+        &self,
+        plans: &[&PhysicalPlan],
+        context: &Context,
+        budgets: &[Option<Arc<Budget>>],
+    ) -> Vec<Result<EvalOutput, Error>> {
         self.scratch
-            .with(|scratch| self.run_plans_inner(plans, context, scratch))
+            .with(|scratch| self.run_plans_inner(plans, context, budgets, scratch))
     }
 
     fn run_plans_inner(
         &self,
         plans: &[&PhysicalPlan],
         context: &Context,
+        budgets: &[Option<Arc<Budget>>],
         scratch: &mut Scratch,
-    ) -> Vec<EvalOutput> {
+    ) -> Vec<Result<EvalOutput, Error>> {
         let mut lanes: Vec<Lane<'_>> = Vec::new();
         for (query, plan) in plans.iter().enumerate() {
             for path in plan.branches() {
@@ -185,14 +275,38 @@ impl Executor<'_> {
                     ctx,
                     step: 0,
                     stats: EvalStats::default(),
+                    budget: budgets[query].clone(),
                 });
             }
         }
+        // First governed failure per query; `Some` retires the query's
+        // remaining lanes and turns into the `Err` arm on reassembly.
+        let mut failed: Vec<Option<Error>> = plans.iter().map(|_| None).collect();
 
         // Rounds: every unfinished lane advances one step per round;
         // lanes whose current steps declare the same lane form advance
         // together through one multi-context pass.
         loop {
+            // Round boundary: fail governed queries whose budget has
+            // tripped (deadline passed while other queries ran, client
+            // cancelled, ceiling hit by a previous round) and retire
+            // every lane of a failed query before grouping.
+            for lane in lanes.iter_mut() {
+                if lane.pending().is_none() {
+                    continue;
+                }
+                if failed[lane.query].is_none() {
+                    if let Some(budget) = &lane.budget {
+                        if let Some(trip) = budget.check() {
+                            failed[lane.query] = Some(trip_error(trip));
+                        }
+                    }
+                }
+                if failed[lane.query].is_some() {
+                    lane.step = lane.steps.len();
+                }
+            }
+
             let mut groups: Vec<(GroupKey, Vec<usize>)> = Vec::new();
             let mut fallback: Vec<usize> = Vec::new();
             for (i, lane) in lanes.iter().enumerate() {
@@ -214,17 +328,21 @@ impl Executor<'_> {
             // round) takes the sequential path, which is exactly the
             // pre-pool executor.
             if self.pool.width() > 1 && groups.len() + fallback.len() > 1 {
-                self.round_parallel(&mut lanes, groups, fallback, scratch);
+                self.round_parallel(&mut lanes, groups, fallback, scratch, &mut failed);
             } else {
-                self.round_sequential(&mut lanes, groups, fallback, scratch);
+                self.round_sequential(&mut lanes, groups, fallback, scratch, &mut failed);
             }
         }
 
         // Reassemble per-query outputs: branches merge in declaration
         // order, step traces concatenate in the same order as a
-        // branch-by-branch evaluation would produce them.
+        // branch-by-branch evaluation would produce them. A failed
+        // query's lanes are dropped — partial results never escape.
         let mut outputs: Vec<Option<EvalOutput>> = plans.iter().map(|_| None).collect();
         for lane in lanes {
+            if failed[lane.query].is_some() {
+                continue;
+            }
             let branch = EvalOutput {
                 result: lane.ctx,
                 stats: lane.stats,
@@ -239,40 +357,115 @@ impl Executor<'_> {
         }
         outputs
             .into_iter()
-            .map(|o| {
-                o.unwrap_or_else(|| EvalOutput {
+            .zip(failed)
+            .map(|(o, f)| match f {
+                Some(e) => Err(e),
+                None => Ok(o.unwrap_or_else(|| EvalOutput {
                     // The parser guarantees at least one branch; an empty
                     // union is harmlessly empty rather than a panic.
                     result: Context::empty(),
                     stats: EvalStats::default(),
-                })
+                })),
             })
             .collect()
     }
 
     /// One round, sequentially: fallback lanes through the plan
-    /// interpreter, then each group's shared pass.
+    /// interpreter, then each group's shared pass. Fallback lanes and
+    /// group passes run under `catch_unwind` with the lane (or shared)
+    /// budget installed ambiently; see the module docs.
     fn round_sequential(
         &self,
         lanes: &mut [Lane<'_>],
         groups: Vec<(GroupKey, Vec<usize>)>,
         fallback: Vec<usize>,
         scratch: &mut Scratch,
+        failed: &mut [Option<Error>],
     ) {
         // The residue: one lane at a time through the sequential plan
         // interpreter.
         for i in fallback {
-            let lane = &mut lanes[i];
-            let step = &lane.steps[lane.step];
-            let (next, trace) = self.exec_step(&lane.ctx, step);
-            lane.stats.steps.push(trace);
-            scratch.recycle(std::mem::replace(&mut lane.ctx, next));
-            lane.step += 1;
-            self.maybe_replan(&mut lanes[i]);
+            let outcome = {
+                let lane = &lanes[i];
+                let _guard = lane.budget.clone().map(governor::enter);
+                std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    faults::fail_point("xpath::lane");
+                    self.exec_step(&lane.ctx, &lane.steps[lane.step])
+                }))
+            };
+            self.apply_lane_outcome(lanes, i, outcome, scratch, failed);
         }
         for (form, group) in groups {
-            let outs = self.group_outs(lanes, &group, &form, scratch);
-            self.advance(lanes, &group, outs, scratch);
+            let shared = shared_budget(lanes, &group);
+            let outcome = {
+                let _guard = shared.clone().map(governor::enter);
+                std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    faults::fail_point("xpath::round");
+                    self.group_outs(lanes, &group, &form, scratch)
+                }))
+            };
+            match outcome {
+                Ok(outs) => self.advance(lanes, &group, outs, scratch, failed, shared.is_some()),
+                Err(payload) => self.fail_group(lanes, &group, payload, failed),
+            }
+        }
+    }
+
+    /// Applies one fallback lane's caught outcome: a panic fails the
+    /// owning query with [`Error::Internal`]; a tripped budget (the
+    /// lane ran with it installed ambiently) fails it with the trip's
+    /// typed error and discards the partial context; otherwise the lane
+    /// advances exactly as an ungoverned one.
+    fn apply_lane_outcome(
+        &self,
+        lanes: &mut [Lane<'_>],
+        i: usize,
+        outcome: std::thread::Result<(Context, StepTrace)>,
+        scratch: &mut Scratch,
+        failed: &mut [Option<Error>],
+    ) {
+        let lane = &mut lanes[i];
+        match outcome {
+            Ok((next, trace)) => {
+                let tripped = lane.budget.as_ref().and_then(|b| b.check());
+                if let Some(trip) = tripped {
+                    if failed[lane.query].is_none() {
+                        failed[lane.query] = Some(trip_error(trip));
+                    }
+                    scratch.recycle(next);
+                    lane.step = lane.steps.len();
+                } else {
+                    lane.stats.steps.push(trace);
+                    scratch.recycle(std::mem::replace(&mut lane.ctx, next));
+                    lane.step += 1;
+                    self.maybe_replan(&mut lanes[i]);
+                }
+            }
+            Err(payload) => {
+                if failed[lane.query].is_none() {
+                    failed[lane.query] = Some(Error::Internal(panic_message(payload)));
+                }
+                lane.step = lane.steps.len();
+            }
+        }
+    }
+
+    /// Fails every query with a lane in `group` after its shared pass
+    /// panicked: the pass's blast radius is exactly its member queries.
+    fn fail_group(
+        &self,
+        lanes: &mut [Lane<'_>],
+        group: &[usize],
+        payload: Box<dyn std::any::Any + Send>,
+        failed: &mut [Option<Error>],
+    ) {
+        let msg = panic_message(payload);
+        for &i in group {
+            let lane = &mut lanes[i];
+            if failed[lane.query].is_none() {
+                failed[lane.query] = Some(Error::Internal(msg.clone()));
+            }
+            lane.step = lane.steps.len();
         }
     }
 
@@ -286,6 +479,7 @@ impl Executor<'_> {
         groups: Vec<(GroupKey, Vec<usize>)>,
         fallback: Vec<usize>,
         scratch: &mut Scratch,
+        failed: &mut [Option<Error>],
     ) {
         let results = {
             let lanes_ref: &[Lane<'_>] = lanes;
@@ -294,6 +488,11 @@ impl Executor<'_> {
             for &i in &fallback {
                 tasks.push(Box::new(move || {
                     let lane = &lanes_ref[i];
+                    // The lane's own budget governs the task (nested
+                    // pool jobs — morsel workers — inherit it from
+                    // here); the pool catches any panic.
+                    let _guard = lane.budget.clone().map(governor::enter);
+                    faults::fail_point("xpath::lane");
                     let step = &lane.steps[lane.step];
                     let (next, trace) = self.exec_step(&lane.ctx, step);
                     RoundOut::Lane(next, trace)
@@ -301,31 +500,37 @@ impl Executor<'_> {
             }
             for (form, group) in &groups {
                 tasks.push(Box::new(move || {
+                    let _guard = shared_budget(lanes_ref, group).map(governor::enter);
+                    faults::fail_point("xpath::round");
                     RoundOut::Group(
                         self.scratch
                             .with(|shard| self.group_outs(lanes_ref, group, form, shard)),
                     )
                 }));
             }
-            self.pool.run(tasks)
+            self.pool.run_caught(tasks)
         };
 
         let mut results = results.into_iter();
         for i in fallback {
-            let Some(RoundOut::Lane(next, trace)) = results.next() else {
-                unreachable!("fallback tasks come back first, in order");
+            let outcome = match results.next() {
+                Some(Ok(RoundOut::Lane(next, trace))) => Ok((next, trace)),
+                Some(Err(payload)) => Err(payload),
+                _ => unreachable!("fallback tasks come back first, in order"),
             };
-            let lane = &mut lanes[i];
-            lane.stats.steps.push(trace);
-            scratch.recycle(std::mem::replace(&mut lane.ctx, next));
-            lane.step += 1;
-            self.maybe_replan(&mut lanes[i]);
+            self.apply_lane_outcome(lanes, i, outcome, scratch, failed);
         }
         for (_, group) in groups {
-            let Some(RoundOut::Group(outs)) = results.next() else {
-                unreachable!("one group task per group, in order");
-            };
-            self.advance(lanes, &group, outs, scratch);
+            // Recomputed over lanes the tasks left untouched, so it
+            // matches what the task installed.
+            let ambient_ran = shared_budget(lanes, &group).is_some();
+            match results.next() {
+                Some(Ok(RoundOut::Group(outs))) => {
+                    self.advance(lanes, &group, outs, scratch, failed, ambient_ran);
+                }
+                Some(Err(payload)) => self.fail_group(lanes, &group, payload, failed),
+                _ => unreachable!("one group task per group, in order"),
+            }
         }
     }
 
@@ -667,15 +872,43 @@ impl Executor<'_> {
     /// recycling the previous context's allocation; adaptive lanes then
     /// re-price their next pending step against the frontier they just
     /// observed.
+    ///
+    /// Governed lanes settle their budget here. `ambient_ran` says the
+    /// pass executed with the group's shared budget installed: the core
+    /// kernels already charged it, so the budget is only *checked* — a
+    /// trip means the pass bailed early and every out of the group
+    /// (same budget ⇒ same blast radius) is garbage to discard. A pass
+    /// without ambient governance ran to completion ungoverned; each
+    /// governed lane is charged its incremental touches now, and a trip
+    /// fails just that lane's query (overshoot: one round).
     fn advance(
         &self,
         lanes: &mut [Lane<'_>],
         group: &[usize],
         outs: Vec<(Context, u64)>,
         scratch: &mut Scratch,
+        failed: &mut [Option<Error>],
+        ambient_ran: bool,
     ) {
         for (&i, (out, touched)) in group.iter().zip(outs) {
             let lane = &mut lanes[i];
+            if failed[lane.query].is_none() {
+                if let Some(budget) = &lane.budget {
+                    let trip = if ambient_ran {
+                        budget.check()
+                    } else {
+                        budget.charge(touched)
+                    };
+                    if let Some(trip) = trip {
+                        failed[lane.query] = Some(trip_error(trip));
+                    }
+                }
+            }
+            if failed[lane.query].is_some() {
+                scratch.recycle(out);
+                lane.step = lane.steps.len();
+                continue;
+            }
             let step = &lane.steps[lane.step];
             lane.stats.steps.push(StepTrace {
                 step: step.source().to_string(),

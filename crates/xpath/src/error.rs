@@ -37,6 +37,22 @@ pub enum Error {
     },
     /// Reading a document from disk failed.
     Io(std::io::Error),
+    /// A governed query ran past its wall-clock deadline
+    /// ([`staircase_core::governor::Budget::with_deadline`]) and was
+    /// stopped cooperatively.
+    DeadlineExceeded,
+    /// A governed query touched more nodes than its cost ceiling
+    /// ([`staircase_core::governor::Budget::with_max_touched`]) allows.
+    BudgetExhausted,
+    /// The query's [`staircase_core::governor::Budget`] was cancelled
+    /// (client CANCEL, disconnect, or programmatic
+    /// [`staircase_core::governor::Budget::cancel`]).
+    Cancelled,
+    /// A lane or pool task panicked during execution. The panic was
+    /// isolated to this query; the session, its worker pool, and any
+    /// sibling queries of the same batch pass unaffected by it remain
+    /// fully usable.
+    Internal(String),
 }
 
 impl std::fmt::Display for Error {
@@ -56,6 +72,10 @@ impl std::fmt::Display for Error {
                 )
             }
             Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            Error::BudgetExhausted => write!(f, "query cost budget exhausted"),
+            Error::Cancelled => write!(f, "query cancelled"),
+            Error::Internal(detail) => write!(f, "internal execution failure: {detail}"),
         }
     }
 }
@@ -69,7 +89,11 @@ impl std::error::Error for Error {
             Error::Io(e) => Some(e),
             Error::UnsupportedAxis(_)
             | Error::InvalidEngine(_)
-            | Error::ContextOutOfRange { .. } => None,
+            | Error::ContextOutOfRange { .. }
+            | Error::DeadlineExceeded
+            | Error::BudgetExhausted
+            | Error::Cancelled
+            | Error::Internal(_) => None,
         }
     }
 }

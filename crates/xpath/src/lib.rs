@@ -175,6 +175,35 @@
 //! shards, which is the execution backbone the future query server
 //! batches onto.
 //!
+//! ## Governance and the failure model
+//!
+//! Long or adversarial queries are kept on a leash by the **query
+//! governor** ([`staircase_core::governor`]): a [`Budget`] carries an
+//! optional wall-clock deadline, an optional touched-nodes cost
+//! ceiling, and a cancellation flag, and is enforced *cooperatively* —
+//! the core kernels tick it at partition/chunk/seek boundaries and the
+//! lane executor checks it at round boundaries, so a governed query
+//! stops with bounded overshoot and no locks held. The governed entry
+//! points are [`Query::run_governed`] / [`Query::run_from_governed`] /
+//! [`Session::run_many_governed`]; ungoverned calls pay nothing (one
+//! branch per kernel).
+//!
+//! What can fail, and what survives:
+//!
+//! * a tripped budget fails **only its own query** —
+//!   [`Error::DeadlineExceeded`], [`Error::BudgetExhausted`], or
+//!   [`Error::Cancelled`] — and its partial work is discarded, never
+//!   returned;
+//! * sibling queries of the same [`Session::run_many_governed`] batch
+//!   complete **node- and order-identical to an ungoverned run**: a
+//!   pass shared with a failing query runs ungoverned to completion and
+//!   only the failing query is charged at the round boundary;
+//! * a panic inside one query's evaluation (a bug, or a
+//!   [`staircase_core::faults`] fail point) is caught at the lane/pass
+//!   boundary and isolated as [`Error::Internal`] — the [`Session`],
+//!   its worker pool, its cached auxiliary structures, and every other
+//!   query remain fully usable.
+//!
 //! The supported grammar covers what the paper's experiments need and the
 //! usual abbreviations:
 //!
@@ -240,3 +269,5 @@ pub use plan::{
     TwigSpec,
 };
 pub use session::{AuxBuilds, Query, QueryOutput, Session};
+pub use staircase_core::faults;
+pub use staircase_core::governor::{self, Budget, Trip};

@@ -34,6 +34,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use staircase_accel::{Context, Doc, Pre};
 use staircase_baselines::SqlEngine;
 use staircase_core::cost::{Calibrator, DocStats};
+use staircase_core::governor::Budget;
 use staircase_core::{ScratchPool, TagIndex, WorkerPool};
 
 use crate::ast::UnionExpr;
@@ -248,12 +249,53 @@ impl Session {
     /// query prepared on a different session contributes its parsed
     /// expression only.
     pub fn run_many(&self, queries: &[&Query<'_>], engine: Engine) -> Vec<QueryOutput> {
+        let budgets: Vec<Option<Arc<Budget>>> = queries.iter().map(|_| None).collect();
+        self.run_many_governed(queries, engine, &budgets)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("ungoverned evaluation failed: {e}")))
+            .collect()
+    }
+
+    /// [`Session::run_many`] under per-query governance: `budgets[i]`
+    /// (deadline, cost ceiling, cancellation — see
+    /// [`Budget`](staircase_core::governor::Budget)) governs
+    /// `queries[i]`; `None` runs that query ungoverned.
+    ///
+    /// Enforcement is **lane-local**. A query that trips its budget
+    /// comes back as `Err` ([`Error::DeadlineExceeded`] /
+    /// [`Error::BudgetExhausted`] / [`Error::Cancelled`]) with its
+    /// partial work discarded, while sibling queries of the same batch
+    /// complete **node- and order-identical** to an ungoverned run —
+    /// any pass shared between a failing and a surviving query runs
+    /// ungoverned to completion and only the failing query is charged.
+    /// A panic inside one query's lane is caught and isolated
+    /// ([`Error::Internal`]): the session, its worker pool, and the
+    /// sibling queries remain fully usable.
+    ///
+    /// `budgets.len()` must equal `queries.len()`.
+    pub fn run_many_governed(
+        &self,
+        queries: &[&Query<'_>],
+        engine: Engine,
+        budgets: &[Option<Arc<Budget>>],
+    ) -> Vec<Result<QueryOutput, Error>> {
+        assert_eq!(
+            queries.len(),
+            budgets.len(),
+            "one budget slot per query required"
+        );
         if self.doc.is_empty() {
-            return queries
+            // No rounds run, but a budget that is already dead (expired
+            // deadline, cancelled) still fails its query, matching the
+            // round-boundary check a non-empty document would hit.
+            return budgets
                 .iter()
-                .map(|_| QueryOutput {
-                    result: Context::empty(),
-                    stats: EvalStats::default(),
+                .map(|b| match b.as_ref().and_then(|b| b.check()) {
+                    Some(trip) => Err(crate::batch::trip_error(trip)),
+                    None => Ok(QueryOutput {
+                        result: Context::empty(),
+                        stats: EvalStats::default(),
+                    }),
                 })
                 .collect();
         }
@@ -276,9 +318,9 @@ impl Session {
             plan_refs.iter().any(|p| p.needs_sql_engine()),
         );
         let root = Context::singleton(self.doc.root());
-        ex.run_plans(&plan_refs, &root)
+        ex.run_plans_governed(&plan_refs, &root, budgets)
             .into_iter()
-            .map(|EvalOutput { result, stats }| QueryOutput { result, stats })
+            .map(|r| r.map(|EvalOutput { result, stats }| QueryOutput { result, stats }))
             .collect()
     }
 
@@ -509,6 +551,50 @@ impl<'s> Query<'s> {
             return Err(Error::ContextOutOfRange { pre, len });
         }
         Ok(self.run_unchecked(context, engine))
+    }
+
+    /// [`Query::run`] under a [`Budget`]: the query stops cooperatively
+    /// at its deadline or cost ceiling (or when
+    /// [`Budget::cancel`] is called from another thread) and reports
+    /// the trip as a typed error; a panic during evaluation is caught
+    /// and isolated as [`Error::Internal`], leaving the session fully
+    /// usable. The K = 1 case of [`Session::run_many_governed`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DeadlineExceeded`], [`Error::BudgetExhausted`],
+    /// [`Error::Cancelled`], [`Error::Internal`].
+    pub fn run_governed(&self, engine: Engine, budget: Arc<Budget>) -> Result<QueryOutput, Error> {
+        self.session
+            .run_many_governed(&[self], engine, &[Some(budget)])
+            .pop()
+            .expect("one query in, one result out")
+    }
+
+    /// [`Query::run_from`] under a [`Budget`]; see
+    /// [`Query::run_governed`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ContextOutOfRange`] for a context node outside this
+    /// session's document, plus everything [`Query::run_governed`]
+    /// reports.
+    pub fn run_from_governed(
+        &self,
+        context: &Context,
+        engine: Engine,
+        budget: Arc<Budget>,
+    ) -> Result<QueryOutput, Error> {
+        let len = self.session.doc.len();
+        if let Some(pre) = context.iter().find(|&v| v as usize >= len) {
+            return Err(Error::ContextOutOfRange { pre, len });
+        }
+        let plan = self.plan_for(engine);
+        let ex = self.session.executor_for(&plan);
+        ex.run_plans_governed(&[&plan], context, &[Some(budget)])
+            .pop()
+            .expect("one plan in, one result out")
+            .map(|EvalOutput { result, stats }| QueryOutput { result, stats })
     }
 
     /// Lowers this query into the physical plan `engine` would execute

@@ -1,0 +1,233 @@
+//! The chaos suite: fault-injection tests compiled only under
+//! `RUSTFLAGS="--cfg stair_faults"` (CI runs them as a dedicated leg).
+//!
+//! Each test arms named fail points (`staircase_xpath::faults`) to
+//! force failures ordinary inputs cannot reach — a panic inside a pool
+//! task, a forced budget trip inside a kernel, an injected delay that
+//! makes deadlines observable on small documents — and asserts the
+//! governor's containment claims: one query fails, its siblings and
+//! the session (and, server-side, the connection) survive.
+//!
+//! The fail-point registry is process-wide, so every test serializes on
+//! one mutex and disarms everything it armed.
+
+#![allow(unexpected_cfgs)]
+#![cfg(stair_faults)]
+
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use staircase_suite::prelude::*;
+use staircase_xpath::faults::{self, FaultKind};
+
+/// Serializes chaos tests (the registry is process-wide) and guarantees
+/// a clean registry on entry and exit.
+struct FaultScope(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl FaultScope {
+    fn enter() -> FaultScope {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        faults::clear_all();
+        FaultScope(guard)
+    }
+}
+
+impl Drop for FaultScope {
+    fn drop(&mut self) {
+        faults::clear_all();
+    }
+}
+
+fn layered_doc(fanout: usize, width: usize) -> Doc {
+    let mut b = EncodingBuilder::new();
+    b.open_element("root");
+    for _ in 0..fanout {
+        b.open_element("p");
+        for _ in 0..width {
+            b.open_element("q");
+            b.close_element();
+        }
+        b.close_element();
+    }
+    b.close_element();
+    b.finish()
+}
+
+fn engine() -> Engine {
+    Engine::staircase().build().expect("valid engine config")
+}
+
+#[test]
+fn a_panicking_pool_task_fails_only_its_query() {
+    let _scope = FaultScope::enter();
+    // Width 2 and two lanes with *different* grouping keys (a
+    // descendant pass and a child pass): the round fans out as two pool
+    // tasks, and a panic in one of them must fail exactly one query.
+    let session = Session::new(layered_doc(40, 40)).with_threads(2);
+    let queries = [
+        session.prepare("//q").expect("query parses"),
+        session
+            .prepare("/child::p/descendant::q")
+            .expect("query parses"),
+    ];
+    let refs: Vec<&_> = queries.iter().collect();
+    let baseline = session.run_many(&refs, engine());
+
+    faults::set("core::pool::task", FaultKind::Panic, Some(1));
+    let governed = session.run_many_governed(&refs, engine(), &[None, None]);
+    faults::clear_all();
+
+    let failed: Vec<usize> = governed
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.is_err())
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(failed.len(), 1, "exactly one query must fail: {governed:?}");
+    assert!(
+        matches!(governed[failed[0]], Err(Error::Internal(_))),
+        "the failure must be the isolated-panic variant: {:?}",
+        governed[failed[0]]
+    );
+    for (i, (g, b)) in governed.iter().zip(&baseline).enumerate() {
+        if i == failed[0] {
+            continue;
+        }
+        let g = g.as_ref().expect("sibling completes");
+        assert_eq!(
+            g.nodes().as_slice(),
+            b.nodes().as_slice(),
+            "sibling {i} diverged"
+        );
+    }
+
+    // The pool and session survive the unwound task: the same batch
+    // answers in full.
+    let again = session.run_many(&refs, engine());
+    for (a, b) in again.iter().zip(&baseline) {
+        assert_eq!(a.nodes().as_slice(), b.nodes().as_slice());
+    }
+}
+
+#[test]
+fn a_forced_trip_inside_a_kernel_cancels_the_governed_query() {
+    let _scope = FaultScope::enter();
+    let session = Session::new(layered_doc(30, 30));
+    let query = session.prepare("//q/ancestor::p").expect("query parses");
+
+    faults::set("core::desc::partition", FaultKind::Trip, None);
+    let out = query.run_governed(engine(), Arc::new(Budget::new()));
+    faults::clear_all();
+    assert!(
+        matches!(out, Err(Error::Cancelled)),
+        "a forced trip surfaces as cancellation: {out:?}"
+    );
+
+    let ok = query
+        .run_governed(engine(), Arc::new(Budget::new()))
+        .expect("disarmed: the query answers");
+    assert_eq!(
+        ok.nodes().as_slice(),
+        query.run(engine()).nodes().as_slice()
+    );
+}
+
+#[test]
+fn an_injected_delay_makes_a_deadline_trip_on_a_small_document() {
+    let _scope = FaultScope::enter();
+    let session = Session::new(layered_doc(5, 5));
+    let query = session.prepare("//q/ancestor::p").expect("query parses");
+
+    // 30 ms per round against a 10 ms deadline: the round-boundary
+    // check must trip even though the document is far too small for the
+    // in-kernel tickers to fire. Both round sites are armed so the test
+    // holds whether the plan runs its lanes grouped or as fallbacks.
+    faults::set("xpath::lane", FaultKind::Delay(30), None);
+    faults::set("xpath::round", FaultKind::Delay(30), None);
+    let budget = Arc::new(Budget::new().with_deadline_in(Duration::from_millis(10)));
+    let out = query.run_governed(engine(), budget);
+    faults::clear_all();
+    assert!(
+        matches!(out, Err(Error::DeadlineExceeded)),
+        "the delayed round must overrun the deadline: {out:?}"
+    );
+}
+
+#[test]
+fn a_panicking_batch_execution_answers_internal_and_the_server_survives() {
+    use staircase_server::protocol::code;
+    use staircase_server::{Client, ClientError, QueryOptions, Server, ServerConfig};
+
+    let _scope = FaultScope::enter();
+    let session =
+        Arc::new(staircase_xpath::Session::parse_xml("<a><b/><b/></a>").expect("fixture parses"));
+    let handle = Server::start(session, ServerConfig::default()).expect("server binds");
+    let mut client = Client::connect(handle.local_addr()).expect("client connects");
+
+    faults::set("server::execute", FaultKind::Panic, Some(1));
+    let err = client
+        .query("//b", &QueryOptions::default())
+        .expect_err("the injected panic must fail the query");
+    assert!(
+        matches!(err, ClientError::Server { code: c, .. } if c == code::INTERNAL),
+        "{err:?}"
+    );
+
+    // Same connection, same batcher thread: the next query answers.
+    let reply = client
+        .query("//b", &QueryOptions::default())
+        .expect("the server survives the caught panic");
+    assert_eq!(reply.total, 2);
+    assert!(
+        handle
+            .metrics()
+            .internal_errors
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn an_injected_delay_trips_the_client_deadline_over_the_wire() {
+    use staircase_server::protocol::code;
+    use staircase_server::{Client, ClientError, QueryOptions, Server, ServerConfig};
+
+    let _scope = FaultScope::enter();
+    let session =
+        Arc::new(staircase_xpath::Session::parse_xml("<a><b/><b/></a>").expect("fixture parses"));
+    let handle = Server::start(session, ServerConfig::default()).expect("server binds");
+    let mut client = Client::connect(handle.local_addr()).expect("client connects");
+
+    faults::set("xpath::lane", FaultKind::Delay(80), None);
+    faults::set("xpath::round", FaultKind::Delay(80), None);
+    let err = client
+        .query(
+            "//b",
+            &QueryOptions {
+                deadline_ms: Some(20),
+                ..QueryOptions::default()
+            },
+        )
+        .expect_err("the delayed execution must overrun the 20 ms deadline");
+    assert!(
+        matches!(err, ClientError::Server { code: c, .. } if c == code::TIMEOUT),
+        "{err:?}"
+    );
+    faults::clear_all();
+
+    // The connection survives the governed timeout.
+    let reply = client
+        .query("//b", &QueryOptions::default())
+        .expect("the connection stays open after TIMEOUT");
+    assert_eq!(reply.total, 2);
+    assert!(
+        handle
+            .metrics()
+            .exec_timeouts
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    handle.shutdown_and_join();
+}

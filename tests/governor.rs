@@ -1,0 +1,310 @@
+//! The query governor, end to end: deadlines stop pathological queries
+//! promptly, cost budgets trip at the touched-node ceiling, cooperative
+//! cancellation works from another thread, and every trip is
+//! lane-local — batch siblings complete node- and order-identical to an
+//! ungoverned run, and the session (with its worker pool) stays
+//! reusable afterwards.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use staircase_suite::prelude::*;
+
+/// A two-level document: `root` over `fanout` `p` elements, each over
+/// `width` `q` elements — big enough that a full-document pass is
+/// measurable work, cheap enough to build in every test.
+fn layered_doc(fanout: usize, width: usize) -> Doc {
+    let mut b = EncodingBuilder::new();
+    b.open_element("root");
+    for _ in 0..fanout {
+        b.open_element("p");
+        for _ in 0..width {
+            b.open_element("q");
+            b.close_element();
+        }
+        b.close_element();
+    }
+    b.close_element();
+    b.finish()
+}
+
+/// A query whose every step visits (roughly) the whole document:
+/// `steps` alternating full-plane descendant/ancestor passes. Running
+/// it ungoverned costs `steps × |doc|` touched nodes — the pathological
+/// shape the governor exists for.
+fn pathological_query(steps: usize) -> String {
+    let mut q = String::from("/descendant-or-self::*");
+    for i in 0..steps {
+        q.push_str(if i % 2 == 0 {
+            "/ancestor-or-self::*"
+        } else {
+            "/descendant-or-self::*"
+        });
+    }
+    q
+}
+
+fn engine() -> Engine {
+    Engine::staircase().build().expect("valid engine config")
+}
+
+#[test]
+fn a_50ms_deadline_stops_a_pathological_query_promptly() {
+    let session = Session::new(layered_doc(300, 400));
+    let query = session
+        .prepare(&pathological_query(60))
+        .expect("query parses");
+    let budget = Arc::new(Budget::new().with_deadline_in(Duration::from_millis(50)));
+    let started = Instant::now();
+    let out = query.run_governed(engine(), budget);
+    let elapsed = started.elapsed();
+    assert!(
+        matches!(out, Err(Error::DeadlineExceeded)),
+        "expected a deadline trip, got {out:?}"
+    );
+    // Promptness: enforcement is amortized (chunk boundaries, round
+    // boundaries), so the stop lands within a small multiple of the
+    // deadline — not after the multi-second ungoverned runtime.
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "deadline enforced too late: {elapsed:?}"
+    );
+
+    // The session survives the trip: ordinary queries still answer.
+    let ok = session.prepare("//q").expect("query parses").run(engine());
+    assert_eq!(ok.len(), 300 * 400);
+}
+
+#[test]
+fn a_cost_budget_trips_at_the_touched_node_ceiling() {
+    let session = Session::new(layered_doc(100, 100));
+    let query = session
+        .prepare(&pathological_query(20))
+        .expect("query parses");
+
+    let tight = Arc::new(Budget::new().with_max_touched(2_000));
+    let out = query.run_governed(engine(), Arc::clone(&tight));
+    assert!(
+        matches!(out, Err(Error::BudgetExhausted)),
+        "expected a cost trip, got {out:?}"
+    );
+    assert!(
+        tight.touched() >= 2_000,
+        "the trip must record the ceiling being reached, saw {}",
+        tight.touched()
+    );
+
+    // A generous budget changes nothing about the answer.
+    let loose = Arc::new(Budget::new().with_max_touched(u64::MAX));
+    let governed = query
+        .run_governed(engine(), loose)
+        .expect("a generous budget must not trip");
+    let baseline = query.run(engine());
+    assert_eq!(governed.nodes().as_slice(), baseline.nodes().as_slice());
+}
+
+#[test]
+fn cancellation_from_another_thread_stops_the_query() {
+    let session = Session::new(layered_doc(300, 400));
+    let query = session
+        .prepare(&pathological_query(60))
+        .expect("query parses");
+    let budget = Arc::new(Budget::new());
+    let canceller = {
+        let budget = Arc::clone(&budget);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            budget.cancel();
+        })
+    };
+    let started = Instant::now();
+    let out = query.run_governed(engine(), budget);
+    let elapsed = started.elapsed();
+    canceller.join().expect("canceller thread");
+    assert!(
+        matches!(out, Err(Error::Cancelled)),
+        "expected a cancellation, got {out:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "cancellation observed too late: {elapsed:?}"
+    );
+}
+
+#[test]
+fn a_dead_budget_fails_before_any_work() {
+    let session = Session::new(layered_doc(10, 10));
+    let query = session.prepare("//q").expect("query parses");
+    let budget = Arc::new(Budget::new());
+    budget.cancel();
+    let out = query.run_governed(engine(), Arc::clone(&budget));
+    assert!(matches!(out, Err(Error::Cancelled)), "got {out:?}");
+    assert_eq!(budget.touched(), 0, "a dead budget must admit no work");
+}
+
+#[test]
+fn a_tripped_lane_leaves_batch_siblings_identical() {
+    let doc = layered_doc(60, 60);
+    let exprs = [
+        "//q",
+        "/descendant::q/ancestor::p",
+        "//p[q]",
+        // The governed victim: full-plane passes against a 500-node cap.
+        "/descendant-or-self::*/ancestor-or-self::*/descendant-or-self::*",
+    ];
+    for width in [1usize, 2, 4] {
+        for engine in [engine(), Engine::auto()] {
+            let session = Session::new(doc.clone()).with_threads(width);
+            let queries: Vec<_> = exprs
+                .iter()
+                .map(|e| session.prepare(e).expect("query parses"))
+                .collect();
+            let refs: Vec<&_> = queries.iter().collect();
+            let baseline = session.run_many(&refs, engine);
+
+            let mut budgets: Vec<Option<Arc<Budget>>> = vec![None; exprs.len()];
+            budgets[exprs.len() - 1] = Some(Arc::new(Budget::new().with_max_touched(500)));
+            let governed = session.run_many_governed(&refs, engine, &budgets);
+
+            assert!(
+                matches!(governed.last(), Some(Err(Error::BudgetExhausted))),
+                "width {width}: the victim must trip, got {:?}",
+                governed.last()
+            );
+            for (i, (g, b)) in governed.iter().zip(&baseline).enumerate() {
+                if i == exprs.len() - 1 {
+                    continue;
+                }
+                let g = g.as_ref().unwrap_or_else(|e| {
+                    panic!("width {width}: sibling {i} must complete, got {e}")
+                });
+                assert_eq!(
+                    g.nodes().as_slice(),
+                    b.nodes().as_slice(),
+                    "width {width}: sibling {i} diverged from the ungoverned run"
+                );
+            }
+
+            // The pool is still whole: the same batch answers again.
+            let again = session.run_many(&refs, engine);
+            for (a, b) in again.iter().zip(&baseline) {
+                assert_eq!(a.nodes().as_slice(), b.nodes().as_slice());
+            }
+        }
+    }
+}
+
+/// An arbitrary small document over the `p`/`q`/`r` vocabulary (the
+/// batch suite's generator, reduced).
+fn arb_doc() -> impl Strategy<Value = Doc> {
+    proptest::collection::vec(0u8..5, 1..200).prop_map(|ops| {
+        let tags = ["p", "q", "r"];
+        let mut b = EncodingBuilder::new();
+        b.open_element("root");
+        let mut depth = 1;
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                0 | 3 => {
+                    b.open_element(tags[i % tags.len()]);
+                    depth += 1;
+                }
+                1 if depth > 1 => {
+                    b.close_element();
+                    depth -= 1;
+                }
+                2 => {
+                    b.text("t");
+                }
+                _ => {
+                    b.comment("c");
+                }
+            }
+        }
+        while depth > 0 {
+            b.close_element();
+            depth -= 1;
+        }
+        b.finish()
+    })
+}
+
+/// Arbitrary multi-step queries spanning staircase, fragment, horiz,
+/// and predicate lanes.
+fn arb_query() -> impl Strategy<Value = String> {
+    let axis = prop_oneof![
+        Just("descendant"),
+        Just("ancestor"),
+        Just("descendant-or-self"),
+        Just("child"),
+        Just("following"),
+    ];
+    let test = prop_oneof![Just("p"), Just("q"), Just("r"), Just("*")];
+    let pred = prop_oneof![Just(""), Just(""), Just("[p]"), Just("[descendant::q]")];
+    proptest::collection::vec((axis, test, pred), 1..4).prop_map(|steps| {
+        let mut out = String::new();
+        for (axis, test, pred) in steps {
+            out.push('/');
+            out.push_str(axis);
+            out.push_str("::");
+            out.push_str(test);
+            out.push_str(pred);
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The containment property, at arbitrary scan points: wherever a
+    /// cost budget trips the first query of a batch — mid-kernel,
+    /// between rounds, or never — every sibling lane answers node- and
+    /// order-identical to the ungoverned run, at pool widths 1, 2, and
+    /// 4, and the session remains fully reusable afterwards.
+    #[test]
+    fn governed_trips_are_lane_local_and_leave_the_session_reusable(
+        (doc, exprs, cap) in (
+            arb_doc(),
+            proptest::collection::vec(arb_query(), 2..5),
+            1u64..3_000,
+        )
+    ) {
+        for width in [1usize, 2, 4] {
+            let session = Session::new(doc.clone()).with_threads(width);
+            let queries: Vec<_> = exprs
+                .iter()
+                .map(|e| session.prepare(e).expect("generated query parses"))
+                .collect();
+            let refs: Vec<&_> = queries.iter().collect();
+            let baseline = session.run_many(&refs, Engine::auto());
+
+            let mut budgets: Vec<Option<Arc<Budget>>> = vec![None; refs.len()];
+            budgets[0] = Some(Arc::new(Budget::new().with_max_touched(cap)));
+            let governed = session.run_many_governed(&refs, Engine::auto(), &budgets);
+
+            for (i, (g, b)) in governed.iter().zip(&baseline).enumerate() {
+                match g {
+                    Ok(out) => prop_assert_eq!(
+                        out.nodes().as_slice(),
+                        b.nodes().as_slice(),
+                        "width {}: query {} diverged", width, i
+                    ),
+                    Err(Error::BudgetExhausted) => prop_assert_eq!(
+                        i, 0, "width {}: only the governed lane may trip", width
+                    ),
+                    Err(other) => prop_assert!(
+                        false, "width {}: unexpected failure {}", width, other
+                    ),
+                }
+            }
+
+            // Reusability: the same session answers the full batch
+            // ungoverned, identically, after any trip.
+            let again = session.run_many(&refs, Engine::auto());
+            for (a, b) in again.iter().zip(&baseline) {
+                prop_assert_eq!(a.nodes().as_slice(), b.nodes().as_slice());
+            }
+        }
+    }
+}

@@ -84,6 +84,7 @@ fn concurrent_clients_match_sequential_run_exactly() {
                                     engine: ENGINES[ei].to_string(),
                                     render: false,
                                     count_only: false,
+                                    deadline_ms: None,
                                 },
                             )
                             .unwrap_or_else(|e| panic!("client {c}: {expr}: {e}"));
@@ -146,6 +147,7 @@ fn warm_tags_precracks_the_hot_set_and_leaves_cold_tags_lazy() {
         engine: "fragmented".to_string(),
         render: false,
         count_only: false,
+        deadline_ms: None,
     };
 
     // Hot-set traffic reads the pre-cracked fragments; the cold tags
@@ -176,6 +178,125 @@ fn warm_tags_precracks_the_hot_set_and_leaves_cold_tags_lazy() {
     handle.shutdown_and_join();
 }
 
+/// A document and query pair whose ungoverned evaluation takes long
+/// enough (many full-plane passes) that deadlines and cancellations
+/// deterministically win the race against completion.
+fn pathological() -> (Arc<Session>, String) {
+    let mut b = EncodingBuilder::new();
+    b.open_element("root");
+    for _ in 0..300 {
+        b.open_element("p");
+        for _ in 0..400 {
+            b.open_element("q");
+            b.close_element();
+        }
+        b.close_element();
+    }
+    b.close_element();
+    let mut expr = String::from("/descendant-or-self::*");
+    for i in 0..80 {
+        expr.push_str(if i % 2 == 0 {
+            "/ancestor-or-self::*"
+        } else {
+            "/descendant-or-self::*"
+        });
+    }
+    (Arc::new(Session::new(b.finish())), expr)
+}
+
+/// A per-query deadline riding the QUERY frame: the server answers a
+/// typed `TIMEOUT` error frame promptly and the connection stays open
+/// for ordinary queries.
+#[test]
+fn a_client_deadline_times_out_a_pathological_query_and_the_connection_survives() {
+    use staircase_server::protocol::code;
+    use staircase_server::ClientError;
+
+    let (session, expr) = pathological();
+    let handle = Server::start(Arc::clone(&session), ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    let started = std::time::Instant::now();
+    let err = client
+        .query(
+            &expr,
+            &QueryOptions {
+                deadline_ms: Some(50),
+                ..QueryOptions::default()
+            },
+        )
+        .expect_err("the deadline must trip first");
+    assert!(
+        matches!(err, ClientError::Server { code: c, .. } if c == code::TIMEOUT),
+        "{err:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "timeout answered way late: {:?}",
+        started.elapsed()
+    );
+
+    // Same connection, next query: the governed timeout is survivable.
+    let reply = client
+        .query("//p", &QueryOptions::default())
+        .expect("connection stays open");
+    assert_eq!(reply.total, 300);
+    assert!(
+        handle
+            .metrics()
+            .exec_timeouts
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    handle.shutdown_and_join();
+}
+
+/// A `CANCEL` frame sent while a query is in flight stops it: the
+/// server answers a typed `CANCELLED` error frame and the connection
+/// keeps serving.
+#[test]
+fn a_cancel_frame_stops_an_in_flight_query() {
+    use staircase_server::protocol::code;
+    use staircase_server::ClientError;
+
+    let (session, expr) = pathological();
+    let handle = Server::start(Arc::clone(&session), ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    let mut canceller = client.try_clone().expect("clone stream");
+    let cancel_thread = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(60));
+        canceller.cancel().expect("cancel frame sends");
+    });
+
+    let started = std::time::Instant::now();
+    let err = client
+        .query(&expr, &QueryOptions::default())
+        .expect_err("the cancel must win against completion");
+    cancel_thread.join().expect("cancel thread");
+    assert!(
+        matches!(err, ClientError::Server { code: c, .. } if c == code::CANCELLED),
+        "{err:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "cancellation answered way late: {:?}",
+        started.elapsed()
+    );
+
+    let reply = client
+        .query("//p", &QueryOptions::default())
+        .expect("connection stays open");
+    assert_eq!(reply.total, 300);
+    assert!(
+        handle
+            .metrics()
+            .cancelled_queries
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    handle.shutdown_and_join();
+}
+
 /// Rendered streaming matches what local `xq`-style rendering would
 /// produce (same shared `render_line`).
 #[test]
@@ -191,6 +312,7 @@ fn rendered_results_match_local_rendering() {
                 engine: "auto".to_string(),
                 render: true,
                 count_only: false,
+                deadline_ms: None,
             },
         )
         .expect("query");
